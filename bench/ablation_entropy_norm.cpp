@@ -1,0 +1,58 @@
+// Ablation: dwell-weighted vs visit-count location entropy (paper §4.4
+// normalizes entropy "by the time a user stays in a single location"; this
+// harness shows what the naive visit-count variant would have reported).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/analysis_mobility.h"
+#include "core/context.h"
+#include "util/ascii_chart.h"
+#include "util/stats.h"
+
+int main(int argc, char** argv) {
+  using namespace wearscope;
+  return bench::run_custom_main(
+      argc, argv, "ablation: entropy normalization (paper §4.4)",
+      [](const bench::BenchOptions& opts) {
+        const simnet::SimConfig cfg = bench::config_for_preset(
+            opts.preset, static_cast<std::uint64_t>(opts.seed));
+        const simnet::SimResult sim = simnet::Simulator(cfg).run();
+        core::AnalysisOptions aopt;
+        aopt.observation_days = sim.observation_days;
+        aopt.detailed_start_day = sim.detailed_start_day;
+        aopt.long_tail_apps = cfg.long_tail_apps;
+        const core::AnalysisContext ctx(sim.store, aopt);
+
+        std::printf("== ablation: entropy normalization ==\n");
+        std::vector<std::vector<std::string>> rows;
+        for (const core::EntropyNorm norm :
+             {core::EntropyNorm::kDwellWeighted,
+              core::EntropyNorm::kVisitCount}) {
+          util::OnlineStats wearable;
+          util::OnlineStats all;
+          for (const core::UserView& u : ctx.users()) {
+            if (u.mme.empty()) continue;
+            const double h = core::user_location_entropy(ctx, u, norm);
+            all.add(h);
+            if (u.has_wearable) wearable.add(h);
+          }
+          const double ratio = all.mean() > 0 ? wearable.mean() / all.mean() : 0;
+          rows.push_back({norm == core::EntropyNorm::kDwellWeighted
+                              ? "dwell-weighted (paper)"
+                              : "visit-count (naive)",
+                          util::format_num(wearable.mean(), 3),
+                          util::format_num(all.mean(), 3),
+                          util::format_num(ratio, 3)});
+        }
+        std::fputs(util::table({"normalization", "wearable bits", "all bits",
+                                "ratio"},
+                               rows)
+                       .c_str(),
+                   stdout);
+        std::printf(
+            "note: visit counts over-weight brief handovers; dwell\n"
+            "weighting is what makes the +70%% gap attributable to where\n"
+            "users actually spend time.\n");
+        return 0;
+      });
+}

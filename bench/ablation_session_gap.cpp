@@ -1,0 +1,58 @@
+// Ablation: sensitivity of the per-usage statistics (Fig. 7) to the
+// sessionization gap.  The paper fixes the gap at 60 s ("two consecutive
+// transactions at least one minute apart"); this harness sweeps it and
+// shows how usage counts and per-usage volumes respond.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/context.h"
+#include "util/ascii_chart.h"
+
+int main(int argc, char** argv) {
+  using namespace wearscope;
+  return bench::run_custom_main(
+      argc, argv,
+      "ablation: sessionization-gap sweep (paper §5.1 usage definition)",
+      [](const bench::BenchOptions& opts) {
+        const simnet::SimConfig cfg = bench::config_for_preset(
+            opts.preset, static_cast<std::uint64_t>(opts.seed));
+        const simnet::SimResult sim = simnet::Simulator(cfg).run();
+
+        std::printf("== ablation: usage gap sweep ==\n");
+        std::vector<std::vector<std::string>> rows;
+        for (const util::SimTime gap : {15, 30, 60, 120, 300}) {
+          core::AnalysisOptions aopt;
+          aopt.observation_days = sim.observation_days;
+          aopt.detailed_start_day = sim.detailed_start_day;
+          aopt.long_tail_apps = cfg.long_tail_apps;
+          aopt.usage_gap_s = gap;
+          const core::AnalysisContext ctx(sim.store, aopt);
+          const core::UsageResult usage = core::analyze_usage(ctx);
+
+          std::size_t total_usages = 0;
+          double txn_sum = 0.0;
+          double kb_sum = 0.0;
+          for (const core::PerUsageStats& s : usage.apps) {
+            total_usages += s.usages;
+            txn_sum += s.mean_txns_per_usage * static_cast<double>(s.usages);
+            kb_sum += s.mean_kb_per_usage * static_cast<double>(s.usages);
+          }
+          const double n = std::max<double>(1.0, static_cast<double>(total_usages));
+          rows.push_back({std::to_string(gap) + "s",
+                          std::to_string(total_usages),
+                          util::format_num(txn_sum / n, 2),
+                          util::format_num(kb_sum / n, 1),
+                          usage.apps.empty() ? "-" : usage.apps.front().name});
+        }
+        std::fputs(util::table({"gap", "usages", "txns/usage", "KB/usage",
+                                "top app by data"},
+                               rows)
+                       .c_str(),
+                   stdout);
+        std::printf(
+            "note: shorter gaps split usages (more, smaller); the paper's\n"
+            "60 s sits on the plateau because generated intra-usage gaps\n"
+            "stay below ~55 s by construction of the traffic profiles.\n");
+        return 0;
+      });
+}

@@ -1,0 +1,44 @@
+// Extension (§4.1): per-device-model cohort breakdown — "most users are
+// using LG and Samsung SIM-enabled watches", quantified.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/ascii_chart.h"
+
+int main(int argc, char** argv) {
+  using namespace wearscope;
+  return bench::run_custom_main(
+      argc, argv, "ext: device-model cohorts (§4.1 vendor mix)",
+      [](const bench::BenchOptions& opts) {
+        const bench::PipelineRun run = bench::run_pipeline(opts);
+        const core::FigureData& fig = run.report.figure("cohorts");
+        std::fputs(fig.to_text().c_str(), stdout);
+        if (!opts.quiet) {
+          const core::CohortResult& r = run.report.cohorts;
+          std::printf("-- per-model cohort table --\n");
+          std::vector<std::vector<std::string>> rows;
+          for (const core::ModelCohort& c : r.models) {
+            rows.push_back({c.manufacturer + " " + c.model, c.os,
+                            std::to_string(c.users),
+                            std::to_string(c.active_users),
+                            util::format_num(c.bytes / 1e6, 1),
+                            util::format_num(c.mean_active_days, 1)});
+          }
+          std::fputs(util::table({"model", "OS", "users", "active", "MB",
+                                  "days/user"},
+                                 rows)
+                         .c_str(),
+                     stdout);
+          std::printf("-- manufacturer shares --\n");
+          std::vector<util::Bar> bars;
+          for (const auto& [vendor, share] : r.manufacturer_share) {
+            bars.push_back({vendor, 100.0 * share});
+          }
+          std::fputs(util::bar_chart(bars, 40).c_str(), stdout);
+        }
+        if (!opts.csv_dir.empty()) fig.write_csv(opts.csv_dir);
+        std::printf("[result] ext_device_cohorts: %s\n",
+                    fig.all_pass() ? "ALL CHECKS PASS" : "CHECK FAILURES");
+        return 0;
+      });
+}

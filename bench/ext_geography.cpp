@@ -1,0 +1,39 @@
+// Extension: spatial adoption map — wearable users per coverage area,
+// urban vs rural adoption rates (home = max-dwell sector from the MME).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/ascii_chart.h"
+
+int main(int argc, char** argv) {
+  using namespace wearscope;
+  return bench::run_custom_main(
+      argc, argv, "ext: spatial adoption map (MME home anchoring)",
+      [](const bench::BenchOptions& opts) {
+        const bench::PipelineRun run = bench::run_pipeline(opts);
+        const core::FigureData& fig = run.report.figure("geography");
+        std::fputs(fig.to_text().c_str(), stdout);
+        if (!opts.quiet) {
+          const core::GeographyResult& r = run.report.geography;
+          std::printf("-- coverage areas (by resident users) --\n");
+          std::vector<std::vector<std::string>> rows;
+          for (const core::AreaStats& a : r.areas) {
+            rows.push_back(
+                {std::to_string(a.area_id), std::to_string(a.sectors),
+                 std::to_string(a.users), std::to_string(a.wearable_users),
+                 util::format_num(100.0 * a.adoption_rate(), 1) + "%"});
+          }
+          std::fputs(util::table({"area", "sectors", "users", "wearables",
+                                  "adoption"},
+                                 rows)
+                         .c_str(),
+                     stdout);
+          std::printf("urban adoption %.1f%% vs rural %.1f%%\n",
+                      100.0 * r.urban_adoption, 100.0 * r.rural_adoption);
+        }
+        if (!opts.csv_dir.empty()) fig.write_csv(opts.csv_dir);
+        std::printf("[result] ext_geography: %s\n",
+                    fig.all_pass() ? "ALL CHECKS PASS" : "CHECK FAILURES");
+        return 0;
+      });
+}

@@ -1,0 +1,41 @@
+// Extension: HTTP vs HTTPS in wearable traffic ("Are Wearables Ready for
+// HTTPS?" — the authors' prior work, cited in §2, asks exactly this).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/ascii_chart.h"
+
+int main(int argc, char** argv) {
+  using namespace wearscope;
+  return bench::run_custom_main(
+      argc, argv, "ext: HTTPS readiness of wearable traffic",
+      [](const bench::BenchOptions& opts) {
+        const bench::PipelineRun run = bench::run_pipeline(opts);
+        const core::FigureData& fig = run.report.figure("protocol");
+        std::fputs(fig.to_text().c_str(), stdout);
+        if (!opts.quiet) {
+          const core::ProtocolResult& r = run.report.protocol;
+          std::printf("overall: %.1f%% of transactions / %.1f%% of bytes "
+                      "over HTTPS (%g plaintext transactions)\n",
+                      100.0 * r.https_txn_share, 100.0 * r.https_data_share,
+                      r.http_txns);
+          std::printf("-- plaintext share by category --\n");
+          std::vector<std::vector<std::string>> rows;
+          for (const core::CategoryProtocolMix& m : r.by_category) {
+            rows.push_back({std::string(appdb::category_name(m.category)),
+                            util::format_num(100.0 * m.http_txn_share, 1) + "%",
+                            util::format_num(100.0 * m.http_data_share, 1) + "%",
+                            util::format_num(m.txns, 0)});
+          }
+          std::fputs(util::table({"category", "http txns", "http bytes",
+                                  "txns"},
+                                 rows)
+                         .c_str(),
+                     stdout);
+        }
+        if (!opts.csv_dir.empty()) fig.write_csv(opts.csv_dir);
+        std::printf("[result] ext_protocol_mix: %s\n",
+                    fig.all_pass() ? "ALL CHECKS PASS" : "CHECK FAILURES");
+        return 0;
+      });
+}

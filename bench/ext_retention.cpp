@@ -1,0 +1,31 @@
+// Extension (Fig. 2b generalized): adoption-week cohort survival curves.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/ascii_chart.h"
+
+int main(int argc, char** argv) {
+  using namespace wearscope;
+  return bench::run_custom_main(
+      argc, argv, "ext: retention cohorts (Fig. 2b generalized)",
+      [](const bench::BenchOptions& opts) {
+        const bench::PipelineRun run = bench::run_pipeline(opts);
+        const core::FigureData& fig = run.report.figure("retention");
+        std::fputs(fig.to_text().c_str(), stdout);
+        if (!opts.quiet) {
+          const core::RetentionResult& r = run.report.retention;
+          std::printf("-- cohort survival (weeks since adoption) --\n");
+          for (const core::Cohort& c : r.cohorts) {
+            if (c.size < 5) continue;  // tiny cohorts are noise
+            std::printf("  wk%-3d (n=%4zu): [%s]\n", c.adoption_week, c.size,
+                        util::sparkline(c.survival).c_str());
+          }
+          std::printf("  mean survival: 4w=%.3f 8w=%.3f 12w=%.3f\n",
+                      r.survival_4w, r.survival_8w, r.survival_12w);
+        }
+        if (!opts.csv_dir.empty()) fig.write_csv(opts.csv_dir);
+        std::printf("[result] ext_retention: %s\n",
+                    fig.all_pass() ? "ALL CHECKS PASS" : "CHECK FAILURES");
+        return 0;
+      });
+}

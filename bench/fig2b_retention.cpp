@@ -1,0 +1,9 @@
+// Regenerates Fig. 2(b): users present in the first vs the last week of the
+// five-month window (still-active / abandoned / newly-adopted shares).
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  return wearscope::bench::run_figure_main(
+      argc, argv, "fig2b",
+      "fig2b: first-week vs last-week wearable users (paper Fig. 2b)");
+}

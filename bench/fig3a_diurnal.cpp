@@ -1,0 +1,31 @@
+// Regenerates Fig. 3(a): hourly share of active users, data and
+// transactions, weekday vs weekend, normalized over the weekly total.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace wearscope;
+  return bench::run_custom_main(
+      argc, argv,
+      "fig3a: macroscopic hourly wearable usage (paper Fig. 3a)",
+      [](const bench::BenchOptions& opts) {
+        const bench::PipelineRun run = bench::run_pipeline(opts);
+        const core::FigureData& fig = run.report.figure("fig3a");
+        std::fputs(fig.to_text().c_str(), stdout);
+        if (!opts.quiet) {
+          bench::print_series(fig);
+          const core::DiurnalResult& r = run.report.diurnal;
+          std::printf(
+              "   commute-morning (6-9am) weekday/weekend user ratio: %.2f\n",
+              r.commute_bump_ratio);
+          std::printf(
+              "   wearable share of total traffic, weekend/weekday: %.2f\n",
+              r.weekend_relative_usage);
+        }
+        if (!opts.csv_dir.empty()) fig.write_csv(opts.csv_dir);
+        std::printf("[result] fig3a: %s\n",
+                    fig.all_pass() ? "ALL CHECKS PASS" : "CHECK FAILURES");
+        return 0;
+      });
+}

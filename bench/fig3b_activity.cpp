@@ -1,0 +1,31 @@
+// Regenerates Fig. 3(b): CDFs of active days per week and active hours per
+// day of transacting wearable users.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace wearscope;
+  return bench::run_custom_main(
+      argc, argv, "fig3b: active days and hours (paper Fig. 3b)",
+      [](const bench::BenchOptions& opts) {
+        const bench::PipelineRun run = bench::run_pipeline(opts);
+        const core::FigureData& fig = run.report.figure("fig3b");
+        std::fputs(fig.to_text().c_str(), stdout);
+        if (!opts.quiet) {
+          bench::print_series(fig);
+          const core::ActivityResult& r = run.report.activity;
+          std::printf("   active days/week: mean=%.2f p50=%.2f p90=%.2f\n",
+                      r.mean_active_days, r.active_days_per_week.quantile(0.5),
+                      r.active_days_per_week.quantile(0.9));
+          std::printf("   active hours/day: mean=%.2f p50=%.2f p90=%.2f\n",
+                      r.mean_active_hours,
+                      r.active_hours_per_day.quantile(0.5),
+                      r.active_hours_per_day.quantile(0.9));
+        }
+        if (!opts.csv_dir.empty()) fig.write_csv(opts.csv_dir);
+        std::printf("[result] fig3b: %s\n",
+                    fig.all_pass() ? "ALL CHECKS PASS" : "CHECK FAILURES");
+        return 0;
+      });
+}

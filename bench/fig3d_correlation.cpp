@@ -1,0 +1,36 @@
+// Regenerates Fig. 3(d): relation between hourly transactions and daily
+// active hours (more active users transact more per hour, no burstiness).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/ascii_chart.h"
+
+int main(int argc, char** argv) {
+  using namespace wearscope;
+  return bench::run_custom_main(
+      argc, argv, "fig3d: transactions vs active hours (paper Fig. 3d)",
+      [](const bench::BenchOptions& opts) {
+        const bench::PipelineRun run = bench::run_pipeline(opts);
+        const core::FigureData& fig = run.report.figure("fig3d");
+        std::fputs(fig.to_text().c_str(), stdout);
+        if (!opts.quiet) {
+          const core::ActivityResult& r = run.report.activity;
+          std::printf("-- txns/hour by active-hours decile --\n");
+          std::vector<std::vector<std::string>> rows;
+          for (std::size_t b = 0; b < r.txns_vs_hours.x_centers.size(); ++b) {
+            rows.push_back({util::format_num(r.txns_vs_hours.x_centers[b], 2),
+                            util::format_num(r.txns_vs_hours.y_means[b], 2),
+                            std::to_string(r.txns_vs_hours.n[b])});
+          }
+          std::fputs(
+              util::table({"active h/day", "txns/hour", "users"}, rows)
+                  .c_str(),
+              stdout);
+          std::printf("   Pearson correlation: %.3f\n", r.correlation);
+        }
+        if (!opts.csv_dir.empty()) fig.write_csv(opts.csv_dir);
+        std::printf("[result] fig3d: %s\n",
+                    fig.all_pass() ? "ALL CHECKS PASS" : "CHECK FAILURES");
+        return 0;
+      });
+}

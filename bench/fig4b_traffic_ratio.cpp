@@ -1,0 +1,30 @@
+// Regenerates Fig. 4(b): the ratio of wearable-device traffic to an owner's
+// total traffic (~3 orders of magnitude; 10% of users above 3%).
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace wearscope;
+  return bench::run_custom_main(
+      argc, argv, "fig4b: wearable share of owner traffic (paper Fig. 4b)",
+      [](const bench::BenchOptions& opts) {
+        const bench::PipelineRun run = bench::run_pipeline(opts);
+        const core::FigureData& fig = run.report.figure("fig4b");
+        std::fputs(fig.to_text().c_str(), stdout);
+        if (!opts.quiet) {
+          const core::ComparisonResult& r = run.report.comparison;
+          std::printf("-- wearable/total ratio quantiles --\n");
+          for (const double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99}) {
+            std::printf("   p%-4.0f %.6f\n", q * 100,
+                        r.wearable_share.quantile(q));
+          }
+          std::printf("   transacting owners sampled: %zu\n",
+                      r.wearable_share.size());
+        }
+        if (!opts.csv_dir.empty()) fig.write_csv(opts.csv_dir);
+        std::printf("[result] fig4b: %s\n",
+                    fig.all_pass() ? "ALL CHECKS PASS" : "CHECK FAILURES");
+        return 0;
+      });
+}

@@ -1,0 +1,9 @@
+// Regenerates Fig. 5(b): per-app frequency of usage, transactions and data
+// per day (shares of the daily total).
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  return wearscope::bench::run_figure_main(
+      argc, argv, "fig5b",
+      "fig5b: app usage frequency, transactions and data (paper Fig. 5b)");
+}

@@ -1,0 +1,38 @@
+// Regenerates Fig. 6(a-d): daily popularity of Google-Play app categories
+// (associated users, frequency of usage, transactions, data).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/ascii_chart.h"
+
+int main(int argc, char** argv) {
+  using namespace wearscope;
+  return bench::run_custom_main(
+      argc, argv, "fig6: category popularity (paper Fig. 6a-d)",
+      [](const bench::BenchOptions& opts) {
+        const bench::PipelineRun run = bench::run_pipeline(opts);
+        const core::FigureData& fig = run.report.figure("fig6");
+        std::fputs(fig.to_text().c_str(), stdout);
+        if (!opts.quiet) {
+          const core::CategoryResult& r = run.report.categories;
+          std::printf("-- category shares (%% of daily total) --\n");
+          std::vector<std::vector<std::string>> rows;
+          for (const core::CategoryStats& s : r.by_users) {
+            rows.push_back({std::string(appdb::category_name(s.category)),
+                            util::format_num(s.user_share_pct, 2),
+                            util::format_num(s.usage_share_pct, 2),
+                            util::format_num(s.txn_share_pct, 2),
+                            util::format_num(s.data_share_pct, 2)});
+          }
+          std::fputs(util::table({"category", "users%", "usage%", "txns%",
+                                  "data%"},
+                                 rows)
+                         .c_str(),
+                     stdout);
+        }
+        if (!opts.csv_dir.empty()) fig.write_csv(opts.csv_dir);
+        std::printf("[result] fig6: %s\n",
+                    fig.all_pass() ? "ALL CHECKS PASS" : "CHECK FAILURES");
+        return 0;
+      });
+}

@@ -1,0 +1,38 @@
+// Regenerates Fig. 7: transactions and data during a single app usage
+// (60-second-gap sessionization; media apps lead, payments trail).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/ascii_chart.h"
+
+int main(int argc, char** argv) {
+  using namespace wearscope;
+  return bench::run_custom_main(
+      argc, argv, "fig7: per-usage transactions and data (paper Fig. 7)",
+      [](const bench::BenchOptions& opts) {
+        const bench::PipelineRun run = bench::run_pipeline(opts);
+        const core::FigureData& fig = run.report.figure("fig7");
+        std::fputs(fig.to_text().c_str(), stdout);
+        if (!opts.quiet) {
+          const core::UsageResult& r = run.report.usage;
+          std::printf("-- per-usage stats (named apps, by data/usage) --\n");
+          std::vector<std::vector<std::string>> rows;
+          std::size_t shown = 0;
+          for (const core::PerUsageStats& s : r.apps) {
+            if (s.name.starts_with("LongTail-")) continue;
+            rows.push_back({s.name, util::format_num(s.mean_txns_per_usage, 1),
+                            util::format_num(s.mean_kb_per_usage, 1),
+                            std::to_string(s.usages)});
+            if (++shown >= 20) break;
+          }
+          std::fputs(util::table({"app", "txns/usage", "KB/usage", "usages"},
+                                 rows)
+                         .c_str(),
+                     stdout);
+        }
+        if (!opts.csv_dir.empty()) fig.write_csv(opts.csv_dir);
+        std::printf("[result] fig7: %s\n",
+                    fig.all_pass() ? "ALL CHECKS PASS" : "CHECK FAILURES");
+        return 0;
+      });
+}

@@ -1,0 +1,40 @@
+// Regenerates Fig. 8: share of users, transaction frequency and data for
+// the four endpoint classes (Application / Utilities / Advertising /
+// Analytics) of wearable traffic.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/ascii_chart.h"
+
+int main(int argc, char** argv) {
+  using namespace wearscope;
+  return bench::run_custom_main(
+      argc, argv, "fig8: third-party service classes (paper Fig. 8)",
+      [](const bench::BenchOptions& opts) {
+        const bench::PipelineRun run = bench::run_pipeline(opts);
+        const core::FigureData& fig = run.report.figure("fig8");
+        std::fputs(fig.to_text().c_str(), stdout);
+        if (!opts.quiet) {
+          const core::ThirdPartyResult& r = run.report.thirdparty;
+          std::vector<std::vector<std::string>> rows;
+          for (const core::ClassStats& s : r.classes) {
+            rows.push_back(
+                {std::string(appdb::transaction_class_name(s.cls)),
+                 util::format_num(s.user_share_pct, 2),
+                 util::format_num(s.txn_share_pct, 2),
+                 util::format_num(s.data_share_pct, 2)});
+          }
+          std::fputs(
+              util::table({"class", "users%", "frequency%", "data%"}, rows)
+                  .c_str(),
+              stdout);
+          std::printf(
+              "   first-party vs third-party data volume ratio: %.2f\n",
+              r.app_over_thirdparty_data);
+        }
+        if (!opts.csv_dir.empty()) fig.write_csv(opts.csv_dir);
+        std::printf("[result] fig8: %s\n",
+                    fig.all_pass() ? "ALL CHECKS PASS" : "CHECK FAILURES");
+        return 0;
+      });
+}

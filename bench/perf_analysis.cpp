@@ -1,0 +1,144 @@
+// Google-benchmark performance suite for the analysis pipeline: context
+// indexing (device classification + app attribution + sessionization) and
+// each per-figure analysis over a fixed synthetic capture.
+#include <benchmark/benchmark.h>
+
+#include "core/pipeline.h"
+#include "core/streaming.h"
+#include "simnet/simulator.h"
+
+namespace {
+
+using namespace wearscope;
+
+const simnet::SimResult& shared_capture() {
+  static const simnet::SimResult sim = [] {
+    simnet::SimConfig cfg;
+    cfg.seed = 2;
+    cfg.wearable_users = 400;
+    cfg.control_users = 800;
+    cfg.through_device_users = 100;
+    cfg.detailed_days = 14;
+    cfg.cities = 6;
+    cfg.sectors_per_city = 12;
+    cfg.long_tail_apps = 60;
+    return simnet::Simulator(cfg).run();
+  }();
+  return sim;
+}
+
+core::AnalysisOptions shared_options() {
+  const simnet::SimResult& sim = shared_capture();
+  core::AnalysisOptions opt;
+  opt.observation_days = sim.observation_days;
+  opt.detailed_start_day = sim.detailed_start_day;
+  opt.long_tail_apps = sim.config.long_tail_apps;
+  return opt;
+}
+
+const core::AnalysisContext& shared_context() {
+  static const core::AnalysisContext ctx(shared_capture().store,
+                                         shared_options());
+  return ctx;
+}
+
+void BM_ContextBuild(benchmark::State& state) {
+  const simnet::SimResult& sim = shared_capture();
+  for (auto _ : state) {
+    const core::AnalysisContext ctx(sim.store, shared_options());
+    benchmark::DoNotOptimize(ctx.users().size());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(sim.store.proxy.size()) * state.iterations());
+}
+BENCHMARK(BM_ContextBuild)->Unit(benchmark::kMillisecond);
+
+void BM_HostClassification(benchmark::State& state) {
+  const core::AnalysisContext& ctx = shared_context();
+  const simnet::SimResult& sim = shared_capture();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& host = sim.store.proxy[i % sim.store.proxy.size()].host;
+    benchmark::DoNotOptimize(ctx.signatures().classify_host(host));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HostClassification);
+
+template <typename Fn>
+void run_analysis_bench(benchmark::State& state, Fn&& fn) {
+  const core::AnalysisContext& ctx = shared_context();
+  for (auto _ : state) {
+    auto result = fn(ctx);
+    benchmark::DoNotOptimize(&result);
+  }
+}
+
+void BM_AnalyzeAdoption(benchmark::State& state) {
+  run_analysis_bench(state, core::analyze_adoption);
+}
+BENCHMARK(BM_AnalyzeAdoption)->Unit(benchmark::kMillisecond);
+
+void BM_AnalyzeDiurnal(benchmark::State& state) {
+  run_analysis_bench(state, core::analyze_diurnal);
+}
+BENCHMARK(BM_AnalyzeDiurnal)->Unit(benchmark::kMillisecond);
+
+void BM_AnalyzeActivity(benchmark::State& state) {
+  run_analysis_bench(state, core::analyze_activity);
+}
+BENCHMARK(BM_AnalyzeActivity)->Unit(benchmark::kMillisecond);
+
+void BM_AnalyzeComparison(benchmark::State& state) {
+  run_analysis_bench(state, core::analyze_comparison);
+}
+BENCHMARK(BM_AnalyzeComparison)->Unit(benchmark::kMillisecond);
+
+void BM_AnalyzeMobility(benchmark::State& state) {
+  run_analysis_bench(state, core::analyze_mobility);
+}
+BENCHMARK(BM_AnalyzeMobility)->Unit(benchmark::kMillisecond);
+
+void BM_AnalyzeApps(benchmark::State& state) {
+  run_analysis_bench(state, core::analyze_apps);
+}
+BENCHMARK(BM_AnalyzeApps)->Unit(benchmark::kMillisecond);
+
+void BM_AnalyzeThirdparty(benchmark::State& state) {
+  run_analysis_bench(state, core::analyze_thirdparty);
+}
+BENCHMARK(BM_AnalyzeThirdparty)->Unit(benchmark::kMillisecond);
+
+void BM_StreamingAdoption(benchmark::State& state) {
+  const simnet::SimResult& sim = shared_capture();
+  const core::DeviceClassifier devices(sim.store.devices);
+  for (auto _ : state) {
+    core::StreamingAdoption streaming(devices, sim.observation_days);
+    for (const trace::MmeRecord& r : sim.store.mme) streaming.on_mme(r);
+    for (const trace::ProxyRecord& r : sim.store.proxy) streaming.on_proxy(r);
+    const core::AdoptionResult res = streaming.finalize();
+    benchmark::DoNotOptimize(res.ever_registered);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(sim.store.mme.size() +
+                                sim.store.proxy.size()) *
+      state.iterations());
+}
+BENCHMARK(BM_StreamingAdoption)->Unit(benchmark::kMillisecond);
+
+void BM_FullPipeline(benchmark::State& state) {
+  const simnet::SimResult& sim = shared_capture();
+  for (auto _ : state) {
+    const core::Pipeline pipeline(sim.store, shared_options());
+    const core::StudyReport rep = pipeline.run();
+    benchmark::DoNotOptimize(rep.figures.size());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(sim.store.proxy.size()) * state.iterations());
+}
+BENCHMARK(BM_FullPipeline)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

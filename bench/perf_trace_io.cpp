@@ -1,0 +1,124 @@
+// Google-benchmark performance suite for trace serialization: binary and
+// CSV encode/decode throughput on realistic proxy-log records.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "simnet/simulator.h"
+#include "trace/binary_io.h"
+#include "trace/csv_io.h"
+
+namespace {
+
+using namespace wearscope;
+
+const std::vector<trace::ProxyRecord>& sample_records() {
+  static const std::vector<trace::ProxyRecord> records = [] {
+    simnet::SimConfig cfg;
+    cfg.seed = 3;
+    cfg.wearable_users = 100;
+    cfg.control_users = 200;
+    cfg.through_device_users = 20;
+    cfg.detailed_days = 7;
+    cfg.cities = 4;
+    cfg.sectors_per_city = 8;
+    cfg.long_tail_apps = 30;
+    simnet::SimResult sim = simnet::Simulator(cfg).run();
+    sim.store.proxy.resize(std::min<std::size_t>(sim.store.proxy.size(),
+                                                 20000));
+    return std::move(sim.store.proxy);
+  }();
+  return records;
+}
+
+void BM_BinaryEncode(benchmark::State& state) {
+  const auto& records = sample_records();
+  for (auto _ : state) {
+    std::ostringstream out;
+    trace::BinaryLogWriter<trace::ProxyRecord> writer(out);
+    for (const trace::ProxyRecord& r : records) writer.write(r);
+    benchmark::DoNotOptimize(out.str().size());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(records.size()) * state.iterations());
+}
+BENCHMARK(BM_BinaryEncode)->Unit(benchmark::kMillisecond);
+
+void BM_BinaryDecode(benchmark::State& state) {
+  const auto& records = sample_records();
+  std::ostringstream out;
+  {
+    trace::BinaryLogWriter<trace::ProxyRecord> writer(out);
+    for (const trace::ProxyRecord& r : records) writer.write(r);
+  }
+  const std::string blob = out.str();
+  for (auto _ : state) {
+    std::istringstream in(blob);
+    trace::BinaryLogReader<trace::ProxyRecord> reader(in);
+    trace::ProxyRecord r;
+    std::size_t n = 0;
+    while (reader.next(r)) ++n;
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(records.size()) * state.iterations());
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(blob.size()) * state.iterations());
+}
+BENCHMARK(BM_BinaryDecode)->Unit(benchmark::kMillisecond);
+
+void BM_CsvEncode(benchmark::State& state) {
+  const auto& records = sample_records();
+  for (auto _ : state) {
+    std::ostringstream out;
+    trace::CsvLogWriter<trace::ProxyRecord> writer(out);
+    for (const trace::ProxyRecord& r : records) writer.write(r);
+    benchmark::DoNotOptimize(out.str().size());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(records.size()) * state.iterations());
+}
+BENCHMARK(BM_CsvEncode)->Unit(benchmark::kMillisecond);
+
+void BM_CsvDecode(benchmark::State& state) {
+  const auto& records = sample_records();
+  std::ostringstream out;
+  {
+    trace::CsvLogWriter<trace::ProxyRecord> writer(out);
+    for (const trace::ProxyRecord& r : records) writer.write(r);
+  }
+  const std::string blob = out.str();
+  for (auto _ : state) {
+    std::istringstream in(blob);
+    trace::CsvLogReader<trace::ProxyRecord> reader(in);
+    trace::ProxyRecord r;
+    std::size_t n = 0;
+    while (reader.next(r)) ++n;
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(records.size()) * state.iterations());
+}
+BENCHMARK(BM_CsvDecode)->Unit(benchmark::kMillisecond);
+
+void BM_StoreSort(benchmark::State& state) {
+  const auto& records = sample_records();
+  for (auto _ : state) {
+    state.PauseTiming();
+    trace::TraceStore store;
+    store.proxy = records;
+    // Shuffle deterministically so sort has work to do.
+    util::Pcg32 rng(4);
+    rng.shuffle(store.proxy);
+    state.ResumeTiming();
+    store.sort_by_time();
+    benchmark::DoNotOptimize(store.proxy.size());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(records.size()) * state.iterations());
+}
+BENCHMARK(BM_StoreSort)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,30 @@
+// Regenerates the conclusion's Through-Device study (§6): fingerprint
+// smartphone-relayed wearable traffic (Fitbit, Xiaomi, wearable app
+// endpoints) and compare detected users with SIM-enabled wearable users.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace wearscope;
+  return bench::run_custom_main(
+      argc, argv, "sec6: Through-Device fingerprinting (paper conclusion)",
+      [](const bench::BenchOptions& opts) {
+        const bench::PipelineRun run = bench::run_pipeline(opts);
+        const core::FigureData& fig = run.report.figure("sec6");
+        std::fputs(fig.to_text().c_str(), stdout);
+        if (!opts.quiet) {
+          bench::print_series(fig, /*log_scale=*/false);
+          const core::ThroughDeviceResult& r = run.report.throughdevice;
+          std::printf("   detected TD users: %zu\n", r.detected_users);
+          std::printf(
+              "   TD vs SIM (medians): txns/day %.2fx, bytes/day %.2fx, "
+              "entropy %.2fx\n",
+              r.daily_txn_ratio, r.daily_bytes_ratio, r.entropy_ratio);
+        }
+        if (!opts.csv_dir.empty()) fig.write_csv(opts.csv_dir);
+        std::printf("[result] sec6: %s\n",
+                    fig.all_pass() ? "ALL CHECKS PASS" : "CHECK FAILURES");
+        return 0;
+      });
+}

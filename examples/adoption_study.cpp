@@ -1,0 +1,71 @@
+// Adoption study (paper §4.1 / Fig. 2): plots the five-month ramp of
+// registered SIM-wearable users, the retention split between the first and
+// the last week, and the silent-user phenomenon — then shows how the
+// structured results can drive custom what-if arithmetic (e.g. projecting
+// the ramp forward).
+#include <cstdio>
+
+#include "core/analysis_adoption.h"
+#include "core/context.h"
+#include "simnet/simulator.h"
+#include "util/ascii_chart.h"
+#include "util/flags.h"
+
+int main(int argc, char** argv) {
+  using namespace wearscope;
+  std::string preset = "standard";
+  std::int64_t seed = 42;
+  std::int64_t horizon_months = 12;
+  util::FlagParser flags("adoption study over the five-month window");
+  flags.add_string("preset", &preset, "small|standard|paper");
+  flags.add_int("seed", &seed, "generator seed");
+  flags.add_int("horizon", &horizon_months,
+                "projection horizon in months at the measured growth rate");
+  if (!flags.parse(argc, argv)) return 0;
+
+  simnet::SimConfig cfg = preset == "paper"      ? simnet::SimConfig::paper()
+                          : preset == "small"    ? simnet::SimConfig::small()
+                                                 : simnet::SimConfig::standard();
+  cfg.seed = static_cast<std::uint64_t>(seed);
+  const simnet::SimResult sim = simnet::Simulator(cfg).run();
+
+  core::AnalysisOptions opt;
+  opt.observation_days = sim.observation_days;
+  opt.detailed_start_day = sim.detailed_start_day;
+  opt.long_tail_apps = cfg.long_tail_apps;
+  const core::AnalysisContext ctx(sim.store, opt);
+  const core::AdoptionResult r = core::analyze_adoption(ctx);
+
+  std::printf("== SIM-enabled wearable adoption ==\n");
+  std::printf("registered users per day (normalized; %d days):\n",
+              sim.observation_days);
+  std::printf("[%s]\n", util::sparkline(r.daily_registered_norm).c_str());
+  std::printf("total growth: %.1f%% (%.2f%%/month)\n",
+              100.0 * r.total_growth, 100.0 * r.monthly_growth);
+
+  std::printf("\n== first week vs last week ==\n");
+  std::fputs(util::bar_chart({{"still-active", r.still_active_share},
+                              {"gone", r.gone_share},
+                              {"new", r.new_share}},
+                             40)
+                 .c_str(),
+             stdout);
+  std::printf("%.1f%% of the initial users abandoned the wearable\n",
+              100.0 * r.churned_of_initial);
+
+  std::printf("\n== the silent majority ==\n");
+  std::printf("%zu users registered; %zu transmitted data (%.1f%%)\n",
+              r.ever_registered, r.ever_transacted,
+              100.0 * r.ever_transacting_fraction);
+  std::printf("(the paper attributes the gap to missing data plans and "
+              "WiFi-preferring apps)\n");
+
+  std::printf("\n== projection ==\n");
+  double base = 1.0;
+  for (int m = 1; m <= horizon_months; ++m) base *= 1.0 + r.monthly_growth;
+  std::printf(
+      "at the measured %.2f%%/month, the base grows %.1f%% in %lld months\n",
+      100.0 * r.monthly_growth, 100.0 * (base - 1.0),
+      static_cast<long long>(horizon_months));
+  return 0;
+}

@@ -1,0 +1,252 @@
+#include "appdb/app_catalog.h"
+
+#include <array>
+#include <cmath>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace wearscope::appdb {
+
+namespace {
+
+using enum Category;
+using enum ProfileKind;
+
+/// Catalog row for the 50 named apps, in the exact Fig. 5(a) order
+/// (descending daily-associated-users rank).
+struct NamedApp {
+  std::string_view name;
+  Category category;
+  ProfileKind profile;
+  double daily_use_multiplier;
+  bool wifi_preferred;
+  std::initializer_list<std::string_view> domains;
+};
+
+// Category assignments follow the Google Play Store listing of the era; the
+// two tap-and-go payment apps are filed under Shopping, which is what makes
+// Shopping the #2 category of Fig. 6 despite Ebay/Amazon's mid-table ranks.
+const std::array<NamedApp, 50> kNamedApps = {{
+    {"Weather", kWeather, kWeatherPoll, 2.2, false,
+     {"api.weather.com", "dsx.weather.com"}},
+    {"Google-Maps", kMapsNavigation, kMaps, 1.2, false,
+     {"maps.googleapis.com", "roads.googleapis.com"}},
+    {"Accuweather", kWeather, kWeatherPoll, 2.0, false,
+     {"api.accuweather.com", "vortex.accuweather.com"}},
+    {"Flipboard", kNewsMagazines, kBrowsing, 0.85, false,
+     {"fbprod.flipboard.com", "ad.flipboard.example"}},
+    {"YouTube", kEntertainment, kStreaming, 1.1, false,
+     {"youtubei.googleapis.com", "googlevideo.com"}},
+    {"Messenger", kCommunication, kNotification, 2.1, false,
+     {"edge-chat.messenger.com", "api.messenger.com"}},
+    {"Google-App", kTools, kVoiceAssistant, 1.5, false,
+     {"clients3.google.com", "assistant.googleapis.com"}},
+    {"Facebook", kSocial, kBrowsing, 1.6, false,
+     {"graph.facebook.com", "edge-mqtt.facebook.com"}},
+    {"Samsung-Pay", kShopping, kPayment, 1.9, false,
+     {"pay.samsung.com", "eu-api.mpay.samsung.com"}},
+    {"Android-Pay", kShopping, kPayment, 1.9, false,
+     {"wallet.googleapis.com", "androidpay.googleapis.com"}},
+    {"Roaming-App", kTools, kNotification, 1.2, false,
+     {"roaming.carrier.example", "selfcare.carrier.example"}},
+    {"WhatsApp", kCommunication, kMessagingMedia, 1.9, false,
+     {"e1.whatsapp.net", "mmg.whatsapp.net", "g.whatsapp.net"}},
+    {"Outlook", kProductivity, kNotification, 1.7, false,
+     {"outlook.office365.com", "substrate.office.com"}},
+    {"Street-View", kTravelLocal, kMaps, 0.8, false,
+     {"streetview.googleapis.com", "geo0.ggpht.example"}},
+    {"MMS", kCommunication, kNotification, 1.3, false,
+     {"mms.carrier.example", "mmsc.carrier.example"}},
+    {"Twitter", kSocial, kBrowsing, 1.4, false,
+     {"api.twitter.com", "pbs.twimg.com"}},
+    {"Skype", kCommunication, kMessagingMedia, 1.2, false,
+     {"api.skype.com", "edge.skype.com"}},
+    {"S-Voice", kTools, kVoiceAssistant, 1.2, false,
+     {"svoice.samsungosp.com", "api.svoice.samsung.example"}},
+    {"Ebay", kShopping, kBrowsing, 1.25, false,
+     {"api.ebay.com", "i.ebayimg.com"}},
+    {"Spotify", kMusicAudio, kStreaming, 1.2, false,
+     {"api.spotify.com", "audio-fa.scdn.co", "spclient.wg.spotify.com"}},
+    {"News-App-1", kNewsMagazines, kBrowsing, 0.9, false,
+     {"api.newsapp1.example", "img.newsapp1.example"}},
+    {"Opera-Mini", kCommunication, kBrowsing, 1.1, false,
+     {"global.opera-mini.net", "api.opera.com"}},
+    {"Dropbox", kProductivity, kSync, 1.0, false,
+     {"api.dropboxapi.com", "content.dropboxapi.com"}},
+    {"News-App-3", kNewsMagazines, kBrowsing, 0.85, false,
+     {"api.newsapp3.example"}},
+    {"Snapchat", kSocial, kMessagingMedia, 1.4, false,
+     {"app.snapchat.com", "gcp.api.snapchat.com"}},
+    {"OneDrive", kProductivity, kSync, 1.0, false,
+     {"api.onedrive.com", "storage.live.com"}},
+    {"Amazon", kShopping, kBrowsing, 1.15, false,
+     {"msh.amazon.com", "images-eu.ssl-images-amazon.com"}},
+    {"PayPal", kFinance, kPayment, 1.1, false,
+     {"api.paypal.com", "t.paypal.com"}},
+    {"Metro", kTravelLocal, kMaps, 1.1, false,
+     {"api.metro-transit.example", "tiles.metro-transit.example"}},
+    {"Tools-App-2", kTools, kNotification, 1.0, false,
+     {"api.toolsapp2.example"}},
+    {"Bank-App-1", kFinance, kPayment, 1.0, false,
+     {"mobile.bankapp1.example", "api.bankapp1.example"}},
+    {"S-Health", kHealthFitness, kSync, 1.0, true,
+     {"shealth.samsunghealth.com", "api.samsunghealth.example"}},
+    {"Deezer", kMusicAudio, kStreaming, 1.1, false,
+     {"api.deezer.com", "cdns-preview.dzcdn.net", "media.deezer.com"}},
+    {"Viber", kCommunication, kMessagingMedia, 1.0, false,
+     {"api.viber.com", "media.viber.com"}},
+    {"Netflix", kEntertainment, kStreaming, 0.9, false,
+     {"api-global.netflix.com", "nflxvideo.net"}},
+    {"Tools-App-1", kTools, kNotification, 0.9, false,
+     {"api.toolsapp1.example"}},
+    {"Travel-App", kTravelLocal, kBrowsing, 0.6, false,
+     {"api.travelapp.example", "booking.travelapp.example"}},
+    {"News-App-2", kNewsMagazines, kBrowsing, 0.8, false,
+     {"api.newsapp2.example"}},
+    {"Golf-NAVI", kSports, kMaps, 0.7, false,
+     {"api.golfnavi.example", "maps.golfnavi.example"}},
+    {"Navigation-App", kMapsNavigation, kMaps, 0.8, false,
+     {"api.navigationapp.example", "tiles.navigationapp.example"}},
+    {"TrueCaller", kCommunication, kNotification, 1.2, false,
+     {"api4.truecaller.com", "search5.truecaller.com"}},
+    {"Reddit", kSocial, kBrowsing, 1.0, false,
+     {"oauth.reddit.com", "gateway.reddit.com"}},
+    {"Uber", kMapsNavigation, kMaps, 0.7, false,
+     {"cn-geo1.uber.com", "api.uber.com"}},
+    {"Bank-App-2", kFinance, kPayment, 0.9, false,
+     {"mobile.bankapp2.example"}},
+    {"Nike-Running", kSports, kSync, 0.8, true,
+     {"api.nike.com", "events.nike.com"}},
+    {"Sweatcoin", kHealthFitness, kSync, 0.9, true,
+     {"api.sweatco.in"}},
+    {"Daily-Star", kNewsMagazines, kBrowsing, 0.8, false,
+     {"api.dailystar.example", "img.dailystar.example"}},
+    {"Badoo", kLifestyle, kBrowsing, 0.8, false,
+     {"api.badoo.com", "us1.badoo.com"}},
+    {"Bank-App-3", kFinance, kPayment, 0.8, false,
+     {"mobile.bankapp3.example"}},
+    {"TV-Guide", kEntertainment, kBrowsing, 0.8, false,
+     {"api.tvguide.example", "images.tvguide.example"}},
+}};
+
+/// Category mix of the long tail.  Chosen so that summing per-app activity
+/// over whole categories reproduces Fig. 6's ordering (Communication,
+/// Shopping, Social, Weather on top; Health-Fitness and Lifestyle at the
+/// bottom) even though, e.g., the top Sports apps individually rank low in
+/// Fig. 5: the Sports/Music categories are fat with minor apps.
+constexpr std::array<double, kCategoryCount> kTailCategoryWeights = {
+    /*Communication=*/0.24, /*Shopping=*/0.19, /*Social=*/0.16,
+    /*Weather=*/0.01,       /*Music-Audio=*/0.12, /*Sports=*/0.11,
+    /*News-Magazines=*/0.03, /*Entertainment=*/0.04, /*Productivity=*/0.02,
+    /*Maps-Navigation=*/0.015, /*Tools=*/0.025, /*Travel-Local=*/0.02,
+    /*Finance=*/0.015,       /*Health-Fitness=*/0.01, /*Lifestyle=*/0.005};
+
+/// Default profile kind of a long-tail app in each category.
+constexpr std::array<ProfileKind, kCategoryCount> kTailProfiles = {
+    kNotification,  // Communication
+    kBrowsing,      // Shopping
+    kBrowsing,      // Social
+    kWeatherPoll,   // Weather
+    kStreaming,     // Music-Audio
+    kBrowsing,      // Sports
+    kBrowsing,      // News-Magazines
+    kStreaming,     // Entertainment
+    kSync,          // Productivity
+    kMaps,          // Maps-Navigation
+    kNotification,  // Tools
+    kBrowsing,      // Travel-Local
+    kPayment,       // Finance
+    kSync,          // Health-Fitness
+    kBrowsing,      // Lifestyle
+};
+
+/// Popularity of Fig. 5(a) rank r (0-based): exponential decay spanning
+/// roughly three decades across the 50 named apps, matching the log-scale
+/// span of the figure.
+double named_popularity(std::size_t rank) {
+  return std::pow(10.0, -2.8 * static_cast<double>(rank) / 49.0);
+}
+
+}  // namespace
+
+AppCatalog::AppCatalog(std::size_t long_tail_count) {
+  apps_.reserve(kNamedApps.size() + long_tail_count);
+
+  for (std::size_t i = 0; i < kNamedApps.size(); ++i) {
+    const NamedApp& n = kNamedApps[i];
+    AppInfo app;
+    app.id = static_cast<AppId>(apps_.size());
+    app.name = std::string(n.name);
+    app.category = n.category;
+    app.profile = n.profile;
+    app.popularity_weight = named_popularity(i);
+    app.daily_use_multiplier = n.daily_use_multiplier;
+    app.wifi_preferred = n.wifi_preferred;
+    for (const std::string_view d : n.domains) app.domains.emplace_back(d);
+    app.in_signature_table = true;
+    apps_.push_back(std::move(app));
+  }
+
+  // Long tail: deterministic regardless of caller seeds (the catalog is a
+  // fixed knowledge base, not a random object).
+  util::Pcg32 rng(0xA99DBULL, 0x5EEDULL);
+  const util::DiscreteSampler category_sampler(kTailCategoryWeights);
+  // The tail carries substantial aggregate weight (roughly comparable to
+  // the named apps combined): Fig. 6's category ranking only reproduces if
+  // whole categories are fat with minor apps the paper never names.
+  const double tail_top = 0.12;
+  for (std::size_t i = 0; i < long_tail_count; ++i) {
+    AppInfo app;
+    app.id = static_cast<AppId>(apps_.size());
+    app.name = "LongTail-App-" + std::to_string(i + 1);
+    const auto cat_idx = category_sampler.sample(rng);
+    app.category = static_cast<Category>(cat_idx);
+    app.profile = kTailProfiles[cat_idx];
+    // Tail decays one further decade over its length, below the last
+    // named app.
+    app.popularity_weight =
+        tail_top *
+        std::pow(10.0, -1.0 * static_cast<double>(i + 1) /
+                           static_cast<double>(long_tail_count));
+    app.daily_use_multiplier = rng.uniform(0.5, 1.2);
+    app.wifi_preferred = app.category == kHealthFitness;
+    app.domains.push_back("api.tailapp" + std::to_string(i + 1) + ".example");
+    if (rng.bernoulli(0.4)) {
+      app.domains.push_back("img.tailapp" + std::to_string(i + 1) +
+                            ".example");
+    }
+    // A quarter of the tail is missing from the curated signature table,
+    // modelling the authors' necessarily incomplete app mapping.
+    app.in_signature_table = (i % 4) != 3;
+    apps_.push_back(std::move(app));
+  }
+
+  popularity_weights_.reserve(apps_.size());
+  for (const AppInfo& a : apps_) popularity_weights_.push_back(a.popularity_weight);
+}
+
+std::optional<AppId> AppCatalog::find_by_name(std::string_view name) const {
+  for (const AppInfo& a : apps_) {
+    if (a.name == name) return a.id;
+  }
+  return std::nullopt;
+}
+
+std::span<const CompanionSignature> companion_signatures() {
+  static const std::vector<CompanionSignature> kSignatures = {
+      {"Fitbit",
+       {"api.fitbit.com", "android-cdn-api.fitbit.com"},
+       /*device_specific=*/true},
+      {"Xiaomi-Band",
+       {"api-mifit.huami.com", "api-watch.huami.com"},
+       /*device_specific=*/true},
+      {"AccuWeather-Wear", {"wearable.accuweather.com"},
+       /*device_specific=*/false},
+      {"Strava-Wear", {"wear.strava.com"}, /*device_specific=*/false},
+      {"Runtastic-Wear", {"wear.runtastic.com"}, /*device_specific=*/false},
+  };
+  return kSignatures;
+}
+
+}  // namespace wearscope::appdb

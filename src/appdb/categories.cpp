@@ -1,0 +1,25 @@
+#include "appdb/categories.h"
+
+namespace wearscope::appdb {
+
+namespace {
+constexpr std::array<std::string_view, kCategoryCount> kNames = {
+    "Communication",  "Shopping",      "Social",
+    "Weather",        "Music-Audio",   "Sports",
+    "News-Magazines", "Entertainment", "Productivity",
+    "Maps-Navigation", "Tools",        "Travel-Local",
+    "Finance",        "Health-Fitness", "Lifestyle"};
+}  // namespace
+
+std::string_view category_name(Category c) noexcept {
+  return kNames[static_cast<std::size_t>(c)];
+}
+
+std::optional<Category> parse_category(std::string_view name) noexcept {
+  for (std::size_t i = 0; i < kNames.size(); ++i) {
+    if (kNames[i] == name) return static_cast<Category>(i);
+  }
+  return std::nullopt;
+}
+
+}  // namespace wearscope::appdb

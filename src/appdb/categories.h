@@ -1,0 +1,52 @@
+// Google Play Store app categories used by the paper's Fig. 6 (15 classes).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace wearscope::appdb {
+
+/// The 15 Google-Play categories the paper aggregates apps into (Fig. 6).
+enum class Category : std::uint8_t {
+  kCommunication = 0,
+  kShopping,
+  kSocial,
+  kWeather,
+  kMusicAudio,
+  kSports,
+  kNewsMagazines,
+  kEntertainment,
+  kProductivity,
+  kMapsNavigation,
+  kTools,
+  kTravelLocal,
+  kFinance,
+  kHealthFitness,
+  kLifestyle,
+};
+
+/// Number of categories.
+inline constexpr std::size_t kCategoryCount = 15;
+
+/// All categories in enum order (handy for iteration and plotting).
+constexpr std::array<Category, kCategoryCount> all_categories() {
+  return {Category::kCommunication, Category::kShopping,
+          Category::kSocial,        Category::kWeather,
+          Category::kMusicAudio,    Category::kSports,
+          Category::kNewsMagazines, Category::kEntertainment,
+          Category::kProductivity,  Category::kMapsNavigation,
+          Category::kTools,         Category::kTravelLocal,
+          Category::kFinance,       Category::kHealthFitness,
+          Category::kLifestyle};
+}
+
+/// Display name matching the figure labels (e.g. "Music-Audio").
+std::string_view category_name(Category c) noexcept;
+
+/// Parses a display name back to the enum; nullopt for unknown names.
+std::optional<Category> parse_category(std::string_view name) noexcept;
+
+}  // namespace wearscope::appdb

@@ -1,0 +1,88 @@
+#include "appdb/device_models.h"
+
+namespace wearscope::appdb {
+
+DeviceModelCatalog::DeviceModelCatalog(bool include_apple_watch) {
+  using enum DeviceClass;
+  // TACs are synthetic but follow the real 8-digit format with the
+  // 35/86 reporting-body prefixes.  The operator in the paper supported
+  // mostly Samsung/LG wearables (no Apple Watch 3 yet), which the shares
+  // reflect.
+  models_ = {
+      // --- SIM-enabled wearables -------------------------------------
+      {"Gear S2 classic 3G", "Samsung", "Tizen", kSimWearable,
+       {35293208}, 0.18},
+      {"Gear S3 frontier LTE", "Samsung", "Tizen", kSimWearable,
+       {35254208, 35254209}, 0.34},
+      {"Gear S 750", "Samsung", "Tizen", kSimWearable, {35688904}, 0.08},
+      {"Watch Urbane 2nd Edition LTE", "LG", "Android Wear", kSimWearable,
+       {35909306}, 0.22},
+      {"Watch Sport", "LG", "Android Wear", kSimWearable, {35909307}, 0.10},
+      {"Watch 2 Pro LTE", "Huawei", "Android Wear", kSimWearable,
+       {86723403}, 0.08},
+      // --- Smartphones -----------------------------------------------
+      {"iPhone 7", "Apple", "iOS", kSmartphone, {35332008, 35332009}, 0.16},
+      {"iPhone 8", "Apple", "iOS", kSmartphone, {35274309}, 0.10},
+      {"iPhone X", "Apple", "iOS", kSmartphone, {35274409}, 0.08},
+      {"Galaxy S7", "Samsung", "Android", kSmartphone, {35565907}, 0.14},
+      {"Galaxy S8", "Samsung", "Android", kSmartphone,
+       {35831108, 35831109}, 0.15},
+      {"Galaxy S9", "Samsung", "Android", kSmartphone, {35226910}, 0.07},
+      {"P10", "Huawei", "Android", kSmartphone, {86475103}, 0.09},
+      {"Mi 6", "Xiaomi", "Android", kSmartphone, {86171203}, 0.06},
+      {"G6", "LG", "Android", kSmartphone, {35440107}, 0.05},
+      {"Xperia XZ1", "Sony", "Android", kSmartphone, {35479308}, 0.05},
+      {"Redmi Note 4", "Xiaomi", "Android", kSmartphone, {86342903}, 0.05},
+      // --- Feature phones / tablets / M2M (classification noise) ------
+      {"3310 3G", "Nokia", "S30+", kFeaturePhone, {35670108}, 0.6},
+      {"GS160", "Alcatel", "KaiOS", kFeaturePhone, {35401607}, 0.4},
+      {"iPad Pro", "Apple", "iOS", kTablet, {35982106}, 0.5},
+      {"Galaxy Tab S3", "Samsung", "Android", kTablet, {35894607}, 0.5},
+      {"LE910", "Telit", "M2M-FW", kM2mModule, {35791005}, 0.5},
+      {"EC25", "Quectel", "M2M-FW", kM2mModule, {86672103}, 0.5},
+  };
+  if (include_apple_watch) {
+    models_.push_back({"Watch Series 3 Cellular", "Apple", "watchOS",
+                       kSimWearable, {kAppleWatchTac}, 0.0});
+    // Market share 0: pre-launch adopters never draw it; the launch logic
+    // in Population assigns it explicitly by date.
+  }
+}
+
+std::vector<const DeviceModel*> DeviceModelCatalog::models_of(
+    DeviceClass c) const {
+  std::vector<const DeviceModel*> out;
+  for (const DeviceModel& m : models_) {
+    if (m.device_class == c) out.push_back(&m);
+  }
+  return out;
+}
+
+std::optional<DeviceClass> DeviceModelCatalog::class_of_tac(
+    trace::Tac tac) const {
+  const DeviceModel* m = model_of_tac(tac);
+  if (m == nullptr) return std::nullopt;
+  return m->device_class;
+}
+
+const DeviceModel* DeviceModelCatalog::model_of_tac(trace::Tac tac) const {
+  for (const DeviceModel& m : models_) {
+    for (const trace::Tac t : m.tacs) {
+      if (t == tac) return &m;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<trace::DeviceRecord> DeviceModelCatalog::to_device_records()
+    const {
+  std::vector<trace::DeviceRecord> out;
+  for (const DeviceModel& m : models_) {
+    for (const trace::Tac t : m.tacs) {
+      out.push_back(trace::DeviceRecord{t, m.model, m.manufacturer, m.os});
+    }
+  }
+  return out;
+}
+
+}  // namespace wearscope::appdb

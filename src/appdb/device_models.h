@@ -1,0 +1,78 @@
+// Device-model catalog with IMEI Type Allocation Codes.
+//
+// Mirrors the ISP Device database of §3.1/§3.2: every commercial model has
+// one or more 8-digit TACs; the DB maps TAC -> (model, manufacturer, OS)
+// but does NOT carry a "wearable" flag — deciding which models are
+// SIM-enabled wearables is the analyst's job (core::DeviceClassifier keeps
+// the curated model list, exactly as the authors prepared one).
+//
+// The ground-truth class here is used only by the generator to decide which
+// population segment carries which device.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "trace/records.h"
+
+namespace wearscope::appdb {
+
+/// Ground-truth device segment (generator-side only; never in the logs).
+enum class DeviceClass : std::uint8_t {
+  kSimWearable = 0,  ///< Stand-alone cellular smartwatch.
+  kSmartphone,
+  kFeaturePhone,
+  kTablet,
+  kM2mModule,        ///< Telemetry modem (classification-noise realism).
+};
+
+/// One commercial device model.
+struct DeviceModel {
+  std::string model;         ///< e.g. "Gear S3 frontier LTE".
+  std::string manufacturer;  ///< e.g. "Samsung".
+  std::string os;            ///< e.g. "Tizen".
+  DeviceClass device_class = DeviceClass::kSmartphone;
+  std::vector<trace::Tac> tacs;  ///< TACs allocated to this model.
+  /// Relative market share within its class (drives generator sampling).
+  double market_share = 1.0;
+};
+
+/// The built-in device-model catalog.
+class DeviceModelCatalog {
+ public:
+  /// `include_apple_watch` adds the Apple Watch Series 3 Cellular to the
+  /// catalog (and hence the DeviceDB); by default the operator does not
+  /// carry it (paper §3.2), so the model exists only on the analysts'
+  /// curated list.
+  explicit DeviceModelCatalog(bool include_apple_watch = false);
+
+  /// TAC allocated to the Apple Watch Series 3 when included.
+  static constexpr trace::Tac kAppleWatchTac = 35274501;
+
+  /// All models.
+  [[nodiscard]] std::span<const DeviceModel> models() const noexcept {
+    return models_;
+  }
+
+  /// Models restricted to one ground-truth class.
+  [[nodiscard]] std::vector<const DeviceModel*> models_of(
+      DeviceClass c) const;
+
+  /// Ground truth: the class owning `tac`; nullopt for unknown TACs.
+  [[nodiscard]] std::optional<DeviceClass> class_of_tac(trace::Tac tac) const;
+
+  /// Model owning `tac`; nullptr when unknown.
+  [[nodiscard]] const DeviceModel* model_of_tac(trace::Tac tac) const;
+
+  /// Renders the catalog as DeviceDB rows (one per TAC) — what the ISP's
+  /// Device database exposes to the analysis.
+  [[nodiscard]] std::vector<trace::DeviceRecord> to_device_records() const;
+
+ private:
+  std::vector<DeviceModel> models_;
+};
+
+}  // namespace wearscope::appdb

@@ -1,0 +1,48 @@
+#include "appdb/third_party.h"
+
+#include <array>
+
+namespace wearscope::appdb {
+
+namespace {
+
+constexpr std::array<std::string_view, 10> kUtilities = {
+    "akamaiedge.net",    "akamaitechnologies.com", "cloudfront.net",
+    "fastly.net",        "edgekey.net",            "googleusercontent.com",
+    "gstatic.com",       "amazonaws.com",          "azureedge.net",
+    "cdn77.org"};
+
+constexpr std::array<std::string_view, 10> kAdvertising = {
+    "doubleclick.net",  "googlesyndication.com", "googleadservices.com",
+    "adnxs.com",        "admob.com",             "mopub.com",
+    "inmobi.com",       "smartadserver.com",     "criteo.com",
+    "adcolony.com"};
+
+constexpr std::array<std::string_view, 10> kAnalytics = {
+    "google-analytics.com", "crashlytics.com",  "flurry.com",
+    "appsflyer.com",        "mixpanel.com",     "adjust.com",
+    "scorecardresearch.com", "branch.io",       "amplitude.com",
+    "newrelic.com"};
+
+constexpr std::array<std::string_view, kTransactionClassCount> kClassNames = {
+    "Application", "Utilities", "Advertising", "Analytics"};
+
+}  // namespace
+
+std::string_view transaction_class_name(TransactionClass c) noexcept {
+  return kClassNames[static_cast<std::size_t>(c)];
+}
+
+std::span<const std::string_view> utility_domains() noexcept {
+  return kUtilities;
+}
+
+std::span<const std::string_view> advertising_domains() noexcept {
+  return kAdvertising;
+}
+
+std::span<const std::string_view> analytics_domains() noexcept {
+  return kAnalytics;
+}
+
+}  // namespace wearscope::appdb

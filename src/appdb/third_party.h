@@ -1,0 +1,41 @@
+// Third-party service domains (paper §5.2, Fig. 8).
+//
+// The paper classifies transaction endpoints into four classes following
+// Seneviratne et al. [17]: Application (first-party), Utilities (CDNs and
+// generic infrastructure), Advertising (ad networks) and Analytics
+// (telemetry/audience services).  This header provides the shared domain
+// pools: the generator draws third-party endpoints from them, and the
+// analysis classifies domains against them.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace wearscope::appdb {
+
+/// Endpoint classes of one HTTP(S) transaction (Fig. 8 x-axis).
+enum class TransactionClass : std::uint8_t {
+  kApplication = 0,  ///< First-party app servers.
+  kUtilities,        ///< CDNs / generic infrastructure.
+  kAdvertising,      ///< Ad networks.
+  kAnalytics,        ///< Analytics and telemetry services.
+};
+
+/// Number of transaction classes.
+inline constexpr std::size_t kTransactionClassCount = 4;
+
+/// Display name matching the figure labels.
+std::string_view transaction_class_name(TransactionClass c) noexcept;
+
+/// Registrable domains of content-delivery networks and generic
+/// infrastructure providers (the "Utilities" class).
+std::span<const std::string_view> utility_domains() noexcept;
+
+/// Registrable domains of advertisement networks.
+std::span<const std::string_view> advertising_domains() noexcept;
+
+/// Registrable domains of analytics/telemetry services.
+std::span<const std::string_view> analytics_domains() noexcept;
+
+}  // namespace wearscope::appdb

@@ -1,0 +1,77 @@
+// Per-app-class traffic behaviour parameters.
+//
+// These profiles encode the qualitative behaviours the paper attributes to
+// app classes (§5): notification apps make many tiny transactions; messaging
+// and streaming apps move orders of magnitude more bytes per usage; payment
+// apps perform micro-interactions; health apps prefer WiFi for bulk sync.
+// The parameters are calibration targets for Fig. 3(c) (3 KB median
+// transaction, 80% < 10 KB) and Fig. 7 (per-usage transactions vs data).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace wearscope::appdb {
+
+/// Behavioural classes of wearable/smartphone apps.
+enum class ProfileKind : std::uint8_t {
+  kNotification = 0,   ///< Messenger, Outlook, MMS: frequent tiny pushes.
+  kWeatherPoll,        ///< Weather apps: periodic small forecast fetches.
+  kPayment,            ///< Tap-and-go payments: rare, tiny, bursty.
+  kMessagingMedia,     ///< WhatsApp, Snapchat, Viber: chat + media blobs.
+  kStreaming,          ///< Deezer, Spotify, Netflix, YouTube: bulk media.
+  kBrowsing,           ///< Social/news/shopping feeds: medium pages.
+  kMaps,               ///< Navigation: tile/route bursts while moving.
+  kSync,               ///< Dropbox, OneDrive, S-Health: periodic sync.
+  kVoiceAssistant,     ///< S-Voice, Google App: short query round-trips.
+};
+
+/// Number of profile kinds.
+inline constexpr std::size_t kProfileKindCount = 9;
+
+/// Probabilities that one transaction of an app goes to each third-party
+/// service class instead of the app's first-party servers (paper Fig. 8).
+struct ThirdPartyMix {
+  double utilities = 0.0;    ///< CDNs and generic infrastructure.
+  double advertising = 0.0;  ///< Ad networks.
+  double analytics = 0.0;    ///< Analytics/telemetry services.
+
+  /// Fraction of transactions left for first-party servers.
+  [[nodiscard]] constexpr double application() const noexcept {
+    return 1.0 - utilities - advertising - analytics;
+  }
+};
+
+/// Stochastic traffic parameters of one behavioural class.
+struct TrafficProfile {
+  ProfileKind kind = ProfileKind::kNotification;
+  /// Mean number of usages in one active hour (Poisson, >= one forced
+  /// usage when the app is selected for the hour).
+  double usages_per_active_hour = 1.0;
+  /// Mean transactions within one usage (geometric-ish via Poisson + 1).
+  double transactions_per_usage = 3.0;
+  /// Mean gap between transactions inside a usage, seconds (< 60 so the
+  /// paper's sessionization rule reconstructs usages).
+  double intra_usage_gap_s = 8.0;
+  /// Log-scale location of the per-transaction byte volume (lognormal).
+  double bytes_log_mu = 8.0;
+  /// Log-scale spread of the per-transaction byte volume.
+  double bytes_log_sigma = 1.0;
+  /// Fraction of a transaction's bytes flowing uplink.
+  double uplink_fraction = 0.15;
+  /// Mean transaction duration in milliseconds (exponential).
+  double duration_mean_ms = 350.0;
+  /// Fraction of transactions using plain HTTP (rest are HTTPS+SNI).
+  double http_fraction = 0.05;
+  /// Third-party service traffic mix.
+  ThirdPartyMix third_party;
+};
+
+/// The built-in profile table for `kind`.
+const TrafficProfile& profile_for(ProfileKind kind) noexcept;
+
+/// Display name of a profile kind (for reports/tests).
+std::string_view profile_kind_name(ProfileKind kind) noexcept;
+
+}  // namespace wearscope::appdb

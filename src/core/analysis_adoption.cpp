@@ -1,0 +1,120 @@
+#include "core/analysis_adoption.h"
+
+#include <unordered_set>
+
+#include "util/stats.h"
+
+namespace wearscope::core {
+
+AdoptionResult analyze_adoption(const AnalysisContext& ctx) {
+  AdoptionResult res;
+  const int days = ctx.options().observation_days;
+
+  // Distinct wearable users registered per day, from wearable-TAC MME rows.
+  std::vector<std::unordered_set<trace::UserId>> daily(
+      static_cast<std::size_t>(days));
+  std::unordered_set<trace::UserId> first_week;
+  std::unordered_set<trace::UserId> last_week;
+  std::unordered_set<trace::UserId> ever;
+  for (const trace::MmeRecord& r : ctx.store().mme) {
+    if (!ctx.devices().is_wearable(r.tac)) continue;
+    const int d = util::day_of(r.timestamp);
+    if (d < 0 || d >= days) continue;
+    daily[static_cast<std::size_t>(d)].insert(r.user_id);
+    ever.insert(r.user_id);
+    if (d < 7) first_week.insert(r.user_id);
+    if (d >= days - 7) last_week.insert(r.user_id);
+  }
+
+  std::unordered_set<trace::UserId> transacted;
+  for (const UserView* u : ctx.wearable_users()) {
+    if (!u->wearable_txns.empty()) transacted.insert(u->user_id);
+  }
+
+  res.ever_registered = ever.size();
+  res.ever_transacted = transacted.size();
+  res.ever_transacting_fraction =
+      ever.empty() ? 0.0
+                   : static_cast<double>(transacted.size()) /
+                         static_cast<double>(ever.size());
+
+  const double last_count =
+      daily.empty() ? 0.0 : static_cast<double>(daily.back().size());
+  res.daily_registered_norm.reserve(daily.size());
+  for (const auto& day_users : daily) {
+    res.daily_registered_norm.push_back(
+        last_count > 0.0 ? static_cast<double>(day_users.size()) / last_count
+                         : 0.0);
+  }
+
+  // Growth: first-week average vs last-week average of the daily counts.
+  util::OnlineStats first_avg;
+  util::OnlineStats last_avg;
+  for (int d = 0; d < 7 && d < days; ++d)
+    first_avg.add(static_cast<double>(daily[static_cast<std::size_t>(d)].size()));
+  for (int d = std::max(0, days - 7); d < days; ++d)
+    last_avg.add(static_cast<double>(daily[static_cast<std::size_t>(d)].size()));
+  if (first_avg.mean() > 0.0) {
+    res.total_growth = last_avg.mean() / first_avg.mean() - 1.0;
+    res.monthly_growth = res.total_growth / (static_cast<double>(days) / 30.4);
+  }
+
+  // Fig. 2b shares.
+  std::size_t both = 0;
+  for (const trace::UserId u : first_week)
+    if (last_week.contains(u)) ++both;
+  const std::size_t uni = first_week.size() + last_week.size() - both;
+  if (uni > 0) {
+    res.still_active_share = static_cast<double>(both) / static_cast<double>(uni);
+    res.gone_share =
+        static_cast<double>(first_week.size() - both) / static_cast<double>(uni);
+    res.new_share =
+        static_cast<double>(last_week.size() - both) / static_cast<double>(uni);
+  }
+  if (!first_week.empty()) {
+    res.churned_of_initial = static_cast<double>(first_week.size() - both) /
+                             static_cast<double>(first_week.size());
+  }
+  return res;
+}
+
+FigureData figure2a(const AdoptionResult& r) {
+  FigureData fig;
+  fig.id = "fig2a";
+  fig.title = "Daily SIM-enabled wearable users registered (normalized)";
+  Series s;
+  s.name = "registered_users_norm";
+  for (std::size_t d = 0; d < r.daily_registered_norm.size(); ++d) {
+    s.x.push_back(static_cast<double>(d));
+    s.y.push_back(r.daily_registered_norm[d]);
+  }
+  fig.series.push_back(std::move(s));
+  fig.checks.push_back(make_check("total user growth over 5 months", 0.09,
+                                  r.total_growth, 0.05, 0.14));
+  fig.checks.push_back(make_check("monthly growth rate", 0.015,
+                                  r.monthly_growth, 0.008, 0.028));
+  fig.checks.push_back(make_check(
+      "fraction of users ever transmitting data", 0.34,
+      r.ever_transacting_fraction, 0.28, 0.40));
+  fig.notes.push_back(
+      "daily counts are distinct users with wearable-TAC MME registrations");
+  return fig;
+}
+
+FigureData figure2b(const AdoptionResult& r) {
+  FigureData fig;
+  fig.id = "fig2b";
+  fig.title = "First week vs last week wearable users";
+  Series s;
+  s.name = "user_share_of_union";
+  s.labels = {"still-active", "gone", "new"};
+  s.y = {r.still_active_share, r.gone_share, r.new_share};
+  fig.series.push_back(std::move(s));
+  fig.checks.push_back(make_check("users active in both weeks (share)", 0.77,
+                                  r.still_active_share, 0.68, 0.88));
+  fig.checks.push_back(make_check("initial users gone by last week", 0.07,
+                                  r.churned_of_initial, 0.03, 0.12));
+  return fig;
+}
+
+}  // namespace wearscope::core

@@ -1,0 +1,49 @@
+// Fig. 5 — per-app popularity and usage over the detailed window (§5.1):
+//   (a) daily associated users and app-used days per user;
+//   (b) frequency of usage, transactions and data per day;
+// plus the §4.3 per-user app statistics (apps observed per user, one-app
+// days).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/context.h"
+#include "core/report.h"
+
+namespace wearscope::core {
+
+/// Aggregates of one app across the study population.
+struct AppStats {
+  appdb::AppId app = kUnknownApp;
+  std::string name;
+  double user_share_pct = 0.0;   ///< Avg daily associated users [% of total].
+  double used_days_pct = 0.0;    ///< Avg app-used days per user [% of total].
+  double usage_share_pct = 0.0;  ///< Usages per day [% of total].
+  double txn_share_pct = 0.0;    ///< Transactions per day [% of total].
+  double data_share_pct = 0.0;   ///< Bytes per day [% of total].
+};
+
+/// Structured results of the app-popularity analysis.
+struct AppPopularityResult {
+  /// Apps sorted by descending user share (the Fig. 5a ordering).
+  std::vector<AppStats> apps;
+  /// Fraction of wearable traffic attributed to no app.
+  double unknown_traffic_fraction = 0.0;
+
+  // ---- §4.3 per-user app statistics --------------------------------------
+  double mean_apps_per_user = 0.0;   ///< Paper: 8 installed (we observe use).
+  double frac_users_under_20 = 0.0;  ///< Paper: 90%.
+  double max_apps_per_user = 0.0;    ///< Paper: heavy users > 100.
+  double one_app_day_fraction = 0.0; ///< Paper: 93% run one app per day.
+};
+
+/// Runs the analysis over the detailed window.
+AppPopularityResult analyze_apps(const AnalysisContext& ctx);
+
+/// Renders Fig. 5(a) with its checks.
+FigureData figure5a(const AppPopularityResult& r);
+/// Renders Fig. 5(b) with its checks.
+FigureData figure5b(const AppPopularityResult& r);
+
+}  // namespace wearscope::core

@@ -1,0 +1,38 @@
+// Fig. 6 — daily popularity of Google-Play app categories (§5.1): share of
+// associated users, frequency of usage, transactions and data for each of
+// the 15 categories.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "appdb/categories.h"
+#include "core/context.h"
+#include "core/report.h"
+
+namespace wearscope::core {
+
+/// Aggregates of one category (shares are % of the daily total).
+struct CategoryStats {
+  appdb::Category category = appdb::Category::kTools;
+  double user_share_pct = 0.0;
+  double usage_share_pct = 0.0;
+  double txn_share_pct = 0.0;
+  double data_share_pct = 0.0;
+};
+
+/// Structured results of the category analysis.
+struct CategoryResult {
+  /// One entry per category, sorted by descending user share.
+  std::vector<CategoryStats> by_users;
+  /// Rank position of each category in the user ranking (enum-indexed).
+  std::array<std::size_t, appdb::kCategoryCount> user_rank{};
+};
+
+/// Runs the analysis over the detailed window.
+CategoryResult analyze_categories(const AnalysisContext& ctx);
+
+/// Renders Fig. 6(a-d) with its checks.
+FigureData figure6(const CategoryResult& r);
+
+}  // namespace wearscope::core

@@ -1,0 +1,47 @@
+// Device-model cohorts (§4.1: "Currently, most users are using LG and
+// Samsung SIM-enabled watches").  Joins wearable traffic against the
+// DeviceDB to break users, activity and volume down by watch model and
+// manufacturer — the kind of per-vendor report an ISP analyst produces
+// next once the aggregate study exists.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/context.h"
+#include "core/report.h"
+
+namespace wearscope::core {
+
+/// Aggregates of one wearable model.
+struct ModelCohort {
+  trace::Tac tac = 0;           ///< Representative TAC (first seen).
+  std::string model;
+  std::string manufacturer;
+  std::string os;
+  std::size_t users = 0;        ///< Distinct users ever registered.
+  std::size_t active_users = 0; ///< Users with >= 1 wearable transaction.
+  double txns = 0.0;            ///< Wearable transactions (detailed window).
+  double bytes = 0.0;           ///< Wearable bytes (detailed window).
+  double mean_active_days = 0.0;  ///< Mean active days per active user.
+};
+
+/// Structured results of the cohort analysis.
+struct CohortResult {
+  /// Cohorts sorted by descending user count (models merged across their
+  /// TAC allocations).
+  std::vector<ModelCohort> models;
+  /// Per-manufacturer share of wearable users (label, fraction).
+  std::vector<std::pair<std::string, double>> manufacturer_share;
+  /// Combined user share of Samsung + LG (§4.1: they dominate).
+  double samsung_lg_share = 0.0;
+};
+
+/// Runs the analysis (registration over the full window, traffic over the
+/// detailed window).
+CohortResult analyze_cohorts(const AnalysisContext& ctx);
+
+/// Renders the cohort breakdown with its checks.
+FigureData figure_cohorts(const CohortResult& r);
+
+}  // namespace wearscope::core

@@ -1,0 +1,49 @@
+// Spatial adoption — an extension the MME + sector data makes free:
+// where do SIM-wearable users live?  Users are anchored to the sector they
+// spend most dwell time at (their "home" sector), sectors cluster into
+// coverage areas by proximity, and adoption density is compared across
+// dense (urban) and sparse (rural) areas.
+#pragma once
+
+#include <vector>
+
+#include "core/context.h"
+#include "core/report.h"
+
+namespace wearscope::core {
+
+/// One spatial cluster of sectors (roughly: a city).
+struct AreaStats {
+  std::size_t area_id = 0;
+  util::GeoPoint center;           ///< Mean position of member sectors.
+  std::size_t sectors = 0;
+  std::size_t users = 0;           ///< Users home-anchored here.
+  std::size_t wearable_users = 0;  ///< Of which SIM-wearable owners.
+  /// Wearable share among the area's users.
+  [[nodiscard]] double adoption_rate() const noexcept {
+    return users > 0 ? static_cast<double>(wearable_users) /
+                           static_cast<double>(users)
+                     : 0.0;
+  }
+};
+
+/// Structured results of the spatial analysis.
+struct GeographyResult {
+  /// Areas ordered by descending user count.
+  std::vector<AreaStats> areas;
+  /// Adoption rate in the densest half of the areas vs the sparsest half
+  /// (urban vs rural proxy).
+  double urban_adoption = 0.0;
+  double rural_adoption = 0.0;
+};
+
+/// Runs the analysis over the detailed window (everyone has phone MME
+/// there, so home anchoring covers the whole subscriber sample).
+/// `cluster_radius_km` merges sectors closer than this into one area.
+GeographyResult analyze_geography(const AnalysisContext& ctx,
+                                  double cluster_radius_km = 25.0);
+
+/// Renders the spatial breakdown with sanity checks.
+FigureData figure_geography(const GeographyResult& r);
+
+}  // namespace wearscope::core

@@ -1,0 +1,45 @@
+// Protocol mix — an extension connecting to the authors' prior work
+// ("Are Wearables Ready for HTTPS?", Kolamunna et al. 2017, cited in §2):
+// how much wearable traffic still travels over plaintext HTTP, overall and
+// per app category.  The proxy log distinguishes the two directly (§3.3:
+// SNI for HTTPS, full URL for HTTP).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "appdb/categories.h"
+#include "core/context.h"
+#include "core/report.h"
+
+namespace wearscope::core {
+
+/// HTTP/HTTPS split of one category.
+struct CategoryProtocolMix {
+  appdb::Category category = appdb::Category::kTools;
+  double http_txn_share = 0.0;  ///< Fraction of the category's transactions.
+  double http_data_share = 0.0; ///< Fraction of the category's bytes.
+  double txns = 0.0;            ///< Total transactions (for weighting).
+};
+
+/// Structured results of the protocol analysis (wearable traffic only,
+/// detailed window).
+struct ProtocolResult {
+  double https_txn_share = 0.0;   ///< Overall HTTPS transaction share.
+  double https_data_share = 0.0;  ///< Overall HTTPS byte share.
+  double http_txns = 0.0;
+  double https_txns = 0.0;
+  /// Per-category splits, ordered by descending plaintext share.
+  std::vector<CategoryProtocolMix> by_category;
+  /// Categories whose plaintext share exceeds twice the overall rate
+  /// (the "laggards" a security follow-up would name).
+  std::vector<appdb::Category> plaintext_laggards;
+};
+
+/// Runs the analysis over the detailed window.
+ProtocolResult analyze_protocol(const AnalysisContext& ctx);
+
+/// Renders the protocol-mix breakdown with its checks.
+FigureData figure_protocol(const ProtocolResult& r);
+
+}  // namespace wearscope::core

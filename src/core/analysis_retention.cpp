@@ -1,0 +1,103 @@
+#include "core/analysis_retention.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace wearscope::core {
+
+RetentionResult analyze_retention(const AnalysisContext& ctx) {
+  RetentionResult res;
+  const int weeks = ctx.options().observation_days / 7;
+  if (weeks <= 0) return res;
+
+  // Week-presence bitsets per wearable user.
+  struct Presence {
+    int first_week = 1 << 30;
+    std::set<int> weeks;
+  };
+  std::map<trace::UserId, Presence> users;
+  for (const trace::MmeRecord& r : ctx.store().mme) {
+    if (!ctx.devices().is_wearable(r.tac)) continue;
+    const int w = util::week_of(r.timestamp);
+    if (w < 0 || w >= weeks) continue;
+    Presence& p = users[r.user_id];
+    p.first_week = std::min(p.first_week, w);
+    p.weeks.insert(w);
+  }
+
+  // Cohort = adoption week; survival over subsequent observable weeks.
+  std::map<int, std::vector<const Presence*>> cohorts;
+  for (const auto& [id, p] : users) cohorts[p.first_week].push_back(&p);
+
+  for (const auto& [week, members] : cohorts) {
+    Cohort c;
+    c.adoption_week = week;
+    c.size = members.size();
+    const int horizon = weeks - week;
+    c.survival.resize(static_cast<std::size_t>(horizon), 0.0);
+    for (const Presence* p : members) {
+      for (const int w : p->weeks) {
+        c.survival[static_cast<std::size_t>(w - week)] += 1.0;
+      }
+    }
+    for (double& v : c.survival) v /= static_cast<double>(c.size);
+    res.cohorts.push_back(std::move(c));
+  }
+
+  const auto mean_survival_at = [&](int k) {
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (const Cohort& c : res.cohorts) {
+      if (static_cast<int>(c.survival.size()) > k && c.size >= 5) {
+        sum += c.survival[static_cast<std::size_t>(k)];
+        ++n;
+      }
+    }
+    return n > 0 ? sum / static_cast<double>(n) : 0.0;
+  };
+  res.survival_4w = mean_survival_at(4);
+  res.survival_8w = mean_survival_at(8);
+  res.survival_12w = mean_survival_at(12);
+  return res;
+}
+
+FigureData figure_retention(const RetentionResult& r) {
+  FigureData fig;
+  fig.id = "retention";
+  fig.title = "Adoption-week cohort survival (extension of Fig. 2b)";
+  // The first (pre-window) cohort's survival curve is the headline series.
+  if (!r.cohorts.empty()) {
+    Series s;
+    s.name = "cohort_week0_survival";
+    const Cohort& first = r.cohorts.front();
+    for (std::size_t k = 0; k < first.survival.size(); ++k) {
+      s.x.push_back(static_cast<double>(k));
+      s.y.push_back(first.survival[k]);
+    }
+    fig.series.push_back(std::move(s));
+  }
+  Series sizes;
+  sizes.name = "cohort_sizes";
+  for (const Cohort& c : r.cohorts) {
+    sizes.labels.push_back("wk" + std::to_string(c.adoption_week));
+    sizes.y.push_back(static_cast<double>(c.size));
+  }
+  fig.series.push_back(std::move(sizes));
+
+  // The registered base is sticky: with ~93% daily registration and 7%
+  // five-month churn, week-level survival stays high.
+  fig.checks.push_back(make_check("mean 4-week survival (sticky base)", 0.97,
+                                  r.survival_4w, 0.85, 1.0));
+  fig.checks.push_back(make_check("mean 12-week survival", 0.95,
+                                  r.survival_12w, 0.80, 1.0));
+  fig.checks.push_back(make_check(
+      "survival decays monotonically (4w >= 12w)", 1.0,
+      r.survival_4w >= r.survival_12w - 1e-9 ? 1.0 : 0.0, 1.0, 1.0));
+  fig.notes.push_back(
+      "extension beyond the paper: Fig. 2b only contrasts the first and "
+      "last weeks; cohorts expose when the 7% abandonment happens");
+  return fig;
+}
+
+}  // namespace wearscope::core

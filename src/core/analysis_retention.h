@@ -1,0 +1,43 @@
+// Retention cohorts — an extension of Fig. 2(b).
+//
+// The paper compares only the first week against the last.  Cohort
+// analysis generalizes: group wearable users by the week their device first
+// registered, then track each cohort's weekly survival (fraction still
+// registering N weeks after adoption).  This is the natural next question
+// an ISP asks ("do later adopters churn faster?") and needs nothing beyond
+// the same MME log.
+#pragma once
+
+#include <vector>
+
+#include "core/context.h"
+#include "core/report.h"
+
+namespace wearscope::core {
+
+/// One adoption-week cohort.
+struct Cohort {
+  int adoption_week = 0;        ///< Week of first registration.
+  std::size_t size = 0;         ///< Users adopting in that week.
+  /// survival[k] = fraction of the cohort registering in week
+  /// adoption_week + k (survival[0] == 1 by construction).
+  std::vector<double> survival;
+};
+
+/// Structured results of the retention analysis.
+struct RetentionResult {
+  std::vector<Cohort> cohorts;  ///< Ordered by adoption week.
+  /// Mean survival at 4 / 8 / 12 weeks after adoption, across cohorts
+  /// that are observable that long.
+  double survival_4w = 0.0;
+  double survival_8w = 0.0;
+  double survival_12w = 0.0;
+};
+
+/// Runs the analysis over the full observation window.
+RetentionResult analyze_retention(const AnalysisContext& ctx);
+
+/// Renders the retention curves with sanity checks.
+FigureData figure_retention(const RetentionResult& r);
+
+}  // namespace wearscope::core

@@ -1,0 +1,40 @@
+// §6 (conclusion) — Through-Device wearables: fingerprinting smartphone
+// traffic for wearable-vendor endpoints (Fitbit, Xiaomi) and the wearable
+// endpoints of companion apps (AccuWeather, Strava, Runtastic), then
+// comparing detected users' macroscopic behaviour with SIM-enabled users.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "core/context.h"
+#include "core/report.h"
+
+namespace wearscope::core {
+
+/// Structured results of the through-device study.
+struct ThroughDeviceResult {
+  /// Users without a SIM wearable whose phone traffic matched a signature.
+  std::size_t detected_users = 0;
+  /// Matches per fingerprint (index-aligned with companion_signatures()).
+  std::vector<std::size_t> per_signature;
+  std::vector<std::string> signature_names;
+  /// Macroscopic comparison (detected TD users vs SIM-wearable owners).
+  double daily_txn_ratio = 0.0;      ///< TD/SIM phone txns per day.
+  double daily_bytes_ratio = 0.0;    ///< TD/SIM phone bytes per day.
+  double entropy_ratio = 0.0;        ///< TD/SIM location entropy.
+  /// Hourly phone-transaction profiles (normalized shares) and their
+  /// correlation — the "similar macroscopic behaviour" claim made precise.
+  std::array<double, 24> td_hourly{};
+  std::array<double, 24> sim_hourly{};
+  double diurnal_similarity = 0.0;   ///< Pearson of the two profiles.
+};
+
+/// Runs the study over the detailed window.
+ThroughDeviceResult analyze_throughdevice(const AnalysisContext& ctx);
+
+/// Renders the §6 comparison with its checks.
+FigureData figure_sec6(const ThroughDeviceResult& r);
+
+}  // namespace wearscope::core

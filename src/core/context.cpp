@@ -1,0 +1,86 @@
+#include "core/context.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace wearscope::core {
+
+AnalysisContext::AnalysisContext(const trace::TraceStore& store,
+                                 AnalysisOptions options)
+    : store_(&store), options_(options) {
+  util::require(options_.observation_days > 0 &&
+                    options_.detailed_start_day >= 0 &&
+                    options_.detailed_start_day < options_.observation_days,
+                "analysis options: bad observation window");
+  util::require(store.is_sorted(),
+                "analysis context requires time-sorted logs");
+
+  knowledge_base_ =
+      std::make_unique<appdb::AppCatalog>(options_.long_tail_apps);
+  devices_ = std::make_unique<DeviceClassifier>(store.devices);
+  signatures_ = std::make_unique<AppSignatureTable>(
+      *knowledge_base_, options_.signature_coverage);
+
+  // Group records by user (logs are time-sorted, so per-user vectors stay
+  // time-sorted too).
+  std::unordered_map<trace::UserId, std::size_t> index;
+  const auto user_slot = [&](trace::UserId id) -> UserView& {
+    const auto [it, inserted] = index.emplace(id, users_.size());
+    if (inserted) {
+      users_.emplace_back();
+      users_.back().user_id = id;
+    }
+    return users_[it->second];
+  };
+
+  for (const trace::ProxyRecord& r : store.proxy) {
+    UserView& u = user_slot(r.user_id);
+    if (devices_->is_wearable(r.tac)) {
+      u.has_wearable = true;
+      u.wearable_txns.push_back(&r);
+    } else {
+      u.phone_txns.push_back(&r);
+    }
+  }
+  for (const trace::MmeRecord& r : store.mme) {
+    UserView& u = user_slot(r.user_id);
+    u.mme.push_back(&r);
+    if (devices_->is_wearable(r.tac)) u.has_wearable = true;
+  }
+
+  // Attribute and sessionize wearable traffic.
+  for (UserView& u : users_) {
+    if (u.wearable_txns.empty()) continue;
+    u.wearable_classes = attribute_user_stream(
+        *signatures_, u.wearable_txns, options_.attribution_window_s);
+    u.usages =
+        sessionize_user(u.wearable_txns, u.wearable_classes,
+                        options_.usage_gap_s);
+  }
+
+  user_index_ = std::move(index);
+  for (const UserView& u : users_) {
+    (u.has_wearable ? wearable_users_ : other_users_).push_back(&u);
+  }
+}
+
+const UserView* AnalysisContext::find_user(trace::UserId id) const {
+  const auto it = user_index_.find(id);
+  return it == user_index_.end() ? nullptr : &users_[it->second];
+}
+
+std::optional<trace::SectorId> AnalysisContext::sector_at(
+    const UserView& user, util::SimTime t) const {
+  if (user.mme.empty()) return std::nullopt;
+  // Binary search the last event with timestamp <= t.
+  const auto it = std::upper_bound(
+      user.mme.begin(), user.mme.end(), t,
+      [](util::SimTime value, const trace::MmeRecord* r) {
+        return value < r->timestamp;
+      });
+  if (it == user.mme.begin()) return (*it)->sector_id;
+  return (*(it - 1))->sector_id;
+}
+
+}  // namespace wearscope::core

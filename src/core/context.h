@@ -1,0 +1,129 @@
+// AnalysisContext: the shared, pre-indexed view of one capture.
+//
+// Built once from a TraceStore, it performs the expensive joins every
+// analysis needs: device classification (TAC -> wearable?), per-user record
+// grouping, app attribution of wearable traffic, usage sessionization, and
+// MME-based positioning.  Analyses then read these indexes; none of them
+// ever sees generator ground truth.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "appdb/app_catalog.h"
+#include "core/app_id.h"
+#include "core/device_id.h"
+#include "core/sessionize.h"
+#include "trace/store.h"
+#include "util/sim_time.h"
+
+namespace wearscope::core {
+
+/// Knobs of the analysis itself (the study parameters, not the generator's).
+struct AnalysisOptions {
+  /// Length of the observation window in days (the analysts know their
+  /// own collection schedule).
+  int observation_days = util::kObservationDays;
+  /// First day of the detailed-log window.
+  int detailed_start_day = util::kObservationDays - 21;
+  /// Usage sessionization gap (paper: 60 s).
+  util::SimTime usage_gap_s = kDefaultUsageGapS;
+  /// Temporal-proximity window for third-party app attribution.
+  util::SimTime attribution_window_s = 120;
+  /// Fraction of signature rules retained (coverage ablation); 1 = all.
+  double signature_coverage = 1.0;
+  /// Long-tail size of the analyst's app knowledge base. Must describe the
+  /// world at least as richly as the traffic (defaults match appdb).
+  std::uint32_t long_tail_apps = 150;
+};
+
+/// Everything the analyses know about one subscriber.
+struct UserView {
+  trace::UserId user_id = 0;
+  bool has_wearable = false;  ///< Observed with a wearable TAC (MME/proxy).
+  /// Time-sorted wearable-TAC transactions.
+  std::vector<const trace::ProxyRecord*> wearable_txns;
+  /// Per-record attribution, index-aligned with wearable_txns.
+  std::vector<EndpointClass> wearable_classes;
+  /// Reconstructed wearable app usages (sessionized).
+  std::vector<Usage> usages;
+  /// Time-sorted non-wearable (phone etc.) transactions.
+  std::vector<const trace::ProxyRecord*> phone_txns;
+  /// Time-sorted MME events (all of the user's devices).
+  std::vector<const trace::MmeRecord*> mme;
+};
+
+/// The shared analysis state.
+class AnalysisContext {
+ public:
+  /// Indexes `store` (which must outlive the context).
+  AnalysisContext(const trace::TraceStore& store, AnalysisOptions options);
+
+  [[nodiscard]] const trace::TraceStore& store() const noexcept {
+    return *store_;
+  }
+  [[nodiscard]] const AnalysisOptions& options() const noexcept {
+    return options_;
+  }
+  [[nodiscard]] const DeviceClassifier& devices() const noexcept {
+    return *devices_;
+  }
+  [[nodiscard]] const AppSignatureTable& signatures() const noexcept {
+    return *signatures_;
+  }
+
+  /// All users observed anywhere in the logs.
+  [[nodiscard]] const std::vector<UserView>& users() const noexcept {
+    return users_;
+  }
+  /// Users observed with a SIM-wearable (the study population).
+  [[nodiscard]] std::span<const UserView* const> wearable_users()
+      const noexcept {
+    return wearable_users_;
+  }
+  /// The remaining customers (no wearable TAC ever seen).
+  [[nodiscard]] std::span<const UserView* const> other_users()
+      const noexcept {
+    return other_users_;
+  }
+
+  /// User lookup; nullptr when the id never appears in the logs.
+  [[nodiscard]] const UserView* find_user(trace::UserId id) const;
+
+  /// Sector the user was attached to at time `t` (nearest MME event at or
+  /// before t; falls back to the first event after). nullopt when the user
+  /// has no MME records.
+  [[nodiscard]] std::optional<trace::SectorId> sector_at(const UserView& user,
+                                                         util::SimTime t) const;
+
+  /// First timestamp of the detailed-log window.
+  [[nodiscard]] util::SimTime detailed_start() const noexcept {
+    return util::day_start(options_.detailed_start_day);
+  }
+
+  /// True when `t` falls inside the detailed window.
+  [[nodiscard]] bool in_detailed_window(util::SimTime t) const noexcept {
+    return t >= detailed_start();
+  }
+
+  /// Number of whole weeks in the detailed window.
+  [[nodiscard]] int detailed_weeks() const noexcept {
+    return (options_.observation_days - options_.detailed_start_day) / 7;
+  }
+
+ private:
+  const trace::TraceStore* store_;
+  AnalysisOptions options_;
+  std::unique_ptr<appdb::AppCatalog> knowledge_base_;
+  std::unique_ptr<DeviceClassifier> devices_;
+  std::unique_ptr<AppSignatureTable> signatures_;
+  std::vector<UserView> users_;
+  std::vector<const UserView*> wearable_users_;
+  std::vector<const UserView*> other_users_;
+  std::unordered_map<trace::UserId, std::size_t> user_index_;
+};
+
+}  // namespace wearscope::core

@@ -1,0 +1,76 @@
+#include "core/pipeline.h"
+
+#include <stdexcept>
+
+namespace wearscope::core {
+
+Pipeline::Pipeline(const trace::TraceStore& store, AnalysisOptions options)
+    : ctx_(store, options) {}
+
+StudyReport Pipeline::run() const {
+  StudyReport rep;
+  rep.adoption = analyze_adoption(ctx_);
+  rep.diurnal = analyze_diurnal(ctx_);
+  rep.activity = analyze_activity(ctx_);
+  rep.comparison = analyze_comparison(ctx_);
+  rep.mobility = analyze_mobility(ctx_);
+  rep.apps = analyze_apps(ctx_);
+  rep.categories = analyze_categories(ctx_);
+  rep.usage = analyze_usage(ctx_);
+  rep.thirdparty = analyze_thirdparty(ctx_);
+  rep.throughdevice = analyze_throughdevice(ctx_);
+  rep.cohorts = analyze_cohorts(ctx_);
+  rep.retention = analyze_retention(ctx_);
+  rep.protocol = analyze_protocol(ctx_);
+  rep.geography = analyze_geography(ctx_);
+
+  rep.figures.push_back(figure2a(rep.adoption));
+  rep.figures.push_back(figure2b(rep.adoption));
+  rep.figures.push_back(figure3a(rep.diurnal));
+  rep.figures.push_back(figure3b(rep.activity));
+  rep.figures.push_back(figure3c(rep.activity));
+  rep.figures.push_back(figure3d(rep.activity));
+  rep.figures.push_back(figure4a(rep.comparison));
+  rep.figures.push_back(figure4b(rep.comparison));
+  rep.figures.push_back(figure4c(rep.mobility));
+  rep.figures.push_back(figure4d(rep.mobility));
+  rep.figures.push_back(figure5a(rep.apps));
+  rep.figures.push_back(figure5b(rep.apps));
+  rep.figures.push_back(figure6(rep.categories));
+  rep.figures.push_back(figure7(rep.usage));
+  rep.figures.push_back(figure8(rep.thirdparty));
+  rep.figures.push_back(figure_sec6(rep.throughdevice));
+  rep.figures.push_back(figure_cohorts(rep.cohorts));
+  rep.figures.push_back(figure_retention(rep.retention));
+  rep.figures.push_back(figure_protocol(rep.protocol));
+  rep.figures.push_back(figure_geography(rep.geography));
+  return rep;
+}
+
+const FigureData& StudyReport::figure(std::string_view id) const {
+  for (const FigureData& f : figures) {
+    if (f.id == id) return f;
+  }
+  throw std::out_of_range("unknown figure id: " + std::string(id));
+}
+
+std::string StudyReport::to_text() const {
+  std::string out;
+  for (const FigureData& f : figures) {
+    out += f.to_text();
+    out += '\n';
+  }
+  return out;
+}
+
+std::size_t StudyReport::failed_checks() const noexcept {
+  std::size_t failed = 0;
+  for (const FigureData& f : figures) {
+    for (const Check& c : f.checks) {
+      if (!c.pass()) ++failed;
+    }
+  }
+  return failed;
+}
+
+}  // namespace wearscope::core

@@ -1,0 +1,78 @@
+// End-to-end analysis pipeline: TraceStore in, every figure of the paper
+// out.  This is the top-level public API most users want:
+//
+//   wearscope::core::Pipeline pipeline(store, options);
+//   wearscope::core::StudyReport report = pipeline.run();
+//   std::cout << report.to_text();
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/analysis_activity.h"
+#include "core/analysis_adoption.h"
+#include "core/analysis_apps.h"
+#include "core/analysis_categories.h"
+#include "core/analysis_cohorts.h"
+#include "core/analysis_comparison.h"
+#include "core/analysis_diurnal.h"
+#include "core/analysis_geography.h"
+#include "core/analysis_mobility.h"
+#include "core/analysis_protocol.h"
+#include "core/analysis_retention.h"
+#include "core/analysis_thirdparty.h"
+#include "core/analysis_throughdevice.h"
+#include "core/analysis_usage.h"
+#include "core/context.h"
+#include "core/report.h"
+
+namespace wearscope::core {
+
+/// Results of the whole study: structured per-analysis results plus the
+/// rendered figures with their paper-claim checks.
+struct StudyReport {
+  AdoptionResult adoption;
+  DiurnalResult diurnal;
+  ActivityResult activity;
+  ComparisonResult comparison;
+  MobilityResult mobility;
+  AppPopularityResult apps;
+  CategoryResult categories;
+  UsageResult usage;
+  ThirdPartyResult thirdparty;
+  ThroughDeviceResult throughdevice;
+  CohortResult cohorts;             ///< Extension: §4.1 vendor mix.
+  RetentionResult retention;        ///< Extension: cohort survival.
+  ProtocolResult protocol;          ///< Extension: HTTPS readiness.
+  GeographyResult geography;        ///< Extension: spatial adoption.
+  std::vector<FigureData> figures;  ///< fig2a..fig8 + sec6 + extensions.
+
+  /// Figure by id ("fig4c"); throws std::out_of_range when unknown.
+  [[nodiscard]] const FigureData& figure(std::string_view id) const;
+
+  /// Renders every figure's checks.
+  [[nodiscard]] std::string to_text() const;
+
+  /// Count of failed checks across all figures.
+  [[nodiscard]] std::size_t failed_checks() const noexcept;
+};
+
+/// Runs every analysis over one capture.
+class Pipeline {
+ public:
+  /// `store` must stay alive while run() executes.
+  Pipeline(const trace::TraceStore& store, AnalysisOptions options);
+
+  /// Executes all analyses and renders all figures.
+  [[nodiscard]] StudyReport run() const;
+
+  /// The shared context (exposed for custom analyses and tests).
+  [[nodiscard]] const AnalysisContext& context() const noexcept {
+    return ctx_;
+  }
+
+ private:
+  AnalysisContext ctx_;
+};
+
+}  // namespace wearscope::core

@@ -1,0 +1,70 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "util/ascii_chart.h"
+#include "util/csv.h"
+#include "util/error.h"
+
+namespace wearscope::core {
+
+bool FigureData::all_pass() const noexcept {
+  return std::all_of(checks.begin(), checks.end(),
+                     [](const Check& c) { return c.pass(); });
+}
+
+std::string FigureData::to_text() const {
+  std::string out = "== " + id + ": " + title + " ==\n";
+  if (!checks.empty()) {
+    std::vector<std::vector<std::string>> rows;
+    rows.reserve(checks.size());
+    for (const Check& c : checks) {
+      rows.push_back({c.claim, util::format_num(c.paper),
+                      util::format_num(c.measured),
+                      "[" + util::format_num(c.lo) + ", " +
+                          util::format_num(c.hi) + "]",
+                      c.pass() ? "PASS" : "FAIL"});
+    }
+    out += util::table({"claim", "paper", "measured", "band", "verdict"},
+                       rows);
+  }
+  for (const std::string& n : notes) out += "note: " + n + "\n";
+  return out;
+}
+
+void FigureData::write_csv(const std::filesystem::path& dir) const {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) throw util::IoError("cannot create directory: " + dir.string());
+  for (const Series& s : series) {
+    std::string fname = id + "_" + s.name;
+    std::replace_if(
+        fname.begin(), fname.end(),
+        [](char c) { return c == ' ' || c == '/' || c == '%'; }, '_');
+    std::ofstream f(dir / (fname + ".csv"));
+    if (!f) throw util::IoError("cannot open csv for writing: " + fname);
+    util::CsvWriter w(f);
+    if (!s.labels.empty()) {
+      w.row("label", "value");
+      for (std::size_t i = 0; i < s.labels.size(); ++i)
+        w.row(s.labels[i], s.y[i]);
+    } else {
+      w.row("x", "y");
+      for (std::size_t i = 0; i < s.x.size(); ++i) w.row(s.x[i], s.y[i]);
+    }
+  }
+}
+
+Check make_check(std::string claim, double paper, double measured, double lo,
+                 double hi) {
+  Check c;
+  c.claim = std::move(claim);
+  c.paper = paper;
+  c.measured = measured;
+  c.lo = lo;
+  c.hi = hi;
+  return c;
+}
+
+}  // namespace wearscope::core

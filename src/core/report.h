@@ -1,0 +1,58 @@
+// Figure data model: every analysis produces a FigureData — named series
+// (the lines/bars of the paper's figure) plus Checks comparing measured
+// statistics against the paper's published claims with acceptance bands.
+// Benches print these; EXPERIMENTS.md is generated from them.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace wearscope::core {
+
+/// One plotted series: either label-indexed bars (labels non-empty) or an
+/// x/y curve (labels empty, x parallel to y).
+struct Series {
+  std::string name;
+  std::vector<std::string> labels;  ///< Bar labels (categorical series).
+  std::vector<double> x;            ///< X values (numeric series).
+  std::vector<double> y;            ///< Values, parallel to labels or x.
+};
+
+/// One paper-claim validation.
+struct Check {
+  std::string claim;     ///< e.g. "only 34% of users transmit data".
+  double paper = 0.0;    ///< The value the paper reports.
+  double measured = 0.0; ///< What our pipeline recovered.
+  double lo = 0.0;       ///< Acceptance band (inclusive).
+  double hi = 0.0;
+
+  /// True when measured lies inside [lo, hi].
+  [[nodiscard]] bool pass() const noexcept {
+    return measured >= lo && measured <= hi;
+  }
+};
+
+/// The regenerated content of one paper figure.
+struct FigureData {
+  std::string id;     ///< e.g. "fig3b".
+  std::string title;  ///< Human-readable caption.
+  std::vector<Series> series;
+  std::vector<Check> checks;
+  std::vector<std::string> notes;  ///< Substitutions/assumptions worth noting.
+
+  /// True when every check passes.
+  [[nodiscard]] bool all_pass() const noexcept;
+
+  /// Renders the checks (and series heads) as aligned text.
+  [[nodiscard]] std::string to_text() const;
+
+  /// Writes each series as `<dir>/<id>_<series>.csv` (label/x, y columns).
+  void write_csv(const std::filesystem::path& dir) const;
+};
+
+/// Convenience constructor for a check.
+Check make_check(std::string claim, double paper, double measured, double lo,
+                 double hi);
+
+}  // namespace wearscope::core

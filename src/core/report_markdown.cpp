@@ -1,0 +1,62 @@
+#include "core/report_markdown.h"
+
+#include "util/ascii_chart.h"
+
+namespace wearscope::core {
+
+namespace {
+
+/// Escapes the characters that would break a Markdown table cell.
+std::string escape_cell(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '|') out += "\\|";
+    else if (c == '\n') out += ' ';
+    else out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_markdown(const StudyReport& report, const MarkdownMeta& meta) {
+  std::string md = "# " + meta.title + "\n\n";
+  if (!meta.preset.empty() || !meta.seed.empty()) {
+    md += "Run: ";
+    if (!meta.preset.empty()) md += "preset `" + meta.preset + "`";
+    if (!meta.seed.empty()) md += ", seed `" + meta.seed + "`";
+    md += ".\n\n";
+  }
+  if (!meta.extra.empty()) md += meta.extra + "\n\n";
+
+  std::size_t total = 0;
+  std::size_t passed = 0;
+  for (const FigureData& fig : report.figures) {
+    md += "## " + fig.id + " — " + fig.title + "\n\n";
+    if (!fig.checks.empty()) {
+      md += "| claim | paper | measured | band | verdict |\n";
+      md += "|---|---|---|---|---|\n";
+      for (const Check& c : fig.checks) {
+        ++total;
+        if (c.pass()) ++passed;
+        md += "| " + escape_cell(c.claim) + " | " + util::format_num(c.paper) +
+              " | " + util::format_num(c.measured) + " | [" +
+              util::format_num(c.lo) + ", " + util::format_num(c.hi) + "] | " +
+              (c.pass() ? "PASS" : "**FAIL**") + " |\n";
+      }
+      md += "\n";
+    }
+    for (const std::string& note : fig.notes) {
+      md += "> " + note + "\n";
+    }
+    if (!fig.notes.empty()) md += "\n";
+  }
+
+  md += "## Summary\n\n";
+  md += std::to_string(passed) + " of " + std::to_string(total) +
+        " paper-claim checks passed.\n";
+  return md;
+}
+
+}  // namespace wearscope::core

@@ -1,0 +1,25 @@
+// Markdown rendering of a StudyReport: the paper-vs-measured tables of
+// EXPERIMENTS.md, generated straight from a run so the document can never
+// drift from the code.
+#pragma once
+
+#include <string>
+
+#include "core/pipeline.h"
+
+namespace wearscope::core {
+
+/// Context lines placed at the top of the generated document.
+struct MarkdownMeta {
+  std::string title = "WearScope reproduction report";
+  std::string preset;   ///< e.g. "standard".
+  std::string seed;     ///< e.g. "42".
+  std::string extra;    ///< Free-form paragraph (optional).
+};
+
+/// Renders the whole report: one section per figure with a
+/// claim/paper/measured/band/verdict table, the figure notes, and a final
+/// tally of passed checks.
+std::string to_markdown(const StudyReport& report, const MarkdownMeta& meta);
+
+}  // namespace wearscope::core

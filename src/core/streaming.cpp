@@ -1,0 +1,103 @@
+#include "core/streaming.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/stats.h"
+
+namespace wearscope::core {
+
+StreamingAdoption::StreamingAdoption(const DeviceClassifier& devices,
+                                     int observation_days)
+    : devices_(&devices), observation_days_(observation_days) {
+  util::require(observation_days > 0,
+                "StreamingAdoption: observation_days must be positive");
+  daily_counts_.assign(static_cast<std::size_t>(observation_days), 0);
+}
+
+void StreamingAdoption::roll_to(int day) {
+  if (day == current_day_) return;
+  util::require(day > current_day_,
+                "StreamingAdoption: records must arrive in day order");
+  if (current_day_ >= 0 && current_day_ < observation_days_) {
+    daily_counts_[static_cast<std::size_t>(current_day_)] =
+        current_day_users_.size();
+  }
+  current_day_users_.clear();
+  current_day_ = day;
+}
+
+void StreamingAdoption::on_mme(const trace::MmeRecord& record) {
+  ++consumed_;
+  if (!devices_->is_wearable(record.tac)) return;
+  const int day = util::day_of(record.timestamp);
+  if (day < 0 || day >= observation_days_) return;
+  roll_to(day);
+  current_day_users_.insert(record.user_id);
+  ever_registered_.insert(record.user_id);
+  if (day < 7) first_week_.insert(record.user_id);
+  if (day >= observation_days_ - 7) last_week_.insert(record.user_id);
+}
+
+void StreamingAdoption::on_proxy(const trace::ProxyRecord& record) {
+  ++consumed_;
+  if (!devices_->is_wearable(record.tac)) return;
+  ever_transacted_.insert(record.user_id);
+}
+
+AdoptionResult StreamingAdoption::finalize() const {
+  AdoptionResult res;
+  std::vector<std::size_t> counts = daily_counts_;
+  if (current_day_ >= 0 && current_day_ < observation_days_) {
+    counts[static_cast<std::size_t>(current_day_)] = current_day_users_.size();
+  }
+
+  res.ever_registered = ever_registered_.size();
+  res.ever_transacted = ever_transacted_.size();
+  if (!ever_registered_.empty()) {
+    res.ever_transacting_fraction =
+        static_cast<double>(ever_transacted_.size()) /
+        static_cast<double>(ever_registered_.size());
+  }
+
+  const double last =
+      counts.empty() ? 0.0 : static_cast<double>(counts.back());
+  res.daily_registered_norm.reserve(counts.size());
+  for (const std::size_t c : counts) {
+    res.daily_registered_norm.push_back(
+        last > 0.0 ? static_cast<double>(c) / last : 0.0);
+  }
+
+  util::OnlineStats first_avg;
+  util::OnlineStats last_avg;
+  for (int d = 0; d < 7 && d < observation_days_; ++d)
+    first_avg.add(static_cast<double>(counts[static_cast<std::size_t>(d)]));
+  for (int d = std::max(0, observation_days_ - 7); d < observation_days_; ++d)
+    last_avg.add(static_cast<double>(counts[static_cast<std::size_t>(d)]));
+  if (first_avg.mean() > 0.0) {
+    res.total_growth = last_avg.mean() / first_avg.mean() - 1.0;
+    res.monthly_growth =
+        res.total_growth / (static_cast<double>(observation_days_) / 30.4);
+  }
+
+  std::size_t both = 0;
+  for (const trace::UserId u : first_week_) {
+    if (last_week_.contains(u)) ++both;
+  }
+  const std::size_t uni = first_week_.size() + last_week_.size() - both;
+  if (uni > 0) {
+    res.still_active_share =
+        static_cast<double>(both) / static_cast<double>(uni);
+    res.gone_share = static_cast<double>(first_week_.size() - both) /
+                     static_cast<double>(uni);
+    res.new_share = static_cast<double>(last_week_.size() - both) /
+                    static_cast<double>(uni);
+  }
+  if (!first_week_.empty()) {
+    res.churned_of_initial = static_cast<double>(first_week_.size() - both) /
+                             static_cast<double>(first_week_.size());
+  }
+  return res;
+}
+
+}  // namespace wearscope::core

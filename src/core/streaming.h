@@ -1,0 +1,67 @@
+// Streaming (single-pass, bounded-memory) analyses.
+//
+// The real collection infrastructure cannot hold five months of a tier-1
+// ISP's logs in memory; summary statistics such as Fig. 2's daily adoption
+// counters are maintained online at the vantage points (paper §3.1).  This
+// header provides the streaming counterpart of analyze_adoption(): feed it
+// time-ordered records one at a time (e.g. straight from a
+// trace::BinaryLogReader) and finalize at the end of the window.
+//
+// Memory: O(users) for the presence sets plus O(days) counters — never
+// O(records).
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "core/analysis_adoption.h"
+#include "core/device_id.h"
+#include "trace/records.h"
+
+namespace wearscope::core {
+
+/// Online Fig. 2 counters. Records may arrive in any order within a day,
+/// but days must not interleave backwards by more than the out-of-order
+/// tolerance of the feeding reader (our logs are fully time-sorted).
+class StreamingAdoption {
+ public:
+  /// `devices` must outlive the counter. `observation_days` bounds the
+  /// per-day vectors.
+  StreamingAdoption(const DeviceClassifier& devices, int observation_days);
+
+  /// Feeds one MME event (any device; non-wearable TACs are ignored).
+  void on_mme(const trace::MmeRecord& record);
+
+  /// Feeds one proxy transaction (any device; only wearable TACs count).
+  void on_proxy(const trace::ProxyRecord& record);
+
+  /// Produces the same AdoptionResult analyze_adoption() computes from an
+  /// in-memory capture.
+  [[nodiscard]] AdoptionResult finalize() const;
+
+  /// Number of records consumed (both feeds).
+  [[nodiscard]] std::uint64_t records_consumed() const noexcept {
+    return consumed_;
+  }
+
+ private:
+  const DeviceClassifier* devices_;
+  int observation_days_;
+  std::uint64_t consumed_ = 0;
+
+  // Per-day distinct-user tracking with one rolling set: logs are
+  // time-sorted, so once the day advances the previous day's set is frozen
+  // into a plain count.
+  int current_day_ = -1;
+  std::unordered_set<trace::UserId> current_day_users_;
+  std::vector<std::size_t> daily_counts_;
+
+  std::unordered_set<trace::UserId> first_week_;
+  std::unordered_set<trace::UserId> last_week_;
+  std::unordered_set<trace::UserId> ever_registered_;
+  std::unordered_set<trace::UserId> ever_transacted_;
+
+  void roll_to(int day);
+};
+
+}  // namespace wearscope::core

@@ -1,0 +1,196 @@
+#include "simnet/config_io.h"
+
+#include <charconv>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace wearscope::simnet {
+
+namespace {
+
+/// One serializable knob: a printer and a parser bound to a SimConfig field.
+struct Knob {
+  std::function<std::string(const SimConfig&)> print;
+  std::function<void(SimConfig&, std::string_view)> parse;
+};
+
+template <typename T>
+T parse_number(std::string_view text, const std::string& key) {
+  if constexpr (std::is_floating_point_v<T>) {
+    try {
+      std::size_t used = 0;
+      const double v = std::stod(std::string(text), &used);
+      util::require(used == text.size(), "trailing characters");
+      return static_cast<T>(v);
+    } catch (const std::exception&) {
+      throw util::ParseError("config: bad numeric value for '" + key + "': " +
+                             std::string(text));
+    }
+  } else {
+    T v{};
+    const auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), v);
+    if (ec != std::errc{} || ptr != text.data() + text.size()) {
+      throw util::ParseError("config: bad integer value for '" + key + "': " +
+                             std::string(text));
+    }
+    return v;
+  }
+}
+
+template <typename T>
+Knob make_knob(T SimConfig::* field, const std::string& key) {
+  Knob k;
+  k.print = [field](const SimConfig& c) {
+    if constexpr (std::is_floating_point_v<T>) {
+      std::ostringstream os;
+      os << c.*field;
+      return os.str();
+    } else {
+      return std::to_string(c.*field);
+    }
+  };
+  k.parse = [field, key](SimConfig& c, std::string_view text) {
+    c.*field = parse_number<T>(text, key);
+  };
+  return k;
+}
+
+/// Ordered knob table (order defines the file layout).
+const std::vector<std::pair<std::string, Knob>>& knob_table() {
+  static const std::vector<std::pair<std::string, Knob>> table = {
+      {"seed", make_knob(&SimConfig::seed, "seed")},
+      {"threads", make_knob(&SimConfig::threads, "threads")},
+      {"wearable_users", make_knob(&SimConfig::wearable_users, "wearable_users")},
+      {"control_users", make_knob(&SimConfig::control_users, "control_users")},
+      {"through_device_users",
+       make_knob(&SimConfig::through_device_users, "through_device_users")},
+      {"observation_days",
+       make_knob(&SimConfig::observation_days, "observation_days")},
+      {"detailed_days", make_knob(&SimConfig::detailed_days, "detailed_days")},
+      {"cities", make_knob(&SimConfig::cities, "cities")},
+      {"sectors_per_city",
+       make_knob(&SimConfig::sectors_per_city, "sectors_per_city")},
+      {"country_lat", make_knob(&SimConfig::country_lat, "country_lat")},
+      {"country_lon", make_knob(&SimConfig::country_lon, "country_lon")},
+      {"country_extent_deg",
+       make_knob(&SimConfig::country_extent_deg, "country_extent_deg")},
+      {"monthly_growth", make_knob(&SimConfig::monthly_growth, "monthly_growth")},
+      {"churn_fraction", make_knob(&SimConfig::churn_fraction, "churn_fraction")},
+      {"daily_register_prob",
+       make_knob(&SimConfig::daily_register_prob, "daily_register_prob")},
+      {"silent_user_fraction",
+       make_knob(&SimConfig::silent_user_fraction, "silent_user_fraction")},
+      {"mean_active_days_per_week",
+       make_knob(&SimConfig::mean_active_days_per_week,
+                 "mean_active_days_per_week")},
+      {"mean_active_hours",
+       make_knob(&SimConfig::mean_active_hours, "mean_active_hours")},
+      {"wearable_txn_per_hour",
+       make_knob(&SimConfig::wearable_txn_per_hour, "wearable_txn_per_hour")},
+      {"phone_txn_per_day",
+       make_knob(&SimConfig::phone_txn_per_day, "phone_txn_per_day")},
+      {"phone_bytes_log_mu",
+       make_knob(&SimConfig::phone_bytes_log_mu, "phone_bytes_log_mu")},
+      {"phone_bytes_log_sigma",
+       make_knob(&SimConfig::phone_bytes_log_sigma, "phone_bytes_log_sigma")},
+      {"owner_data_multiplier",
+       make_knob(&SimConfig::owner_data_multiplier, "owner_data_multiplier")},
+      {"owner_txn_multiplier",
+       make_knob(&SimConfig::owner_txn_multiplier, "owner_txn_multiplier")},
+      {"commute_log_mu_km",
+       make_knob(&SimConfig::commute_log_mu_km, "commute_log_mu_km")},
+      {"commute_log_sigma",
+       make_knob(&SimConfig::commute_log_sigma, "commute_log_sigma")},
+      {"owner_mobility_multiplier",
+       make_knob(&SimConfig::owner_mobility_multiplier,
+                 "owner_mobility_multiplier")},
+      {"trip_probability",
+       make_knob(&SimConfig::trip_probability, "trip_probability")},
+      {"home_user_fraction",
+       make_knob(&SimConfig::home_user_fraction, "home_user_fraction")},
+      {"apps_log_mu", make_knob(&SimConfig::apps_log_mu, "apps_log_mu")},
+      {"apps_log_sigma", make_knob(&SimConfig::apps_log_sigma, "apps_log_sigma")},
+      {"extra_apps_per_day",
+       make_knob(&SimConfig::extra_apps_per_day, "extra_apps_per_day")},
+      {"long_tail_apps", make_knob(&SimConfig::long_tail_apps, "long_tail_apps")},
+      {"fingerprintable_fraction",
+       make_knob(&SimConfig::fingerprintable_fraction,
+                 "fingerprintable_fraction")},
+      {"apple_watch_launch_day",
+       make_knob(&SimConfig::apple_watch_launch_day,
+                 "apple_watch_launch_day")},
+      {"launch_adoption_boost",
+       make_knob(&SimConfig::launch_adoption_boost, "launch_adoption_boost")},
+      {"apple_watch_share",
+       make_knob(&SimConfig::apple_watch_share, "apple_watch_share")},
+      {"launch_extra_adopters",
+       make_knob(&SimConfig::launch_extra_adopters, "launch_extra_adopters")},
+  };
+  return table;
+}
+
+}  // namespace
+
+void write_config(const SimConfig& cfg, std::ostream& out) {
+  out << "# wearscope generator configuration\n"
+      << "# (see src/simnet/config.h for the paper claim behind each knob)\n";
+  for (const auto& [key, knob] : knob_table()) {
+    out << key << " = " << knob.print(cfg) << '\n';
+  }
+}
+
+SimConfig read_config(std::istream& in) {
+  std::map<std::string, const Knob*> index;
+  for (const auto& [key, knob] : knob_table()) index.emplace(key, &knob);
+
+  SimConfig cfg;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const std::string_view trimmed = util::trim(line);
+    if (trimmed.empty()) continue;
+    const auto eq = trimmed.find('=');
+    if (eq == std::string_view::npos) {
+      throw util::ParseError("config line " + std::to_string(line_no) +
+                             ": expected 'key = value'");
+    }
+    const std::string key{util::trim(trimmed.substr(0, eq))};
+    const std::string_view value = util::trim(trimmed.substr(eq + 1));
+    const auto it = index.find(key);
+    if (it == index.end()) {
+      throw util::ParseError("config line " + std::to_string(line_no) +
+                             ": unknown key '" + key + "'");
+    }
+    it->second->parse(cfg, value);
+  }
+  cfg.validate();
+  return cfg;
+}
+
+void save_config_file(const SimConfig& cfg,
+                      const std::filesystem::path& path) {
+  std::ofstream out(path);
+  if (!out) throw util::IoError("cannot open config for writing: " +
+                                path.string());
+  write_config(cfg, out);
+  out.flush();
+  if (!out) throw util::IoError("config write failed: " + path.string());
+}
+
+SimConfig load_config_file(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) throw util::IoError("cannot open config: " + path.string());
+  return read_config(in);
+}
+
+}  // namespace wearscope::simnet

@@ -1,0 +1,29 @@
+// Plain-text (key = value) persistence of SimConfig, used by the CLI tools
+// so that a generation run is fully described by one artifact that can be
+// versioned and replayed.
+//
+// Format: one `key = value` pair per line; `#` starts a comment; unknown
+// keys are rejected (typos must not silently fall back to defaults).
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+#include <string>
+
+#include "simnet/config.h"
+
+namespace wearscope::simnet {
+
+/// Writes every knob of `cfg` with a short comment per section.
+void write_config(const SimConfig& cfg, std::ostream& out);
+
+/// Parses a config written by write_config (or by hand). Starts from the
+/// defaults, so partial files are valid. Throws util::ParseError on unknown
+/// keys or unparsable values; the result is validate()d before returning.
+SimConfig read_config(std::istream& in);
+
+/// File convenience wrappers. Throw util::IoError on filesystem failures.
+void save_config_file(const SimConfig& cfg, const std::filesystem::path& path);
+SimConfig load_config_file(const std::filesystem::path& path);
+
+}  // namespace wearscope::simnet

@@ -1,0 +1,48 @@
+#include "simnet/diurnal.h"
+
+namespace wearscope::simnet {
+
+namespace {
+
+// Hours:                      0    1    2    3    4    5    6    7    8
+//                             9   10   11   12   13   14   15   16   17
+//                            18   19   20   21   22   23
+constexpr HourWeights kWearableWeekday = {
+    0.25, 0.15, 0.10, 0.08, 0.10, 0.30, 0.90, 1.40, 1.30,
+    1.00, 0.95, 0.95, 1.00, 0.95, 0.90, 0.95, 1.25, 1.45,
+    1.40, 1.20, 1.00, 0.80, 0.55, 0.35};
+
+constexpr HourWeights kWearableWeekend = {
+    0.35, 0.22, 0.15, 0.10, 0.08, 0.12, 0.30, 0.55, 0.85,
+    1.10, 1.20, 1.20, 1.15, 1.10, 1.05, 1.05, 1.10, 1.15,
+    1.25, 1.25, 1.15, 1.00, 0.75, 0.50};
+
+constexpr HourWeights kPhoneWeekday = {
+    0.30, 0.18, 0.12, 0.10, 0.12, 0.28, 0.70, 1.10, 1.15,
+    1.05, 1.00, 1.00, 1.05, 1.00, 0.98, 1.00, 1.10, 1.20,
+    1.15, 1.05, 0.95, 0.80, 0.60, 0.40};
+
+constexpr HourWeights kPhoneWeekend = {
+    0.38, 0.25, 0.16, 0.12, 0.10, 0.14, 0.30, 0.50, 0.75,
+    0.95, 1.05, 1.05, 1.05, 1.00, 0.95, 0.95, 1.00, 1.05,
+    1.05, 1.05, 1.00, 0.90, 0.70, 0.48};
+
+}  // namespace
+
+const HourWeights& wearable_weekday_weights() noexcept {
+  return kWearableWeekday;
+}
+const HourWeights& wearable_weekend_weights() noexcept {
+  return kWearableWeekend;
+}
+const HourWeights& phone_weekday_weights() noexcept { return kPhoneWeekday; }
+const HourWeights& phone_weekend_weights() noexcept { return kPhoneWeekend; }
+
+const HourWeights& hour_weights(bool wearable, bool weekend) noexcept {
+  if (wearable) {
+    return weekend ? kWearableWeekend : kWearableWeekday;
+  }
+  return weekend ? kPhoneWeekend : kPhoneWeekday;
+}
+
+}  // namespace wearscope::simnet

@@ -1,0 +1,29 @@
+// Hour-of-day activity weights (Fig. 3a calibration).
+//
+// Weekdays show commute bumps at 6-9 am and 4-8 pm; weekends flatten the
+// morning bump and shift activity later.  Wearable curves differ from
+// smartphone curves in the evenings/weekends (the paper observes the
+// *relative* wearable share is higher there).
+#pragma once
+
+#include <array>
+#include <span>
+
+namespace wearscope::simnet {
+
+/// 24 relative weights (not normalized) of activity for each hour.
+using HourWeights = std::array<double, 24>;
+
+/// Wearable activity weights for weekdays.
+const HourWeights& wearable_weekday_weights() noexcept;
+/// Wearable activity weights for weekends.
+const HourWeights& wearable_weekend_weights() noexcept;
+/// Smartphone activity weights for weekdays.
+const HourWeights& phone_weekday_weights() noexcept;
+/// Smartphone activity weights for weekends.
+const HourWeights& phone_weekend_weights() noexcept;
+
+/// Convenience dispatch on device kind and day kind.
+const HourWeights& hour_weights(bool wearable, bool weekend) noexcept;
+
+}  // namespace wearscope::simnet

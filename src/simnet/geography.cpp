@@ -1,0 +1,120 @@
+#include "simnet/geography.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace wearscope::simnet {
+
+Geography::Geography(const SimConfig& config, util::Pcg32 rng) {
+  const auto n_cities = config.cities;
+  cities_.reserve(n_cities);
+
+  // Place city centres uniformly in the country box but keep a minimum
+  // spacing so inter-city trips register as large displacements.
+  const double min_spacing_deg = config.country_extent_deg /
+                                 (2.0 * std::sqrt(static_cast<double>(n_cities)));
+  for (std::uint32_t c = 0; c < n_cities; ++c) {
+    util::GeoPoint center;
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      center.lat_deg =
+          config.country_lat + rng.uniform(0.0, config.country_extent_deg);
+      center.lon_deg =
+          config.country_lon + rng.uniform(0.0, config.country_extent_deg);
+      const bool clear = std::all_of(
+          cities_.begin(), cities_.end(), [&](const City& other) {
+            return std::abs(other.center.lat_deg - center.lat_deg) +
+                       std::abs(other.center.lon_deg - center.lon_deg) >
+                   min_spacing_deg;
+          });
+      if (clear) break;
+    }
+    City city;
+    city.id = c;
+    city.center = center;
+    // Zipf population by rank; the capital dominates.
+    city.population_weight = 1.0 / static_cast<double>(c + 1);
+    city.radius_km = 4.0 + 10.0 * city.population_weight;
+    cities_.push_back(std::move(city));
+  }
+
+  // Sector count per city scales with population weight (at least 2).
+  trace::SectorId next_id = 1;
+  for (City& city : cities_) {
+    const auto count = std::max<std::uint32_t>(
+        2, static_cast<std::uint32_t>(std::lround(
+               static_cast<double>(config.sectors_per_city) * 2.0 *
+               city.population_weight)));
+    for (std::uint32_t s = 0; s < count; ++s) {
+      // Denser towards the centre: radius ~ sqrt-biased draw.
+      const double r = city.radius_km * std::sqrt(rng.next_double());
+      const double bearing = rng.uniform(0.0, 360.0);
+      trace::SectorInfo sector;
+      sector.sector_id = next_id++;
+      sector.position = util::destination(city.center, bearing, r);
+      city.sector_ids.push_back(sector.sector_id);
+      sector_city_.push_back(city.id);
+      sectors_.push_back(sector);
+    }
+  }
+
+  std::vector<double> weights;
+  weights.reserve(cities_.size());
+  for (const City& c : cities_) weights.push_back(c.population_weight);
+  city_sampler_ = util::DiscreteSampler(weights);
+}
+
+const util::GeoPoint& Geography::sector_position(trace::SectorId id) const {
+  util::require(id >= 1 && id <= sectors_.size(),
+                "geography: unknown sector id");
+  return sectors_[id - 1].position;
+}
+
+const City& Geography::city_of_sector(trace::SectorId id) const {
+  util::require(id >= 1 && id <= sectors_.size(),
+                "geography: unknown sector id");
+  return cities_[sector_city_[id - 1]];
+}
+
+std::uint32_t Geography::sample_city(util::Pcg32& rng) const {
+  return static_cast<std::uint32_t>(city_sampler_.sample(rng));
+}
+
+trace::SectorId Geography::sample_sector_in_city(std::uint32_t city_id,
+                                                 util::Pcg32& rng) const {
+  const City& city = cities_.at(city_id);
+  const auto idx = static_cast<std::size_t>(rng.uniform_int(
+      0, static_cast<std::int64_t>(city.sector_ids.size()) - 1));
+  return city.sector_ids[idx];
+}
+
+trace::SectorId Geography::sample_sector_near(std::uint32_t city_id,
+                                              const util::GeoPoint& anchor,
+                                              double radius_km,
+                                              util::Pcg32& rng) const {
+  const City& city = cities_.at(city_id);
+  std::vector<trace::SectorId> close;
+  for (const trace::SectorId id : city.sector_ids) {
+    if (util::haversine_km(sector_position(id), anchor) <= radius_km)
+      close.push_back(id);
+  }
+  if (!close.empty()) {
+    const auto idx = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(close.size()) - 1));
+    return close[idx];
+  }
+  // Fall back to the nearest sector of the city.
+  trace::SectorId best = city.sector_ids.front();
+  double best_d = util::haversine_km(sector_position(best), anchor);
+  for (const trace::SectorId id : city.sector_ids) {
+    const double d = util::haversine_km(sector_position(id), anchor);
+    if (d < best_d) {
+      best = id;
+      best_d = d;
+    }
+  }
+  return best;
+}
+
+}  // namespace wearscope::simnet

@@ -1,0 +1,70 @@
+// Synthetic country geography: Zipf-sized cities scattered over a bounding
+// box, each covered by antenna sectors whose density follows population.
+// Sector positions are what the mobility analyses see (via SectorInfo), so
+// displacement distances in kilometres come out geographically meaningful.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simnet/config.h"
+#include "trace/records.h"
+#include "util/geo.h"
+#include "util/rng.h"
+
+namespace wearscope::simnet {
+
+/// One synthetic city.
+struct City {
+  std::uint32_t id = 0;
+  util::GeoPoint center;
+  double population_weight = 1.0;  ///< Zipf by rank.
+  double radius_km = 8.0;          ///< Urban radius holding its sectors.
+  /// Sector ids belonging to this city (indexes into Geography::sectors).
+  std::vector<trace::SectorId> sector_ids;
+};
+
+/// The generated radio-access layout.
+class Geography {
+ public:
+  /// Builds cities and sectors deterministically from `config` and `rng`.
+  Geography(const SimConfig& config, util::Pcg32 rng);
+
+  /// All cities, most populous first.
+  [[nodiscard]] const std::vector<City>& cities() const noexcept {
+    return cities_;
+  }
+
+  /// All sectors (the antenna database handed to the analysis).
+  [[nodiscard]] const std::vector<trace::SectorInfo>& sectors() const noexcept {
+    return sectors_;
+  }
+
+  /// Position of a sector id (must exist).
+  [[nodiscard]] const util::GeoPoint& sector_position(
+      trace::SectorId id) const;
+
+  /// City owning a sector id (must exist).
+  [[nodiscard]] const City& city_of_sector(trace::SectorId id) const;
+
+  /// Samples a home city proportionally to population.
+  [[nodiscard]] std::uint32_t sample_city(util::Pcg32& rng) const;
+
+  /// Samples a sector within city `city_id`.
+  [[nodiscard]] trace::SectorId sample_sector_in_city(
+      std::uint32_t city_id, util::Pcg32& rng) const;
+
+  /// Samples a sector of `city_id` within `radius_km` of `anchor`;
+  /// falls back to the nearest sector when none qualifies.
+  [[nodiscard]] trace::SectorId sample_sector_near(
+      std::uint32_t city_id, const util::GeoPoint& anchor, double radius_km,
+      util::Pcg32& rng) const;
+
+ private:
+  std::vector<City> cities_;
+  std::vector<trace::SectorInfo> sectors_;
+  std::vector<std::uint32_t> sector_city_;  ///< sector idx -> city id
+  util::DiscreteSampler city_sampler_;
+};
+
+}  // namespace wearscope::simnet

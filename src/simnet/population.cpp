@@ -1,0 +1,253 @@
+#include "simnet/population.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/error.h"
+
+namespace wearscope::simnet {
+
+namespace {
+
+/// Share of wearable owners who adopted before the observation window;
+/// combined with in-window adoption and churn this yields the paper's
+/// +9%-in-5-months registered-user growth (Fig. 2a derivation in DESIGN.md).
+constexpr double kPreWindowAdoptionShare = 0.86;
+
+/// Picks a TAC uniformly among a model's allocations.
+trace::Tac pick_tac(const appdb::DeviceModel& model, util::Pcg32& rng) {
+  const auto idx = static_cast<std::size_t>(rng.uniform_int(
+      0, static_cast<std::int64_t>(model.tacs.size()) - 1));
+  return model.tacs[idx];
+}
+
+}  // namespace
+
+Population::Population(const SimConfig& config, const Geography& geography,
+                       const appdb::AppCatalog& apps,
+                       const appdb::DeviceModelCatalog& devices,
+                       util::Pcg32 rng)
+    : config_(&config), app_sampler_(apps.popularity_weights()) {
+  wearable_models_ = devices.models_of(appdb::DeviceClass::kSimWearable);
+  phone_models_ = devices.models_of(appdb::DeviceClass::kSmartphone);
+  util::ensure(!wearable_models_.empty() && !phone_models_.empty(),
+               "device catalog lacks wearable or phone models");
+  std::vector<double> ws;
+  for (const auto* m : wearable_models_) ws.push_back(m->market_share);
+  wearable_model_sampler_ = util::DiscreteSampler(ws);
+  ws.clear();
+  for (const auto* m : phone_models_) ws.push_back(m->market_share);
+  phone_model_sampler_ = util::DiscreteSampler(ws);
+
+  const std::size_t total = config.wearable_users + config.control_users +
+                            config.through_device_users;
+  subscribers_.reserve(total);
+
+  trace::UserId next_id = 1'000'001;
+  for (std::size_t i = 0; i < total; ++i) {
+    Subscriber sub;
+    sub.user_id = next_id++;
+    sub.rng_key = util::splitmix64(config.seed ^ (sub.user_id * 0x9E37ULL));
+    util::Pcg32 user_rng = rng.fork(sub.rng_key);
+
+    if (i < config.wearable_users) {
+      sub.segment = Segment::kWearableOwner;
+    } else if (i < config.wearable_users + config.control_users) {
+      sub.segment = Segment::kControl;
+    } else {
+      sub.segment = Segment::kThroughDevice;
+    }
+
+    // Everyone has a smartphone (the paper's "remaining customers" are
+    // mostly smartphone-equipped).
+    sub.phone_tac =
+        pick_tac(*phone_models_[phone_model_sampler_.sample(user_rng)],
+                 user_rng);
+
+    // Smartphone traffic engagement is independent of wearable engagement
+    // (unit mean for every segment; segment multipliers are applied in the
+    // traffic model).
+    sub.phone_engagement = user_rng.lognormal(-0.28, 0.75);
+
+    // Home city and anchors.
+    sub.home_city = geography.sample_city(user_rng);
+    sub.home_sector = geography.sample_sector_in_city(sub.home_city, user_rng);
+
+    switch (sub.segment) {
+      case Segment::kWearableOwner: {
+        build_wearable_owner(sub, config, geography, apps, user_rng);
+        break;
+      }
+      case Segment::kControl: {
+        sub.tech_multiplier = 1.0;
+        sub.engagement = sub.phone_engagement;
+        assign_mobility(sub, 1.0, geography, user_rng);
+        break;
+      }
+      case Segment::kThroughDevice: {
+        // "Relatively modern smartphones", behaviour similar to owners.
+        sub.tech_multiplier = 1.0 + (config.owner_data_multiplier - 1.0) * 0.8;
+        sub.engagement = sub.phone_engagement;
+        assign_mobility(sub, config.owner_mobility_multiplier * 0.9, geography,
+                        user_rng);
+        if (user_rng.bernoulli(config.fingerprintable_fraction)) {
+          const auto sigs = appdb::companion_signatures();
+          sub.companion_signature = static_cast<int>(user_rng.uniform_int(
+              0, static_cast<std::int64_t>(sigs.size()) - 1));
+        }
+        break;
+      }
+    }
+
+    // Phone app set (used for phone traffic host selection).
+    const auto phone_app_count = static_cast<std::size_t>(std::clamp(
+        user_rng.lognormal(3.1, 0.5), 4.0, static_cast<double>(apps.size())));
+    sub.phone_apps = sample_apps(apps, phone_app_count, user_rng);
+
+    subscribers_.push_back(std::move(sub));
+  }
+
+  // Churn: 7% of the users already present in the first week abandon the
+  // wearable during the window (Fig. 2b).
+  util::Pcg32 churn_rng = rng.fork(0xC0FFEEULL);
+  for (Subscriber& sub : subscribers_) {
+    if (sub.segment != Segment::kWearableOwner || sub.adoption_day > 7)
+      continue;
+    if (churn_rng.bernoulli(config.churn_fraction)) {
+      const int lo = config.observation_days / 3;
+      const int hi = config.observation_days - 8;
+      sub.churn_day = static_cast<int>(churn_rng.uniform_int(lo, hi));
+    }
+  }
+}
+
+void Population::build_wearable_owner(Subscriber& sub, const SimConfig& config,
+                                      const Geography& geography,
+                                      const appdb::AppCatalog& apps,
+                                      util::Pcg32& rng) {
+  // Adoption trajectory (Fig. 2a): most owners pre-date the window; the
+  // rest arrive uniformly, producing the ~1.5%/month ramp.  With the
+  // Apple-Watch-launch scenario enabled, post-launch days attract
+  // `launch_adoption_boost` times the adopters (the sharper increase the
+  // paper's conclusion anticipates).
+  const int launch = config.apple_watch_launch_day;
+  if (launch >= 1 && rng.bernoulli(config.launch_extra_adopters)) {
+    // New demand created by the launch itself: these users only adopt
+    // because the Apple Watch became available.
+    sub.adoption_day = static_cast<int>(
+        rng.uniform_int(launch, config.observation_days - 1));
+  } else if (rng.bernoulli(kPreWindowAdoptionShare)) {
+    sub.adoption_day = 0;
+  } else if (launch >= 1) {
+    const double pre_w = static_cast<double>(launch - 1);
+    const double post_w =
+        static_cast<double>(config.observation_days - launch) *
+        config.launch_adoption_boost;
+    if (rng.bernoulli(post_w / std::max(1.0, pre_w + post_w))) {
+      sub.adoption_day = static_cast<int>(
+          rng.uniform_int(launch, config.observation_days - 1));
+    } else {
+      sub.adoption_day =
+          static_cast<int>(rng.uniform_int(1, std::max(1, launch - 1)));
+    }
+  } else {
+    sub.adoption_day = static_cast<int>(
+        rng.uniform_int(1, config.observation_days - 1));
+  }
+
+  // Device choice: post-launch adopters may pick the newly supported
+  // Apple Watch; everyone else draws from the incumbent catalog.
+  if (launch >= 0 && sub.adoption_day >= launch &&
+      rng.bernoulli(config.apple_watch_share)) {
+    sub.wearable_tac = appdb::DeviceModelCatalog::kAppleWatchTac;
+  } else {
+    sub.wearable_tac = pick_tac(
+        *wearable_models_[wearable_model_sampler_.sample(rng)], rng);
+  }
+
+  sub.silent = rng.bernoulli(config.silent_user_fraction);
+  sub.home_user = rng.bernoulli(config.home_user_fraction);
+
+  // Engagement: lognormal with unit mean; drives active-day probability
+  // and transaction rate.  Heavy users (the 7% active > 10 h/day of
+  // Fig. 3b) come from an explicit mixture component.
+  sub.engagement = rng.bernoulli(0.10) ? rng.uniform(2.8, 5.5)
+                                       : rng.lognormal(-0.245, 0.7);
+
+  // Demographics: owners are the tech-savvy segment (§4.3) — more phone
+  // data and transactions than control users.
+  sub.tech_multiplier =
+      config.owner_data_multiplier * rng.lognormal(-0.02, 0.2);
+
+  // Mobility: owners roam about twice as far (Fig. 4c); the more active
+  // hours a user clocks, the farther they range (Fig. 4d).
+  const double activity_link = 0.40 + 0.60 * std::min(sub.engagement, 2.5);
+  assign_mobility(sub, config.owner_mobility_multiplier * activity_link,
+                  geography, rng);
+
+  // Installed Internet-capable wearable apps: mean ~8, 90% < 20, rare
+  // >100 (§4.3).
+  const auto app_count = static_cast<std::size_t>(std::clamp(
+      rng.lognormal(config.apps_log_mu, config.apps_log_sigma), 1.0,
+      static_cast<double>(apps.size())));
+  sub.wearable_apps = sample_apps(apps, app_count, rng);
+}
+
+void Population::assign_mobility(Subscriber& sub, double radius_multiplier,
+                                 const Geography& geography,
+                                 util::Pcg32& rng) {
+  sub.mobility_level = radius_multiplier * rng.lognormal(0.0, 0.28);
+
+  // Work anchor: log-normal commute distance scaled by mobility.
+  const double commute_km =
+      rng.lognormal(config_->commute_log_mu_km, config_->commute_log_sigma) *
+      std::max(0.35, sub.mobility_level);
+  const double bearing = rng.uniform(0.0, 360.0);
+  const util::GeoPoint home = geography.sector_position(sub.home_sector);
+  const util::GeoPoint work_anchor = util::destination(home, bearing, commute_km);
+  sub.work_sector = geography.sample_sector_near(sub.home_city, work_anchor,
+                                                 4.0, rng);
+
+  // Errand anchors within the roaming radius: roamers accumulate more
+  // distinct haunts, which is what drives the +70% location entropy.
+  const auto errands = static_cast<std::size_t>(std::clamp<std::int64_t>(
+      std::lround(sub.mobility_level * 2.0) + rng.uniform_int(0, 1), 1, 9));
+  for (std::size_t e = 0; e < errands; ++e) {
+    const double r = rng.exponential(1.0 / (4.0 * std::max(0.35, sub.mobility_level)));
+    const util::GeoPoint anchor =
+        util::destination(home, rng.uniform(0.0, 360.0), r);
+    sub.errand_sectors.push_back(
+        geography.sample_sector_near(sub.home_city, anchor, 5.0, rng));
+  }
+}
+
+std::vector<appdb::AppId> Population::sample_apps(
+    const appdb::AppCatalog& apps, std::size_t count, util::Pcg32& rng) {
+  count = std::min(count, apps.size());
+  std::unordered_set<appdb::AppId> chosen;
+  std::vector<appdb::AppId> out;
+  out.reserve(count);
+  // Rejection sampling over the popularity-weighted alias table; bail into
+  // sequential fill if the set is nearly exhausted.
+  std::size_t attempts = 0;
+  while (out.size() < count && attempts < count * 64) {
+    ++attempts;
+    const auto id = static_cast<appdb::AppId>(app_sampler_.sample(rng));
+    if (chosen.insert(id).second) out.push_back(id);
+  }
+  for (appdb::AppId id = 0; out.size() < count; ++id) {
+    if (chosen.insert(id).second) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<const Subscriber*> Population::of_segment(Segment s) const {
+  std::vector<const Subscriber*> out;
+  for (const Subscriber& sub : subscribers_) {
+    if (sub.segment == s) out.push_back(&sub);
+  }
+  return out;
+}
+
+}  // namespace wearscope::simnet

@@ -1,0 +1,107 @@
+// Subscriber population: who owns which devices, when they adopted them,
+// how engaged and how mobile they are, and which apps they installed.
+//
+// All per-user parameters are ground truth internal to the generator; the
+// analysis pipeline must rediscover the aggregate statistics from the logs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "appdb/app_catalog.h"
+#include "appdb/device_models.h"
+#include "simnet/config.h"
+#include "simnet/geography.h"
+#include "trace/records.h"
+#include "util/rng.h"
+
+namespace wearscope::simnet {
+
+/// Population segment of a subscriber.
+enum class Segment : std::uint8_t {
+  kWearableOwner = 0,  ///< Smartphone + SIM-enabled wearable.
+  kControl,            ///< Smartphone only (the "remaining customers").
+  kThroughDevice,      ///< Smartphone + Bluetooth-tethered wearable.
+};
+
+/// One subscriber with all generator-side ground truth.
+struct Subscriber {
+  trace::UserId user_id = 0;
+  Segment segment = Segment::kControl;
+
+  // Devices.
+  trace::Tac phone_tac = 0;
+  trace::Tac wearable_tac = 0;  ///< 0 unless segment == kWearableOwner.
+  /// Index into appdb::companion_signatures() for fingerprintable
+  /// Through-Device users; -1 otherwise.
+  int companion_signature = -1;
+
+  // Adoption & churn (wearable owners; day indexes into the observation
+  // window).  adoption_day <= 0 means "owned before the window started".
+  int adoption_day = 0;
+  int churn_day = 1 << 30;  ///< Day the wearable goes dark (INT-ish max).
+
+  // Wearable cellular capability/behaviour.
+  bool silent = false;        ///< Registers but never transacts (§4.1).
+  bool home_user = false;     ///< Transacts from a single anchor (§4.4).
+  double engagement = 1.0;    ///< Scales wearable activity (days/hours/txns).
+  double phone_engagement = 1.0;  ///< Scales smartphone traffic (unit mean).
+  double tech_multiplier = 1.0;  ///< Owners' demographics boost (§4.3).
+
+  // Mobility anchors.
+  std::uint32_t home_city = 0;
+  trace::SectorId home_sector = 0;
+  trace::SectorId work_sector = 0;
+  std::vector<trace::SectorId> errand_sectors;
+  double mobility_level = 1.0;  ///< Scales errand/trip radii.
+
+  // Installed Internet-capable apps (wearable side / phone side).
+  std::vector<appdb::AppId> wearable_apps;
+  std::vector<appdb::AppId> phone_apps;
+
+  /// Per-user RNG stream key (derived once, reused per day).
+  std::uint64_t rng_key = 0;
+
+  /// True when the wearable is adopted and not yet churned on `day`.
+  [[nodiscard]] bool wearable_alive(int day) const noexcept {
+    return segment == Segment::kWearableOwner && day >= adoption_day &&
+           day < churn_day;
+  }
+};
+
+/// Builds the full population deterministically from the config.
+class Population {
+ public:
+  Population(const SimConfig& config, const Geography& geography,
+             const appdb::AppCatalog& apps,
+             const appdb::DeviceModelCatalog& devices, util::Pcg32 rng);
+
+  /// All subscribers; wearable owners first, then control, then
+  /// through-device.
+  [[nodiscard]] const std::vector<Subscriber>& subscribers() const noexcept {
+    return subscribers_;
+  }
+
+  /// Subscribers of one segment (spans into subscribers()).
+  [[nodiscard]] std::vector<const Subscriber*> of_segment(Segment s) const;
+
+ private:
+  void build_wearable_owner(Subscriber& sub, const SimConfig& config,
+                            const Geography& geography,
+                            const appdb::AppCatalog& apps, util::Pcg32& rng);
+  void assign_mobility(Subscriber& sub, double radius_multiplier,
+                       const Geography& geography, util::Pcg32& rng);
+
+  const SimConfig* config_ = nullptr;
+  std::vector<appdb::AppId> sample_apps(const appdb::AppCatalog& apps,
+                                        std::size_t count, util::Pcg32& rng);
+
+  std::vector<Subscriber> subscribers_;
+  util::DiscreteSampler app_sampler_;
+  std::vector<const appdb::DeviceModel*> wearable_models_;
+  std::vector<const appdb::DeviceModel*> phone_models_;
+  util::DiscreteSampler wearable_model_sampler_;
+  util::DiscreteSampler phone_model_sampler_;
+};
+
+}  // namespace wearscope::simnet

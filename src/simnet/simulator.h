@@ -1,0 +1,48 @@
+// End-to-end synthetic ISP capture.
+//
+// The simulator walks every day of the observation window:
+//   * Wearable owners are simulated over all five months — their MME
+//     registrations and (rare) proxy transactions are what Fig. 2's adoption
+//     analysis consumes.
+//   * Phones (owners, control, through-device) are simulated only inside the
+//     detailed window at the end ("the full logs of the last seven weeks"),
+//     which is also what every other figure uses.
+//
+// The output is a TraceStore — exactly the logs of the paper's three vantage
+// points — plus the generator ground truth, which calibration tests may
+// inspect but the analysis pipeline must never touch.
+#pragma once
+
+#include <vector>
+
+#include "appdb/app_catalog.h"
+#include "appdb/device_models.h"
+#include "simnet/config.h"
+#include "simnet/population.h"
+#include "trace/store.h"
+
+namespace wearscope::simnet {
+
+/// Output of one simulation run.
+struct SimResult {
+  trace::TraceStore store;              ///< The vantage-point logs.
+  std::vector<Subscriber> subscribers;  ///< Ground truth (tests only).
+  int detailed_start_day = 0;           ///< First day with full logs.
+  int observation_days = 0;             ///< Window length in days.
+  SimConfig config;                     ///< Echo of the configuration.
+};
+
+/// Deterministic trace generator; equal configs give identical results.
+class Simulator {
+ public:
+  /// Validates and stores the configuration.
+  explicit Simulator(SimConfig config);
+
+  /// Runs the full simulation and returns the capture.
+  [[nodiscard]] SimResult run() const;
+
+ private:
+  SimConfig config_;
+};
+
+}  // namespace wearscope::simnet

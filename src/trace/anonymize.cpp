@@ -1,0 +1,37 @@
+#include "trace/anonymize.h"
+
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace wearscope::trace {
+
+UserId anonymize_user_id(UserId id, std::uint64_t key) {
+  // Two rounds of splitmix64 keyed on both sides: cheap, stable, and with
+  // no practical way back to the subscriber id without the key.
+  return util::splitmix64(util::splitmix64(id ^ key) ^ (key * 0x9E3779B97F4A7C15ULL));
+}
+
+void anonymize(TraceStore& store, const AnonymizePolicy& policy) {
+  util::require(policy.time_quantum_s >= 1,
+                "anonymize: time_quantum_s must be >= 1");
+  const auto quantize = [&](util::SimTime t) {
+    return t - (t % policy.time_quantum_s);
+  };
+
+  for (ProxyRecord& r : store.proxy) {
+    r.user_id = anonymize_user_id(r.user_id, policy.key);
+    r.timestamp = quantize(r.timestamp);
+    if (policy.coarsen_hosts) r.host = util::registrable_domain(r.host);
+    if (policy.drop_url_paths) r.url_path.clear();
+  }
+  for (MmeRecord& r : store.mme) {
+    r.user_id = anonymize_user_id(r.user_id, policy.key);
+    r.timestamp = quantize(r.timestamp);
+  }
+  // Quantization can reorder equal-timestamp records relative to the
+  // (time, user) canonical order; restore it.
+  store.sort_by_time();
+}
+
+}  // namespace wearscope::trace

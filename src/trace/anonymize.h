@@ -1,0 +1,42 @@
+// Release-safe anonymization of trace bundles.
+//
+// The paper's data could only be held short-term at the middleboxes and
+// published in aggregate (§3.5); an ISP sharing such traces externally
+// would additionally (a) re-key subscriber identifiers with a keyed hash,
+// (b) coarsen endpoint hosts to their registrable domain, (c) quantize
+// timestamps, and (d) optionally drop the URL path entirely.  This module
+// implements that pass such that every analysis of this library still runs
+// on the anonymized capture (identifier joins survive re-keying, suffix
+// signatures survive domain coarsening).
+#pragma once
+
+#include <cstdint>
+
+#include "trace/store.h"
+
+namespace wearscope::trace {
+
+/// Anonymization policy knobs.
+struct AnonymizePolicy {
+  /// Secret key for the user-id hash; two bundles anonymized with the same
+  /// key remain joinable, different keys are unlinkable.
+  std::uint64_t key = 0;
+  /// Round timestamps down to this granularity (seconds). 1 = keep exact.
+  /// Coarser than the 60 s sessionization gap will distort Fig. 7.
+  std::int64_t time_quantum_s = 1;
+  /// Replace hosts by their registrable domain ("api.weather.com" ->
+  /// "weather.com"). App signatures are suffix rules, so they still match.
+  bool coarsen_hosts = true;
+  /// Drop HTTP URL paths (the proxy's most sensitive field).
+  bool drop_url_paths = true;
+};
+
+/// Applies `policy` in place. Device and sector tables are left untouched:
+/// TACs identify models (not individuals) and sectors are infrastructure.
+void anonymize(TraceStore& store, const AnonymizePolicy& policy);
+
+/// The keyed user-id mapping used by anonymize() (exposed for tests and
+/// for joining auxiliary data that was re-keyed with the same key).
+UserId anonymize_user_id(UserId id, std::uint64_t key);
+
+}  // namespace wearscope::trace

@@ -1,0 +1,246 @@
+#include "trace/binary_io.h"
+
+#include <array>
+#include <bit>
+#include <cstring>
+
+#include "util/error.h"
+
+namespace wearscope::trace {
+
+namespace {
+
+/// Per-record-type magic so that a proxy log cannot be fed to an MME reader.
+template <typename Record>
+constexpr std::uint32_t magic_of();
+template <>
+constexpr std::uint32_t magic_of<ProxyRecord>() {
+  return 0x57505258;  // "WPRX"
+}
+template <>
+constexpr std::uint32_t magic_of<MmeRecord>() {
+  return 0x574d4d45;  // "WMME"
+}
+template <>
+constexpr std::uint32_t magic_of<DeviceRecord>() {
+  return 0x57444556;  // "WDEV"
+}
+template <>
+constexpr std::uint32_t magic_of<SectorInfo>() {
+  return 0x57534543;  // "WSEC"
+}
+
+void encode_record(BinaryEncoder& enc, const ProxyRecord& r) {
+  enc.put_i64(r.timestamp);
+  enc.put_u64(r.user_id);
+  enc.put_u32(r.tac);
+  enc.put_u8(static_cast<std::uint8_t>(r.protocol));
+  enc.put_string(r.host);
+  enc.put_string(r.url_path);
+  enc.put_u64(r.bytes_up);
+  enc.put_u64(r.bytes_down);
+  enc.put_u32(r.duration_ms);
+}
+
+void decode_record(BinaryDecoder& dec, ProxyRecord& r) {
+  r.timestamp = dec.get_i64();
+  r.user_id = dec.get_u64();
+  r.tac = dec.get_u32();
+  const std::uint8_t proto = dec.get_u8();
+  if (proto > 1) throw util::ParseError("proxy record: bad protocol byte");
+  r.protocol = static_cast<Protocol>(proto);
+  r.host = dec.get_string();
+  r.url_path = dec.get_string();
+  r.bytes_up = dec.get_u64();
+  r.bytes_down = dec.get_u64();
+  r.duration_ms = dec.get_u32();
+}
+
+void encode_record(BinaryEncoder& enc, const MmeRecord& r) {
+  enc.put_i64(r.timestamp);
+  enc.put_u64(r.user_id);
+  enc.put_u32(r.tac);
+  enc.put_u8(static_cast<std::uint8_t>(r.event));
+  enc.put_u32(r.sector_id);
+}
+
+void decode_record(BinaryDecoder& dec, MmeRecord& r) {
+  r.timestamp = dec.get_i64();
+  r.user_id = dec.get_u64();
+  r.tac = dec.get_u32();
+  const std::uint8_t ev = dec.get_u8();
+  if (ev > 3) throw util::ParseError("mme record: bad event byte");
+  r.event = static_cast<MmeEvent>(ev);
+  r.sector_id = dec.get_u32();
+}
+
+void encode_record(BinaryEncoder& enc, const DeviceRecord& r) {
+  enc.put_u32(r.tac);
+  enc.put_string(r.model);
+  enc.put_string(r.manufacturer);
+  enc.put_string(r.os);
+}
+
+void decode_record(BinaryDecoder& dec, DeviceRecord& r) {
+  r.tac = dec.get_u32();
+  r.model = dec.get_string();
+  r.manufacturer = dec.get_string();
+  r.os = dec.get_string();
+}
+
+void encode_record(BinaryEncoder& enc, const SectorInfo& r) {
+  enc.put_u32(r.sector_id);
+  enc.put_f64(r.position.lat_deg);
+  enc.put_f64(r.position.lon_deg);
+}
+
+void decode_record(BinaryDecoder& dec, SectorInfo& r) {
+  r.sector_id = dec.get_u32();
+  r.position.lat_deg = dec.get_f64();
+  r.position.lon_deg = dec.get_f64();
+}
+
+}  // namespace
+
+void BinaryEncoder::put_u8(std::uint8_t v) {
+  out_->put(static_cast<char>(v));
+  if (!*out_) throw util::IoError("binary write failed");
+}
+
+void BinaryEncoder::put_u16(std::uint16_t v) {
+  const std::array<char, 2> b = {static_cast<char>(v & 0xff),
+                                 static_cast<char>((v >> 8) & 0xff)};
+  out_->write(b.data(), b.size());
+  if (!*out_) throw util::IoError("binary write failed");
+}
+
+void BinaryEncoder::put_u32(std::uint32_t v) {
+  std::array<char, 4> b{};
+  for (int i = 0; i < 4; ++i) b[static_cast<std::size_t>(i)] =
+      static_cast<char>((v >> (8 * i)) & 0xff);
+  out_->write(b.data(), b.size());
+  if (!*out_) throw util::IoError("binary write failed");
+}
+
+void BinaryEncoder::put_u64(std::uint64_t v) {
+  std::array<char, 8> b{};
+  for (int i = 0; i < 8; ++i) b[static_cast<std::size_t>(i)] =
+      static_cast<char>((v >> (8 * i)) & 0xff);
+  out_->write(b.data(), b.size());
+  if (!*out_) throw util::IoError("binary write failed");
+}
+
+void BinaryEncoder::put_i64(std::int64_t v) {
+  put_u64(static_cast<std::uint64_t>(v));
+}
+
+void BinaryEncoder::put_f64(double v) {
+  put_u64(std::bit_cast<std::uint64_t>(v));
+}
+
+void BinaryEncoder::put_string(const std::string& s) {
+  util::require(s.size() <= 0xffff, "binary string field too long");
+  put_u16(static_cast<std::uint16_t>(s.size()));
+  out_->write(s.data(), static_cast<std::streamsize>(s.size()));
+  if (!*out_) throw util::IoError("binary write failed");
+}
+
+std::uint8_t BinaryDecoder::get_u8() {
+  const int c = in_->get();
+  if (c == std::char_traits<char>::eof())
+    throw util::ParseError("binary log: truncated record");
+  return static_cast<std::uint8_t>(c);
+}
+
+std::uint16_t BinaryDecoder::get_u16() {
+  std::array<char, 2> b{};
+  in_->read(b.data(), b.size());
+  if (in_->gcount() != 2) throw util::ParseError("binary log: truncated u16");
+  return static_cast<std::uint16_t>(
+      static_cast<std::uint8_t>(b[0]) |
+      (static_cast<std::uint16_t>(static_cast<std::uint8_t>(b[1])) << 8));
+}
+
+std::uint32_t BinaryDecoder::get_u32() {
+  std::array<char, 4> b{};
+  in_->read(b.data(), b.size());
+  if (in_->gcount() != 4) throw util::ParseError("binary log: truncated u32");
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i)
+    v = (v << 8) |
+        static_cast<std::uint8_t>(b[static_cast<std::size_t>(i)]);
+  return v;
+}
+
+std::uint64_t BinaryDecoder::get_u64() {
+  std::array<char, 8> b{};
+  in_->read(b.data(), b.size());
+  if (in_->gcount() != 8) throw util::ParseError("binary log: truncated u64");
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i)
+    v = (v << 8) |
+        static_cast<std::uint8_t>(b[static_cast<std::size_t>(i)]);
+  return v;
+}
+
+std::int64_t BinaryDecoder::get_i64() {
+  return static_cast<std::int64_t>(get_u64());
+}
+
+double BinaryDecoder::get_f64() { return std::bit_cast<double>(get_u64()); }
+
+std::string BinaryDecoder::get_string() {
+  const std::uint16_t len = get_u16();
+  std::string s(len, '\0');
+  in_->read(s.data(), len);
+  if (in_->gcount() != static_cast<std::streamsize>(len))
+    throw util::ParseError("binary log: truncated string");
+  return s;
+}
+
+bool BinaryDecoder::at_eof() {
+  return in_->peek() == std::char_traits<char>::eof();
+}
+
+template <typename Record>
+BinaryLogWriter<Record>::BinaryLogWriter(std::ostream& out) : enc_(out) {
+  enc_.put_u32(magic_of<Record>());
+  enc_.put_u16(kBinaryFormatVersion);
+  enc_.put_u16(0);  // reserved
+}
+
+template <typename Record>
+void BinaryLogWriter<Record>::write(const Record& r) {
+  encode_record(enc_, r);
+  ++count_;
+}
+
+template <typename Record>
+BinaryLogReader<Record>::BinaryLogReader(std::istream& in) : dec_(in) {
+  const std::uint32_t magic = dec_.get_u32();
+  if (magic != magic_of<Record>())
+    throw util::ParseError("binary log: wrong magic (different record type?)");
+  const std::uint16_t version = dec_.get_u16();
+  if (version != kBinaryFormatVersion)
+    throw util::ParseError("binary log: unsupported format version " +
+                           std::to_string(version));
+  dec_.get_u16();  // reserved
+}
+
+template <typename Record>
+bool BinaryLogReader<Record>::next(Record& out) {
+  if (dec_.at_eof()) return false;
+  decode_record(dec_, out);
+  return true;
+}
+
+template class BinaryLogWriter<ProxyRecord>;
+template class BinaryLogWriter<MmeRecord>;
+template class BinaryLogWriter<DeviceRecord>;
+template class BinaryLogWriter<SectorInfo>;
+template class BinaryLogReader<ProxyRecord>;
+template class BinaryLogReader<MmeRecord>;
+template class BinaryLogReader<DeviceRecord>;
+template class BinaryLogReader<SectorInfo>;
+
+}  // namespace wearscope::trace

@@ -1,0 +1,80 @@
+#include "trace/bundle.h"
+
+#include <fstream>
+
+#include "trace/binary_io.h"
+#include "trace/csv_io.h"
+#include "util/error.h"
+
+namespace wearscope::trace {
+
+namespace {
+
+template <typename Record>
+void save_log(const std::vector<Record>& records,
+              const std::filesystem::path& path, BundleFormat format) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw util::IoError("cannot open for writing: " + path.string());
+  if (format == BundleFormat::kBinary) {
+    BinaryLogWriter<Record> writer(out);
+    for (const Record& r : records) writer.write(r);
+  } else {
+    CsvLogWriter<Record> writer(out);
+    for (const Record& r : records) writer.write(r);
+  }
+  out.flush();
+  if (!out) throw util::IoError("write failed: " + path.string());
+}
+
+template <typename Record>
+std::vector<Record> load_log(const std::filesystem::path& dir,
+                             const std::string& stem) {
+  const std::filesystem::path bin = dir / (stem + ".bin");
+  const std::filesystem::path csv = dir / (stem + ".csv");
+  std::vector<Record> records;
+  Record r;
+  if (std::filesystem::exists(bin)) {
+    std::ifstream in(bin, std::ios::binary);
+    if (!in) throw util::IoError("cannot open: " + bin.string());
+    BinaryLogReader<Record> reader(in);
+    while (reader.next(r)) records.push_back(r);
+  } else if (std::filesystem::exists(csv)) {
+    std::ifstream in(csv);
+    if (!in) throw util::IoError("cannot open: " + csv.string());
+    CsvLogReader<Record> reader(in);
+    while (reader.next(r)) records.push_back(r);
+  } else {
+    throw util::IoError("bundle log missing: " + (dir / stem).string() +
+                        ".{bin,csv}");
+  }
+  return records;
+}
+
+const char* extension(BundleFormat format) {
+  return format == BundleFormat::kBinary ? ".bin" : ".csv";
+}
+
+}  // namespace
+
+void save_bundle(const TraceStore& store, const std::filesystem::path& dir,
+                 BundleFormat format) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) throw util::IoError("cannot create directory: " + dir.string());
+  const std::string ext = extension(format);
+  save_log(store.proxy, dir / ("proxy" + ext), format);
+  save_log(store.mme, dir / ("mme" + ext), format);
+  save_log(store.devices, dir / ("devices" + ext), format);
+  save_log(store.sectors, dir / ("sectors" + ext), format);
+}
+
+TraceStore load_bundle(const std::filesystem::path& dir) {
+  TraceStore store;
+  store.proxy = load_log<ProxyRecord>(dir, "proxy");
+  store.mme = load_log<MmeRecord>(dir, "mme");
+  store.devices = load_log<DeviceRecord>(dir, "devices");
+  store.sectors = load_log<SectorInfo>(dir, "sectors");
+  return store;
+}
+
+}  // namespace wearscope::trace

@@ -1,0 +1,34 @@
+// Persistence of a complete capture to a directory, mirroring how the
+// measurement infrastructure stores one file per vantage point:
+//
+//   <dir>/proxy.(bin|csv)    transparent-proxy transaction log
+//   <dir>/mme.(bin|csv)      MME mobility log
+//   <dir>/devices.(bin|csv)  DeviceDB snapshot
+//   <dir>/sectors.(bin|csv)  antenna-sector positions
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "trace/store.h"
+
+namespace wearscope::trace {
+
+/// Serialization format of a saved bundle.
+enum class BundleFormat {
+  kBinary,  ///< Compact length-delimited binary (default).
+  kCsv,     ///< Header-validated CSV, one file per log.
+};
+
+/// Writes all four logs of `store` into `dir` (created if absent).
+/// Throws util::IoError on filesystem failures.
+void save_bundle(const TraceStore& store, const std::filesystem::path& dir,
+                 BundleFormat format = BundleFormat::kBinary);
+
+/// Loads a bundle previously written by save_bundle. The format is detected
+/// from the file extensions present in `dir`.
+/// Throws util::IoError when files are missing, util::ParseError when they
+/// are malformed.
+TraceStore load_bundle(const std::filesystem::path& dir);
+
+}  // namespace wearscope::trace

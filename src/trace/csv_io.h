@@ -1,0 +1,47 @@
+// Human-inspectable CSV form of the trace logs.  Each file starts with a
+// header row naming the columns; readers validate the header so that a
+// device table cannot be loaded as a proxy log.
+#pragma once
+
+#include <istream>
+#include <ostream>
+
+#include "trace/records.h"
+
+namespace wearscope::trace {
+
+/// Streaming CSV writer for one record type (header row written eagerly).
+template <typename Record>
+class CsvLogWriter {
+ public:
+  explicit CsvLogWriter(std::ostream& out);
+  /// Appends one record as a CSV row.
+  void write(const Record& r);
+
+ private:
+  std::ostream* out_;
+};
+
+/// Streaming CSV reader for one record type.
+/// Throws util::ParseError on header mismatch or malformed rows.
+template <typename Record>
+class CsvLogReader {
+ public:
+  explicit CsvLogReader(std::istream& in);
+  /// Reads the next record; returns false at EOF. Blank lines are skipped.
+  bool next(Record& out);
+
+ private:
+  std::istream* in_;
+};
+
+extern template class CsvLogWriter<ProxyRecord>;
+extern template class CsvLogWriter<MmeRecord>;
+extern template class CsvLogWriter<DeviceRecord>;
+extern template class CsvLogWriter<SectorInfo>;
+extern template class CsvLogReader<ProxyRecord>;
+extern template class CsvLogReader<MmeRecord>;
+extern template class CsvLogReader<DeviceRecord>;
+extern template class CsvLogReader<SectorInfo>;
+
+}  // namespace wearscope::trace

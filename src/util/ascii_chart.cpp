@@ -1,0 +1,107 @@
+#include "util/ascii_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace wearscope::util {
+
+std::string format_num(double value, int digits) {
+  char buf[64];
+  if (value != 0.0 && (std::fabs(value) >= 1e6 || std::fabs(value) < 1e-3)) {
+    std::snprintf(buf, sizeof(buf), "%.*g", digits + 2, value);
+    return buf;
+  }
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  std::string s = buf;
+  if (s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+  }
+  return s;
+}
+
+std::string bar_chart(const std::vector<Bar>& bars, std::size_t width,
+                      bool log_scale) {
+  if (bars.empty()) return "(empty)\n";
+  std::size_t label_width = 0;
+  double max_v = 0.0;
+  double min_pos = 0.0;
+  for (const Bar& b : bars) {
+    label_width = std::max(label_width, b.label.size());
+    max_v = std::max(max_v, b.value);
+    if (b.value > 0.0 && (min_pos == 0.0 || b.value < min_pos))
+      min_pos = b.value;
+  }
+  std::string out;
+  for (const Bar& b : bars) {
+    double frac = 0.0;
+    if (b.value > 0.0 && max_v > 0.0) {
+      if (log_scale && max_v > min_pos) {
+        frac = std::log10(b.value / min_pos) / std::log10(max_v / min_pos);
+        frac = std::max(frac, 0.02);  // positive values always visible
+      } else {
+        frac = b.value / max_v;
+      }
+    }
+    const auto len = static_cast<std::size_t>(
+        std::lround(frac * static_cast<double>(width)));
+    out += b.label;
+    out.append(label_width - b.label.size() + 1, ' ');
+    out += '|';
+    out.append(len, '#');
+    out.append(width - len + 1, ' ');
+    out += format_num(b.value);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string sparkline(const std::vector<double>& values) {
+  static const char* kBlocks[] = {" ", ".", ":", "-", "=", "+", "*", "#", "@"};
+  if (values.empty()) return "";
+  const double max_v = *std::max_element(values.begin(), values.end());
+  std::string out;
+  for (const double v : values) {
+    std::size_t idx = 0;
+    if (max_v > 0.0 && v > 0.0) {
+      idx = static_cast<std::size_t>(std::lround(v / max_v * 8.0));
+      idx = std::clamp<std::size_t>(idx, 1, 8);
+    }
+    out += kBlocks[idx];
+  }
+  return out;
+}
+
+std::string table(const std::vector<std::string>& header,
+                  const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> widths(header.size(), 0);
+  for (std::size_t c = 0; c < header.size(); ++c)
+    widths[c] = header[c].size();
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+  }
+  const auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      line += cell;
+      line.append(widths[c] - cell.size() + 2, ' ');
+    }
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line + "\n";
+  };
+  std::string out = render_row(header);
+  std::string rule;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    rule.append(widths[c], '-');
+    rule.append(2, ' ');
+  }
+  while (!rule.empty() && rule.back() == ' ') rule.pop_back();
+  out += rule + "\n";
+  for (const auto& row : rows) out += render_row(row);
+  return out;
+}
+
+}  // namespace wearscope::util

@@ -1,0 +1,34 @@
+// Terminal rendering of figure series: horizontal bar charts (optionally on
+// a log scale, matching the paper's log-axis figures), line sparklines for
+// hourly curves, and aligned tables.  Used by examples and bench harnesses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace wearscope::util {
+
+/// One labelled value of a bar chart.
+struct Bar {
+  std::string label;
+  double value = 0.0;
+};
+
+/// Renders `bars` as a fixed-width horizontal bar chart.
+/// With `log_scale`, bar lengths are proportional to log10(value/min_pos),
+/// mirroring the paper's log-scaled popularity plots; non-positive values
+/// render as empty bars.
+std::string bar_chart(const std::vector<Bar>& bars, std::size_t width = 48,
+                      bool log_scale = false);
+
+/// Renders an hourly (or other x-indexed) series as a block sparkline.
+std::string sparkline(const std::vector<double>& values);
+
+/// Renders a table with a header row; columns are padded to equal width.
+std::string table(const std::vector<std::string>& header,
+                  const std::vector<std::vector<std::string>>& rows);
+
+/// Formats a double with `digits` significant decimals, trimming zeros.
+std::string format_num(double value, int digits = 3);
+
+}  // namespace wearscope::util

@@ -1,0 +1,51 @@
+// RFC-4180-ish CSV reading/writing used for the text form of the trace logs
+// and for exporting figure data.  Quoting is applied only when needed; the
+// reader handles quoted fields with embedded separators, quotes and newlines
+// already folded out (records are line-oriented in our logs).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wearscope::util {
+
+/// Escapes one field per RFC 4180 (quotes applied only when necessary).
+std::string csv_escape(std::string_view field);
+
+/// Parses one CSV record (a single line, no embedded newlines).
+/// Throws ParseError on unterminated quotes.
+std::vector<std::string> csv_parse_line(std::string_view line);
+
+/// Streaming CSV writer.  Not thread-safe; one writer per stream.
+class CsvWriter {
+ public:
+  /// Writes to `out`, which must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  /// Writes one record and a trailing newline.
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Convenience for heterogeneous rows: stringifies each argument.
+  template <typename... Ts>
+  void row(const Ts&... fields) {
+    std::vector<std::string> v;
+    v.reserve(sizeof...(fields));
+    (v.push_back(stringify(fields)), ...);
+    write_row(v);
+  }
+
+ private:
+  static std::string stringify(const std::string& s) { return s; }
+  static std::string stringify(const char* s) { return s; }
+  static std::string stringify(std::string_view s) { return std::string(s); }
+  template <typename T>
+  static std::string stringify(const T& value) {
+    return std::to_string(value);
+  }
+
+  std::ostream* out_;
+};
+
+}  // namespace wearscope::util

@@ -1,0 +1,51 @@
+// Error-handling primitives shared by every wearscope module.
+//
+// Following the C++ Core Guidelines (E.2, E.3) we use exceptions for error
+// handling and reserve assertions for programming errors.  All exceptions
+// thrown by this project derive from wearscope::util::Error so callers can
+// catch project failures distinctly from standard-library ones.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace wearscope::util {
+
+/// Base class of every exception thrown by wearscope libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when an on-disk or in-memory trace is malformed.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a configuration value is out of its documented domain.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown on I/O failures (file not found, short read, write failure).
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+/// Precondition check: throws ConfigError when `condition` is false.
+/// Use for validating caller-supplied configuration and arguments.
+inline void require(bool condition, std::string_view message) {
+  if (!condition) throw ConfigError(std::string(message));
+}
+
+/// Internal invariant check: throws std::logic_error when violated.
+/// Use for conditions that indicate a bug in wearscope itself.
+inline void ensure(bool condition, std::string_view message) {
+  if (!condition) throw std::logic_error(std::string(message));
+}
+
+}  // namespace wearscope::util

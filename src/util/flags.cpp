@@ -1,0 +1,123 @@
+#include "util/flags.h"
+
+#include <charconv>
+#include <cstdio>
+#include <utility>
+
+#include "util/error.h"
+
+namespace wearscope::util {
+
+FlagParser::FlagParser(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void FlagParser::add(std::string name, Flag flag) {
+  require(!flags_.contains(name), "duplicate flag --" + name);
+  flags_.emplace(std::move(name), std::move(flag));
+}
+
+void FlagParser::add_int(std::string name, std::int64_t* value,
+                         std::string help) {
+  Flag f;
+  f.help = std::move(help);
+  f.default_repr = std::to_string(*value);
+  f.set = [value, name](std::string_view text) {
+    std::int64_t parsed = 0;
+    const auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), parsed);
+    require(ec == std::errc{} && ptr == text.data() + text.size(),
+            "flag --" + name + ": expected integer, got '" +
+                std::string(text) + "'");
+    *value = parsed;
+  };
+  add(std::move(name), std::move(f));
+}
+
+void FlagParser::add_double(std::string name, double* value,
+                            std::string help) {
+  Flag f;
+  f.help = std::move(help);
+  f.default_repr = std::to_string(*value);
+  f.set = [value, name](std::string_view text) {
+    try {
+      std::size_t used = 0;
+      const double parsed = std::stod(std::string(text), &used);
+      require(used == text.size(), "trailing characters");
+      *value = parsed;
+    } catch (const std::exception&) {
+      throw ConfigError("flag --" + name + ": expected number, got '" +
+                        std::string(text) + "'");
+    }
+  };
+  add(std::move(name), std::move(f));
+}
+
+void FlagParser::add_string(std::string name, std::string* value,
+                            std::string help) {
+  Flag f;
+  f.help = std::move(help);
+  f.default_repr = *value;
+  f.set = [value](std::string_view text) { *value = std::string(text); };
+  add(std::move(name), std::move(f));
+}
+
+void FlagParser::add_bool(std::string name, bool* value, std::string help) {
+  Flag f;
+  f.help = std::move(help);
+  f.is_bool = true;
+  f.default_repr = *value ? "true" : "false";
+  f.set = [value, name](std::string_view text) {
+    if (text.empty() || text == "true" || text == "1") {
+      *value = true;
+    } else if (text == "false" || text == "0") {
+      *value = false;
+    } else {
+      throw ConfigError("flag --" + name + ": expected boolean, got '" +
+                        std::string(text) + "'");
+    }
+  };
+  add(std::move(name), std::move(f));
+}
+
+bool FlagParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(help().c_str(), stdout);
+      return false;
+    }
+    require(arg.starts_with("--"), "unexpected argument '" + std::string(arg) +
+                                       "' (flags start with --)");
+    arg.remove_prefix(2);
+    std::string name;
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = arg.find('='); eq != std::string_view::npos) {
+      name = std::string(arg.substr(0, eq));
+      value = std::string(arg.substr(eq + 1));
+      has_value = true;
+    } else {
+      name = std::string(arg);
+    }
+    const auto it = flags_.find(name);
+    require(it != flags_.end(), "unknown flag --" + name);
+    if (!has_value && !it->second.is_bool) {
+      require(i + 1 < argc, "flag --" + name + " requires a value");
+      value = argv[++i];
+      has_value = true;
+    }
+    it->second.set(value);
+  }
+  return true;
+}
+
+std::string FlagParser::help() const {
+  std::string out = description_ + "\n\nFlags:\n";
+  for (const auto& [name, flag] : flags_) {
+    out += "  --" + name + (flag.is_bool ? "" : "=<value>") + "\n        " +
+           flag.help + " (default: " + flag.default_repr + ")\n";
+  }
+  return out;
+}
+
+}  // namespace wearscope::util

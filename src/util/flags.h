@@ -1,0 +1,48 @@
+// A tiny command-line flag parser for examples and bench harnesses.
+// Supports `--name=value`, `--name value` and boolean `--name` forms.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wearscope::util {
+
+/// Registers typed flags, parses argv, and renders --help text.
+class FlagParser {
+ public:
+  /// `program_description` is printed at the top of --help.
+  explicit FlagParser(std::string program_description);
+
+  /// Registers flags. The pointee holds the default and receives the parsed
+  /// value; it must outlive parse().
+  void add_int(std::string name, std::int64_t* value, std::string help);
+  void add_double(std::string name, double* value, std::string help);
+  void add_string(std::string name, std::string* value, std::string help);
+  void add_bool(std::string name, bool* value, std::string help);
+
+  /// Parses argv. Returns false (after printing help) when --help is given.
+  /// Throws ConfigError on unknown flags or unparsable values.
+  bool parse(int argc, const char* const* argv);
+
+  /// The formatted help text.
+  [[nodiscard]] std::string help() const;
+
+ private:
+  struct Flag {
+    std::string help;
+    bool is_bool = false;
+    std::function<void(std::string_view)> set;
+    std::string default_repr;
+  };
+
+  void add(std::string name, Flag flag);
+
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+};
+
+}  // namespace wearscope::util

@@ -1,0 +1,45 @@
+#include "util/geo.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace wearscope::util {
+
+namespace {
+constexpr double kEarthRadiusKm = 6371.0;
+
+constexpr double rad(double deg) noexcept {
+  return deg * std::numbers::pi / 180.0;
+}
+constexpr double deg(double r) noexcept {
+  return r * 180.0 / std::numbers::pi;
+}
+}  // namespace
+
+double haversine_km(const GeoPoint& a, const GeoPoint& b) noexcept {
+  const double phi1 = rad(a.lat_deg);
+  const double phi2 = rad(b.lat_deg);
+  const double dphi = rad(b.lat_deg - a.lat_deg);
+  const double dlam = rad(b.lon_deg - a.lon_deg);
+  const double s = std::sin(dphi / 2) * std::sin(dphi / 2) +
+                   std::cos(phi1) * std::cos(phi2) * std::sin(dlam / 2) *
+                       std::sin(dlam / 2);
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(s)));
+}
+
+GeoPoint destination(const GeoPoint& origin, double bearing_deg,
+                     double distance_km) noexcept {
+  const double delta = distance_km / kEarthRadiusKm;
+  const double theta = rad(bearing_deg);
+  const double phi1 = rad(origin.lat_deg);
+  const double lam1 = rad(origin.lon_deg);
+  const double phi2 = std::asin(std::sin(phi1) * std::cos(delta) +
+                                std::cos(phi1) * std::sin(delta) *
+                                    std::cos(theta));
+  const double lam2 =
+      lam1 + std::atan2(std::sin(theta) * std::sin(delta) * std::cos(phi1),
+                        std::cos(delta) - std::sin(phi1) * std::sin(phi2));
+  return GeoPoint{deg(phi2), deg(lam2)};
+}
+
+}  // namespace wearscope::util

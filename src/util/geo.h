@@ -1,0 +1,23 @@
+// Minimal geodesy for antenna placement and displacement analysis.
+#pragma once
+
+namespace wearscope::util {
+
+/// A WGS84-style geographic coordinate in decimal degrees.
+struct GeoPoint {
+  double lat_deg = 0.0;  ///< Latitude, degrees north.
+  double lon_deg = 0.0;  ///< Longitude, degrees east.
+
+  friend bool operator==(const GeoPoint&, const GeoPoint&) = default;
+};
+
+/// Great-circle distance between two points in kilometres (haversine on a
+/// 6371 km sphere — exact enough for antenna-sector geometry).
+double haversine_km(const GeoPoint& a, const GeoPoint& b) noexcept;
+
+/// Point reached from `origin` travelling `distance_km` along `bearing_deg`
+/// (clockwise from north) on the sphere.
+GeoPoint destination(const GeoPoint& origin, double bearing_deg,
+                     double distance_km) noexcept;
+
+}  // namespace wearscope::util

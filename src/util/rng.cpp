@@ -1,0 +1,198 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace wearscope::util {
+
+namespace {
+constexpr std::uint64_t kPcgMultiplier = 6364136223846793005ULL;
+}  // namespace
+
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+Pcg32::Pcg32(std::uint64_t seed, std::uint64_t seq) noexcept
+    : state_(0), inc_((seq << 1u) | 1u) {
+  next_u32();
+  state_ += seed;
+  next_u32();
+}
+
+std::uint32_t Pcg32::next_u32() noexcept {
+  const std::uint64_t old = state_;
+  state_ = old * kPcgMultiplier + inc_;
+  const auto xorshifted =
+      static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+  const auto rot = static_cast<std::uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+std::uint64_t Pcg32::next_u64() noexcept {
+  return (static_cast<std::uint64_t>(next_u32()) << 32) | next_u32();
+}
+
+double Pcg32::next_double() noexcept {
+  // 53 random bits mapped into [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::int64_t Pcg32::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  if (lo >= hi) return lo;
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  // Debiased modulo via rejection sampling on the top of the range.
+  const std::uint64_t threshold = (0ULL - range) % range;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return lo + static_cast<std::int64_t>(r % range);
+  }
+}
+
+double Pcg32::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * next_double();
+}
+
+bool Pcg32::bernoulli(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+double Pcg32::normal() noexcept {
+  // Box-Muller; we intentionally discard the second variate to keep the
+  // generator stateless with respect to caching (simplifies fork()).
+  double u1 = next_double();
+  while (u1 <= 0.0) u1 = next_double();
+  const double u2 = next_double();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Pcg32::normal(double mean, double stddev) noexcept {
+  return mean + stddev * normal();
+}
+
+double Pcg32::lognormal(double mu, double sigma) noexcept {
+  return std::exp(normal(mu, sigma));
+}
+
+double Pcg32::exponential(double rate) noexcept {
+  double u = next_double();
+  while (u <= 0.0) u = next_double();
+  return -std::log(u) / rate;
+}
+
+std::uint32_t Pcg32::poisson(double mean) noexcept {
+  if (mean <= 0.0) return 0;
+  if (mean > 64.0) {
+    const double v = normal(mean, std::sqrt(mean));
+    return v <= 0.0 ? 0u : static_cast<std::uint32_t>(std::lround(v));
+  }
+  // Knuth's product method.
+  const double limit = std::exp(-mean);
+  std::uint32_t k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= next_double();
+  } while (p > limit);
+  return k - 1;
+}
+
+std::uint32_t Pcg32::zipf(std::uint32_t n, double s) noexcept {
+  if (n <= 1) return 0;
+  // Rejection-inversion using the integral of x^-s as the envelope.
+  const double nd = static_cast<double>(n);
+  if (std::abs(s - 1.0) < 1e-9) s = 1.0 + 1e-9;
+  const double one_minus_s = 1.0 - s;
+  const double h_n = (std::pow(nd + 0.5, one_minus_s) -
+                      std::pow(0.5, one_minus_s)) /
+                     one_minus_s;
+  for (;;) {
+    const double u = next_double() * h_n +
+                     std::pow(0.5, one_minus_s) / one_minus_s;
+    const double x = std::pow(u * one_minus_s, 1.0 / one_minus_s);
+    const auto k = static_cast<std::uint32_t>(
+        std::clamp(x + 0.5, 1.0, nd));
+    const double top = std::pow(static_cast<double>(k), -s);
+    const double envelope =
+        std::pow(std::max(0.5, static_cast<double>(k) - 0.5), -s);
+    if (next_double() * envelope <= top) return k - 1;
+  }
+}
+
+std::size_t Pcg32::weighted_index(std::span<const double> weights) noexcept {
+  double total = 0.0;
+  for (const double w : weights) total += std::max(0.0, w);
+  if (total <= 0.0) return 0;
+  double target = next_double() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= std::max(0.0, weights[i]);
+    if (target < 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+Pcg32 Pcg32::fork(std::uint64_t stream_key) const noexcept {
+  const std::uint64_t mixed = splitmix64(state_ ^ splitmix64(stream_key));
+  return Pcg32(mixed, splitmix64(mixed ^ inc_));
+}
+
+DiscreteSampler::DiscreteSampler(std::span<const double> weights) {
+  require(!weights.empty(), "DiscreteSampler: weights must be non-empty");
+  double total = 0.0;
+  for (const double w : weights) {
+    require(w >= 0.0, "DiscreteSampler: weights must be non-negative");
+    total += w;
+  }
+  require(total > 0.0, "DiscreteSampler: weights must have a positive sum");
+
+  const std::size_t n = weights.size();
+  normalized_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) normalized_[i] = weights[i] / total;
+
+  // Vose's alias method.
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i)
+    scaled[i] = normalized_[i] * static_cast<double>(n);
+
+  std::vector<std::uint32_t> small;
+  std::vector<std::uint32_t> large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(
+        static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (const std::uint32_t i : large) prob_[i] = 1.0;
+  for (const std::uint32_t i : small) prob_[i] = 1.0;
+}
+
+std::size_t DiscreteSampler::sample(Pcg32& rng) const noexcept {
+  const auto n = prob_.size();
+  const auto i = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+  return rng.next_double() < prob_[i] ? i : alias_[i];
+}
+
+}  // namespace wearscope::util

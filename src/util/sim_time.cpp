@@ -1,0 +1,26 @@
+#include "util/sim_time.h"
+
+#include <array>
+#include <cstdio>
+
+namespace wearscope::util {
+
+std::string weekday_name(Weekday w) {
+  static constexpr std::array<const char*, 7> kNames = {
+      "Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"};
+  return kNames[static_cast<std::size_t>(w)];
+}
+
+std::string format_sim_time(SimTime t) {
+  const int day = day_of(t);
+  const auto rem = t - day_start(day);
+  const int h = static_cast<int>(rem / kSecondsPerHour);
+  const int m = static_cast<int>((rem % kSecondsPerHour) / kSecondsPerMinute);
+  const int s = static_cast<int>(rem % kSecondsPerMinute);
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "day%03d %02d:%02d:%02d (%s)", day, h, m, s,
+                weekday_name(weekday_of(t)).c_str());
+  return buf;
+}
+
+}  // namespace wearscope::util

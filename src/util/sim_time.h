@@ -1,0 +1,90 @@
+// Simulation calendar.
+//
+// The study window mirrors the paper: five months of summary statistics from
+// mid-December 2017 to mid-May 2018 (153 days), with full logs retained for
+// the final seven weeks.  Timestamps are plain seconds since the start of the
+// observation window (not wall-clock epochs) so that arithmetic stays trivial
+// and platform-independent; helpers convert to calendar features.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace wearscope::util {
+
+/// Seconds since the start of the observation window (2017-12-15 00:00 local).
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kSecondsPerMinute = 60;
+inline constexpr SimTime kSecondsPerHour = 3600;
+inline constexpr SimTime kSecondsPerDay = 86'400;
+inline constexpr SimTime kSecondsPerWeek = 7 * kSecondsPerDay;
+
+/// Total length of the paper's observation window, in days.
+inline constexpr int kObservationDays = 153;  // mid-Dec 2017 .. mid-May 2018
+/// Length of the detailed-log window at the end of the observation period.
+inline constexpr int kDetailedWeeks = 7;
+inline constexpr int kDetailedDays = kDetailedWeeks * 7;
+/// First day (0-based) of the detailed seven-week window.
+inline constexpr int kDetailedStartDay = kObservationDays - kDetailedDays;
+
+/// Day of week. Day 0 of the window (2017-12-15) was a Friday.
+enum class Weekday : std::uint8_t {
+  kMonday = 0,
+  kTuesday,
+  kWednesday,
+  kThursday,
+  kFriday,
+  kSaturday,
+  kSunday,
+};
+
+/// 0-based day index of a timestamp within the observation window.
+constexpr int day_of(SimTime t) noexcept {
+  return static_cast<int>(t / kSecondsPerDay);
+}
+
+/// Hour of day in [0, 24).
+constexpr int hour_of(SimTime t) noexcept {
+  return static_cast<int>((t % kSecondsPerDay) / kSecondsPerHour);
+}
+
+/// 0-based week index within the observation window.
+constexpr int week_of(SimTime t) noexcept {
+  return static_cast<int>(t / kSecondsPerWeek);
+}
+
+/// Weekday of a 0-based day index (day 0 = Friday).
+constexpr Weekday weekday_of_day(int day_index) noexcept {
+  // Friday is index 4 in our Monday-based enum.
+  return static_cast<Weekday>((day_index + 4) % 7);
+}
+
+/// Weekday of a timestamp.
+constexpr Weekday weekday_of(SimTime t) noexcept {
+  return weekday_of_day(day_of(t));
+}
+
+/// True for Saturday/Sunday.
+constexpr bool is_weekend_day(int day_index) noexcept {
+  const Weekday w = weekday_of_day(day_index);
+  return w == Weekday::kSaturday || w == Weekday::kSunday;
+}
+
+/// True for timestamps falling on Saturday/Sunday.
+constexpr bool is_weekend(SimTime t) noexcept {
+  return is_weekend_day(day_of(t));
+}
+
+/// Timestamp of midnight starting `day_index`.
+constexpr SimTime day_start(int day_index) noexcept {
+  return static_cast<SimTime>(day_index) * kSecondsPerDay;
+}
+
+/// Three-letter English weekday name ("Mon".."Sun").
+std::string weekday_name(Weekday w);
+
+/// Human-readable "dayNNN hh:mm:ss" rendering of a timestamp.
+std::string format_sim_time(SimTime t);
+
+}  // namespace wearscope::util

@@ -1,0 +1,89 @@
+#include "util/strings.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+namespace wearscope::util {
+
+std::vector<std::string> split(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == sep) {
+      out.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view text) noexcept {
+  const auto is_space = [](char c) {
+    return std::isspace(static_cast<unsigned char>(c)) != 0;
+  };
+  while (!text.empty() && is_space(text.front())) text.remove_prefix(1);
+  while (!text.empty() && is_space(text.back())) text.remove_suffix(1);
+  return text;
+}
+
+std::string to_lower(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+bool host_matches_suffix(std::string_view host, std::string_view suffix) {
+  if (suffix.empty() || host.size() < suffix.size()) return false;
+  const std::string h = to_lower(host);
+  const std::string s = to_lower(suffix);
+  if (h == s) return true;
+  if (h.size() > s.size() && h.compare(h.size() - s.size(), s.size(), s) == 0 &&
+      h[h.size() - s.size() - 1] == '.') {
+    return true;
+  }
+  return false;
+}
+
+std::string registrable_domain(std::string_view host) {
+  static constexpr std::array<std::string_view, 6> kTwoPartSuffixes = {
+      "co.uk", "com.au", "co.jp", "com.br", "co.nz", "org.uk"};
+  const std::string h = to_lower(trim(host));
+  const std::vector<std::string> labels = split(h, '.');
+  if (labels.size() <= 2) return h;
+  const std::string tail2 = labels[labels.size() - 2] + "." + labels.back();
+  const bool two_part =
+      std::find(kTwoPartSuffixes.begin(), kTwoPartSuffixes.end(), tail2) !=
+      kTwoPartSuffixes.end();
+  const std::size_t keep = two_part ? 3 : 2;
+  if (labels.size() <= keep) return h;
+  std::string out;
+  for (std::size_t i = labels.size() - keep; i < labels.size(); ++i) {
+    if (!out.empty()) out += '.';
+    out += labels[i];
+  }
+  return out;
+}
+
+bool has_label(std::string_view host, std::string_view token) {
+  if (token.empty()) return false;
+  const std::string h = to_lower(host);
+  const std::string t = to_lower(token);
+  for (const std::string& label : split(h, '.')) {
+    if (label == t) return true;
+  }
+  return false;
+}
+
+}  // namespace wearscope::util

@@ -1,0 +1,37 @@
+// Small string utilities: tokenization, trimming, case folding, and the
+// hostname-suffix matching used by the app-signature tables.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wearscope::util {
+
+/// Splits `text` on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Joins `parts` with `sep` between elements.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view text) noexcept;
+
+/// ASCII lower-casing.
+std::string to_lower(std::string_view text);
+
+/// DNS-aware suffix match: true when `host` equals `suffix` or ends with
+/// "." + suffix (so "api.fitbit.com" matches "fitbit.com" but
+/// "notfitbit.com" does not). Comparison is case-insensitive.
+bool host_matches_suffix(std::string_view host, std::string_view suffix);
+
+/// Heuristic registrable domain: last two labels of the host, or last three
+/// when the TLD is a two-part public suffix such as "co.uk"
+/// ("cdn.ads.example.co.uk" -> "example.co.uk").
+std::string registrable_domain(std::string_view host);
+
+/// True when `host` contains `token` as a complete dot-separated label
+/// ("ads.server.com" contains label "ads"; "roads.server.com" does not).
+bool has_label(std::string_view host, std::string_view token);
+
+}  // namespace wearscope::util

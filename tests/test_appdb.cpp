@@ -1,0 +1,236 @@
+// Unit tests for the application/device knowledge base.
+#include <set>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "appdb/app_catalog.h"
+#include "appdb/categories.h"
+#include "appdb/device_models.h"
+#include "appdb/third_party.h"
+#include "appdb/traffic_profile.h"
+
+namespace wearscope::appdb {
+namespace {
+
+TEST(Categories, NameParseRoundTrip) {
+  for (const Category c : all_categories()) {
+    const auto parsed = parse_category(category_name(c));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, c);
+  }
+  EXPECT_FALSE(parse_category("Nonsense").has_value());
+}
+
+TEST(Categories, FifteenDistinctNames) {
+  std::set<std::string_view> names;
+  for (const Category c : all_categories()) names.insert(category_name(c));
+  EXPECT_EQ(names.size(), kCategoryCount);
+}
+
+TEST(TrafficProfiles, MixesAreValidProbabilities) {
+  for (std::size_t k = 0; k < kProfileKindCount; ++k) {
+    const TrafficProfile& p = profile_for(static_cast<ProfileKind>(k));
+    EXPECT_EQ(p.kind, static_cast<ProfileKind>(k));
+    EXPECT_GE(p.third_party.utilities, 0.0);
+    EXPECT_GE(p.third_party.advertising, 0.0);
+    EXPECT_GE(p.third_party.analytics, 0.0);
+    EXPECT_GT(p.third_party.application(), 0.3)
+        << "first-party must dominate for " << profile_kind_name(p.kind);
+    EXPECT_GT(p.usages_per_active_hour, 0.0);
+    EXPECT_GE(p.transactions_per_usage, 1.0);
+    EXPECT_LT(p.intra_usage_gap_s, 60.0)
+        << "intra-usage gaps must stay below the sessionization threshold";
+    EXPECT_GT(p.bytes_log_mu, 5.0);
+    EXPECT_LT(p.bytes_log_mu, 12.0);
+    EXPECT_GT(p.uplink_fraction, 0.0);
+    EXPECT_LT(p.uplink_fraction, 1.0);
+    EXPECT_GE(p.http_fraction, 0.0);
+    EXPECT_LE(p.http_fraction, 0.3);
+  }
+}
+
+TEST(TrafficProfiles, PaymentIsTiniestMediaIsLargest) {
+  const double pay = profile_for(ProfileKind::kPayment).bytes_log_mu;
+  const double stream = profile_for(ProfileKind::kStreaming).bytes_log_mu;
+  const double notif = profile_for(ProfileKind::kNotification).bytes_log_mu;
+  EXPECT_LT(pay, notif);
+  EXPECT_GT(stream, notif);
+}
+
+TEST(ThirdParty, PoolsAreDisjointRegistrableDomains) {
+  std::unordered_set<std::string_view> all;
+  for (const auto pool :
+       {utility_domains(), advertising_domains(), analytics_domains()}) {
+    for (const std::string_view d : pool) {
+      EXPECT_TRUE(all.insert(d).second) << "duplicate third-party domain " << d;
+      EXPECT_NE(d.find('.'), std::string_view::npos);
+    }
+  }
+  EXPECT_GE(all.size(), 24u);
+}
+
+TEST(ThirdParty, ClassNamesMatchFigure) {
+  EXPECT_EQ(transaction_class_name(TransactionClass::kApplication),
+            "Application");
+  EXPECT_EQ(transaction_class_name(TransactionClass::kUtilities), "Utilities");
+  EXPECT_EQ(transaction_class_name(TransactionClass::kAdvertising),
+            "Advertising");
+  EXPECT_EQ(transaction_class_name(TransactionClass::kAnalytics), "Analytics");
+}
+
+TEST(AppCatalog, FiftyNamedAppsInFigureOrder) {
+  const AppCatalog catalog(0);
+  ASSERT_EQ(catalog.size(), 50u);
+  EXPECT_EQ(catalog.app(0).name, "Weather");
+  EXPECT_EQ(catalog.app(1).name, "Google-Maps");
+  EXPECT_EQ(catalog.app(2).name, "Accuweather");
+  EXPECT_EQ(catalog.app(49).name, "TV-Guide");
+}
+
+TEST(AppCatalog, PopularityDecreasesOverNamedApps) {
+  const AppCatalog catalog(0);
+  for (std::size_t i = 1; i < catalog.size(); ++i) {
+    EXPECT_LT(catalog.app(static_cast<AppId>(i)).popularity_weight,
+              catalog.app(static_cast<AppId>(i - 1)).popularity_weight);
+  }
+  // ~3 decades of spread across the 50 named apps.
+  const double spread = catalog.app(0).popularity_weight /
+                        catalog.app(49).popularity_weight;
+  EXPECT_GT(spread, 100.0);
+  EXPECT_LT(spread, 10000.0);
+}
+
+TEST(AppCatalog, LongTailAppended) {
+  const AppCatalog catalog(40);
+  EXPECT_EQ(catalog.size(), 90u);
+  EXPECT_EQ(catalog.app(50).name, "LongTail-App-1");
+  EXPECT_FALSE(catalog.app(50).domains.empty());
+  // Tail weights sit below the top named apps.
+  EXPECT_LT(catalog.app(50).popularity_weight,
+            catalog.app(0).popularity_weight);
+}
+
+TEST(AppCatalog, TailSignatureCoverageIsPartial) {
+  const AppCatalog catalog(100);
+  std::size_t mapped = 0;
+  for (std::size_t i = 50; i < catalog.size(); ++i) {
+    if (catalog.app(static_cast<AppId>(i)).in_signature_table) ++mapped;
+  }
+  EXPECT_EQ(mapped, 75u);  // 3 out of 4
+}
+
+TEST(AppCatalog, DomainsAreUniqueAcrossNamedApps) {
+  const AppCatalog catalog(0);
+  std::set<std::string> seen;
+  for (const AppInfo& app : catalog.apps()) {
+    for (const std::string& d : app.domains) {
+      EXPECT_TRUE(seen.insert(d).second) << "duplicate app domain " << d;
+    }
+  }
+}
+
+TEST(AppCatalog, FindByName) {
+  const AppCatalog catalog(10);
+  const auto id = catalog.find_by_name("WhatsApp");
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(catalog.app(*id).category, Category::kCommunication);
+  EXPECT_FALSE(catalog.find_by_name("Nonexistent").has_value());
+}
+
+TEST(AppCatalog, HealthAppsPreferWifi) {
+  const AppCatalog catalog(0);
+  for (const char* name : {"S-Health", "Sweatcoin", "Nike-Running"}) {
+    const auto id = catalog.find_by_name(name);
+    ASSERT_TRUE(id.has_value()) << name;
+    EXPECT_TRUE(catalog.app(*id).wifi_preferred) << name;
+  }
+}
+
+TEST(AppCatalog, DeterministicConstruction) {
+  const AppCatalog a(80);
+  const AppCatalog b(80);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.app(static_cast<AppId>(i)).name,
+              b.app(static_cast<AppId>(i)).name);
+    EXPECT_EQ(a.app(static_cast<AppId>(i)).domains,
+              b.app(static_cast<AppId>(i)).domains);
+    EXPECT_DOUBLE_EQ(a.app(static_cast<AppId>(i)).popularity_weight,
+                     b.app(static_cast<AppId>(i)).popularity_weight);
+  }
+}
+
+TEST(AppCatalog, EveryCategoryRepresented) {
+  const AppCatalog catalog(150);
+  std::set<Category> seen;
+  for (const AppInfo& app : catalog.apps()) seen.insert(app.category);
+  EXPECT_EQ(seen.size(), kCategoryCount);
+}
+
+TEST(CompanionSignatures, CoverPaperFingerprints) {
+  const auto sigs = companion_signatures();
+  ASSERT_EQ(sigs.size(), 5u);
+  std::set<std::string> names;
+  for (const CompanionSignature& s : sigs) {
+    names.insert(s.wearable);
+    EXPECT_FALSE(s.domains.empty());
+  }
+  EXPECT_TRUE(names.contains("Fitbit"));
+  EXPECT_TRUE(names.contains("Xiaomi-Band"));
+  EXPECT_TRUE(names.contains("Strava-Wear"));
+}
+
+TEST(DeviceModels, TacsAreUnique) {
+  const DeviceModelCatalog catalog;
+  std::set<trace::Tac> tacs;
+  for (const DeviceModel& m : catalog.models()) {
+    EXPECT_FALSE(m.tacs.empty());
+    for (const trace::Tac t : m.tacs) {
+      EXPECT_TRUE(tacs.insert(t).second) << "duplicate TAC " << t;
+      EXPECT_GE(t, 10'000'000u);  // 8 digits
+      EXPECT_LE(t, 99'999'999u);
+    }
+  }
+}
+
+TEST(DeviceModels, ClassLookup) {
+  const DeviceModelCatalog catalog;
+  const auto wearables = catalog.models_of(DeviceClass::kSimWearable);
+  const auto phones = catalog.models_of(DeviceClass::kSmartphone);
+  EXPECT_GE(wearables.size(), 5u);
+  EXPECT_GE(phones.size(), 8u);
+  EXPECT_EQ(catalog.class_of_tac(wearables.front()->tacs.front()),
+            DeviceClass::kSimWearable);
+  EXPECT_FALSE(catalog.class_of_tac(12345678).has_value());
+  EXPECT_EQ(catalog.model_of_tac(99999999), nullptr);
+}
+
+TEST(DeviceModels, DeviceRecordsCarryNoClassInformation) {
+  const DeviceModelCatalog catalog;
+  const auto records = catalog.to_device_records();
+  std::size_t total_tacs = 0;
+  for (const DeviceModel& m : catalog.models()) total_tacs += m.tacs.size();
+  EXPECT_EQ(records.size(), total_tacs);
+  // Each record resolves back to its model.
+  for (const trace::DeviceRecord& r : records) {
+    const DeviceModel* m = catalog.model_of_tac(r.tac);
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(r.model, m->model);
+    EXPECT_EQ(r.manufacturer, m->manufacturer);
+    EXPECT_EQ(r.os, m->os);
+  }
+}
+
+TEST(DeviceModels, NoAppleWearableInOperatorDb) {
+  // The operator does not carry the Apple Watch 3 (paper §3.2).
+  const DeviceModelCatalog catalog;
+  for (const DeviceModel& m : catalog.models()) {
+    if (m.device_class == DeviceClass::kSimWearable) {
+      EXPECT_NE(m.manufacturer, "Apple");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wearscope::appdb

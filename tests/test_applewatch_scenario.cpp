@@ -1,0 +1,106 @@
+// Tests for the Apple-Watch-launch what-if extension.
+#include <gtest/gtest.h>
+
+#include "core/analysis_adoption.h"
+#include "core/context.h"
+#include "core/device_id.h"
+#include "simnet/simulator.h"
+#include "util/error.h"
+
+namespace wearscope {
+namespace {
+
+simnet::SimConfig scenario_config() {
+  simnet::SimConfig cfg = simnet::SimConfig::small();
+  cfg.seed = 31;
+  cfg.apple_watch_launch_day = cfg.observation_days / 2;
+  cfg.launch_adoption_boost = 3.0;
+  cfg.apple_watch_share = 0.6;
+  return cfg;
+}
+
+TEST(AppleWatchScenario, DisabledByDefault) {
+  const appdb::DeviceModelCatalog default_catalog;
+  EXPECT_EQ(default_catalog.model_of_tac(
+                appdb::DeviceModelCatalog::kAppleWatchTac),
+            nullptr);
+  const simnet::SimConfig cfg;
+  EXPECT_EQ(cfg.apple_watch_launch_day, -1);
+}
+
+TEST(AppleWatchScenario, CatalogGainsTheWatchWhenEnabled) {
+  const appdb::DeviceModelCatalog catalog(/*include_apple_watch=*/true);
+  const appdb::DeviceModel* m =
+      catalog.model_of_tac(appdb::DeviceModelCatalog::kAppleWatchTac);
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->manufacturer, "Apple");
+  EXPECT_EQ(m->device_class, appdb::DeviceClass::kSimWearable);
+}
+
+TEST(AppleWatchScenario, AppleWatchesOnlyAfterLaunch) {
+  const simnet::SimConfig cfg = scenario_config();
+  const simnet::SimResult sim = simnet::Simulator(cfg).run();
+  std::size_t apple_owners = 0;
+  for (const simnet::Subscriber& s : sim.subscribers) {
+    if (s.wearable_tac == appdb::DeviceModelCatalog::kAppleWatchTac) {
+      ++apple_owners;
+      EXPECT_GE(s.adoption_day, cfg.apple_watch_launch_day);
+    }
+  }
+  EXPECT_GT(apple_owners, 0u);
+}
+
+TEST(AppleWatchScenario, CuratedListDetectsTheWatchFromLogs) {
+  const simnet::SimConfig cfg = scenario_config();
+  const simnet::SimResult sim = simnet::Simulator(cfg).run();
+  // The analysts' curated list (§3.2) already names the Apple Watch, so
+  // the unchanged classifier must flag the new TAC.
+  const core::DeviceClassifier classifier(sim.store.devices);
+  EXPECT_TRUE(
+      classifier.is_wearable(appdb::DeviceModelCatalog::kAppleWatchTac));
+  bool seen_in_mme = false;
+  for (const trace::MmeRecord& r : sim.store.mme) {
+    if (r.tac == appdb::DeviceModelCatalog::kAppleWatchTac) {
+      seen_in_mme = true;
+      EXPECT_GE(util::day_of(r.timestamp), cfg.apple_watch_launch_day);
+    }
+  }
+  EXPECT_TRUE(seen_in_mme);
+}
+
+TEST(AppleWatchScenario, GrowthAcceleratesAfterLaunch) {
+  simnet::SimConfig base = scenario_config();
+  base.apple_watch_launch_day = -1;  // status quo
+  const simnet::SimResult sim_base = simnet::Simulator(base).run();
+  const simnet::SimConfig launch = scenario_config();
+  const simnet::SimResult sim_launch = simnet::Simulator(launch).run();
+
+  const auto adoption = [](const simnet::SimResult& sim) {
+    core::AnalysisOptions opt;
+    opt.observation_days = sim.observation_days;
+    opt.detailed_start_day = sim.detailed_start_day;
+    opt.long_tail_apps = sim.config.long_tail_apps;
+    const core::AnalysisContext ctx(sim.store, opt);
+    return core::analyze_adoption(ctx);
+  };
+  const core::AdoptionResult before = adoption(sim_base);
+  const core::AdoptionResult after = adoption(sim_launch);
+  // Same subscriber count, but the in-window adopters concentrate after
+  // the launch day: total measured growth must rise markedly.
+  EXPECT_GT(after.total_growth, before.total_growth * 1.2);
+}
+
+TEST(AppleWatchScenario, ValidationGuards) {
+  simnet::SimConfig cfg = scenario_config();
+  cfg.apple_watch_launch_day = cfg.observation_days;  // beyond window
+  EXPECT_THROW(cfg.validate(), util::ConfigError);
+  cfg = scenario_config();
+  cfg.launch_adoption_boost = 0.5;
+  EXPECT_THROW(cfg.validate(), util::ConfigError);
+  cfg = scenario_config();
+  cfg.apple_watch_share = 1.5;
+  EXPECT_THROW(cfg.validate(), util::ConfigError);
+}
+
+}  // namespace
+}  // namespace wearscope

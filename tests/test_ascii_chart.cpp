@@ -1,0 +1,72 @@
+// Unit tests for terminal chart rendering.
+#include "util/ascii_chart.h"
+
+#include <gtest/gtest.h>
+
+namespace wearscope::util {
+namespace {
+
+TEST(FormatNum, TrimsZeros) {
+  EXPECT_EQ(format_num(1.5), "1.5");
+  EXPECT_EQ(format_num(2.0), "2");
+  EXPECT_EQ(format_num(0.125, 3), "0.125");
+  EXPECT_EQ(format_num(0.0), "0");
+}
+
+TEST(FormatNum, ScientificForExtremes) {
+  EXPECT_NE(format_num(1.5e9).find("e"), std::string::npos);
+  EXPECT_NE(format_num(2.5e-7).find("e"), std::string::npos);
+}
+
+TEST(BarChart, LongestBarIsMax) {
+  const std::vector<Bar> bars = {{"a", 10.0}, {"b", 5.0}, {"c", 0.0}};
+  const std::string chart = bar_chart(bars, 20);
+  const auto count_hashes = [&](char label) {
+    const auto pos = chart.find(std::string(1, label) + " ");
+    const auto line_end = chart.find('\n', pos);
+    const std::string line = chart.substr(pos, line_end - pos);
+    return std::count(line.begin(), line.end(), '#');
+  };
+  EXPECT_EQ(count_hashes('a'), 20);
+  EXPECT_EQ(count_hashes('b'), 10);
+  EXPECT_EQ(count_hashes('c'), 0);
+}
+
+TEST(BarChart, LogScaleKeepsPositiveVisible) {
+  const std::vector<Bar> bars = {{"big", 1000.0}, {"tiny", 1.0}};
+  const std::string chart = bar_chart(bars, 40, /*log_scale=*/true);
+  // The tiny bar must still show at least one hash on a log scale.
+  const auto pos = chart.find("tiny");
+  const auto line = chart.substr(pos, chart.find('\n', pos) - pos);
+  EXPECT_NE(line.find('#'), std::string::npos);
+}
+
+TEST(BarChart, EmptyInput) {
+  EXPECT_EQ(bar_chart({}), "(empty)\n");
+}
+
+TEST(Sparkline, LengthMatchesInput) {
+  const std::string s = sparkline({0.0, 0.5, 1.0});
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0], ' ');
+  EXPECT_EQ(s[2], '@');
+  EXPECT_TRUE(sparkline({}).empty());
+}
+
+TEST(Table, AlignsColumns) {
+  const std::string t = table({"name", "value"}, {{"x", "1"},
+                                                  {"longer-name", "22"}});
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(t.begin(), t.end(), '\n'), 4);
+  EXPECT_NE(t.find("longer-name"), std::string::npos);
+  // Rule line contains dashes.
+  EXPECT_NE(t.find("----"), std::string::npos);
+}
+
+TEST(Table, RowShorterThanHeader) {
+  const std::string t = table({"a", "b", "c"}, {{"1"}});
+  EXPECT_NE(t.find('1'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wearscope::util

@@ -1,0 +1,146 @@
+// Unit tests for the shared AnalysisContext indexing.
+#include "core/context.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace wearscope::core {
+namespace {
+
+constexpr trace::Tac kWearTac = 35254208;   // Gear S3 frontier LTE
+constexpr trace::Tac kPhoneTac = 35332008;  // iPhone 7
+
+trace::TraceStore micro_store() {
+  trace::TraceStore s;
+  s.devices = {
+      {kWearTac, "Gear S3 frontier LTE", "Samsung", "Tizen"},
+      {kPhoneTac, "iPhone 7", "Apple", "iOS"},
+  };
+  s.sectors = {{1, {40.0, -3.0}}, {2, {40.1, -3.0}}};
+
+  const auto proxy = [](util::SimTime t, trace::UserId u, trace::Tac tac,
+                        const char* host) {
+    trace::ProxyRecord r;
+    r.timestamp = t;
+    r.user_id = u;
+    r.tac = tac;
+    r.host = host;
+    r.bytes_down = 1000;
+    return r;
+  };
+  // User 1: wearable owner with wearable + phone traffic.
+  s.proxy.push_back(proxy(100, 1, kWearTac, "api.weather.com"));
+  s.proxy.push_back(proxy(200, 1, kWearTac, "api.weather.com"));
+  s.proxy.push_back(proxy(300, 1, kPhoneTac, "graph.facebook.com"));
+  // User 2: phone only.
+  s.proxy.push_back(proxy(150, 2, kPhoneTac, "api.twitter.com"));
+
+  s.mme = {
+      {50, 1, kWearTac, trace::MmeEvent::kAttach, 1},
+      {250, 1, kPhoneTac, trace::MmeEvent::kHandover, 2},
+      {60, 2, kPhoneTac, trace::MmeEvent::kAttach, 1},
+  };
+  s.sort_by_time();
+  return s;
+}
+
+AnalysisOptions micro_options() {
+  AnalysisOptions o;
+  o.observation_days = 28;
+  o.detailed_start_day = 0;
+  o.long_tail_apps = 10;
+  return o;
+}
+
+TEST(Context, GroupsUsersAndClassifiesWearables) {
+  const trace::TraceStore store = micro_store();
+  const AnalysisContext ctx(store, micro_options());
+  EXPECT_EQ(ctx.users().size(), 2u);
+  ASSERT_EQ(ctx.wearable_users().size(), 1u);
+  ASSERT_EQ(ctx.other_users().size(), 1u);
+  const UserView& owner = *ctx.wearable_users()[0];
+  EXPECT_EQ(owner.user_id, 1u);
+  EXPECT_EQ(owner.wearable_txns.size(), 2u);
+  EXPECT_EQ(owner.phone_txns.size(), 1u);
+  EXPECT_EQ(owner.mme.size(), 2u);
+  EXPECT_EQ(ctx.other_users()[0]->user_id, 2u);
+}
+
+TEST(Context, AttributesAndSessionizesWearableTraffic) {
+  const trace::TraceStore store = micro_store();
+  const AnalysisContext ctx(store, micro_options());
+  const UserView& owner = *ctx.wearable_users()[0];
+  ASSERT_EQ(owner.wearable_classes.size(), 2u);
+  EXPECT_EQ(ctx.signatures().app_name(owner.wearable_classes[0].app),
+            "Weather");
+  // Two transactions 100 s apart -> two usages under the 60 s rule.
+  EXPECT_EQ(owner.usages.size(), 2u);
+}
+
+TEST(Context, FindUser) {
+  const trace::TraceStore store = micro_store();
+  const AnalysisContext ctx(store, micro_options());
+  ASSERT_NE(ctx.find_user(1), nullptr);
+  EXPECT_EQ(ctx.find_user(1)->user_id, 1u);
+  EXPECT_EQ(ctx.find_user(99), nullptr);
+}
+
+TEST(Context, SectorAtUsesLatestEventAtOrBefore) {
+  const trace::TraceStore store = micro_store();
+  const AnalysisContext ctx(store, micro_options());
+  const UserView& owner = *ctx.wearable_users()[0];
+  EXPECT_EQ(ctx.sector_at(owner, 49), 1u);   // before first: clamps forward
+  EXPECT_EQ(ctx.sector_at(owner, 50), 1u);
+  EXPECT_EQ(ctx.sector_at(owner, 100), 1u);
+  EXPECT_EQ(ctx.sector_at(owner, 250), 2u);
+  EXPECT_EQ(ctx.sector_at(owner, 9999), 2u);
+}
+
+TEST(Context, SectorAtWithoutMme) {
+  trace::TraceStore store = micro_store();
+  store.mme.clear();
+  const AnalysisContext ctx(store, micro_options());
+  const UserView& owner = *ctx.wearable_users()[0];
+  EXPECT_FALSE(ctx.sector_at(owner, 100).has_value());
+}
+
+TEST(Context, DetailedWindowHelpers) {
+  const trace::TraceStore store = micro_store();
+  AnalysisOptions o = micro_options();
+  o.detailed_start_day = 14;
+  const AnalysisContext ctx(store, o);
+  EXPECT_EQ(ctx.detailed_start(), util::day_start(14));
+  EXPECT_FALSE(ctx.in_detailed_window(util::day_start(13)));
+  EXPECT_TRUE(ctx.in_detailed_window(util::day_start(14)));
+  EXPECT_EQ(ctx.detailed_weeks(), 2);
+}
+
+TEST(Context, RequiresSortedStore) {
+  trace::TraceStore store = micro_store();
+  std::swap(store.proxy.front(), store.proxy.back());
+  EXPECT_THROW(AnalysisContext(store, micro_options()), util::ConfigError);
+}
+
+TEST(Context, RejectsBadWindow) {
+  const trace::TraceStore store = micro_store();
+  AnalysisOptions o = micro_options();
+  o.detailed_start_day = o.observation_days;
+  EXPECT_THROW(AnalysisContext(store, o), util::ConfigError);
+}
+
+TEST(Context, SignatureCoverageOptionPropagates) {
+  const trace::TraceStore store = micro_store();
+  AnalysisOptions o = micro_options();
+  o.signature_coverage = 0.0;
+  const AnalysisContext ctx(store, o);
+  EXPECT_EQ(ctx.signatures().rule_count(), 0u);
+  // With no rules, all wearable traffic is unknown.
+  const UserView& owner = *ctx.wearable_users()[0];
+  for (const EndpointClass& c : owner.wearable_classes) {
+    EXPECT_EQ(c.app, kUnknownApp);
+  }
+}
+
+}  // namespace
+}  // namespace wearscope::core

@@ -1,0 +1,65 @@
+// Unit tests for CSV escaping, parsing and the writer.
+#include "util/csv.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace wearscope::util {
+namespace {
+
+TEST(CsvEscape, PlainFieldsUntouched) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+  EXPECT_EQ(csv_escape(""), "");
+  EXPECT_EQ(csv_escape("a b"), "a b");
+}
+
+TEST(CsvEscape, QuotesWhenNeeded) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvParse, SimpleFields) {
+  EXPECT_EQ(csv_parse_line("a,b,c"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(csv_parse_line(""), (std::vector<std::string>{""}));
+  EXPECT_EQ(csv_parse_line("a,,c"), (std::vector<std::string>{"a", "", "c"}));
+}
+
+TEST(CsvParse, QuotedFields) {
+  EXPECT_EQ(csv_parse_line("\"a,b\",c"),
+            (std::vector<std::string>{"a,b", "c"}));
+  EXPECT_EQ(csv_parse_line("\"say \"\"hi\"\"\""),
+            (std::vector<std::string>{"say \"hi\""}));
+}
+
+TEST(CsvParse, UnterminatedQuoteThrows) {
+  EXPECT_THROW(csv_parse_line("\"abc"), ParseError);
+}
+
+TEST(CsvParse, RoundTripThroughEscape) {
+  const std::vector<std::string> fields = {"plain", "with,comma",
+                                           "with \"quote\"", ""};
+  std::string line;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) line += ',';
+    line += csv_escape(fields[i]);
+  }
+  EXPECT_EQ(csv_parse_line(line), fields);
+}
+
+TEST(CsvWriter, WritesRowsWithNewlines) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.write_row({"a", "b,c"});
+  w.row("x", 42, 3.5);
+  const std::string text = out.str();
+  EXPECT_EQ(text.substr(0, text.find('\n')), "a,\"b,c\"");
+  EXPECT_NE(text.find("x,42"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wearscope::util

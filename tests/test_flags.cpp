@@ -1,0 +1,102 @@
+// Unit tests for the command-line flag parser.
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace wearscope::util {
+namespace {
+
+TEST(Flags, ParsesAllForms) {
+  std::int64_t n = 1;
+  double d = 0.5;
+  std::string s = "default";
+  bool b = false;
+  FlagParser p("test");
+  p.add_int("n", &n, "an int");
+  p.add_double("d", &d, "a double");
+  p.add_string("s", &s, "a string");
+  p.add_bool("b", &b, "a bool");
+
+  const char* argv[] = {"prog", "--n=42", "--d", "2.5", "--s=hello", "--b"};
+  ASSERT_TRUE(p.parse(6, argv));
+  EXPECT_EQ(n, 42);
+  EXPECT_DOUBLE_EQ(d, 2.5);
+  EXPECT_EQ(s, "hello");
+  EXPECT_TRUE(b);
+}
+
+TEST(Flags, DefaultsSurviveWhenAbsent) {
+  std::int64_t n = 7;
+  FlagParser p("test");
+  p.add_int("n", &n, "an int");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(p.parse(1, argv));
+  EXPECT_EQ(n, 7);
+}
+
+TEST(Flags, BoolExplicitValues) {
+  bool b = true;
+  FlagParser p("test");
+  p.add_bool("b", &b, "a bool");
+  const char* argv[] = {"prog", "--b=false"};
+  ASSERT_TRUE(p.parse(2, argv));
+  EXPECT_FALSE(b);
+  const char* argv2[] = {"prog", "--b=1"};
+  ASSERT_TRUE(p.parse(2, argv2));
+  EXPECT_TRUE(b);
+}
+
+TEST(Flags, UnknownFlagThrows) {
+  FlagParser p("test");
+  const char* argv[] = {"prog", "--nope=1"};
+  EXPECT_THROW(p.parse(2, argv), ConfigError);
+}
+
+TEST(Flags, BadValueThrows) {
+  std::int64_t n = 0;
+  double d = 0;
+  FlagParser p("test");
+  p.add_int("n", &n, "an int");
+  p.add_double("d", &d, "a double");
+  const char* argv[] = {"prog", "--n=abc"};
+  EXPECT_THROW(p.parse(2, argv), ConfigError);
+  const char* argv2[] = {"prog", "--d=1.2.3"};
+  EXPECT_THROW(p.parse(2, argv2), ConfigError);
+}
+
+TEST(Flags, MissingValueThrows) {
+  std::int64_t n = 0;
+  FlagParser p("test");
+  p.add_int("n", &n, "an int");
+  const char* argv[] = {"prog", "--n"};
+  EXPECT_THROW(p.parse(2, argv), ConfigError);
+}
+
+TEST(Flags, NonFlagArgumentThrows) {
+  FlagParser p("test");
+  const char* argv[] = {"prog", "positional"};
+  EXPECT_THROW(p.parse(2, argv), ConfigError);
+}
+
+TEST(Flags, DuplicateRegistrationThrows) {
+  std::int64_t n = 0;
+  FlagParser p("test");
+  p.add_int("n", &n, "an int");
+  EXPECT_THROW(p.add_int("n", &n, "again"), ConfigError);
+}
+
+TEST(Flags, HelpReturnsFalseAndListsFlags) {
+  std::int64_t n = 3;
+  FlagParser p("my program");
+  p.add_int("count", &n, "how many");
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(p.parse(2, argv));
+  EXPECT_NE(p.help().find("--count"), std::string::npos);
+  EXPECT_NE(p.help().find("how many"), std::string::npos);
+  EXPECT_NE(p.help().find("default: 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wearscope::util

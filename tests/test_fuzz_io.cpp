@@ -1,0 +1,160 @@
+// Deterministic mutation fuzzing of the trace parsers: whatever bytes we
+// throw at them, readers must either parse or throw util::ParseError —
+// never crash, hang, or return garbage silently.  (Networking code rule
+// one: the input is hostile.)
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "trace/binary_io.h"
+#include "trace/csv_io.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace wearscope::trace {
+namespace {
+
+std::string valid_binary_log(std::size_t records) {
+  std::ostringstream out;
+  BinaryLogWriter<ProxyRecord> writer(out);
+  for (std::size_t i = 0; i < records; ++i) {
+    ProxyRecord r;
+    r.timestamp = static_cast<util::SimTime>(i * 37);
+    r.user_id = 1'000'000 + i;
+    r.tac = 35254208;
+    r.protocol = i % 2 == 0 ? Protocol::kHttps : Protocol::kHttp;
+    r.host = "host" + std::to_string(i) + ".example";
+    r.url_path = i % 2 == 0 ? "" : "/p/" + std::to_string(i);
+    r.bytes_up = i * 11;
+    r.bytes_down = i * 101 + 1;
+    r.duration_ms = static_cast<std::uint32_t>(i + 1);
+    writer.write(r);
+  }
+  return out.str();
+}
+
+/// Consumes the whole stream; returns records parsed before error/EOF.
+template <typename Record>
+std::size_t drain_binary(const std::string& blob) {
+  std::istringstream in(blob);
+  BinaryLogReader<Record> reader(in);  // may throw
+  Record r;
+  std::size_t n = 0;
+  while (reader.next(r)) ++n;
+  return n;
+}
+
+TEST(FuzzBinary, TruncationAtEveryOffsetIsHandled) {
+  const std::string blob = valid_binary_log(8);
+  for (std::size_t cut = 0; cut <= blob.size(); ++cut) {
+    const std::string prefix = blob.substr(0, cut);
+    try {
+      const std::size_t n = drain_binary<ProxyRecord>(prefix);
+      EXPECT_LE(n, 8u);
+    } catch (const util::ParseError&) {
+      // acceptable: truncated header or record
+    }
+  }
+}
+
+TEST(FuzzBinary, SingleByteFlipsNeverCrash) {
+  const std::string blob = valid_binary_log(6);
+  util::Pcg32 rng(0xF122);
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string mutated = blob;
+    const auto pos = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(mutated.size()) - 1));
+    mutated[pos] = static_cast<char>(rng.uniform_int(0, 255));
+    try {
+      (void)drain_binary<ProxyRecord>(mutated);
+    } catch (const util::ParseError&) {
+      // expected for corrupted magic/length/enum bytes
+    }
+  }
+}
+
+TEST(FuzzBinary, RandomGarbageIsRejectedOrEmpty) {
+  util::Pcg32 rng(0xBAD5EED);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto len = static_cast<std::size_t>(rng.uniform_int(0, 256));
+    std::string garbage(len, '\0');
+    for (char& c : garbage) c = static_cast<char>(rng.uniform_int(0, 255));
+    try {
+      (void)drain_binary<MmeRecord>(garbage);
+    } catch (const util::ParseError&) {
+    }
+  }
+}
+
+TEST(FuzzBinary, LengthPrefixBombIsBounded) {
+  // A corrupted string length must fail with ParseError, not allocate
+  // unbounded memory: the u16 prefix bounds strings to 64 KiB by design.
+  std::ostringstream out;
+  BinaryEncoder enc(out);
+  enc.put_u32(0x57505258);  // proxy magic
+  enc.put_u16(1);           // version
+  enc.put_u16(0);
+  enc.put_i64(1);           // timestamp
+  enc.put_u64(2);           // user
+  enc.put_u32(3);           // tac
+  enc.put_u8(0);            // protocol
+  enc.put_u16(0xFFFF);      // host length claims 65535 bytes...
+  out << "short";           // ...but only 5 follow
+  const std::string blob = out.str();
+  EXPECT_THROW(drain_binary<ProxyRecord>(blob), util::ParseError);
+}
+
+TEST(FuzzCsv, MutatedRowsAreRejectedNotCrashing) {
+  std::ostringstream out;
+  {
+    CsvLogWriter<MmeRecord> writer(out);
+    for (int i = 0; i < 10; ++i) {
+      writer.write({i * 60, static_cast<UserId>(100 + i), 35254208,
+                    MmeEvent::kAttach, static_cast<SectorId>(i + 1)});
+    }
+  }
+  const std::string blob = out.str();
+  util::Pcg32 rng(0xC54F);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string mutated = blob;
+    const auto pos = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(mutated.size()) - 1));
+    mutated[pos] = static_cast<char>(rng.uniform_int(32, 126));
+    std::istringstream in(mutated);
+    try {
+      CsvLogReader<MmeRecord> reader(in);
+      MmeRecord r;
+      while (reader.next(r)) {
+      }
+    } catch (const util::ParseError&) {
+      // expected for corrupted headers/fields
+    }
+  }
+}
+
+TEST(FuzzCsv, ArbitraryTextLinesAreRejected) {
+  util::Pcg32 rng(0x7E57);
+  const std::string header = "timestamp,user_id,tac,event,sector_id\n";
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string body;
+    const auto lines = rng.uniform_int(0, 5);
+    for (std::int64_t l = 0; l < lines; ++l) {
+      const auto len = rng.uniform_int(0, 60);
+      for (std::int64_t i = 0; i < len; ++i) {
+        body += static_cast<char>(rng.uniform_int(32, 126));
+      }
+      body += '\n';
+    }
+    std::istringstream in(header + body);
+    try {
+      CsvLogReader<MmeRecord> reader(in);
+      MmeRecord r;
+      while (reader.next(r)) {
+      }
+    } catch (const util::ParseError&) {
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wearscope::trace

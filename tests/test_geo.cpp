@@ -1,0 +1,63 @@
+// Unit tests for the geodesy helpers.
+#include "util/geo.h"
+
+#include <gtest/gtest.h>
+
+namespace wearscope::util {
+namespace {
+
+TEST(Geo, ZeroDistance) {
+  const GeoPoint p{40.0, -3.5};
+  EXPECT_DOUBLE_EQ(haversine_km(p, p), 0.0);
+}
+
+TEST(Geo, OneDegreeLatitudeIsAbout111km) {
+  const GeoPoint a{40.0, 0.0};
+  const GeoPoint b{41.0, 0.0};
+  EXPECT_NEAR(haversine_km(a, b), 111.19, 0.3);
+}
+
+TEST(Geo, OneDegreeLongitudeShrinksWithLatitude) {
+  const GeoPoint eq_a{0.0, 0.0};
+  const GeoPoint eq_b{0.0, 1.0};
+  const GeoPoint mid_a{60.0, 0.0};
+  const GeoPoint mid_b{60.0, 1.0};
+  EXPECT_NEAR(haversine_km(eq_a, eq_b), 111.19, 0.3);
+  EXPECT_NEAR(haversine_km(mid_a, mid_b), 111.19 / 2.0, 0.5);  // cos(60)=0.5
+}
+
+TEST(Geo, Symmetry) {
+  const GeoPoint a{40.4, -3.7};  // Madrid-ish
+  const GeoPoint b{41.4, 2.2};   // Barcelona-ish
+  EXPECT_DOUBLE_EQ(haversine_km(a, b), haversine_km(b, a));
+  EXPECT_NEAR(haversine_km(a, b), 505.0, 15.0);  // known ~505 km
+}
+
+TEST(Geo, DestinationRoundTrip) {
+  const GeoPoint origin{40.0, -3.5};
+  for (const double bearing : {0.0, 45.0, 90.0, 180.0, 270.0}) {
+    const GeoPoint dest = destination(origin, bearing, 25.0);
+    EXPECT_NEAR(haversine_km(origin, dest), 25.0, 0.01);
+  }
+}
+
+TEST(Geo, DestinationNorthIncreasesLatitude) {
+  const GeoPoint origin{40.0, -3.5};
+  const GeoPoint north = destination(origin, 0.0, 10.0);
+  EXPECT_GT(north.lat_deg, origin.lat_deg);
+  EXPECT_NEAR(north.lon_deg, origin.lon_deg, 1e-9);
+  const GeoPoint east = destination(origin, 90.0, 10.0);
+  EXPECT_GT(east.lon_deg, origin.lon_deg);
+  EXPECT_NEAR(east.lat_deg, origin.lat_deg, 0.01);
+}
+
+TEST(Geo, TriangleInequalityHolds) {
+  const GeoPoint a{40.0, -3.0};
+  const GeoPoint b{41.0, -2.0};
+  const GeoPoint c{42.0, -4.0};
+  EXPECT_LE(haversine_km(a, c),
+            haversine_km(a, b) + haversine_km(b, c) + 1e-9);
+}
+
+}  // namespace
+}  // namespace wearscope::util

@@ -1,0 +1,111 @@
+// Tests for the spatial-adoption extension analysis.
+#include "core/analysis_geography.h"
+
+#include <gtest/gtest.h>
+
+#include "core/context.h"
+#include "simnet/simulator.h"
+#include "util/geo.h"
+
+namespace wearscope::core {
+namespace {
+
+constexpr trace::Tac kWearTac = 35254208;
+constexpr trace::Tac kPhoneTac = 35332008;
+
+trace::TraceStore micro_store() {
+  trace::TraceStore s;
+  s.devices = {
+      {kWearTac, "Gear S3 frontier LTE", "Samsung", "Tizen"},
+      {kPhoneTac, "iPhone 7", "Apple", "iOS"},
+  };
+  // Two sector clusters 200 km apart; sectors within a cluster 5 km apart.
+  const util::GeoPoint city_a{40.0, -3.0};
+  const util::GeoPoint city_b = util::destination(city_a, 90.0, 200.0);
+  s.sectors = {
+      {1, city_a},
+      {2, util::destination(city_a, 0.0, 5.0)},
+      {3, city_b},
+      {4, util::destination(city_b, 0.0, 5.0)},
+  };
+  // User 1 (wearable owner) lives at sector 1: dwells there all day.
+  const auto day_at = [&](trace::UserId u, trace::Tac tac, int day,
+                          trace::SectorId home, trace::SectorId away) {
+    s.mme.push_back({util::day_start(day) + 0, u, tac,
+                     trace::MmeEvent::kAttach, home});
+    s.mme.push_back({util::day_start(day) + 10 * 3600, u, tac,
+                     trace::MmeEvent::kHandover, away});
+    s.mme.push_back({util::day_start(day) + 12 * 3600, u, tac,
+                     trace::MmeEvent::kHandover, home});
+  };
+  day_at(1, kWearTac, 20, 1, 2);
+  day_at(2, kPhoneTac, 20, 2, 1);   // same cluster, phone-only user
+  day_at(3, kPhoneTac, 20, 3, 4);   // other city
+  s.sort_by_time();
+  return s;
+}
+
+AnalysisContext micro_context(const trace::TraceStore& store) {
+  AnalysisOptions o;
+  o.observation_days = 28;
+  o.detailed_start_day = 14;
+  o.long_tail_apps = 10;
+  return AnalysisContext(store, o);
+}
+
+TEST(GeographyAnalysis, ClustersSectorsAndAnchorsUsers) {
+  const trace::TraceStore store = micro_store();
+  const AnalysisContext ctx = micro_context(store);
+  const GeographyResult r = analyze_geography(ctx, 25.0);
+
+  ASSERT_EQ(r.areas.size(), 2u);
+  // Densest area first: cluster A holds users 1 (wearable) and 2.
+  EXPECT_EQ(r.areas[0].users, 2u);
+  EXPECT_EQ(r.areas[0].wearable_users, 1u);
+  EXPECT_EQ(r.areas[0].sectors, 2u);
+  EXPECT_DOUBLE_EQ(r.areas[0].adoption_rate(), 0.5);
+  EXPECT_EQ(r.areas[1].users, 1u);
+  EXPECT_EQ(r.areas[1].wearable_users, 0u);
+  // Urban (= denser half) adoption 0.5, rural 0.
+  EXPECT_DOUBLE_EQ(r.urban_adoption, 0.5);
+  EXPECT_DOUBLE_EQ(r.rural_adoption, 0.0);
+}
+
+TEST(GeographyAnalysis, TightRadiusSplitsClusters) {
+  const trace::TraceStore store = micro_store();
+  const AnalysisContext ctx = micro_context(store);
+  const GeographyResult r = analyze_geography(ctx, 2.0);
+  EXPECT_EQ(r.areas.size(), 4u);  // every sector its own area
+}
+
+TEST(GeographyAnalysis, EmptyStore) {
+  trace::TraceStore store;
+  store.devices = {{kWearTac, "Gear S3 frontier LTE", "Samsung", "Tizen"}};
+  store.sort_by_time();
+  const AnalysisContext ctx = micro_context(store);
+  const GeographyResult r = analyze_geography(ctx);
+  EXPECT_TRUE(r.areas.empty());
+  EXPECT_DOUBLE_EQ(r.urban_adoption, 0.0);
+}
+
+TEST(GeographyAnalysis, SimulatedAdoptionIsSpatiallyUniform) {
+  simnet::SimConfig cfg = simnet::SimConfig::small();
+  cfg.seed = 37;
+  const simnet::SimResult sim = simnet::Simulator(cfg).run();
+  AnalysisOptions o;
+  o.observation_days = sim.observation_days;
+  o.detailed_start_day = sim.detailed_start_day;
+  o.long_tail_apps = cfg.long_tail_apps;
+  const AnalysisContext ctx(sim.store, o);
+  const GeographyResult r = analyze_geography(ctx);
+  EXPECT_GE(r.areas.size(), 2u);
+  EXPECT_GT(r.urban_adoption, 0.0);
+  EXPECT_TRUE(figure_geography(r).all_pass());
+  // Every subscriber with MME presence is anchored somewhere.
+  std::size_t anchored = 0;
+  for (const AreaStats& a : r.areas) anchored += a.users;
+  EXPECT_GT(anchored, ctx.users().size() * 9 / 10);
+}
+
+}  // namespace
+}  // namespace wearscope::core

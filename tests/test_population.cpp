@@ -1,0 +1,194 @@
+// Unit tests for the subscriber population builder.
+#include "simnet/population.h"
+
+#include "util/stats.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace wearscope::simnet {
+namespace {
+
+struct World {
+  SimConfig cfg = SimConfig::small();
+  appdb::AppCatalog apps{cfg.long_tail_apps};
+  appdb::DeviceModelCatalog devices;
+  Geography geo{cfg, util::Pcg32(1)};
+  Population pop{cfg, geo, apps, devices, util::Pcg32(2)};
+};
+
+TEST(Population, SegmentCountsMatchConfig) {
+  World w;
+  EXPECT_EQ(w.pop.subscribers().size(),
+            w.cfg.wearable_users + w.cfg.control_users +
+                w.cfg.through_device_users);
+  EXPECT_EQ(w.pop.of_segment(Segment::kWearableOwner).size(),
+            w.cfg.wearable_users);
+  EXPECT_EQ(w.pop.of_segment(Segment::kControl).size(), w.cfg.control_users);
+  EXPECT_EQ(w.pop.of_segment(Segment::kThroughDevice).size(),
+            w.cfg.through_device_users);
+}
+
+TEST(Population, UserIdsAreUnique) {
+  World w;
+  std::set<trace::UserId> ids;
+  for (const Subscriber& s : w.pop.subscribers()) {
+    EXPECT_TRUE(ids.insert(s.user_id).second);
+  }
+}
+
+TEST(Population, DevicesMatchSegments) {
+  World w;
+  for (const Subscriber& s : w.pop.subscribers()) {
+    EXPECT_NE(s.phone_tac, 0u);
+    EXPECT_EQ(w.devices.class_of_tac(s.phone_tac),
+              appdb::DeviceClass::kSmartphone);
+    if (s.segment == Segment::kWearableOwner) {
+      EXPECT_EQ(w.devices.class_of_tac(s.wearable_tac),
+                appdb::DeviceClass::kSimWearable);
+    } else {
+      EXPECT_EQ(s.wearable_tac, 0u);
+    }
+  }
+}
+
+TEST(Population, OnlyThroughDeviceUsersCarryCompanions) {
+  World w;
+  std::size_t fingerprinted = 0;
+  for (const Subscriber& s : w.pop.subscribers()) {
+    if (s.segment != Segment::kThroughDevice) {
+      EXPECT_EQ(s.companion_signature, -1);
+    } else if (s.companion_signature >= 0) {
+      ++fingerprinted;
+      EXPECT_LT(static_cast<std::size_t>(s.companion_signature),
+                appdb::companion_signatures().size());
+    }
+  }
+  // ~16% of TD users, generously banded for the small preset.
+  const double frac = static_cast<double>(fingerprinted) /
+                      static_cast<double>(w.cfg.through_device_users);
+  EXPECT_GT(frac, 0.05);
+  EXPECT_LT(frac, 0.35);
+}
+
+TEST(Population, AdoptionSplitPreWindowVsRamp) {
+  World w;
+  std::size_t pre = 0;
+  std::size_t ramp = 0;
+  for (const Subscriber* s : w.pop.of_segment(Segment::kWearableOwner)) {
+    if (s->adoption_day == 0) {
+      ++pre;
+    } else {
+      ++ramp;
+      EXPECT_GT(s->adoption_day, 0);
+      EXPECT_LT(s->adoption_day, w.cfg.observation_days);
+    }
+  }
+  const double pre_frac =
+      static_cast<double>(pre) / static_cast<double>(pre + ramp);
+  EXPECT_NEAR(pre_frac, 0.86, 0.07);
+}
+
+TEST(Population, ChurnOnlyAffectsEarlyAdopters) {
+  World w;
+  std::size_t churned = 0;
+  std::size_t early = 0;
+  for (const Subscriber* s : w.pop.of_segment(Segment::kWearableOwner)) {
+    if (s->adoption_day <= 7) ++early;
+    if (s->churn_day < (1 << 30)) {
+      ++churned;
+      EXPECT_LE(s->adoption_day, 7);
+      EXPECT_GE(s->churn_day, w.cfg.observation_days / 3);
+      EXPECT_LT(s->churn_day, w.cfg.observation_days - 7);
+    }
+  }
+  const double churn_frac =
+      static_cast<double>(churned) / static_cast<double>(early);
+  EXPECT_NEAR(churn_frac, w.cfg.churn_fraction, 0.05);
+}
+
+TEST(Population, SilentFractionNearConfig) {
+  World w;
+  std::size_t silent = 0;
+  for (const Subscriber* s : w.pop.of_segment(Segment::kWearableOwner)) {
+    if (s->silent) ++silent;
+  }
+  EXPECT_NEAR(static_cast<double>(silent) / w.cfg.wearable_users,
+              w.cfg.silent_user_fraction, 0.08);
+}
+
+TEST(Population, WearableAppsBoundsAndStats) {
+  World w;
+  double total = 0.0;
+  std::size_t under20 = 0;
+  std::size_t owners = 0;
+  for (const Subscriber* s : w.pop.of_segment(Segment::kWearableOwner)) {
+    ++owners;
+    EXPECT_GE(s->wearable_apps.size(), 1u);
+    EXPECT_LE(s->wearable_apps.size(), w.apps.size());
+    std::set<appdb::AppId> distinct(s->wearable_apps.begin(),
+                                    s->wearable_apps.end());
+    EXPECT_EQ(distinct.size(), s->wearable_apps.size());
+    total += static_cast<double>(s->wearable_apps.size());
+    if (s->wearable_apps.size() < 20) ++under20;
+  }
+  EXPECT_NEAR(total / static_cast<double>(owners), 8.0, 3.0);
+  EXPECT_GT(static_cast<double>(under20) / static_cast<double>(owners), 0.85);
+}
+
+TEST(Population, MobilityAnchorsAreValidSectors) {
+  World w;
+  const auto max_sector =
+      static_cast<trace::SectorId>(w.geo.sectors().size());
+  for (const Subscriber& s : w.pop.subscribers()) {
+    EXPECT_GE(s.home_sector, 1u);
+    EXPECT_LE(s.home_sector, max_sector);
+    EXPECT_GE(s.work_sector, 1u);
+    EXPECT_LE(s.work_sector, max_sector);
+    EXPECT_FALSE(s.errand_sectors.empty());
+    EXPECT_GT(s.mobility_level, 0.0);
+  }
+}
+
+TEST(Population, OwnersRoamFartherOnAverage) {
+  World w;
+  util::OnlineStats owner_mob;
+  util::OnlineStats control_mob;
+  for (const Subscriber& s : w.pop.subscribers()) {
+    if (s.segment == Segment::kWearableOwner) owner_mob.add(s.mobility_level);
+    if (s.segment == Segment::kControl) control_mob.add(s.mobility_level);
+  }
+  EXPECT_GT(owner_mob.mean(), control_mob.mean() * 1.5);
+}
+
+TEST(Population, DeterministicForEqualSeeds) {
+  World a;
+  World b;
+  ASSERT_EQ(a.pop.subscribers().size(), b.pop.subscribers().size());
+  for (std::size_t i = 0; i < a.pop.subscribers().size(); ++i) {
+    const Subscriber& sa = a.pop.subscribers()[i];
+    const Subscriber& sb = b.pop.subscribers()[i];
+    EXPECT_EQ(sa.user_id, sb.user_id);
+    EXPECT_EQ(sa.wearable_tac, sb.wearable_tac);
+    EXPECT_EQ(sa.home_sector, sb.home_sector);
+    EXPECT_EQ(sa.wearable_apps, sb.wearable_apps);
+    EXPECT_DOUBLE_EQ(sa.engagement, sb.engagement);
+  }
+}
+
+TEST(SubscriberStruct, WearableAliveWindow) {
+  Subscriber s;
+  s.segment = Segment::kWearableOwner;
+  s.adoption_day = 10;
+  s.churn_day = 100;
+  EXPECT_FALSE(s.wearable_alive(9));
+  EXPECT_TRUE(s.wearable_alive(10));
+  EXPECT_TRUE(s.wearable_alive(99));
+  EXPECT_FALSE(s.wearable_alive(100));
+  s.segment = Segment::kControl;
+  EXPECT_FALSE(s.wearable_alive(50));
+}
+
+}  // namespace
+}  // namespace wearscope::simnet

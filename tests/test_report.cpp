@@ -1,0 +1,76 @@
+// Unit tests for the figure/check reporting model.
+#include "core/report.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace wearscope::core {
+namespace {
+
+TEST(Check, PassWithinBandInclusive) {
+  const Check c = make_check("x", 1.0, 0.5, 0.5, 1.5);
+  EXPECT_TRUE(c.pass());
+  EXPECT_TRUE(make_check("x", 1.0, 1.5, 0.5, 1.5).pass());
+  EXPECT_FALSE(make_check("x", 1.0, 1.6, 0.5, 1.5).pass());
+  EXPECT_FALSE(make_check("x", 1.0, 0.4, 0.5, 1.5).pass());
+}
+
+TEST(Figure, AllPass) {
+  FigureData fig;
+  fig.checks.push_back(make_check("a", 1, 1, 0, 2));
+  EXPECT_TRUE(fig.all_pass());
+  fig.checks.push_back(make_check("b", 1, 5, 0, 2));
+  EXPECT_FALSE(fig.all_pass());
+  EXPECT_TRUE(FigureData{}.all_pass());
+}
+
+TEST(Figure, TextRendering) {
+  FigureData fig;
+  fig.id = "figX";
+  fig.title = "A test figure";
+  fig.checks.push_back(make_check("claim one", 0.34, 0.36, 0.28, 0.40));
+  fig.checks.push_back(make_check("claim two", 1.0, 9.9, 0.0, 2.0));
+  fig.notes.push_back("a note");
+  const std::string text = fig.to_text();
+  EXPECT_NE(text.find("figX"), std::string::npos);
+  EXPECT_NE(text.find("A test figure"), std::string::npos);
+  EXPECT_NE(text.find("claim one"), std::string::npos);
+  EXPECT_NE(text.find("PASS"), std::string::npos);
+  EXPECT_NE(text.find("FAIL"), std::string::npos);
+  EXPECT_NE(text.find("note: a note"), std::string::npos);
+}
+
+TEST(Figure, CsvExport) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("wearscope_report_test_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+
+  FigureData fig;
+  fig.id = "figY";
+  Series labelled;
+  labelled.name = "bars";
+  labelled.labels = {"a", "b"};
+  labelled.y = {1.0, 2.0};
+  Series curve;
+  curve.name = "cdf curve";  // space must be sanitized in the filename
+  curve.x = {0.0, 1.0};
+  curve.y = {0.0, 1.0};
+  fig.series = {labelled, curve};
+  fig.write_csv(dir);
+
+  EXPECT_TRUE(std::filesystem::exists(dir / "figY_bars.csv"));
+  EXPECT_TRUE(std::filesystem::exists(dir / "figY_cdf_curve.csv"));
+  std::ifstream in(dir / "figY_bars.csv");
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "label,value");
+  std::getline(in, line);
+  EXPECT_EQ(line.substr(0, 2), "a,");
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace wearscope::core

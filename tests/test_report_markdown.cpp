@@ -1,0 +1,56 @@
+// Tests for the Markdown report rendering.
+#include "core/report_markdown.h"
+
+#include <gtest/gtest.h>
+
+namespace wearscope::core {
+namespace {
+
+StudyReport tiny_report() {
+  StudyReport rep;
+  FigureData fig;
+  fig.id = "figX";
+  fig.title = "Demo figure";
+  fig.checks.push_back(make_check("claim with | pipe", 0.34, 0.36, 0.28, 0.4));
+  fig.checks.push_back(make_check("failing claim", 1.0, 9.0, 0.0, 2.0));
+  fig.notes.push_back("a note");
+  rep.figures.push_back(std::move(fig));
+  return rep;
+}
+
+TEST(Markdown, RendersHeaderMetaAndTables) {
+  MarkdownMeta meta;
+  meta.title = "My report";
+  meta.preset = "standard";
+  meta.seed = "42";
+  meta.extra = "Extra paragraph.";
+  const std::string md = to_markdown(tiny_report(), meta);
+  EXPECT_NE(md.find("# My report"), std::string::npos);
+  EXPECT_NE(md.find("preset `standard`"), std::string::npos);
+  EXPECT_NE(md.find("seed `42`"), std::string::npos);
+  EXPECT_NE(md.find("Extra paragraph."), std::string::npos);
+  EXPECT_NE(md.find("## figX — Demo figure"), std::string::npos);
+  EXPECT_NE(md.find("| claim | paper | measured | band | verdict |"),
+            std::string::npos);
+  EXPECT_NE(md.find("> a note"), std::string::npos);
+}
+
+TEST(Markdown, EscapesPipesAndMarksVerdicts) {
+  const std::string md = to_markdown(tiny_report(), {});
+  EXPECT_NE(md.find("claim with \\| pipe"), std::string::npos);
+  EXPECT_NE(md.find("| PASS |"), std::string::npos);
+  EXPECT_NE(md.find("| **FAIL** |"), std::string::npos);
+}
+
+TEST(Markdown, SummaryTallyCorrect) {
+  const std::string md = to_markdown(tiny_report(), {});
+  EXPECT_NE(md.find("1 of 2 paper-claim checks passed."), std::string::npos);
+}
+
+TEST(Markdown, EmptyReport) {
+  const std::string md = to_markdown(StudyReport{}, {});
+  EXPECT_NE(md.find("0 of 0 paper-claim checks passed."), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wearscope::core

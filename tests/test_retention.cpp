@@ -1,0 +1,96 @@
+// Tests for the retention-cohort extension.
+#include "core/analysis_retention.h"
+
+#include <gtest/gtest.h>
+
+#include "core/context.h"
+#include "simnet/simulator.h"
+#include "util/geo.h"
+
+namespace wearscope::core {
+namespace {
+
+constexpr trace::Tac kWearTac = 35254208;
+
+trace::TraceStore micro_store() {
+  trace::TraceStore s;
+  s.devices = {{kWearTac, "Gear S3 frontier LTE", "Samsung", "Tizen"}};
+  s.sectors = {{1, util::GeoPoint{40.0, -3.0}}};
+  const auto reg = [&](trace::UserId u, int week) {
+    s.mme.push_back({util::day_start(week * 7) + 3600, u, kWearTac,
+                     trace::MmeEvent::kAttach, 1});
+  };
+  // Cohort week 0: users 1, 2. User 1 registers every week of 4;
+  // user 2 only weeks 0 and 1 (churns).
+  for (int w = 0; w < 4; ++w) reg(1, w);
+  reg(2, 0);
+  reg(2, 1);
+  // Cohort week 2: user 3, present weeks 2 and 3.
+  reg(3, 2);
+  reg(3, 3);
+  s.sort_by_time();
+  return s;
+}
+
+AnalysisContext micro_context(const trace::TraceStore& store) {
+  AnalysisOptions o;
+  o.observation_days = 28;  // 4 weeks
+  o.detailed_start_day = 14;
+  o.long_tail_apps = 10;
+  return AnalysisContext(store, o);
+}
+
+TEST(Retention, CohortSurvivalCurvesExact) {
+  const trace::TraceStore store = micro_store();
+  const AnalysisContext ctx = micro_context(store);
+  const RetentionResult r = analyze_retention(ctx);
+
+  ASSERT_EQ(r.cohorts.size(), 2u);
+  const Cohort& c0 = r.cohorts[0];
+  EXPECT_EQ(c0.adoption_week, 0);
+  EXPECT_EQ(c0.size, 2u);
+  ASSERT_EQ(c0.survival.size(), 4u);
+  EXPECT_DOUBLE_EQ(c0.survival[0], 1.0);
+  EXPECT_DOUBLE_EQ(c0.survival[1], 1.0);  // both present in week 1
+  EXPECT_DOUBLE_EQ(c0.survival[2], 0.5);  // user 2 gone
+  EXPECT_DOUBLE_EQ(c0.survival[3], 0.5);
+
+  const Cohort& c2 = r.cohorts[1];
+  EXPECT_EQ(c2.adoption_week, 2);
+  EXPECT_EQ(c2.size, 1u);
+  ASSERT_EQ(c2.survival.size(), 2u);
+  EXPECT_DOUBLE_EQ(c2.survival[0], 1.0);
+  EXPECT_DOUBLE_EQ(c2.survival[1], 1.0);
+}
+
+TEST(Retention, EmptyStore) {
+  trace::TraceStore store;
+  store.devices = {{kWearTac, "Gear S3 frontier LTE", "Samsung", "Tizen"}};
+  store.sort_by_time();
+  const AnalysisContext ctx = micro_context(store);
+  const RetentionResult r = analyze_retention(ctx);
+  EXPECT_TRUE(r.cohorts.empty());
+  EXPECT_DOUBLE_EQ(r.survival_4w, 0.0);
+}
+
+TEST(Retention, SimulatedBaseIsSticky) {
+  simnet::SimConfig cfg = simnet::SimConfig::small();
+  cfg.seed = 13;
+  const simnet::SimResult sim = simnet::Simulator(cfg).run();
+  AnalysisOptions o;
+  o.observation_days = sim.observation_days;
+  o.detailed_start_day = sim.detailed_start_day;
+  o.long_tail_apps = cfg.long_tail_apps;
+  const AnalysisContext ctx(sim.store, o);
+  const RetentionResult r = analyze_retention(ctx);
+  ASSERT_FALSE(r.cohorts.empty());
+  // The big pre-window cohort adopts in week 0 and stays ~sticky.
+  EXPECT_EQ(r.cohorts.front().adoption_week, 0);
+  EXPECT_GT(r.cohorts.front().size, cfg.wearable_users / 2);
+  EXPECT_GT(r.survival_4w, 0.85);
+  EXPECT_GE(r.survival_4w, r.survival_12w - 1e-9);
+  EXPECT_TRUE(figure_retention(r).all_pass());
+}
+
+}  // namespace
+}  // namespace wearscope::core

@@ -1,0 +1,288 @@
+// Unit tests for the deterministic PCG generator and its samplers.
+#include "util/rng.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace wearscope::util {
+namespace {
+
+TEST(Pcg32, SameSeedSameStream) {
+  Pcg32 a(123, 7);
+  Pcg32 b(123, 7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u32(), b.next_u32());
+}
+
+TEST(Pcg32, DifferentSeedsDiffer) {
+  Pcg32 a(123, 7);
+  Pcg32 b(124, 7);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u32() == b.next_u32()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Pcg32, DifferentStreamsDiffer) {
+  Pcg32 a(123, 1);
+  Pcg32 b(123, 2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u32() == b.next_u32()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Pcg32, NextDoubleInUnitInterval) {
+  Pcg32 rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Pcg32, UniformIntBoundsInclusive) {
+  Pcg32 rng(1);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Pcg32, UniformIntDegenerateRange) {
+  Pcg32 rng(1);
+  EXPECT_EQ(rng.uniform_int(5, 5), 5);
+  EXPECT_EQ(rng.uniform_int(7, 3), 7);  // lo>=hi returns lo
+}
+
+TEST(Pcg32, UniformIntRoughlyUniform) {
+  Pcg32 rng(2);
+  std::array<int, 10> counts{};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    counts[static_cast<std::size_t>(rng.uniform_int(0, 9))]++;
+  for (const int c : counts) {
+    EXPECT_NEAR(c, n / 10, n / 10 * 0.1);
+  }
+}
+
+TEST(Pcg32, BernoulliEdges) {
+  Pcg32 rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+  }
+}
+
+TEST(Pcg32, BernoulliRate) {
+  Pcg32 rng(4);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Pcg32, NormalMoments) {
+  Pcg32 rng(5);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Pcg32, NormalShifted) {
+  Pcg32 rng(6);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Pcg32, LognormalMean) {
+  Pcg32 rng(7);
+  // E[lognormal(mu, sigma)] = exp(mu + sigma^2/2).
+  const double mu = 1.0;
+  const double sigma = 0.5;
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.lognormal(mu, sigma);
+  EXPECT_NEAR(sum / n, std::exp(mu + sigma * sigma / 2), 0.08);
+}
+
+TEST(Pcg32, ExponentialMean) {
+  Pcg32 rng(8);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(Pcg32, PoissonSmallMean) {
+  Pcg32 rng(9);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.poisson(3.5);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 3.5, 0.05);
+  EXPECT_NEAR(sq / n - mean * mean, 3.5, 0.15);  // var == mean
+}
+
+TEST(Pcg32, PoissonLargeMeanUsesNormalApprox) {
+  Pcg32 rng(10);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.poisson(100.0);
+  EXPECT_NEAR(sum / n, 100.0, 1.0);
+}
+
+TEST(Pcg32, PoissonZeroMean) {
+  Pcg32 rng(11);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Pcg32, ZipfRankZeroMostLikely) {
+  Pcg32 rng(12);
+  std::array<int, 20> counts{};
+  for (int i = 0; i < 100000; ++i) counts[rng.zipf(20, 1.2)]++;
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[5]);
+  EXPECT_GT(counts[0], counts[19] * 10);
+}
+
+TEST(Pcg32, ZipfSingleOutcome) {
+  Pcg32 rng(13);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.zipf(1, 1.1), 0u);
+}
+
+TEST(Pcg32, WeightedIndexRespectsWeights) {
+  Pcg32 rng(14);
+  const std::vector<double> w = {1.0, 0.0, 3.0};
+  std::array<int, 3> counts{};
+  for (int i = 0; i < 40000; ++i) counts[rng.weighted_index(w)]++;
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.25);
+}
+
+TEST(Pcg32, WeightedIndexAllZeroFallsBack) {
+  Pcg32 rng(15);
+  const std::vector<double> w = {0.0, 0.0};
+  EXPECT_EQ(rng.weighted_index(w), 0u);
+}
+
+TEST(Pcg32, ShuffleIsPermutation) {
+  Pcg32 rng(16);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  auto copy = v;
+  rng.shuffle(copy);
+  EXPECT_NE(copy, v);  // astronomically unlikely to be identity
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(copy, v);
+}
+
+TEST(Pcg32, ForkIsDeterministicAndIndependent) {
+  const Pcg32 base(42);
+  Pcg32 f1 = base.fork(1);
+  Pcg32 f1b = base.fork(1);
+  Pcg32 f2 = base.fork(2);
+  EXPECT_EQ(f1.next_u64(), f1b.next_u64());
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (f1.next_u32() == f2.next_u32()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Splitmix64, KnownAvalanche) {
+  // Adjacent inputs must produce wildly different outputs.
+  const std::uint64_t a = splitmix64(1);
+  const std::uint64_t b = splitmix64(2);
+  EXPECT_NE(a, b);
+  EXPECT_GT(std::popcount(a ^ b), 16);
+}
+
+TEST(DiscreteSampler, MatchesWeights) {
+  const std::vector<double> w = {0.5, 0.25, 0.25};
+  DiscreteSampler sampler(w);
+  ASSERT_EQ(sampler.size(), 3u);
+  EXPECT_NEAR(sampler.probability(0), 0.5, 1e-12);
+  Pcg32 rng(17);
+  std::array<int, 3> counts{};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) counts[sampler.sample(rng)]++;
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.5, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.25, 0.01);
+}
+
+TEST(DiscreteSampler, UnnormalizedWeights) {
+  const std::vector<double> w = {2.0, 6.0};
+  DiscreteSampler sampler(w);
+  EXPECT_NEAR(sampler.probability(0), 0.25, 1e-12);
+  EXPECT_NEAR(sampler.probability(1), 0.75, 1e-12);
+}
+
+TEST(DiscreteSampler, SingleOutcome) {
+  DiscreteSampler sampler(std::vector<double>{3.0});
+  Pcg32 rng(18);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(sampler.sample(rng), 0u);
+}
+
+TEST(DiscreteSampler, RejectsBadInput) {
+  EXPECT_THROW(DiscreteSampler(std::vector<double>{}), ConfigError);
+  EXPECT_THROW(DiscreteSampler(std::vector<double>{0.0, 0.0}), ConfigError);
+  EXPECT_THROW(DiscreteSampler(std::vector<double>{1.0, -1.0}), ConfigError);
+}
+
+/// Property sweep: moments hold across seeds.
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, DoubleMeanIsHalf) {
+  Pcg32 rng(GetParam());
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST_P(RngSeedSweep, ForkKeyZeroIsStillUsable) {
+  Pcg32 base(GetParam());
+  Pcg32 f = base.fork(0);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) sum += f.next_double();
+  EXPECT_NEAR(sum / 10000, 0.5, 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(1, 2, 3, 42, 1337, 0xdeadbeef,
+                                           987654321, 0));
+
+}  // namespace
+}  // namespace wearscope::util

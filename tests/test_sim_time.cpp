@@ -1,0 +1,59 @@
+// Unit tests for the simulation calendar.
+#include "util/sim_time.h"
+
+#include <gtest/gtest.h>
+
+namespace wearscope::util {
+namespace {
+
+TEST(SimTime, DayZeroIsFriday) {
+  // 2017-12-15 was a Friday.
+  EXPECT_EQ(weekday_of_day(0), Weekday::kFriday);
+  EXPECT_EQ(weekday_of_day(1), Weekday::kSaturday);
+  EXPECT_EQ(weekday_of_day(2), Weekday::kSunday);
+  EXPECT_EQ(weekday_of_day(3), Weekday::kMonday);
+  EXPECT_EQ(weekday_of_day(7), Weekday::kFriday);
+}
+
+TEST(SimTime, WeekendDetection) {
+  EXPECT_FALSE(is_weekend_day(0));  // Friday
+  EXPECT_TRUE(is_weekend_day(1));   // Saturday
+  EXPECT_TRUE(is_weekend_day(2));   // Sunday
+  EXPECT_FALSE(is_weekend_day(3));  // Monday
+  EXPECT_TRUE(is_weekend(day_start(1) + 5 * kSecondsPerHour));
+}
+
+TEST(SimTime, DayHourWeekExtraction) {
+  const SimTime t = day_start(10) + 13 * kSecondsPerHour + 123;
+  EXPECT_EQ(day_of(t), 10);
+  EXPECT_EQ(hour_of(t), 13);
+  EXPECT_EQ(week_of(t), 1);
+  EXPECT_EQ(week_of(day_start(14)), 2);
+}
+
+TEST(SimTime, DayBoundaries) {
+  EXPECT_EQ(day_of(day_start(5)), 5);
+  EXPECT_EQ(day_of(day_start(5) - 1), 4);
+  EXPECT_EQ(hour_of(day_start(5)), 0);
+  EXPECT_EQ(hour_of(day_start(5) + kSecondsPerDay - 1), 23);
+}
+
+TEST(SimTime, ObservationConstantsConsistent) {
+  EXPECT_EQ(kDetailedDays, kDetailedWeeks * 7);
+  EXPECT_EQ(kDetailedStartDay + kDetailedDays, kObservationDays);
+  EXPECT_GT(kDetailedStartDay, 0);
+}
+
+TEST(SimTime, WeekdayNames) {
+  EXPECT_EQ(weekday_name(Weekday::kMonday), "Mon");
+  EXPECT_EQ(weekday_name(Weekday::kSunday), "Sun");
+}
+
+TEST(SimTime, Formatting) {
+  const std::string s = format_sim_time(day_start(3) + 2 * kSecondsPerHour +
+                                        5 * kSecondsPerMinute + 7);
+  EXPECT_EQ(s, "day003 02:05:07 (Mon)");
+}
+
+}  // namespace
+}  // namespace wearscope::util

@@ -1,0 +1,198 @@
+// Integration tests of the full synthetic-ISP simulation.
+#include "simnet/simulator.h"
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace wearscope::simnet {
+namespace {
+
+class SimulatorTest : public ::testing::Test {
+ protected:
+  static const SimResult& result() {
+    static const SimResult res = [] {
+      SimConfig cfg = SimConfig::small();
+      cfg.seed = 77;
+      return Simulator(cfg).run();
+    }();
+    return res;
+  }
+};
+
+TEST_F(SimulatorTest, StoreIsSortedAndPopulated) {
+  const SimResult& r = result();
+  EXPECT_TRUE(r.store.is_sorted());
+  EXPECT_FALSE(r.store.proxy.empty());
+  EXPECT_FALSE(r.store.mme.empty());
+  EXPECT_FALSE(r.store.devices.empty());
+  EXPECT_FALSE(r.store.sectors.empty());
+}
+
+TEST_F(SimulatorTest, AllRecordUsersExistInPopulation) {
+  const SimResult& r = result();
+  std::unordered_set<trace::UserId> ids;
+  for (const Subscriber& s : r.subscribers) ids.insert(s.user_id);
+  for (const trace::ProxyRecord& rec : r.store.proxy) {
+    ASSERT_TRUE(ids.contains(rec.user_id));
+  }
+  for (const trace::MmeRecord& rec : r.store.mme) {
+    ASSERT_TRUE(ids.contains(rec.user_id));
+  }
+}
+
+TEST_F(SimulatorTest, TimestampsWithinObservationWindow) {
+  const SimResult& r = result();
+  const util::SimTime end = util::day_start(r.observation_days);
+  for (const trace::ProxyRecord& rec : r.store.proxy) {
+    EXPECT_GE(rec.timestamp, 0);
+    EXPECT_LT(rec.timestamp, end);
+  }
+}
+
+TEST_F(SimulatorTest, PhoneTrafficOnlyInDetailedWindow) {
+  const SimResult& r = result();
+  std::unordered_set<trace::Tac> wearable_tacs;
+  for (const Subscriber& s : r.subscribers) {
+    if (s.wearable_tac != 0) wearable_tacs.insert(s.wearable_tac);
+  }
+  const util::SimTime detailed = util::day_start(r.detailed_start_day);
+  for (const trace::ProxyRecord& rec : r.store.proxy) {
+    if (!wearable_tacs.contains(rec.tac)) {
+      EXPECT_GE(rec.timestamp, detailed)
+          << "phone traffic must not precede the detailed window";
+    }
+  }
+}
+
+TEST_F(SimulatorTest, WearableTrafficSpansFullWindow) {
+  const SimResult& r = result();
+  std::unordered_set<trace::Tac> wearable_tacs;
+  for (const Subscriber& s : r.subscribers) {
+    if (s.wearable_tac != 0) wearable_tacs.insert(s.wearable_tac);
+  }
+  bool early = false;
+  for (const trace::ProxyRecord& rec : r.store.proxy) {
+    if (wearable_tacs.contains(rec.tac) &&
+        rec.timestamp < util::day_start(r.detailed_start_day)) {
+      early = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(early) << "adoption analysis needs five months of wearable logs";
+}
+
+TEST_F(SimulatorTest, ControlUsersNeverEmitWearableTraffic) {
+  const SimResult& r = result();
+  std::unordered_set<trace::UserId> control;
+  std::unordered_set<trace::Tac> wearable_tacs;
+  for (const Subscriber& s : r.subscribers) {
+    if (s.segment == Segment::kControl) control.insert(s.user_id);
+    if (s.wearable_tac != 0) wearable_tacs.insert(s.wearable_tac);
+  }
+  for (const trace::ProxyRecord& rec : r.store.proxy) {
+    if (control.contains(rec.user_id)) {
+      EXPECT_FALSE(wearable_tacs.contains(rec.tac));
+    }
+  }
+}
+
+TEST_F(SimulatorTest, ChurnedUsersGoDark) {
+  const SimResult& r = result();
+  std::unordered_set<trace::Tac> wearable_tacs;
+  for (const Subscriber& s : r.subscribers) {
+    if (s.wearable_tac != 0) wearable_tacs.insert(s.wearable_tac);
+  }
+  for (const Subscriber& s : r.subscribers) {
+    if (s.churn_day >= (1 << 30)) continue;
+    for (const trace::MmeRecord& rec : r.store.mme) {
+      if (rec.user_id == s.user_id && wearable_tacs.contains(rec.tac)) {
+        EXPECT_LT(util::day_of(rec.timestamp), s.churn_day);
+      }
+    }
+  }
+}
+
+TEST_F(SimulatorTest, MmeSectorsExistInSectorDb) {
+  const SimResult& r = result();
+  for (const trace::MmeRecord& rec : r.store.mme) {
+    ASSERT_TRUE(r.store.find_sector(rec.sector_id).has_value());
+  }
+}
+
+TEST(Simulator, DeterministicForEqualConfigs) {
+  SimConfig cfg = SimConfig::small();
+  cfg.wearable_users = 40;
+  cfg.control_users = 60;
+  cfg.through_device_users = 10;
+  cfg.seed = 5;
+  const SimResult a = Simulator(cfg).run();
+  const SimResult b = Simulator(cfg).run();
+  ASSERT_EQ(a.store.proxy.size(), b.store.proxy.size());
+  ASSERT_EQ(a.store.mme.size(), b.store.mme.size());
+  for (std::size_t i = 0; i < a.store.proxy.size(); ++i) {
+    ASSERT_EQ(a.store.proxy[i], b.store.proxy[i]);
+  }
+  for (std::size_t i = 0; i < a.store.mme.size(); ++i) {
+    ASSERT_EQ(a.store.mme[i], b.store.mme[i]);
+  }
+}
+
+TEST(Simulator, ThreadCountDoesNotChangeTheTrace) {
+  SimConfig cfg = SimConfig::small();
+  cfg.wearable_users = 60;
+  cfg.control_users = 90;
+  cfg.through_device_users = 15;
+  cfg.seed = 9;
+  cfg.threads = 1;
+  const SimResult serial = Simulator(cfg).run();
+  for (const std::uint32_t threads : {2u, 4u, 7u}) {
+    cfg.threads = threads;
+    const SimResult parallel = Simulator(cfg).run();
+    ASSERT_EQ(parallel.store.proxy.size(), serial.store.proxy.size())
+        << threads << " threads";
+    ASSERT_EQ(parallel.store.mme.size(), serial.store.mme.size());
+    for (std::size_t i = 0; i < serial.store.proxy.size(); ++i) {
+      ASSERT_EQ(parallel.store.proxy[i], serial.store.proxy[i])
+          << "record " << i << " with " << threads << " threads";
+    }
+    for (std::size_t i = 0; i < serial.store.mme.size(); ++i) {
+      ASSERT_EQ(parallel.store.mme[i], serial.store.mme[i]);
+    }
+  }
+}
+
+TEST(Simulator, DifferentSeedsProduceDifferentTraces) {
+  SimConfig cfg = SimConfig::small();
+  cfg.wearable_users = 40;
+  cfg.control_users = 60;
+  cfg.through_device_users = 10;
+  cfg.seed = 5;
+  const SimResult a = Simulator(cfg).run();
+  cfg.seed = 6;
+  const SimResult b = Simulator(cfg).run();
+  EXPECT_NE(a.store.proxy.size(), b.store.proxy.size());
+}
+
+TEST(Simulator, RejectsInvalidConfig) {
+  SimConfig cfg = SimConfig::small();
+  cfg.detailed_days = 13;  // not a multiple of 7
+  EXPECT_THROW(Simulator{cfg}, util::ConfigError);
+  cfg = SimConfig::small();
+  cfg.wearable_users = 0;
+  EXPECT_THROW(Simulator{cfg}, util::ConfigError);
+  cfg = SimConfig::small();
+  cfg.detailed_days = cfg.observation_days + 7;
+  EXPECT_THROW(Simulator{cfg}, util::ConfigError);
+}
+
+TEST(SimConfig, PresetsValidate) {
+  EXPECT_NO_THROW(SimConfig::small().validate());
+  EXPECT_NO_THROW(SimConfig::standard().validate());
+  EXPECT_NO_THROW(SimConfig::paper().validate());
+}
+
+}  // namespace
+}  // namespace wearscope::simnet

@@ -1,0 +1,84 @@
+// Unit tests for the in-memory TraceStore.
+#include "trace/store.h"
+
+#include <gtest/gtest.h>
+
+namespace wearscope::trace {
+namespace {
+
+ProxyRecord proxy_at(util::SimTime t, UserId u) {
+  ProxyRecord r;
+  r.timestamp = t;
+  r.user_id = u;
+  r.host = "x.example";
+  r.bytes_up = 10;
+  r.bytes_down = 90;
+  return r;
+}
+
+MmeRecord mme_at(util::SimTime t, UserId u, SectorId s) {
+  return MmeRecord{t, u, 1, MmeEvent::kAttach, s};
+}
+
+TEST(TraceStore, SortByTimeThenUser) {
+  TraceStore s;
+  s.proxy = {proxy_at(10, 2), proxy_at(5, 1), proxy_at(10, 1)};
+  s.mme = {mme_at(9, 3, 1), mme_at(1, 1, 2)};
+  EXPECT_FALSE(s.is_sorted());
+  s.sort_by_time();
+  EXPECT_TRUE(s.is_sorted());
+  EXPECT_EQ(s.proxy[0].timestamp, 5);
+  EXPECT_EQ(s.proxy[1].user_id, 1u);  // ties broken by user id
+  EXPECT_EQ(s.proxy[2].user_id, 2u);
+  EXPECT_EQ(s.mme[0].timestamp, 1);
+}
+
+TEST(TraceStore, SummarizeCounts) {
+  TraceStore s;
+  s.proxy = {proxy_at(5, 1), proxy_at(7, 1), proxy_at(9, 2)};
+  s.mme = {mme_at(1, 1, 3), mme_at(2, 3, 4)};
+  s.devices = {{1, "m", "v", "os"}};
+  s.sectors = {{3, {0, 0}}, {4, {1, 1}}};
+  const TraceSummary sum = s.summarize();
+  EXPECT_EQ(sum.proxy_records, 3u);
+  EXPECT_EQ(sum.mme_records, 2u);
+  EXPECT_EQ(sum.devices, 1u);
+  EXPECT_EQ(sum.sectors, 2u);
+  EXPECT_EQ(sum.distinct_proxy_users, 2u);
+  EXPECT_EQ(sum.distinct_mme_users, 2u);
+  EXPECT_EQ(sum.total_bytes, 300u);
+  EXPECT_EQ(sum.first_timestamp, 1);
+  EXPECT_EQ(sum.last_timestamp, 9);
+}
+
+TEST(TraceStore, SummarizeEmpty) {
+  const TraceSummary sum = TraceStore{}.summarize();
+  EXPECT_EQ(sum.proxy_records, 0u);
+  EXPECT_EQ(sum.total_bytes, 0u);
+}
+
+TEST(TraceStore, DeviceAndSectorLookup) {
+  TraceStore s;
+  s.devices = {{100, "Gear S3", "Samsung", "Tizen"}, {200, "iPhone", "Apple", "iOS"}};
+  s.sectors = {{7, {40.0, -3.0}}};
+  const auto dev = s.find_device(100);
+  ASSERT_TRUE(dev.has_value());
+  EXPECT_EQ(dev->model, "Gear S3");
+  EXPECT_FALSE(s.find_device(300).has_value());
+  const auto sec = s.find_sector(7);
+  ASSERT_TRUE(sec.has_value());
+  EXPECT_DOUBLE_EQ(sec->position.lat_deg, 40.0);
+  EXPECT_FALSE(s.find_sector(8).has_value());
+}
+
+TEST(TraceStore, RebuildIndexesAfterMutation) {
+  TraceStore s;
+  s.devices = {{100, "a", "b", "c"}};
+  EXPECT_TRUE(s.find_device(100).has_value());
+  s.devices.push_back({200, "d", "e", "f"});
+  s.rebuild_indexes();
+  EXPECT_TRUE(s.find_device(200).has_value());
+}
+
+}  // namespace
+}  // namespace wearscope::trace

@@ -1,0 +1,81 @@
+// Unit tests for string utilities and DNS suffix matching.
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace wearscope::util {
+namespace {
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"x"}, ","), "x");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  abc \t\n"), "abc");
+  EXPECT_EQ(trim("abc"), "abc");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(Strings, ToLower) {
+  EXPECT_EQ(to_lower("AbC123"), "abc123");
+  EXPECT_EQ(to_lower(""), "");
+}
+
+TEST(HostSuffix, ExactAndSubdomain) {
+  EXPECT_TRUE(host_matches_suffix("fitbit.com", "fitbit.com"));
+  EXPECT_TRUE(host_matches_suffix("api.fitbit.com", "fitbit.com"));
+  EXPECT_TRUE(host_matches_suffix("a.b.fitbit.com", "fitbit.com"));
+}
+
+TEST(HostSuffix, RejectsPartialLabelMatch) {
+  // The classic trap: "notfitbit.com" must NOT match "fitbit.com".
+  EXPECT_FALSE(host_matches_suffix("notfitbit.com", "fitbit.com"));
+  EXPECT_FALSE(host_matches_suffix("fitbit.com.evil.com", "fitbit.com"));
+  EXPECT_FALSE(host_matches_suffix("fitbit.org", "fitbit.com"));
+}
+
+TEST(HostSuffix, CaseInsensitive) {
+  EXPECT_TRUE(host_matches_suffix("API.FitBit.COM", "fitbit.com"));
+  EXPECT_TRUE(host_matches_suffix("api.fitbit.com", "FITBIT.COM"));
+}
+
+TEST(HostSuffix, EmptyAndShort) {
+  EXPECT_FALSE(host_matches_suffix("a.com", ""));
+  EXPECT_FALSE(host_matches_suffix("", "a.com"));
+  EXPECT_FALSE(host_matches_suffix("om", "a.com"));
+}
+
+TEST(RegistrableDomain, TwoLabelHosts) {
+  EXPECT_EQ(registrable_domain("example.com"), "example.com");
+  EXPECT_EQ(registrable_domain("cdn.ads.example.com"), "example.com");
+}
+
+TEST(RegistrableDomain, TwoPartPublicSuffix) {
+  EXPECT_EQ(registrable_domain("shop.example.co.uk"), "example.co.uk");
+  EXPECT_EQ(registrable_domain("example.co.uk"), "example.co.uk");
+}
+
+TEST(RegistrableDomain, SingleLabel) {
+  EXPECT_EQ(registrable_domain("localhost"), "localhost");
+}
+
+TEST(HasLabel, CompleteLabelsOnly) {
+  EXPECT_TRUE(has_label("ads.server.com", "ads"));
+  EXPECT_FALSE(has_label("roads.server.com", "ads"));
+  EXPECT_TRUE(has_label("a.ADS.b", "ads"));
+  EXPECT_FALSE(has_label("adserver.com", "ads"));
+  EXPECT_FALSE(has_label("x.com", ""));
+}
+
+}  // namespace
+}  // namespace wearscope::util

@@ -1,0 +1,263 @@
+// Unit tests for binary/CSV trace serialization and bundle persistence.
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "trace/binary_io.h"
+#include "trace/bundle.h"
+#include "trace/csv_io.h"
+#include "util/error.h"
+
+namespace wearscope::trace {
+namespace {
+
+ProxyRecord sample_proxy() {
+  ProxyRecord r;
+  r.timestamp = 123456;
+  r.user_id = 1'000'042;
+  r.tac = 35254208;
+  r.protocol = Protocol::kHttp;
+  r.host = "api.weather.com";
+  r.url_path = "/v1/forecast?loc=x,y";
+  r.bytes_up = 512;
+  r.bytes_down = 4096;
+  r.duration_ms = 250;
+  return r;
+}
+
+MmeRecord sample_mme() {
+  return MmeRecord{98765, 1'000'001, 35909306, MmeEvent::kHandover, 42};
+}
+
+DeviceRecord sample_device() {
+  return DeviceRecord{35254208, "Gear S3 frontier LTE", "Samsung", "Tizen"};
+}
+
+SectorInfo sample_sector() {
+  return SectorInfo{7, {40.123456, -3.654321}};
+}
+
+template <typename Record>
+Record binary_round_trip(const Record& in) {
+  std::stringstream buf;
+  {
+    BinaryLogWriter<Record> w(buf);
+    w.write(in);
+    EXPECT_EQ(w.count(), 1u);
+  }
+  BinaryLogReader<Record> r(buf);
+  Record out;
+  EXPECT_TRUE(r.next(out));
+  Record extra;
+  EXPECT_FALSE(r.next(extra));
+  return out;
+}
+
+TEST(BinaryIo, ProxyRoundTrip) {
+  EXPECT_EQ(binary_round_trip(sample_proxy()), sample_proxy());
+}
+
+TEST(BinaryIo, MmeRoundTrip) {
+  EXPECT_EQ(binary_round_trip(sample_mme()), sample_mme());
+}
+
+TEST(BinaryIo, DeviceRoundTrip) {
+  EXPECT_EQ(binary_round_trip(sample_device()), sample_device());
+}
+
+TEST(BinaryIo, SectorRoundTrip) {
+  EXPECT_EQ(binary_round_trip(sample_sector()), sample_sector());
+}
+
+TEST(BinaryIo, ManyRecordsPreserveOrder) {
+  std::stringstream buf;
+  BinaryLogWriter<ProxyRecord> w(buf);
+  for (int i = 0; i < 500; ++i) {
+    ProxyRecord r = sample_proxy();
+    r.timestamp = i;
+    r.host = "host" + std::to_string(i) + ".example";
+    w.write(r);
+  }
+  BinaryLogReader<ProxyRecord> reader(buf);
+  ProxyRecord r;
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(reader.next(r));
+    EXPECT_EQ(r.timestamp, i);
+    EXPECT_EQ(r.host, "host" + std::to_string(i) + ".example");
+  }
+  EXPECT_FALSE(reader.next(r));
+}
+
+TEST(BinaryIo, WrongMagicRejected) {
+  std::stringstream buf;
+  { BinaryLogWriter<MmeRecord> w(buf); }
+  EXPECT_THROW(BinaryLogReader<ProxyRecord>{buf}, util::ParseError);
+}
+
+TEST(BinaryIo, TruncatedRecordRejected) {
+  std::stringstream buf;
+  {
+    BinaryLogWriter<ProxyRecord> w(buf);
+    w.write(sample_proxy());
+  }
+  std::string data = buf.str();
+  data.resize(data.size() - 3);  // chop the tail
+  std::stringstream cut(data);
+  BinaryLogReader<ProxyRecord> reader(cut);
+  ProxyRecord r;
+  EXPECT_THROW(reader.next(r), util::ParseError);
+}
+
+TEST(BinaryIo, EmptyStreamRejected) {
+  std::stringstream buf;
+  EXPECT_THROW(BinaryLogReader<ProxyRecord>{buf}, util::ParseError);
+}
+
+TEST(BinaryIo, PrimitivesLittleEndian) {
+  std::stringstream buf;
+  BinaryEncoder enc(buf);
+  enc.put_u32(0x01020304u);
+  const std::string bytes = buf.str();
+  ASSERT_EQ(bytes.size(), 4u);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[0]), 0x04);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[3]), 0x01);
+  BinaryDecoder dec(buf);
+  EXPECT_EQ(dec.get_u32(), 0x01020304u);
+}
+
+TEST(BinaryIo, NegativeTimestampSurvives) {
+  ProxyRecord r = sample_proxy();
+  r.timestamp = -42;
+  EXPECT_EQ(binary_round_trip(r).timestamp, -42);
+}
+
+template <typename Record>
+Record csv_round_trip(const Record& in) {
+  std::stringstream buf;
+  {
+    CsvLogWriter<Record> w(buf);
+    w.write(in);
+  }
+  CsvLogReader<Record> r(buf);
+  Record out;
+  EXPECT_TRUE(r.next(out));
+  Record extra;
+  EXPECT_FALSE(r.next(extra));
+  return out;
+}
+
+TEST(CsvIo, ProxyRoundTrip) {
+  EXPECT_EQ(csv_round_trip(sample_proxy()), sample_proxy());
+}
+
+TEST(CsvIo, MmeRoundTrip) { EXPECT_EQ(csv_round_trip(sample_mme()), sample_mme()); }
+
+TEST(CsvIo, DeviceRoundTrip) {
+  EXPECT_EQ(csv_round_trip(sample_device()), sample_device());
+}
+
+TEST(CsvIo, SectorRoundTripWithPrecision) {
+  const SectorInfo out = csv_round_trip(sample_sector());
+  EXPECT_EQ(out.sector_id, 7u);
+  EXPECT_NEAR(out.position.lat_deg, 40.123456, 1e-6);
+  EXPECT_NEAR(out.position.lon_deg, -3.654321, 1e-6);
+}
+
+TEST(CsvIo, FieldWithCommaSurvives) {
+  ProxyRecord r = sample_proxy();
+  r.url_path = "/search?q=a,b,c";
+  EXPECT_EQ(csv_round_trip(r), r);
+}
+
+TEST(CsvIo, HeaderMismatchRejected) {
+  std::stringstream buf;
+  { CsvLogWriter<MmeRecord> w(buf); }
+  EXPECT_THROW(CsvLogReader<ProxyRecord>{buf}, util::ParseError);
+}
+
+TEST(CsvIo, MalformedRowRejected) {
+  std::stringstream buf("timestamp,user_id,tac,event,sector_id\n1,2,3\n");
+  CsvLogReader<MmeRecord> r(buf);
+  MmeRecord rec;
+  EXPECT_THROW(r.next(rec), util::ParseError);
+}
+
+TEST(CsvIo, BadNumberRejected) {
+  std::stringstream buf(
+      "timestamp,user_id,tac,event,sector_id\nabc,2,3,attach,4\n");
+  CsvLogReader<MmeRecord> r(buf);
+  MmeRecord rec;
+  EXPECT_THROW(r.next(rec), util::ParseError);
+}
+
+TEST(CsvIo, BadEventNameRejected) {
+  std::stringstream buf(
+      "timestamp,user_id,tac,event,sector_id\n1,2,3,flying,4\n");
+  CsvLogReader<MmeRecord> r(buf);
+  MmeRecord rec;
+  EXPECT_THROW(r.next(rec), util::ParseError);
+}
+
+TEST(CsvIo, SkipsBlankLinesAndCrLf) {
+  std::stringstream buf(
+      "timestamp,user_id,tac,event,sector_id\r\n\n1,2,3,attach,4\r\n");
+  CsvLogReader<MmeRecord> r(buf);
+  MmeRecord rec;
+  ASSERT_TRUE(r.next(rec));
+  EXPECT_EQ(rec.sector_id, 4u);
+}
+
+class BundleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("wearscope_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  TraceStore make_store() {
+    TraceStore s;
+    s.proxy = {sample_proxy()};
+    s.mme = {sample_mme()};
+    s.devices = {sample_device()};
+    s.sectors = {sample_sector()};
+    return s;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(BundleTest, BinaryRoundTrip) {
+  const TraceStore in = make_store();
+  save_bundle(in, dir_, BundleFormat::kBinary);
+  const TraceStore out = load_bundle(dir_);
+  EXPECT_EQ(out.proxy, in.proxy);
+  EXPECT_EQ(out.mme, in.mme);
+  EXPECT_EQ(out.devices, in.devices);
+  EXPECT_EQ(out.sectors, in.sectors);
+}
+
+TEST_F(BundleTest, CsvRoundTrip) {
+  const TraceStore in = make_store();
+  save_bundle(in, dir_, BundleFormat::kCsv);
+  const TraceStore out = load_bundle(dir_);
+  EXPECT_EQ(out.proxy, in.proxy);
+  EXPECT_EQ(out.sectors, in.sectors);
+}
+
+TEST_F(BundleTest, MissingLogThrows) {
+  save_bundle(make_store(), dir_, BundleFormat::kBinary);
+  std::filesystem::remove(dir_ / "mme.bin");
+  EXPECT_THROW(load_bundle(dir_), util::IoError);
+}
+
+TEST_F(BundleTest, MissingDirectoryThrows) {
+  EXPECT_THROW(load_bundle(dir_ / "nonexistent"), util::IoError);
+}
+
+}  // namespace
+}  // namespace wearscope::trace

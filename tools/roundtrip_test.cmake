@@ -1,0 +1,63 @@
+# End-to-end CLI test: generate -> inspect -> anonymize -> analyze.
+# Invoked by ctest as
+#   cmake -DGEN=<path> -DINSPECT=<path> -DANALYZE=<path> -DWORK=<dir>
+#         -P roundtrip_test.cmake
+# and fails on any non-zero tool exit or missing artifact.
+
+function(run_step)
+  execute_process(COMMAND ${ARGV} RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "step failed (${rc}): ${ARGV}")
+  endif()
+endfunction()
+
+file(REMOVE_RECURSE ${WORK})
+file(MAKE_DIRECTORY ${WORK})
+
+# 1. Generate a tiny capture (explicit config exercises config_io too).
+run_step(${GEN} --preset small --seed 5 --out ${WORK}/trace --format binary
+         --write-config ${WORK}/gen.cfg)
+foreach(artifact trace/proxy.bin trace/mme.bin trace/devices.bin
+        trace/sectors.bin trace/generator.cfg gen.cfg)
+  if(NOT EXISTS ${WORK}/${artifact})
+    message(FATAL_ERROR "missing artifact: ${WORK}/${artifact}")
+  endif()
+endforeach()
+
+# 2. Inspect + transcode + anonymize.
+run_step(${INSPECT} --trace ${WORK}/trace --top-hosts 5 --devices
+         --convert ${WORK}/trace_csv --format csv
+         --anonymize ${WORK}/trace_anon)
+if(NOT EXISTS ${WORK}/trace_csv/proxy.csv)
+  message(FATAL_ERROR "csv transcode missing")
+endif()
+if(NOT EXISTS ${WORK}/trace_anon/proxy.bin)
+  message(FATAL_ERROR "anonymized bundle missing")
+endif()
+
+# 3. Analyze the original and the anonymized capture; both must complete
+#    and produce reports.
+run_step(${ANALYZE} --trace ${WORK}/trace --report ${WORK}/report.txt
+         --markdown ${WORK}/report.md --csv-dir ${WORK}/csv)
+if(NOT EXISTS ${WORK}/report.txt)
+  message(FATAL_ERROR "text report missing")
+endif()
+if(NOT EXISTS ${WORK}/report.md)
+  message(FATAL_ERROR "markdown report missing")
+endif()
+file(GLOB csv_files ${WORK}/csv/*.csv)
+list(LENGTH csv_files csv_count)
+if(csv_count LESS 30)
+  message(FATAL_ERROR "expected >=30 figure CSVs, got ${csv_count}")
+endif()
+
+run_step(${ANALYZE} --trace ${WORK}/trace_anon
+         --observation-days 153 --detailed-start-day 139)
+
+# 4. Compare a bundle against itself: must succeed (all deltas zero).
+if(DEFINED COMPARE)
+  run_step(${COMPARE} --a ${WORK}/trace --b ${WORK}/trace)
+endif()
+
+file(REMOVE_RECURSE ${WORK})
+message(STATUS "tool round-trip OK")

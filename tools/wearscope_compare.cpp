@@ -1,0 +1,87 @@
+// wearscope_compare — run the full study over two captures and print the
+// measured statistics side by side (e.g. status quo vs the Apple-Watch
+// launch what-if, or an original vs its anonymized release copy).
+//
+//   wearscope_compare --a traces/base --b traces/whatif
+#include <cstdio>
+#include <filesystem>
+
+#include "core/pipeline.h"
+#include "simnet/config_io.h"
+#include "trace/bundle.h"
+#include "util/ascii_chart.h"
+#include "util/error.h"
+#include "util/flags.h"
+
+namespace {
+
+using namespace wearscope;
+
+core::StudyReport study(const std::string& dir) {
+  core::AnalysisOptions opt;
+  const std::filesystem::path cfg_path =
+      std::filesystem::path(dir) / "generator.cfg";
+  if (std::filesystem::exists(cfg_path)) {
+    const simnet::SimConfig cfg = simnet::load_config_file(cfg_path);
+    opt.observation_days = cfg.observation_days;
+    opt.detailed_start_day = cfg.observation_days - cfg.detailed_days;
+    opt.long_tail_apps = cfg.long_tail_apps;
+  }
+  trace::TraceStore store = trace::load_bundle(dir);
+  store.sort_by_time();
+  return core::Pipeline(store, opt).run();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace wearscope;
+  try {
+    std::string dir_a;
+    std::string dir_b;
+    util::FlagParser flags(
+        "wearscope_compare: side-by-side study of two trace bundles");
+    flags.add_string("a", &dir_a, "first bundle directory (required)");
+    flags.add_string("b", &dir_b, "second bundle directory (required)");
+    if (!flags.parse(argc, argv)) return 0;
+    util::require(!dir_a.empty() && !dir_b.empty(),
+                  "--a and --b are required");
+
+    std::printf("analyzing A = %s ...\n", dir_a.c_str());
+    const core::StudyReport a = study(dir_a);
+    std::printf("analyzing B = %s ...\n", dir_b.c_str());
+    const core::StudyReport b = study(dir_b);
+
+    std::printf("\n== side-by-side (every check's measured value) ==\n");
+    std::vector<std::vector<std::string>> rows;
+    for (const core::FigureData& fa : a.figures) {
+      const core::FigureData* fb = nullptr;
+      for (const core::FigureData& f : b.figures) {
+        if (f.id == fa.id) {
+          fb = &f;
+          break;
+        }
+      }
+      if (fb == nullptr || fb->checks.size() != fa.checks.size()) continue;
+      for (std::size_t c = 0; c < fa.checks.size(); ++c) {
+        const double va = fa.checks[c].measured;
+        const double vb = fb->checks[c].measured;
+        const double delta_pct =
+            va != 0.0 ? 100.0 * (vb - va) / std::abs(va) : 0.0;
+        rows.push_back({fa.id, fa.checks[c].claim, util::format_num(va),
+                        util::format_num(vb),
+                        (delta_pct >= 0 ? "+" : "") +
+                            util::format_num(delta_pct, 1) + "%"});
+      }
+    }
+    std::fputs(util::table({"figure", "statistic", "A", "B", "delta"}, rows)
+                   .c_str(),
+               stdout);
+    std::printf("\nfailed checks: A=%zu B=%zu\n", a.failed_checks(),
+                b.failed_checks());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,167 @@
+// wearscope_inspect — look inside a trace bundle without running the study.
+//
+//   wearscope_inspect --trace d                    # summary
+//   wearscope_inspect --trace d --daily            # per-day record counts
+//   wearscope_inspect --trace d --top-hosts 20     # busiest endpoints
+//   wearscope_inspect --trace d --devices          # DeviceDB + TAC usage
+//   wearscope_inspect --trace d --convert e --format csv   # transcode
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <unordered_map>
+
+#include "core/device_id.h"
+#include "trace/anonymize.h"
+#include "trace/bundle.h"
+#include "util/ascii_chart.h"
+#include "util/error.h"
+#include "util/flags.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace wearscope;
+
+void print_summary(const trace::TraceStore& store) {
+  const trace::TraceSummary sum = store.summarize();
+  std::printf("== bundle summary ==\n");
+  std::printf("  proxy transactions : %zu\n", sum.proxy_records);
+  std::printf("  MME events         : %zu\n", sum.mme_records);
+  std::printf("  DeviceDB rows      : %zu\n", sum.devices);
+  std::printf("  antenna sectors    : %zu\n", sum.sectors);
+  std::printf("  users (proxy/MME)  : %zu / %zu\n", sum.distinct_proxy_users,
+              sum.distinct_mme_users);
+  std::printf("  total volume       : %.3f GB\n",
+              static_cast<double>(sum.total_bytes) / 1e9);
+  std::printf("  time span          : %s .. %s\n",
+              util::format_sim_time(sum.first_timestamp).c_str(),
+              util::format_sim_time(sum.last_timestamp).c_str());
+}
+
+void print_daily(const trace::TraceStore& store) {
+  std::map<int, std::pair<std::size_t, std::size_t>> days;  // proxy, mme
+  for (const trace::ProxyRecord& r : store.proxy)
+    days[util::day_of(r.timestamp)].first++;
+  for (const trace::MmeRecord& r : store.mme)
+    days[util::day_of(r.timestamp)].second++;
+  std::printf("== per-day record counts ==\n");
+  std::vector<double> proxy_series;
+  for (const auto& [day, counts] : days) proxy_series.push_back(
+      static_cast<double>(counts.first));
+  std::printf("proxy: [%s]\n", util::sparkline(proxy_series).c_str());
+  std::printf("%-6s %12s %12s\n", "day", "proxy", "mme");
+  for (const auto& [day, counts] : days) {
+    std::printf("%-6d %12zu %12zu\n", day, counts.first, counts.second);
+  }
+}
+
+void print_top_hosts(const trace::TraceStore& store, std::int64_t top) {
+  std::unordered_map<std::string, std::pair<std::size_t, std::uint64_t>> hosts;
+  for (const trace::ProxyRecord& r : store.proxy) {
+    auto& [txns, bytes] = hosts[util::registrable_domain(r.host)];
+    ++txns;
+    bytes += r.bytes_total();
+  }
+  std::vector<std::pair<std::string, std::pair<std::size_t, std::uint64_t>>>
+      ranked(hosts.begin(), hosts.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    return a.second.first > b.second.first;
+  });
+  std::printf("== top endpoints by transactions (registrable domain) ==\n");
+  std::vector<std::vector<std::string>> rows;
+  for (std::int64_t i = 0;
+       i < top && i < static_cast<std::int64_t>(ranked.size()); ++i) {
+    const auto& [domain, stats] = ranked[static_cast<std::size_t>(i)];
+    rows.push_back({domain, std::to_string(stats.first),
+                    util::format_num(
+                        static_cast<double>(stats.second) / 1e6, 1)});
+  }
+  std::fputs(util::table({"domain", "txns", "MB"}, rows).c_str(), stdout);
+}
+
+void print_devices(const trace::TraceStore& store) {
+  const core::DeviceClassifier classifier(store.devices);
+  std::unordered_map<trace::Tac, std::size_t> tac_txns;
+  for (const trace::ProxyRecord& r : store.proxy) tac_txns[r.tac]++;
+  std::printf("== DeviceDB (wearable classification + traffic) ==\n");
+  std::vector<std::vector<std::string>> rows;
+  for (const trace::DeviceRecord& d : store.devices) {
+    rows.push_back({std::to_string(d.tac), d.manufacturer, d.model, d.os,
+                    classifier.is_wearable(d.tac) ? "WEARABLE" : "-",
+                    std::to_string(tac_txns[d.tac])});
+  }
+  std::fputs(util::table({"TAC", "vendor", "model", "OS", "class", "txns"},
+                         rows)
+                 .c_str(),
+             stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace wearscope;
+  try {
+    std::string trace_dir;
+    std::string convert_dir;
+    std::string anonymize_dir;
+    std::int64_t anon_key = 1;
+    std::int64_t anon_quantum = 1;
+    std::string format = "csv";
+    bool daily = false;
+    bool devices = false;
+    std::int64_t top_hosts = 0;
+
+    util::FlagParser flags(
+        "wearscope_inspect: summarize, slice or transcode a trace bundle");
+    flags.add_string("trace", &trace_dir, "bundle directory (required)");
+    flags.add_bool("daily", &daily, "print per-day record counts");
+    flags.add_bool("devices", &devices, "print the DeviceDB with wearable "
+                                        "classification and per-TAC traffic");
+    flags.add_int("top-hosts", &top_hosts,
+                  "print the N busiest registrable domains");
+    flags.add_string("convert", &convert_dir,
+                     "re-write the bundle into this directory");
+    flags.add_string("anonymize", &anonymize_dir,
+                     "write a release-safe anonymized copy here");
+    flags.add_int("anon-key", &anon_key,
+                  "secret key for the user-id re-hash");
+    flags.add_int("anon-quantum", &anon_quantum,
+                  "timestamp quantization in seconds");
+    flags.add_string("format", &format,
+                     "target format for --convert: binary|csv");
+    if (!flags.parse(argc, argv)) return 0;
+    util::require(!trace_dir.empty(), "--trace is required");
+
+    trace::TraceStore store = trace::load_bundle(trace_dir);
+    store.sort_by_time();
+
+    print_summary(store);
+    if (daily) print_daily(store);
+    if (top_hosts > 0) print_top_hosts(store, top_hosts);
+    if (devices) print_devices(store);
+    if (!anonymize_dir.empty()) {
+      trace::TraceStore anon = store;
+      trace::AnonymizePolicy policy;
+      policy.key = static_cast<std::uint64_t>(anon_key);
+      policy.time_quantum_s = anon_quantum;
+      trace::anonymize(anon, policy);
+      trace::save_bundle(anon, anonymize_dir, trace::BundleFormat::kBinary);
+      std::printf("anonymized bundle written to %s\n",
+                  anonymize_dir.c_str());
+    }
+    if (!convert_dir.empty()) {
+      const trace::BundleFormat f = format == "binary"
+                                        ? trace::BundleFormat::kBinary
+                                        : trace::BundleFormat::kCsv;
+      util::require(format == "binary" || format == "csv",
+                    "unknown --format (expected binary|csv)");
+      trace::save_bundle(store, convert_dir, f);
+      std::printf("bundle transcoded to %s (%s)\n", convert_dir.c_str(),
+                  format.c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
