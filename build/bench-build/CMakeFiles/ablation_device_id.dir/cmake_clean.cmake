@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_device_id"
+  "../bench/ablation_device_id.pdb"
+  "CMakeFiles/ablation_device_id.dir/ablation_device_id.cpp.o"
+  "CMakeFiles/ablation_device_id.dir/ablation_device_id.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_device_id.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_entropy_norm"
+  "../bench/ablation_entropy_norm.pdb"
+  "CMakeFiles/ablation_entropy_norm.dir/ablation_entropy_norm.cpp.o"
+  "CMakeFiles/ablation_entropy_norm.dir/ablation_entropy_norm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_entropy_norm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

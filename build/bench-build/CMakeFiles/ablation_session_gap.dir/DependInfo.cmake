@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_session_gap.cpp" "bench-build/CMakeFiles/ablation_session_gap.dir/ablation_session_gap.cpp.o" "gcc" "bench-build/CMakeFiles/ablation_session_gap.dir/ablation_session_gap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-build/CMakeFiles/wearscope_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wearscope_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/wearscope_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/appdb/CMakeFiles/wearscope_appdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/wearscope_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wearscope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_session_gap"
+  "../bench/ablation_session_gap.pdb"
+  "CMakeFiles/ablation_session_gap.dir/ablation_session_gap.cpp.o"
+  "CMakeFiles/ablation_session_gap.dir/ablation_session_gap.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_session_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

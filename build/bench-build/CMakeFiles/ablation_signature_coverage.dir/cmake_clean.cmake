@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_signature_coverage"
+  "../bench/ablation_signature_coverage.pdb"
+  "CMakeFiles/ablation_signature_coverage.dir/ablation_signature_coverage.cpp.o"
+  "CMakeFiles/ablation_signature_coverage.dir/ablation_signature_coverage.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_signature_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

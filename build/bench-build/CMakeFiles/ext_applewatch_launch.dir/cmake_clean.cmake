@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_applewatch_launch"
+  "../bench/ext_applewatch_launch.pdb"
+  "CMakeFiles/ext_applewatch_launch.dir/ext_applewatch_launch.cpp.o"
+  "CMakeFiles/ext_applewatch_launch.dir/ext_applewatch_launch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_applewatch_launch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_device_cohorts"
+  "../bench/ext_device_cohorts.pdb"
+  "CMakeFiles/ext_device_cohorts.dir/ext_device_cohorts.cpp.o"
+  "CMakeFiles/ext_device_cohorts.dir/ext_device_cohorts.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_device_cohorts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_geography"
+  "../bench/ext_geography.pdb"
+  "CMakeFiles/ext_geography.dir/ext_geography.cpp.o"
+  "CMakeFiles/ext_geography.dir/ext_geography.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_geography.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

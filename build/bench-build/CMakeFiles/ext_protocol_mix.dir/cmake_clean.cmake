@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_protocol_mix"
+  "../bench/ext_protocol_mix.pdb"
+  "CMakeFiles/ext_protocol_mix.dir/ext_protocol_mix.cpp.o"
+  "CMakeFiles/ext_protocol_mix.dir/ext_protocol_mix.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_protocol_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_retention"
+  "../bench/ext_retention.pdb"
+  "CMakeFiles/ext_retention.dir/ext_retention.cpp.o"
+  "CMakeFiles/ext_retention.dir/ext_retention.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_retention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2a_adoption"
+  "../bench/fig2a_adoption.pdb"
+  "CMakeFiles/fig2a_adoption.dir/fig2a_adoption.cpp.o"
+  "CMakeFiles/fig2a_adoption.dir/fig2a_adoption.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2a_adoption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2b_retention"
+  "../bench/fig2b_retention.pdb"
+  "CMakeFiles/fig2b_retention.dir/fig2b_retention.cpp.o"
+  "CMakeFiles/fig2b_retention.dir/fig2b_retention.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2b_retention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3a_diurnal"
+  "../bench/fig3a_diurnal.pdb"
+  "CMakeFiles/fig3a_diurnal.dir/fig3a_diurnal.cpp.o"
+  "CMakeFiles/fig3a_diurnal.dir/fig3a_diurnal.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3a_diurnal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3b_activity"
+  "../bench/fig3b_activity.pdb"
+  "CMakeFiles/fig3b_activity.dir/fig3b_activity.cpp.o"
+  "CMakeFiles/fig3b_activity.dir/fig3b_activity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3b_activity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

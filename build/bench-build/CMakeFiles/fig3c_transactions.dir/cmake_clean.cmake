@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3c_transactions"
+  "../bench/fig3c_transactions.pdb"
+  "CMakeFiles/fig3c_transactions.dir/fig3c_transactions.cpp.o"
+  "CMakeFiles/fig3c_transactions.dir/fig3c_transactions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3c_transactions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3d_correlation"
+  "../bench/fig3d_correlation.pdb"
+  "CMakeFiles/fig3d_correlation.dir/fig3d_correlation.cpp.o"
+  "CMakeFiles/fig3d_correlation.dir/fig3d_correlation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3d_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4a_user_traffic"
+  "../bench/fig4a_user_traffic.pdb"
+  "CMakeFiles/fig4a_user_traffic.dir/fig4a_user_traffic.cpp.o"
+  "CMakeFiles/fig4a_user_traffic.dir/fig4a_user_traffic.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4a_user_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4b_traffic_ratio"
+  "../bench/fig4b_traffic_ratio.pdb"
+  "CMakeFiles/fig4b_traffic_ratio.dir/fig4b_traffic_ratio.cpp.o"
+  "CMakeFiles/fig4b_traffic_ratio.dir/fig4b_traffic_ratio.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4b_traffic_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

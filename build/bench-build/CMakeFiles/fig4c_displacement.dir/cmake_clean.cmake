@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4c_displacement"
+  "../bench/fig4c_displacement.pdb"
+  "CMakeFiles/fig4c_displacement.dir/fig4c_displacement.cpp.o"
+  "CMakeFiles/fig4c_displacement.dir/fig4c_displacement.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4c_displacement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

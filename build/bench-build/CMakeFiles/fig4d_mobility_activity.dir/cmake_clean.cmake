@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4d_mobility_activity"
+  "../bench/fig4d_mobility_activity.pdb"
+  "CMakeFiles/fig4d_mobility_activity.dir/fig4d_mobility_activity.cpp.o"
+  "CMakeFiles/fig4d_mobility_activity.dir/fig4d_mobility_activity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4d_mobility_activity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

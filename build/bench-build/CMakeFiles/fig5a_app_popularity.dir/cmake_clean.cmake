@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5a_app_popularity"
+  "../bench/fig5a_app_popularity.pdb"
+  "CMakeFiles/fig5a_app_popularity.dir/fig5a_app_popularity.cpp.o"
+  "CMakeFiles/fig5a_app_popularity.dir/fig5a_app_popularity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5a_app_popularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

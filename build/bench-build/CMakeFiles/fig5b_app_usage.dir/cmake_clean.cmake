@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5b_app_usage"
+  "../bench/fig5b_app_usage.pdb"
+  "CMakeFiles/fig5b_app_usage.dir/fig5b_app_usage.cpp.o"
+  "CMakeFiles/fig5b_app_usage.dir/fig5b_app_usage.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_app_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

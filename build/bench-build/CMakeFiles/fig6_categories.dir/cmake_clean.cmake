@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_categories"
+  "../bench/fig6_categories.pdb"
+  "CMakeFiles/fig6_categories.dir/fig6_categories.cpp.o"
+  "CMakeFiles/fig6_categories.dir/fig6_categories.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_categories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

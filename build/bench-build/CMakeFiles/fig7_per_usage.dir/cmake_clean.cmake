@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_per_usage"
+  "../bench/fig7_per_usage.pdb"
+  "CMakeFiles/fig7_per_usage.dir/fig7_per_usage.cpp.o"
+  "CMakeFiles/fig7_per_usage.dir/fig7_per_usage.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_per_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_thirdparty"
+  "../bench/fig8_thirdparty.pdb"
+  "CMakeFiles/fig8_thirdparty.dir/fig8_thirdparty.cpp.o"
+  "CMakeFiles/fig8_thirdparty.dir/fig8_thirdparty.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_thirdparty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/perf_simnet"
+  "../bench/perf_simnet.pdb"
+  "CMakeFiles/perf_simnet.dir/perf_simnet.cpp.o"
+  "CMakeFiles/perf_simnet.dir/perf_simnet.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/perf_trace_io"
+  "../bench/perf_trace_io.pdb"
+  "CMakeFiles/perf_trace_io.dir/perf_trace_io.cpp.o"
+  "CMakeFiles/perf_trace_io.dir/perf_trace_io.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_trace_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

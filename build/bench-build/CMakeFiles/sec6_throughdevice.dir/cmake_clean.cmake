@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec6_throughdevice"
+  "../bench/sec6_throughdevice.pdb"
+  "CMakeFiles/sec6_throughdevice.dir/sec6_throughdevice.cpp.o"
+  "CMakeFiles/sec6_throughdevice.dir/sec6_throughdevice.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec6_throughdevice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wearscope_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/wearscope_bench_common.dir/bench_common.cpp.o.d"
+  "libwearscope_bench_common.a"
+  "libwearscope_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wearscope_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwearscope_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adoption_study.dir/adoption_study.cpp.o"
+  "CMakeFiles/adoption_study.dir/adoption_study.cpp.o.d"
+  "adoption_study"
+  "adoption_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adoption_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

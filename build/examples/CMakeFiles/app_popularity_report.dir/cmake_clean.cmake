@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_popularity_report.dir/app_popularity_report.cpp.o"
+  "CMakeFiles/app_popularity_report.dir/app_popularity_report.cpp.o.d"
+  "app_popularity_report"
+  "app_popularity_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_popularity_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobility_study.dir/mobility_study.cpp.o"
+  "CMakeFiles/mobility_study.dir/mobility_study.cpp.o.d"
+  "mobility_study"
+  "mobility_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobility_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/release_workflow.cpp" "examples/CMakeFiles/release_workflow.dir/release_workflow.cpp.o" "gcc" "examples/CMakeFiles/release_workflow.dir/release_workflow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/wearscope_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/wearscope_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/appdb/CMakeFiles/wearscope_appdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/wearscope_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wearscope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thirdparty_audit.dir/thirdparty_audit.cpp.o"
+  "CMakeFiles/thirdparty_audit.dir/thirdparty_audit.cpp.o.d"
+  "thirdparty_audit"
+  "thirdparty_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thirdparty_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

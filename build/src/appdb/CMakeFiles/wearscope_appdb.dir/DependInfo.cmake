@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/appdb/app_catalog.cpp" "src/appdb/CMakeFiles/wearscope_appdb.dir/app_catalog.cpp.o" "gcc" "src/appdb/CMakeFiles/wearscope_appdb.dir/app_catalog.cpp.o.d"
+  "/root/repo/src/appdb/categories.cpp" "src/appdb/CMakeFiles/wearscope_appdb.dir/categories.cpp.o" "gcc" "src/appdb/CMakeFiles/wearscope_appdb.dir/categories.cpp.o.d"
+  "/root/repo/src/appdb/device_models.cpp" "src/appdb/CMakeFiles/wearscope_appdb.dir/device_models.cpp.o" "gcc" "src/appdb/CMakeFiles/wearscope_appdb.dir/device_models.cpp.o.d"
+  "/root/repo/src/appdb/third_party.cpp" "src/appdb/CMakeFiles/wearscope_appdb.dir/third_party.cpp.o" "gcc" "src/appdb/CMakeFiles/wearscope_appdb.dir/third_party.cpp.o.d"
+  "/root/repo/src/appdb/traffic_profile.cpp" "src/appdb/CMakeFiles/wearscope_appdb.dir/traffic_profile.cpp.o" "gcc" "src/appdb/CMakeFiles/wearscope_appdb.dir/traffic_profile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wearscope_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/wearscope_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

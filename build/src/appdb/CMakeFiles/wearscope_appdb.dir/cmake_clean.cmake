@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wearscope_appdb.dir/app_catalog.cpp.o"
+  "CMakeFiles/wearscope_appdb.dir/app_catalog.cpp.o.d"
+  "CMakeFiles/wearscope_appdb.dir/categories.cpp.o"
+  "CMakeFiles/wearscope_appdb.dir/categories.cpp.o.d"
+  "CMakeFiles/wearscope_appdb.dir/device_models.cpp.o"
+  "CMakeFiles/wearscope_appdb.dir/device_models.cpp.o.d"
+  "CMakeFiles/wearscope_appdb.dir/third_party.cpp.o"
+  "CMakeFiles/wearscope_appdb.dir/third_party.cpp.o.d"
+  "CMakeFiles/wearscope_appdb.dir/traffic_profile.cpp.o"
+  "CMakeFiles/wearscope_appdb.dir/traffic_profile.cpp.o.d"
+  "libwearscope_appdb.a"
+  "libwearscope_appdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wearscope_appdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

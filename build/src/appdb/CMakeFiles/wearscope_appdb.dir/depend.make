@@ -1,0 +1,2 @@
+# Empty dependencies file for wearscope_appdb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis_activity.cpp" "src/core/CMakeFiles/wearscope_core.dir/analysis_activity.cpp.o" "gcc" "src/core/CMakeFiles/wearscope_core.dir/analysis_activity.cpp.o.d"
+  "/root/repo/src/core/analysis_adoption.cpp" "src/core/CMakeFiles/wearscope_core.dir/analysis_adoption.cpp.o" "gcc" "src/core/CMakeFiles/wearscope_core.dir/analysis_adoption.cpp.o.d"
+  "/root/repo/src/core/analysis_apps.cpp" "src/core/CMakeFiles/wearscope_core.dir/analysis_apps.cpp.o" "gcc" "src/core/CMakeFiles/wearscope_core.dir/analysis_apps.cpp.o.d"
+  "/root/repo/src/core/analysis_categories.cpp" "src/core/CMakeFiles/wearscope_core.dir/analysis_categories.cpp.o" "gcc" "src/core/CMakeFiles/wearscope_core.dir/analysis_categories.cpp.o.d"
+  "/root/repo/src/core/analysis_cohorts.cpp" "src/core/CMakeFiles/wearscope_core.dir/analysis_cohorts.cpp.o" "gcc" "src/core/CMakeFiles/wearscope_core.dir/analysis_cohorts.cpp.o.d"
+  "/root/repo/src/core/analysis_comparison.cpp" "src/core/CMakeFiles/wearscope_core.dir/analysis_comparison.cpp.o" "gcc" "src/core/CMakeFiles/wearscope_core.dir/analysis_comparison.cpp.o.d"
+  "/root/repo/src/core/analysis_diurnal.cpp" "src/core/CMakeFiles/wearscope_core.dir/analysis_diurnal.cpp.o" "gcc" "src/core/CMakeFiles/wearscope_core.dir/analysis_diurnal.cpp.o.d"
+  "/root/repo/src/core/analysis_geography.cpp" "src/core/CMakeFiles/wearscope_core.dir/analysis_geography.cpp.o" "gcc" "src/core/CMakeFiles/wearscope_core.dir/analysis_geography.cpp.o.d"
+  "/root/repo/src/core/analysis_mobility.cpp" "src/core/CMakeFiles/wearscope_core.dir/analysis_mobility.cpp.o" "gcc" "src/core/CMakeFiles/wearscope_core.dir/analysis_mobility.cpp.o.d"
+  "/root/repo/src/core/analysis_protocol.cpp" "src/core/CMakeFiles/wearscope_core.dir/analysis_protocol.cpp.o" "gcc" "src/core/CMakeFiles/wearscope_core.dir/analysis_protocol.cpp.o.d"
+  "/root/repo/src/core/analysis_retention.cpp" "src/core/CMakeFiles/wearscope_core.dir/analysis_retention.cpp.o" "gcc" "src/core/CMakeFiles/wearscope_core.dir/analysis_retention.cpp.o.d"
+  "/root/repo/src/core/analysis_thirdparty.cpp" "src/core/CMakeFiles/wearscope_core.dir/analysis_thirdparty.cpp.o" "gcc" "src/core/CMakeFiles/wearscope_core.dir/analysis_thirdparty.cpp.o.d"
+  "/root/repo/src/core/analysis_throughdevice.cpp" "src/core/CMakeFiles/wearscope_core.dir/analysis_throughdevice.cpp.o" "gcc" "src/core/CMakeFiles/wearscope_core.dir/analysis_throughdevice.cpp.o.d"
+  "/root/repo/src/core/analysis_usage.cpp" "src/core/CMakeFiles/wearscope_core.dir/analysis_usage.cpp.o" "gcc" "src/core/CMakeFiles/wearscope_core.dir/analysis_usage.cpp.o.d"
+  "/root/repo/src/core/app_id.cpp" "src/core/CMakeFiles/wearscope_core.dir/app_id.cpp.o" "gcc" "src/core/CMakeFiles/wearscope_core.dir/app_id.cpp.o.d"
+  "/root/repo/src/core/context.cpp" "src/core/CMakeFiles/wearscope_core.dir/context.cpp.o" "gcc" "src/core/CMakeFiles/wearscope_core.dir/context.cpp.o.d"
+  "/root/repo/src/core/device_id.cpp" "src/core/CMakeFiles/wearscope_core.dir/device_id.cpp.o" "gcc" "src/core/CMakeFiles/wearscope_core.dir/device_id.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/wearscope_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/wearscope_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/wearscope_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/wearscope_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/report_markdown.cpp" "src/core/CMakeFiles/wearscope_core.dir/report_markdown.cpp.o" "gcc" "src/core/CMakeFiles/wearscope_core.dir/report_markdown.cpp.o.d"
+  "/root/repo/src/core/sessionize.cpp" "src/core/CMakeFiles/wearscope_core.dir/sessionize.cpp.o" "gcc" "src/core/CMakeFiles/wearscope_core.dir/sessionize.cpp.o.d"
+  "/root/repo/src/core/streaming.cpp" "src/core/CMakeFiles/wearscope_core.dir/streaming.cpp.o" "gcc" "src/core/CMakeFiles/wearscope_core.dir/streaming.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wearscope_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/wearscope_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/appdb/CMakeFiles/wearscope_appdb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simnet/config.cpp" "src/simnet/CMakeFiles/wearscope_simnet.dir/config.cpp.o" "gcc" "src/simnet/CMakeFiles/wearscope_simnet.dir/config.cpp.o.d"
+  "/root/repo/src/simnet/config_io.cpp" "src/simnet/CMakeFiles/wearscope_simnet.dir/config_io.cpp.o" "gcc" "src/simnet/CMakeFiles/wearscope_simnet.dir/config_io.cpp.o.d"
+  "/root/repo/src/simnet/diurnal.cpp" "src/simnet/CMakeFiles/wearscope_simnet.dir/diurnal.cpp.o" "gcc" "src/simnet/CMakeFiles/wearscope_simnet.dir/diurnal.cpp.o.d"
+  "/root/repo/src/simnet/geography.cpp" "src/simnet/CMakeFiles/wearscope_simnet.dir/geography.cpp.o" "gcc" "src/simnet/CMakeFiles/wearscope_simnet.dir/geography.cpp.o.d"
+  "/root/repo/src/simnet/mobility.cpp" "src/simnet/CMakeFiles/wearscope_simnet.dir/mobility.cpp.o" "gcc" "src/simnet/CMakeFiles/wearscope_simnet.dir/mobility.cpp.o.d"
+  "/root/repo/src/simnet/population.cpp" "src/simnet/CMakeFiles/wearscope_simnet.dir/population.cpp.o" "gcc" "src/simnet/CMakeFiles/wearscope_simnet.dir/population.cpp.o.d"
+  "/root/repo/src/simnet/simulator.cpp" "src/simnet/CMakeFiles/wearscope_simnet.dir/simulator.cpp.o" "gcc" "src/simnet/CMakeFiles/wearscope_simnet.dir/simulator.cpp.o.d"
+  "/root/repo/src/simnet/traffic.cpp" "src/simnet/CMakeFiles/wearscope_simnet.dir/traffic.cpp.o" "gcc" "src/simnet/CMakeFiles/wearscope_simnet.dir/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wearscope_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/wearscope_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/appdb/CMakeFiles/wearscope_appdb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wearscope_simnet.dir/config.cpp.o"
+  "CMakeFiles/wearscope_simnet.dir/config.cpp.o.d"
+  "CMakeFiles/wearscope_simnet.dir/config_io.cpp.o"
+  "CMakeFiles/wearscope_simnet.dir/config_io.cpp.o.d"
+  "CMakeFiles/wearscope_simnet.dir/diurnal.cpp.o"
+  "CMakeFiles/wearscope_simnet.dir/diurnal.cpp.o.d"
+  "CMakeFiles/wearscope_simnet.dir/geography.cpp.o"
+  "CMakeFiles/wearscope_simnet.dir/geography.cpp.o.d"
+  "CMakeFiles/wearscope_simnet.dir/mobility.cpp.o"
+  "CMakeFiles/wearscope_simnet.dir/mobility.cpp.o.d"
+  "CMakeFiles/wearscope_simnet.dir/population.cpp.o"
+  "CMakeFiles/wearscope_simnet.dir/population.cpp.o.d"
+  "CMakeFiles/wearscope_simnet.dir/simulator.cpp.o"
+  "CMakeFiles/wearscope_simnet.dir/simulator.cpp.o.d"
+  "CMakeFiles/wearscope_simnet.dir/traffic.cpp.o"
+  "CMakeFiles/wearscope_simnet.dir/traffic.cpp.o.d"
+  "libwearscope_simnet.a"
+  "libwearscope_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wearscope_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/anonymize.cpp" "src/trace/CMakeFiles/wearscope_trace.dir/anonymize.cpp.o" "gcc" "src/trace/CMakeFiles/wearscope_trace.dir/anonymize.cpp.o.d"
+  "/root/repo/src/trace/binary_io.cpp" "src/trace/CMakeFiles/wearscope_trace.dir/binary_io.cpp.o" "gcc" "src/trace/CMakeFiles/wearscope_trace.dir/binary_io.cpp.o.d"
+  "/root/repo/src/trace/bundle.cpp" "src/trace/CMakeFiles/wearscope_trace.dir/bundle.cpp.o" "gcc" "src/trace/CMakeFiles/wearscope_trace.dir/bundle.cpp.o.d"
+  "/root/repo/src/trace/csv_io.cpp" "src/trace/CMakeFiles/wearscope_trace.dir/csv_io.cpp.o" "gcc" "src/trace/CMakeFiles/wearscope_trace.dir/csv_io.cpp.o.d"
+  "/root/repo/src/trace/store.cpp" "src/trace/CMakeFiles/wearscope_trace.dir/store.cpp.o" "gcc" "src/trace/CMakeFiles/wearscope_trace.dir/store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wearscope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wearscope_trace.dir/anonymize.cpp.o"
+  "CMakeFiles/wearscope_trace.dir/anonymize.cpp.o.d"
+  "CMakeFiles/wearscope_trace.dir/binary_io.cpp.o"
+  "CMakeFiles/wearscope_trace.dir/binary_io.cpp.o.d"
+  "CMakeFiles/wearscope_trace.dir/bundle.cpp.o"
+  "CMakeFiles/wearscope_trace.dir/bundle.cpp.o.d"
+  "CMakeFiles/wearscope_trace.dir/csv_io.cpp.o"
+  "CMakeFiles/wearscope_trace.dir/csv_io.cpp.o.d"
+  "CMakeFiles/wearscope_trace.dir/store.cpp.o"
+  "CMakeFiles/wearscope_trace.dir/store.cpp.o.d"
+  "libwearscope_trace.a"
+  "libwearscope_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wearscope_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

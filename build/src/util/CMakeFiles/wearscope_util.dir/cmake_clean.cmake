@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wearscope_util.dir/ascii_chart.cpp.o"
+  "CMakeFiles/wearscope_util.dir/ascii_chart.cpp.o.d"
+  "CMakeFiles/wearscope_util.dir/csv.cpp.o"
+  "CMakeFiles/wearscope_util.dir/csv.cpp.o.d"
+  "CMakeFiles/wearscope_util.dir/flags.cpp.o"
+  "CMakeFiles/wearscope_util.dir/flags.cpp.o.d"
+  "CMakeFiles/wearscope_util.dir/geo.cpp.o"
+  "CMakeFiles/wearscope_util.dir/geo.cpp.o.d"
+  "CMakeFiles/wearscope_util.dir/rng.cpp.o"
+  "CMakeFiles/wearscope_util.dir/rng.cpp.o.d"
+  "CMakeFiles/wearscope_util.dir/sim_time.cpp.o"
+  "CMakeFiles/wearscope_util.dir/sim_time.cpp.o.d"
+  "CMakeFiles/wearscope_util.dir/stats.cpp.o"
+  "CMakeFiles/wearscope_util.dir/stats.cpp.o.d"
+  "CMakeFiles/wearscope_util.dir/strings.cpp.o"
+  "CMakeFiles/wearscope_util.dir/strings.cpp.o.d"
+  "libwearscope_util.a"
+  "libwearscope_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wearscope_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analyses_micro.cpp" "tests/CMakeFiles/wearscope_tests.dir/test_analyses_micro.cpp.o" "gcc" "tests/CMakeFiles/wearscope_tests.dir/test_analyses_micro.cpp.o.d"
+  "/root/repo/tests/test_anonymize.cpp" "tests/CMakeFiles/wearscope_tests.dir/test_anonymize.cpp.o" "gcc" "tests/CMakeFiles/wearscope_tests.dir/test_anonymize.cpp.o.d"
+  "/root/repo/tests/test_app_id.cpp" "tests/CMakeFiles/wearscope_tests.dir/test_app_id.cpp.o" "gcc" "tests/CMakeFiles/wearscope_tests.dir/test_app_id.cpp.o.d"
+  "/root/repo/tests/test_appdb.cpp" "tests/CMakeFiles/wearscope_tests.dir/test_appdb.cpp.o" "gcc" "tests/CMakeFiles/wearscope_tests.dir/test_appdb.cpp.o.d"
+  "/root/repo/tests/test_applewatch_scenario.cpp" "tests/CMakeFiles/wearscope_tests.dir/test_applewatch_scenario.cpp.o" "gcc" "tests/CMakeFiles/wearscope_tests.dir/test_applewatch_scenario.cpp.o.d"
+  "/root/repo/tests/test_ascii_chart.cpp" "tests/CMakeFiles/wearscope_tests.dir/test_ascii_chart.cpp.o" "gcc" "tests/CMakeFiles/wearscope_tests.dir/test_ascii_chart.cpp.o.d"
+  "/root/repo/tests/test_cohorts.cpp" "tests/CMakeFiles/wearscope_tests.dir/test_cohorts.cpp.o" "gcc" "tests/CMakeFiles/wearscope_tests.dir/test_cohorts.cpp.o.d"
+  "/root/repo/tests/test_config_io.cpp" "tests/CMakeFiles/wearscope_tests.dir/test_config_io.cpp.o" "gcc" "tests/CMakeFiles/wearscope_tests.dir/test_config_io.cpp.o.d"
+  "/root/repo/tests/test_context.cpp" "tests/CMakeFiles/wearscope_tests.dir/test_context.cpp.o" "gcc" "tests/CMakeFiles/wearscope_tests.dir/test_context.cpp.o.d"
+  "/root/repo/tests/test_csv.cpp" "tests/CMakeFiles/wearscope_tests.dir/test_csv.cpp.o" "gcc" "tests/CMakeFiles/wearscope_tests.dir/test_csv.cpp.o.d"
+  "/root/repo/tests/test_device_id.cpp" "tests/CMakeFiles/wearscope_tests.dir/test_device_id.cpp.o" "gcc" "tests/CMakeFiles/wearscope_tests.dir/test_device_id.cpp.o.d"
+  "/root/repo/tests/test_flags.cpp" "tests/CMakeFiles/wearscope_tests.dir/test_flags.cpp.o" "gcc" "tests/CMakeFiles/wearscope_tests.dir/test_flags.cpp.o.d"
+  "/root/repo/tests/test_fuzz_io.cpp" "tests/CMakeFiles/wearscope_tests.dir/test_fuzz_io.cpp.o" "gcc" "tests/CMakeFiles/wearscope_tests.dir/test_fuzz_io.cpp.o.d"
+  "/root/repo/tests/test_geo.cpp" "tests/CMakeFiles/wearscope_tests.dir/test_geo.cpp.o" "gcc" "tests/CMakeFiles/wearscope_tests.dir/test_geo.cpp.o.d"
+  "/root/repo/tests/test_geography.cpp" "tests/CMakeFiles/wearscope_tests.dir/test_geography.cpp.o" "gcc" "tests/CMakeFiles/wearscope_tests.dir/test_geography.cpp.o.d"
+  "/root/repo/tests/test_geography_analysis.cpp" "tests/CMakeFiles/wearscope_tests.dir/test_geography_analysis.cpp.o" "gcc" "tests/CMakeFiles/wearscope_tests.dir/test_geography_analysis.cpp.o.d"
+  "/root/repo/tests/test_mobility_model.cpp" "tests/CMakeFiles/wearscope_tests.dir/test_mobility_model.cpp.o" "gcc" "tests/CMakeFiles/wearscope_tests.dir/test_mobility_model.cpp.o.d"
+  "/root/repo/tests/test_pipeline_integration.cpp" "tests/CMakeFiles/wearscope_tests.dir/test_pipeline_integration.cpp.o" "gcc" "tests/CMakeFiles/wearscope_tests.dir/test_pipeline_integration.cpp.o.d"
+  "/root/repo/tests/test_pipeline_robustness.cpp" "tests/CMakeFiles/wearscope_tests.dir/test_pipeline_robustness.cpp.o" "gcc" "tests/CMakeFiles/wearscope_tests.dir/test_pipeline_robustness.cpp.o.d"
+  "/root/repo/tests/test_population.cpp" "tests/CMakeFiles/wearscope_tests.dir/test_population.cpp.o" "gcc" "tests/CMakeFiles/wearscope_tests.dir/test_population.cpp.o.d"
+  "/root/repo/tests/test_property_sweeps.cpp" "tests/CMakeFiles/wearscope_tests.dir/test_property_sweeps.cpp.o" "gcc" "tests/CMakeFiles/wearscope_tests.dir/test_property_sweeps.cpp.o.d"
+  "/root/repo/tests/test_protocol.cpp" "tests/CMakeFiles/wearscope_tests.dir/test_protocol.cpp.o" "gcc" "tests/CMakeFiles/wearscope_tests.dir/test_protocol.cpp.o.d"
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/wearscope_tests.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/wearscope_tests.dir/test_report.cpp.o.d"
+  "/root/repo/tests/test_report_markdown.cpp" "tests/CMakeFiles/wearscope_tests.dir/test_report_markdown.cpp.o" "gcc" "tests/CMakeFiles/wearscope_tests.dir/test_report_markdown.cpp.o.d"
+  "/root/repo/tests/test_retention.cpp" "tests/CMakeFiles/wearscope_tests.dir/test_retention.cpp.o" "gcc" "tests/CMakeFiles/wearscope_tests.dir/test_retention.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/wearscope_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/wearscope_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_sessionize.cpp" "tests/CMakeFiles/wearscope_tests.dir/test_sessionize.cpp.o" "gcc" "tests/CMakeFiles/wearscope_tests.dir/test_sessionize.cpp.o.d"
+  "/root/repo/tests/test_sim_time.cpp" "tests/CMakeFiles/wearscope_tests.dir/test_sim_time.cpp.o" "gcc" "tests/CMakeFiles/wearscope_tests.dir/test_sim_time.cpp.o.d"
+  "/root/repo/tests/test_simulator.cpp" "tests/CMakeFiles/wearscope_tests.dir/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/wearscope_tests.dir/test_simulator.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/wearscope_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/wearscope_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_store.cpp" "tests/CMakeFiles/wearscope_tests.dir/test_store.cpp.o" "gcc" "tests/CMakeFiles/wearscope_tests.dir/test_store.cpp.o.d"
+  "/root/repo/tests/test_streaming.cpp" "tests/CMakeFiles/wearscope_tests.dir/test_streaming.cpp.o" "gcc" "tests/CMakeFiles/wearscope_tests.dir/test_streaming.cpp.o.d"
+  "/root/repo/tests/test_strings.cpp" "tests/CMakeFiles/wearscope_tests.dir/test_strings.cpp.o" "gcc" "tests/CMakeFiles/wearscope_tests.dir/test_strings.cpp.o.d"
+  "/root/repo/tests/test_trace_io.cpp" "tests/CMakeFiles/wearscope_tests.dir/test_trace_io.cpp.o" "gcc" "tests/CMakeFiles/wearscope_tests.dir/test_trace_io.cpp.o.d"
+  "/root/repo/tests/test_traffic_model.cpp" "tests/CMakeFiles/wearscope_tests.dir/test_traffic_model.cpp.o" "gcc" "tests/CMakeFiles/wearscope_tests.dir/test_traffic_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/wearscope_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/wearscope_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/appdb/CMakeFiles/wearscope_appdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/wearscope_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wearscope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

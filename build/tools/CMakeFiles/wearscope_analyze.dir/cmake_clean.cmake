@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wearscope_analyze.dir/wearscope_analyze.cpp.o"
+  "CMakeFiles/wearscope_analyze.dir/wearscope_analyze.cpp.o.d"
+  "wearscope_analyze"
+  "wearscope_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wearscope_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wearscope_compare.dir/wearscope_compare.cpp.o"
+  "CMakeFiles/wearscope_compare.dir/wearscope_compare.cpp.o.d"
+  "wearscope_compare"
+  "wearscope_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wearscope_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wearscope_gen.dir/wearscope_gen.cpp.o"
+  "CMakeFiles/wearscope_gen.dir/wearscope_gen.cpp.o.d"
+  "wearscope_gen"
+  "wearscope_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wearscope_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

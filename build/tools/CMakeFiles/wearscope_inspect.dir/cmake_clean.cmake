@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wearscope_inspect.dir/wearscope_inspect.cpp.o"
+  "CMakeFiles/wearscope_inspect.dir/wearscope_inspect.cpp.o.d"
+  "wearscope_inspect"
+  "wearscope_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wearscope_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_help_wearscope_analyze "/root/repo/build/tools/wearscope_analyze" "--help")
+set_tests_properties(tool_help_wearscope_analyze PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_help_wearscope_compare "/root/repo/build/tools/wearscope_compare" "--help")
+set_tests_properties(tool_help_wearscope_compare PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_help_wearscope_gen "/root/repo/build/tools/wearscope_gen" "--help")
+set_tests_properties(tool_help_wearscope_gen PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_help_wearscope_inspect "/root/repo/build/tools/wearscope_inspect" "--help")
+set_tests_properties(tool_help_wearscope_inspect PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_roundtrip "/usr/bin/cmake" "-DGEN=/root/repo/build/tools/wearscope_gen" "-DINSPECT=/root/repo/build/tools/wearscope_inspect" "-DANALYZE=/root/repo/build/tools/wearscope_analyze" "-DCOMPARE=/root/repo/build/tools/wearscope_compare" "-DWORK=/root/repo/build/tool_roundtrip_work" "-P" "/root/repo/tools/roundtrip_test.cmake")
+set_tests_properties(tool_roundtrip PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
