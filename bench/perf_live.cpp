@@ -1,0 +1,171 @@
+// Google-benchmark performance suite for the live-ingest engine: ring
+// throughput and end-to-end replay records/sec as a function of shard
+// count.
+//
+// Two modes:
+//   perf_live                      # normal google-benchmark run
+//   perf_live --emit-json[=PATH]   # shard sweep -> BENCH_live.json
+//
+// The JSON mode measures records/sec at shards ∈ {1, 2, 4, 8} over a fixed
+// synthetic capture and writes a machine-readable trajectory point so
+// later PRs have a number to beat.  hardware_concurrency is recorded
+// because shard scaling is meaningless without it (a 1-core container
+// cannot show a speedup no matter how good the engine is).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "live/engine.h"
+#include "live/replayer.h"
+#include "live/ring_buffer.h"
+#include "simnet/simulator.h"
+
+namespace {
+
+using namespace wearscope;
+
+const simnet::SimResult& shared_capture() {
+  static const simnet::SimResult sim = [] {
+    simnet::SimConfig cfg;
+    cfg.seed = 7;
+    cfg.wearable_users = 400;
+    cfg.control_users = 800;
+    cfg.through_device_users = 100;
+    cfg.detailed_days = 14;
+    cfg.cities = 6;
+    cfg.sectors_per_city = 12;
+    cfg.long_tail_apps = 60;
+    return simnet::Simulator(cfg).run();
+  }();
+  return sim;
+}
+
+live::LiveOptions engine_options(std::size_t shards) {
+  const simnet::SimResult& sim = shared_capture();
+  live::LiveOptions opt;
+  opt.shards = shards;
+  opt.observation_days = sim.observation_days;
+  opt.detailed_start_day = sim.detailed_start_day;
+  opt.long_tail_apps = sim.config.long_tail_apps;
+  return opt;
+}
+
+/// One full replay at maximum speed; returns records ingested.
+std::uint64_t replay_once(std::size_t shards) {
+  const simnet::SimResult& sim = shared_capture();
+  live::LiveEngine engine(sim.store.devices, engine_options(shards));
+  const live::FeedReplayer replayer(sim.store, live::ReplayOptions{});
+  const live::ReplayReport report = replayer.replay(engine);
+  const live::LiveSnapshot snap = engine.stop();
+  benchmark::DoNotOptimize(snap.adoption.ever_registered);
+  return report.records_pushed;
+}
+
+void BM_RingPushPop(benchmark::State& state) {
+  // Uncontended single-thread alternation: the pure fast-path cost.
+  live::RingBuffer<std::uint64_t> ring(
+      static_cast<std::size_t>(state.range(0)));
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    ring.push(v);
+    ring.pop(v);
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RingPushPop)->Arg(1)->Arg(1024);
+
+void BM_RingSpscStream(benchmark::State& state) {
+  // Real producer/consumer pair streaming a fixed batch per iteration.
+  constexpr std::uint64_t kBatch = 100'000;
+  for (auto _ : state) {
+    live::RingBuffer<std::uint64_t> ring(
+        static_cast<std::size_t>(state.range(0)));
+    std::thread consumer([&] {
+      std::uint64_t v;
+      while (ring.pop(v)) benchmark::DoNotOptimize(v);
+    });
+    for (std::uint64_t i = 0; i < kBatch; ++i) ring.push(i);
+    ring.close();
+    consumer.join();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(kBatch) *
+                          state.iterations());
+}
+BENCHMARK(BM_RingSpscStream)->Arg(64)->Arg(4096)->Unit(benchmark::kMillisecond);
+
+void BM_LiveIngest(benchmark::State& state) {
+  std::uint64_t records = 0;
+  for (auto _ : state) {
+    records = replay_once(static_cast<std::size_t>(state.range(0)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(records) *
+                          state.iterations());
+}
+BENCHMARK(BM_LiveIngest)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+/// --emit-json mode: timed shard sweep, best of `kReps` runs per point.
+int emit_json(const std::string& path) {
+  using Clock = std::chrono::steady_clock;
+  constexpr int kReps = 3;
+  const std::vector<std::size_t> shard_counts = {1, 2, 4, 8};
+
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  const std::uint64_t records = shared_capture().store.proxy.size() +
+                                shared_capture().store.mme.size();
+  std::fprintf(out, "{\n  \"bench\": \"perf_live\",\n");
+  std::fprintf(out, "  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(out, "  \"records\": %llu,\n",
+               static_cast<unsigned long long>(records));
+  std::fprintf(out, "  \"shards\": [\n");
+  for (std::size_t i = 0; i < shard_counts.size(); ++i) {
+    const std::size_t shards = shard_counts[i];
+    double best_rate = 0.0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      const Clock::time_point t0 = Clock::now();
+      const std::uint64_t pushed = replay_once(shards);
+      const double secs =
+          std::chrono::duration<double>(Clock::now() - t0).count();
+      if (secs > 0.0) {
+        best_rate = std::max(best_rate,
+                             static_cast<double>(pushed) / secs);
+      }
+    }
+    std::fprintf(out,
+                 "    {\"shards\": %zu, \"records_per_sec\": %.0f}%s\n",
+                 shards, best_rate,
+                 i + 1 < shard_counts.size() ? "," : "");
+    std::printf("shards=%zu: %.0f records/s\n", shards, best_rate);
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--emit-json", 11) == 0) {
+      const char* eq = std::strchr(argv[i], '=');
+      return emit_json(eq != nullptr ? eq + 1 : "BENCH_live.json");
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -45,19 +45,57 @@ void StreamingAdoption::on_proxy(const trace::ProxyRecord& record) {
   ever_transacted_.insert(record.user_id);
 }
 
-AdoptionResult StreamingAdoption::finalize() const {
-  AdoptionResult res;
-  std::vector<std::size_t> counts = daily_counts_;
+AdoptionTally StreamingAdoption::tally() const {
+  AdoptionTally t;
+  t.observation_days = observation_days_;
+  t.consumed = consumed_;
+  t.daily_counts = daily_counts_;
   if (current_day_ >= 0 && current_day_ < observation_days_) {
-    counts[static_cast<std::size_t>(current_day_)] = current_day_users_.size();
+    t.daily_counts[static_cast<std::size_t>(current_day_)] =
+        current_day_users_.size();
   }
+  t.ever_registered = ever_registered_.size();
+  t.ever_transacted = ever_transacted_.size();
+  t.first_week = first_week_.size();
+  t.last_week = last_week_.size();
+  for (const trace::UserId u : first_week_) {
+    if (last_week_.contains(u)) ++t.both_weeks;
+  }
+  return t;
+}
 
-  res.ever_registered = ever_registered_.size();
-  res.ever_transacted = ever_transacted_.size();
-  if (!ever_registered_.empty()) {
-    res.ever_transacting_fraction =
-        static_cast<double>(ever_transacted_.size()) /
-        static_cast<double>(ever_registered_.size());
+AdoptionResult StreamingAdoption::finalize() const {
+  return tally().finalize();
+}
+
+void AdoptionTally::merge(const AdoptionTally& other) {
+  if (observation_days == 0 && daily_counts.empty()) {
+    *this = other;
+    return;
+  }
+  util::require(other.observation_days == observation_days &&
+                    other.daily_counts.size() == daily_counts.size(),
+                "AdoptionTally::merge: mismatched observation windows");
+  consumed += other.consumed;
+  for (std::size_t d = 0; d < daily_counts.size(); ++d) {
+    daily_counts[d] += other.daily_counts[d];
+  }
+  ever_registered += other.ever_registered;
+  ever_transacted += other.ever_transacted;
+  first_week += other.first_week;
+  last_week += other.last_week;
+  both_weeks += other.both_weeks;
+}
+
+AdoptionResult AdoptionTally::finalize() const {
+  AdoptionResult res;
+  const std::vector<std::size_t>& counts = daily_counts;
+
+  res.ever_registered = ever_registered;
+  res.ever_transacted = ever_transacted;
+  if (ever_registered > 0) {
+    res.ever_transacting_fraction = static_cast<double>(ever_transacted) /
+                                    static_cast<double>(ever_registered);
   }
 
   const double last =
@@ -70,32 +108,29 @@ AdoptionResult StreamingAdoption::finalize() const {
 
   util::OnlineStats first_avg;
   util::OnlineStats last_avg;
-  for (int d = 0; d < 7 && d < observation_days_; ++d)
+  for (int d = 0; d < 7 && d < observation_days; ++d)
     first_avg.add(static_cast<double>(counts[static_cast<std::size_t>(d)]));
-  for (int d = std::max(0, observation_days_ - 7); d < observation_days_; ++d)
+  for (int d = std::max(0, observation_days - 7); d < observation_days; ++d)
     last_avg.add(static_cast<double>(counts[static_cast<std::size_t>(d)]));
   if (first_avg.mean() > 0.0) {
     res.total_growth = last_avg.mean() / first_avg.mean() - 1.0;
     res.monthly_growth =
-        res.total_growth / (static_cast<double>(observation_days_) / 30.4);
+        res.total_growth / (static_cast<double>(observation_days) / 30.4);
   }
 
-  std::size_t both = 0;
-  for (const trace::UserId u : first_week_) {
-    if (last_week_.contains(u)) ++both;
-  }
-  const std::size_t uni = first_week_.size() + last_week_.size() - both;
+  const std::size_t both = both_weeks;
+  const std::size_t uni = first_week + last_week - both;
   if (uni > 0) {
     res.still_active_share =
         static_cast<double>(both) / static_cast<double>(uni);
-    res.gone_share = static_cast<double>(first_week_.size() - both) /
-                     static_cast<double>(uni);
-    res.new_share = static_cast<double>(last_week_.size() - both) /
-                    static_cast<double>(uni);
+    res.gone_share =
+        static_cast<double>(first_week - both) / static_cast<double>(uni);
+    res.new_share =
+        static_cast<double>(last_week - both) / static_cast<double>(uni);
   }
-  if (!first_week_.empty()) {
-    res.churned_of_initial = static_cast<double>(first_week_.size() - both) /
-                             static_cast<double>(first_week_.size());
+  if (first_week > 0) {
+    res.churned_of_initial = static_cast<double>(first_week - both) /
+                             static_cast<double>(first_week);
   }
   return res;
 }

@@ -20,6 +20,32 @@
 
 namespace wearscope::core {
 
+/// Mergeable summary of one StreamingAdoption instance.  When the record
+/// stream is partitioned by user (every user's records land on exactly one
+/// counter, as live::IngestRouter guarantees), tallies from the partitions
+/// merge into the tally of the whole stream *exactly*: distinct-user sets
+/// are disjoint across partitions, so all set cardinalities simply add.
+struct AdoptionTally {
+  int observation_days = 0;
+  std::uint64_t consumed = 0;
+  /// Per-day distinct users, with the in-flight day already folded in.
+  std::vector<std::size_t> daily_counts;
+  std::size_t ever_registered = 0;
+  std::size_t ever_transacted = 0;
+  std::size_t first_week = 0;
+  std::size_t last_week = 0;
+  /// |first_week ∩ last_week| (computable per user partition).
+  std::size_t both_weeks = 0;
+
+  /// Adds a user-disjoint partition's tally into this one.
+  /// Throws util::ConfigError on mismatched observation windows.
+  void merge(const AdoptionTally& other);
+
+  /// Produces the AdoptionResult analyze_adoption() computes from an
+  /// in-memory capture — identical arithmetic, shard-count independent.
+  [[nodiscard]] AdoptionResult finalize() const;
+};
+
 /// Online Fig. 2 counters. Records may arrive in any order within a day,
 /// but days must not interleave backwards by more than the out-of-order
 /// tolerance of the feeding reader (our logs are fully time-sorted).
@@ -38,6 +64,10 @@ class StreamingAdoption {
   /// Produces the same AdoptionResult analyze_adoption() computes from an
   /// in-memory capture.
   [[nodiscard]] AdoptionResult finalize() const;
+
+  /// Snapshots the counters into a mergeable tally (shard workers call
+  /// this at snapshot barriers; the coordinator merges across shards).
+  [[nodiscard]] AdoptionTally tally() const;
 
   /// Number of records consumed (both feeds).
   [[nodiscard]] std::uint64_t records_consumed() const noexcept {

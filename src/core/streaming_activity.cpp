@@ -1,0 +1,141 @@
+#include "core/streaming_activity.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.h"
+#include "util/sim_time.h"
+
+namespace wearscope::core {
+
+StreamingActivity::StreamingActivity(const DeviceClassifier& devices,
+                                     int observation_days,
+                                     int detailed_start_day)
+    : devices_(&devices) {
+  util::require(observation_days > 0 && detailed_start_day >= 0 &&
+                    detailed_start_day < observation_days,
+                "StreamingActivity: bad observation window");
+  tally_.observation_days = observation_days;
+  tally_.detailed_start_day = detailed_start_day;
+  detailed_start_ = util::day_start(detailed_start_day);
+}
+
+void StreamingActivity::on_proxy(const trace::ProxyRecord& record,
+                                 std::uint64_t seq) {
+  // Every proxy record slots its user, exactly like the batch context —
+  // the iteration order of finalize() depends on it.
+  tally_.first_seen.try_emplace(record.user_id, seq);
+  if (!devices_->is_wearable(record.tac)) return;
+  if (record.timestamp < detailed_start_) return;
+  const int day = util::day_of(record.timestamp);
+  const int hour = util::hour_of(record.timestamp);
+  ActivityTally::UserActivity& u = tally_.users[record.user_id];
+  u.day_hours[day].insert(hour);
+  u.hour_txns[day * 24 + hour] += 1.0;
+  u.hour_bytes[day * 24 + hour] += static_cast<double>(record.bytes_total());
+  tally_.txn_sizes.push_back(static_cast<double>(record.bytes_total()));
+}
+
+void ActivityTally::merge(ActivityTally other) {
+  if (users.empty() && first_seen.empty() && txn_sizes.empty() &&
+      observation_days == 0) {
+    *this = std::move(other);
+    return;
+  }
+  util::require(other.observation_days == observation_days &&
+                    other.detailed_start_day == detailed_start_day,
+                "ActivityTally::merge: mismatched observation windows");
+  for (auto& [id, activity] : other.users) {
+    const bool inserted = users.emplace(id, std::move(activity)).second;
+    util::require(inserted,
+                  "ActivityTally::merge: user present in two partitions "
+                  "(shard-by-user invariant broken)");
+  }
+  for (const auto& [id, seq] : other.first_seen) {
+    const bool inserted = first_seen.emplace(id, seq).second;
+    util::require(inserted,
+                  "ActivityTally::merge: user present in two partitions "
+                  "(shard-by-user invariant broken)");
+  }
+  txn_sizes.insert(txn_sizes.end(), other.txn_sizes.begin(),
+                   other.txn_sizes.end());
+}
+
+ActivityResult ActivityTally::finalize() const {
+  // Mirrors analyze_activity() line for line, including its user iteration
+  // order: the batch walks users by first appearance in the proxy log, and
+  // binned_relation's tie-breaking makes the Fig. 3d scalars depend on
+  // that order, so we replay it from the first_seen stamps (user id breaks
+  // the never-occurring tie, keeping the order total either way).
+  ActivityResult res;
+  const int weeks = (observation_days - detailed_start_day) / 7;
+
+  std::vector<double> days_per_week;
+  std::vector<double> hours_per_day;
+  std::vector<double> hourly_txns;
+  std::vector<double> hourly_bytes;
+  std::vector<double> rel_hours;
+  std::vector<double> rel_txns;
+
+  std::vector<trace::UserId> ids;
+  ids.reserve(users.size());
+  for (const auto& [id, activity] : users) ids.push_back(id);
+  const auto order_of = [&](trace::UserId id) {
+    const auto it = first_seen.find(id);
+    return it != first_seen.end() ? it->second
+                                  : std::numeric_limits<std::uint64_t>::max();
+  };
+  std::sort(ids.begin(), ids.end(), [&](trace::UserId a, trace::UserId b) {
+    const std::uint64_t oa = order_of(a);
+    const std::uint64_t ob = order_of(b);
+    return oa != ob ? oa < ob : a < b;
+  });
+
+  for (const trace::UserId id : ids) {
+    const UserActivity& u = users.at(id);
+    if (u.day_hours.empty()) continue;
+
+    days_per_week.push_back(static_cast<double>(u.day_hours.size()) /
+                            std::max(1, weeks));
+    double hour_sum = 0.0;
+    for (const auto& [day, hours] : u.day_hours)
+      hour_sum += static_cast<double>(hours.size());
+    const double mean_hours =
+        hour_sum / static_cast<double>(u.day_hours.size());
+    hours_per_day.push_back(mean_hours);
+
+    double txn_sum = 0.0;
+    for (const auto& [key, n] : u.hour_txns) {
+      hourly_txns.push_back(n);
+      txn_sum += n;
+    }
+    for (const auto& [key, b] : u.hour_bytes) hourly_bytes.push_back(b);
+
+    rel_hours.push_back(mean_hours);
+    rel_txns.push_back(txn_sum / std::max(1.0, hour_sum));
+  }
+
+  res.active_days_per_week = util::Ecdf(std::move(days_per_week));
+  res.active_hours_per_day = util::Ecdf(hours_per_day);
+  res.mean_active_days = res.active_days_per_week.mean();
+  res.mean_active_hours = res.active_hours_per_day.mean();
+  if (!hours_per_day.empty()) {
+    res.frac_over_10h = 1.0 - res.active_hours_per_day.at(10.0);
+    res.frac_under_5h = res.active_hours_per_day.at(5.0 - 1e-9);
+  }
+
+  res.txn_size_bytes = util::Ecdf(txn_sizes);
+  res.hourly_txns_per_user = util::Ecdf(std::move(hourly_txns));
+  res.hourly_bytes_per_user = util::Ecdf(std::move(hourly_bytes));
+  res.mean_txn_bytes = res.txn_size_bytes.mean();
+  res.median_txn_bytes = res.txn_size_bytes.quantile(0.5);
+  res.frac_txn_under_10kb = res.txn_size_bytes.at(10'000.0);
+
+  res.txns_vs_hours = util::binned_relation(rel_hours, rel_txns, 10);
+  res.correlation = util::pearson(rel_hours, rel_txns);
+  res.binned_trend_corr = util::pearson(res.txns_vs_hours.x_centers,
+                                        res.txns_vs_hours.y_means);
+  return res;
+}
+
+}  // namespace wearscope::core

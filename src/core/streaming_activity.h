@@ -1,0 +1,96 @@
+// Streaming counterpart of analyze_activity() (Fig. 3b/c/d): single-pass,
+// per-user microscopic activity counters over the detailed window.
+//
+// Feed time-ordered proxy records one at a time; finalize() reproduces the
+// batch ActivityResult from the same capture *bitwise*.  ECDF-derived
+// statistics are order-free because util::Ecdf canonicalizes sample order.
+// The two Fig. 3d correlation scalars are order-*sensitive* — the batch
+// iterates users in proxy-log appearance order, and binned_relation breaks
+// ties in x by input position — so each on_proxy() call takes the record's
+// global stream position and finalize() replays the batch's exact user
+// order from the per-user first-appearance sequence.  The result is
+// independent of how users were partitioned across instances.
+//
+// Memory: O(users x active day-hours in the detailed window), one sequence
+// number per distinct proxy user, plus one double per detailed-window
+// transaction for the exact size ECDF.  A deployment that cannot afford
+// the latter would swap in a quantile sketch; we keep the exact sample so
+// streaming/batch equivalence stays testable to the bit.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "core/analysis_activity.h"
+#include "core/device_id.h"
+#include "trace/records.h"
+
+namespace wearscope::core {
+
+/// Mergeable state of one StreamingActivity instance.  Partitions must be
+/// user-disjoint (each user's records all land on one instance): merging
+/// then concatenates per-user states without collisions and the merged
+/// finalize() is independent of the partitioning.
+struct ActivityTally {
+  /// Per-user activity in the detailed window.
+  struct UserActivity {
+    /// day -> distinct active hours (ordered like the batch temporaries).
+    std::map<int, std::set<int>> day_hours;
+    /// day*24+hour -> transactions / bytes in that hour.
+    std::unordered_map<int, double> hour_txns;
+    std::unordered_map<int, double> hour_bytes;
+  };
+
+  int observation_days = 0;
+  int detailed_start_day = 0;
+  std::unordered_map<trace::UserId, UserActivity> users;
+  /// user -> stream position of their first proxy record (any TAC, any
+  /// window — mirroring how the batch context slots users).  Drives the
+  /// finalize() iteration order.
+  std::unordered_map<trace::UserId, std::uint64_t> first_seen;
+  /// Size of every detailed-window wearable transaction, in bytes.
+  std::vector<double> txn_sizes;
+
+  /// Adds a user-disjoint partition's tally into this one.
+  /// Throws util::ConfigError on window mismatch or a shared user id
+  /// (which would mean the partitioner broke the shard-by-user invariant).
+  void merge(ActivityTally other);
+
+  /// Reproduces analyze_activity() over everything consumed so far.
+  [[nodiscard]] ActivityResult finalize() const;
+};
+
+/// Online Fig. 3b/c/d counters for one user partition.
+class StreamingActivity {
+ public:
+  /// `devices` must outlive the counter.  `detailed_start_day` and
+  /// `observation_days` describe the analysis window exactly as
+  /// AnalysisOptions does.
+  StreamingActivity(const DeviceClassifier& devices, int observation_days,
+                    int detailed_start_day);
+
+  /// Feeds one proxy transaction (non-wearable TACs and records before the
+  /// detailed window are ignored, mirroring the batch analysis).  `seq` is
+  /// the record's position in the global proxy stream — any strictly
+  /// monotone stamp works; it only has to order first appearances the way
+  /// the batch context does.
+  void on_proxy(const trace::ProxyRecord& record, std::uint64_t seq);
+
+  /// Snapshots the counters into a mergeable tally.
+  [[nodiscard]] const ActivityTally& tally() const noexcept {
+    return tally_;
+  }
+
+  /// Convenience: finalize the local partition alone.
+  [[nodiscard]] ActivityResult finalize() const { return tally_.finalize(); }
+
+ private:
+  const DeviceClassifier* devices_;
+  util::SimTime detailed_start_ = 0;
+  ActivityTally tally_;
+};
+
+}  // namespace wearscope::core

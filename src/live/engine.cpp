@@ -1,0 +1,63 @@
+#include "live/engine.h"
+
+#include "util/error.h"
+
+namespace wearscope::live {
+
+LiveEngine::LiveEngine(const std::vector<trace::DeviceRecord>& devices,
+                       LiveOptions options)
+    : opt_(options),
+      catalog_(options.long_tail_apps),
+      devices_(devices),
+      signatures_(catalog_, options.signature_coverage),
+      router_(options.shards, options.ring_capacity),
+      coordinator_(options.shards, signatures_) {
+  util::require(opt_.observation_days > 0 && opt_.detailed_start_day >= 0 &&
+                    opt_.detailed_start_day < opt_.observation_days,
+                "LiveEngine: bad observation window");
+  workers_.reserve(router_.shards());
+  for (std::size_t s = 0; s < router_.shards(); ++s) {
+    workers_.push_back(std::make_unique<ShardWorker>(
+        s, router_.ring(s),
+        ShardStats(devices_, signatures_, opt_.observation_days,
+                   opt_.detailed_start_day, opt_.usage_gap_s),
+        coordinator_));
+  }
+  for (const auto& worker : workers_) worker->start();
+}
+
+LiveEngine::~LiveEngine() {
+  if (!stopped_) stop();
+}
+
+bool LiveEngine::push(trace::ProxyRecord record) {
+  return router_.route(std::move(record));
+}
+
+bool LiveEngine::push(trace::MmeRecord record) {
+  return router_.route(record);
+}
+
+LiveSnapshot LiveEngine::snapshot() {
+  util::require(!stopped_, "LiveEngine::snapshot: engine already stopped");
+  const std::uint64_t epoch = next_epoch_++;
+  router_.broadcast_barrier(epoch);
+  LiveSnapshot snap = coordinator_.wait_for(epoch);
+  snap.backpressure = router_.total_stats();
+  return snap;
+}
+
+LiveSnapshot LiveEngine::stop() {
+  if (stopped_) return *final_snapshot_;
+  const std::uint64_t epoch = next_epoch_++;
+  router_.broadcast_barrier(epoch);
+  router_.close();
+  LiveSnapshot snap = coordinator_.wait_for(epoch);
+  for (const auto& worker : workers_) worker->join();
+  snap.backpressure = router_.total_stats();
+  stopped_ = true;
+  final_snapshot_ = std::move(snap);
+  return *final_snapshot_;
+}
+
+}  // namespace wearscope::live

@@ -1,0 +1,115 @@
+// wearscope::live — the concurrent live-ingest engine.
+//
+// The batch pipeline (core::Pipeline) buffers a whole capture and analyzes
+// it after the fact; the paper's vantage points cannot do that — they run
+// *online* against a tier-1 ISP's traffic.  LiveEngine is that online
+// counterpart: a single feed thread pushes time-ordered records, an
+// IngestRouter hash-partitions them by UserId across N shard workers, each
+// worker maintains single-pass statistics for its user partition, and a
+// SnapshotCoordinator merges the shards into consistent epoch snapshots on
+// demand (or periodically, driven by FeedReplayer).
+//
+// Equivalence contract: after stop(), the final snapshot's AdoptionResult
+// and ActivityResult are bit-identical to core::Pipeline's over the same
+// capture, for ANY shard count — including the order-sensitive Fig. 3d
+// correlations, which finalize() reproduces by replaying the batch's
+// user-appearance order from router-stamped stream positions (see
+// core/streaming_activity.h).
+//
+// Threading contract: exactly one thread calls push()/snapshot()/stop().
+// Worker threads are internal; all shared state is either immutable after
+// construction (DeviceClassifier, AppSignatureTable) or owned by exactly
+// one thread (ShardStats), so the only synchronization on the hot path is
+// the SPSC ring per shard.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "appdb/app_catalog.h"
+#include "core/app_id.h"
+#include "core/device_id.h"
+#include "core/sessionize.h"
+#include "live/router.h"
+#include "live/shard_worker.h"
+#include "live/snapshot.h"
+#include "util/sim_time.h"
+
+namespace wearscope::live {
+
+/// Engine configuration.
+struct LiveOptions {
+  /// Worker shards (user partitions).
+  std::size_t shards = 4;
+  /// Events buffered per shard ring before the feed blocks.
+  std::size_t ring_capacity = 4096;
+  /// Analysis window, exactly as core::AnalysisOptions describes it.
+  int observation_days = util::kObservationDays;
+  int detailed_start_day = util::kDetailedStartDay;
+  /// Usage sessionization gap (paper: 60 s).
+  util::SimTime usage_gap_s = core::kDefaultUsageGapS;
+  /// Knowledge-base size for the app signature table (matches
+  /// AnalysisOptions::long_tail_apps).
+  std::uint32_t long_tail_apps = 150;
+  /// Fraction of signature rules retained.
+  double signature_coverage = 1.0;
+};
+
+/// The live-ingest engine. Construction spawns the worker threads;
+/// destruction stops and joins them.
+class LiveEngine {
+ public:
+  /// `devices` is the DeviceDB snapshot used for wearable classification
+  /// (copied; the engine keeps no reference to the caller's data).
+  LiveEngine(const std::vector<trace::DeviceRecord>& devices,
+             LiveOptions options);
+  ~LiveEngine();
+
+  LiveEngine(const LiveEngine&) = delete;
+  LiveEngine& operator=(const LiveEngine&) = delete;
+
+  /// Feeds one record, blocking when the target shard's ring is full.
+  /// Returns false after stop().
+  bool push(trace::ProxyRecord record);
+  bool push(trace::MmeRecord record);
+
+  /// Takes a consistent snapshot covering every record pushed so far:
+  /// broadcasts a barrier, blocks until all shards deposited, merges.
+  /// Must not be called after stop().
+  [[nodiscard]] LiveSnapshot snapshot();
+
+  /// Graceful drain-and-shutdown: barriers the final epoch, closes the
+  /// rings, joins the workers, and returns the final snapshot (covering
+  /// every record ever pushed). Idempotent — later calls return the same
+  /// snapshot.
+  LiveSnapshot stop();
+
+  [[nodiscard]] const LiveOptions& options() const noexcept { return opt_; }
+  [[nodiscard]] std::size_t shards() const noexcept {
+    return router_.shards();
+  }
+  /// Aggregated ring backpressure counters.
+  [[nodiscard]] RingStats backpressure() const {
+    return router_.total_stats();
+  }
+  /// Epochs issued so far (snapshots taken + final).
+  [[nodiscard]] std::uint64_t epochs_issued() const noexcept {
+    return next_epoch_;
+  }
+
+ private:
+  LiveOptions opt_;
+  appdb::AppCatalog catalog_;
+  core::DeviceClassifier devices_;
+  core::AppSignatureTable signatures_;
+  IngestRouter router_;
+  SnapshotCoordinator coordinator_;
+  std::vector<std::unique_ptr<ShardWorker>> workers_;
+  std::uint64_t next_epoch_ = 0;
+  bool stopped_ = false;
+  std::optional<LiveSnapshot> final_snapshot_;
+};
+
+}  // namespace wearscope::live

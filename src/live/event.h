@@ -1,0 +1,34 @@
+// The unit of work flowing through the live-ingest engine: one vantage
+// point record, or one control barrier injected by the snapshot
+// coordinator.
+#pragma once
+
+#include <cstdint>
+#include <variant>
+
+#include "trace/records.h"
+
+namespace wearscope::live {
+
+/// Control event: "publish your state as epoch `epoch`, then continue".
+/// The router broadcasts one barrier to every shard at the same stream
+/// position, so the union of the shard states at a barrier is a consistent
+/// prefix of the input stream (shard rings are FIFO).
+struct SnapshotBarrier {
+  std::uint64_t epoch = 0;
+};
+
+/// A proxy record plus its position in the global proxy stream.  The router
+/// (single feed thread) stamps `seq` so shards can reconstruct the exact
+/// user iteration order the batch AnalysisContext uses (first appearance in
+/// the proxy log) — the last piece needed for bitwise batch equivalence.
+struct StampedProxy {
+  std::uint64_t seq = 0;
+  trace::ProxyRecord record;
+};
+
+/// One element of a shard's ingest ring.
+using LiveEvent =
+    std::variant<StampedProxy, trace::MmeRecord, SnapshotBarrier>;
+
+}  // namespace wearscope::live

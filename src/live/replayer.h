@@ -1,0 +1,52 @@
+// FeedReplayer: turns an on-disk capture back into a live feed.
+//
+// Replays a TraceStore's proxy and MME logs as one merged, time-ordered
+// event stream into a LiveEngine — at real time (speedup 1), at a
+// configurable multiple, or as fast as the engine accepts (speedup <= 0,
+// the throughput-benchmark mode).  Optionally requests an engine snapshot
+// every `snapshot_every_s` seconds of *stream* time, which makes periodic
+// snapshots deterministic: epoch boundaries depend only on record
+// timestamps, never on wall-clock scheduling.
+#pragma once
+
+#include <vector>
+
+#include "live/engine.h"
+#include "trace/store.h"
+
+namespace wearscope::live {
+
+/// Replay configuration.
+struct ReplayOptions {
+  /// Stream-time / wall-time ratio; <= 0 replays as fast as possible.
+  double speedup = 0.0;
+  /// Request a snapshot whenever stream time crosses a multiple of this
+  /// many seconds since the first record; 0 disables periodic snapshots.
+  util::SimTime snapshot_every_s = 0;
+};
+
+/// What one replay() call did.
+struct ReplayReport {
+  std::uint64_t records_pushed = 0;
+  double wall_seconds = 0.0;  ///< Push-loop wall time (excludes stop()).
+  /// The periodic snapshots, in epoch order (empty when disabled).
+  std::vector<LiveSnapshot> snapshots;
+};
+
+/// Replays one capture. The store must stay alive during replay() and must
+/// be time-sorted (trace::TraceStore::sort_by_time).
+class FeedReplayer {
+ public:
+  FeedReplayer(const trace::TraceStore& store, ReplayOptions options);
+
+  /// Pushes every proxy/MME record into `engine` in timestamp order
+  /// (ties: MME before proxy — registration precedes traffic).  Does NOT
+  /// call engine.stop(); the caller decides when to drain.
+  ReplayReport replay(LiveEngine& engine) const;
+
+ private:
+  const trace::TraceStore* store_;
+  ReplayOptions opt_;
+};
+
+}  // namespace wearscope::live

@@ -1,0 +1,192 @@
+// Bounded single-producer/single-consumer ring buffer with blocking
+// push/pop, cooperative shutdown, and explicit backpressure accounting.
+//
+// The fast path is lock-free: the producer owns `head_`, the consumer owns
+// `tail_`, and each side only reads the other's index (classic SPSC ring).
+// A mutex + condition variables exist only for the slow path — a side that
+// finds the ring full/empty parks on its condvar, and the opposite side
+// posts a wakeup only when the `*_waiting_` flag says someone is actually
+// parked, so an uncontended stream never takes the lock after warm-up.
+//
+// The park/wake handshake is the store-buffering pattern: the waiter does
+// W(waiting flag) then R(index), the other side does W(index) then
+// R(waiting flag).  Both pairs use seq_cst so the outcome "waiter saw the
+// stale index AND the publisher saw waiting == false" is impossible — one
+// side always observes the other, which rules out the lost wakeup.
+//
+// Shutdown: close() wakes both sides; push() then refuses new elements
+// (counted in stats().rejected) while pop() keeps draining until the ring
+// is empty — no records are lost on a graceful drain.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "util/error.h"
+
+namespace wearscope::live {
+
+/// Counters exposed by RingBuffer::stats(); totals since construction.
+/// `producer_waits`/`consumer_waits` count *blocking episodes*, not parked
+/// nanoseconds: they are the backpressure signal (a producer wait means the
+/// shard is the bottleneck, a consumer wait means the feed is).
+struct RingStats {
+  std::uint64_t pushed = 0;          ///< Elements accepted by push().
+  std::uint64_t popped = 0;          ///< Elements handed out by pop().
+  std::uint64_t producer_waits = 0;  ///< push() found the ring full.
+  std::uint64_t consumer_waits = 0;  ///< pop() found the ring empty.
+  std::uint64_t rejected = 0;        ///< push() after close().
+
+  RingStats& operator+=(const RingStats& o) noexcept {
+    pushed += o.pushed;
+    popped += o.popped;
+    producer_waits += o.producer_waits;
+    consumer_waits += o.consumer_waits;
+    rejected += o.rejected;
+    return *this;
+  }
+};
+
+/// Bounded blocking SPSC queue.  Exactly one producer thread may call
+/// push() and exactly one consumer thread may call pop(); close(), stats()
+/// and size() are safe from anywhere.
+template <typename T>
+class RingBuffer {
+ public:
+  /// `capacity` must be >= 1 (capacity 1 is legal and heavily stress-tested:
+  /// it degenerates into a rendezvous buffer).
+  explicit RingBuffer(std::size_t capacity) : slots_(capacity) {
+    util::require(capacity >= 1, "RingBuffer: capacity must be >= 1");
+  }
+
+  RingBuffer(const RingBuffer&) = delete;
+  RingBuffer& operator=(const RingBuffer&) = delete;
+
+  /// Blocks while the ring is full; returns false (and drops `value`) once
+  /// the ring is closed.
+  bool push(T value) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (closed_.load(std::memory_order_acquire)) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+      if (head - tail_.load(std::memory_order_acquire) < slots_.size()) break;
+      producer_waits_.fetch_add(1, std::memory_order_relaxed);
+      std::unique_lock lock(wait_mutex_);
+      producer_waiting_.store(true, std::memory_order_seq_cst);
+      not_full_.wait(lock, [&] {
+        return closed_.load(std::memory_order_seq_cst) ||
+               head - tail_.load(std::memory_order_seq_cst) < slots_.size();
+      });
+      producer_waiting_.store(false, std::memory_order_seq_cst);
+    }
+    slots_[head % slots_.size()] = std::move(value);
+    head_.store(head + 1, std::memory_order_seq_cst);
+    pushed_.fetch_add(1, std::memory_order_relaxed);
+    wake(consumer_waiting_, not_empty_);
+    return true;
+  }
+
+  /// Blocks while the ring is empty; returns false only when the ring is
+  /// closed *and* fully drained.
+  bool pop(T& out) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (head_.load(std::memory_order_acquire) != tail) break;
+      if (closed_.load(std::memory_order_acquire)) {
+        // Re-check after the closed flag: a final element may have been
+        // published between the emptiness test and the flag read.
+        if (head_.load(std::memory_order_seq_cst) == tail) return false;
+        break;
+      }
+      consumer_waits_.fetch_add(1, std::memory_order_relaxed);
+      std::unique_lock lock(wait_mutex_);
+      consumer_waiting_.store(true, std::memory_order_seq_cst);
+      not_empty_.wait(lock, [&] {
+        return closed_.load(std::memory_order_seq_cst) ||
+               head_.load(std::memory_order_seq_cst) != tail;
+      });
+      consumer_waiting_.store(false, std::memory_order_seq_cst);
+    }
+    out = std::move(slots_[tail % slots_.size()]);
+    tail_.store(tail + 1, std::memory_order_seq_cst);
+    popped_.fetch_add(1, std::memory_order_relaxed);
+    wake(producer_waiting_, not_full_);
+    return true;
+  }
+
+  /// Stops the stream: subsequent push() calls fail fast, blocked callers
+  /// on either side wake up, pop() drains the remaining elements.
+  /// Idempotent; callable from any thread.
+  void close() {
+    {
+      std::lock_guard lock(wait_mutex_);
+      closed_.store(true, std::memory_order_seq_cst);
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  /// True once close() ran.
+  [[nodiscard]] bool closed() const noexcept {
+    return closed_.load(std::memory_order_acquire);
+  }
+
+  /// Elements currently buffered (racy by nature; exact when quiescent).
+  [[nodiscard]] std::size_t size() const noexcept {
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    return head - tail;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+
+  /// Snapshot of the backpressure counters.
+  [[nodiscard]] RingStats stats() const noexcept {
+    RingStats s;
+    s.pushed = pushed_.load(std::memory_order_relaxed);
+    s.popped = popped_.load(std::memory_order_relaxed);
+    s.producer_waits = producer_waits_.load(std::memory_order_relaxed);
+    s.consumer_waits = consumer_waits_.load(std::memory_order_relaxed);
+    s.rejected = rejected_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  /// Wakes the opposite side, but only when it advertised that it parked.
+  /// The seq_cst flag load forms the second half of the store-buffering
+  /// handshake described in the header comment.
+  void wake(std::atomic<bool>& waiting_flag, std::condition_variable& cv) {
+    if (waiting_flag.load(std::memory_order_seq_cst)) {
+      // Taking the mutex orders this wakeup after the waiter either went
+      // to sleep or re-checked its predicate — no notify can fall into
+      // the gap between the two.
+      { std::lock_guard lock(wait_mutex_); }
+      cv.notify_one();
+    }
+  }
+
+  std::vector<T> slots_;
+  alignas(64) std::atomic<std::size_t> head_{0};  ///< Next write position.
+  alignas(64) std::atomic<std::size_t> tail_{0};  ///< Next read position.
+  std::atomic<bool> closed_{false};
+
+  std::mutex wait_mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::atomic<bool> producer_waiting_{false};
+  std::atomic<bool> consumer_waiting_{false};
+
+  std::atomic<std::uint64_t> pushed_{0};
+  std::atomic<std::uint64_t> popped_{0};
+  std::atomic<std::uint64_t> producer_waits_{0};
+  std::atomic<std::uint64_t> consumer_waits_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+};
+
+}  // namespace wearscope::live

@@ -1,0 +1,46 @@
+#include "live/router.h"
+
+#include "util/error.h"
+
+namespace wearscope::live {
+
+IngestRouter::IngestRouter(std::size_t shards, std::size_t ring_capacity) {
+  util::require(shards >= 1, "IngestRouter: need at least one shard");
+  rings_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    rings_.push_back(std::make_unique<RingBuffer<LiveEvent>>(ring_capacity));
+  }
+}
+
+bool IngestRouter::route(trace::ProxyRecord record) {
+  const std::size_t shard = shard_of(record.user_id, rings_.size());
+  StampedProxy stamped{next_proxy_seq_, std::move(record)};
+  if (!rings_[shard]->push(LiveEvent(std::move(stamped)))) return false;
+  ++next_proxy_seq_;
+  return true;
+}
+
+bool IngestRouter::route(trace::MmeRecord record) {
+  const std::size_t shard = shard_of(record.user_id, rings_.size());
+  return rings_[shard]->push(LiveEvent(record));
+}
+
+bool IngestRouter::broadcast_barrier(std::uint64_t epoch) {
+  bool ok = true;
+  for (const auto& ring : rings_) {
+    ok = ring->push(LiveEvent(SnapshotBarrier{epoch})) && ok;
+  }
+  return ok;
+}
+
+void IngestRouter::close() {
+  for (const auto& ring : rings_) ring->close();
+}
+
+RingStats IngestRouter::total_stats() const {
+  RingStats total;
+  for (const auto& ring : rings_) total += ring->stats();
+  return total;
+}
+
+}  // namespace wearscope::live

@@ -1,0 +1,69 @@
+// IngestRouter: the single entry point of the live engine's data plane.
+//
+// Partitions the incoming record stream across N shard rings by hashed
+// UserId, so every user's records — and therefore all per-user state
+// (presence sets, the incremental 60 s sessionizer, activity counters) —
+// live on exactly one shard and never need cross-thread synchronization.
+// This is the shard-by-user invariant the whole subsystem rests on; the
+// merge paths (core::AdoptionTally, core::ActivityTally) check it.
+//
+// Exactly one thread (the feed) may call route()/broadcast_barrier()/
+// close(): each ring is single-producer.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "live/event.h"
+#include "live/ring_buffer.h"
+
+namespace wearscope::live {
+
+/// Stable user -> shard assignment (split-mix finalizer; identical on every
+/// platform and for every run, so snapshots are reproducible).
+[[nodiscard]] constexpr std::size_t shard_of(trace::UserId user,
+                                             std::size_t shards) noexcept {
+  std::uint64_t x = user + 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return static_cast<std::size_t>(x % shards);
+}
+
+/// Owns the shard rings and routes events into them.
+class IngestRouter {
+ public:
+  /// `shards` >= 1 worker partitions, each with a ring of `ring_capacity`
+  /// events.
+  IngestRouter(std::size_t shards, std::size_t ring_capacity);
+
+  /// Routes one record to its user's shard, blocking on backpressure.
+  /// Returns false when the rings are already closed.  Proxy records are
+  /// stamped with their global stream position (see StampedProxy).
+  bool route(trace::ProxyRecord record);
+  bool route(trace::MmeRecord record);
+
+  /// Pushes a barrier for `epoch` into every ring (same stream position on
+  /// each shard). Returns false when the rings are already closed.
+  bool broadcast_barrier(std::uint64_t epoch);
+
+  /// Closes every ring: workers drain what is buffered, then stop.
+  void close();
+
+  [[nodiscard]] std::size_t shards() const noexcept { return rings_.size(); }
+
+  /// Shard `i`'s ring (workers consume from it).
+  [[nodiscard]] RingBuffer<LiveEvent>& ring(std::size_t i) {
+    return *rings_[i];
+  }
+
+  /// Aggregated backpressure counters over all rings.
+  [[nodiscard]] RingStats total_stats() const;
+
+ private:
+  std::vector<std::unique_ptr<RingBuffer<LiveEvent>>> rings_;
+  std::uint64_t next_proxy_seq_ = 0;  ///< Feed-thread only, like route().
+};
+
+}  // namespace wearscope::live

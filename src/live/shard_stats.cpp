@@ -1,0 +1,73 @@
+#include "live/shard_stats.h"
+
+namespace wearscope::live {
+
+void AppTally::merge(const AppTally& other) {
+  for (const auto& [app, counter] : other.apps) {
+    Counter& mine = apps[app];
+    mine.transactions += counter.transactions;
+    mine.bytes += counter.bytes;
+    mine.usages += counter.usages;
+    mine.distinct_users += counter.distinct_users;
+  }
+  for (std::size_t c = 0; c < class_txns.size(); ++c) {
+    class_txns[c] += other.class_txns[c];
+  }
+}
+
+ShardStats::ShardStats(const core::DeviceClassifier& devices,
+                       const core::AppSignatureTable& signatures,
+                       int observation_days, int detailed_start_day,
+                       util::SimTime usage_gap_s)
+    : devices_(&devices),
+      signatures_(&signatures),
+      usage_gap_s_(usage_gap_s),
+      adoption_(devices, observation_days),
+      activity_(devices, observation_days, detailed_start_day) {}
+
+void ShardStats::on_proxy(const trace::ProxyRecord& record,
+                          std::uint64_t seq) {
+  ++consumed_;
+  adoption_.on_proxy(record);
+  activity_.on_proxy(record, seq);
+
+  if (!devices_->is_wearable(record.tac)) return;
+  const core::EndpointClass cls = signatures_->classify_host(record.host);
+  app_tally_.class_txns[static_cast<std::size_t>(cls.cls)] += 1;
+  if (cls.cls != appdb::TransactionClass::kApplication) return;
+
+  AppTally::Counter& counter = app_tally_.apps[cls.app];
+  counter.transactions += 1;
+  counter.bytes += record.bytes_total();
+  app_users_[cls.app].insert(record.user_id);
+
+  // Incremental sessionization: a transaction more than `usage_gap_s_`
+  // after the same (user, app)'s previous one opens a new usage.
+  util::SimTime& last = last_txn_[record.user_id]
+                            .try_emplace(cls.app, util::SimTime{-1})
+                            .first->second;
+  if (last < 0 || record.timestamp - last > usage_gap_s_) {
+    counter.usages += 1;
+  }
+  last = record.timestamp;
+}
+
+void ShardStats::on_mme(const trace::MmeRecord& record) {
+  ++consumed_;
+  adoption_.on_mme(record);
+}
+
+ShardSnapshot ShardStats::snapshot(std::size_t shard) const {
+  ShardSnapshot snap;
+  snap.shard = shard;
+  snap.records = consumed_;
+  snap.adoption = adoption_.tally();
+  snap.activity = activity_.tally();
+  snap.apps = app_tally_;
+  for (const auto& [app, users] : app_users_) {
+    snap.apps.apps[app].distinct_users = users.size();
+  }
+  return snap;
+}
+
+}  // namespace wearscope::live

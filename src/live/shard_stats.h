@@ -1,0 +1,102 @@
+// Per-shard streaming state of the live-ingest engine.
+//
+// A ShardStats instance is owned by exactly one ShardWorker thread and is
+// only ever touched from that thread — the router's shard-by-user
+// partitioning makes every per-user structure single-writer by
+// construction, which is why none of this needs a lock.
+//
+// It wraps the core single-pass counters (StreamingAdoption for Fig. 2,
+// StreamingActivity for Fig. 3b/c/d) and adds live-only app-popularity
+// counters: per-app transactions/bytes/distinct-users plus an incremental
+// 60 s sessionizer that counts app usages online (the paper's §5.1 usage
+// definition, maintained with one "last transaction time" per (user, app)
+// instead of a buffered record window).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "appdb/third_party.h"
+#include "core/app_id.h"
+#include "core/device_id.h"
+#include "core/streaming.h"
+#include "core/streaming_activity.h"
+#include "trace/records.h"
+
+namespace wearscope::live {
+
+/// Mergeable per-app counters (user-disjoint partitions: distinct-user
+/// counts simply add).
+struct AppTally {
+  struct Counter {
+    std::uint64_t transactions = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t usages = 0;
+    std::uint64_t distinct_users = 0;
+  };
+  /// Per first-party app (core::kUnknownApp buckets unattributed traffic).
+  std::unordered_map<appdb::AppId, Counter> apps;
+  /// Wearable transactions per endpoint class (Fig. 8 headline).
+  std::array<std::uint64_t, appdb::kTransactionClassCount> class_txns{};
+
+  void merge(const AppTally& other);
+};
+
+/// One shard's contribution to an epoch snapshot. Cheap value type: the
+/// worker copies its tallies at a barrier and hands them to the
+/// SnapshotCoordinator.
+struct ShardSnapshot {
+  std::size_t shard = 0;
+  std::uint64_t records = 0;  ///< Records this shard consumed so far.
+  core::AdoptionTally adoption;
+  core::ActivityTally activity;
+  AppTally apps;
+};
+
+/// All streaming state of one shard.
+class ShardStats {
+ public:
+  /// `devices` and `signatures` must outlive the stats (the engine owns
+  /// both; they are immutable after construction, hence safe to share
+  /// read-only across shards).
+  ShardStats(const core::DeviceClassifier& devices,
+             const core::AppSignatureTable& signatures, int observation_days,
+             int detailed_start_day, util::SimTime usage_gap_s);
+
+  /// Feeds one proxy transaction; `seq` is the record's position in the
+  /// global proxy stream (stamped by the router).
+  void on_proxy(const trace::ProxyRecord& record, std::uint64_t seq);
+
+  /// Feeds one MME event.
+  void on_mme(const trace::MmeRecord& record);
+
+  /// Copies the current state into a mergeable snapshot.
+  [[nodiscard]] ShardSnapshot snapshot(std::size_t shard) const;
+
+  /// Records consumed so far (both feeds).
+  [[nodiscard]] std::uint64_t records_consumed() const noexcept {
+    return consumed_;
+  }
+
+ private:
+  const core::DeviceClassifier* devices_;
+  const core::AppSignatureTable* signatures_;
+  util::SimTime usage_gap_s_;
+  std::uint64_t consumed_ = 0;
+
+  core::StreamingAdoption adoption_;
+  core::StreamingActivity activity_;
+
+  AppTally app_tally_;
+  /// Distinct users per app (sizes exported into AppTally at snapshot).
+  std::unordered_map<appdb::AppId, std::unordered_set<trace::UserId>>
+      app_users_;
+  /// Incremental sessionizer: (user, app) -> last transaction timestamp.
+  std::unordered_map<trace::UserId,
+                     std::unordered_map<appdb::AppId, util::SimTime>>
+      last_txn_;
+};
+
+}  // namespace wearscope::live

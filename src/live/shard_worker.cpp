@@ -1,0 +1,43 @@
+#include "live/shard_worker.h"
+
+#include <utility>
+#include <variant>
+
+namespace wearscope::live {
+
+ShardWorker::ShardWorker(std::size_t index, RingBuffer<LiveEvent>& ring,
+                         ShardStats stats, SnapshotCoordinator& coordinator)
+    : index_(index),
+      ring_(&ring),
+      stats_(std::move(stats)),
+      coordinator_(&coordinator) {}
+
+ShardWorker::~ShardWorker() { join(); }
+
+void ShardWorker::start() {
+  thread_ = std::thread([this] { run(); });
+}
+
+void ShardWorker::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void ShardWorker::run() {
+  struct Visitor {
+    ShardWorker* self;
+    void operator()(const StampedProxy& p) {
+      self->stats_.on_proxy(p.record, p.seq);
+    }
+    void operator()(const trace::MmeRecord& r) { self->stats_.on_mme(r); }
+    void operator()(const SnapshotBarrier& b) {
+      self->coordinator_->deposit(b.epoch,
+                                  self->stats_.snapshot(self->index_));
+    }
+  };
+  LiveEvent event;
+  while (ring_->pop(event)) {
+    std::visit(Visitor{this}, event);
+  }
+}
+
+}  // namespace wearscope::live

@@ -1,0 +1,43 @@
+// One worker thread per shard: drains its ring, feeds its ShardStats, and
+// deposits a state copy with the SnapshotCoordinator at every barrier.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+#include "live/event.h"
+#include "live/ring_buffer.h"
+#include "live/shard_stats.h"
+#include "live/snapshot.h"
+
+namespace wearscope::live {
+
+/// Owns the consumer thread of one shard ring.
+class ShardWorker {
+ public:
+  /// `ring`, `coordinator` and the references inside `stats` must outlive
+  /// the worker. The worker does not start until start() is called.
+  ShardWorker(std::size_t index, RingBuffer<LiveEvent>& ring,
+              ShardStats stats, SnapshotCoordinator& coordinator);
+  ~ShardWorker();
+
+  ShardWorker(const ShardWorker&) = delete;
+  ShardWorker& operator=(const ShardWorker&) = delete;
+
+  /// Spawns the consumer thread.
+  void start();
+
+  /// Joins the thread; returns once the ring is drained and closed.
+  void join();
+
+ private:
+  void run();
+
+  std::size_t index_;
+  RingBuffer<LiveEvent>* ring_;
+  ShardStats stats_;
+  SnapshotCoordinator* coordinator_;
+  std::thread thread_;
+};
+
+}  // namespace wearscope::live

@@ -1,0 +1,84 @@
+#include "live/snapshot.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace wearscope::live {
+
+SnapshotCoordinator::SnapshotCoordinator(
+    std::size_t shards, const core::AppSignatureTable& signatures)
+    : shards_(shards), signatures_(&signatures) {
+  util::require(shards >= 1, "SnapshotCoordinator: need at least one shard");
+}
+
+void SnapshotCoordinator::deposit(std::uint64_t epoch, ShardSnapshot snap) {
+  std::lock_guard lock(mutex_);
+  std::vector<ShardSnapshot>& parts = pending_[epoch];
+  parts.push_back(std::move(snap));
+  util::ensure(parts.size() <= shards_,
+               "SnapshotCoordinator: more deposits than shards for an epoch");
+  if (parts.size() == shards_) {
+    LiveSnapshot merged = assemble(epoch, parts);
+    pending_.erase(epoch);
+    latest_ = merged;
+    completed_.emplace(epoch, std::move(merged));
+    assembled_.notify_all();
+  }
+}
+
+LiveSnapshot SnapshotCoordinator::wait_for(std::uint64_t epoch) {
+  std::unique_lock lock(mutex_);
+  assembled_.wait(lock, [&] { return completed_.contains(epoch); });
+  const auto it = completed_.find(epoch);
+  LiveSnapshot snap = std::move(it->second);
+  completed_.erase(it);
+  return snap;
+}
+
+std::optional<LiveSnapshot> SnapshotCoordinator::latest() const {
+  std::lock_guard lock(mutex_);
+  return latest_;
+}
+
+LiveSnapshot SnapshotCoordinator::assemble(
+    std::uint64_t epoch, std::vector<ShardSnapshot>& parts) const {
+  // Merge in shard order so the result is independent of deposit order.
+  std::sort(parts.begin(), parts.end(),
+            [](const ShardSnapshot& a, const ShardSnapshot& b) {
+              return a.shard < b.shard;
+            });
+
+  LiveSnapshot snap;
+  snap.epoch = epoch;
+  core::AdoptionTally adoption;
+  core::ActivityTally activity;
+  AppTally apps;
+  for (ShardSnapshot& part : parts) {
+    snap.records += part.records;
+    adoption.merge(part.adoption);
+    activity.merge(std::move(part.activity));
+    apps.merge(part.apps);
+  }
+  snap.adoption = adoption.finalize();
+  snap.activity = activity.finalize();
+  snap.class_txns = apps.class_txns;
+
+  snap.apps.reserve(apps.apps.size());
+  for (const auto& [app, counter] : apps.apps) {
+    LiveSnapshot::AppRow row;
+    row.app = app;
+    row.name = std::string(signatures_->app_name(app));
+    row.counter = counter;
+    snap.apps.push_back(std::move(row));
+  }
+  std::sort(snap.apps.begin(), snap.apps.end(),
+            [](const LiveSnapshot::AppRow& a, const LiveSnapshot::AppRow& b) {
+              return a.counter.transactions != b.counter.transactions
+                         ? a.counter.transactions > b.counter.transactions
+                         : a.app < b.app;
+            });
+  return snap;
+}
+
+}  // namespace wearscope::live

@@ -1,0 +1,84 @@
+// Epoch snapshots: consistent merged views of all shard states.
+//
+// The engine broadcasts a SnapshotBarrier for epoch E through every shard
+// ring (single producer => same stream position on each shard).  When a
+// worker pops the barrier it deposits a copy of its state here; once all
+// shards have deposited, the coordinator merges the user-disjoint tallies
+// and finalizes them into the same result structures the batch pipeline
+// produces.  The merged snapshot therefore corresponds to an exact prefix
+// of the input stream — the records routed before the barrier — no matter
+// how far individual shards had drained their rings when it was taken.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/analysis_activity.h"
+#include "core/analysis_adoption.h"
+#include "live/ring_buffer.h"
+#include "live/shard_stats.h"
+
+namespace wearscope::live {
+
+/// One merged, finalized epoch snapshot.
+struct LiveSnapshot {
+  std::uint64_t epoch = 0;
+  std::uint64_t records = 0;  ///< Records included in the cut (all shards).
+  core::AdoptionResult adoption;
+  core::ActivityResult activity;
+  /// Per-app rows sorted by (transactions desc, app id) — deterministic
+  /// for every shard count.
+  struct AppRow {
+    appdb::AppId app = core::kUnknownApp;
+    std::string name;
+    AppTally::Counter counter;
+  };
+  std::vector<AppRow> apps;
+  /// Wearable transactions per endpoint class (Application/Utilities/
+  /// Advertising/Analytics).
+  std::array<std::uint64_t, appdb::kTransactionClassCount> class_txns{};
+  /// Ring totals at assembly time (filled by the engine, not the merge).
+  RingStats backpressure;
+};
+
+/// Collects per-shard deposits and assembles epoch snapshots.
+/// deposit() is called from worker threads, wait_for() from the control
+/// thread; both are thread-safe.
+class SnapshotCoordinator {
+ public:
+  /// `shards` contributions complete an epoch. `signatures` resolves app
+  /// display names and must outlive the coordinator.
+  SnapshotCoordinator(std::size_t shards,
+                      const core::AppSignatureTable& signatures);
+
+  /// Adds one shard's contribution to `epoch`. The last deposit assembles
+  /// the snapshot and wakes waiters.
+  void deposit(std::uint64_t epoch, ShardSnapshot snap);
+
+  /// Blocks until `epoch` is fully assembled and returns it (consuming the
+  /// stored copy; latest() keeps serving it afterwards).
+  [[nodiscard]] LiveSnapshot wait_for(std::uint64_t epoch);
+
+  /// Most recently assembled snapshot, if any.
+  [[nodiscard]] std::optional<LiveSnapshot> latest() const;
+
+ private:
+  [[nodiscard]] LiveSnapshot assemble(std::uint64_t epoch,
+                                      std::vector<ShardSnapshot>& parts) const;
+
+  std::size_t shards_;
+  const core::AppSignatureTable* signatures_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable assembled_;
+  std::map<std::uint64_t, std::vector<ShardSnapshot>> pending_;
+  std::map<std::uint64_t, LiveSnapshot> completed_;
+  std::optional<LiveSnapshot> latest_;
+};
+
+}  // namespace wearscope::live

@@ -1,0 +1,252 @@
+// Streaming/batch equivalence and snapshot-consistency tests for the live
+// ingest engine: a capture replayed through LiveEngine must reproduce the
+// batch pipeline's results, and the answer must not depend on the shard
+// count.
+#include "live/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "live/replayer.h"
+#include "live/router.h"
+#include "simnet/simulator.h"
+
+namespace wearscope::live {
+namespace {
+
+const simnet::SimResult& capture() {
+  static const simnet::SimResult sim = [] {
+    simnet::SimConfig cfg = simnet::SimConfig::small();
+    cfg.seed = 21;
+    return simnet::Simulator(cfg).run();
+  }();
+  return sim;
+}
+
+LiveOptions options_for(const simnet::SimResult& sim, std::size_t shards) {
+  LiveOptions opt;
+  opt.shards = shards;
+  opt.observation_days = sim.observation_days;
+  opt.detailed_start_day = sim.detailed_start_day;
+  opt.long_tail_apps = sim.config.long_tail_apps;
+  return opt;
+}
+
+/// Replays the shared capture at max speed and returns the final snapshot.
+LiveSnapshot run_live(std::size_t shards,
+                      util::SimTime snapshot_every = 0,
+                      std::vector<LiveSnapshot>* periodic = nullptr) {
+  const simnet::SimResult& sim = capture();
+  LiveEngine engine(sim.store.devices, options_for(sim, shards));
+  ReplayOptions ropt;
+  ropt.snapshot_every_s = snapshot_every;
+  const FeedReplayer replayer(sim.store, ropt);
+  const ReplayReport report = replayer.replay(engine);
+  if (periodic != nullptr) *periodic = report.snapshots;
+  EXPECT_EQ(report.records_pushed,
+            sim.store.proxy.size() + sim.store.mme.size());
+  return engine.stop();
+}
+
+void expect_same_ecdf(const util::Ecdf& a, const util::Ecdf& b,
+                      const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  const std::vector<double>& sa = a.sorted();
+  const std::vector<double>& sb = b.sorted();
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    ASSERT_DOUBLE_EQ(sa[i], sb[i]) << what << " sample " << i;
+  }
+}
+
+void expect_same_adoption(const core::AdoptionResult& a,
+                          const core::AdoptionResult& b) {
+  EXPECT_EQ(a.ever_registered, b.ever_registered);
+  EXPECT_EQ(a.ever_transacted, b.ever_transacted);
+  EXPECT_DOUBLE_EQ(a.ever_transacting_fraction, b.ever_transacting_fraction);
+  EXPECT_DOUBLE_EQ(a.total_growth, b.total_growth);
+  EXPECT_DOUBLE_EQ(a.monthly_growth, b.monthly_growth);
+  EXPECT_DOUBLE_EQ(a.still_active_share, b.still_active_share);
+  EXPECT_DOUBLE_EQ(a.gone_share, b.gone_share);
+  EXPECT_DOUBLE_EQ(a.new_share, b.new_share);
+  EXPECT_DOUBLE_EQ(a.churned_of_initial, b.churned_of_initial);
+  ASSERT_EQ(a.daily_registered_norm.size(), b.daily_registered_norm.size());
+  for (std::size_t d = 0; d < a.daily_registered_norm.size(); ++d) {
+    EXPECT_DOUBLE_EQ(a.daily_registered_norm[d], b.daily_registered_norm[d])
+        << "day " << d;
+  }
+}
+
+TEST(LiveEngine, SingleShardMatchesBatchPipeline) {
+  const simnet::SimResult& sim = capture();
+  core::AnalysisOptions opt;
+  opt.observation_days = sim.observation_days;
+  opt.detailed_start_day = sim.detailed_start_day;
+  opt.long_tail_apps = sim.config.long_tail_apps;
+  const core::Pipeline pipeline(sim.store, opt);
+  const core::StudyReport batch = pipeline.run();
+
+  const LiveSnapshot live = run_live(1);
+
+  // Adoption: bit-identical, field by field.
+  expect_same_adoption(live.adoption, batch.adoption);
+
+  // Activity: every ECDF-derived statistic is exact (Ecdf sorts its sample
+  // before deriving anything, which erases accumulation-order effects).
+  expect_same_ecdf(live.activity.active_days_per_week,
+                   batch.activity.active_days_per_week, "days/week");
+  expect_same_ecdf(live.activity.active_hours_per_day,
+                   batch.activity.active_hours_per_day, "hours/day");
+  expect_same_ecdf(live.activity.txn_size_bytes, batch.activity.txn_size_bytes,
+                   "txn bytes");
+  expect_same_ecdf(live.activity.hourly_txns_per_user,
+                   batch.activity.hourly_txns_per_user, "hourly txns");
+  expect_same_ecdf(live.activity.hourly_bytes_per_user,
+                   batch.activity.hourly_bytes_per_user, "hourly bytes");
+  EXPECT_DOUBLE_EQ(live.activity.mean_active_days,
+                   batch.activity.mean_active_days);
+  EXPECT_DOUBLE_EQ(live.activity.mean_active_hours,
+                   batch.activity.mean_active_hours);
+  EXPECT_DOUBLE_EQ(live.activity.frac_over_10h, batch.activity.frac_over_10h);
+  EXPECT_DOUBLE_EQ(live.activity.frac_under_5h, batch.activity.frac_under_5h);
+  EXPECT_DOUBLE_EQ(live.activity.mean_txn_bytes, batch.activity.mean_txn_bytes);
+  EXPECT_DOUBLE_EQ(live.activity.median_txn_bytes,
+                   batch.activity.median_txn_bytes);
+  EXPECT_DOUBLE_EQ(live.activity.frac_txn_under_10kb,
+                   batch.activity.frac_txn_under_10kb);
+  // Even the order-sensitive Fig. 3d scalars match bitwise: the stream
+  // sequence stamped by the router lets finalize() replay the batch's
+  // user-appearance order.  See core/streaming_activity.h.
+  EXPECT_DOUBLE_EQ(live.activity.correlation, batch.activity.correlation);
+  EXPECT_DOUBLE_EQ(live.activity.binned_trend_corr,
+                   batch.activity.binned_trend_corr);
+}
+
+TEST(LiveEngine, ShardCountDoesNotChangeTheAnswer) {
+  const LiveSnapshot one = run_live(1);
+  const LiveSnapshot four = run_live(4);
+
+  EXPECT_EQ(one.records, four.records);
+  expect_same_adoption(one.adoption, four.adoption);
+  expect_same_ecdf(one.activity.active_days_per_week,
+                   four.activity.active_days_per_week, "days/week");
+  expect_same_ecdf(one.activity.txn_size_bytes, four.activity.txn_size_bytes,
+                   "txn bytes");
+  expect_same_ecdf(one.activity.hourly_txns_per_user,
+                   four.activity.hourly_txns_per_user, "hourly txns");
+  // Finalize iterates users by their stream-wide first appearance (merged
+  // from the shards), so the order-sensitive correlations are bitwise
+  // stable across shard counts too.
+  EXPECT_DOUBLE_EQ(one.activity.correlation, four.activity.correlation);
+  EXPECT_DOUBLE_EQ(one.activity.binned_trend_corr,
+                   four.activity.binned_trend_corr);
+
+  // App table: same rows, same order, same counters.
+  ASSERT_EQ(one.apps.size(), four.apps.size());
+  for (std::size_t i = 0; i < one.apps.size(); ++i) {
+    EXPECT_EQ(one.apps[i].app, four.apps[i].app) << "row " << i;
+    EXPECT_EQ(one.apps[i].name, four.apps[i].name) << "row " << i;
+    EXPECT_EQ(one.apps[i].counter.transactions,
+              four.apps[i].counter.transactions) << "row " << i;
+    EXPECT_EQ(one.apps[i].counter.bytes, four.apps[i].counter.bytes)
+        << "row " << i;
+    EXPECT_EQ(one.apps[i].counter.usages, four.apps[i].counter.usages)
+        << "row " << i;
+    EXPECT_EQ(one.apps[i].counter.distinct_users,
+              four.apps[i].counter.distinct_users) << "row " << i;
+  }
+  for (std::size_t c = 0; c < one.class_txns.size(); ++c) {
+    EXPECT_EQ(one.class_txns[c], four.class_txns[c]) << "class " << c;
+  }
+}
+
+TEST(LiveEngine, PeriodicSnapshotsAreOrderedAndMonotone) {
+  std::vector<LiveSnapshot> periodic;
+  const LiveSnapshot final_snap =
+      run_live(2, util::kSecondsPerDay, &periodic);
+
+  ASSERT_FALSE(periodic.empty());
+  std::uint64_t last_epoch = 0;
+  std::uint64_t last_records = 0;
+  bool first = true;
+  for (const LiveSnapshot& snap : periodic) {
+    if (!first) {
+      EXPECT_GT(snap.epoch, last_epoch);
+      EXPECT_GE(snap.records, last_records);
+    }
+    EXPECT_LE(snap.records, final_snap.records);
+    last_epoch = snap.epoch;
+    last_records = snap.records;
+    first = false;
+  }
+  EXPECT_GT(final_snap.epoch, last_epoch);
+  EXPECT_EQ(final_snap.records,
+            capture().store.proxy.size() + capture().store.mme.size());
+}
+
+TEST(LiveEngine, StopIsIdempotentAndRefusesLatePushes) {
+  const simnet::SimResult& sim = capture();
+  LiveEngine engine(sim.store.devices, options_for(sim, 2));
+  ASSERT_FALSE(sim.store.mme.empty());
+  EXPECT_TRUE(engine.push(sim.store.mme.front()));
+
+  const LiveSnapshot first = engine.stop();
+  EXPECT_EQ(first.records, 1u);
+  EXPECT_FALSE(engine.push(sim.store.mme.front()));
+  const LiveSnapshot second = engine.stop();
+  EXPECT_EQ(second.records, first.records);
+  EXPECT_EQ(second.epoch, first.epoch);
+}
+
+TEST(LiveEngine, MidStreamSnapshotCoversExactPrefix) {
+  const simnet::SimResult& sim = capture();
+  LiveEngine engine(sim.store.devices, options_for(sim, 3));
+  constexpr std::uint64_t kPrefix = 500;
+  std::uint64_t pushed = 0;
+  for (const trace::MmeRecord& r : sim.store.mme) {
+    if (pushed == kPrefix) break;
+    ASSERT_TRUE(engine.push(r));
+    ++pushed;
+  }
+  const LiveSnapshot cut = engine.snapshot();
+  EXPECT_EQ(cut.records, kPrefix);
+  const LiveSnapshot final_snap = engine.stop();
+  EXPECT_EQ(final_snap.records, kPrefix);
+  EXPECT_GT(final_snap.epoch, cut.epoch);
+}
+
+TEST(LiveEngine, ShardOfIsStableAndCoversAllShards) {
+  // The assignment must be deterministic (snapshots reproducible across
+  // runs and platforms) and must actually use every shard.
+  EXPECT_EQ(shard_of(42, 4), shard_of(42, 4));
+  for (std::size_t shards : {1u, 2u, 4u, 8u}) {
+    std::set<std::size_t> seen;
+    for (trace::UserId u = 0; u < 1000; ++u) {
+      const std::size_t s = shard_of(u, shards);
+      ASSERT_LT(s, shards);
+      seen.insert(s);
+    }
+    EXPECT_EQ(seen.size(), shards) << "shards=" << shards;
+  }
+}
+
+TEST(LiveEngine, BackpressureCountersSurfaceInSnapshots) {
+  // A tiny ring forces the feed to stall; the final snapshot must report
+  // those episodes.
+  const simnet::SimResult& sim = capture();
+  LiveOptions opt = options_for(sim, 1);
+  opt.ring_capacity = 1;
+  LiveEngine engine(sim.store.devices, opt);
+  const FeedReplayer replayer(sim.store, ReplayOptions{});
+  replayer.replay(engine);
+  const LiveSnapshot snap = engine.stop();
+  EXPECT_EQ(snap.backpressure.pushed, snap.records + engine.epochs_issued());
+  EXPECT_EQ(snap.backpressure.pushed, snap.backpressure.popped);
+  EXPECT_EQ(snap.backpressure.rejected, 0u);
+}
+
+}  // namespace
+}  // namespace wearscope::live

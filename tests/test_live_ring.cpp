@@ -1,0 +1,201 @@
+// Concurrency tests for live::RingBuffer: ordered transfer under the
+// pathological capacity-1 configuration, shutdown while either side is
+// blocked, and backpressure counter accounting.  These are the tests the
+// TSan gate (WEARSCOPE_SANITIZE=thread) is expected to exercise.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "live/ring_buffer.h"
+
+namespace {
+
+using wearscope::live::RingBuffer;
+using wearscope::live::RingStats;
+
+// Spin until `pred` holds or ~2s elapse; returns whether it held.  Used to
+// wait for a peer thread to reach a blocking call without sleeping blind.
+template <typename Pred>
+bool eventually(Pred pred) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::yield();
+  }
+  return true;
+}
+
+TEST(LiveRing, RejectsZeroCapacity) {
+  EXPECT_THROW(RingBuffer<int>(0), std::exception);
+}
+
+TEST(LiveRing, SingleThreadFifo) {
+  RingBuffer<int> ring(4);
+  EXPECT_EQ(ring.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.push(i));
+  EXPECT_EQ(ring.size(), 4u);
+  int v = -1;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(ring.pop(v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_EQ(ring.size(), 0u);
+}
+
+TEST(LiveRing, WrapAroundKeepsOrder) {
+  RingBuffer<int> ring(3);
+  int v = -1;
+  for (int round = 0; round < 100; ++round) {
+    ASSERT_TRUE(ring.push(2 * round));
+    ASSERT_TRUE(ring.push(2 * round + 1));
+    ASSERT_TRUE(ring.pop(v));
+    EXPECT_EQ(v, 2 * round);
+    ASSERT_TRUE(ring.pop(v));
+    EXPECT_EQ(v, 2 * round + 1);
+  }
+}
+
+TEST(LiveRing, CapacityOneStressTransfersInOrder) {
+  // Capacity 1 forces a blocking rendezvous on nearly every element, which
+  // is the harshest possible workout for the park/wake handshake.
+  constexpr std::uint64_t kCount = 200'000;
+  RingBuffer<std::uint64_t> ring(1);
+  std::atomic<bool> ok{true};
+  std::thread consumer([&] {
+    std::uint64_t expected = 0;
+    std::uint64_t v = 0;
+    while (ring.pop(v)) {
+      if (v != expected++) {
+        ok.store(false);
+        return;
+      }
+    }
+    if (expected != kCount) ok.store(false);
+  });
+  for (std::uint64_t i = 0; i < kCount; ++i) ASSERT_TRUE(ring.push(i));
+  ring.close();
+  consumer.join();
+  EXPECT_TRUE(ok.load());
+  const RingStats s = ring.stats();
+  EXPECT_EQ(s.pushed, kCount);
+  EXPECT_EQ(s.popped, kCount);
+  EXPECT_EQ(s.rejected, 0u);
+}
+
+TEST(LiveRing, CloseWakesBlockedConsumer) {
+  RingBuffer<int> ring(8);
+  std::atomic<bool> returned{false};
+  std::thread consumer([&] {
+    int v = 0;
+    const bool got = ring.pop(v);  // Blocks: ring is empty.
+    EXPECT_FALSE(got);
+    returned.store(true);
+  });
+  // Give the consumer time to actually park, then close.
+  ASSERT_TRUE(eventually([&] { return ring.stats().consumer_waits > 0; }));
+  ring.close();
+  consumer.join();
+  EXPECT_TRUE(returned.load());
+}
+
+TEST(LiveRing, CloseWakesBlockedProducer) {
+  RingBuffer<int> ring(1);
+  ASSERT_TRUE(ring.push(42));  // Ring is now full.
+  std::atomic<bool> returned{false};
+  std::thread producer([&] {
+    const bool accepted = ring.push(43);  // Blocks: ring is full.
+    EXPECT_FALSE(accepted);
+    returned.store(true);
+  });
+  ASSERT_TRUE(eventually([&] { return ring.stats().producer_waits > 0; }));
+  ring.close();
+  producer.join();
+  EXPECT_TRUE(returned.load());
+  // The element published before close() must still drain.
+  int v = 0;
+  EXPECT_TRUE(ring.pop(v));
+  EXPECT_EQ(v, 42);
+  EXPECT_FALSE(ring.pop(v));
+  EXPECT_EQ(ring.stats().rejected, 1u);
+}
+
+TEST(LiveRing, PushAfterCloseIsRejectedAndCounted) {
+  RingBuffer<int> ring(4);
+  EXPECT_TRUE(ring.push(1));
+  ring.close();
+  EXPECT_FALSE(ring.push(2));
+  EXPECT_FALSE(ring.push(3));
+  const RingStats s = ring.stats();
+  EXPECT_EQ(s.pushed, 1u);
+  EXPECT_EQ(s.rejected, 2u);
+  int v = 0;
+  EXPECT_TRUE(ring.pop(v));  // Pre-close element survives.
+  EXPECT_EQ(v, 1);
+  EXPECT_FALSE(ring.pop(v));
+}
+
+TEST(LiveRing, CloseIsIdempotent) {
+  RingBuffer<int> ring(2);
+  ring.close();
+  ring.close();
+  EXPECT_TRUE(ring.closed());
+  EXPECT_FALSE(ring.push(1));
+}
+
+TEST(LiveRing, BackpressureCountersMatchBlockingEpisodes) {
+  // With a fast producer and a deliberately slow consumer on a small ring,
+  // the producer must record wait episodes; totals must balance.
+  constexpr std::uint64_t kCount = 5'000;
+  RingBuffer<std::uint64_t> ring(2);
+  std::thread consumer([&] {
+    std::uint64_t v = 0;
+    std::uint64_t n = 0;
+    while (ring.pop(v)) {
+      if (++n % 512 == 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+    }
+  });
+  for (std::uint64_t i = 0; i < kCount; ++i) ASSERT_TRUE(ring.push(i));
+  ring.close();
+  consumer.join();
+  const RingStats s = ring.stats();
+  EXPECT_EQ(s.pushed, kCount);
+  EXPECT_EQ(s.popped, kCount);
+  EXPECT_GT(s.producer_waits, 0u);
+  EXPECT_EQ(s.rejected, 0u);
+}
+
+TEST(LiveRing, StatsAggregationSums) {
+  RingStats a;
+  a.pushed = 3;
+  a.producer_waits = 1;
+  RingStats b;
+  b.pushed = 4;
+  b.popped = 2;
+  b.rejected = 5;
+  a += b;
+  EXPECT_EQ(a.pushed, 7u);
+  EXPECT_EQ(a.popped, 2u);
+  EXPECT_EQ(a.producer_waits, 1u);
+  EXPECT_EQ(a.rejected, 5u);
+}
+
+TEST(LiveRing, MoveOnlyPayload) {
+  // Events are moved through the ring; verify a move-only type compiles
+  // and transfers ownership intact.
+  RingBuffer<std::unique_ptr<int>> ring(2);
+  EXPECT_TRUE(ring.push(std::make_unique<int>(7)));
+  std::unique_ptr<int> out;
+  EXPECT_TRUE(ring.pop(out));
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 7);
+}
+
+}  // namespace

@@ -59,5 +59,12 @@ if(DEFINED COMPARE)
   run_step(${COMPARE} --a ${WORK}/trace --b ${WORK}/trace)
 endif()
 
+# 5. Live replay: the sharded online engine must reproduce the batch
+#    pipeline's adoption result exactly (--verify enforces it).
+if(DEFINED LIVE)
+  run_step(${LIVE} --bundle ${WORK}/trace --shards 4 --snapshot-every 1d
+           --verify)
+endif()
+
 file(REMOVE_RECURSE ${WORK})
 message(STATUS "tool round-trip OK")

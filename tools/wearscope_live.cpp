@@ -1,0 +1,228 @@
+// wearscope_live — replay an on-disk capture through the concurrent
+// live-ingest engine and report its online statistics.
+//
+//   wearscope_live --bundle traces/run1 --shards 4
+//   wearscope_live --bundle d --shards 8 --snapshot-every 1d --speedup 0
+//   wearscope_live --bundle d --verify          # cross-check vs batch
+//
+// --speedup 0 (the default) replays as fast as the engine accepts;
+// --speedup 1 replays in real time. --snapshot-every takes seconds of
+// stream time, with optional s/m/h/d suffix; 0 disables periodic
+// snapshots (the final drain snapshot is always taken).
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "core/pipeline.h"
+#include "live/engine.h"
+#include "live/replayer.h"
+#include "simnet/config_io.h"
+#include "trace/bundle.h"
+#include "util/error.h"
+#include "util/flags.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace wearscope;
+
+/// Parses "90", "90s", "15m", "6h" or "1d" into seconds.
+util::SimTime parse_stream_seconds(const std::string& text) {
+  util::require(!text.empty(), "--snapshot-every: empty value");
+  util::SimTime scale = 1;
+  std::string digits = text;
+  switch (text.back()) {
+    case 'd': scale = util::kSecondsPerDay; break;
+    case 'h': scale = util::kSecondsPerHour; break;
+    case 'm': scale = util::kSecondsPerMinute; break;
+    case 's': scale = 1; break;
+    default:
+      if (text.back() < '0' || text.back() > '9') {
+        throw util::ConfigError("--snapshot-every: unknown suffix in '" +
+                                text + "' (use s, m, h or d)");
+      }
+  }
+  if (scale != 1 || text.back() == 's') digits.pop_back();
+  try {
+    return static_cast<util::SimTime>(std::stoll(digits)) * scale;
+  } catch (const std::exception&) {
+    throw util::ConfigError("--snapshot-every: cannot parse '" + text + "'");
+  }
+}
+
+void print_snapshot(const live::LiveSnapshot& snap, const char* label) {
+  std::printf("%s (epoch %llu, %llu records):\n", label,
+              static_cast<unsigned long long>(snap.epoch),
+              static_cast<unsigned long long>(snap.records));
+  std::printf("  ever registered    : %zu (%.1f%% transacting)\n",
+              snap.adoption.ever_registered,
+              snap.adoption.ever_transacting_fraction * 100.0);
+  std::printf("  monthly growth     : %+.2f%%\n",
+              snap.adoption.monthly_growth * 100.0);
+  std::printf("  mean active        : %.2f days/week, %.2f h/day\n",
+              snap.activity.mean_active_days,
+              snap.activity.mean_active_hours);
+  std::printf("  median transaction : %.0f bytes (%.0f%% under 10 KB)\n",
+              snap.activity.median_txn_bytes,
+              snap.activity.frac_txn_under_10kb * 100.0);
+  std::printf("  class mix (txns)   : app=%llu util=%llu ads=%llu "
+              "analytics=%llu\n",
+              static_cast<unsigned long long>(snap.class_txns[0]),
+              static_cast<unsigned long long>(snap.class_txns[1]),
+              static_cast<unsigned long long>(snap.class_txns[2]),
+              static_cast<unsigned long long>(snap.class_txns[3]));
+  const std::size_t top = std::min<std::size_t>(5, snap.apps.size());
+  for (std::size_t i = 0; i < top; ++i) {
+    const live::LiveSnapshot::AppRow& row = snap.apps[i];
+    std::printf("  app #%zu            : %-18s %8llu txns %6llu usages "
+                "%5llu users\n",
+                i + 1, row.name.c_str(),
+                static_cast<unsigned long long>(row.counter.transactions),
+                static_cast<unsigned long long>(row.counter.usages),
+                static_cast<unsigned long long>(row.counter.distinct_users));
+  }
+  std::printf("  backpressure       : %llu feed stalls, %llu idle waits\n",
+              static_cast<unsigned long long>(
+                  snap.backpressure.producer_waits),
+              static_cast<unsigned long long>(
+                  snap.backpressure.consumer_waits));
+}
+
+/// Exact comparison of the live final snapshot against the batch pipeline.
+bool verify_against_batch(const trace::TraceStore& store,
+                          const live::LiveSnapshot& snap,
+                          const core::AnalysisOptions& opt) {
+  const core::Pipeline pipeline(store, opt);
+  const core::AdoptionResult batch = pipeline.run().adoption;
+  const core::AdoptionResult& online = snap.adoption;
+
+  std::size_t mismatches = 0;
+  const auto check = [&](const char* what, double a, double b) {
+    if (a != b) {
+      std::printf("  MISMATCH %-24s live=%.17g batch=%.17g\n", what, a, b);
+      ++mismatches;
+    }
+  };
+  check("ever_registered", static_cast<double>(online.ever_registered),
+        static_cast<double>(batch.ever_registered));
+  check("ever_transacted", static_cast<double>(online.ever_transacted),
+        static_cast<double>(batch.ever_transacted));
+  check("ever_transacting_fraction", online.ever_transacting_fraction,
+        batch.ever_transacting_fraction);
+  check("total_growth", online.total_growth, batch.total_growth);
+  check("monthly_growth", online.monthly_growth, batch.monthly_growth);
+  check("still_active_share", online.still_active_share,
+        batch.still_active_share);
+  check("gone_share", online.gone_share, batch.gone_share);
+  check("new_share", online.new_share, batch.new_share);
+  check("churned_of_initial", online.churned_of_initial,
+        batch.churned_of_initial);
+  if (online.daily_registered_norm != batch.daily_registered_norm) {
+    std::printf("  MISMATCH daily_registered_norm series\n");
+    ++mismatches;
+  }
+  return mismatches == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    std::string bundle_dir;
+    std::int64_t shards = 4;
+    std::int64_t ring_capacity = 4096;
+    std::string snapshot_every = "0";
+    double speedup = 0.0;
+    bool verify = false;
+    std::int64_t observation_days = -1;
+    std::int64_t detailed_start_day = -1;
+
+    util::FlagParser flags(
+        "wearscope_live: replay a trace bundle through the concurrent "
+        "live-ingest engine (sharded workers + periodic snapshots)");
+    flags.add_string("bundle", &bundle_dir, "bundle directory (required)");
+    flags.add_int("shards", &shards, "worker shards (user partitions)");
+    flags.add_int("ring-capacity", &ring_capacity,
+                  "events buffered per shard ring");
+    flags.add_string("snapshot-every", &snapshot_every,
+                     "periodic snapshot interval in stream time "
+                     "(e.g. 90, 15m, 6h, 1d; 0 = final only)");
+    flags.add_double("speedup", &speedup,
+                     "stream-time/wall-time ratio (0 = as fast as possible)");
+    flags.add_bool("verify", &verify,
+                   "also run the batch pipeline and require an exact "
+                   "adoption match");
+    flags.add_int("observation-days", &observation_days,
+                  "window length (-1: from generator.cfg or default)");
+    flags.add_int("detailed-start-day", &detailed_start_day,
+                  "first detailed day (-1: from generator.cfg or default)");
+    if (!flags.parse(argc, argv)) return 0;
+    util::require(!bundle_dir.empty(), "--bundle is required");
+    util::require(shards >= 1, "--shards must be >= 1");
+    util::require(ring_capacity >= 1, "--ring-capacity must be >= 1");
+
+    live::LiveOptions opt;
+    opt.shards = static_cast<std::size_t>(shards);
+    opt.ring_capacity = static_cast<std::size_t>(ring_capacity);
+    const std::filesystem::path cfg_path =
+        std::filesystem::path(bundle_dir) / "generator.cfg";
+    if (std::filesystem::exists(cfg_path)) {
+      const simnet::SimConfig cfg = simnet::load_config_file(cfg_path);
+      opt.observation_days = cfg.observation_days;
+      opt.detailed_start_day = cfg.observation_days - cfg.detailed_days;
+      opt.long_tail_apps = cfg.long_tail_apps;
+    }
+    if (observation_days > 0)
+      opt.observation_days = static_cast<int>(observation_days);
+    if (detailed_start_day >= 0)
+      opt.detailed_start_day = static_cast<int>(detailed_start_day);
+
+    live::ReplayOptions replay_opt;
+    replay_opt.speedup = speedup;
+    replay_opt.snapshot_every_s = parse_stream_seconds(snapshot_every);
+
+    trace::TraceStore store = trace::load_bundle(bundle_dir);
+    store.sort_by_time();
+    const trace::TraceSummary sum = store.summarize();
+    std::printf("replaying %zu proxy + %zu MME records through %lld "
+                "shard(s)\n",
+                sum.proxy_records, sum.mme_records,
+                static_cast<long long>(shards));
+
+    live::LiveEngine engine(store.devices, opt);
+    const live::FeedReplayer replayer(store, replay_opt);
+    const live::ReplayReport report = replayer.replay(engine);
+    for (const live::LiveSnapshot& snap : report.snapshots) {
+      std::printf("-- periodic snapshot at epoch %llu: %llu records\n",
+                  static_cast<unsigned long long>(snap.epoch),
+                  static_cast<unsigned long long>(snap.records));
+    }
+    const live::LiveSnapshot final_snap = engine.stop();
+
+    const double rate =
+        report.wall_seconds > 0.0
+            ? static_cast<double>(report.records_pushed) / report.wall_seconds
+            : 0.0;
+    std::printf("replayed %llu records in %.2fs (%.0f records/s)\n",
+                static_cast<unsigned long long>(report.records_pushed),
+                report.wall_seconds, rate);
+    print_snapshot(final_snap, "final snapshot");
+
+    if (verify) {
+      core::AnalysisOptions aopt;
+      aopt.observation_days = opt.observation_days;
+      aopt.detailed_start_day = opt.detailed_start_day;
+      aopt.long_tail_apps = opt.long_tail_apps;
+      if (!verify_against_batch(store, final_snap, aopt)) {
+        std::fprintf(stderr,
+                     "error: live snapshot diverges from batch pipeline\n");
+        return 1;
+      }
+      std::printf("verify: live adoption == batch adoption (exact)\n");
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
