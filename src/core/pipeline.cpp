@@ -60,6 +60,10 @@ std::string StudyReport::to_text() const {
     out += f.to_text();
     out += '\n';
   }
+  if (quarantine.any()) {
+    out += trace::to_text(quarantine);
+    out += '\n';
+  }
   return out;
 }
 

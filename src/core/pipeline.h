@@ -25,6 +25,7 @@
 #include "core/analysis_usage.h"
 #include "core/context.h"
 #include "core/report.h"
+#include "trace/quarantine.h"
 
 namespace wearscope::core {
 
@@ -46,6 +47,11 @@ struct StudyReport {
   ProtocolResult protocol;          ///< Extension: HTTPS readiness.
   GeographyResult geography;        ///< Extension: spatial adoption.
   std::vector<FigureData> figures;  ///< fig2a..fig8 + sec6 + extensions.
+  /// Input-quality accounting: what the loaders/sanitizer quarantined
+  /// before analysis.  The pipeline itself never drops records — callers
+  /// (tools, chaos harness) fill this in from the lenient load path so the
+  /// report discloses how much of the capture survived.
+  trace::QuarantineStats quarantine;
 
   /// Figure by id ("fig4c"); throws std::out_of_range when unknown.
   [[nodiscard]] const FigureData& figure(std::string_view id) const;

@@ -44,6 +44,7 @@ LiveSnapshot LiveEngine::snapshot() {
   router_.broadcast_barrier(epoch);
   LiveSnapshot snap = coordinator_.wait_for(epoch);
   snap.backpressure = router_.total_stats();
+  snap.quarantine = quarantine_;
   return snap;
 }
 
@@ -55,6 +56,7 @@ LiveSnapshot LiveEngine::stop() {
   LiveSnapshot snap = coordinator_.wait_for(epoch);
   for (const auto& worker : workers_) worker->join();
   snap.backpressure = router_.total_stats();
+  snap.quarantine = quarantine_;
   stopped_ = true;
   final_snapshot_ = std::move(snap);
   return *final_snapshot_;

@@ -80,6 +80,17 @@ class LiveEngine {
   /// Must not be called after stop().
   [[nodiscard]] LiveSnapshot snapshot();
 
+  /// Accumulates feed-side quarantine counters (records the feed dropped
+  /// or repaired before push()).  Subsequent snapshots carry the running
+  /// total.  Same threading contract as push(): feed thread only.
+  void add_quarantine(const trace::QuarantineStats& delta) {
+    quarantine_ += delta;
+  }
+  /// Running feed-side quarantine total.
+  [[nodiscard]] const trace::QuarantineStats& quarantine() const noexcept {
+    return quarantine_;
+  }
+
   /// Graceful drain-and-shutdown: barriers the final epoch, closes the
   /// rings, joins the workers, and returns the final snapshot (covering
   /// every record ever pushed). Idempotent — later calls return the same
@@ -109,6 +120,7 @@ class LiveEngine {
   std::vector<std::unique_ptr<ShardWorker>> workers_;
   std::uint64_t next_epoch_ = 0;
   bool stopped_ = false;
+  trace::QuarantineStats quarantine_;
   std::optional<LiveSnapshot> final_snapshot_;
 };
 

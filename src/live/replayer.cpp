@@ -14,6 +14,23 @@ FeedReplayer::FeedReplayer(const trace::TraceStore& store,
                 "FeedReplayer: store must be time-sorted (sort_by_time)");
 }
 
+namespace {
+
+// Pause before retry number `attempt` (0-based), growing geometrically and
+// capped. A zero initial backoff disables sleeping entirely, which keeps
+// fault-heavy tests fast without changing the accounting.
+void backoff_sleep(const RetryPolicy& policy, std::uint32_t attempt) {
+  if (policy.initial_backoff.count() <= 0) return;
+  double us = static_cast<double>(policy.initial_backoff.count());
+  for (std::uint32_t i = 0; i < attempt; ++i) us *= policy.backoff_multiplier;
+  const double cap = static_cast<double>(policy.max_backoff.count());
+  if (us > cap) us = cap;
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(static_cast<std::int64_t>(us)));
+}
+
+}  // namespace
+
 ReplayReport FeedReplayer::replay(LiveEngine& engine) const {
   using Clock = std::chrono::steady_clock;
   ReplayReport report;
@@ -37,6 +54,7 @@ ReplayReport FeedReplayer::replay(LiveEngine& engine) const {
       opt_.snapshot_every_s > 0 ? t0 + opt_.snapshot_every_s : 0;
 
   const Clock::time_point wall0 = Clock::now();
+  std::uint64_t seq = 0;  // Feed position in merge order, both logs.
   while (pi < proxy.size() || mi < mme.size()) {
     // Ties replay the MME event first: a device registers with the network
     // before its traffic shows up at the proxy.
@@ -60,9 +78,38 @@ ReplayReport FeedReplayer::replay(LiveEngine& engine) const {
                       std::chrono::duration<double>(wall_target)));
     }
 
+    if (opt_.read_faults) {
+      const std::uint32_t faults = opt_.read_faults(seq);
+      if (faults > 0) {
+        trace::QuarantineStats delta;
+        if (faults >= opt_.retry.max_attempts) {
+          // Retry budget exhausted: quarantine the record, keep the feed
+          // alive. The failed attempts still cost their backoff pauses.
+          for (std::uint32_t a = 0; a + 1 < opt_.retry.max_attempts; ++a)
+            backoff_sleep(opt_.retry, a);
+          delta.dropped_after_retry = 1;
+          report.quarantine += delta;
+          engine.add_quarantine(delta);
+          if (take_mme) {
+            ++mi;
+          } else {
+            ++pi;
+          }
+          ++seq;
+          continue;
+        }
+        // Transient: the read succeeds on attempt `faults`.
+        for (std::uint32_t a = 0; a < faults; ++a) backoff_sleep(opt_.retry, a);
+        delta.transient_retries = faults;
+        report.quarantine += delta;
+        engine.add_quarantine(delta);
+      }
+    }
+
     const bool accepted =
         take_mme ? engine.push(mme[mi++]) : engine.push(proxy[pi++]);
     if (accepted) ++report.records_pushed;
+    ++seq;
   }
   report.wall_seconds =
       std::chrono::duration<double>(Clock::now() - wall0).count();

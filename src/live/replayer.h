@@ -7,14 +7,38 @@
 // every `snapshot_every_s` seconds of *stream* time, which makes periodic
 // snapshots deterministic: epoch boundaries depend only on record
 // timestamps, never on wall-clock scheduling.
+//
+// Transient faults: a real feed tap occasionally fails a read (stalled
+// middlebox, flapping spool mount).  The replayer models that with a
+// pluggable fault hook and bounded exponential-backoff retries: a record
+// whose reads keep failing past `RetryPolicy::max_attempts` is quarantined
+// (counted, skipped) instead of wedging the feed.  The hook is a pure
+// function of the feed sequence number, so a given fault schedule drops
+// exactly the same records on every run and for every shard count — the
+// property the chaos differential harness (src/chaos) checks.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "live/engine.h"
+#include "trace/quarantine.h"
 #include "trace/store.h"
 
 namespace wearscope::live {
+
+/// Bounded retry with exponential backoff for transient feed-read faults.
+struct RetryPolicy {
+  /// Total read attempts per record before it is quarantined.
+  std::uint32_t max_attempts = 4;
+  /// Wall-clock pause before the first retry (0 disables sleeping).
+  std::chrono::microseconds initial_backoff{50};
+  /// Backoff growth per retry (initial, initial*m, initial*m^2, ...).
+  double backoff_multiplier = 2.0;
+  /// Upper bound on a single backoff pause.
+  std::chrono::microseconds max_backoff{5000};
+};
 
 /// Replay configuration.
 struct ReplayOptions {
@@ -23,6 +47,13 @@ struct ReplayOptions {
   /// Request a snapshot whenever stream time crosses a multiple of this
   /// many seconds since the first record; 0 disables periodic snapshots.
   util::SimTime snapshot_every_s = 0;
+  /// Retry policy for transient read faults.
+  RetryPolicy retry;
+  /// Transient-fault hook: how many times the read of feed record `seq`
+  /// (merge order, counting both logs) fails before succeeding; 0 = clean.
+  /// Unset = no faults.  Must be deterministic in `seq` (chaos::FaultPlan
+  /// provides seeded schedules).
+  std::function<std::uint32_t(std::uint64_t seq)> read_faults;
 };
 
 /// What one replay() call did.
@@ -31,6 +62,9 @@ struct ReplayReport {
   double wall_seconds = 0.0;  ///< Push-loop wall time (excludes stop()).
   /// The periodic snapshots, in epoch order (empty when disabled).
   std::vector<LiveSnapshot> snapshots;
+  /// Runtime quarantine: recovered retries and records dropped after the
+  /// retry budget (also accumulated into the engine's snapshots).
+  trace::QuarantineStats quarantine;
 };
 
 /// Replays one capture. The store must stay alive during replay() and must

@@ -22,6 +22,7 @@
 #include "core/analysis_adoption.h"
 #include "live/ring_buffer.h"
 #include "live/shard_stats.h"
+#include "trace/quarantine.h"
 
 namespace wearscope::live {
 
@@ -44,6 +45,9 @@ struct LiveSnapshot {
   std::array<std::uint64_t, appdb::kTransactionClassCount> class_txns{};
   /// Ring totals at assembly time (filled by the engine, not the merge).
   RingStats backpressure;
+  /// Records the feed side quarantined before they ever reached a ring
+  /// (filled by the engine from add_quarantine(), not the merge).
+  trace::QuarantineStats quarantine;
 };
 
 /// Collects per-shard deposits and assembles epoch snapshots.

@@ -3,6 +3,8 @@
 #include <array>
 #include <bit>
 #include <cstring>
+#include <optional>
+#include <utility>
 
 #include "util/error.h"
 
@@ -148,14 +150,19 @@ void BinaryEncoder::put_string(const std::string& s) {
 std::uint8_t BinaryDecoder::get_u8() {
   const int c = in_->get();
   if (c == std::char_traits<char>::eof())
-    throw util::ParseError("binary log: truncated record");
+    throw util::ParseError("binary log: truncated record at byte " +
+                           std::to_string(offset_));
+  ++offset_;
   return static_cast<std::uint8_t>(c);
 }
 
 std::uint16_t BinaryDecoder::get_u16() {
   std::array<char, 2> b{};
   in_->read(b.data(), b.size());
-  if (in_->gcount() != 2) throw util::ParseError("binary log: truncated u16");
+  if (in_->gcount() != 2)
+    throw util::ParseError("binary log: truncated u16 at byte " +
+                           std::to_string(offset_));
+  offset_ += 2;
   return static_cast<std::uint16_t>(
       static_cast<std::uint8_t>(b[0]) |
       (static_cast<std::uint16_t>(static_cast<std::uint8_t>(b[1])) << 8));
@@ -164,7 +171,10 @@ std::uint16_t BinaryDecoder::get_u16() {
 std::uint32_t BinaryDecoder::get_u32() {
   std::array<char, 4> b{};
   in_->read(b.data(), b.size());
-  if (in_->gcount() != 4) throw util::ParseError("binary log: truncated u32");
+  if (in_->gcount() != 4)
+    throw util::ParseError("binary log: truncated u32 at byte " +
+                           std::to_string(offset_));
+  offset_ += 4;
   std::uint32_t v = 0;
   for (int i = 3; i >= 0; --i)
     v = (v << 8) |
@@ -175,7 +185,10 @@ std::uint32_t BinaryDecoder::get_u32() {
 std::uint64_t BinaryDecoder::get_u64() {
   std::array<char, 8> b{};
   in_->read(b.data(), b.size());
-  if (in_->gcount() != 8) throw util::ParseError("binary log: truncated u64");
+  if (in_->gcount() != 8)
+    throw util::ParseError("binary log: truncated u64 at byte " +
+                           std::to_string(offset_));
+  offset_ += 8;
   std::uint64_t v = 0;
   for (int i = 7; i >= 0; --i)
     v = (v << 8) |
@@ -190,11 +203,34 @@ std::int64_t BinaryDecoder::get_i64() {
 double BinaryDecoder::get_f64() { return std::bit_cast<double>(get_u64()); }
 
 std::string BinaryDecoder::get_string() {
+  const std::uint64_t prefix_at = offset_;
   const std::uint16_t len = get_u16();
+  if (len == 0) return {};
+  // Clamp the claimed length against what the stream can actually deliver
+  // before allocating: a corrupt prefix must fail cleanly, not commit
+  // 64 KiB for a 5-byte tail.  Seekable streams (files, stringstreams —
+  // every bundle source) know their remaining size; for the rare
+  // non-seekable stream the post-read gcount check below still guards.
+  const std::streampos pos = in_->tellg();
+  if (pos != std::streampos(-1)) {
+    in_->seekg(0, std::ios::end);
+    const std::streampos end = in_->tellg();
+    in_->seekg(pos);
+    if (end != std::streampos(-1) &&
+        static_cast<std::uint64_t>(end - pos) < len) {
+      throw util::ParseError(
+          "binary log: string length " + std::to_string(len) + " exceeds " +
+          std::to_string(static_cast<std::uint64_t>(end - pos)) +
+          " remaining bytes (corrupt length prefix at byte " +
+          std::to_string(prefix_at) + ")");
+    }
+  }
   std::string s(len, '\0');
   in_->read(s.data(), len);
   if (in_->gcount() != static_cast<std::streamsize>(len))
-    throw util::ParseError("binary log: truncated string");
+    throw util::ParseError("binary log: truncated string at byte " +
+                           std::to_string(offset_));
+  offset_ += len;
   return s;
 }
 
@@ -233,6 +269,35 @@ bool BinaryLogReader<Record>::next(Record& out) {
   decode_record(dec_, out);
   return true;
 }
+
+template <typename Record>
+std::vector<Record> read_binary_log_lenient(std::istream& in,
+                                            QuarantineStats& quarantine) {
+  std::vector<Record> records;
+  std::optional<BinaryLogReader<Record>> reader;
+  try {
+    reader.emplace(in);
+  } catch (const util::ParseError&) {
+    ++quarantine.corrupt_files;
+    return records;
+  }
+  try {
+    Record r;
+    while (reader->next(r)) records.push_back(std::move(r));
+  } catch (const util::ParseError&) {
+    ++quarantine.corrupt_tails;
+  }
+  return records;
+}
+
+template std::vector<ProxyRecord> read_binary_log_lenient<ProxyRecord>(
+    std::istream&, QuarantineStats&);
+template std::vector<MmeRecord> read_binary_log_lenient<MmeRecord>(
+    std::istream&, QuarantineStats&);
+template std::vector<DeviceRecord> read_binary_log_lenient<DeviceRecord>(
+    std::istream&, QuarantineStats&);
+template std::vector<SectorInfo> read_binary_log_lenient<SectorInfo>(
+    std::istream&, QuarantineStats&);
 
 template class BinaryLogWriter<ProxyRecord>;
 template class BinaryLogWriter<MmeRecord>;

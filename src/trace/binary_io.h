@@ -11,7 +11,9 @@
 #include <istream>
 #include <ostream>
 #include <string>
+#include <vector>
 
+#include "trace/quarantine.h"
 #include "trace/records.h"
 #include "trace/store.h"
 
@@ -40,7 +42,8 @@ class BinaryEncoder {
 };
 
 /// Low-level little-endian primitive decoder (exposed for tests).
-/// Throws util::ParseError on short reads.
+/// Throws util::ParseError on short reads; every message carries the byte
+/// offset at which decoding failed so corrupt captures are debuggable.
 class BinaryDecoder {
  public:
   explicit BinaryDecoder(std::istream& in) : in_(&in) {}
@@ -51,12 +54,19 @@ class BinaryDecoder {
   std::uint64_t get_u64();
   std::int64_t get_i64();
   double get_f64();
+  /// Reads a u16-length-prefixed string.  The claimed length is clamped
+  /// against the bytes the stream can still deliver *before* any
+  /// allocation, so a corrupt length prefix fails with ParseError instead
+  /// of over-reading or allocating on hostile input.
   std::string get_string();
   /// True when the stream has no more bytes (peeks).
   bool at_eof();
+  /// Bytes successfully consumed so far.
+  [[nodiscard]] std::uint64_t offset() const noexcept { return offset_; }
 
  private:
   std::istream* in_;
+  std::uint64_t offset_ = 0;
 };
 
 /// Typed streaming writer: writes the header on construction, then one
@@ -89,6 +99,16 @@ class BinaryLogReader {
  private:
   BinaryDecoder dec_;
 };
+
+/// Lenient read of one whole binary log with skip-and-count quarantine
+/// semantics: a rejected header counts one `corrupt_files` (nothing
+/// recovered), a mid-stream parse error counts one `corrupt_tails` and
+/// keeps every record decoded before it (binary records carry no
+/// per-record framing, so resynchronising inside a corrupt tail is not
+/// possible).  Never throws ParseError.
+template <typename Record>
+std::vector<Record> read_binary_log_lenient(std::istream& in,
+                                            QuarantineStats& quarantine);
 
 extern template class BinaryLogWriter<ProxyRecord>;
 extern template class BinaryLogWriter<MmeRecord>;

@@ -28,7 +28,8 @@ void save_log(const std::vector<Record>& records,
 
 template <typename Record>
 std::vector<Record> load_log(const std::filesystem::path& dir,
-                             const std::string& stem) {
+                             const std::string& stem,
+                             QuarantineStats* quarantine) {
   const std::filesystem::path bin = dir / (stem + ".bin");
   const std::filesystem::path csv = dir / (stem + ".csv");
   std::vector<Record> records;
@@ -36,18 +37,36 @@ std::vector<Record> load_log(const std::filesystem::path& dir,
   if (std::filesystem::exists(bin)) {
     std::ifstream in(bin, std::ios::binary);
     if (!in) throw util::IoError("cannot open: " + bin.string());
-    BinaryLogReader<Record> reader(in);
-    while (reader.next(r)) records.push_back(r);
+    if (quarantine != nullptr) {
+      records = read_binary_log_lenient<Record>(in, *quarantine);
+    } else {
+      BinaryLogReader<Record> reader(in);
+      while (reader.next(r)) records.push_back(r);
+    }
   } else if (std::filesystem::exists(csv)) {
     std::ifstream in(csv);
     if (!in) throw util::IoError("cannot open: " + csv.string());
-    CsvLogReader<Record> reader(in);
-    while (reader.next(r)) records.push_back(r);
+    if (quarantine != nullptr) {
+      records = read_csv_log_lenient<Record>(in, *quarantine);
+    } else {
+      CsvLogReader<Record> reader(in);
+      while (reader.next(r)) records.push_back(r);
+    }
   } else {
     throw util::IoError("bundle log missing: " + (dir / stem).string() +
                         ".{bin,csv}");
   }
   return records;
+}
+
+TraceStore load_bundle_impl(const std::filesystem::path& dir,
+                            QuarantineStats* quarantine) {
+  TraceStore store;
+  store.proxy = load_log<ProxyRecord>(dir, "proxy", quarantine);
+  store.mme = load_log<MmeRecord>(dir, "mme", quarantine);
+  store.devices = load_log<DeviceRecord>(dir, "devices", quarantine);
+  store.sectors = load_log<SectorInfo>(dir, "sectors", quarantine);
+  return store;
 }
 
 const char* extension(BundleFormat format) {
@@ -69,12 +88,12 @@ void save_bundle(const TraceStore& store, const std::filesystem::path& dir,
 }
 
 TraceStore load_bundle(const std::filesystem::path& dir) {
-  TraceStore store;
-  store.proxy = load_log<ProxyRecord>(dir, "proxy");
-  store.mme = load_log<MmeRecord>(dir, "mme");
-  store.devices = load_log<DeviceRecord>(dir, "devices");
-  store.sectors = load_log<SectorInfo>(dir, "sectors");
-  return store;
+  return load_bundle_impl(dir, nullptr);
+}
+
+TraceStore load_bundle(const std::filesystem::path& dir,
+                       QuarantineStats& quarantine) {
+  return load_bundle_impl(dir, &quarantine);
 }
 
 }  // namespace wearscope::trace

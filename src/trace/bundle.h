@@ -10,6 +10,7 @@
 #include <filesystem>
 #include <string>
 
+#include "trace/quarantine.h"
 #include "trace/store.h"
 
 namespace wearscope::trace {
@@ -30,5 +31,13 @@ void save_bundle(const TraceStore& store, const std::filesystem::path& dir,
 /// Throws util::IoError when files are missing, util::ParseError when they
 /// are malformed.
 TraceStore load_bundle(const std::filesystem::path& dir);
+
+/// Lenient variant for hostile captures: instead of aborting on the first
+/// malformed byte, recovers every record it can and accounts for the rest
+/// in `quarantine` (see trace/quarantine.h — rejected headers, abandoned
+/// binary tails, skipped CSV rows).  Missing files still throw
+/// util::IoError: an absent log is a deployment error, not line noise.
+TraceStore load_bundle(const std::filesystem::path& dir,
+                       QuarantineStats& quarantine);
 
 }  // namespace wearscope::trace

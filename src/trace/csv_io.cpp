@@ -1,7 +1,9 @@
 #include "trace/csv_io.h"
 
 #include <charconv>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/csv.h"
@@ -186,6 +188,40 @@ bool CsvLogReader<Record>::next(Record& out) {
   }
   return false;
 }
+
+template <typename Record>
+std::vector<Record> read_csv_log_lenient(std::istream& in,
+                                         QuarantineStats& quarantine) {
+  std::vector<Record> records;
+  std::optional<CsvLogReader<Record>> reader;
+  try {
+    reader.emplace(in);
+  } catch (const util::ParseError&) {
+    ++quarantine.corrupt_files;
+    return records;
+  }
+  for (;;) {
+    Record r;
+    try {
+      if (!reader->next(r)) break;
+    } catch (const util::ParseError&) {
+      // next() consumed the offending line, so resuming is safe.
+      ++quarantine.corrupt_rows;
+      continue;
+    }
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+template std::vector<ProxyRecord> read_csv_log_lenient<ProxyRecord>(
+    std::istream&, QuarantineStats&);
+template std::vector<MmeRecord> read_csv_log_lenient<MmeRecord>(
+    std::istream&, QuarantineStats&);
+template std::vector<DeviceRecord> read_csv_log_lenient<DeviceRecord>(
+    std::istream&, QuarantineStats&);
+template std::vector<SectorInfo> read_csv_log_lenient<SectorInfo>(
+    std::istream&, QuarantineStats&);
 
 template class CsvLogWriter<ProxyRecord>;
 template class CsvLogWriter<MmeRecord>;

@@ -5,7 +5,9 @@
 
 #include <istream>
 #include <ostream>
+#include <vector>
 
+#include "trace/quarantine.h"
 #include "trace/records.h"
 
 namespace wearscope::trace {
@@ -34,6 +36,15 @@ class CsvLogReader {
  private:
   std::istream* in_;
 };
+
+/// Lenient read of one whole CSV log with skip-and-count quarantine
+/// semantics.  Unlike the binary format, CSV rows are line-framed, so a
+/// malformed row is skipped *individually* (one `corrupt_rows` each) and
+/// parsing resumes on the next line; only a rejected header abandons the
+/// file (one `corrupt_files`).  Never throws ParseError.
+template <typename Record>
+std::vector<Record> read_csv_log_lenient(std::istream& in,
+                                         QuarantineStats& quarantine);
 
 extern template class CsvLogWriter<ProxyRecord>;
 extern template class CsvLogWriter<MmeRecord>;

@@ -1,0 +1,73 @@
+// Quarantine accounting for graceful degradation.
+//
+// Real vantage-point feeds are not clean: proxy logs arrive truncated,
+// MME batches carry duplicates and out-of-order records, middleboxes stall
+// and retry.  Instead of aborting on the first malformed byte, the lenient
+// readers (trace/bundle), the stream sanitizer (trace/sanitize) and the
+// live feed (live/replayer) *skip and count*: every record or file they
+// give up on increments exactly one counter here, so "the ingest degraded
+// gracefully" becomes a checkable number instead of a vibe.  The chaos
+// differential harness (src/chaos) asserts these counters equal the number
+// of injected faults bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace wearscope::trace {
+
+/// Counters of everything the ingest path skipped instead of crashing on.
+/// Each quarantined item increments exactly one counter; `reordered` is the
+/// only non-drop counter (late arrivals repaired inside the reorder window
+/// are kept).
+struct QuarantineStats {
+  // --- IO level (lenient bundle loading) -------------------------------
+  std::uint64_t corrupt_files = 0;  ///< Header rejected; file yielded nothing.
+  std::uint64_t corrupt_tails = 0;  ///< Mid-stream error; binary tail dropped.
+  std::uint64_t corrupt_rows = 0;   ///< CSV rows skipped individually.
+
+  // --- Record level (stream sanitizer) ---------------------------------
+  std::uint64_t duplicates = 0;     ///< Exact re-deliveries dropped.
+  std::uint64_t regressions = 0;    ///< Timestamps too late to repair.
+  std::uint64_t unknown_tac = 0;    ///< TAC absent from the DeviceDB.
+  std::uint64_t bad_host = 0;       ///< Empty/non-printable proxy host.
+  std::uint64_t reordered = 0;      ///< Late arrivals repaired (kept!).
+
+  // --- Runtime level (live feed) ---------------------------------------
+  std::uint64_t transient_retries = 0;    ///< Read retries that recovered.
+  std::uint64_t dropped_after_retry = 0;  ///< Records lost to exhausted retries.
+
+  /// Sum of every *dropped* item (reordered repairs and recovered retries
+  /// are not drops).
+  [[nodiscard]] std::uint64_t total_dropped() const noexcept {
+    return corrupt_files + corrupt_tails + corrupt_rows + duplicates +
+           regressions + unknown_tac + bad_host + dropped_after_retry;
+  }
+
+  /// True when any counter is non-zero (including repairs/retries).
+  [[nodiscard]] bool any() const noexcept {
+    return total_dropped() + reordered + transient_retries > 0;
+  }
+
+  QuarantineStats& operator+=(const QuarantineStats& o) noexcept {
+    corrupt_files += o.corrupt_files;
+    corrupt_tails += o.corrupt_tails;
+    corrupt_rows += o.corrupt_rows;
+    duplicates += o.duplicates;
+    regressions += o.regressions;
+    unknown_tac += o.unknown_tac;
+    bad_host += o.bad_host;
+    reordered += o.reordered;
+    transient_retries += o.transient_retries;
+    dropped_after_retry += o.dropped_after_retry;
+    return *this;
+  }
+
+  friend bool operator==(const QuarantineStats&,
+                         const QuarantineStats&) = default;
+};
+
+/// Multi-line human-readable rendering (empty string when !stats.any()).
+std::string to_text(const QuarantineStats& stats);
+
+}  // namespace wearscope::trace

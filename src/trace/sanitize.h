@@ -1,0 +1,54 @@
+// Stream sanitizer: record-level graceful degradation for hostile feeds.
+//
+// A live MME/proxy feed is delivered in *arrival order*, and real feeds
+// re-deliver batches (duplicates), deliver them late (bounded reordering)
+// and occasionally regress wildly (a middlebox replaying yesterday's
+// spool).  The sanitizer normalizes an arrival-ordered capture into the
+// canonical clean form both pipelines consume, with skip-and-count
+// quarantine semantics:
+//
+//   * structurally invalid records (empty/non-printable proxy host) drop,
+//   * records whose TAC is absent from the DeviceDB snapshot drop (no
+//     downstream classification is possible without a DeviceDB row),
+//   * exact re-deliveries drop (first copy wins),
+//   * late arrivals within `reorder_window` records are re-sorted back
+//     into place (counted as `reordered`, kept),
+//   * arrivals older than anything already emitted from the window drop
+//     as `regressions` (zero-allowed-lateness beyond the window).
+//
+// A clean, time-sorted capture passes through bit-identically with every
+// counter zero — sanitization is idempotent and deterministic, which is
+// what lets the chaos differential harness equate quarantine counters with
+// injected fault counts exactly.
+#pragma once
+
+#include "trace/quarantine.h"
+#include "trace/store.h"
+
+namespace wearscope::trace {
+
+/// Knobs of the record-level sanitizer.
+struct SanitizeOptions {
+  /// Late arrivals displaced by fewer than this many records are repaired
+  /// (re-sorted); older ones are quarantined as regressions.
+  std::size_t reorder_window = 64;
+  /// Drop event records whose TAC has no DeviceDB row.
+  bool drop_unknown_tac = true;
+  /// Drop proxy records with an empty or non-printable host.
+  bool drop_bad_host = true;
+  /// Drop exact duplicate records (first delivery wins).
+  bool drop_duplicates = true;
+};
+
+/// Sanitizes `store`'s proxy and MME logs in place (arrival order in, time
+/// order out) and returns what was quarantined.  The devices/sectors tables
+/// are left untouched; the DeviceDB snapshot in `store.devices` defines
+/// which TACs are known.
+QuarantineStats sanitize_store(TraceStore& store,
+                               const SanitizeOptions& options = {});
+
+/// True when `host` is acceptable to the sanitizer: non-empty, printable
+/// ASCII only (the generator and every real SNI satisfy this).
+[[nodiscard]] bool host_is_valid(const std::string& host) noexcept;
+
+}  // namespace wearscope::trace

@@ -2,10 +2,13 @@
 // throw at them, readers must either parse or throw util::ParseError —
 // never crash, hang, or return garbage silently.  (Networking code rule
 // one: the input is hostile.)
+#include <cstdint>
 #include <sstream>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "chaos/fault_plan.h"
 #include "trace/binary_io.h"
 #include "trace/csv_io.h"
 #include "util/error.h"
@@ -153,6 +156,100 @@ TEST(FuzzCsv, ArbitraryTextLinesAreRejected) {
       }
     } catch (const util::ParseError&) {
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Seeded chaos corpus: instead of blind mutation, aim structured faults at
+// the binary layout via chaos::FaultPlan and hold the lenient reader to the
+// corpus's own accounting promise (chaos::ByteFault::expected).
+// ---------------------------------------------------------------------------
+
+std::vector<ProxyRecord> sample_proxy(std::size_t n) {
+  std::vector<ProxyRecord> records;
+  records.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ProxyRecord r;
+    r.timestamp = static_cast<util::SimTime>(i * 37);
+    r.user_id = 1'000'000 + i;
+    r.tac = 35254208;
+    r.protocol = i % 2 == 0 ? Protocol::kHttps : Protocol::kHttp;
+    r.host = "host" + std::to_string(i) + ".example";
+    r.url_path = i % 2 == 0 ? "" : "/p/" + std::to_string(i);
+    r.bytes_up = i * 11;
+    r.bytes_down = i * 101 + 1;
+    r.duration_ms = static_cast<std::uint32_t>(i + 1);
+    records.push_back(r);
+  }
+  return records;
+}
+
+std::vector<MmeRecord> sample_mme(std::size_t n) {
+  std::vector<MmeRecord> records;
+  records.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    records.push_back({static_cast<util::SimTime>(i * 60),
+                       static_cast<UserId>(100 + i), 35254208,
+                       i % 2 == 0 ? MmeEvent::kAttach : MmeEvent::kDetach,
+                       static_cast<SectorId>(i + 1)});
+  }
+  return records;
+}
+
+template <typename Record>
+void drive_corpus(const std::vector<Record>& sample, bool proxy_layout,
+                  std::uint64_t seed) {
+  const chaos::BinaryImage image = chaos::image_of(sample);
+  const chaos::FaultPlan plan(seed, chaos::FaultProfile::named("io"));
+  const std::vector<chaos::ByteFault> corpus =
+      plan.byte_corpus(image, proxy_layout);
+  ASSERT_FALSE(corpus.empty());
+
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    const chaos::ByteFault& fault = corpus[i];
+    std::istringstream in(fault.bytes);
+    QuarantineStats q;
+    std::vector<Record> got;
+    // Lenient reads never throw — corruption lands in `q`, not exceptions.
+    ASSERT_NO_THROW(got = read_binary_log_lenient<Record>(in, q))
+        << "seed " << seed << " corpus entry " << i;
+    if (fault.exact) {
+      EXPECT_EQ(got.size(), fault.expected_survivors)
+          << "seed " << seed << " corpus entry " << i;
+      EXPECT_TRUE(q == fault.expected)
+          << "seed " << seed << " corpus entry " << i;
+    } else {
+      // Bit flips only promise survival: no crash, no unbounded growth.
+      EXPECT_LE(got.size(), sample.size())
+          << "seed " << seed << " corpus entry " << i;
+    }
+  }
+}
+
+TEST(FuzzChaosCorpus, ProxyCorpusHonorsExactAccounting) {
+  const std::vector<ProxyRecord> sample = sample_proxy(96);
+  for (const std::uint64_t seed : {11u, 12u, 13u, 14u}) {
+    drive_corpus(sample, /*proxy_layout=*/true, seed);
+  }
+}
+
+TEST(FuzzChaosCorpus, MmeCorpusHonorsExactAccounting) {
+  const std::vector<MmeRecord> sample = sample_mme(128);
+  for (const std::uint64_t seed : {21u, 22u, 23u, 24u}) {
+    drive_corpus(sample, /*proxy_layout=*/false, seed);
+  }
+}
+
+TEST(FuzzChaosCorpus, StrictReaderRejectsEveryExactFault) {
+  // The strict reader path must refuse what the lenient path quarantines:
+  // an exact fault that drops records must surface as ParseError there.
+  const std::vector<ProxyRecord> sample = sample_proxy(64);
+  const chaos::BinaryImage image = chaos::image_of(sample);
+  const chaos::FaultPlan plan(99, chaos::FaultProfile::named("io"));
+  for (const chaos::ByteFault& fault : plan.byte_corpus(image, true)) {
+    if (!fault.exact || fault.expected_survivors == sample.size()) continue;
+    EXPECT_THROW((void)drain_binary<ProxyRecord>(fault.bytes),
+                 util::ParseError);
   }
 }
 

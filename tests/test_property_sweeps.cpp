@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "chaos/diff_runner.h"
+#include "chaos/fault_plan.h"
 #include "core/analysis_activity.h"
 #include "core/analysis_adoption.h"
 #include "core/analysis_comparison.h"
@@ -177,6 +179,37 @@ TEST_P(GapSweep, UsageCountMonotoneInGap) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Gaps, GapSweep, ::testing::Values(15, 30, 60));
+
+/// Chaos sweep: for random record-level fault plans, live snapshots at
+/// every shard count from one to eight must agree bitwise with the batch
+/// pipeline on the surviving records, and the quarantine counters must
+/// equal the injected faults exactly.  (The full profile x seed matrix
+/// lives in test_chaos_differential.cpp; this sweep ties the property to
+/// the same seeds the other sweeps exercise.)
+class ChaosSweep : public SeedSweep {};
+
+TEST_P(ChaosSweep, FaultedLiveMatchesBatchAtEveryShardCount) {
+  const std::uint64_t seed = GetParam();
+  const simnet::SimResult& sim = result_for(seed);
+
+  chaos::DiffOptions opt;
+  // Decorrelate the fault-plan stream from the generator seed.
+  opt.seed = seed * 31 + 7;
+  opt.profile = chaos::FaultProfile::named(seed % 2 == 0 ? "records"
+                                                         : "records-heavy");
+  opt.shard_counts = {1, 3, 8};
+  opt.analysis.observation_days = sim.observation_days;
+  opt.analysis.detailed_start_day = sim.detailed_start_day;
+  opt.analysis.long_tail_apps = sim.config.long_tail_apps;
+
+  const chaos::DiffReport rep = chaos::run_differential(sim.store, opt);
+  std::string detail;
+  for (const std::string& mm : rep.mismatches) detail += "  " + mm + "\n";
+  EXPECT_TRUE(rep.passed) << rep.summary() << "\n" << detail;
+  EXPECT_GT(rep.observed.total_dropped(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSweep, ::testing::Values(23, 1234));
 
 }  // namespace
 }  // namespace wearscope

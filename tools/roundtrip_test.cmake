@@ -66,5 +66,23 @@ if(DEFINED LIVE)
            --verify)
 endif()
 
+# 6. Chaos fault-plan round trip: analysis under record-level injection
+#    must hold quarantine == manifest exactly (the tool exits non-zero
+#    otherwise), and a live replay with transient read faults must still
+#    match the batch pipeline bit for bit.
+run_step(${ANALYZE} --trace ${WORK}/trace --chaos-seed 7
+         --chaos-profile records --report ${WORK}/report_chaos.txt)
+if(NOT EXISTS ${WORK}/report_chaos.txt)
+  message(FATAL_ERROR "chaos report missing")
+endif()
+file(READ ${WORK}/report_chaos.txt chaos_report)
+if(NOT chaos_report MATCHES "quarantine")
+  message(FATAL_ERROR "chaos report does not surface quarantine counters")
+endif()
+if(DEFINED LIVE)
+  run_step(${LIVE} --bundle ${WORK}/trace --shards 3 --chaos-seed 7
+           --chaos-profile transient --verify)
+endif()
+
 file(REMOVE_RECURSE ${WORK})
 message(STATUS "tool round-trip OK")

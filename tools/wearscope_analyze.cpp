@@ -6,14 +6,22 @@
 // Window parameters are read from the bundle's generator.cfg when present
 // (a real deployment would know its own collection schedule); they can be
 // overridden explicitly.
+//
+// --chaos-seed N injects a seeded fault plan (--chaos-profile) into the
+// capture before analysis and requires the sanitizer's quarantine counters
+// to match the injected manifest exactly — the CLI face of the chaos
+// differential harness.
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 
+#include "chaos/fault_plan.h"
 #include "core/pipeline.h"
 #include "core/report_markdown.h"
 #include "simnet/config_io.h"
 #include "trace/bundle.h"
+#include "trace/sanitize.h"
 #include "util/error.h"
 #include "util/flags.h"
 
@@ -28,6 +36,8 @@ int main(int argc, char** argv) {
     std::int64_t detailed_start_day = -1;
     std::int64_t usage_gap_s = 60;
     double signature_coverage = 1.0;
+    std::int64_t chaos_seed = -1;
+    std::string chaos_profile = "records";
 
     util::FlagParser flags(
         "wearscope_analyze: regenerate every paper figure from a trace "
@@ -46,6 +56,11 @@ int main(int argc, char** argv) {
                   "sessionization gap in seconds (paper: 60)");
     flags.add_double("signature-coverage", &signature_coverage,
                      "fraction of app-signature rules retained");
+    flags.add_int("chaos-seed", &chaos_seed,
+                  "inject a seeded fault plan before analysis (-1 = off)");
+    flags.add_string("chaos-profile", &chaos_profile,
+                     "fault profile: records, records-heavy, io, transient, "
+                     "runtime, all");
     if (!flags.parse(argc, argv)) return 0;
     util::require(!trace_dir.empty(), "--trace is required");
 
@@ -75,8 +90,32 @@ int main(int argc, char** argv) {
     std::printf("loaded %zu proxy + %zu MME records (%zu users)\n",
                 sum.proxy_records, sum.mme_records, sum.distinct_mme_users);
 
+    trace::QuarantineStats quarantine;
+    if (chaos_seed >= 0) {
+      const chaos::FaultPlan plan(static_cast<std::uint64_t>(chaos_seed),
+                                  chaos::FaultProfile::named(chaos_profile));
+      // Establish the clean fixed point, then damage it and sanitize again:
+      // the second pass must quarantine exactly what the plan injected.
+      trace::sanitize_store(store);
+      const chaos::FaultManifest manifest = plan.inject_records(store);
+      quarantine = trace::sanitize_store(store);
+      std::printf("chaos: profile '%s' seed %lld, %llu records quarantined\n",
+                  plan.profile().name.c_str(),
+                  static_cast<long long>(chaos_seed),
+                  static_cast<unsigned long long>(quarantine.total_dropped()));
+      if (!(quarantine == manifest.expected)) {
+        std::fprintf(stderr,
+                     "error: quarantine diverges from the injected fault "
+                     "manifest\n%s",
+                     trace::to_text(quarantine).c_str());
+        return 1;
+      }
+      std::printf("chaos: quarantine == injected manifest (exact)\n");
+    }
+
     const core::Pipeline pipeline(store, opt);
-    const core::StudyReport report = pipeline.run();
+    core::StudyReport report = pipeline.run();
+    report.quarantine = quarantine;
     const std::string text = report.to_text();
     std::fputs(text.c_str(), stdout);
 

@@ -9,15 +9,23 @@
 // --speedup 1 replays in real time. --snapshot-every takes seconds of
 // stream time, with optional s/m/h/d suffix; 0 disables periodic
 // snapshots (the final drain snapshot is always taken).
+// --chaos-seed N injects a seeded fault plan (--chaos-profile) before the
+// replay: record-level damage is quarantined by the sanitizer (surfacing in
+// the snapshot), runtime read faults exercise the replayer's retry/backoff
+// path.  --verify stays exact under chaos as long as the profile has no
+// permanent read faults (use "transient" for that combination).
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 
+#include "chaos/fault_plan.h"
 #include "core/pipeline.h"
 #include "live/engine.h"
 #include "live/replayer.h"
 #include "simnet/config_io.h"
 #include "trace/bundle.h"
+#include "trace/sanitize.h"
 #include "util/error.h"
 #include "util/flags.h"
 #include "util/strings.h"
@@ -86,6 +94,15 @@ void print_snapshot(const live::LiveSnapshot& snap, const char* label) {
                   snap.backpressure.producer_waits),
               static_cast<unsigned long long>(
                   snap.backpressure.consumer_waits));
+  if (snap.quarantine.any()) {
+    std::printf("  quarantine         : %llu dropped, %llu repaired, "
+                "%llu retried reads\n",
+                static_cast<unsigned long long>(
+                    snap.quarantine.total_dropped()),
+                static_cast<unsigned long long>(snap.quarantine.reordered),
+                static_cast<unsigned long long>(
+                    snap.quarantine.transient_retries));
+  }
 }
 
 /// Exact comparison of the live final snapshot against the batch pipeline.
@@ -136,6 +153,8 @@ int main(int argc, char** argv) {
     bool verify = false;
     std::int64_t observation_days = -1;
     std::int64_t detailed_start_day = -1;
+    std::int64_t chaos_seed = -1;
+    std::string chaos_profile = "records";
 
     util::FlagParser flags(
         "wearscope_live: replay a trace bundle through the concurrent "
@@ -156,6 +175,11 @@ int main(int argc, char** argv) {
                   "window length (-1: from generator.cfg or default)");
     flags.add_int("detailed-start-day", &detailed_start_day,
                   "first detailed day (-1: from generator.cfg or default)");
+    flags.add_int("chaos-seed", &chaos_seed,
+                  "inject a seeded fault plan before replay (-1 = off)");
+    flags.add_string("chaos-profile", &chaos_profile,
+                     "fault profile: records, records-heavy, io, transient, "
+                     "runtime, all");
     if (!flags.parse(argc, argv)) return 0;
     util::require(!bundle_dir.empty(), "--bundle is required");
     util::require(shards >= 1, "--shards must be >= 1");
@@ -183,6 +207,31 @@ int main(int argc, char** argv) {
 
     trace::TraceStore store = trace::load_bundle(bundle_dir);
     store.sort_by_time();
+
+    trace::QuarantineStats pre_quarantine;
+    if (chaos_seed >= 0) {
+      const chaos::FaultPlan plan(static_cast<std::uint64_t>(chaos_seed),
+                                  chaos::FaultProfile::named(chaos_profile));
+      util::require(!verify || plan.profile().permanent_reads == 0,
+                    "--verify needs a chaos profile without permanent read "
+                    "faults (try --chaos-profile transient)");
+      // Clean fixed point first, then damage, then sanitize-with-counting:
+      // the survivors feed the engine, the counters ride into the snapshot.
+      trace::sanitize_store(store);
+      plan.inject_records(store);
+      pre_quarantine = trace::sanitize_store(store);
+      const chaos::RuntimeFaults runtime = plan.runtime_faults(
+          store.proxy.size() + store.mme.size(), replay_opt.retry);
+      replay_opt.read_faults = runtime.schedule;
+      std::printf("chaos: profile '%s' seed %lld, %llu records quarantined "
+                  "before replay, %zu reads scheduled to fail permanently\n",
+                  plan.profile().name.c_str(),
+                  static_cast<long long>(chaos_seed),
+                  static_cast<unsigned long long>(
+                      pre_quarantine.total_dropped()),
+                  runtime.permanent_seqs.size());
+    }
+
     const trace::TraceSummary sum = store.summarize();
     std::printf("replaying %zu proxy + %zu MME records through %lld "
                 "shard(s)\n",
@@ -190,6 +239,7 @@ int main(int argc, char** argv) {
                 static_cast<long long>(shards));
 
     live::LiveEngine engine(store.devices, opt);
+    engine.add_quarantine(pre_quarantine);
     const live::FeedReplayer replayer(store, replay_opt);
     const live::ReplayReport report = replayer.replay(engine);
     for (const live::LiveSnapshot& snap : report.snapshots) {
