@@ -3,7 +3,6 @@
 #include <array>
 #include <cmath>
 
-#include "util/error.h"
 #include "util/rng.h"
 
 namespace wearscope::appdb {

@@ -27,7 +27,6 @@
 
 #include "live/replayer.h"
 #include "trace/quarantine.h"
-#include "trace/records.h"
 #include "trace/store.h"
 #include "util/rng.h"
 

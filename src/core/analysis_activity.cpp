@@ -1,8 +1,10 @@
 #include "core/analysis_activity.h"
 
+#include <algorithm>
 #include <map>
 #include <set>
 #include <unordered_map>
+#include <vector>
 
 namespace wearscope::core {
 
@@ -44,12 +46,21 @@ ActivityResult analyze_activity(const AnalysisContext& ctx) {
         hour_sum / static_cast<double>(day_hours.size());
     hours_per_day.push_back(mean_hours);
 
+    // Emit per-slot values in slot order, not hash order: these vectors
+    // reach the report ECDFs and must not depend on bucket layout.  Both
+    // maps always hold the same keys (filled by the same record).
+    std::vector<int> slots;
+    slots.reserve(hour_txn_count.size());
+    for (const auto& [slot, n] : hour_txn_count) slots.push_back(slot);
+    std::sort(slots.begin(), slots.end());
     double txn_sum = 0.0;
-    for (const auto& [key, n] : hour_txn_count) {
+    for (const int slot : slots) {
+      const double n = hour_txn_count.at(slot);
       hourly_txns.push_back(n);
       txn_sum += n;
     }
-    for (const auto& [key, b] : hour_byte_count) hourly_bytes.push_back(b);
+    for (const int slot : slots)
+      hourly_bytes.push_back(hour_byte_count.at(slot));
 
     rel_hours.push_back(mean_hours);
     rel_txns.push_back(txn_sum / std::max(1.0, hour_sum));

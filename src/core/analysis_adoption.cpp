@@ -59,8 +59,10 @@ AdoptionResult analyze_adoption(const AnalysisContext& ctx) {
     res.monthly_growth = res.total_growth / (static_cast<double>(days) / 30.4);
   }
 
-  // Fig. 2b shares.
+  // Fig. 2b shares.  The intersection count is a pure set cardinality —
+  // order-independent, so hash-order iteration is sound here.
   std::size_t both = 0;
+  // wearscope-lint: allow(unordered-emit)
   for (const trace::UserId u : first_week)
     if (last_week.contains(u)) ++both;
   const std::size_t uni = first_week.size() + last_week.size() - both;

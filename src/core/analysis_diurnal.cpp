@@ -4,8 +4,6 @@
 
 #include <unordered_set>
 
-#include "util/stats.h"
-
 namespace wearscope::core {
 
 namespace {

@@ -16,7 +16,6 @@
 #include <vector>
 
 #include "trace/records.h"
-#include "trace/store.h"
 
 namespace wearscope::core {
 

@@ -104,12 +104,20 @@ ActivityResult ActivityTally::finalize() const {
         hour_sum / static_cast<double>(u.day_hours.size());
     hours_per_day.push_back(mean_hours);
 
+    // Emit per-slot values in slot order, not hash order — the same
+    // canonicalization analyze_activity() applies, which keeps the two
+    // pipelines bitwise-identical for any bucket layout.
+    std::vector<int> slots;
+    slots.reserve(u.hour_txns.size());
+    for (const auto& [slot, n] : u.hour_txns) slots.push_back(slot);
+    std::sort(slots.begin(), slots.end());
     double txn_sum = 0.0;
-    for (const auto& [key, n] : u.hour_txns) {
+    for (const int slot : slots) {
+      const double n = u.hour_txns.at(slot);
       hourly_txns.push_back(n);
       txn_sum += n;
     }
-    for (const auto& [key, b] : u.hour_bytes) hourly_bytes.push_back(b);
+    for (const int slot : slots) hourly_bytes.push_back(u.hour_bytes.at(slot));
 
     rel_hours.push_back(mean_hours);
     rel_txns.push_back(txn_sum / std::max(1.0, hour_sum));

@@ -1,0 +1,257 @@
+#include "lint/lexer.h"
+
+#include <array>
+#include <cctype>
+#include <cstddef>
+#include <string_view>
+
+namespace wearscope::lint {
+
+namespace {
+
+[[nodiscard]] bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+[[nodiscard]] bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+[[nodiscard]] bool is_digit(char c) {
+  return std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+/// String-literal prefixes whose next character may open a raw string.
+[[nodiscard]] bool is_raw_prefix(std::string_view ident) {
+  return ident == "R" || ident == "u8R" || ident == "uR" || ident == "UR" ||
+         ident == "LR";
+}
+
+/// Plain (non-raw) string/char prefixes: the quote belongs to the literal.
+[[nodiscard]] bool is_literal_prefix(std::string_view ident) {
+  return ident == "u8" || ident == "u" || ident == "U" || ident == "L";
+}
+
+constexpr std::array<std::string_view, 5> kPunct3 = {"<=>", "<<=", ">>=",
+                                                     "...", "->*"};
+constexpr std::array<std::string_view, 19> kPunct2 = {
+    "::", "->", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "|=", "&=", "^=", "##"};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : src_(source) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> tokens;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        at_line_start_ = true;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        ++pos_;
+        continue;
+      }
+      const bool line_start = at_line_start_;
+      at_line_start_ = false;
+      if (c == '/' && peek(1) == '/') {
+        tokens.push_back(line_comment());
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        tokens.push_back(block_comment());
+        continue;
+      }
+      if (c == '#' && line_start) {
+        tokens.push_back(directive());
+        continue;
+      }
+      if (c == '"') {
+        tokens.push_back(quoted(TokenKind::kString, '"'));
+        continue;
+      }
+      if (c == '\'') {
+        tokens.push_back(quoted(TokenKind::kCharLiteral, '\''));
+        continue;
+      }
+      if (is_digit(c) || (c == '.' && is_digit(peek(1)))) {
+        tokens.push_back(number());
+        continue;
+      }
+      if (is_ident_start(c)) {
+        Token t = identifier();
+        // R"( ... )" and friends: the identifier was a literal prefix.
+        if (pos_ < src_.size() && src_[pos_] == '"' && is_raw_prefix(t.text)) {
+          tokens.push_back(raw_string(t));
+          continue;
+        }
+        if (pos_ < src_.size() && is_literal_prefix(t.text) &&
+            (src_[pos_] == '"' || src_[pos_] == '\'')) {
+          const char q = src_[pos_];
+          Token lit = quoted(
+              q == '"' ? TokenKind::kString : TokenKind::kCharLiteral, q);
+          lit.text = src_.substr(
+              static_cast<std::size_t>(t.text.data() - src_.data()),
+              t.text.size() + lit.text.size());
+          lit.line = t.line;
+          tokens.push_back(lit);
+          continue;
+        }
+        tokens.push_back(t);
+        continue;
+      }
+      tokens.push_back(punct());
+    }
+    return tokens;
+  }
+
+ private:
+  [[nodiscard]] char peek(std::size_t ahead) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  [[nodiscard]] Token make(TokenKind kind, std::size_t begin, int line) const {
+    return Token{kind, src_.substr(begin, pos_ - begin), line};
+  }
+
+  Token line_comment() {
+    const std::size_t begin = pos_;
+    const int line = line_;
+    while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+    return make(TokenKind::kComment, begin, line);
+  }
+
+  Token block_comment() {
+    const std::size_t begin = pos_;
+    const int line = line_;
+    pos_ += 2;
+    while (pos_ < src_.size() &&
+           !(src_[pos_] == '*' && peek(1) == '/')) {
+      if (src_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+    if (pos_ < src_.size()) pos_ += 2;
+    return make(TokenKind::kComment, begin, line);
+  }
+
+  /// One logical preprocessor line; backslash continuations are consumed
+  /// (the token text spans them).
+  Token directive() {
+    const std::size_t begin = pos_;
+    const int line = line_;
+    while (pos_ < src_.size() && src_[pos_] != '\n') {
+      if (src_[pos_] == '\\' && peek(1) == '\n') {
+        pos_ += 2;
+        ++line_;
+        continue;
+      }
+      ++pos_;
+    }
+    return make(TokenKind::kDirective, begin, line);
+  }
+
+  Token quoted(TokenKind kind, char quote) {
+    const std::size_t begin = pos_;
+    const int line = line_;
+    ++pos_;  // opening quote
+    while (pos_ < src_.size() && src_[pos_] != quote && src_[pos_] != '\n') {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) ++pos_;
+      ++pos_;
+    }
+    if (pos_ < src_.size() && src_[pos_] == quote) ++pos_;
+    return make(kind, begin, line);
+  }
+
+  /// `prefix` is the already-lexed R/u8R/... identifier; cursor sits on '"'.
+  Token raw_string(const Token& prefix) {
+    const std::size_t begin =
+        static_cast<std::size_t>(prefix.text.data() - src_.data());
+    const int line = prefix.line;
+    ++pos_;  // opening quote
+    const std::size_t delim_begin = pos_;
+    while (pos_ < src_.size() && src_[pos_] != '(') ++pos_;
+    const std::string_view delim =
+        src_.substr(delim_begin, pos_ - delim_begin);
+    // Scan for )delim"
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '\n') ++line_;
+      if (src_[pos_] == ')' &&
+          src_.compare(pos_ + 1, delim.size(), delim) == 0 &&
+          pos_ + 1 + delim.size() < src_.size() &&
+          src_[pos_ + 1 + delim.size()] == '"') {
+        pos_ += delim.size() + 2;
+        break;
+      }
+      ++pos_;
+    }
+    return make(TokenKind::kString, begin, line);
+  }
+
+  Token number() {
+    const std::size_t begin = pos_;
+    const int line = line_;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (is_ident_char(c) || c == '.') {
+        ++pos_;
+        continue;
+      }
+      if (c == '\'' && is_ident_char(peek(1))) {  // digit separator
+        pos_ += 2;
+        continue;
+      }
+      if ((c == '+' || c == '-') && pos_ > begin) {
+        const char prev = src_[pos_ - 1];
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          ++pos_;
+          continue;
+        }
+      }
+      break;
+    }
+    return make(TokenKind::kNumber, begin, line);
+  }
+
+  Token identifier() {
+    const std::size_t begin = pos_;
+    const int line = line_;
+    while (pos_ < src_.size() && is_ident_char(src_[pos_])) ++pos_;
+    return make(TokenKind::kIdentifier, begin, line);
+  }
+
+  Token punct() {
+    const std::size_t begin = pos_;
+    const int line = line_;
+    for (const std::string_view op : kPunct3) {
+      if (src_.compare(pos_, op.size(), op) == 0) {
+        pos_ += op.size();
+        return make(TokenKind::kPunct, begin, line);
+      }
+    }
+    for (const std::string_view op : kPunct2) {
+      if (src_.compare(pos_, op.size(), op) == 0) {
+        pos_ += op.size();
+        return make(TokenKind::kPunct, begin, line);
+      }
+    }
+    ++pos_;
+    return make(TokenKind::kPunct, begin, line);
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  bool at_line_start_ = true;
+};
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view source) {
+  return Lexer(source).run();
+}
+
+}  // namespace wearscope::lint

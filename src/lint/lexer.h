@@ -1,0 +1,39 @@
+// A lightweight C++ lexer for wearscope_lint.
+//
+// This is not a compiler front end: it tokenizes well enough to walk this
+// project's own sources — identifiers, numbers, string/char literals
+// (including raw strings), comments, preprocessor directives and the
+// multi-character punctuators the rules care about (`::`, `<<`, ...).
+// Comments and directives are kept as tokens so the rule engine can read
+// suppression comments and `#include` lines without a second scan.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace wearscope::lint {
+
+enum class TokenKind : std::uint8_t {
+  kIdentifier,   ///< Keywords are not distinguished from identifiers.
+  kNumber,       ///< Integer / floating literal, digit separators included.
+  kString,       ///< Quoted literal, prefixes and raw strings included.
+  kCharLiteral,  ///< 'x', '\n', ...
+  kPunct,        ///< One punctuator (multi-char ops are one token).
+  kComment,      ///< // or /* */, full text including the markers.
+  kDirective,    ///< One logical preprocessor line, continuations joined.
+};
+
+/// One token. `text` views into the source buffer passed to lex(), which
+/// must outlive the token vector.
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  std::string_view text;
+  int line = 1;  ///< 1-based line of the token's first character.
+};
+
+/// Tokenizes `source`. Never throws: unrecognized bytes become single-char
+/// punctuators, unterminated literals run to end of input.
+[[nodiscard]] std::vector<Token> lex(std::string_view source);
+
+}  // namespace wearscope::lint

@@ -1,0 +1,291 @@
+#include "lint/linter.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "lint/lexer.h"
+#include "lint/rules.h"
+#include "util/error.h"
+
+namespace wearscope::lint {
+
+namespace {
+
+using NameSet = std::set<std::string, std::less<>>;
+
+[[nodiscard]] bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+/// Per-source derived data, computed once per run_lint() call.
+struct PreparedFile {
+  FileCtx ctx;
+  NameSet own_unordered;  ///< Before the transitive-include union.
+  NameSet provided;       ///< For include-hygiene lookups.
+};
+
+[[nodiscard]] PreparedFile prepare(const Source& source) {
+  PreparedFile p;
+  p.ctx.source = &source;
+  p.ctx.tokens = lex(source.text);
+  for (const Token& t : p.ctx.tokens) {
+    switch (t.kind) {
+      case TokenKind::kComment:
+        break;
+      case TokenKind::kDirective:
+        p.ctx.directives.push_back(t);
+        break;
+      default:
+        p.ctx.code.push_back(t);
+    }
+  }
+  p.own_unordered = collect_unordered_names(p.ctx.code);
+  p.ctx.ordered_names = collect_ordered_names(p.ctx.code);
+  p.provided = collect_provided_names(p.ctx);
+  return p;
+}
+
+/// Per-file suppression state parsed out of the comment tokens.
+struct Suppressions {
+  NameSet whole_file;                     ///< allow-file(rule)
+  std::map<int, NameSet> by_line;         ///< allow(rule) effective lines
+};
+
+/// Extracts rule ids out of `allow(a, b)` starting at `open` (the '(').
+void parse_rule_list(std::string_view text, std::size_t open, NameSet& out) {
+  const std::size_t close = text.find(')', open);
+  if (close == std::string_view::npos) return;
+  std::string_view inner = text.substr(open + 1, close - open - 1);
+  std::size_t i = 0;
+  while (i < inner.size()) {
+    while (i < inner.size() && (inner[i] == ' ' || inner[i] == ',')) ++i;
+    std::size_t j = i;
+    while (j < inner.size() && inner[j] != ' ' && inner[j] != ',') ++j;
+    if (j > i) out.insert(std::string(inner.substr(i, j - i)));
+    i = j;
+  }
+}
+
+[[nodiscard]] Suppressions parse_suppressions(const FileCtx& ctx) {
+  // Lines that hold at least one code token: a suppression comment alone
+  // on its line covers the next line instead.
+  std::set<int> code_lines;
+  for (const Token& t : ctx.code) code_lines.insert(t.line);
+
+  Suppressions s;
+  for (const Token& t : ctx.tokens) {
+    if (t.kind != TokenKind::kComment) continue;
+    const std::size_t tag = t.text.find("wearscope-lint:");
+    if (tag == std::string_view::npos) continue;
+    const std::size_t file_tag = t.text.find("allow-file", tag);
+    if (file_tag != std::string_view::npos) {
+      const std::size_t open = t.text.find('(', file_tag);
+      if (open != std::string_view::npos)
+        parse_rule_list(t.text, open, s.whole_file);
+      continue;
+    }
+    const std::size_t allow_tag = t.text.find("allow", tag);
+    if (allow_tag == std::string_view::npos) continue;
+    const std::size_t open = t.text.find('(', allow_tag);
+    if (open == std::string_view::npos) continue;
+    NameSet rules;
+    parse_rule_list(t.text, open, rules);
+    NameSet& slot = s.by_line[code_lines.contains(t.line) ? t.line
+                                                          : t.line + 1];
+    slot.insert(rules.begin(), rules.end());
+  }
+  return s;
+}
+
+[[nodiscard]] bool suppressed(const Suppressions& s, const Finding& f) {
+  if (s.whole_file.contains(f.rule)) return true;
+  const auto it = s.by_line.find(f.line);
+  return it != s.by_line.end() && it->second.contains(f.rule);
+}
+
+void json_escape(std::ostream& os, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xf]
+             << "0123456789abcdef"[c & 0xf];
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<std::string>& all_rules() {
+  static const std::vector<std::string> kRules = {
+      "ambient-rand",       "header-guard", "include-hygiene", "pod-init",
+      "quarantine-pairing", "unordered-emit", "wallclock"};
+  return kRules;
+}
+
+void Project::add(Source source) { sources_.push_back(std::move(source)); }
+
+const Source* Project::resolve(std::string_view include_path) const {
+  for (const Source& s : sources_) {
+    if (s.path == include_path ||
+        ends_with(s.path, std::string("/") + std::string(include_path)))
+      return &s;
+  }
+  return nullptr;
+}
+
+std::vector<Finding> run_lint(const Project& project, const Options& options) {
+  const std::vector<Source>& sources = project.sources();
+
+  std::vector<PreparedFile> files;
+  files.reserve(sources.size());
+  std::map<const Source*, std::size_t> index;
+  for (const Source& s : sources) {
+    index.emplace(&s, files.size());
+    files.push_back(prepare(s));
+  }
+
+  // Union unordered names over each file's transitive project includes, so
+  // a container declared in a header is recognized in the .cpp that walks
+  // it.  DFS with a visited set guards against include cycles.
+  for (PreparedFile& f : files) {
+    NameSet merged = f.own_unordered;
+    std::set<std::size_t> visited;
+    std::vector<std::size_t> stack = {index.at(f.ctx.source)};
+    while (!stack.empty()) {
+      const std::size_t at = stack.back();
+      stack.pop_back();
+      if (!visited.insert(at).second) continue;
+      for (const IncludeLine& inc : quoted_includes(files[at].ctx)) {
+        const Source* hit = project.resolve(inc.path);
+        if (hit == nullptr) continue;
+        const std::size_t next = index.at(hit);
+        merged.insert(files[next].own_unordered.begin(),
+                      files[next].own_unordered.end());
+        stack.push_back(next);
+      }
+    }
+    f.ctx.unordered_names = std::move(merged);
+  }
+
+  const ProvidedLookup lookup = [&](std::string_view path) -> const NameSet* {
+    const Source* hit = project.resolve(path);
+    return hit == nullptr ? nullptr : &files[index.at(hit)].provided;
+  };
+
+  const auto enabled = [&](std::string_view rule) {
+    if (options.only_rules.empty()) return true;
+    return std::find(options.only_rules.begin(), options.only_rules.end(),
+                     rule) != options.only_rules.end();
+  };
+
+  std::vector<Finding> findings;
+  for (const PreparedFile& f : files) {
+    std::vector<Finding> raw;
+    if (enabled("wallclock")) check_wallclock(f.ctx, raw);
+    if (enabled("ambient-rand")) check_ambient_rand(f.ctx, raw);
+    if (enabled("unordered-emit")) check_unordered_emit(f.ctx, raw);
+    if (enabled("quarantine-pairing")) check_quarantine_pairing(f.ctx, raw);
+    if (enabled("header-guard")) check_header_guard(f.ctx, raw);
+    if (enabled("include-hygiene")) check_include_hygiene(f.ctx, lookup, raw);
+    if (enabled("pod-init")) check_pod_init(f.ctx, raw);
+
+    const Suppressions s = parse_suppressions(f.ctx);
+    for (Finding& finding : raw)
+      if (!suppressed(s, finding)) findings.push_back(std::move(finding));
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.path != b.path) return a.path < b.path;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.rule != b.rule) return a.rule < b.rule;
+              return a.message < b.message;
+            });
+  findings.erase(std::unique(findings.begin(), findings.end()),
+                 findings.end());
+  return findings;
+}
+
+std::string to_text(const std::vector<Finding>& findings) {
+  std::ostringstream os;
+  for (const Finding& f : findings)
+    os << f.path << ":" << f.line << ": [" << f.rule << "] " << f.message
+       << "\n";
+  return os.str();
+}
+
+std::string to_json(const std::vector<Finding>& findings) {
+  std::ostringstream os;
+  os << "{\n  \"total_findings\": " << findings.size()
+     << ",\n  \"findings\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    os << (i == 0 ? "" : ",") << "\n    {\"path\": \"";
+    json_escape(os, f.path);
+    os << "\", \"line\": " << f.line << ", \"rule\": \"";
+    json_escape(os, f.rule);
+    os << "\", \"message\": \"";
+    json_escape(os, f.message);
+    os << "\"}";
+  }
+  os << (findings.empty() ? "]" : "\n  ]") << "\n}\n";
+  return os.str();
+}
+
+Project load_tree(const std::string& root,
+                  const std::vector<std::string>& dirs) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> rel_paths;
+  for (const std::string& dir : dirs) {
+    const fs::path base = fs::path(root) / dir;
+    std::error_code ec;
+    if (!fs::is_directory(base, ec))
+      throw util::IoError("lint: not a directory: " + base.string());
+    for (fs::recursive_directory_iterator it(base, ec), end;
+         it != end && !ec; it.increment(ec)) {
+      if (!it->is_regular_file()) continue;
+      const std::string ext = it->path().extension().string();
+      if (ext != ".h" && ext != ".hpp" && ext != ".cpp" && ext != ".cc")
+        continue;
+      rel_paths.push_back(
+          fs::relative(it->path(), fs::path(root), ec).generic_string());
+    }
+    if (ec) throw util::IoError("lint: cannot walk " + base.string());
+  }
+  std::sort(rel_paths.begin(), rel_paths.end());
+
+  Project project;
+  for (const std::string& rel : rel_paths) {
+    std::ifstream in(fs::path(root) / rel, std::ios::binary);
+    if (!in) throw util::IoError("lint: cannot read " + rel);
+    std::ostringstream text;
+    text << in.rdbuf();
+    project.add(Source{rel, text.str()});
+  }
+  return project;
+}
+
+}  // namespace wearscope::lint

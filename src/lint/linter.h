@@ -1,0 +1,103 @@
+// wearscope::lint — the project's determinism & concurrency invariant
+// checker.
+//
+// WearScope's headline guarantee (bitwise batch/live equivalence, exact
+// quarantine accounting under injected faults) rests on invariants that
+// chaos runs and sanitizers only check *dynamically*.  This pass checks
+// them statically, at lint time, as named suppressible rules:
+//
+//   wallclock           no ambient time in analysis code (time(), clock(),
+//                       argless std::chrono::system_clock::now(), ...)
+//   ambient-rand        no std::rand / std::random_device / std::mt19937 /
+//                       std::*_distribution — randomness flows through
+//                       util::Pcg32 forks keyed on stable identifiers
+//   unordered-emit      no std::unordered_{map,set} iteration feeding
+//                       Report/CSV/markdown emission without an
+//                       intervening sort
+//   quarantine-pairing  every catch of ParseError and every lenient-reader
+//                       body must touch quarantine accounting (or rethrow)
+//   header-guard        every header starts with #pragma once (or a
+//                       classic include guard)
+//   include-hygiene     project includes whose declared names are never
+//                       referenced are flagged as unused
+//   pod-init            scalar struct fields in trace/live event types
+//                       must have default initializers
+//
+// A finding on line N is suppressed by `// wearscope-lint: allow(<rule>)`
+// on line N or alone on line N-1; `// wearscope-lint: allow-file(<rule>)`
+// anywhere suppresses the rule for the whole file.
+//
+// The linter runs on in-memory sources (no filesystem dependency), which
+// is how tests/test_lint.cpp feeds it fixture code; load_tree() is the
+// filesystem front end used by tools/wearscope_lint.cpp.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wearscope::lint {
+
+/// One source file handed to the linter. `path` is used for reporting and
+/// for include resolution (suffix match), so fixture paths like
+/// "src/core/foo.h" work without touching disk.
+struct Source {
+  std::string path;
+  std::string text;
+};
+
+/// One rule violation.
+struct Finding {
+  std::string path;
+  int line = 0;
+  std::string rule;
+  std::string message;
+
+  friend bool operator==(const Finding&, const Finding&) = default;
+};
+
+/// Linter configuration.
+struct Options {
+  /// When non-empty, only these rule ids run.
+  std::vector<std::string> only_rules;
+};
+
+/// All rule ids, in reporting order.
+[[nodiscard]] const std::vector<std::string>& all_rules();
+
+/// The project under analysis: every source is linted, and headers are
+/// resolvable from each other by include-path suffix.
+class Project {
+ public:
+  void add(Source source);
+
+  /// Resolves `#include "include_path"` against the added sources; null
+  /// when no source path ends with "/<include_path>".
+  [[nodiscard]] const Source* resolve(std::string_view include_path) const;
+
+  [[nodiscard]] const std::vector<Source>& sources() const noexcept {
+    return sources_;
+  }
+
+ private:
+  std::vector<Source> sources_;
+};
+
+/// Runs every (enabled) rule over every source; findings are sorted by
+/// (path, line, rule) and already filtered through suppression comments.
+[[nodiscard]] std::vector<Finding> run_lint(const Project& project,
+                                            const Options& options = {});
+
+/// "path:line: [rule] message" lines, one per finding.
+[[nodiscard]] std::string to_text(const std::vector<Finding>& findings);
+
+/// Machine-readable report for CI trend tracking:
+/// {"total_findings": N, "findings": [{"path","line","rule","message"},...]}
+[[nodiscard]] std::string to_json(const std::vector<Finding>& findings);
+
+/// Loads every .h/.cpp under `root`/<dir> for each dir into a Project.
+/// Throws util::IoError when a directory cannot be read.
+[[nodiscard]] Project load_tree(const std::string& root,
+                                const std::vector<std::string>& dirs);
+
+}  // namespace wearscope::lint

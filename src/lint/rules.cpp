@@ -1,0 +1,792 @@
+#include "lint/rules.h"
+
+#include <array>
+#include <cctype>
+#include <cstddef>
+
+namespace wearscope::lint {
+
+namespace {
+
+using Code = std::vector<Token>;
+using NameSet = std::set<std::string, std::less<>>;
+
+[[nodiscard]] bool is_ident(const Token& t, std::string_view s) {
+  return t.kind == TokenKind::kIdentifier && t.text == s;
+}
+
+[[nodiscard]] bool is_punct(const Token& t, std::string_view s) {
+  return t.kind == TokenKind::kPunct && t.text == s;
+}
+
+[[nodiscard]] bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+[[nodiscard]] bool contains(std::string_view s, std::string_view needle) {
+  return s.find(needle) != std::string_view::npos;
+}
+
+/// `i` points at "<": index just past the matching ">" (">>" closes two).
+/// Bails at ";" or "{" so a stray comparison cannot eat the file.
+[[nodiscard]] std::size_t skip_angles(const Code& c, std::size_t i) {
+  int depth = 0;
+  for (; i < c.size(); ++i) {
+    if (is_punct(c[i], "<")) {
+      ++depth;
+    } else if (is_punct(c[i], ">")) {
+      if (--depth <= 0) return i + 1;
+    } else if (is_punct(c[i], ">>")) {
+      depth -= 2;
+      if (depth <= 0) return i + 1;
+    } else if (is_punct(c[i], ";") || is_punct(c[i], "{")) {
+      return i;
+    }
+  }
+  return i;
+}
+
+/// `i` points at the opener: index just past its matching closer.
+[[nodiscard]] std::size_t skip_balanced(const Code& c, std::size_t i,
+                                        std::string_view open,
+                                        std::string_view close) {
+  int depth = 0;
+  for (; i < c.size(); ++i) {
+    if (is_punct(c[i], open)) ++depth;
+    if (is_punct(c[i], close) && --depth == 0) return i + 1;
+  }
+  return i;
+}
+
+constexpr std::array<std::string_view, 4> kUnorderedTypes = {
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset"};
+
+constexpr std::array<std::string_view, 9> kOrderedTypes = {
+    "map", "set", "multimap", "multiset", "vector",
+    "array", "deque", "list", "string"};
+
+[[nodiscard]] bool in_list(std::string_view s,
+                           const auto& list) {
+  for (const std::string_view e : list)
+    if (s == e) return true;
+  return false;
+}
+
+/// Fields of trace::QuarantineStats — touching one counts as accounting.
+constexpr std::array<std::string_view, 10> kQuarantineCounters = {
+    "corrupt_files", "corrupt_tails",     "corrupt_rows",
+    "duplicates",    "regressions",       "unknown_tac",
+    "bad_host",      "reordered",         "transient_retries",
+    "dropped_after_retry"};
+
+[[nodiscard]] bool mentions_quarantine(const Code& c, std::size_t begin,
+                                       std::size_t end) {
+  for (std::size_t i = begin; i < end && i < c.size(); ++i) {
+    if (c[i].kind != TokenKind::kIdentifier) continue;
+    if (contains(c[i].text, "quarantine") || contains(c[i].text, "Quarantine"))
+      return true;
+    if (in_list(c[i].text, kQuarantineCounters)) return true;
+  }
+  return false;
+}
+
+void add_finding(std::vector<Finding>& out, const FileCtx& f, int line,
+                 std::string rule, std::string message) {
+  out.push_back(Finding{f.source->path, line, std::move(rule),
+                        std::move(message)});
+}
+
+/// After a container-type token (template args already skipped), capture
+/// the declared name: skips cv/ref/pointer tokens, rejects qualified
+/// names (`::iterator` and friends).
+[[nodiscard]] const Token* declared_name(const Code& c, std::size_t i) {
+  while (i < c.size() &&
+         (is_punct(c[i], "&") || is_punct(c[i], "&&") || is_punct(c[i], "*") ||
+          is_ident(c[i], "const")))
+    ++i;
+  if (i >= c.size() || c[i].kind != TokenKind::kIdentifier) return nullptr;
+  if (i + 1 < c.size() && is_punct(c[i + 1], "::")) return nullptr;
+  return &c[i];
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Shared analyses
+// ---------------------------------------------------------------------------
+
+std::set<std::string, std::less<>> collect_unordered_names(const Code& c) {
+  NameSet aliases;
+  // Pass 1: `using Alias = ... unordered_* ... ;`
+  for (std::size_t i = 0; i + 2 < c.size(); ++i) {
+    if (!is_ident(c[i], "using") || c[i + 1].kind != TokenKind::kIdentifier ||
+        !is_punct(c[i + 2], "="))
+      continue;
+    for (std::size_t j = i + 3; j < c.size() && !is_punct(c[j], ";"); ++j) {
+      if (c[j].kind == TokenKind::kIdentifier &&
+          in_list(c[j].text, kUnorderedTypes)) {
+        aliases.insert(std::string(c[i + 1].text));
+        break;
+      }
+    }
+  }
+  NameSet names = aliases;
+  // Pass 2: declarations `unordered_map<K, V> name` (members, locals,
+  // params, and functions returning unordered containers alike).
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    if (c[i].kind != TokenKind::kIdentifier) continue;
+    const bool is_alias = aliases.contains(c[i].text);
+    if (!is_alias && !in_list(c[i].text, kUnorderedTypes)) continue;
+    std::size_t j = i + 1;
+    if (j < c.size() && is_punct(c[j], "<")) j = skip_angles(c, j);
+    if (const Token* name = declared_name(c, j))
+      names.insert(std::string(name->text));
+  }
+  return names;
+}
+
+std::set<std::string, std::less<>> collect_ordered_names(const Code& c) {
+  NameSet names;
+  for (std::size_t i = 2; i < c.size(); ++i) {
+    // Require std:: qualification: `map`/`set` alone are everyday words.
+    if (c[i].kind != TokenKind::kIdentifier ||
+        !in_list(c[i].text, kOrderedTypes) || !is_punct(c[i - 1], "::") ||
+        !is_ident(c[i - 2], "std"))
+      continue;
+    std::size_t j = i + 1;
+    if (j < c.size() && is_punct(c[j], "<")) j = skip_angles(c, j);
+    if (const Token* name = declared_name(c, j))
+      names.insert(std::string(name->text));
+  }
+  return names;
+}
+
+std::vector<IncludeLine> quoted_includes(const FileCtx& f) {
+  std::vector<IncludeLine> out;
+  for (const Token& d : f.directives) {
+    std::string_view text = d.text;
+    const std::size_t inc = text.find("include");
+    if (inc == std::string_view::npos) continue;
+    const std::size_t open = text.find('"', inc);
+    if (open == std::string_view::npos) continue;
+    const std::size_t close = text.find('"', open + 1);
+    if (close == std::string_view::npos) continue;
+    out.push_back(IncludeLine{
+        std::string(text.substr(open + 1, close - open - 1)), d.line});
+  }
+  return out;
+}
+
+std::set<std::string, std::less<>> collect_provided_names(const FileCtx& f) {
+  NameSet names;
+  for (const Token& d : f.directives) {
+    // `#define NAME ...` (and function-like macros).
+    std::string_view text = d.text;
+    const std::size_t def = text.find("define");
+    if (def == std::string_view::npos || text.find('#') > def) continue;
+    std::size_t i = def + 6;
+    while (i < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[i])) != 0)
+      ++i;
+    std::size_t j = i;
+    while (j < text.size() &&
+           (std::isalnum(static_cast<unsigned char>(text[j])) != 0 ||
+            text[j] == '_'))
+      ++j;
+    if (j > i) names.insert(std::string(text.substr(i, j - i)));
+  }
+
+  const Code& c = f.code;
+  std::size_t i = 0;
+  while (i < c.size()) {
+    const Token& t = c[i];
+    if (is_ident(t, "namespace")) {
+      // Transparent scope: skip to the `{` (or `;` for aliases), then
+      // keep walking inside.
+      while (i < c.size() && !is_punct(c[i], "{") && !is_punct(c[i], ";"))
+        ++i;
+      ++i;
+      continue;
+    }
+    if (is_ident(t, "template")) {
+      ++i;
+      if (i < c.size() && is_punct(c[i], "<")) i = skip_angles(c, i);
+      continue;
+    }
+    if (is_ident(t, "using")) {
+      if (i + 2 < c.size() && c[i + 1].kind == TokenKind::kIdentifier &&
+          is_punct(c[i + 2], "="))
+        names.insert(std::string(c[i + 1].text));
+      while (i < c.size() && !is_punct(c[i], ";")) ++i;
+      continue;
+    }
+    if (is_ident(t, "typedef")) {
+      std::size_t last_ident = i;
+      while (i < c.size() && !is_punct(c[i], ";")) {
+        if (c[i].kind == TokenKind::kIdentifier) last_ident = i;
+        ++i;
+      }
+      names.insert(std::string(c[last_ident].text));
+      continue;
+    }
+    if (is_ident(t, "class") || is_ident(t, "struct") ||
+        is_ident(t, "union") || is_ident(t, "enum")) {
+      std::size_t j = i + 1;
+      if (j < c.size() && is_ident(t, "enum") &&
+          (is_ident(c[j], "class") || is_ident(c[j], "struct")))
+        ++j;
+      // Skip [[attributes]] and annotation macros (WS_CAPABILITY(...)).
+      for (;;) {
+        if (j + 1 < c.size() && is_punct(c[j], "[") && is_punct(c[j + 1], "[")) {
+          while (j < c.size() && !is_punct(c[j], "]")) ++j;
+          while (j < c.size() && is_punct(c[j], "]")) ++j;
+          continue;
+        }
+        if (j + 1 < c.size() && c[j].kind == TokenKind::kIdentifier &&
+            is_punct(c[j + 1], "(")) {
+          j = skip_balanced(c, j + 1, "(", ")");
+          continue;
+        }
+        break;
+      }
+      if (j < c.size() && c[j].kind == TokenKind::kIdentifier)
+        names.insert(std::string(c[j].text));
+      // Opaque body: the outer name is the referencable one.
+      while (j < c.size() && !is_punct(c[j], "{") && !is_punct(c[j], ";")) ++j;
+      i = j < c.size() && is_punct(c[j], "{") ? skip_balanced(c, j, "{", "}")
+                                              : j + 1;
+      continue;
+    }
+    if (is_punct(t, "(")) {
+      if (i > 0 && c[i - 1].kind == TokenKind::kIdentifier)
+        names.insert(std::string(c[i - 1].text));
+      i = skip_balanced(c, i, "(", ")");
+      continue;
+    }
+    if (is_punct(t, "{")) {
+      if (i > 0 && c[i - 1].kind == TokenKind::kIdentifier)
+        names.insert(std::string(c[i - 1].text));
+      i = skip_balanced(c, i, "{", "}");
+      continue;
+    }
+    if (is_punct(t, "=")) {
+      if (i > 0 && c[i - 1].kind == TokenKind::kIdentifier)
+        names.insert(std::string(c[i - 1].text));
+      ++i;
+      continue;
+    }
+    ++i;
+  }
+  return names;
+}
+
+// ---------------------------------------------------------------------------
+// wallclock
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::array<std::string_view, 8> kWallclockCalls = {
+    "time",      "clock",  "gettimeofday", "localtime",
+    "localtime_r", "gmtime", "mktime",       "ctime"};
+
+}  // namespace
+
+void check_wallclock(const FileCtx& f, std::vector<Finding>& out) {
+  const Code& c = f.code;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    if (c[i].kind != TokenKind::kIdentifier) continue;
+    // std::chrono::system_clock::now() — ambient calendar time.
+    if (c[i].text == "system_clock" && i + 4 < c.size() &&
+        is_punct(c[i + 1], "::") && is_ident(c[i + 2], "now") &&
+        is_punct(c[i + 3], "(") && is_punct(c[i + 4], ")")) {
+      add_finding(out, f, c[i].line, "wallclock",
+                  "std::chrono::system_clock::now() reads ambient wall-clock "
+                  "time; results must be a function of the trace and seeds "
+                  "(use record timestamps or steady_clock for durations)");
+      continue;
+    }
+    if (!in_list(c[i].text, kWallclockCalls)) continue;
+    if (i + 1 >= c.size() || !is_punct(c[i + 1], "(")) continue;
+    if (i > 0 && (is_punct(c[i - 1], ".") || is_punct(c[i - 1], "->")))
+      continue;  // member call on some project type
+    if (i > 1 && is_punct(c[i - 1], "::") && !is_ident(c[i - 2], "std"))
+      continue;  // qualified into a non-std namespace
+    add_finding(out, f, c[i].line, "wallclock",
+                "call to '" + std::string(c[i].text) +
+                    "(' reads ambient wall-clock time, which breaks run-to-"
+                    "run reproducibility");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ambient-rand
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::array<std::string_view, 12> kRandEngines = {
+    "random_device", "mt19937",        "mt19937_64",
+    "minstd_rand",   "minstd_rand0",   "default_random_engine",
+    "ranlux24",      "ranlux48",       "knuth_b",
+    "ranlux24_base", "ranlux48_base",  "random_shuffle"};
+
+constexpr std::array<std::string_view, 4> kRandCalls = {"rand", "srand",
+                                                        "drand48", "lrand48"};
+
+}  // namespace
+
+void check_ambient_rand(const FileCtx& f, std::vector<Finding>& out) {
+  const Code& c = f.code;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    if (c[i].kind != TokenKind::kIdentifier) continue;
+    const std::string_view id = c[i].text;
+    if (in_list(id, kRandCalls)) {
+      if (i + 1 >= c.size() || !is_punct(c[i + 1], "(")) continue;
+      if (i > 0 && (is_punct(c[i - 1], ".") || is_punct(c[i - 1], "->")))
+        continue;
+      add_finding(out, f, c[i].line, "ambient-rand",
+                  "'" + std::string(id) +
+                      "(' draws from ambient process-global randomness; use "
+                      "util::Pcg32 forks keyed on stable identifiers");
+      continue;
+    }
+    if (in_list(id, kRandEngines) || ends_with(id, "_distribution")) {
+      add_finding(
+          out, f, c[i].line, "ambient-rand",
+          "'" + std::string(id) +
+              "' is non-reproducible across platforms or runs "
+              "(std::*_distribution is implementation-defined; "
+              "std::random_device is ambient); use util::Pcg32");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// unordered-emit
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::array<std::string_view, 13> kEmissionIdents = {
+    "CsvWriter", "ostream",    "cout",   "cerr",       "printf",
+    "fprintf",   "fputs",      "puts",   "FigureData", "Series",
+    "StudyReport", "LiveSnapshot", "snprintf"};
+
+[[nodiscard]] bool is_emission_marker(const Token& t) {
+  if (t.kind != TokenKind::kIdentifier) return false;
+  return in_list(t.text, kEmissionIdents) || ends_with(t.text, "Result") ||
+         contains(t.text, "markdown") || contains(t.text, "Markdown");
+}
+
+[[nodiscard]] bool is_sort_ident(const Token& t) {
+  return t.kind == TokenKind::kIdentifier &&
+         (t.text == "sort" || t.text == "stable_sort" ||
+          t.text == "nth_element" || t.text == "partial_sort");
+}
+
+/// Innermost enclosing open-brace index for every token (-1 when at
+/// namespace/class scope), plus the match for each brace.
+struct BraceInfo {
+  std::vector<std::ptrdiff_t> enclosing;  // per token
+  std::vector<std::ptrdiff_t> match;      // open -> close, close -> open
+};
+
+[[nodiscard]] BraceInfo analyze_braces(const Code& c) {
+  BraceInfo info;
+  info.enclosing.assign(c.size(), -1);
+  info.match.assign(c.size(), -1);
+  std::vector<std::size_t> stack;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    info.enclosing[i] =
+        stack.empty() ? -1 : static_cast<std::ptrdiff_t>(stack.back());
+    if (is_punct(c[i], "{")) {
+      stack.push_back(i);
+    } else if (is_punct(c[i], "}") && !stack.empty()) {
+      const std::size_t open = stack.back();
+      stack.pop_back();
+      info.match[open] = static_cast<std::ptrdiff_t>(i);
+      info.match[i] = static_cast<std::ptrdiff_t>(open);
+    }
+  }
+  return info;
+}
+
+/// A `{` opens a function-ish body when the tokens right before it walk
+/// back to a `)` through declarator trivia (const, noexcept, trailing
+/// return types, ctor init lists are already `)`-terminated).
+[[nodiscard]] bool is_function_brace(const Code& c, std::size_t open) {
+  std::size_t budget = 24;
+  std::size_t i = open;
+  while (i > 0 && budget-- > 0) {
+    --i;
+    const Token& t = c[i];
+    if (is_punct(t, ")")) return true;
+    const bool trivia =
+        is_ident(t, "const") || is_ident(t, "noexcept") ||
+        is_ident(t, "override") || is_ident(t, "final") ||
+        is_ident(t, "mutable") || is_punct(t, "->") || is_punct(t, "::") ||
+        is_punct(t, "<") || is_punct(t, ">") || is_punct(t, ">>") ||
+        is_punct(t, "&") || is_punct(t, "&&") || is_punct(t, "*") ||
+        is_punct(t, ",") || t.kind == TokenKind::kIdentifier ||
+        t.kind == TokenKind::kNumber;
+    if (!trivia) return false;
+  }
+  return false;
+}
+
+/// [begin, end] token span of the function definition containing token k:
+/// outermost function-ish brace plus its declarator/return type.
+struct Span {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  bool found = false;
+};
+
+[[nodiscard]] Span function_span(const Code& c, const BraceInfo& braces,
+                                 std::size_t k) {
+  std::ptrdiff_t best = -1;
+  for (std::ptrdiff_t open = braces.enclosing[k]; open >= 0;
+       open = braces.enclosing[static_cast<std::size_t>(open)]) {
+    if (is_function_brace(c, static_cast<std::size_t>(open))) best = open;
+  }
+  if (best < 0 || braces.match[static_cast<std::size_t>(best)] < 0)
+    return {};
+  // Walk back over the declarator to the previous statement boundary so
+  // the span includes the return type (e.g. `ActivityResult`).
+  std::size_t begin = static_cast<std::size_t>(best);
+  while (begin > 0) {
+    const Token& t = c[begin - 1];
+    if (is_punct(t, ";") || is_punct(t, "}") || is_punct(t, "{")) break;
+    --begin;
+  }
+  return Span{begin,
+              static_cast<std::size_t>(
+                  braces.match[static_cast<std::size_t>(best)]),
+              true};
+}
+
+}  // namespace
+
+void check_unordered_emit(const FileCtx& f, std::vector<Finding>& out) {
+  const Code& c = f.code;
+  if (f.unordered_names.empty()) return;
+  const BraceInfo braces = analyze_braces(c);
+
+  for (std::size_t i = 0; i + 1 < c.size(); ++i) {
+    if (!is_ident(c[i], "for") || !is_punct(c[i + 1], "(")) continue;
+    // Find the `:` of a range-for at paren depth 1 (skipping any C++20
+    // init-statement semicolons and structured-binding brackets).
+    int paren = 0;
+    int bracket = 0;
+    std::size_t colon = 0;
+    std::size_t close = 0;
+    for (std::size_t j = i + 1; j < c.size(); ++j) {
+      if (is_punct(c[j], "(")) ++paren;
+      if (is_punct(c[j], ")") && --paren == 0) {
+        close = j;
+        break;
+      }
+      if (is_punct(c[j], "[")) ++bracket;
+      if (is_punct(c[j], "]")) --bracket;
+      if (is_punct(c[j], ";") && paren == 1) colon = 0;  // init-statement
+      if (colon == 0 && is_punct(c[j], ":") && paren == 1 && bracket == 0)
+        colon = j;
+    }
+    if (colon == 0 || close == 0) continue;  // classic for / malformed
+
+    // Does the range expression name an unordered container?
+    std::string_view hit;
+    for (std::size_t j = colon + 1; j < close; ++j) {
+      if (c[j].kind != TokenKind::kIdentifier) continue;
+      if (f.ordered_names.contains(c[j].text)) continue;  // local shadow
+      if (f.unordered_names.contains(c[j].text)) {
+        hit = c[j].text;
+        break;
+      }
+    }
+    if (hit.empty()) continue;
+
+    const Span span = function_span(c, braces, i);
+    if (!span.found) continue;
+    bool emission = false;
+    for (std::size_t j = span.begin; j <= span.end; ++j)
+      if (is_emission_marker(c[j])) {
+        emission = true;
+        break;
+      }
+    if (!emission) continue;
+    bool sorted = false;
+    for (std::size_t j = i; j <= span.end; ++j)
+      if (is_sort_ident(c[j])) {
+        sorted = true;
+        break;
+      }
+    if (sorted) continue;
+    add_finding(out, f, c[i].line, "unordered-emit",
+                "iteration over unordered container '" + std::string(hit) +
+                    "' feeds report/CSV/markdown emission without an "
+                    "intervening sort; hash order is not part of the "
+                    "determinism contract");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// quarantine-pairing
+// ---------------------------------------------------------------------------
+
+void check_quarantine_pairing(const FileCtx& f, std::vector<Finding>& out) {
+  const Code& c = f.code;
+  for (std::size_t i = 0; i + 1 < c.size(); ++i) {
+    // catch (... ParseError ...) { ... } must account or rethrow.
+    if (is_ident(c[i], "catch") && is_punct(c[i + 1], "(")) {
+      const std::size_t close = skip_balanced(c, i + 1, "(", ")");
+      bool parse_error = false;
+      for (std::size_t j = i + 2; j + 1 < close; ++j)
+        if (c[j].kind == TokenKind::kIdentifier &&
+            contains(c[j].text, "ParseError"))
+          parse_error = true;
+      if (!parse_error || close >= c.size() || !is_punct(c[close], "{"))
+        continue;
+      const std::size_t body_end = skip_balanced(c, close, "{", "}");
+      bool ok = mentions_quarantine(c, close, body_end);
+      for (std::size_t j = close; j < body_end && !ok; ++j)
+        if (is_ident(c[j], "throw")) ok = true;
+      if (!ok)
+        add_finding(out, f, c[i].line, "quarantine-pairing",
+                    "catch of ParseError neither updates quarantine "
+                    "accounting nor rethrows; skipped input must be counted "
+                    "(trace::QuarantineStats)");
+      continue;
+    }
+    // A *_lenient reader definition must account in its own body.
+    if (c[i].kind == TokenKind::kIdentifier && contains(c[i].text, "lenient")) {
+      std::size_t j = i + 1;
+      if (j < c.size() && is_punct(c[j], "<")) j = skip_angles(c, j);
+      if (j >= c.size() || !is_punct(c[j], "(")) continue;
+      j = skip_balanced(c, j, "(", ")");
+      while (j < c.size() &&
+             (is_ident(c[j], "const") || is_ident(c[j], "noexcept")))
+        ++j;
+      if (j >= c.size() || !is_punct(c[j], "{")) continue;  // decl or call
+      const std::size_t body_end = skip_balanced(c, j, "{", "}");
+      if (!mentions_quarantine(c, j, body_end))
+        add_finding(out, f, c[i].line, "quarantine-pairing",
+                    "lenient reader '" + std::string(c[i].text) +
+                        "' has no quarantine accounting; every skipped "
+                        "record or early return must increment a "
+                        "QuarantineStats counter");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// header-guard
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// First directive word after '#', whitespace-tolerant (`#  pragma`).
+[[nodiscard]] std::string_view directive_word(std::string_view text) {
+  std::size_t i = text.find('#');
+  if (i == std::string_view::npos) return {};
+  ++i;
+  while (i < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[i])) != 0)
+    ++i;
+  std::size_t j = i;
+  while (j < text.size() &&
+         std::isalpha(static_cast<unsigned char>(text[j])) != 0)
+    ++j;
+  return text.substr(i, j - i);
+}
+
+}  // namespace
+
+void check_header_guard(const FileCtx& f, std::vector<Finding>& out) {
+  if (!ends_with(f.source->path, ".h")) return;
+  const Token* first = nullptr;
+  const Token* second = nullptr;
+  for (const Token& t : f.tokens) {
+    if (t.kind == TokenKind::kComment) continue;
+    if (first == nullptr) {
+      first = &t;
+    } else {
+      second = &t;
+      break;
+    }
+  }
+  if (first == nullptr) return;  // empty header
+  if (first->kind == TokenKind::kDirective) {
+    const std::string_view word = directive_word(first->text);
+    if (word == "pragma" && contains(first->text, "once")) return;
+    if (word == "ifndef" && second != nullptr &&
+        second->kind == TokenKind::kDirective &&
+        directive_word(second->text) == "define")
+      return;
+  }
+  add_finding(out, f, first->line, "header-guard",
+              "header does not start with '#pragma once' (or a classic "
+              "include guard)");
+}
+
+// ---------------------------------------------------------------------------
+// include-hygiene
+// ---------------------------------------------------------------------------
+
+namespace {
+
+[[nodiscard]] std::string_view path_stem(std::string_view path) {
+  const std::size_t slash = path.rfind('/');
+  if (slash != std::string_view::npos) path = path.substr(slash + 1);
+  const std::size_t dot = path.rfind('.');
+  return dot == std::string_view::npos ? path : path.substr(0, dot);
+}
+
+}  // namespace
+
+void check_include_hygiene(const FileCtx& f, const ProvidedLookup& lookup,
+                           std::vector<Finding>& out) {
+  NameSet used;
+  for (const Token& t : f.code)
+    if (t.kind == TokenKind::kIdentifier) used.insert(std::string(t.text));
+  // Macros referenced from other preprocessor lines count as uses.
+  for (const Token& d : f.directives) {
+    std::string_view text = d.text;
+    std::size_t i = 0;
+    while (i < text.size()) {
+      if (std::isalpha(static_cast<unsigned char>(text[i])) != 0 ||
+          text[i] == '_') {
+        std::size_t j = i;
+        while (j < text.size() &&
+               (std::isalnum(static_cast<unsigned char>(text[j])) != 0 ||
+                text[j] == '_'))
+          ++j;
+        used.insert(std::string(text.substr(i, j - i)));
+        i = j;
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  for (const IncludeLine& inc : quoted_includes(f)) {
+    if (path_stem(inc.path) == path_stem(f.source->path))
+      continue;  // a .cpp including its interface header
+    const NameSet* provided = lookup(inc.path);
+    if (provided == nullptr || provided->empty()) continue;
+    bool referenced = false;
+    for (const std::string& name : *provided)
+      if (used.contains(name)) {
+        referenced = true;
+        break;
+      }
+    if (!referenced)
+      add_finding(out, f, inc.line, "include-hygiene",
+                  "include \"" + inc.path +
+                      "\" is unused: nothing this header declares is "
+                      "referenced here");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// pod-init
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::array<std::string_view, 26> kScalarTypes = {
+    "bool",      "char",     "wchar_t",  "short",     "int",      "long",
+    "unsigned",  "signed",   "float",    "double",    "size_t",   "ptrdiff_t",
+    "int8_t",    "int16_t",  "int32_t",  "int64_t",   "uint8_t",  "uint16_t",
+    "uint32_t",  "uint64_t", "intptr_t", "uintptr_t", "SimTime",  "UserId",
+    "Tac",       "SectorId"};
+
+constexpr std::array<std::string_view, 9> kMemberSkipKeywords = {
+    "using",  "friend", "static", "typedef", "template",
+    "struct", "class",  "enum",   "union"};
+
+}  // namespace
+
+void check_pod_init(const FileCtx& f, std::vector<Finding>& out) {
+  const std::string& path = f.source->path;
+  if (!contains(path, "trace/") && !contains(path, "live/")) return;
+  const Code& c = f.code;
+  for (std::size_t i = 0; i + 1 < c.size(); ++i) {
+    if (!is_ident(c[i], "struct") && !is_ident(c[i], "class")) continue;
+    if (i > 0 && is_ident(c[i - 1], "enum")) continue;
+    std::size_t j = i + 1;
+    while (j + 1 < c.size() && c[j].kind == TokenKind::kIdentifier &&
+           is_punct(c[j + 1], "("))
+      j = skip_balanced(c, j + 1, "(", ")");  // annotation macro
+    if (j >= c.size() || c[j].kind != TokenKind::kIdentifier) continue;
+    ++j;
+    while (j < c.size() && is_ident(c[j], "final")) ++j;
+    if (j < c.size() && is_punct(c[j], ":"))  // base list
+      while (j < c.size() && !is_punct(c[j], "{") && !is_punct(c[j], ";")) ++j;
+    if (j >= c.size() || !is_punct(c[j], "{")) continue;  // fwd decl
+    const std::size_t body_end = skip_balanced(c, j, "{", "}") - 1;
+
+    // Member declarations at depth 1 of this body.
+    std::size_t k = j + 1;
+    while (k < body_end) {
+      // Access labels.
+      if ((is_ident(c[k], "public") || is_ident(c[k], "private") ||
+           is_ident(c[k], "protected")) &&
+          k + 1 < body_end && is_punct(c[k + 1], ":")) {
+        k += 2;
+        continue;
+      }
+      // Collect one declaration up to its ';' at this depth.
+      std::vector<std::size_t> decl;
+      bool has_paren = false;
+      bool has_init = false;
+      bool skip = false;
+      while (k < body_end && !is_punct(c[k], ";")) {
+        if (is_punct(c[k], "{")) {
+          has_init = true;  // brace initializer (or a body we skip whole)
+          k = skip_balanced(c, k, "{", "}");
+          continue;
+        }
+        if (is_punct(c[k], "(")) {
+          has_paren = true;
+          k = skip_balanced(c, k, "(", ")");
+          continue;
+        }
+        if (is_punct(c[k], "<")) {
+          k = skip_angles(c, k);  // template args never type the member
+          continue;
+        }
+        if (is_punct(c[k], "=")) has_init = true;
+        if (c[k].kind == TokenKind::kIdentifier &&
+            in_list(c[k].text, kMemberSkipKeywords))
+          skip = true;
+        decl.push_back(k);
+        ++k;
+      }
+      ++k;  // past ';'
+      if (skip || has_paren || has_init || decl.size() < 2) continue;
+      bool scalar = false;
+      for (std::size_t a = 0; a + 1 < decl.size(); ++a) {
+        const Token& t = c[decl[a]];
+        if (is_punct(t, "*") ||
+            (t.kind == TokenKind::kIdentifier &&
+             in_list(t.text, kScalarTypes)))
+          scalar = true;
+        if (is_punct(t, "&") || is_punct(t, "&&")) scalar = false;
+      }
+      if (!scalar) continue;
+      const Token& name = c[decl.back()];
+      if (name.kind != TokenKind::kIdentifier) continue;
+      add_finding(out, f, name.line, "pod-init",
+                  "scalar field '" + std::string(name.text) +
+                      "' has no default initializer; uninitialized event "
+                      "fields leak indeterminate bytes into snapshots");
+    }
+    i = body_end;
+  }
+}
+
+}  // namespace wearscope::lint

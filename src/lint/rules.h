@@ -1,0 +1,74 @@
+// Internal interface between the lint driver (linter.cpp) and the rule
+// implementations (rules.cpp).  Everything here operates on token streams;
+// nothing touches the filesystem, so fixture tests can exercise each rule
+// with in-memory sources.
+//
+// Ordered std:: containers only in this module: the linter reports in
+// sorted order and must itself pass its own unordered-emit rule.
+#pragma once
+
+#include <functional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/lexer.h"
+#include "lint/linter.h"
+
+namespace wearscope::lint {
+
+/// Everything the rules know about one file, precomputed by the driver.
+struct FileCtx {
+  const Source* source = nullptr;
+  std::vector<Token> tokens;      ///< Full stream (comments, directives).
+  std::vector<Token> code;        ///< Code tokens only.
+  std::vector<Token> directives;  ///< Preprocessor lines only.
+
+  /// Names declared with std::unordered_* types, unioned over this file
+  /// and its transitive project includes.
+  std::set<std::string, std::less<>> unordered_names;
+  /// Names declared in this file with ordered/sequence std:: types;
+  /// shadows an identically-named unordered declaration from a header.
+  std::set<std::string, std::less<>> ordered_names;
+};
+
+/// include path -> names that header provides, or null when unresolvable.
+using ProvidedLookup =
+    std::function<const std::set<std::string, std::less<>>*(std::string_view)>;
+
+// --- Rules (ids as reported in findings) -------------------------------
+void check_wallclock(const FileCtx& f, std::vector<Finding>& out);
+void check_ambient_rand(const FileCtx& f, std::vector<Finding>& out);
+void check_unordered_emit(const FileCtx& f, std::vector<Finding>& out);
+void check_quarantine_pairing(const FileCtx& f, std::vector<Finding>& out);
+void check_header_guard(const FileCtx& f, std::vector<Finding>& out);
+void check_include_hygiene(const FileCtx& f, const ProvidedLookup& lookup,
+                           std::vector<Finding>& out);
+void check_pod_init(const FileCtx& f, std::vector<Finding>& out);
+
+// --- Token-stream analyses shared by the driver ------------------------
+
+/// Names declared with (or aliased to) std::unordered_* container types,
+/// including functions returning them.
+[[nodiscard]] std::set<std::string, std::less<>> collect_unordered_names(
+    const std::vector<Token>& code);
+
+/// Names declared with ordered std:: container types (std::-qualified).
+[[nodiscard]] std::set<std::string, std::less<>> collect_ordered_names(
+    const std::vector<Token>& code);
+
+/// Namespace-scope names a header provides: type/alias/macro/function/
+/// constant names.  Class and enum bodies are opaque (the outer name is
+/// what an includer must reference anyway).
+[[nodiscard]] std::set<std::string, std::less<>> collect_provided_names(
+    const FileCtx& f);
+
+/// Quoted `#include "..."` paths, in file order (with their lines).
+struct IncludeLine {
+  std::string path;
+  int line = 0;
+};
+[[nodiscard]] std::vector<IncludeLine> quoted_includes(const FileCtx& f);
+
+}  // namespace wearscope::lint

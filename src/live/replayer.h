@@ -79,7 +79,7 @@ class FeedReplayer {
   ReplayReport replay(LiveEngine& engine) const;
 
  private:
-  const trace::TraceStore* store_;
+  const trace::TraceStore* store_ = nullptr;
   ReplayOptions opt_;
 };
 

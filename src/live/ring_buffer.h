@@ -20,13 +20,13 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "util/error.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace wearscope::live {
 
@@ -68,7 +68,7 @@ class RingBuffer {
 
   /// Blocks while the ring is full; returns false (and drops `value`) once
   /// the ring is closed.
-  bool push(T value) {
+  bool push(T value) WS_EXCLUDES(wait_mutex_) {
     const std::size_t head = head_.load(std::memory_order_relaxed);
     for (;;) {
       if (closed_.load(std::memory_order_acquire)) {
@@ -77,9 +77,9 @@ class RingBuffer {
       }
       if (head - tail_.load(std::memory_order_acquire) < slots_.size()) break;
       producer_waits_.fetch_add(1, std::memory_order_relaxed);
-      std::unique_lock lock(wait_mutex_);
+      util::MutexLock lock(wait_mutex_);
       producer_waiting_.store(true, std::memory_order_seq_cst);
-      not_full_.wait(lock, [&] {
+      not_full_.wait(wait_mutex_, [&] {
         return closed_.load(std::memory_order_seq_cst) ||
                head - tail_.load(std::memory_order_seq_cst) < slots_.size();
       });
@@ -94,7 +94,7 @@ class RingBuffer {
 
   /// Blocks while the ring is empty; returns false only when the ring is
   /// closed *and* fully drained.
-  bool pop(T& out) {
+  bool pop(T& out) WS_EXCLUDES(wait_mutex_) {
     const std::size_t tail = tail_.load(std::memory_order_relaxed);
     for (;;) {
       if (head_.load(std::memory_order_acquire) != tail) break;
@@ -105,9 +105,9 @@ class RingBuffer {
         break;
       }
       consumer_waits_.fetch_add(1, std::memory_order_relaxed);
-      std::unique_lock lock(wait_mutex_);
+      util::MutexLock lock(wait_mutex_);
       consumer_waiting_.store(true, std::memory_order_seq_cst);
-      not_empty_.wait(lock, [&] {
+      not_empty_.wait(wait_mutex_, [&] {
         return closed_.load(std::memory_order_seq_cst) ||
                head_.load(std::memory_order_seq_cst) != tail;
       });
@@ -123,9 +123,9 @@ class RingBuffer {
   /// Stops the stream: subsequent push() calls fail fast, blocked callers
   /// on either side wake up, pop() drains the remaining elements.
   /// Idempotent; callable from any thread.
-  void close() {
+  void close() WS_EXCLUDES(wait_mutex_) {
     {
-      std::lock_guard lock(wait_mutex_);
+      util::MutexLock lock(wait_mutex_);
       closed_.store(true, std::memory_order_seq_cst);
     }
     not_full_.notify_all();
@@ -161,12 +161,13 @@ class RingBuffer {
   /// Wakes the opposite side, but only when it advertised that it parked.
   /// The seq_cst flag load forms the second half of the store-buffering
   /// handshake described in the header comment.
-  void wake(std::atomic<bool>& waiting_flag, std::condition_variable& cv) {
+  void wake(std::atomic<bool>& waiting_flag, util::CondVar& cv)
+      WS_EXCLUDES(wait_mutex_) {
     if (waiting_flag.load(std::memory_order_seq_cst)) {
       // Taking the mutex orders this wakeup after the waiter either went
       // to sleep or re-checked its predicate — no notify can fall into
       // the gap between the two.
-      { std::lock_guard lock(wait_mutex_); }
+      { util::MutexLock lock(wait_mutex_); }
       cv.notify_one();
     }
   }
@@ -176,9 +177,9 @@ class RingBuffer {
   alignas(64) std::atomic<std::size_t> tail_{0};  ///< Next read position.
   std::atomic<bool> closed_{false};
 
-  std::mutex wait_mutex_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
+  util::Mutex wait_mutex_;
+  util::CondVar not_full_;
+  util::CondVar not_empty_;
   std::atomic<bool> producer_waiting_{false};
   std::atomic<bool> consumer_waiting_{false};
 

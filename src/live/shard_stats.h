@@ -81,9 +81,9 @@ class ShardStats {
   }
 
  private:
-  const core::DeviceClassifier* devices_;
-  const core::AppSignatureTable* signatures_;
-  util::SimTime usage_gap_s_;
+  const core::DeviceClassifier* devices_ = nullptr;
+  const core::AppSignatureTable* signatures_ = nullptr;
+  util::SimTime usage_gap_s_ = 0;
   std::uint64_t consumed_ = 0;
 
   core::StreamingAdoption adoption_;

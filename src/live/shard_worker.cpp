@@ -24,7 +24,7 @@ void ShardWorker::join() {
 
 void ShardWorker::run() {
   struct Visitor {
-    ShardWorker* self;
+    ShardWorker* self = nullptr;
     void operator()(const StampedProxy& p) {
       self->stats_.on_proxy(p.record, p.seq);
     }

@@ -33,10 +33,10 @@ class ShardWorker {
  private:
   void run();
 
-  std::size_t index_;
-  RingBuffer<LiveEvent>* ring_;
+  std::size_t index_ = 0;
+  RingBuffer<LiveEvent>* ring_ = nullptr;
   ShardStats stats_;
-  SnapshotCoordinator* coordinator_;
+  SnapshotCoordinator* coordinator_ = nullptr;
   std::thread thread_;
 };
 

@@ -13,7 +13,7 @@ SnapshotCoordinator::SnapshotCoordinator(
 }
 
 void SnapshotCoordinator::deposit(std::uint64_t epoch, ShardSnapshot snap) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::vector<ShardSnapshot>& parts = pending_[epoch];
   parts.push_back(std::move(snap));
   util::ensure(parts.size() <= shards_,
@@ -28,8 +28,8 @@ void SnapshotCoordinator::deposit(std::uint64_t epoch, ShardSnapshot snap) {
 }
 
 LiveSnapshot SnapshotCoordinator::wait_for(std::uint64_t epoch) {
-  std::unique_lock lock(mutex_);
-  assembled_.wait(lock, [&] { return completed_.contains(epoch); });
+  util::MutexLock lock(mutex_);
+  assembled_.wait(mutex_, [&] { return completed_.contains(epoch); });
   const auto it = completed_.find(epoch);
   LiveSnapshot snap = std::move(it->second);
   completed_.erase(it);
@@ -37,7 +37,7 @@ LiveSnapshot SnapshotCoordinator::wait_for(std::uint64_t epoch) {
 }
 
 std::optional<LiveSnapshot> SnapshotCoordinator::latest() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return latest_;
 }
 

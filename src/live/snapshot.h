@@ -10,10 +10,8 @@
 // how far individual shards had drained their rings when it was taken.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -23,6 +21,8 @@
 #include "live/ring_buffer.h"
 #include "live/shard_stats.h"
 #include "trace/quarantine.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace wearscope::live {
 
@@ -62,27 +62,32 @@ class SnapshotCoordinator {
 
   /// Adds one shard's contribution to `epoch`. The last deposit assembles
   /// the snapshot and wakes waiters.
-  void deposit(std::uint64_t epoch, ShardSnapshot snap);
+  void deposit(std::uint64_t epoch, ShardSnapshot snap) WS_EXCLUDES(mutex_);
 
   /// Blocks until `epoch` is fully assembled and returns it (consuming the
   /// stored copy; latest() keeps serving it afterwards).
-  [[nodiscard]] LiveSnapshot wait_for(std::uint64_t epoch);
+  [[nodiscard]] LiveSnapshot wait_for(std::uint64_t epoch)
+      WS_EXCLUDES(mutex_);
 
   /// Most recently assembled snapshot, if any.
-  [[nodiscard]] std::optional<LiveSnapshot> latest() const;
+  [[nodiscard]] std::optional<LiveSnapshot> latest() const
+      WS_EXCLUDES(mutex_);
 
  private:
+  /// Runs under mutex_ (from the last deposit of an epoch).
   [[nodiscard]] LiveSnapshot assemble(std::uint64_t epoch,
-                                      std::vector<ShardSnapshot>& parts) const;
+                                      std::vector<ShardSnapshot>& parts) const
+      WS_REQUIRES(mutex_);
 
-  std::size_t shards_;
-  const core::AppSignatureTable* signatures_;
+  std::size_t shards_ = 0;
+  const core::AppSignatureTable* signatures_ = nullptr;
 
-  mutable std::mutex mutex_;
-  std::condition_variable assembled_;
-  std::map<std::uint64_t, std::vector<ShardSnapshot>> pending_;
-  std::map<std::uint64_t, LiveSnapshot> completed_;
-  std::optional<LiveSnapshot> latest_;
+  mutable util::Mutex mutex_;
+  util::CondVar assembled_;
+  std::map<std::uint64_t, std::vector<ShardSnapshot>> pending_
+      WS_GUARDED_BY(mutex_);
+  std::map<std::uint64_t, LiveSnapshot> completed_ WS_GUARDED_BY(mutex_);
+  std::optional<LiveSnapshot> latest_ WS_GUARDED_BY(mutex_);
 };
 
 }  // namespace wearscope::live

@@ -15,8 +15,6 @@
 
 #include <vector>
 
-#include "appdb/app_catalog.h"
-#include "appdb/device_models.h"
 #include "simnet/config.h"
 #include "simnet/population.h"
 #include "trace/store.h"

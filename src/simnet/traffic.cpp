@@ -5,6 +5,7 @@
 
 #include "appdb/third_party.h"
 #include "appdb/traffic_profile.h"
+#include "simnet/diurnal.h"
 #include "util/error.h"
 
 namespace wearscope::simnet {

@@ -17,7 +17,6 @@
 
 #include "appdb/app_catalog.h"
 #include "simnet/config.h"
-#include "simnet/diurnal.h"
 #include "simnet/mobility.h"
 #include "simnet/population.h"
 #include "trace/records.h"

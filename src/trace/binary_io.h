@@ -15,7 +15,6 @@
 
 #include "trace/quarantine.h"
 #include "trace/records.h"
-#include "trace/store.h"
 
 namespace wearscope::trace {
 
@@ -38,7 +37,7 @@ class BinaryEncoder {
   void put_string(const std::string& s);
 
  private:
-  std::ostream* out_;
+  std::ostream* out_ = nullptr;
 };
 
 /// Low-level little-endian primitive decoder (exposed for tests).

@@ -21,7 +21,7 @@ class CsvLogWriter {
   void write(const Record& r);
 
  private:
-  std::ostream* out_;
+  std::ostream* out_ = nullptr;
 };
 
 /// Streaming CSV reader for one record type.
@@ -34,7 +34,7 @@ class CsvLogReader {
   bool next(Record& out);
 
  private:
-  std::istream* in_;
+  std::istream* in_ = nullptr;
 };
 
 /// Lenient read of one whole CSV log with skip-and-count quarantine

@@ -67,8 +67,8 @@ std::vector<Record> sanitize_log(std::vector<Record>&& in,
                                  const SanitizeOptions& opt,
                                  QuarantineStats& q, Validate validate) {
   struct Pending {
-    util::SimTime ts;
-    std::uint64_t seq;
+    util::SimTime ts = 0;
+    std::uint64_t seq = 0;
     Record rec;
   };
   // std::make_heap comparator: "later than" puts the earliest (ts, seq) at

@@ -1,0 +1,72 @@
+// Annotated synchronization primitives.
+//
+// std::mutex cannot carry Clang thread-safety attributes, so the project's
+// concurrent modules use these thin wrappers instead: util::Mutex is a
+// std::mutex that the analysis can track, util::MutexLock is the annotated
+// lock_guard, and util::CondVar is a condition variable that waits on a
+// util::Mutex directly (std::condition_variable_any treats it as a
+// BasicLockable).  All wrappers are zero-overhead: every method is a
+// single inlined forward to the std counterpart.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace wearscope::util {
+
+/// std::mutex with a capability annotation the analysis can follow.
+class WS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() WS_ACQUIRE() { m_.lock(); }
+  void unlock() WS_RELEASE() { m_.unlock(); }
+  bool try_lock() WS_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  std::mutex m_;
+};
+
+/// Scoped lock: acquires in the constructor, releases in the destructor.
+class WS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) WS_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() WS_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable that waits on util::Mutex.  wait() requires the
+/// mutex held (enforced by the analysis); the callee unlocks while parked
+/// and relocks before returning, exactly like std::condition_variable.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mutex) WS_REQUIRES(mutex) { cv_.wait(mutex); }
+
+  template <typename Predicate>
+  void wait(Mutex& mutex, Predicate pred) WS_REQUIRES(mutex) {
+    cv_.wait(mutex, std::move(pred));
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace wearscope::util

@@ -1,0 +1,62 @@
+// Clang thread-safety analysis annotations (-Wthread-safety).
+//
+// The macros expand to Clang's capability attributes when the compiler
+// supports them and to nothing otherwise (GCC builds see plain C++), so
+// annotated code carries its locking contract in the signature at zero
+// runtime cost:
+//
+//   util::Mutex mutex_;
+//   std::map<K, V> table_ WS_GUARDED_BY(mutex_);
+//   void rebuild() WS_REQUIRES(mutex_);
+//   void refresh() WS_EXCLUDES(mutex_);
+//
+// Under clang++ with -Wthread-safety (wired up by the top-level
+// CMakeLists.txt when WEARSCOPE_LINT is ON), touching `table_` without
+// holding `mutex_`, or calling rebuild() unlocked, is a compile error.
+// See src/util/sync.h for the annotated Mutex/MutexLock/CondVar wrappers
+// these attributes attach to.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define WS_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef WS_THREAD_ANNOTATION
+#define WS_THREAD_ANNOTATION(x)  // expands to nothing outside Clang
+#endif
+
+/// Marks a type as a lockable capability ("mutex" names it in diagnostics).
+#define WS_CAPABILITY(x) WS_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define WS_SCOPED_CAPABILITY WS_THREAD_ANNOTATION(scoped_lockable)
+
+/// Member may only be touched while holding the given mutex.
+#define WS_GUARDED_BY(x) WS_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointee may only be touched while holding the given mutex.
+#define WS_PT_GUARDED_BY(x) WS_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Caller must hold the given mutex(es) when invoking this function.
+#define WS_REQUIRES(...) WS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the mutex(es) and returns with them held.
+#define WS_ACQUIRE(...) WS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the mutex(es) the caller held.
+#define WS_RELEASE(...) WS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the mutex iff it returns the given value.
+#define WS_TRY_ACQUIRE(...) \
+  WS_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the given mutex(es) (deadlock guard).
+#define WS_EXCLUDES(...) WS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the given mutex.
+#define WS_RETURN_CAPABILITY(x) WS_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis inside one function body.
+#define WS_NO_THREAD_SAFETY_ANALYSIS \
+  WS_THREAD_ANNOTATION(no_thread_safety_analysis)

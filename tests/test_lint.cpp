@@ -1,0 +1,410 @@
+// Unit tests for wearscope::lint — every rule gets a positive fixture
+// (the defect is reported), a negative fixture (correct code is quiet)
+// and a suppression fixture (the allow comment silences it).  The final
+// test lints the shipped tree itself: the gate CI runs must hold here too.
+#include "lint/linter.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lint/lexer.h"
+
+namespace wearscope::lint {
+namespace {
+
+/// Lints one in-memory file (path defaults into the checked tree layout).
+std::vector<Finding> lint_one(const std::string& text,
+                              const std::string& path = "src/core/x.cpp") {
+  Project p;
+  p.add(Source{path, text});
+  return run_lint(p);
+}
+
+std::vector<std::string> rules_of(const std::vector<Finding>& findings) {
+  std::vector<std::string> out;
+  out.reserve(findings.size());
+  for (const Finding& f : findings) out.push_back(f.rule);
+  return out;
+}
+
+bool has_rule(const std::vector<Finding>& findings, const std::string& rule) {
+  const std::vector<std::string> rules = rules_of(findings);
+  return std::find(rules.begin(), rules.end(), rule) != rules.end();
+}
+
+// --- lexer ---------------------------------------------------------------
+
+TEST(LintLexer, TokenizesCoreShapes) {
+  const std::vector<Token> tokens =
+      lex("int x = 1'000; // note\nauto s = R\"(a \"b\" c)\";");
+  ASSERT_GE(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "int");
+  EXPECT_EQ(tokens[3].kind, TokenKind::kNumber);
+  EXPECT_EQ(tokens[3].text, "1'000");
+  const auto comment =
+      std::find_if(tokens.begin(), tokens.end(), [](const Token& t) {
+        return t.kind == TokenKind::kComment;
+      });
+  ASSERT_NE(comment, tokens.end());
+  EXPECT_EQ(comment->text, "// note");
+  const auto raw =
+      std::find_if(tokens.begin(), tokens.end(), [](const Token& t) {
+        return t.kind == TokenKind::kString;
+      });
+  ASSERT_NE(raw, tokens.end());
+  EXPECT_EQ(raw->text, "R\"(a \"b\" c)\"");
+  EXPECT_EQ(raw->line, 2);
+}
+
+TEST(LintLexer, JoinsDirectiveContinuations) {
+  const std::vector<Token> tokens = lex("#define M(x) \\\n  (x + 1)\nint y;");
+  ASSERT_FALSE(tokens.empty());
+  EXPECT_EQ(tokens[0].kind, TokenKind::kDirective);
+  EXPECT_NE(tokens[0].text.find("(x + 1)"), std::string_view::npos);
+  EXPECT_EQ(tokens[1].text, "int");
+  EXPECT_EQ(tokens[1].line, 3);
+}
+
+// --- wallclock -----------------------------------------------------------
+
+TEST(LintWallclock, FlagsAmbientTimeCalls) {
+  const auto f = lint_one("void g() { auto t = time(nullptr); }");
+  ASSERT_TRUE(has_rule(f, "wallclock"));
+  EXPECT_EQ(f[0].line, 1);
+}
+
+TEST(LintWallclock, FlagsSystemClockNow) {
+  EXPECT_TRUE(has_rule(
+      lint_one("void g() { auto t = std::chrono::system_clock::now(); }"),
+      "wallclock"));
+}
+
+TEST(LintWallclock, AllowsSteadyClockAndMemberCalls) {
+  EXPECT_FALSE(has_rule(
+      lint_one("void g() { auto t = std::chrono::steady_clock::now(); }"),
+      "wallclock"));
+  EXPECT_FALSE(
+      has_rule(lint_one("void g(Clock& c) { auto t = c.time(); }"),
+               "wallclock"));
+}
+
+TEST(LintWallclock, SuppressionComment) {
+  EXPECT_FALSE(has_rule(
+      lint_one("void g() {\n"
+               "  auto t = time(nullptr);  // wearscope-lint: allow(wallclock)\n"
+               "}"),
+      "wallclock"));
+  EXPECT_FALSE(has_rule(
+      lint_one("void g() {\n"
+               "  // wearscope-lint: allow(wallclock)\n"
+               "  auto t = time(nullptr);\n"
+               "}"),
+      "wallclock"));
+}
+
+// --- ambient-rand --------------------------------------------------------
+
+TEST(LintAmbientRand, FlagsRandFamilies) {
+  EXPECT_TRUE(has_rule(lint_one("int g() { return std::rand(); }"),
+                       "ambient-rand"));
+  EXPECT_TRUE(has_rule(lint_one("std::random_device rd;"), "ambient-rand"));
+  EXPECT_TRUE(has_rule(lint_one("std::mt19937 gen(42);"), "ambient-rand"));
+  EXPECT_TRUE(has_rule(
+      lint_one("std::uniform_int_distribution<int> d(0, 9);"),
+      "ambient-rand"));
+}
+
+TEST(LintAmbientRand, AllowsProjectRng) {
+  EXPECT_TRUE(
+      lint_one("void g(util::Pcg32& rng) { auto x = rng.next(); }").empty());
+}
+
+TEST(LintAmbientRand, AllowFileSuppression) {
+  EXPECT_FALSE(has_rule(
+      lint_one("// wearscope-lint: allow-file(ambient-rand)\n"
+               "std::mt19937 gen(42);\n"
+               "std::random_device rd;"),
+      "ambient-rand"));
+}
+
+// --- unordered-emit ------------------------------------------------------
+
+constexpr const char* kUnorderedEmitBad =
+    "ActivityResult summarize() {\n"
+    "  std::unordered_map<int, double> counts;\n"
+    "  ActivityResult res;\n"
+    "  for (const auto& [k, v] : counts) res.values.push_back(v);\n"
+    "  return res;\n"
+    "}\n";
+
+TEST(LintUnorderedEmit, FlagsHashOrderEmission) {
+  const auto f = lint_one(kUnorderedEmitBad);
+  ASSERT_TRUE(has_rule(f, "unordered-emit"));
+  EXPECT_EQ(f[0].line, 4);
+}
+
+TEST(LintUnorderedEmit, SortAfterLoopClears) {
+  EXPECT_FALSE(has_rule(
+      lint_one("ActivityResult summarize() {\n"
+               "  std::unordered_map<int, double> counts;\n"
+               "  ActivityResult res;\n"
+               "  for (const auto& [k, v] : counts) res.values.push_back(v);\n"
+               "  std::sort(res.values.begin(), res.values.end());\n"
+               "  return res;\n"
+               "}\n"),
+      "unordered-emit"));
+}
+
+TEST(LintUnorderedEmit, OrderedContainerQuiet) {
+  EXPECT_FALSE(has_rule(
+      lint_one("ActivityResult summarize() {\n"
+               "  std::map<int, double> counts;\n"
+               "  ActivityResult res;\n"
+               "  for (const auto& [k, v] : counts) res.values.push_back(v);\n"
+               "  return res;\n"
+               "}\n"),
+      "unordered-emit"));
+}
+
+TEST(LintUnorderedEmit, NoEmissionQuiet) {
+  // Pure aggregation (no Result/report/CSV in the function) is fine.
+  EXPECT_FALSE(has_rule(
+      lint_one("double total() {\n"
+               "  std::unordered_map<int, double> counts;\n"
+               "  double sum = 0.0;\n"
+               "  for (const auto& [k, v] : counts) sum += v;\n"
+               "  return sum;\n"
+               "}\n"),
+      "unordered-emit"));
+}
+
+TEST(LintUnorderedEmit, SeesContainerDeclaredInIncludedHeader) {
+  Project p;
+  p.add(Source{"src/core/tally.h",
+               "#pragma once\n#include <unordered_map>\n"
+               "struct Tally { std::unordered_map<int, double> cells; };\n"});
+  p.add(Source{"src/core/emit.cpp",
+               "#include \"core/tally.h\"\n"
+               "StudyReport render(const Tally& t) {\n"
+               "  StudyReport rep;\n"
+               "  for (const auto& [k, v] : t.cells) rep.add(k, v);\n"
+               "  return rep;\n"
+               "}\n"});
+  const auto findings = run_lint(p);
+  ASSERT_TRUE(has_rule(findings, "unordered-emit"));
+  EXPECT_EQ(findings[0].path, "src/core/emit.cpp");
+}
+
+TEST(LintUnorderedEmit, LocalOrderedShadowQuiet) {
+  // A local std::map named like a header's unordered member wins.
+  Project p;
+  p.add(Source{"src/core/tally.h",
+               "#pragma once\n#include <unordered_map>\n"
+               "struct Tally { std::unordered_map<int, double> cells; };\n"});
+  p.add(Source{"src/core/emit.cpp",
+               "#include \"core/tally.h\"\n"
+               "StudyReport render() {\n"
+               "  std::map<int, double> cells;\n"
+               "  StudyReport rep;\n"
+               "  for (const auto& [k, v] : cells) rep.add(k, v);\n"
+               "  return rep;\n"
+               "}\n"});
+  EXPECT_FALSE(has_rule(run_lint(p), "unordered-emit"));
+}
+
+// --- quarantine-pairing --------------------------------------------------
+
+TEST(LintQuarantine, FlagsSwallowedParseError) {
+  const auto f = lint_one(
+      "void read() {\n"
+      "  try { parse(); } catch (const util::ParseError&) { }\n"
+      "}\n",
+      "src/trace/reader.cpp");
+  EXPECT_TRUE(has_rule(f, "quarantine-pairing"));
+}
+
+TEST(LintQuarantine, AccountedOrRethrownQuiet) {
+  EXPECT_FALSE(has_rule(
+      lint_one("void read(QuarantineStats& q) {\n"
+               "  try { parse(); } catch (const util::ParseError&) {\n"
+               "    ++q.corrupt_rows;\n"
+               "  }\n"
+               "}\n",
+               "src/trace/reader.cpp"),
+      "quarantine-pairing"));
+  EXPECT_FALSE(has_rule(
+      lint_one("void read() {\n"
+               "  try { parse(); } catch (const util::ParseError& e) {\n"
+               "    throw;\n"
+               "  }\n"
+               "}\n",
+               "src/trace/reader.cpp"),
+      "quarantine-pairing"));
+}
+
+TEST(LintQuarantine, LenientReaderMustAccount) {
+  EXPECT_TRUE(has_rule(
+      lint_one("Log read_log_lenient(std::istream& in) {\n"
+               "  Log log;\n"
+               "  return log;\n"
+               "}\n",
+               "src/trace/reader.cpp"),
+      "quarantine-pairing"));
+  EXPECT_FALSE(has_rule(
+      lint_one("Log read_log_lenient(std::istream& in, QuarantineStats& q) {\n"
+               "  Log log;\n"
+               "  if (!in) { ++q.corrupt_files; return log; }\n"
+               "  return log;\n"
+               "}\n",
+               "src/trace/reader.cpp"),
+      "quarantine-pairing"));
+}
+
+// --- header-guard --------------------------------------------------------
+
+TEST(LintHeaderGuard, FlagsUnguardedHeader) {
+  EXPECT_TRUE(has_rule(lint_one("int f();\n", "src/core/api.h"),
+                       "header-guard"));
+}
+
+TEST(LintHeaderGuard, AcceptsPragmaOnceAndClassicGuard) {
+  EXPECT_FALSE(has_rule(
+      lint_one("// doc comment first\n#pragma once\nint f();\n",
+               "src/core/api.h"),
+      "header-guard"));
+  EXPECT_FALSE(has_rule(
+      lint_one("#ifndef WS_API_H\n#define WS_API_H\nint f();\n#endif\n",
+               "src/core/api.h"),
+      "header-guard"));
+}
+
+TEST(LintHeaderGuard, CppFilesExempt) {
+  EXPECT_FALSE(has_rule(lint_one("int f() { return 1; }\n"), "header-guard"));
+}
+
+// --- include-hygiene -----------------------------------------------------
+
+TEST(LintIncludeHygiene, FlagsUnusedProjectInclude) {
+  Project p;
+  p.add(Source{"src/util/widget.h", "#pragma once\nstruct Widget {};\n"});
+  p.add(Source{"src/core/user.cpp",
+               "#include \"util/widget.h\"\nint g() { return 2; }\n"});
+  const auto findings = run_lint(p);
+  ASSERT_TRUE(has_rule(findings, "include-hygiene"));
+  EXPECT_EQ(findings[0].path, "src/core/user.cpp");
+}
+
+TEST(LintIncludeHygiene, ReferencedIncludeQuiet) {
+  Project p;
+  p.add(Source{"src/util/widget.h", "#pragma once\nstruct Widget {};\n"});
+  p.add(Source{"src/core/user.cpp",
+               "#include \"util/widget.h\"\nWidget g() { return {}; }\n"});
+  EXPECT_FALSE(has_rule(run_lint(p), "include-hygiene"));
+}
+
+TEST(LintIncludeHygiene, OwnHeaderExempt) {
+  Project p;
+  p.add(Source{"src/core/user.h", "#pragma once\nint g();\n"});
+  p.add(Source{"src/core/user.cpp",
+               "#include \"core/user.h\"\nint unrelated() { return 2; }\n"});
+  EXPECT_FALSE(has_rule(run_lint(p), "include-hygiene"));
+}
+
+TEST(LintIncludeHygiene, MacroUseCounts) {
+  Project p;
+  p.add(Source{"src/util/macros.h", "#pragma once\n#define WS_FOO(x) (x)\n"});
+  p.add(Source{"src/core/user.cpp",
+               "#include \"util/macros.h\"\nint g() { return WS_FOO(2); }\n"});
+  EXPECT_FALSE(has_rule(run_lint(p), "include-hygiene"));
+}
+
+// --- pod-init ------------------------------------------------------------
+
+TEST(LintPodInit, FlagsBareScalarFieldInEventTypes) {
+  const auto f = lint_one(
+      "#pragma once\n"
+      "struct Event {\n  std::uint64_t seq;\n  double bytes = 0.0;\n};\n",
+      "src/live/event_extra.h");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "pod-init");
+  EXPECT_EQ(f[0].line, 3);
+  EXPECT_NE(f[0].message.find("seq"), std::string::npos);
+}
+
+TEST(LintPodInit, InitializedAndNonScalarQuiet) {
+  EXPECT_FALSE(has_rule(
+      lint_one("struct Event {\n"
+               "  std::uint64_t seq = 0;\n"
+               "  std::string name;\n"
+               "  std::vector<int> xs;\n"
+               "};\n",
+               "src/live/event_extra.h"),
+      "pod-init"));
+}
+
+TEST(LintPodInit, TemplateArgumentsDoNotTypeTheMember) {
+  // A map *of* scalars is not a scalar field (regression fixture).
+  EXPECT_FALSE(has_rule(
+      lint_one("struct Index {\n"
+               "  std::unordered_map<Tac, std::size_t> by_tac;\n"
+               "};\n",
+               "src/trace/index_extra.h"),
+      "pod-init"));
+}
+
+TEST(LintPodInit, OutsideTraceAndLiveQuiet) {
+  EXPECT_FALSE(has_rule(
+      lint_one("struct Row {\n  int x;\n};\n", "src/core/row.h"),
+      "pod-init"));
+}
+
+// --- driver --------------------------------------------------------------
+
+TEST(LintDriver, OnlyRulesFilter) {
+  Options opt;
+  opt.only_rules = {"header-guard"};
+  Project p;
+  p.add(Source{"src/core/api.h", "std::mt19937 gen;\nint f();\n"});
+  const auto findings = run_lint(p, opt);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "header-guard");
+}
+
+TEST(LintDriver, FindingsSortedAndJsonWellFormed) {
+  Project p;
+  p.add(Source{"src/core/b.cpp", "int g() { return std::rand(); }\n"});
+  p.add(Source{"src/core/a.cpp", "int h() { return std::rand(); }\n"});
+  const auto findings = run_lint(p);
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].path, "src/core/a.cpp");
+  const std::string json = to_json(findings);
+  EXPECT_NE(json.find("\"total_findings\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"rule\": \"ambient-rand\""), std::string::npos);
+  EXPECT_NE(to_json({}).find("\"total_findings\": 0"), std::string::npos);
+}
+
+TEST(LintDriver, AllRulesListedOnce) {
+  const auto& rules = all_rules();
+  EXPECT_EQ(rules.size(), 7u);
+  EXPECT_TRUE(std::is_sorted(rules.begin(), rules.end()));
+}
+
+// --- the shipped tree ----------------------------------------------------
+
+// The same gate `ctest -L lint` and tools/check.sh enforce: the tree this
+// test was built from must be clean.  WEARSCOPE_SOURCE_DIR comes from the
+// build system.
+TEST(LintTree, ShippedSourcesAreClean) {
+  const Project project =
+      load_tree(WEARSCOPE_SOURCE_DIR, {"src", "tools", "bench"});
+  ASSERT_GT(project.sources().size(), 100u);
+  const std::vector<Finding> findings = run_lint(project);
+  EXPECT_TRUE(findings.empty()) << to_text(findings);
+}
+
+}  // namespace
+}  // namespace wearscope::lint

@@ -1,0 +1,48 @@
+#!/usr/bin/env sh
+# One-shot pre-merge gate: configure, build, lint, test.
+#
+#   tools/check.sh [--full] [build-dir]
+#
+# Default: a full build, the wearscope_lint determinism & concurrency
+# checks (hard failure on any finding), then the whole ctest suite —
+# which already includes the `lint` and `chaos` labels.  With --full it
+# additionally runs the sanitizer gates CONTRIBUTING.md requires:
+# the chaos label under ASan+UBSan and the live tests under TSan.
+set -eu
+
+root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+full=0
+if [ "${1:-}" = "--full" ]; then
+  full=1
+  shift
+fi
+build=${1:-"$root/build"}
+jobs=$(nproc 2>/dev/null || echo 2)
+
+echo "== configure ($build)"
+cmake -B "$build" -S "$root" >/dev/null
+
+echo "== build"
+cmake --build "$build" -j "$jobs"
+
+echo "== lint"
+"$build/tools/wearscope_lint" --root "$root" --error-on-findings
+
+echo "== test (incl. lint + chaos labels)"
+ctest --test-dir "$build" --output-on-failure -j "$jobs"
+
+if [ "$full" -eq 1 ]; then
+  echo "== chaos label under ASan+UBSan"
+  cmake -B "$root/build-asan" -S "$root" -DWEARSCOPE_SANITIZE=ON >/dev/null
+  cmake --build "$root/build-asan" -j "$jobs"
+  ctest --test-dir "$root/build-asan" -L chaos --output-on-failure
+
+  echo "== live tests under TSan"
+  cmake -B "$root/build-tsan" -S "$root" -DWEARSCOPE_SANITIZE=thread \
+    >/dev/null
+  cmake --build "$root/build-tsan" -j "$jobs"
+  ctest --test-dir "$root/build-tsan" -R "LiveRing|LiveEngine" \
+    --output-on-failure
+fi
+
+echo "== OK"

@@ -84,5 +84,18 @@ if(DEFINED LIVE)
            --chaos-profile transient --verify)
 endif()
 
+# 7. Lint gate: a machine-readable run over the shipped tree must report
+#    zero findings (the JSON path exercises --format=json end to end).
+if(DEFINED LINT)
+  execute_process(COMMAND ${LINT} --root ${SRC} --format json
+                  OUTPUT_VARIABLE lint_json RESULT_VARIABLE lint_rc)
+  if(NOT lint_rc EQUAL 0)
+    message(FATAL_ERROR "lint run failed (${lint_rc}): ${lint_json}")
+  endif()
+  if(NOT lint_json MATCHES "\"total_findings\": 0")
+    message(FATAL_ERROR "lint found issues in the shipped tree:\n${lint_json}")
+  endif()
+endif()
+
 file(REMOVE_RECURSE ${WORK})
 message(STATUS "tool round-trip OK")

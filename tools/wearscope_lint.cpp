@@ -1,0 +1,87 @@
+// wearscope_lint: the project's determinism & concurrency invariant
+// checker (see src/lint/linter.h for the rule catalogue).
+//
+//   wearscope_lint --root . --error-on-findings
+//   wearscope_lint --root . --format json
+//   wearscope_lint --rule unordered-emit,wallclock
+//
+// Exit status: 0 on a clean tree (or findings without --error-on-findings),
+// 1 when --error-on-findings is set and findings remain, 2 on usage or
+// I/O errors.
+#include <exception>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint/linter.h"
+#include "util/flags.h"
+
+namespace {
+
+std::vector<std::string> split_commas(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < csv.size()) {
+    const std::size_t comma = csv.find(',', i);
+    const std::size_t end = comma == std::string::npos ? csv.size() : comma;
+    if (end > i) out.push_back(csv.substr(i, end - i));
+    i = end + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  std::string root = ".";
+  std::string dirs = "src,tools,bench";
+  std::string format = "text";
+  std::string rules_csv;
+  bool error_on_findings = false;
+  bool list_rules = false;
+
+  wearscope::util::FlagParser flags(
+      "wearscope_lint: static determinism & concurrency invariant checker.\n"
+      "Walks the project tree and reports named, suppressible rule "
+      "violations.");
+  flags.add_string("root", &root, "repository root to lint");
+  flags.add_string("dirs", &dirs, "comma-separated directories under root");
+  flags.add_string("format", &format, "report format: text or json");
+  flags.add_string("rule", &rules_csv,
+                   "comma-separated rule ids to run (default: all)");
+  flags.add_bool("error-on-findings", &error_on_findings,
+                 "exit with status 1 when any finding remains");
+  flags.add_bool("list-rules", &list_rules, "print rule ids and exit");
+  if (!flags.parse(argc, argv)) return 0;
+
+  if (list_rules) {
+    for (const std::string& rule : wearscope::lint::all_rules())
+      std::cout << rule << "\n";
+    return 0;
+  }
+  if (format != "text" && format != "json") {
+    std::cerr << "wearscope_lint: unknown --format '" << format
+              << "' (expected text or json)\n";
+    return 2;
+  }
+
+  wearscope::lint::Options options;
+  options.only_rules = split_commas(rules_csv);
+  const wearscope::lint::Project project =
+      wearscope::lint::load_tree(root, split_commas(dirs));
+  const std::vector<wearscope::lint::Finding> findings =
+      wearscope::lint::run_lint(project, options);
+
+  if (format == "json") {
+    std::cout << wearscope::lint::to_json(findings);
+  } else {
+    std::cout << wearscope::lint::to_text(findings);
+    std::cout << findings.size() << " finding"
+              << (findings.size() == 1 ? "" : "s") << " in "
+              << project.sources().size() << " files\n";
+  }
+  return error_on_findings && !findings.empty() ? 1 : 0;
+} catch (const std::exception& e) {
+  std::cerr << "wearscope_lint: " << e.what() << "\n";
+  return 2;
+}

@@ -28,7 +28,6 @@
 #include "trace/sanitize.h"
 #include "util/error.h"
 #include "util/flags.h"
-#include "util/strings.h"
 
 namespace {
 
