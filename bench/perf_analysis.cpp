@@ -1,7 +1,17 @@
 // Google-benchmark performance suite for the analysis pipeline: context
 // indexing (device classification + app attribution + sessionization) and
 // each per-figure analysis over a fixed synthetic capture.
+//
+// `--emit-json[=PATH]` skips google-benchmark and writes a thread-sweep
+// summary (context build + analysis wall clock at 1/2/4/8 threads) to
+// BENCH_analysis.json — the batch-path twin of perf_live's shard sweep.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
 
 #include "core/pipeline.h"
 #include "core/streaming.h"
@@ -27,12 +37,13 @@ const simnet::SimResult& shared_capture() {
   return sim;
 }
 
-core::AnalysisOptions shared_options() {
+core::AnalysisOptions shared_options(int threads = 1) {
   const simnet::SimResult& sim = shared_capture();
   core::AnalysisOptions opt;
   opt.observation_days = sim.observation_days;
   opt.detailed_start_day = sim.detailed_start_day;
   opt.long_tail_apps = sim.config.long_tail_apps;
+  opt.threads = threads;
   return opt;
 }
 
@@ -44,14 +55,16 @@ const core::AnalysisContext& shared_context() {
 
 void BM_ContextBuild(benchmark::State& state) {
   const simnet::SimResult& sim = shared_capture();
+  const int threads = static_cast<int>(state.range(0));
   for (auto _ : state) {
-    const core::AnalysisContext ctx(sim.store, shared_options());
+    const core::AnalysisContext ctx(sim.store, shared_options(threads));
     benchmark::DoNotOptimize(ctx.users().size());
   }
   state.SetItemsProcessed(
       static_cast<std::int64_t>(sim.store.proxy.size()) * state.iterations());
 }
-BENCHMARK(BM_ContextBuild)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ContextBuild)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_HostClassification(benchmark::State& state) {
   const core::AnalysisContext& ctx = shared_context();
@@ -65,6 +78,20 @@ void BM_HostClassification(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_HostClassification);
+
+void BM_HostClassificationCached(benchmark::State& state) {
+  const core::AnalysisContext& ctx = shared_context();
+  const simnet::SimResult& sim = shared_capture();
+  core::HostClassCache cache(ctx.signatures());
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& host = sim.store.proxy[i % sim.store.proxy.size()].host;
+    benchmark::DoNotOptimize(cache.classify(host));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HostClassificationCached);
 
 template <typename Fn>
 void run_analysis_bench(benchmark::State& state, Fn&& fn) {
@@ -129,16 +156,94 @@ BENCHMARK(BM_StreamingAdoption)->Unit(benchmark::kMillisecond);
 
 void BM_FullPipeline(benchmark::State& state) {
   const simnet::SimResult& sim = shared_capture();
+  const int threads = static_cast<int>(state.range(0));
   for (auto _ : state) {
-    const core::Pipeline pipeline(sim.store, shared_options());
+    const core::Pipeline pipeline(sim.store, shared_options(threads));
     const core::StudyReport rep = pipeline.run();
     benchmark::DoNotOptimize(rep.figures.size());
   }
   state.SetItemsProcessed(
       static_cast<std::int64_t>(sim.store.proxy.size()) * state.iterations());
 }
-BENCHMARK(BM_FullPipeline)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FullPipeline)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+/// --emit-json mode: thread sweep over the batch pipeline, best of `kReps`
+/// runs per point.  Context build and analysis passes are timed separately
+/// (they parallelize differently); speedups are relative to 1 thread.
+int emit_json(const std::string& path) {
+  using Clock = std::chrono::steady_clock;
+  constexpr int kReps = 3;
+  const std::vector<int> thread_counts = {1, 2, 4, 8};
+
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  const simnet::SimResult& sim = shared_capture();
+  const std::uint64_t records = sim.store.proxy.size() + sim.store.mme.size();
+  std::fprintf(out, "{\n  \"bench\": \"perf_analysis\",\n");
+  std::fprintf(out, "  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(out, "  \"records\": %llu,\n",
+               static_cast<unsigned long long>(records));
+  std::fprintf(out, "  \"threads\": [\n");
+  double context_ms_1t = 0.0;
+  double run_ms_1t = 0.0;
+  for (std::size_t i = 0; i < thread_counts.size(); ++i) {
+    const int threads = thread_counts[i];
+    double best_context_ms = 0.0;
+    double best_run_ms = 0.0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      const Clock::time_point t0 = Clock::now();
+      const core::Pipeline pipeline(sim.store, shared_options(threads));
+      const Clock::time_point t1 = Clock::now();
+      const core::StudyReport rep_out = pipeline.run();
+      const Clock::time_point t2 = Clock::now();
+      benchmark::DoNotOptimize(rep_out.figures.size());
+      const double context_ms =
+          std::chrono::duration<double, std::milli>(t1 - t0).count();
+      const double run_ms =
+          std::chrono::duration<double, std::milli>(t2 - t1).count();
+      if (rep == 0 || context_ms < best_context_ms)
+        best_context_ms = context_ms;
+      if (rep == 0 || run_ms < best_run_ms) best_run_ms = run_ms;
+    }
+    if (threads == 1) {
+      context_ms_1t = best_context_ms;
+      run_ms_1t = best_run_ms;
+    }
+    const double speedup =
+        best_context_ms + best_run_ms > 0.0
+            ? (context_ms_1t + run_ms_1t) / (best_context_ms + best_run_ms)
+            : 0.0;
+    std::fprintf(out,
+                 "    {\"threads\": %d, \"context_ms\": %.2f, "
+                 "\"run_ms\": %.2f, \"speedup_vs_1t\": %.2f}%s\n",
+                 threads, best_context_ms, best_run_ms, speedup,
+                 i + 1 < thread_counts.size() ? "," : "");
+    std::printf("threads=%d: context %.2f ms, analyses %.2f ms (%.2fx)\n",
+                threads, best_context_ms, best_run_ms, speedup);
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--emit-json", 11) == 0) {
+      const char* eq = std::strchr(argv[i], '=');
+      return emit_json(eq != nullptr ? eq + 1 : "BENCH_analysis.json");
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

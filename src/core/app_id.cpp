@@ -13,28 +13,28 @@ namespace wearscope::core {
 
 namespace {
 
-/// Hash set of a third-party pool for O(1) suffix membership tests.
-std::unordered_set<std::string> make_pool(
-    std::span<const std::string_view> pool) {
-  std::unordered_set<std::string> out;
+/// Third-party pool with heterogeneous lookup: suffix membership tests
+/// probe with string_view, allocating nothing.
+using DomainPool =
+    std::unordered_set<std::string, util::StringHash, std::equal_to<>>;
+
+DomainPool make_pool(std::span<const std::string_view> pool) {
+  DomainPool out;
   out.reserve(pool.size());
   for (const std::string_view d : pool) out.insert(util::to_lower(d));
   return out;
 }
 
-const std::unordered_set<std::string>& utilities_pool() {
-  static const std::unordered_set<std::string> pool =
-      make_pool(appdb::utility_domains());
+const DomainPool& utilities_pool() {
+  static const DomainPool pool = make_pool(appdb::utility_domains());
   return pool;
 }
-const std::unordered_set<std::string>& advertising_pool() {
-  static const std::unordered_set<std::string> pool =
-      make_pool(appdb::advertising_domains());
+const DomainPool& advertising_pool() {
+  static const DomainPool pool = make_pool(appdb::advertising_domains());
   return pool;
 }
-const std::unordered_set<std::string>& analytics_pool() {
-  static const std::unordered_set<std::string> pool =
-      make_pool(appdb::analytics_domains());
+const DomainPool& analytics_pool() {
+  static const DomainPool pool = make_pool(appdb::analytics_domains());
   return pool;
 }
 
@@ -51,11 +51,19 @@ bool for_each_suffix(std::string_view host_lower, Fn&& fn) {
   }
 }
 
-bool pool_matches(std::string_view host_lower,
-                  const std::unordered_set<std::string>& pool) {
+bool pool_matches(std::string_view host_lower, const DomainPool& pool) {
   return for_each_suffix(host_lower, [&](std::string_view s) {
-    return pool.contains(std::string(s));
+    return pool.contains(s);
   });
+}
+
+/// Reusable lower-case scratch: classification runs once per proxy
+/// transaction, so the buffer is thread-local rather than per-call — the
+/// hot path allocates only while a host longer than any prior one grows
+/// the capacity.
+std::string& lower_scratch() {
+  static thread_local std::string buf;
+  return buf;
 }
 
 }  // namespace
@@ -87,14 +95,21 @@ AppSignatureTable::AppSignatureTable(const appdb::AppCatalog& catalog,
       if (!inserted && it->second != app.id) it->second = kUnknownApp;
     }
   }
+
+  // Distinct mapped apps, precomputed so the accessor is O(1).
+  std::vector<appdb::AppId> ids;
+  ids.reserve(rules_.size());
+  for (const Rule& r : rules_) ids.push_back(r.app);
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  mapped_app_count_ = ids.size();
 }
 
-std::optional<appdb::AppId> AppSignatureTable::match_app(
-    std::string_view host) const {
-  const std::string lower = util::to_lower(host);
+appdb::AppId AppSignatureTable::match_app_lower(
+    std::string_view host_lower) const {
   appdb::AppId found = kUnknownApp;
-  for_each_suffix(lower, [&](std::string_view s) {
-    const auto it = rule_index_.find(std::string(s));
+  for_each_suffix(host_lower, [&](std::string_view s) {
+    const auto it = rule_index_.find(s);
     if (it == rule_index_.end()) return false;
     found = it->second;
     return true;
@@ -103,29 +118,39 @@ std::optional<appdb::AppId> AppSignatureTable::match_app(
   // Fallback for coarsened hosts (e.g. an anonymized trace where
   // "api.weather.com" became "weather.com"): match by registrable domain
   // when exactly one app owns it.
-  const auto it = registrable_index_.find(util::registrable_domain(lower));
+  const auto it =
+      registrable_index_.find(util::registrable_domain_of_lower(host_lower));
   if (it != registrable_index_.end() && it->second != kUnknownApp) {
     return it->second;
   }
-  return std::nullopt;
+  return kUnknownApp;
+}
+
+std::optional<appdb::AppId> AppSignatureTable::match_app(
+    std::string_view host) const {
+  const std::string_view lower = util::to_lower_into(host, lower_scratch());
+  const appdb::AppId found = match_app_lower(lower);
+  if (found == kUnknownApp) return std::nullopt;
+  return found;
 }
 
 EndpointClass AppSignatureTable::classify_host(std::string_view host) const {
-  if (const auto app = match_app(host)) {
-    return EndpointClass{appdb::TransactionClass::kApplication, *app};
+  const std::string_view lower = util::to_lower_into(host, lower_scratch());
+  if (const appdb::AppId app = match_app_lower(lower); app != kUnknownApp) {
+    return EndpointClass{appdb::TransactionClass::kApplication, app};
   }
-  const std::string lower = util::to_lower(host);
   if (pool_matches(lower, utilities_pool())) {
     return EndpointClass{appdb::TransactionClass::kUtilities, kUnknownApp};
   }
   if (pool_matches(lower, advertising_pool()) ||
-      util::has_label(lower, "ads") || util::has_label(lower, "adserver")) {
+      util::has_label_lower(lower, "ads") ||
+      util::has_label_lower(lower, "adserver")) {
     return EndpointClass{appdb::TransactionClass::kAdvertising, kUnknownApp};
   }
   if (pool_matches(lower, analytics_pool()) ||
-      util::has_label(lower, "analytics") ||
-      util::has_label(lower, "metrics") ||
-      util::has_label(lower, "telemetry")) {
+      util::has_label_lower(lower, "analytics") ||
+      util::has_label_lower(lower, "metrics") ||
+      util::has_label_lower(lower, "telemetry")) {
     return EndpointClass{appdb::TransactionClass::kAnalytics, kUnknownApp};
   }
   // Unmatched hosts are treated as first-party servers of unmapped apps.
@@ -143,23 +168,29 @@ std::optional<appdb::Category> AppSignatureTable::app_category(
   return app_categories_[id];
 }
 
-std::size_t AppSignatureTable::mapped_app_count() const noexcept {
-  std::vector<appdb::AppId> ids;
-  ids.reserve(rules_.size());
-  for (const Rule& r : rules_) ids.push_back(r.app);
-  std::sort(ids.begin(), ids.end());
-  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
-  return ids.size();
+EndpointClass HostClassCache::classify(std::string_view host) {
+  const auto it = memo_.find(host);
+  if (it != memo_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  const EndpointClass cls = table_->classify_host(host);
+  memo_.emplace(std::string(host), cls);
+  return cls;
 }
 
-std::vector<EndpointClass> attribute_user_stream(
-    const AppSignatureTable& table,
+namespace {
+
+/// Shared attribution pass, parameterized on the host classifier so the
+/// cached and uncached entry points stay byte-identical in behavior.
+template <typename ClassifyFn>
+std::vector<EndpointClass> attribute_stream_impl(
     std::span<const trace::ProxyRecord* const> records,
-    util::SimTime proximity_window_s) {
+    util::SimTime proximity_window_s, ClassifyFn&& classify) {
   std::vector<EndpointClass> out;
   out.reserve(records.size());
   for (const trace::ProxyRecord* r : records) {
-    out.push_back(table.classify_host(r->host));
+    out.push_back(classify(r->host));
   }
   // Temporal-proximity attribution pass: third-party transactions inherit
   // the app of the nearest direct signature match within the window
@@ -186,6 +217,26 @@ std::vector<EndpointClass> attribute_user_stream(
     if (gap <= proximity_window_s) out[i].app = out[anchors[a]].app;
   }
   return out;
+}
+
+}  // namespace
+
+std::vector<EndpointClass> attribute_user_stream(
+    const AppSignatureTable& table,
+    std::span<const trace::ProxyRecord* const> records,
+    util::SimTime proximity_window_s) {
+  return attribute_stream_impl(
+      records, proximity_window_s,
+      [&table](const std::string& host) { return table.classify_host(host); });
+}
+
+std::vector<EndpointClass> attribute_user_stream(
+    HostClassCache& cache,
+    std::span<const trace::ProxyRecord* const> records,
+    util::SimTime proximity_window_s) {
+  return attribute_stream_impl(
+      records, proximity_window_s,
+      [&cache](const std::string& host) { return cache.classify(host); });
 }
 
 }  // namespace wearscope::core

@@ -22,6 +22,7 @@
 #include "appdb/categories.h"
 #include "appdb/third_party.h"
 #include "trace/records.h"
+#include "util/strings.h"
 
 namespace wearscope::core {
 
@@ -35,6 +36,9 @@ struct EndpointClass {
   /// App whose signature matched; kUnknownApp when none (always
   /// kUnknownApp for third-party classes — those belong to no single app).
   appdb::AppId app = kUnknownApp;
+
+  friend bool operator==(const EndpointClass&,
+                         const EndpointClass&) = default;
 };
 
 /// Suffix-rule signature table.
@@ -68,21 +72,62 @@ class AppSignatureTable {
     return rules_.size();
   }
 
-  /// Number of distinct apps with at least one rule.
-  [[nodiscard]] std::size_t mapped_app_count() const noexcept;
+  /// Number of distinct apps with at least one rule (precomputed).
+  [[nodiscard]] std::size_t mapped_app_count() const noexcept {
+    return mapped_app_count_;
+  }
 
  private:
+  /// Heterogeneous-lookup index: probed with string_view suffixes of the
+  /// host, so the per-suffix std::string of the old hot path is gone.
+  using SuffixIndex =
+      std::unordered_map<std::string, appdb::AppId, util::StringHash,
+                         std::equal_to<>>;
+
+  /// Direct + registrable-domain match over an already lower-cased host;
+  /// kUnknownApp when nothing (unambiguous) matches.
+  [[nodiscard]] appdb::AppId match_app_lower(
+      std::string_view host_lower) const;
+
   struct Rule {
     std::string suffix;
     appdb::AppId app;
   };
   std::vector<Rule> rules_;
-  std::unordered_map<std::string, appdb::AppId> rule_index_;
+  SuffixIndex rule_index_;
   /// Registrable-domain fallback: kUnknownApp marks an ambiguous domain
   /// (two apps share it, e.g. googleapis.com) that must NOT match.
-  std::unordered_map<std::string, appdb::AppId> registrable_index_;
+  SuffixIndex registrable_index_;
   std::vector<std::string> app_names_;
   std::vector<appdb::Category> app_categories_;
+  std::size_t mapped_app_count_ = 0;
+};
+
+/// Memoizing wrapper over AppSignatureTable::classify_host.  Hosts repeat
+/// heavily across transactions, so per-shard workers keep one of these and
+/// classify each distinct host once.  Pure cache: results are identical to
+/// the uncached table.  Not thread-safe — one instance per shard/worker.
+class HostClassCache {
+ public:
+  /// `table` must outlive the cache.
+  explicit HostClassCache(const AppSignatureTable& table) : table_(&table) {}
+
+  /// Memoized classify_host.
+  [[nodiscard]] EndpointClass classify(std::string_view host);
+
+  /// Distinct hosts seen so far.
+  [[nodiscard]] std::size_t distinct_hosts() const noexcept {
+    return memo_.size();
+  }
+  /// Lookups served from the memo.
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+
+ private:
+  const AppSignatureTable* table_;
+  std::unordered_map<std::string, EndpointClass, util::StringHash,
+                     std::equal_to<>>
+      memo_;
+  std::uint64_t hits_ = 0;
 };
 
 /// Attributes every proxy record of one user to an app id, combining direct
@@ -92,6 +137,13 @@ class AppSignatureTable {
 /// Returns one EndpointClass per record, index-aligned.
 std::vector<EndpointClass> attribute_user_stream(
     const AppSignatureTable& table,
+    std::span<const trace::ProxyRecord* const> records,
+    util::SimTime proximity_window_s = 120);
+
+/// Cached overload: identical output, but host classification goes through
+/// `cache`, which persists across calls (one cache per shard/worker).
+std::vector<EndpointClass> attribute_user_stream(
+    HostClassCache& cache,
     std::span<const trace::ProxyRecord* const> records,
     util::SimTime proximity_window_s = 120);
 

@@ -1,10 +1,29 @@
 #include "core/context.h"
 
 #include <algorithm>
+#include <cstddef>
 
+#include "par/shard.h"
+#include "par/task_pool.h"
 #include "util/error.h"
 
 namespace wearscope::core {
+
+namespace {
+
+/// One shard's private view of the grouping pass.  Shards are keyed by
+/// par::shard_of(user_id), so every record of a user lands in exactly one
+/// shard and the per-user vectors are built with no cross-shard writes.
+struct UserShard {
+  std::unordered_map<trace::UserId, std::size_t> index;
+  std::vector<UserView> users;
+  /// Global first-appearance position of each user (proxy record i -> i,
+  /// mme record j -> proxy_count + j), index-aligned with `users`.  The
+  /// merge sorts on it to reproduce the sequential discovery order.
+  std::vector<std::size_t> first_pos;
+};
+
+}  // namespace
 
 AnalysisContext::AnalysisContext(const trace::TraceStore& store,
                                  AnalysisOptions options)
@@ -13,8 +32,12 @@ AnalysisContext::AnalysisContext(const trace::TraceStore& store,
                     options_.detailed_start_day >= 0 &&
                     options_.detailed_start_day < options_.observation_days,
                 "analysis options: bad observation window");
+  util::require(options_.threads >= 1, "analysis options: threads must be >= 1");
   util::require(store.is_sorted(),
                 "analysis context requires time-sorted logs");
+  // The store's lookup indexes build lazily on first find_*; force them now
+  // so concurrent analyses only ever read them.
+  store.rebuild_indexes();
 
   knowledge_base_ =
       std::make_unique<appdb::AppCatalog>(options_.long_tail_apps);
@@ -22,44 +45,102 @@ AnalysisContext::AnalysisContext(const trace::TraceStore& store,
   signatures_ = std::make_unique<AppSignatureTable>(
       *knowledge_base_, options_.signature_coverage);
 
-  // Group records by user (logs are time-sorted, so per-user vectors stay
-  // time-sorted too).
-  std::unordered_map<trace::UserId, std::size_t> index;
-  const auto user_slot = [&](trace::UserId id) -> UserView& {
-    const auto [it, inserted] = index.emplace(id, users_.size());
-    if (inserted) {
-      users_.emplace_back();
-      users_.back().user_id = id;
+  par::TaskPool pool(static_cast<std::size_t>(options_.threads));
+  const std::size_t shards = pool.threads();
+
+  // Phase 1 — sharded per-user grouping.  Each shard scans the full
+  // time-sorted streams and keeps only its users, so per-user vectors stay
+  // time-sorted exactly as in the sequential single pass.
+  std::vector<UserShard> shard_state(shards);
+  {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(shards);
+    for (std::size_t s = 0; s < shards; ++s) {
+      tasks.push_back([this, &store, &shard_state, s, shards] {
+        UserShard& shard = shard_state[s];
+        const auto user_slot = [&shard](trace::UserId id,
+                                        std::size_t pos) -> UserView& {
+          const auto [it, inserted] = shard.index.emplace(id, shard.users.size());
+          if (inserted) {
+            shard.users.emplace_back();
+            shard.users.back().user_id = id;
+            shard.first_pos.push_back(pos);
+          }
+          return shard.users[it->second];
+        };
+        for (std::size_t i = 0; i < store.proxy.size(); ++i) {
+          const trace::ProxyRecord& r = store.proxy[i];
+          if (par::shard_of(r.user_id, shards) != s) continue;
+          UserView& u = user_slot(r.user_id, i);
+          if (devices_->is_wearable(r.tac)) {
+            u.has_wearable = true;
+            u.wearable_txns.push_back(&r);
+          } else {
+            u.phone_txns.push_back(&r);
+          }
+        }
+        for (std::size_t j = 0; j < store.mme.size(); ++j) {
+          const trace::MmeRecord& r = store.mme[j];
+          if (par::shard_of(r.user_id, shards) != s) continue;
+          UserView& u = user_slot(r.user_id, store.proxy.size() + j);
+          u.mme.push_back(&r);
+          if (devices_->is_wearable(r.tac)) u.has_wearable = true;
+        }
+      });
     }
-    return users_[it->second];
+    pool.run(std::move(tasks));
+  }
+
+  // Phase 2 — ordered merge.  First-appearance positions are unique across
+  // shards (each stream position belongs to one user, hence one shard), so
+  // sorting on them reconstructs the order a single sequential scan would
+  // have discovered the users in — for ANY shard count.
+  struct MergeKey {
+    std::size_t first_pos;
+    std::size_t shard;
+    std::size_t local;
   };
-
-  for (const trace::ProxyRecord& r : store.proxy) {
-    UserView& u = user_slot(r.user_id);
-    if (devices_->is_wearable(r.tac)) {
-      u.has_wearable = true;
-      u.wearable_txns.push_back(&r);
-    } else {
-      u.phone_txns.push_back(&r);
+  std::vector<MergeKey> order;
+  std::size_t total_users = 0;
+  for (const UserShard& shard : shard_state) total_users += shard.users.size();
+  order.reserve(total_users);
+  for (std::size_t s = 0; s < shards; ++s) {
+    for (std::size_t i = 0; i < shard_state[s].users.size(); ++i) {
+      order.push_back(MergeKey{shard_state[s].first_pos[i], s, i});
     }
   }
-  for (const trace::MmeRecord& r : store.mme) {
-    UserView& u = user_slot(r.user_id);
-    u.mme.push_back(&r);
-    if (devices_->is_wearable(r.tac)) u.has_wearable = true;
+  std::sort(order.begin(), order.end(),
+            [](const MergeKey& a, const MergeKey& b) {
+              return a.first_pos < b.first_pos;
+            });
+  users_.reserve(total_users);
+  user_index_.reserve(total_users);
+  for (const MergeKey& key : order) {
+    user_index_.emplace(shard_state[key.shard].users[key.local].user_id,
+                        users_.size());
+    users_.push_back(std::move(shard_state[key.shard].users[key.local]));
   }
+  shard_state.clear();
 
-  // Attribute and sessionize wearable traffic.
-  for (UserView& u : users_) {
-    if (u.wearable_txns.empty()) continue;
-    u.wearable_classes = attribute_user_stream(
-        *signatures_, u.wearable_txns, options_.attribution_window_s);
-    u.usages =
-        sessionize_user(u.wearable_txns, u.wearable_classes,
-                        options_.usage_gap_s);
-  }
+  // Phase 3 — attribution + sessionization over contiguous user slices.
+  // Each slice writes only its own users; the per-slice host cache is a
+  // pure memo over classify_host, so results match the uncached path.
+  pool.for_slices(users_.size(),
+                  [this](std::size_t lo, std::size_t hi, std::size_t) {
+                    HostClassCache cache(*signatures_);
+                    for (std::size_t i = lo; i < hi; ++i) {
+                      UserView& u = users_[i];
+                      if (u.wearable_txns.empty()) continue;
+                      u.wearable_classes = attribute_user_stream(
+                          cache, u.wearable_txns,
+                          options_.attribution_window_s);
+                      u.usages = sessionize_user(u.wearable_txns,
+                                                 u.wearable_classes,
+                                                 options_.usage_gap_s);
+                    }
+                  });
 
-  user_index_ = std::move(index);
+  // Phase 4 — population partition (order-preserving, sequential).
   for (const UserView& u : users_) {
     (u.has_wearable ? wearable_users_ : other_users_).push_back(&u);
   }

@@ -38,6 +38,10 @@ struct AnalysisOptions {
   /// Long-tail size of the analyst's app knowledge base. Must describe the
   /// world at least as richly as the traffic (defaults match appdb).
   std::uint32_t long_tail_apps = 150;
+  /// Worker threads for the batch pipeline (context indexing and the
+  /// analysis passes). 1 = the sequential reference path; any N produces
+  /// bitwise-identical output (see docs/DESIGN.md, determinism contract).
+  int threads = 1;
 };
 
 /// Everything the analyses know about one subscriber.

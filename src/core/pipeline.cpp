@@ -1,6 +1,9 @@
 #include "core/pipeline.h"
 
+#include <functional>
 #include <stdexcept>
+
+#include "par/task_pool.h"
 
 namespace wearscope::core {
 
@@ -9,20 +12,27 @@ Pipeline::Pipeline(const trace::TraceStore& store, AnalysisOptions options)
 
 StudyReport Pipeline::run() const {
   StudyReport rep;
-  rep.adoption = analyze_adoption(ctx_);
-  rep.diurnal = analyze_diurnal(ctx_);
-  rep.activity = analyze_activity(ctx_);
-  rep.comparison = analyze_comparison(ctx_);
-  rep.mobility = analyze_mobility(ctx_);
-  rep.apps = analyze_apps(ctx_);
-  rep.categories = analyze_categories(ctx_);
-  rep.usage = analyze_usage(ctx_);
-  rep.thirdparty = analyze_thirdparty(ctx_);
-  rep.throughdevice = analyze_throughdevice(ctx_);
-  rep.cohorts = analyze_cohorts(ctx_);
-  rep.retention = analyze_retention(ctx_);
-  rep.protocol = analyze_protocol(ctx_);
-  rep.geography = analyze_geography(ctx_);
+  // The analyses are independent reads of the (settled) context; each task
+  // writes exactly one StudyReport field, so any execution order yields the
+  // same report.  Figures are then rendered sequentially in the canonical
+  // order below.
+  par::TaskPool pool(static_cast<std::size_t>(ctx_.options().threads));
+  pool.run({
+      [&] { rep.adoption = analyze_adoption(ctx_); },
+      [&] { rep.diurnal = analyze_diurnal(ctx_); },
+      [&] { rep.activity = analyze_activity(ctx_); },
+      [&] { rep.comparison = analyze_comparison(ctx_); },
+      [&] { rep.mobility = analyze_mobility(ctx_); },
+      [&] { rep.apps = analyze_apps(ctx_); },
+      [&] { rep.categories = analyze_categories(ctx_); },
+      [&] { rep.usage = analyze_usage(ctx_); },
+      [&] { rep.thirdparty = analyze_thirdparty(ctx_); },
+      [&] { rep.throughdevice = analyze_throughdevice(ctx_); },
+      [&] { rep.cohorts = analyze_cohorts(ctx_); },
+      [&] { rep.retention = analyze_retention(ctx_); },
+      [&] { rep.protocol = analyze_protocol(ctx_); },
+      [&] { rep.geography = analyze_geography(ctx_); },
+  });
 
   rep.figures.push_back(figure2a(rep.adoption));
   rep.figures.push_back(figure2b(rep.adoption));
@@ -48,10 +58,25 @@ StudyReport Pipeline::run() const {
 }
 
 const FigureData& StudyReport::figure(std::string_view id) const {
-  for (const FigureData& f : figures) {
-    if (f.id == id) return f;
+  const auto rebuild = [this] {
+    figure_index_.clear();
+    figure_index_.reserve(figures.size());
+    for (std::size_t i = 0; i < figures.size(); ++i) {
+      figure_index_.emplace(figures[i].id, i);
+    }
+  };
+  if (figure_index_.size() != figures.size()) rebuild();
+  auto it = figure_index_.find(id);
+  // Same-size mutation (an id edited in place) leaves a stale entry; the
+  // id check below catches it and forces one rebuild.
+  if (it != figure_index_.end() && figures[it->second].id != id) {
+    rebuild();
+    it = figure_index_.find(id);
   }
-  throw std::out_of_range("unknown figure id: " + std::string(id));
+  if (it == figure_index_.end() || figures[it->second].id != id) {
+    throw std::out_of_range("unknown figure id: " + std::string(id));
+  }
+  return figures[it->second];
 }
 
 std::string StudyReport::to_text() const {

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/analysis_activity.h"
@@ -26,6 +27,7 @@
 #include "core/context.h"
 #include "core/report.h"
 #include "trace/quarantine.h"
+#include "util/strings.h"
 
 namespace wearscope::core {
 
@@ -54,6 +56,10 @@ struct StudyReport {
   trace::QuarantineStats quarantine;
 
   /// Figure by id ("fig4c"); throws std::out_of_range when unknown.
+  /// O(1) after the first call (a lazy id -> index map is built then and
+  /// rebuilt whenever `figures` has changed size).  The first call after a
+  /// mutation is not thread-safe; concurrent lookups on a settled report
+  /// are fine.
   [[nodiscard]] const FigureData& figure(std::string_view id) const;
 
   /// Renders every figure's checks.
@@ -61,6 +67,12 @@ struct StudyReport {
 
   /// Count of failed checks across all figures.
   [[nodiscard]] std::size_t failed_checks() const noexcept;
+
+ private:
+  /// Lazy figure-id lookup cache; valid while its size matches `figures`.
+  mutable std::unordered_map<std::string, std::size_t, util::StringHash,
+                             std::equal_to<>>
+      figure_index_;
 };
 
 /// Runs every analysis over one capture.

@@ -17,18 +17,17 @@
 
 #include "live/event.h"
 #include "live/ring_buffer.h"
+#include "par/shard.h"
 
 namespace wearscope::live {
 
 /// Stable user -> shard assignment (split-mix finalizer; identical on every
-/// platform and for every run, so snapshots are reproducible).
+/// platform and for every run, so snapshots are reproducible).  Shared with
+/// the batch context build (par::shard_of), so live and batch partition
+/// users identically.
 [[nodiscard]] constexpr std::size_t shard_of(trace::UserId user,
                                              std::size_t shards) noexcept {
-  std::uint64_t x = user + 0x9e3779b97f4a7c15ull;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  x ^= x >> 31;
-  return static_cast<std::size_t>(x % shards);
+  return par::shard_of(user, shards);
 }
 
 /// Owns the shard rings and routes events into them.

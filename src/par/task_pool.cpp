@@ -1,0 +1,99 @@
+#include "par/task_pool.h"
+
+#include "util/error.h"
+
+namespace wearscope::par {
+
+TaskPool::TaskPool(std::size_t threads)
+    : threads_(std::max<std::size_t>(threads, 1)) {
+  workers_.reserve(threads_ - 1);
+  for (std::size_t i = 0; i + 1 < threads_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    util::MutexLock lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void TaskPool::worker_loop() {
+  for (;;) {
+    std::function<void()>* task = nullptr;
+    {
+      util::MutexLock lock(mu_);
+      while (!stop_ && (batch_ == nullptr || next_ >= batch_->size())) {
+        work_cv_.wait(mu_);
+      }
+      if (batch_ != nullptr && next_ < batch_->size()) {
+        task = &(*batch_)[next_++];
+      } else {
+        return;  // stop_ set and no claimable work left.
+      }
+    }
+    execute_and_account(*task);
+  }
+}
+
+void TaskPool::execute_and_account(std::function<void()>& task) {
+  std::exception_ptr error;
+  try {
+    task();
+  } catch (...) {
+    error = std::current_exception();
+  }
+  bool last = false;
+  {
+    util::MutexLock lock(mu_);
+    if (error != nullptr && first_error_ == nullptr) first_error_ = error;
+    last = --pending_ == 0;
+  }
+  if (last) done_cv_.notify_all();
+}
+
+void TaskPool::run(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  if (workers_.empty()) {
+    // Single-thread reference path: inline, submission order, exceptions
+    // propagate from the faulting task immediately.
+    for (std::function<void()>& task : tasks) task();
+    return;
+  }
+
+  {
+    util::MutexLock lock(mu_);
+    util::ensure(batch_ == nullptr, "TaskPool::run is not reentrant");
+    batch_ = &tasks;
+    next_ = 0;
+    pending_ = tasks.size();
+    first_error_ = nullptr;
+  }
+  work_cv_.notify_all();
+
+  // The caller is the Nth executor: claim tasks until none remain.
+  for (;;) {
+    std::function<void()>* task = nullptr;
+    {
+      util::MutexLock lock(mu_);
+      if (next_ < tasks.size()) task = &tasks[next_++];
+    }
+    if (task == nullptr) break;
+    execute_and_account(*task);
+  }
+
+  std::exception_ptr error;
+  {
+    util::MutexLock lock(mu_);
+    while (pending_ > 0) done_cv_.wait(mu_);
+    batch_ = nullptr;
+    error = first_error_;
+    first_error_ = nullptr;
+  }
+  if (error != nullptr) std::rethrow_exception(error);
+}
+
+}  // namespace wearscope::par

@@ -1,0 +1,92 @@
+// wearscope::par — the deterministic task scheduler behind the batch path.
+//
+// A fixed-size pool of worker threads executing explicit task batches.
+// Determinism is structural, not scheduled: callers hand the pool tasks
+// that write disjoint state (one StudyReport field, one user shard, one
+// contiguous user slice) and merge results in a fixed canonical order, so
+// the output is bitwise identical for every thread count.  With
+// `threads == 1` no worker thread is ever spawned and run() executes the
+// batch inline in submission order — exactly the sequential code path.
+//
+// Threading contract: exactly one thread (the owner) calls run(); the
+// owning thread participates as an executor, so a pool of N threads means
+// N-1 parked workers plus the caller.  Tasks must not call back into the
+// pool.  The first task exception is rethrown from run() after the whole
+// batch has drained (with one thread it propagates immediately, like the
+// plain loop it replaces).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "util/sync.h"
+#include "util/thread_annotations.h"
+
+namespace wearscope::par {
+
+/// Fixed-size thread pool executing explicit batches of independent tasks.
+class TaskPool {
+ public:
+  /// `threads` >= 1 executors (clamped up to 1). Spawns `threads - 1`
+  /// workers; they park until run() publishes a batch.
+  explicit TaskPool(std::size_t threads);
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  /// Executor count (workers + the calling thread).
+  [[nodiscard]] std::size_t threads() const noexcept { return threads_; }
+
+  /// Executes every task and returns once all completed.  Tasks may run in
+  /// any order and concurrently; with threads() == 1 they run inline in
+  /// submission order.  Rethrows the first task exception after the batch
+  /// drains.
+  void run(std::vector<std::function<void()>> tasks);
+
+  /// Splits [0, n) into at most threads() contiguous slices and runs
+  /// `fn(begin, end, slice)` for each non-empty one.  `slice` indexes the
+  /// slice (dense, in range order) so callers can keep per-slice scratch
+  /// state; slices never overlap.
+  template <typename Fn>
+  void for_slices(std::size_t n, Fn&& fn) {
+    const std::size_t slices = std::min(threads_, std::max<std::size_t>(n, 1));
+    if (slices <= 1) {
+      if (n > 0) fn(std::size_t{0}, n, std::size_t{0});
+      return;
+    }
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(slices);
+    for (std::size_t s = 0; s < slices; ++s) {
+      const std::size_t lo = s * n / slices;
+      const std::size_t hi = (s + 1) * n / slices;
+      if (lo == hi) continue;
+      tasks.push_back([&fn, lo, hi, s] { fn(lo, hi, s); });
+    }
+    run(std::move(tasks));
+  }
+
+ private:
+  void worker_loop();
+
+  /// Runs one claimed task, records its exception (first wins) and
+  /// signals batch completion.
+  void execute_and_account(std::function<void()>& task);
+
+  std::size_t threads_ = 1;
+  util::Mutex mu_;
+  util::CondVar work_cv_;  ///< Signals workers: batch published / stop.
+  util::CondVar done_cv_;  ///< Signals run(): pending_ reached zero.
+  std::vector<std::function<void()>>* batch_ WS_GUARDED_BY(mu_) = nullptr;
+  std::size_t next_ WS_GUARDED_BY(mu_) = 0;
+  std::size_t pending_ WS_GUARDED_BY(mu_) = 0;
+  std::exception_ptr first_error_ WS_GUARDED_BY(mu_);
+  bool stop_ WS_GUARDED_BY(mu_) = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace wearscope::par

@@ -24,21 +24,27 @@ TraceSummary TraceStore::summarize() const {
 
   std::unordered_set<UserId> proxy_users;
   std::unordered_set<UserId> mme_users;
-  bool first = true;
+  proxy_users.reserve(proxy.size());
+  mme_users.reserve(mme.size());
+  // Seed the time span from the first available record so the loops stay
+  // branch-light (no per-record "first" flag).
+  if (!proxy.empty()) {
+    s.first_timestamp = proxy.front().timestamp;
+    s.last_timestamp = proxy.front().timestamp;
+  } else if (!mme.empty()) {
+    s.first_timestamp = mme.front().timestamp;
+    s.last_timestamp = mme.front().timestamp;
+  }
   for (const ProxyRecord& r : proxy) {
     proxy_users.insert(r.user_id);
     s.total_bytes += r.bytes_total();
-    if (first || r.timestamp < s.first_timestamp)
-      s.first_timestamp = r.timestamp;
-    if (first || r.timestamp > s.last_timestamp) s.last_timestamp = r.timestamp;
-    first = false;
+    s.first_timestamp = std::min(s.first_timestamp, r.timestamp);
+    s.last_timestamp = std::max(s.last_timestamp, r.timestamp);
   }
   for (const MmeRecord& r : mme) {
     mme_users.insert(r.user_id);
-    if (first || r.timestamp < s.first_timestamp)
-      s.first_timestamp = r.timestamp;
-    if (first || r.timestamp > s.last_timestamp) s.last_timestamp = r.timestamp;
-    first = false;
+    s.first_timestamp = std::min(s.first_timestamp, r.timestamp);
+    s.last_timestamp = std::max(s.last_timestamp, r.timestamp);
   }
   s.distinct_proxy_users = proxy_users.size();
   s.distinct_mme_users = mme_users.size();

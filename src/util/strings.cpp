@@ -44,6 +44,14 @@ std::string to_lower(std::string_view text) {
   return out;
 }
 
+std::string_view to_lower_into(std::string_view text, std::string& out) {
+  out.assign(text);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
 bool host_matches_suffix(std::string_view host, std::string_view suffix) {
   if (suffix.empty() || host.size() < suffix.size()) return false;
   const std::string h = to_lower(host);
@@ -57,31 +65,47 @@ bool host_matches_suffix(std::string_view host, std::string_view suffix) {
 }
 
 std::string registrable_domain(std::string_view host) {
+  const std::string h = to_lower(trim(host));
+  return std::string(registrable_domain_of_lower(h));
+}
+
+std::string_view registrable_domain_of_lower(
+    std::string_view host_lower) noexcept {
   static constexpr std::array<std::string_view, 6> kTwoPartSuffixes = {
       "co.uk", "com.au", "co.jp", "com.br", "co.nz", "org.uk"};
-  const std::string h = to_lower(trim(host));
-  const std::vector<std::string> labels = split(h, '.');
-  if (labels.size() <= 2) return h;
-  const std::string tail2 = labels[labels.size() - 2] + "." + labels.back();
-  const bool two_part =
-      std::find(kTwoPartSuffixes.begin(), kTwoPartSuffixes.end(), tail2) !=
-      kTwoPartSuffixes.end();
-  const std::size_t keep = two_part ? 3 : 2;
-  if (labels.size() <= keep) return h;
-  std::string out;
-  for (std::size_t i = labels.size() - keep; i < labels.size(); ++i) {
-    if (!out.empty()) out += '.';
-    out += labels[i];
+  // Fewer than two dots: the host is its own registrable domain.
+  const std::size_t last = host_lower.rfind('.');
+  if (last == std::string_view::npos || last == 0) return host_lower;
+  const std::size_t second = host_lower.rfind('.', last - 1);
+  if (second == std::string_view::npos) return host_lower;
+  const std::string_view tail2 = host_lower.substr(second + 1);
+  if (std::find(kTwoPartSuffixes.begin(), kTwoPartSuffixes.end(), tail2) ==
+      kTwoPartSuffixes.end()) {
+    return tail2;
   }
-  return out;
+  // Two-part public suffix: keep three labels when the host has them.
+  if (second == 0) return host_lower;
+  const std::size_t third = host_lower.rfind('.', second - 1);
+  if (third == std::string_view::npos) return host_lower;
+  return host_lower.substr(third + 1);
 }
 
 bool has_label(std::string_view host, std::string_view token) {
   if (token.empty()) return false;
   const std::string h = to_lower(host);
   const std::string t = to_lower(token);
-  for (const std::string& label : split(h, '.')) {
-    if (label == t) return true;
+  return has_label_lower(h, t);
+}
+
+bool has_label_lower(std::string_view host_lower,
+                     std::string_view token_lower) noexcept {
+  if (token_lower.empty()) return false;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= host_lower.size(); ++i) {
+    if (i == host_lower.size() || host_lower[i] == '.') {
+      if (host_lower.substr(start, i - start) == token_lower) return true;
+      start = i + 1;
+    }
   }
   return false;
 }

@@ -2,11 +2,23 @@
 // hostname-suffix matching used by the app-signature tables.
 #pragma once
 
+#include <cstddef>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace wearscope::util {
+
+/// Transparent (heterogeneous) hash for unordered containers keyed by
+/// std::string but probed with string_view / char* — lookups build no
+/// temporary std::string.  Use with std::equal_to<> as the key comparator.
+struct StringHash {
+  using is_transparent = void;
+  [[nodiscard]] std::size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
 
 /// Splits `text` on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
 std::vector<std::string> split(std::string_view text, char sep);
@@ -20,6 +32,11 @@ std::string_view trim(std::string_view text) noexcept;
 /// ASCII lower-casing.
 std::string to_lower(std::string_view text);
 
+/// ASCII lower-casing into a caller-owned scratch buffer (capacity is
+/// reused across calls, so steady state allocates nothing). Returns a view
+/// of `out`, valid until `out` is next modified.
+std::string_view to_lower_into(std::string_view text, std::string& out);
+
 /// DNS-aware suffix match: true when `host` equals `suffix` or ends with
 /// "." + suffix (so "api.fitbit.com" matches "fitbit.com" but
 /// "notfitbit.com" does not). Comparison is case-insensitive.
@@ -30,8 +47,19 @@ bool host_matches_suffix(std::string_view host, std::string_view suffix);
 /// ("cdn.ads.example.co.uk" -> "example.co.uk").
 std::string registrable_domain(std::string_view host);
 
+/// Allocation-free registrable_domain over an already lower-cased, trimmed
+/// host. The registrable domain is always a dot-suffix of the host, so the
+/// result is a view into `host_lower` (valid as long as its storage).
+std::string_view registrable_domain_of_lower(
+    std::string_view host_lower) noexcept;
+
 /// True when `host` contains `token` as a complete dot-separated label
 /// ("ads.server.com" contains label "ads"; "roads.server.com" does not).
 bool has_label(std::string_view host, std::string_view token);
+
+/// Allocation-free has_label over an already lower-cased host and an
+/// already lower-cased, non-empty token.
+bool has_label_lower(std::string_view host_lower,
+                     std::string_view token_lower) noexcept;
 
 }  // namespace wearscope::util

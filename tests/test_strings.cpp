@@ -1,6 +1,9 @@
 // Unit tests for string utilities and DNS suffix matching.
 #include "util/strings.h"
 
+#include <unordered_map>
+#include <utility>
+
 #include <gtest/gtest.h>
 
 namespace wearscope::util {
@@ -75,6 +78,63 @@ TEST(HasLabel, CompleteLabelsOnly) {
   EXPECT_TRUE(has_label("a.ADS.b", "ads"));
   EXPECT_FALSE(has_label("adserver.com", "ads"));
   EXPECT_FALSE(has_label("x.com", ""));
+}
+
+// --- allocation-free variants ----------------------------------------------
+
+TEST(Strings, ToLowerIntoReusesBuffer) {
+  std::string scratch;
+  EXPECT_EQ(to_lower_into("AbC123", scratch), "abc123");
+  EXPECT_EQ(scratch, "abc123");
+  // A shorter input must fully replace the previous content.
+  EXPECT_EQ(to_lower_into("XY", scratch), "xy");
+  EXPECT_EQ(to_lower_into("", scratch), "");
+}
+
+TEST(RegistrableDomain, LowerVariantAgreesWithAllocatingPath) {
+  const std::vector<std::string> hosts = {
+      "example.com",     "cdn.ads.example.com", "shop.example.co.uk",
+      "example.co.uk",   "localhost",           "a.b.c.d.example.com.au",
+      "x.org.uk",        "co.uk",               "a..com",
+      ".",               ".com",                ".co.uk",
+      "a.",              "x",                   "deep.chain.of.labels.net"};
+  for (const std::string& h : hosts) {
+    // The inputs are already lower-case and trimmed, so both paths must
+    // agree exactly.
+    EXPECT_EQ(std::string(registrable_domain_of_lower(h)),
+              registrable_domain(h))
+        << h;
+  }
+}
+
+TEST(RegistrableDomain, LowerVariantReturnsViewIntoInput) {
+  const std::string host = "cdn.ads.example.com";
+  const std::string_view reg = registrable_domain_of_lower(host);
+  EXPECT_EQ(reg, "example.com");
+  EXPECT_GE(reg.data(), host.data());
+  EXPECT_LE(reg.data() + reg.size(), host.data() + host.size());
+}
+
+TEST(HasLabel, LowerVariantAgreesWithAllocatingPath) {
+  const std::vector<std::pair<std::string, std::string>> cases = {
+      {"ads.server.com", "ads"},  {"roads.server.com", "ads"},
+      {"adserver.com", "ads"},    {"metrics.a.b", "metrics"},
+      {"a.b.metrics", "metrics"}, {"telemetry", "telemetry"},
+      {"x.com", "y"}};
+  for (const auto& [host, token] : cases) {
+    EXPECT_EQ(has_label_lower(host, token), has_label(host, token))
+        << host << " / " << token;
+  }
+}
+
+TEST(Strings, TransparentHashLooksUpWithoutConversion) {
+  std::unordered_map<std::string, int, StringHash, std::equal_to<>> map;
+  map.emplace("fitbit.com", 1);
+  const std::string_view probe = "fitbit.com";
+  const auto it = map.find(probe);
+  ASSERT_NE(it, map.end());
+  EXPECT_EQ(it->second, 1);
+  EXPECT_EQ(map.find(std::string_view("nope")), map.end());
 }
 
 }  // namespace

@@ -5,9 +5,12 @@
 #
 # Default: a full build, the wearscope_lint determinism & concurrency
 # checks (hard failure on any finding), then the whole ctest suite —
-# which already includes the `lint` and `chaos` labels.  With --full it
-# additionally runs the sanitizer gates CONTRIBUTING.md requires:
-# the chaos label under ASan+UBSan and the live tests under TSan.
+# which already includes the `lint`, `chaos` and `perf` labels (the
+# thread-sweep equivalence gate runs as part of the regular tests).
+# With --full it additionally runs the sanitizer gates CONTRIBUTING.md
+# requires — the chaos label under ASan+UBSan and the concurrency tests
+# (live engine + batch task pool) under TSan — and refreshes the
+# BENCH_analysis.json thread-sweep numbers.
 set -eu
 
 root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -37,12 +40,15 @@ if [ "$full" -eq 1 ]; then
   cmake --build "$root/build-asan" -j "$jobs"
   ctest --test-dir "$root/build-asan" -L chaos --output-on-failure
 
-  echo "== live tests under TSan"
+  echo "== concurrency tests under TSan"
   cmake -B "$root/build-tsan" -S "$root" -DWEARSCOPE_SANITIZE=thread \
     >/dev/null
   cmake --build "$root/build-tsan" -j "$jobs"
-  ctest --test-dir "$root/build-tsan" -R "LiveRing|LiveEngine" \
-    --output-on-failure
+  ctest --test-dir "$root/build-tsan" \
+    -R "LiveRing|LiveEngine|TaskPool|ParPipeline" --output-on-failure
+
+  echo "== analysis thread sweep (BENCH_analysis.json)"
+  "$build/bench/perf_analysis" --emit-json="$root/BENCH_analysis.json"
 fi
 
 echo "== OK"

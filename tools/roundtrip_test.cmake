@@ -54,6 +54,20 @@ endif()
 run_step(${ANALYZE} --trace ${WORK}/trace_anon
          --observation-days 153 --detailed-start-day 139)
 
+# 3b. Thread-sweep equivalence gate: the parallel batch pipeline must
+#     produce a byte-identical report for every thread count.
+foreach(t 2 4 8)
+  run_step(${ANALYZE} --trace ${WORK}/trace --threads ${t}
+           --report ${WORK}/report_t${t}.txt)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                  ${WORK}/report.txt ${WORK}/report_t${t}.txt
+                  RESULT_VARIABLE diff_rc)
+  if(NOT diff_rc EQUAL 0)
+    message(FATAL_ERROR
+            "report diverges at --threads ${t} (determinism contract broken)")
+  endif()
+endforeach()
+
 # 4. Compare a bundle against itself: must succeed (all deltas zero).
 if(DEFINED COMPARE)
   run_step(${COMPARE} --a ${WORK}/trace --b ${WORK}/trace)

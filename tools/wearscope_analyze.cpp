@@ -38,6 +38,7 @@ int main(int argc, char** argv) {
     double signature_coverage = 1.0;
     std::int64_t chaos_seed = -1;
     std::string chaos_profile = "records";
+    std::int64_t threads = 1;
 
     util::FlagParser flags(
         "wearscope_analyze: regenerate every paper figure from a trace "
@@ -61,8 +62,11 @@ int main(int argc, char** argv) {
     flags.add_string("chaos-profile", &chaos_profile,
                      "fault profile: records, records-heavy, io, transient, "
                      "runtime, all");
+    flags.add_int("threads", &threads,
+                  "batch pipeline threads (output is identical for any N)");
     if (!flags.parse(argc, argv)) return 0;
     util::require(!trace_dir.empty(), "--trace is required");
+    util::require(threads >= 1, "--threads must be >= 1");
 
     // Window defaults: the bundle's generator.cfg, then library defaults.
     core::AnalysisOptions opt;
@@ -83,6 +87,7 @@ int main(int argc, char** argv) {
       opt.detailed_start_day = static_cast<int>(detailed_start_day);
     opt.usage_gap_s = usage_gap_s;
     opt.signature_coverage = signature_coverage;
+    opt.threads = static_cast<int>(threads);
 
     trace::TraceStore store = trace::load_bundle(trace_dir);
     store.sort_by_time();
