@@ -1,12 +1,29 @@
-// Google-benchmark performance suite for trace serialization: binary and
-// CSV encode/decode throughput on realistic proxy-log records.
+// Google-benchmark performance suite for trace serialization: binary v1,
+// blocked v2 and CSV encode/decode throughput on realistic proxy-log
+// records.  The v2 decode is swept across TaskPool sizes over an mmap'ed
+// file — the exact production path of load_bundle.
+//
+// `--emit-json[=PATH]` skips google-benchmark and writes a v1-vs-v2
+// encode/decode summary plus the decoder thread sweep to
+// BENCH_trace_io.json, mirroring perf_analysis's emit mode.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
 
+#include "par/task_pool.h"
 #include "simnet/simulator.h"
 #include "trace/binary_io.h"
+#include "trace/block_io.h"
 #include "trace/csv_io.h"
+#include "util/mapped_file.h"
 
 namespace {
 
@@ -31,6 +48,76 @@ const std::vector<trace::ProxyRecord>& sample_records() {
   return records;
 }
 
+/// Block size small enough that an 8-thread sweep has work on every
+/// thread even for this 20k-record sample (~20 blocks).
+trace::BlockWriterOptions bench_block_options() {
+  trace::BlockWriterOptions options;
+  options.max_block_records = 1024;
+  return options;
+}
+
+const std::string& v1_blob() {
+  static const std::string blob = [] {
+    std::ostringstream out;
+    trace::BinaryLogWriter<trace::ProxyRecord> writer(out);
+    for (const trace::ProxyRecord& r : sample_records()) writer.write(r);
+    return out.str();
+  }();
+  return blob;
+}
+
+const std::string& v2_blob() {
+  static const std::string blob = [] {
+    std::ostringstream out;
+    trace::BlockLogWriter<trace::ProxyRecord> writer(out,
+                                                     bench_block_options());
+    for (const trace::ProxyRecord& r : sample_records()) writer.write(r);
+    writer.finish();
+    return out.str();
+  }();
+  return blob;
+}
+
+/// Writes `blob` next to the other bench inputs and returns its path.
+std::filesystem::path bench_file(const char* name, const std::string& blob) {
+  const std::filesystem::path p = std::filesystem::temp_directory_path() / name;
+  std::ofstream out(p, std::ios::binary | std::ios::trunc);
+  out << blob;
+  return p;
+}
+
+/// The blobs on disk: decode benchmarks measure the full file-to-records
+/// production paths, not in-memory parsing.
+const std::filesystem::path& v1_file() {
+  static const std::filesystem::path path =
+      bench_file("wearscope_perf_trace_io_v1.bin", v1_blob());
+  return path;
+}
+
+const std::filesystem::path& v2_file() {
+  static const std::filesystem::path path =
+      bench_file("wearscope_perf_trace_io_v2.bin", v2_blob());
+  return path;
+}
+
+/// The pre-v2 production load path, verbatim: buffered ifstream into the
+/// v1 stream reader, records copied into a growing vector.
+std::size_t drain_v1_file() {
+  std::ifstream in(v1_file(), std::ios::binary);
+  trace::BinaryLogReader<trace::ProxyRecord> reader(in);
+  std::vector<trace::ProxyRecord> records;
+  trace::ProxyRecord r;
+  while (reader.next(r)) records.push_back(r);
+  return records.size();
+}
+
+/// The v2 production load path: mmap + frame scan + (parallel) block
+/// decode into a pre-sized vector.
+std::size_t drain_v2_mmap(par::TaskPool* pool) {
+  const util::MappedFile file(v2_file(), util::MapMode::kAuto);
+  return trace::read_binary_log<trace::ProxyRecord>(file.bytes(), pool).size();
+}
+
 void BM_BinaryEncode(benchmark::State& state) {
   const auto& records = sample_records();
   for (auto _ : state) {
@@ -44,28 +131,49 @@ void BM_BinaryEncode(benchmark::State& state) {
 }
 BENCHMARK(BM_BinaryEncode)->Unit(benchmark::kMillisecond);
 
+void BM_V2Encode(benchmark::State& state) {
+  const auto& records = sample_records();
+  for (auto _ : state) {
+    std::ostringstream out;
+    trace::BlockLogWriter<trace::ProxyRecord> writer(out,
+                                                     bench_block_options());
+    for (const trace::ProxyRecord& r : records) writer.write(r);
+    writer.finish();
+    benchmark::DoNotOptimize(out.str().size());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(records.size()) * state.iterations());
+}
+BENCHMARK(BM_V2Encode)->Unit(benchmark::kMillisecond);
+
 void BM_BinaryDecode(benchmark::State& state) {
   const auto& records = sample_records();
-  std::ostringstream out;
-  {
-    trace::BinaryLogWriter<trace::ProxyRecord> writer(out);
-    for (const trace::ProxyRecord& r : records) writer.write(r);
-  }
-  const std::string blob = out.str();
   for (auto _ : state) {
-    std::istringstream in(blob);
-    trace::BinaryLogReader<trace::ProxyRecord> reader(in);
-    trace::ProxyRecord r;
-    std::size_t n = 0;
-    while (reader.next(r)) ++n;
-    benchmark::DoNotOptimize(n);
+    benchmark::DoNotOptimize(drain_v1_file());
   }
   state.SetItemsProcessed(
       static_cast<std::int64_t>(records.size()) * state.iterations());
   state.SetBytesProcessed(
-      static_cast<std::int64_t>(blob.size()) * state.iterations());
+      static_cast<std::int64_t>(v1_blob().size()) * state.iterations());
 }
 BENCHMARK(BM_BinaryDecode)->Unit(benchmark::kMillisecond);
+
+void BM_V2DecodeMmap(benchmark::State& state) {
+  const auto& records = sample_records();
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  // The pool persists across iterations (its workers park between runs);
+  // mapping the file stays inside the timed region, as in load_bundle.
+  par::TaskPool pool(threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(drain_v2_mmap(threads > 1 ? &pool : nullptr));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(records.size()) * state.iterations());
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(v2_blob().size()) * state.iterations());
+}
+BENCHMARK(BM_V2DecodeMmap)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_CsvEncode(benchmark::State& state) {
   const auto& records = sample_records();
@@ -119,6 +227,102 @@ void BM_StoreSort(benchmark::State& state) {
 }
 BENCHMARK(BM_StoreSort)->Unit(benchmark::kMillisecond);
 
+/// --emit-json mode: v1-vs-v2 encode/decode wall clock plus the v2 mmap
+/// decoder thread sweep, best of `kReps` runs per point.  Decode speedups
+/// are relative to the v1 istream reader — the path v2 replaces.
+int emit_json(const std::string& path) {
+  using Clock = std::chrono::steady_clock;
+  constexpr int kReps = 3;
+  const std::vector<std::size_t> thread_counts = {1, 2, 4, 8};
+
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  const auto& records = sample_records();
+  const std::string& v1 = v1_blob();
+  const std::string& v2 = v2_blob();
+  (void)v1_file();  // materialize the on-disk copies (and warm the page
+  (void)v2_file();  // cache) before timing
+
+  const auto best_of = [&](const auto& fn) {
+    double best_ms = 0.0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      const Clock::time_point t0 = Clock::now();
+      fn();
+      const double ms =
+          std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+      if (rep == 0 || ms < best_ms) best_ms = ms;
+    }
+    return best_ms;
+  };
+
+  const double v1_encode_ms = best_of([&] {
+    std::ostringstream enc;
+    trace::BinaryLogWriter<trace::ProxyRecord> writer(enc);
+    for (const trace::ProxyRecord& r : records) writer.write(r);
+    benchmark::DoNotOptimize(enc.str().size());
+  });
+  const double v2_encode_ms = best_of([&] {
+    std::ostringstream enc;
+    trace::BlockLogWriter<trace::ProxyRecord> writer(enc,
+                                                     bench_block_options());
+    for (const trace::ProxyRecord& r : records) writer.write(r);
+    writer.finish();
+    benchmark::DoNotOptimize(enc.str().size());
+  });
+  const double v1_decode_ms =
+      best_of([&] { benchmark::DoNotOptimize(drain_v1_file()); });
+
+  std::fprintf(out, "{\n  \"bench\": \"perf_trace_io\",\n");
+  std::fprintf(out, "  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(out, "  \"records\": %llu,\n",
+               static_cast<unsigned long long>(records.size()));
+  std::fprintf(out, "  \"v1_bytes\": %llu,\n",
+               static_cast<unsigned long long>(v1.size()));
+  std::fprintf(out, "  \"v2_bytes\": %llu,\n",
+               static_cast<unsigned long long>(v2.size()));
+  std::fprintf(out, "  \"encode\": {\"v1_ms\": %.2f, \"v2_ms\": %.2f},\n",
+               v1_encode_ms, v2_encode_ms);
+  std::fprintf(out, "  \"v1_decode_ms\": %.2f,\n", v1_decode_ms);
+  std::fprintf(out, "  \"v2_decode\": [\n");
+  std::printf("encode: v1 %.2f ms, v2 %.2f ms; v1 istream decode %.2f ms\n",
+              v1_encode_ms, v2_encode_ms, v1_decode_ms);
+  for (std::size_t i = 0; i < thread_counts.size(); ++i) {
+    const std::size_t threads = thread_counts[i];
+    par::TaskPool pool(threads);
+    const double ms = best_of([&] {
+      benchmark::DoNotOptimize(drain_v2_mmap(threads > 1 ? &pool : nullptr));
+    });
+    const double speedup = ms > 0.0 ? v1_decode_ms / ms : 0.0;
+    std::fprintf(out,
+                 "    {\"threads\": %zu, \"mmap_ms\": %.2f, "
+                 "\"speedup_vs_v1\": %.2f}%s\n",
+                 threads, ms, speedup,
+                 i + 1 < thread_counts.size() ? "," : "");
+    std::printf("v2 mmap decode, %zu thread(s): %.2f ms (%.2fx vs v1)\n",
+                threads, ms, speedup);
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--emit-json", 11) == 0) {
+      const char* eq = std::strchr(argv[i], '=');
+      return emit_json(eq != nullptr ? eq + 1 : "BENCH_trace_io.json");
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

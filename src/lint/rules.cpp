@@ -75,11 +75,11 @@ constexpr std::array<std::string_view, 9> kOrderedTypes = {
 }
 
 /// Fields of trace::QuarantineStats — touching one counts as accounting.
-constexpr std::array<std::string_view, 10> kQuarantineCounters = {
-    "corrupt_files", "corrupt_tails",     "corrupt_rows",
-    "duplicates",    "regressions",       "unknown_tac",
-    "bad_host",      "reordered",         "transient_retries",
-    "dropped_after_retry"};
+constexpr std::array<std::string_view, 11> kQuarantineCounters = {
+    "corrupt_files", "corrupt_tails",     "corrupt_blocks",
+    "corrupt_rows",  "duplicates",        "regressions",
+    "unknown_tac",   "bad_host",          "reordered",
+    "transient_retries", "dropped_after_retry"};
 
 [[nodiscard]] bool mentions_quarantine(const Code& c, std::size_t begin,
                                        std::size_t end) {

@@ -2,107 +2,13 @@
 
 #include <array>
 #include <bit>
-#include <cstring>
 #include <optional>
 #include <utility>
 
+#include "trace/record_codec.h"
 #include "util/error.h"
 
 namespace wearscope::trace {
-
-namespace {
-
-/// Per-record-type magic so that a proxy log cannot be fed to an MME reader.
-template <typename Record>
-constexpr std::uint32_t magic_of();
-template <>
-constexpr std::uint32_t magic_of<ProxyRecord>() {
-  return 0x57505258;  // "WPRX"
-}
-template <>
-constexpr std::uint32_t magic_of<MmeRecord>() {
-  return 0x574d4d45;  // "WMME"
-}
-template <>
-constexpr std::uint32_t magic_of<DeviceRecord>() {
-  return 0x57444556;  // "WDEV"
-}
-template <>
-constexpr std::uint32_t magic_of<SectorInfo>() {
-  return 0x57534543;  // "WSEC"
-}
-
-void encode_record(BinaryEncoder& enc, const ProxyRecord& r) {
-  enc.put_i64(r.timestamp);
-  enc.put_u64(r.user_id);
-  enc.put_u32(r.tac);
-  enc.put_u8(static_cast<std::uint8_t>(r.protocol));
-  enc.put_string(r.host);
-  enc.put_string(r.url_path);
-  enc.put_u64(r.bytes_up);
-  enc.put_u64(r.bytes_down);
-  enc.put_u32(r.duration_ms);
-}
-
-void decode_record(BinaryDecoder& dec, ProxyRecord& r) {
-  r.timestamp = dec.get_i64();
-  r.user_id = dec.get_u64();
-  r.tac = dec.get_u32();
-  const std::uint8_t proto = dec.get_u8();
-  if (proto > 1) throw util::ParseError("proxy record: bad protocol byte");
-  r.protocol = static_cast<Protocol>(proto);
-  r.host = dec.get_string();
-  r.url_path = dec.get_string();
-  r.bytes_up = dec.get_u64();
-  r.bytes_down = dec.get_u64();
-  r.duration_ms = dec.get_u32();
-}
-
-void encode_record(BinaryEncoder& enc, const MmeRecord& r) {
-  enc.put_i64(r.timestamp);
-  enc.put_u64(r.user_id);
-  enc.put_u32(r.tac);
-  enc.put_u8(static_cast<std::uint8_t>(r.event));
-  enc.put_u32(r.sector_id);
-}
-
-void decode_record(BinaryDecoder& dec, MmeRecord& r) {
-  r.timestamp = dec.get_i64();
-  r.user_id = dec.get_u64();
-  r.tac = dec.get_u32();
-  const std::uint8_t ev = dec.get_u8();
-  if (ev > 3) throw util::ParseError("mme record: bad event byte");
-  r.event = static_cast<MmeEvent>(ev);
-  r.sector_id = dec.get_u32();
-}
-
-void encode_record(BinaryEncoder& enc, const DeviceRecord& r) {
-  enc.put_u32(r.tac);
-  enc.put_string(r.model);
-  enc.put_string(r.manufacturer);
-  enc.put_string(r.os);
-}
-
-void decode_record(BinaryDecoder& dec, DeviceRecord& r) {
-  r.tac = dec.get_u32();
-  r.model = dec.get_string();
-  r.manufacturer = dec.get_string();
-  r.os = dec.get_string();
-}
-
-void encode_record(BinaryEncoder& enc, const SectorInfo& r) {
-  enc.put_u32(r.sector_id);
-  enc.put_f64(r.position.lat_deg);
-  enc.put_f64(r.position.lon_deg);
-}
-
-void decode_record(BinaryDecoder& dec, SectorInfo& r) {
-  r.sector_id = dec.get_u32();
-  r.position.lat_deg = dec.get_f64();
-  r.position.lon_deg = dec.get_f64();
-}
-
-}  // namespace
 
 void BinaryEncoder::put_u8(std::uint8_t v) {
   out_->put(static_cast<char>(v));
@@ -257,9 +163,14 @@ BinaryLogReader<Record>::BinaryLogReader(std::istream& in) : dec_(in) {
   if (magic != magic_of<Record>())
     throw util::ParseError("binary log: wrong magic (different record type?)");
   const std::uint16_t version = dec_.get_u16();
-  if (version != kBinaryFormatVersion)
+  if (version != kBinaryFormatVersion) {
+    if (version == 2)
+      throw util::ParseError(
+          "binary log: blocked v2 log given to the v1 stream reader (load "
+          "it via trace/block_io, which handles both versions)");
     throw util::ParseError("binary log: unsupported format version " +
                            std::to_string(version));
+  }
   dec_.get_u16();  // reserved
 }
 

@@ -1,10 +1,16 @@
-// Compact binary log format.
+// Compact binary log format, on-disk version 1.
 //
 // Layout: an 8-byte header (4-byte magic identifying the record kind,
 // 2-byte version, 2-byte reserved) followed by length-delimited records.
 // All integers are little-endian regardless of host order; strings are
 // u16-length-prefixed UTF-8.  The format is stream-oriented: readers pull one
 // record at a time so multi-gigabyte logs never need to fit in memory.
+//
+// Version 2 (trace/block_io) keeps the identical record encoding but frames
+// records into CRC-checked blocks for zero-copy mmap reads and parallel
+// decode; the classes here remain the v1 reference codec (and the fallback
+// writer for `--trace-format v1`).  The field-level layout both versions
+// share lives in trace/record_codec.h.
 #pragma once
 
 #include <cstdint>

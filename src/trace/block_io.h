@@ -1,0 +1,256 @@
+// Blocked binary log format (on-disk version 2).
+//
+// v1 (trace/binary_io) streams records one primitive at a time through
+// std::istream virtual dispatch and quarantines the whole file tail on one
+// corrupt byte.  v2 keeps the identical record encoding but groups records
+// into framed blocks behind the same 8-byte header:
+//
+//   [magic u32][version=2 u16][reserved u16]          file header
+//   repeat {
+//     [record_count u32][byte_length u32][crc32 u32]  frame header
+//     [record_count v1-encoded records]               payload, byte_length
+//   }                                                 bytes long
+//
+// Consequences the rest of the system builds on:
+//
+//   * the writer encodes into a per-block scratch buffer and issues two
+//     ostream::writes per block (header + payload) instead of one per
+//     primitive;
+//   * the reader scans the frame index without touching payloads, pre-sizes
+//     the destination vector, and decodes blocks concurrently on a
+//     par::TaskPool — each task writes its own contiguous slice, so the
+//     result is bitwise identical to the sequential decode for any thread
+//     count (the same determinism contract as ParPipeline);
+//   * corruption is block-granular: a bad CRC or an impossible frame header
+//     quarantines ONE block (`QuarantineStats::corrupt_blocks`) and the
+//     reader resyncs at the next frame header, because `byte_length` chains
+//     frames together.  Only a broken chain (truncated tail, overlong
+//     byte_length) loses the rest of the file — counted as one block.
+//
+// Block payloads are decoded with util::MemorySpanDecoder over an mmap'ed
+// file (util::MappedFile), so the hot path does zero virtual calls and
+// zero copies between the page cache and the record fields.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "trace/quarantine.h"
+#include "trace/records.h"
+#include "util/error.h"
+
+namespace wearscope::par {
+class TaskPool;
+}  // namespace wearscope::par
+
+namespace wearscope::trace {
+
+/// On-disk version written by BlockLogWriter.
+inline constexpr std::uint16_t kBinaryFormatV2 = 2;
+
+/// Bytes of one frame header: record_count + byte_length + crc32.
+inline constexpr std::size_t kFrameHeaderBytes = 12;
+
+/// Little-endian primitive encoder appending to an in-memory scratch
+/// buffer (exposed for tests).  Same API as BinaryEncoder, no streams.
+class BufferEncoder {
+ public:
+  explicit BufferEncoder(std::string& out) : out_(&out) {}
+
+  void put_u8(std::uint8_t v) { out_->push_back(static_cast<char>(v)); }
+  void put_u16(std::uint16_t v) {
+    put_u8(static_cast<std::uint8_t>(v & 0xff));
+    put_u8(static_cast<std::uint8_t>((v >> 8) & 0xff));
+  }
+  void put_u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i)
+      put_u8(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+  }
+  void put_u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i)
+      put_u8(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+  }
+  void put_i64(std::int64_t v) { put_u64(static_cast<std::uint64_t>(v)); }
+  void put_f64(double v) { put_u64(std::bit_cast<std::uint64_t>(v)); }
+  /// u16 length prefix + bytes; strings over 65535 bytes are rejected.
+  void put_string(const std::string& s) {
+    util::require(s.size() <= 0xffff, "binary string field too long");
+    put_u16(static_cast<std::uint16_t>(s.size()));
+    out_->append(s);
+  }
+
+ private:
+  std::string* out_ = nullptr;
+};
+
+/// Writer knobs: a block closes when either limit is reached.  The
+/// defaults keep blocks around 256 KiB — big enough to amortize framing,
+/// small enough that an 8-thread decode of any real log has work for
+/// every thread and a corrupt block loses little.
+struct BlockWriterOptions {
+  std::size_t target_block_bytes = 256 * 1024;
+  std::size_t max_block_records = 4096;
+};
+
+/// Typed v2 writer: header on construction, records buffered into a
+/// scratch block, frames flushed wholesale.  Call finish() (or let the
+/// destructor do it, swallowing errors) to flush the final partial block.
+template <typename Record>
+class BlockLogWriter {
+ public:
+  explicit BlockLogWriter(std::ostream& out, BlockWriterOptions options = {});
+  ~BlockLogWriter();
+
+  BlockLogWriter(const BlockLogWriter&) = delete;
+  BlockLogWriter& operator=(const BlockLogWriter&) = delete;
+
+  /// Appends one record to the current block.
+  void write(const Record& r);
+
+  /// Flushes the pending block and marks the log complete.  Idempotent.
+  /// Throws util::IoError on write failure.
+  void finish();
+
+  /// Records written so far.
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  /// Frames flushed so far (the final count is valid after finish()).
+  [[nodiscard]] std::uint64_t block_count() const noexcept { return blocks_; }
+
+ private:
+  void flush_block();
+
+  std::ostream* out_ = nullptr;
+  BlockWriterOptions options_;
+  std::string scratch_;
+  std::uint32_t pending_records_ = 0;
+  std::uint64_t count_ = 0;
+  std::uint64_t blocks_ = 0;
+  bool finished_ = false;
+};
+
+/// One frame of a v2 log as located by the index scan.
+struct BlockFrame {
+  std::size_t payload_offset = 0;  ///< Into the log body (after the header).
+  std::uint32_t record_count = 0;
+  std::uint32_t byte_length = 0;
+  std::uint32_t crc = 0;
+  /// False when the frame header itself is impossible (record_count
+  /// exceeds byte_length): the frame is skipped, never decoded.
+  bool header_ok = true;
+};
+
+/// Frame index of one v2 log body: every addressable frame plus what the
+/// scan had to give up on.
+struct BlockIndex {
+  std::vector<BlockFrame> frames;
+  /// Sum of record_count over frames with header_ok (the pre-size target).
+  std::uint64_t total_records = 0;
+  /// Blocks lost at scan time: impossible frame headers plus one for a
+  /// broken chain (truncated frame header/payload at the tail).
+  std::uint64_t corrupt_blocks = 0;
+};
+
+/// Scans the frame chain of a v2 log body (`body` starts AFTER the 8-byte
+/// file header) without decoding payloads.  Strict (`lenient == false`):
+/// throws util::ParseError on any structural damage.  Lenient: skips
+/// impossible frames when the chain allows it, counts a broken chain as
+/// one corrupt block and stops — corruption never cascades past the scan.
+[[nodiscard]] BlockIndex scan_block_index(std::span<const std::byte> body,
+                                          bool lenient);
+
+/// Summary of one binary log file for operator audits (wearscope_inspect).
+struct BinaryLogInfo {
+  std::uint16_t version = 0;   ///< 1 or 2.
+  std::uint64_t blocks = 0;    ///< 0 for v1.
+  std::uint64_t records = 0;   ///< v2: claimed by frames; v1: decoded count.
+};
+
+/// Probes a whole binary log (header included) of either version.
+/// Throws util::ParseError when the header is not a `Record` log at all;
+/// body damage is tolerated (the counts describe what a lenient reader
+/// would recover).
+template <typename Record>
+[[nodiscard]] BinaryLogInfo probe_binary_log(std::span<const std::byte> bytes);
+
+/// Validates the 8-byte file header of a `Record` log and returns its
+/// version (1 or 2).  Throws util::ParseError on a short buffer, wrong
+/// magic or unknown version.  Cheap: touches only the first 8 bytes.
+template <typename Record>
+[[nodiscard]] std::uint16_t read_log_header(std::span<const std::byte> bytes);
+
+/// Strict whole-log read from memory, v1 or v2 by header version.  v2
+/// blocks decode concurrently on `pool` when given (nullptr == inline);
+/// the result is identical for every pool size.  Throws util::ParseError
+/// on any corruption.
+template <typename Record>
+[[nodiscard]] std::vector<Record> read_binary_log(
+    std::span<const std::byte> bytes, par::TaskPool* pool = nullptr);
+
+/// Lenient whole-log read from memory with skip-and-count quarantine:
+/// a rejected header counts one `corrupt_files`; v1 body damage counts
+/// one `corrupt_tails` (keeping the records before it); v2 body damage
+/// counts one `corrupt_blocks` per lost block, keeping every other block.
+/// Never throws ParseError.
+template <typename Record>
+[[nodiscard]] std::vector<Record> read_binary_log_lenient(
+    std::span<const std::byte> bytes, QuarantineStats& quarantine,
+    par::TaskPool* pool = nullptr);
+
+// --- Bundle-loader building blocks ---------------------------------------
+// load_bundle wants ALL blocks of ALL four logs in one task batch, so the
+// schedule/finalize halves of the parallel decode are exposed here.
+
+/// A v2 log whose frames have been scanned and whose destination has been
+/// pre-sized: schedule() appends one decode task per frame to `batch`
+/// (tasks write disjoint slices of `out` and the per-frame ok flags);
+/// finalize() — sequential, after the batch ran — compacts failed blocks
+/// out of `out` in frame order and returns the total corrupt-block count.
+template <typename Record>
+class BlockedLogDecode {
+ public:
+  /// `body` is the log body after the 8-byte header; it must stay alive
+  /// (and unmoved) until finalize() returns.  `lenient` selects scan and
+  /// decode behaviour: strict decode tasks throw on a bad block.
+  BlockedLogDecode(std::span<const std::byte> body, bool lenient);
+
+  /// Claimed record total (the pre-size target).
+  [[nodiscard]] std::uint64_t total_records() const noexcept {
+    return index_.total_records;
+  }
+  /// Frames found by the scan.
+  [[nodiscard]] const BlockIndex& index() const noexcept { return index_; }
+
+  /// Resizes `out` and appends the per-frame decode tasks to `batch`.
+  void schedule(std::vector<Record>& out,
+                std::vector<std::function<void()>>& batch);
+
+  /// Compacts `out` (stable, frame order) and returns corrupt blocks
+  /// (scan losses + decode/CRC failures).  Strict mode always returns 0 —
+  /// failures have already thrown out of the batch.
+  std::uint64_t finalize(std::vector<Record>& out);
+
+ private:
+  std::span<const std::byte> body_;
+  bool lenient_ = false;
+  BlockIndex index_;
+  std::vector<std::uint64_t> frame_base_;  ///< Slice start per frame.
+  /// Written concurrently, one slot per frame, by the decode tasks.
+  std::vector<std::uint8_t> frame_done_;
+};
+
+extern template class BlockLogWriter<ProxyRecord>;
+extern template class BlockLogWriter<MmeRecord>;
+extern template class BlockLogWriter<DeviceRecord>;
+extern template class BlockLogWriter<SectorInfo>;
+extern template class BlockedLogDecode<ProxyRecord>;
+extern template class BlockedLogDecode<MmeRecord>;
+extern template class BlockedLogDecode<DeviceRecord>;
+extern template class BlockedLogDecode<SectorInfo>;
+
+}  // namespace wearscope::trace

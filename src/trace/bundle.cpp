@@ -1,72 +1,229 @@
 #include "trace/bundle.h"
 
+#include <cerrno>
+#include <cstring>
 #include <fstream>
+#include <functional>
+#include <iostream>
+#include <optional>
+#include <utility>
 
+#include "par/task_pool.h"
 #include "trace/binary_io.h"
 #include "trace/csv_io.h"
 #include "util/error.h"
+#include "util/mapped_file.h"
 
 namespace wearscope::trace {
 
 namespace {
 
+/// IoError carrying the failing path AND the OS errno explanation, so
+/// "cannot open" tells the operator *why* (ENOENT vs EACCES vs EMFILE).
+[[noreturn]] void fail_io(const std::string& action,
+                          const std::filesystem::path& path) {
+  const int err = errno;
+  std::string msg = action + ": " + path.string();
+  if (err != 0) {
+    msg += " (";
+    msg += std::strerror(err);
+    msg += ")";
+  }
+  throw util::IoError(msg);
+}
+
 template <typename Record>
 void save_log(const std::vector<Record>& records,
-              const std::filesystem::path& path, BundleFormat format) {
+              const std::filesystem::path& path, BundleFormat format,
+              std::uint16_t binary_version) {
+  errno = 0;
   std::ofstream out(path, std::ios::binary);
-  if (!out) throw util::IoError("cannot open for writing: " + path.string());
+  if (!out) fail_io("cannot open for writing", path);
   if (format == BundleFormat::kBinary) {
-    BinaryLogWriter<Record> writer(out);
-    for (const Record& r : records) writer.write(r);
+    if (binary_version == kBinaryFormatV2) {
+      BlockLogWriter<Record> writer(out);
+      for (const Record& r : records) writer.write(r);
+      writer.finish();
+    } else {
+      BinaryLogWriter<Record> writer(out);
+      for (const Record& r : records) writer.write(r);
+    }
   } else {
     CsvLogWriter<Record> writer(out);
     for (const Record& r : records) writer.write(r);
   }
   out.flush();
-  if (!out) throw util::IoError("write failed: " + path.string());
+  if (!out) fail_io("write failed", path);
+}
+
+[[noreturn]] void fail_missing(const std::filesystem::path& dir,
+                               const std::string& stem) {
+  throw util::IoError("bundle log missing: " + (dir / stem).string() +
+                      ".{bin,csv}");
+}
+
+/// Emitted once per stem, at prepare time (sequential, fixed log order),
+/// so the warning stream is deterministic.
+void warn_dual_format(const std::filesystem::path& dir,
+                      const std::string& stem) {
+  std::cerr << "warning: both " << stem << ".bin and " << stem
+            << ".csv exist in " << dir.string() << "; loading " << stem
+            << ".bin (binary is preferred over csv)\n";
+}
+
+/// Per-log state of the one-batch bundle load.  prepare() — sequential —
+/// maps the file, validates the header and appends this log's decode tasks
+/// to the shared batch (one task per v2 block; one whole-log task for
+/// v1/CSV, since those have no internal framing to split on).  After the
+/// batch drains, finalize() — sequential again, called in fixed log
+/// order — compacts v2 blocks and merges this log's quarantine counters,
+/// keeping the accounting deterministic for every thread count.
+template <typename Record>
+class LogLoad {
+ public:
+  void prepare(const std::filesystem::path& dir, const std::string& stem,
+               bool lenient, const LoadOptions& options,
+               std::vector<std::function<void()>>& batch) {
+    const std::filesystem::path bin = dir / (stem + ".bin");
+    const std::filesystem::path csv = dir / (stem + ".csv");
+    const bool have_bin = std::filesystem::exists(bin);
+    const bool have_csv = std::filesystem::exists(csv);
+    if (have_bin && have_csv) warn_dual_format(dir, stem);
+    if (have_bin) {
+      prepare_binary(bin, lenient, options, batch);
+    } else if (have_csv) {
+      prepare_csv(csv, lenient, batch);
+    } else {
+      fail_missing(dir, stem);
+    }
+  }
+
+  /// Merges this log's quarantine counters into `quarantine` (lenient
+  /// loads only) and hands over the records.
+  std::vector<Record> finalize(QuarantineStats* quarantine) {
+    if (decode_.has_value()) local_.corrupt_blocks += decode_->finalize(out_);
+    if (quarantine != nullptr) *quarantine += local_;
+    decode_.reset();
+    file_.reset();
+    return std::move(out_);
+  }
+
+ private:
+  void prepare_binary(const std::filesystem::path& bin, bool lenient,
+                      const LoadOptions& options,
+                      std::vector<std::function<void()>>& batch) {
+    errno = 0;
+    file_.emplace(bin, options.use_mmap ? util::MapMode::kAuto
+                                        : util::MapMode::kReadWholeFile);
+    const std::span<const std::byte> bytes = file_->bytes();
+    std::uint16_t version = 0;
+    if (lenient) {
+      try {
+        version = read_log_header<Record>(bytes);
+      } catch (const util::ParseError&) {
+        ++local_.corrupt_files;  // header rejected: nothing recoverable
+        return;
+      }
+    } else {
+      version = read_log_header<Record>(bytes);
+    }
+    if (version == kBinaryFormatV2) {
+      decode_.emplace(bytes.subspan(8), lenient);
+      decode_->schedule(out_, batch);
+      return;
+    }
+    // v1 stream: one contiguous record run, decoded as a single task.
+    batch.push_back([this, bytes, lenient] {
+      if (lenient) {
+        out_ = read_binary_log_lenient<Record>(bytes, local_, nullptr);
+      } else {
+        out_ = read_binary_log<Record>(bytes, nullptr);
+      }
+    });
+  }
+
+  void prepare_csv(const std::filesystem::path& csv, bool lenient,
+                   std::vector<std::function<void()>>& batch) {
+    csv_path_ = csv;
+    batch.push_back([this, lenient] {
+      errno = 0;
+      std::ifstream in(csv_path_);
+      if (!in) fail_io("cannot open", csv_path_);
+      if (lenient) {
+        out_ = read_csv_log_lenient<Record>(in, local_);
+      } else {
+        CsvLogReader<Record> reader(in);
+        Record r;
+        while (reader.next(r)) out_.push_back(r);
+      }
+    });
+  }
+
+  std::optional<util::MappedFile> file_;
+  std::optional<BlockedLogDecode<Record>> decode_;
+  std::vector<Record> out_;
+  QuarantineStats local_;
+  std::filesystem::path csv_path_;
+};
+
+TraceStore load_bundle_impl(const std::filesystem::path& dir,
+                            QuarantineStats* quarantine,
+                            const LoadOptions& options) {
+  util::require(options.threads >= 1, "load_bundle: threads must be >= 1");
+  const bool lenient = quarantine != nullptr;
+  LogLoad<ProxyRecord> proxy;
+  LogLoad<MmeRecord> mme;
+  LogLoad<DeviceRecord> devices;
+  LogLoad<SectorInfo> sectors;
+  // Phase 1 (sequential): map files, validate headers, scan v2 frame
+  // indexes, pre-size destinations — and collect EVERY decode task of all
+  // four logs into one flat batch, so a pool thread never idles while
+  // another log still has blocks left.
+  std::vector<std::function<void()>> batch;
+  proxy.prepare(dir, "proxy", lenient, options, batch);
+  mme.prepare(dir, "mme", lenient, options, batch);
+  devices.prepare(dir, "devices", lenient, options, batch);
+  sectors.prepare(dir, "sectors", lenient, options, batch);
+  // Phase 2: drain the batch.  Tasks write disjoint slices (and their own
+  // per-log counters), so any thread count produces the same bytes.
+  par::TaskPool pool(static_cast<std::size_t>(options.threads));
+  pool.run(std::move(batch));
+  // Phase 3 (sequential, fixed order): compact v2 blocks and merge
+  // quarantine accounting.
+  TraceStore store;
+  store.proxy = proxy.finalize(quarantine);
+  store.mme = mme.finalize(quarantine);
+  store.devices = devices.finalize(quarantine);
+  store.sectors = sectors.finalize(quarantine);
+  return store;
 }
 
 template <typename Record>
-std::vector<Record> load_log(const std::filesystem::path& dir,
-                             const std::string& stem,
-                             QuarantineStats* quarantine) {
+BundleLogAudit audit_log(const std::filesystem::path& dir,
+                         const std::string& stem) {
+  BundleLogAudit audit;
+  audit.stem = stem;
   const std::filesystem::path bin = dir / (stem + ".bin");
   const std::filesystem::path csv = dir / (stem + ".csv");
-  std::vector<Record> records;
-  Record r;
   if (std::filesystem::exists(bin)) {
-    std::ifstream in(bin, std::ios::binary);
-    if (!in) throw util::IoError("cannot open: " + bin.string());
-    if (quarantine != nullptr) {
-      records = read_binary_log_lenient<Record>(in, *quarantine);
-    } else {
-      BinaryLogReader<Record> reader(in);
-      while (reader.next(r)) records.push_back(r);
-    }
+    audit.file = bin.filename().string();
+    errno = 0;
+    const util::MappedFile file(bin, util::MapMode::kAuto);
+    const BinaryLogInfo info = probe_binary_log<Record>(file.bytes());
+    audit.version = info.version;
+    audit.blocks = info.blocks;
+    audit.records = info.records;
   } else if (std::filesystem::exists(csv)) {
+    audit.file = csv.filename().string();
+    errno = 0;
     std::ifstream in(csv);
-    if (!in) throw util::IoError("cannot open: " + csv.string());
-    if (quarantine != nullptr) {
-      records = read_csv_log_lenient<Record>(in, *quarantine);
-    } else {
-      CsvLogReader<Record> reader(in);
-      while (reader.next(r)) records.push_back(r);
-    }
+    if (!in) fail_io("cannot open", csv);
+    QuarantineStats scratch;  // audit only reports; the load path accounts
+    audit.records = read_csv_log_lenient<Record>(in, scratch).size();
   } else {
-    throw util::IoError("bundle log missing: " + (dir / stem).string() +
-                        ".{bin,csv}");
+    fail_missing(dir, stem);
   }
-  return records;
-}
-
-TraceStore load_bundle_impl(const std::filesystem::path& dir,
-                            QuarantineStats* quarantine) {
-  TraceStore store;
-  store.proxy = load_log<ProxyRecord>(dir, "proxy", quarantine);
-  store.mme = load_log<MmeRecord>(dir, "mme", quarantine);
-  store.devices = load_log<DeviceRecord>(dir, "devices", quarantine);
-  store.sectors = load_log<SectorInfo>(dir, "sectors", quarantine);
-  return store;
+  return audit;
 }
 
 const char* extension(BundleFormat format) {
@@ -76,24 +233,45 @@ const char* extension(BundleFormat format) {
 }  // namespace
 
 void save_bundle(const TraceStore& store, const std::filesystem::path& dir,
-                 BundleFormat format) {
+                 BundleFormat format, std::uint16_t binary_version) {
+  util::require(binary_version == 1 || binary_version == kBinaryFormatV2,
+                "save_bundle: binary version must be 1 or 2");
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
-  if (ec) throw util::IoError("cannot create directory: " + dir.string());
+  if (ec)
+    throw util::IoError("cannot create directory: " + dir.string() + " (" +
+                        ec.message() + ")");
   const std::string ext = extension(format);
-  save_log(store.proxy, dir / ("proxy" + ext), format);
-  save_log(store.mme, dir / ("mme" + ext), format);
-  save_log(store.devices, dir / ("devices" + ext), format);
-  save_log(store.sectors, dir / ("sectors" + ext), format);
+  save_log(store.proxy, dir / ("proxy" + ext), format, binary_version);
+  save_log(store.mme, dir / ("mme" + ext), format, binary_version);
+  save_log(store.devices, dir / ("devices" + ext), format, binary_version);
+  save_log(store.sectors, dir / ("sectors" + ext), format, binary_version);
+}
+
+TraceStore load_bundle(const std::filesystem::path& dir,
+                       const LoadOptions& options) {
+  return load_bundle_impl(dir, nullptr, options);
 }
 
 TraceStore load_bundle(const std::filesystem::path& dir) {
-  return load_bundle_impl(dir, nullptr);
+  return load_bundle_impl(dir, nullptr, LoadOptions{});
+}
+
+TraceStore load_bundle(const std::filesystem::path& dir,
+                       QuarantineStats& quarantine,
+                       const LoadOptions& options) {
+  return load_bundle_impl(dir, &quarantine, options);
 }
 
 TraceStore load_bundle(const std::filesystem::path& dir,
                        QuarantineStats& quarantine) {
-  return load_bundle_impl(dir, &quarantine);
+  return load_bundle_impl(dir, &quarantine, LoadOptions{});
+}
+
+std::vector<BundleLogAudit> audit_bundle(const std::filesystem::path& dir) {
+  return {audit_log<ProxyRecord>(dir, "proxy"), audit_log<MmeRecord>(dir, "mme"),
+          audit_log<DeviceRecord>(dir, "devices"),
+          audit_log<SectorInfo>(dir, "sectors")};
 }
 
 }  // namespace wearscope::trace

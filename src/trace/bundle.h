@@ -5,11 +5,20 @@
 //   <dir>/mme.(bin|csv)      MME mobility log
 //   <dir>/devices.(bin|csv)  DeviceDB snapshot
 //   <dir>/sectors.(bin|csv)  antenna-sector positions
+//
+// Binary logs are written in the blocked v2 format by default
+// (trace/block_io: CRC-framed blocks, mmap + parallel decode); v1 streams
+// remain fully readable and can still be written for older consumers.
+// When both <stem>.bin and <stem>.csv exist, the binary file wins and the
+// loader says so on stderr — a silent preference bit us in the field.
 #pragma once
 
+#include <cstdint>
 #include <filesystem>
 #include <string>
+#include <vector>
 
+#include "trace/block_io.h"
 #include "trace/quarantine.h"
 #include "trace/store.h"
 
@@ -22,22 +31,58 @@ enum class BundleFormat {
 };
 
 /// Writes all four logs of `store` into `dir` (created if absent).
-/// Throws util::IoError on filesystem failures.
+/// `binary_version` selects the on-disk binary layout (2 = blocked v2,
+/// 1 = legacy stream; ignored for CSV).  Throws util::IoError on
+/// filesystem failures, with the OS errno explanation in the message.
 void save_bundle(const TraceStore& store, const std::filesystem::path& dir,
-                 BundleFormat format = BundleFormat::kBinary);
+                 BundleFormat format = BundleFormat::kBinary,
+                 std::uint16_t binary_version = kBinaryFormatV2);
+
+/// Knobs for load_bundle.  With `threads > 1` every v2 block of every log
+/// joins ONE task batch on a par::TaskPool (v1/CSV logs contribute one
+/// whole-log task each); the loaded store is bitwise identical for any
+/// thread count.  `use_mmap` false forces the portable read-whole-file
+/// path (util::MapMode::kReadWholeFile) — same bytes, same result.
+struct LoadOptions {
+  int threads = 1;
+  bool use_mmap = true;
+};
 
 /// Loads a bundle previously written by save_bundle. The format is detected
-/// from the file extensions present in `dir`.
+/// from the file extensions present in `dir` (binary version from the file
+/// header — v1 and v2 both load).
 /// Throws util::IoError when files are missing, util::ParseError when they
 /// are malformed.
+TraceStore load_bundle(const std::filesystem::path& dir,
+                       const LoadOptions& options);
 TraceStore load_bundle(const std::filesystem::path& dir);
 
 /// Lenient variant for hostile captures: instead of aborting on the first
 /// malformed byte, recovers every record it can and accounts for the rest
 /// in `quarantine` (see trace/quarantine.h — rejected headers, abandoned
-/// binary tails, skipped CSV rows).  Missing files still throw
-/// util::IoError: an absent log is a deployment error, not line noise.
+/// v1 binary tails, quarantined v2 blocks, skipped CSV rows).  Missing
+/// files still throw util::IoError: an absent log is a deployment error,
+/// not line noise.
+TraceStore load_bundle(const std::filesystem::path& dir,
+                       QuarantineStats& quarantine,
+                       const LoadOptions& options);
 TraceStore load_bundle(const std::filesystem::path& dir,
                        QuarantineStats& quarantine);
+
+/// What one log of a bundle looks like on disk, for operator audits
+/// (`wearscope_inspect`): which file backs the stem, its format version
+/// (0 = CSV), and how many blocks/records it claims.
+struct BundleLogAudit {
+  std::string stem;           ///< "proxy", "mme", "devices" or "sectors".
+  std::string file;           ///< File name actually loaded, e.g. "proxy.bin".
+  std::uint16_t version = 0;  ///< 2 = blocked, 1 = v1 stream, 0 = CSV.
+  std::uint64_t blocks = 0;   ///< v2 frame count (0 otherwise).
+  std::uint64_t records = 0;  ///< Records a lenient reader would recover.
+};
+
+/// Probes all four logs of a bundle without building a TraceStore.
+/// Throws util::IoError on missing files, util::ParseError when a binary
+/// header is not the expected record type at all.
+std::vector<BundleLogAudit> audit_bundle(const std::filesystem::path& dir);
 
 }  // namespace wearscope::trace

@@ -23,7 +23,8 @@ namespace wearscope::trace {
 struct QuarantineStats {
   // --- IO level (lenient bundle loading) -------------------------------
   std::uint64_t corrupt_files = 0;  ///< Header rejected; file yielded nothing.
-  std::uint64_t corrupt_tails = 0;  ///< Mid-stream error; binary tail dropped.
+  std::uint64_t corrupt_tails = 0;  ///< Mid-stream error; v1 binary tail dropped.
+  std::uint64_t corrupt_blocks = 0;  ///< v2 blocks dropped (CRC/frame damage).
   std::uint64_t corrupt_rows = 0;   ///< CSV rows skipped individually.
 
   // --- Record level (stream sanitizer) ---------------------------------
@@ -40,8 +41,9 @@ struct QuarantineStats {
   /// Sum of every *dropped* item (reordered repairs and recovered retries
   /// are not drops).
   [[nodiscard]] std::uint64_t total_dropped() const noexcept {
-    return corrupt_files + corrupt_tails + corrupt_rows + duplicates +
-           regressions + unknown_tac + bad_host + dropped_after_retry;
+    return corrupt_files + corrupt_tails + corrupt_blocks + corrupt_rows +
+           duplicates + regressions + unknown_tac + bad_host +
+           dropped_after_retry;
   }
 
   /// True when any counter is non-zero (including repairs/retries).
@@ -52,6 +54,7 @@ struct QuarantineStats {
   QuarantineStats& operator+=(const QuarantineStats& o) noexcept {
     corrupt_files += o.corrupt_files;
     corrupt_tails += o.corrupt_tails;
+    corrupt_blocks += o.corrupt_blocks;
     corrupt_rows += o.corrupt_rows;
     duplicates += o.duplicates;
     regressions += o.regressions;

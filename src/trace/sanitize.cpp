@@ -174,6 +174,7 @@ std::string to_text(const QuarantineStats& s) {
   };
   line("corrupt files rejected   ", s.corrupt_files);
   line("corrupt binary tails     ", s.corrupt_tails);
+  line("corrupt v2 blocks        ", s.corrupt_blocks);
   line("corrupt csv rows         ", s.corrupt_rows);
   line("duplicates dropped       ", s.duplicates);
   line("timestamp regressions    ", s.regressions);

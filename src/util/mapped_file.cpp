@@ -1,0 +1,115 @@
+#include "util/mapped_file.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "util/error.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define WEARSCOPE_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define WEARSCOPE_HAVE_MMAP 0
+#endif
+
+namespace wearscope::util {
+
+namespace {
+
+[[noreturn]] void fail(const char* action,
+                       const std::filesystem::path& path) {
+  const int err = errno;
+  throw IoError(std::string(action) + " failed: " + path.string() + " (" +
+                (err != 0 ? std::strerror(err) : "unknown error") + ")");
+}
+
+}  // namespace
+
+MappedFile::MappedFile(const std::filesystem::path& path, MapMode mode) {
+#if WEARSCOPE_HAVE_MMAP
+  if (mode == MapMode::kAuto) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) fail("open", path);
+    struct stat st {};
+    if (::fstat(fd, &st) != 0) {
+      ::close(fd);
+      fail("fstat", path);
+    }
+    const auto size = static_cast<std::size_t>(st.st_size);
+    if (size == 0) {
+      ::close(fd);
+      return;  // empty file: empty span, nothing to map
+    }
+    void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);  // the mapping keeps its own reference
+    if (addr == MAP_FAILED) fail("mmap", path);
+    data_ = static_cast<const std::byte*>(addr);
+    size_ = size;
+    mapped_ = true;
+    return;
+  }
+#else
+  (void)mode;  // only the fallback exists on this platform
+#endif
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail("open", path);
+  in.seekg(0, std::ios::end);
+  const std::streampos end = in.tellg();
+  if (end == std::streampos(-1)) fail("seek", path);
+  in.seekg(0);
+  owned_.resize(static_cast<std::size_t>(end));
+  if (!owned_.empty()) {
+    in.read(reinterpret_cast<char*>(owned_.data()),
+            static_cast<std::streamsize>(owned_.size()));
+    if (in.gcount() != static_cast<std::streamsize>(owned_.size()))
+      fail("read", path);
+  }
+  data_ = owned_.data();
+  size_ = owned_.size();
+}
+
+MappedFile::~MappedFile() { reset(); }
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(other.data_),
+      size_(other.size_),
+      mapped_(other.mapped_),
+      owned_(std::move(other.owned_)) {
+  if (!mapped_ && !owned_.empty()) data_ = owned_.data();
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.mapped_ = false;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this == &other) return *this;
+  reset();
+  data_ = other.data_;
+  size_ = other.size_;
+  mapped_ = other.mapped_;
+  owned_ = std::move(other.owned_);
+  if (!mapped_ && !owned_.empty()) data_ = owned_.data();
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.mapped_ = false;
+  return *this;
+}
+
+void MappedFile::reset() noexcept {
+#if WEARSCOPE_HAVE_MMAP
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<std::byte*>(data_), size_);
+  }
+#endif
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+  owned_.clear();
+}
+
+}  // namespace wearscope::util

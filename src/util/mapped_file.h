@@ -1,0 +1,63 @@
+// Read-only memory-mapped file with a portable read-whole-file fallback.
+//
+// The blocked trace reader wants the entire log addressable as one
+// contiguous std::span so frame scanning and parallel block decode are
+// plain pointer arithmetic.  On POSIX platforms the file is mmap(2)'ed
+// (MAP_PRIVATE, PROT_READ): the kernel pages data in on demand and the
+// page cache is shared across concurrent decoders.  Everywhere else — or
+// when the caller forces it — the file is read into an owned buffer, which
+// is byte-for-byte indistinguishable to consumers (`bytes()` is the whole
+// interface).  Empty files map to an empty span without touching mmap.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <span>
+#include <vector>
+
+namespace wearscope::util {
+
+/// How MappedFile acquires the file contents.
+enum class MapMode {
+  kAuto,           ///< mmap when the platform supports it, else read.
+  kReadWholeFile,  ///< Always read into an owned buffer (fallback path).
+};
+
+/// Immutable view of one whole file.  Move-only; the span returned by
+/// bytes() is valid for the lifetime of the object.
+class MappedFile {
+ public:
+  /// Opens and maps (or reads) `path`.  Throws util::IoError with
+  /// errno/strerror context when the file cannot be opened, sized or
+  /// mapped.
+  explicit MappedFile(const std::filesystem::path& path,
+                      MapMode mode = MapMode::kAuto);
+  ~MappedFile();
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+
+  /// The file contents, start to end.
+  [[nodiscard]] std::span<const std::byte> bytes() const noexcept {
+    return {data_, size_};
+  }
+
+  /// Total size in bytes.
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  /// True when backed by an actual memory mapping (false on the
+  /// read-whole-file fallback and for empty files).
+  [[nodiscard]] bool mapped() const noexcept { return mapped_; }
+
+ private:
+  void reset() noexcept;
+
+  const std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;
+  std::vector<std::byte> owned_;  ///< Fallback storage (empty when mapped).
+};
+
+}  // namespace wearscope::util

@@ -1,0 +1,123 @@
+// Zero-copy little-endian primitive decoder over an in-memory byte span.
+//
+// Mirrors the API of trace::BinaryDecoder (get_u8 .. get_string, at_eof,
+// offset) but reads straight out of a std::span<const std::byte> — no
+// std::istream, no virtual dispatch, no per-primitive branching beyond a
+// single bounds check.  This is the hot decode path for mmap'ed trace
+// logs: the blocked v2 reader hands each worker a subspan of one block
+// payload and decodes records with plain pointer arithmetic.
+//
+// Every failure throws util::ParseError carrying the byte offset, exactly
+// like the stream decoder, so the lenient readers treat both identically.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "util/error.h"
+
+namespace wearscope::util {
+
+/// Bounds-checked little-endian reader over borrowed memory.  The span
+/// must outlive the decoder (the mapped file or scratch buffer owns it).
+class MemorySpanDecoder {
+ public:
+  explicit MemorySpanDecoder(std::span<const std::byte> bytes) noexcept
+      : bytes_(bytes) {}
+
+  [[nodiscard]] std::uint8_t get_u8() {
+    need(1, "u8");
+    return static_cast<std::uint8_t>(bytes_[offset_++]);
+  }
+
+  [[nodiscard]] std::uint16_t get_u16() {
+    need(2, "u16");
+    const std::uint16_t v = static_cast<std::uint16_t>(
+        byte_at(0) | (static_cast<std::uint16_t>(byte_at(1)) << 8));
+    offset_ += 2;
+    return v;
+  }
+
+  [[nodiscard]] std::uint32_t get_u32() {
+    need(4, "u32");
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) v = (v << 8) | byte_at(i);
+    offset_ += 4;
+    return v;
+  }
+
+  [[nodiscard]] std::uint64_t get_u64() {
+    need(8, "u64");
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) v = (v << 8) | byte_at(i);
+    offset_ += 8;
+    return v;
+  }
+
+  [[nodiscard]] std::int64_t get_i64() {
+    return static_cast<std::int64_t>(get_u64());
+  }
+
+  [[nodiscard]] double get_f64() { return std::bit_cast<double>(get_u64()); }
+
+  /// Reads a u16-length-prefixed string.  The claimed length is checked
+  /// against the remaining span *before* any allocation, so a corrupt
+  /// prefix fails cleanly instead of over-reading.
+  [[nodiscard]] std::string get_string() {
+    const std::uint64_t prefix_at = offset_;
+    const std::uint16_t len = get_u16();
+    if (len == 0) return {};
+    if (remaining() < len) {
+      throw ParseError("binary log: string length " + std::to_string(len) +
+                       " exceeds " + std::to_string(remaining()) +
+                       " remaining bytes (corrupt length prefix at byte " +
+                       std::to_string(prefix_at) + ")");
+    }
+    std::string s(reinterpret_cast<const char*>(bytes_.data() + offset_),
+                  len);
+    offset_ += len;
+    return s;
+  }
+
+  /// Borrows the next `n` bytes without copying and advances past them.
+  [[nodiscard]] std::span<const std::byte> take(std::size_t n) {
+    need(n, "span");
+    const std::span<const std::byte> view = bytes_.subspan(offset_, n);
+    offset_ += n;
+    return view;
+  }
+
+  /// True when every byte has been consumed.
+  [[nodiscard]] bool at_eof() const noexcept {
+    return offset_ >= bytes_.size();
+  }
+
+  /// Bytes successfully consumed so far.
+  [[nodiscard]] std::uint64_t offset() const noexcept { return offset_; }
+
+  /// Bytes still unread.
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return bytes_.size() - offset_;
+  }
+
+ private:
+  void need(std::size_t n, const char* what) const {
+    if (remaining() < n) {
+      throw ParseError("binary log: truncated " + std::string(what) +
+                       " at byte " + std::to_string(offset_));
+    }
+  }
+
+  [[nodiscard]] std::uint32_t byte_at(int i) const noexcept {
+    return static_cast<std::uint32_t>(
+        bytes_[offset_ + static_cast<std::size_t>(i)]);
+  }
+
+  std::span<const std::byte> bytes_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace wearscope::util

@@ -2,7 +2,10 @@
 // throw at them, readers must either parse or throw util::ParseError —
 // never crash, hang, or return garbage silently.  (Networking code rule
 // one: the input is hostile.)
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
+#include <span>
 #include <sstream>
 #include <vector>
 
@@ -10,6 +13,7 @@
 
 #include "chaos/fault_plan.h"
 #include "trace/binary_io.h"
+#include "trace/block_io.h"
 #include "trace/csv_io.h"
 #include "util/error.h"
 #include "util/rng.h"
@@ -237,6 +241,202 @@ TEST(FuzzChaosCorpus, MmeCorpusHonorsExactAccounting) {
   const std::vector<MmeRecord> sample = sample_mme(128);
   for (const std::uint64_t seed : {21u, 22u, 23u, 24u}) {
     drive_corpus(sample, /*proxy_layout=*/false, seed);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Blocked v2 frame corpus: corruption must stay block-granular.  Every test
+// here asserts EXACT QuarantineStats accounting (one counted block per
+// injected fault) and that the reader resyncs at the next frame header.
+// ---------------------------------------------------------------------------
+
+std::span<const std::byte> blob_bytes(const std::string& blob) {
+  return std::as_bytes(std::span<const char>(blob.data(), blob.size()));
+}
+
+/// A v2 proxy log of `records` records in blocks of `block_records`.
+std::string valid_v2_log(std::size_t records, std::size_t block_records) {
+  std::ostringstream out;
+  BlockWriterOptions options;
+  options.max_block_records = block_records;
+  BlockLogWriter<ProxyRecord> writer(out, options);
+  for (const ProxyRecord& r : sample_proxy(records)) writer.write(r);
+  writer.finish();
+  return out.str();
+}
+
+/// Frame index of a complete v2 blob (file header included).
+BlockIndex index_of(const std::string& blob) {
+  return scan_block_index(blob_bytes(blob).subspan(8), /*lenient=*/true);
+}
+
+/// `sample` minus the records of block `skip` (order otherwise preserved).
+std::vector<ProxyRecord> without_block(const std::vector<ProxyRecord>& sample,
+                                       const BlockIndex& index,
+                                       std::size_t skip) {
+  std::vector<ProxyRecord> expect;
+  std::size_t base = 0;
+  for (std::size_t i = 0; i < index.frames.size(); ++i) {
+    const std::size_t n = index.frames[i].record_count;
+    if (i != skip) {
+      expect.insert(expect.end(), sample.begin() + static_cast<long>(base),
+                    sample.begin() + static_cast<long>(base + n));
+    }
+    base += n;
+  }
+  return expect;
+}
+
+TEST(FuzzV2, TruncationAtEveryOffsetHonorsBlockAccounting) {
+  const std::string blob = valid_v2_log(64, 8);
+  const BlockIndex index = index_of(blob);
+  ASSERT_EQ(index.frames.size(), 8u);
+  // File offset where each frame ends, and records recovered up to it.
+  std::vector<std::size_t> frame_end;
+  std::vector<std::size_t> records_before;
+  std::size_t total = 0;
+  for (const BlockFrame& f : index.frames) {
+    total += f.record_count;
+    frame_end.push_back(8 + f.payload_offset + f.byte_length);
+    records_before.push_back(total);
+  }
+  for (std::size_t cut = 0; cut < blob.size(); ++cut) {
+    const std::string prefix = blob.substr(0, cut);
+    QuarantineStats q;
+    std::vector<ProxyRecord> got;
+    ASSERT_NO_THROW(
+        got = read_binary_log_lenient<ProxyRecord>(blob_bytes(prefix), q))
+        << "cut " << cut;
+    if (cut < 8) {
+      // Not even a file header: the whole file quarantines as one unit.
+      EXPECT_EQ(q.corrupt_files, 1u) << "cut " << cut;
+      EXPECT_TRUE(got.empty()) << "cut " << cut;
+      continue;
+    }
+    std::size_t complete = 0;
+    bool on_boundary = cut == 8;
+    for (std::size_t i = 0; i < frame_end.size(); ++i) {
+      if (frame_end[i] <= cut) complete = records_before[i];
+      if (frame_end[i] == cut) on_boundary = true;
+    }
+    // A cut on a frame boundary just looks like a shorter log; anywhere
+    // else exactly ONE block is lost to the broken chain.
+    EXPECT_EQ(got.size(), complete) << "cut " << cut;
+    EXPECT_EQ(q.corrupt_blocks, on_boundary ? 0u : 1u) << "cut " << cut;
+    EXPECT_EQ(q.corrupt_files, 0u) << "cut " << cut;
+    EXPECT_EQ(q.corrupt_tails, 0u) << "cut " << cut;
+  }
+}
+
+TEST(FuzzV2, CorruptCrcQuarantinesExactlyThatBlock) {
+  const std::vector<ProxyRecord> sample = sample_proxy(64);
+  const std::string blob = valid_v2_log(64, 8);
+  const BlockIndex index = index_of(blob);
+  for (std::size_t k = 0; k < index.frames.size(); ++k) {
+    std::string mutated = blob;
+    mutated[8 + index.frames[k].payload_offset] ^= 0x01;
+    QuarantineStats q;
+    std::vector<ProxyRecord> got;
+    ASSERT_NO_THROW(
+        got = read_binary_log_lenient<ProxyRecord>(blob_bytes(mutated), q))
+        << "block " << k;
+    EXPECT_EQ(q.corrupt_blocks, 1u) << "block " << k;
+    EXPECT_EQ(q.total_dropped(), 1u) << "block " << k;
+    // Resync is exact: every OTHER block survives, in order.
+    EXPECT_EQ(got, without_block(sample, index, k)) << "block " << k;
+    // The strict reader must refuse what the lenient one quarantined.
+    EXPECT_THROW((void)read_binary_log<ProxyRecord>(blob_bytes(mutated)),
+                 util::ParseError)
+        << "block " << k;
+  }
+}
+
+TEST(FuzzV2, OverlongByteLengthLosesOnlyTheTail) {
+  const std::vector<ProxyRecord> sample = sample_proxy(64);
+  const std::string blob = valid_v2_log(64, 8);
+  const BlockIndex index = index_of(blob);
+  for (const std::size_t k : {std::size_t{0}, std::size_t{3}, std::size_t{7}}) {
+    std::string mutated = blob;
+    // byte_length lives 8 bytes before the payload (after record_count u32).
+    const std::size_t at = 8 + index.frames[k].payload_offset - 8;
+    for (std::size_t i = 0; i < 4; ++i) mutated[at + i] = '\xff';
+    QuarantineStats q;
+    std::vector<ProxyRecord> got;
+    ASSERT_NO_THROW(
+        got = read_binary_log_lenient<ProxyRecord>(blob_bytes(mutated), q))
+        << "block " << k;
+    // The chain is unrecoverable past a broken length: one counted block,
+    // every frame before it intact.
+    EXPECT_EQ(q.corrupt_blocks, 1u) << "block " << k;
+    EXPECT_EQ(got.size(), k * 8) << "block " << k;
+    EXPECT_TRUE(std::equal(got.begin(), got.end(), sample.begin()))
+        << "block " << k;
+  }
+}
+
+TEST(FuzzV2, ImpossibleRecordCountSkipsFrameAndResyncs) {
+  const std::vector<ProxyRecord> sample = sample_proxy(64);
+  const std::string blob = valid_v2_log(64, 8);
+  const BlockIndex index = index_of(blob);
+  for (std::size_t k = 0; k < index.frames.size(); ++k) {
+    std::string mutated = blob;
+    // record_count > byte_length is impossible (records are >= 1 byte);
+    // the frame is skipped but byte_length still chains to the next one.
+    const std::uint32_t bogus = index.frames[k].byte_length + 1;
+    const std::size_t at = 8 + index.frames[k].payload_offset - 12;
+    for (std::size_t i = 0; i < 4; ++i)
+      mutated[at + i] = static_cast<char>((bogus >> (8 * i)) & 0xff);
+    QuarantineStats q;
+    std::vector<ProxyRecord> got;
+    ASSERT_NO_THROW(
+        got = read_binary_log_lenient<ProxyRecord>(blob_bytes(mutated), q))
+        << "block " << k;
+    EXPECT_EQ(q.corrupt_blocks, 1u) << "block " << k;
+    EXPECT_EQ(got, without_block(sample, index, k)) << "block " << k;
+  }
+}
+
+TEST(FuzzV2, ZeroRecordBlockParsesCleanly) {
+  const std::vector<ProxyRecord> sample = sample_proxy(64);
+  const std::string blob = valid_v2_log(64, 8);
+  const BlockIndex index = index_of(blob);
+  // Splice an empty frame (0 records, 0 bytes, crc32("") == 0, i.e. twelve
+  // zero bytes) between two real frames: a valid no-op, not corruption.
+  const std::size_t at = 8 + index.frames[4].payload_offset - 12;
+  std::string spliced = blob.substr(0, at) + std::string(12, '\0') +
+                        blob.substr(at);
+  QuarantineStats q;
+  std::vector<ProxyRecord> lenient;
+  ASSERT_NO_THROW(
+      lenient = read_binary_log_lenient<ProxyRecord>(blob_bytes(spliced), q));
+  EXPECT_EQ(lenient, sample);
+  EXPECT_FALSE(q.any());
+  EXPECT_EQ(read_binary_log<ProxyRecord>(blob_bytes(spliced)), sample);
+  const BinaryLogInfo info = probe_binary_log<ProxyRecord>(blob_bytes(spliced));
+  EXPECT_EQ(info.blocks, index.frames.size() + 1);
+  EXPECT_EQ(info.records, sample.size());
+}
+
+TEST(FuzzV2, SingleByteFlipsNeverCrashLenient) {
+  const std::string blob = valid_v2_log(48, 8);
+  util::Pcg32 rng(0xB10C);
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string mutated = blob;
+    const auto pos = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(mutated.size()) - 1));
+    mutated[pos] = static_cast<char>(rng.uniform_int(0, 255));
+    QuarantineStats q;
+    std::vector<ProxyRecord> got;
+    // Lenient reads never throw — corruption lands in `q`, not exceptions.
+    ASSERT_NO_THROW(
+        got = read_binary_log_lenient<ProxyRecord>(blob_bytes(mutated), q))
+        << "trial " << trial;
+    EXPECT_LE(got.size(), 48u) << "trial " << trial;
+    try {
+      (void)read_binary_log<ProxyRecord>(blob_bytes(mutated));
+    } catch (const util::ParseError&) {
+      // expected for corrupted magic/frame/CRC bytes
+    }
   }
 }
 

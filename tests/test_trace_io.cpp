@@ -1,14 +1,21 @@
 // Unit tests for binary/CSV trace serialization and bundle persistence.
+#include <algorithm>
+#include <cstddef>
 #include <filesystem>
 #include <fstream>
+#include <span>
 #include <sstream>
 
 #include <gtest/gtest.h>
 
+#include "par/task_pool.h"
 #include "trace/binary_io.h"
+#include "trace/block_io.h"
 #include "trace/bundle.h"
 #include "trace/csv_io.h"
+#include "util/crc32.h"
 #include "util/error.h"
+#include "util/mapped_file.h"
 
 namespace wearscope::trace {
 namespace {
@@ -257,6 +264,344 @@ TEST_F(BundleTest, MissingLogThrows) {
 
 TEST_F(BundleTest, MissingDirectoryThrows) {
   EXPECT_THROW(load_bundle(dir_ / "nonexistent"), util::IoError);
+}
+
+// ---------------------------------------------------------------------------
+// Blocked v2 format (trace/block_io)
+// ---------------------------------------------------------------------------
+
+std::span<const std::byte> blob_bytes(const std::string& blob) {
+  return std::as_bytes(std::span<const char>(blob.data(), blob.size()));
+}
+
+template <typename Record>
+std::string v2_blob(const std::vector<Record>& records,
+                    BlockWriterOptions options = {}) {
+  std::ostringstream out;
+  BlockLogWriter<Record> writer(out, options);
+  for (const Record& r : records) writer.write(r);
+  writer.finish();
+  return out.str();
+}
+
+std::vector<ProxyRecord> many_proxy(std::size_t n) {
+  std::vector<ProxyRecord> records;
+  records.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ProxyRecord r = sample_proxy();
+    r.timestamp = static_cast<util::SimTime>(i * 13);
+    r.user_id = 1'000'000 + i;
+    r.host = "host" + std::to_string(i % 97) + ".example";
+    r.url_path = i % 3 == 0 ? "" : "/p/" + std::to_string(i);
+    r.bytes_down = i * 17 + 1;
+    records.push_back(r);
+  }
+  return records;
+}
+
+TEST(TraceV2, Crc32MatchesKnownVectors) {
+  // The standard check value for the reflected 0xEDB88320 polynomial with
+  // the zlib init/final-xor convention.
+  const std::string check = "123456789";
+  EXPECT_EQ(util::crc32(blob_bytes(check)), 0xCBF43926u);
+  EXPECT_EQ(util::crc32({}), 0u);
+  // Incremental == one-shot, across every split point (exercises both the
+  // 8-byte slicing loop and the byte-at-a-time tail).
+  const std::string long_input(1023, 'w');
+  const std::uint32_t whole = util::crc32(blob_bytes(long_input));
+  for (const std::size_t split : {std::size_t{1}, std::size_t{7},
+                                  std::size_t{8}, std::size_t{500}}) {
+    const std::uint32_t head =
+        util::crc32_update(0, blob_bytes(long_input).subspan(0, split));
+    EXPECT_EQ(util::crc32_update(head, blob_bytes(long_input).subspan(split)),
+              whole)
+        << "split " << split;
+  }
+}
+
+TEST(TraceV2, RoundTripAllRecordTypes) {
+  const std::vector<ProxyRecord> proxy = {sample_proxy()};
+  const std::vector<MmeRecord> mme = {sample_mme()};
+  const std::vector<DeviceRecord> devices = {sample_device()};
+  const std::vector<SectorInfo> sectors = {sample_sector()};
+  EXPECT_EQ(read_binary_log<ProxyRecord>(blob_bytes(v2_blob(proxy))), proxy);
+  EXPECT_EQ(read_binary_log<MmeRecord>(blob_bytes(v2_blob(mme))), mme);
+  EXPECT_EQ(read_binary_log<DeviceRecord>(blob_bytes(v2_blob(devices))),
+            devices);
+  EXPECT_EQ(read_binary_log<SectorInfo>(blob_bytes(v2_blob(sectors))),
+            sectors);
+}
+
+TEST(TraceV2, MultiBlockPreservesOrderAndCounts) {
+  const std::vector<ProxyRecord> records = many_proxy(1000);
+  BlockWriterOptions options;
+  options.max_block_records = 64;
+  std::ostringstream out;
+  BlockLogWriter<ProxyRecord> writer(out, options);
+  for (const ProxyRecord& r : records) writer.write(r);
+  writer.finish();
+  writer.finish();  // idempotent
+  EXPECT_EQ(writer.count(), records.size());
+  EXPECT_GT(writer.block_count(), 1u);
+  const std::string blob = out.str();
+  EXPECT_EQ(read_binary_log<ProxyRecord>(blob_bytes(blob)), records);
+  const BinaryLogInfo info = probe_binary_log<ProxyRecord>(blob_bytes(blob));
+  EXPECT_EQ(info.version, kBinaryFormatV2);
+  EXPECT_EQ(info.blocks, writer.block_count());
+  EXPECT_EQ(info.records, records.size());
+}
+
+TEST(TraceV2, ParallelDecodeIsBitwiseIdentical) {
+  const std::vector<ProxyRecord> records = many_proxy(2000);
+  BlockWriterOptions options;
+  options.max_block_records = 100;
+  const std::string blob = v2_blob(records, options);
+  const std::vector<ProxyRecord> sequential =
+      read_binary_log<ProxyRecord>(blob_bytes(blob));
+  EXPECT_EQ(sequential, records);
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    par::TaskPool pool(threads);
+    EXPECT_EQ(read_binary_log<ProxyRecord>(blob_bytes(blob), &pool),
+              sequential)
+        << threads << " threads";
+  }
+}
+
+TEST(TraceV2, V1LogsReadableThroughSpanReader) {
+  const std::vector<ProxyRecord> records = many_proxy(50);
+  std::ostringstream out;
+  BinaryLogWriter<ProxyRecord> writer(out);
+  for (const ProxyRecord& r : records) writer.write(r);
+  const std::string blob = out.str();
+  EXPECT_EQ(read_binary_log<ProxyRecord>(blob_bytes(blob)), records);
+  const BinaryLogInfo info = probe_binary_log<ProxyRecord>(blob_bytes(blob));
+  EXPECT_EQ(info.version, 1);
+  EXPECT_EQ(info.blocks, 0u);
+  EXPECT_EQ(info.records, records.size());
+}
+
+TEST(TraceV2, V1StreamReaderRejectsV2WithHint) {
+  std::stringstream buf(v2_blob(std::vector<ProxyRecord>{sample_proxy()}));
+  EXPECT_THROW(BinaryLogReader<ProxyRecord> reader(buf), util::ParseError);
+}
+
+TEST(TraceV2, EmptyLogRoundTrips) {
+  const std::string blob = v2_blob(std::vector<ProxyRecord>{});
+  EXPECT_EQ(blob.size(), 8u);  // header only: no empty trailing block
+  EXPECT_TRUE(read_binary_log<ProxyRecord>(blob_bytes(blob)).empty());
+  const BinaryLogInfo info = probe_binary_log<ProxyRecord>(blob_bytes(blob));
+  EXPECT_EQ(info.version, kBinaryFormatV2);
+  EXPECT_EQ(info.blocks, 0u);
+  EXPECT_EQ(info.records, 0u);
+}
+
+class MappedFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("wearscope_map_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove(path_);
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  void write_file(const std::string& content) {
+    std::ofstream out(path_, std::ios::binary);
+    out << content;
+  }
+
+  std::filesystem::path path_;
+};
+
+TEST_F(MappedFileTest, AutoAndFallbackSeeSameBytes) {
+  const std::string content = v2_blob(many_proxy(300));
+  write_file(content);
+  const util::MappedFile mapped(path_, util::MapMode::kAuto);
+  const util::MappedFile copied(path_, util::MapMode::kReadWholeFile);
+  EXPECT_FALSE(copied.mapped());
+  ASSERT_EQ(mapped.size(), content.size());
+  ASSERT_EQ(copied.size(), content.size());
+  EXPECT_TRUE(std::equal(mapped.bytes().begin(), mapped.bytes().end(),
+                         copied.bytes().begin()));
+  EXPECT_EQ(read_binary_log<ProxyRecord>(mapped.bytes()),
+            read_binary_log<ProxyRecord>(copied.bytes()));
+}
+
+TEST_F(MappedFileTest, EmptyFileYieldsEmptySpan) {
+  write_file("");
+  const util::MappedFile file(path_, util::MapMode::kAuto);
+  EXPECT_EQ(file.size(), 0u);
+  EXPECT_TRUE(file.bytes().empty());
+}
+
+TEST_F(MappedFileTest, MissingFileThrowsIoError) {
+  EXPECT_THROW(util::MappedFile(path_, util::MapMode::kAuto), util::IoError);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel bundle loading
+// ---------------------------------------------------------------------------
+
+class BundleParallel : public BundleTest {
+ protected:
+  /// Big enough that every log spans several v2 blocks under the default
+  /// writer options (4096 records/block).
+  TraceStore make_big_store() {
+    TraceStore s;
+    s.proxy = many_proxy(10'000);
+    for (std::size_t i = 0; i < 9'000; ++i) {
+      MmeRecord r = sample_mme();
+      r.timestamp = static_cast<util::SimTime>(i * 7);
+      r.user_id = 1'000'000 + (i % 500);
+      s.mme.push_back(r);
+    }
+    s.devices = {sample_device()};
+    s.sectors = {sample_sector()};
+    return s;
+  }
+
+  /// Flips one payload byte of the given v2 block of <dir>/proxy.bin.
+  void corrupt_proxy_block(std::size_t block) {
+    const std::filesystem::path bin = dir_ / "proxy.bin";
+    std::string blob;
+    {
+      std::ifstream in(bin, std::ios::binary);
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      blob = buf.str();
+    }
+    const BlockIndex index =
+        scan_block_index(blob_bytes(blob).subspan(8), /*lenient=*/true);
+    ASSERT_GT(index.frames.size(), block);
+    blob[8 + index.frames[block].payload_offset] ^= 0x01;
+    std::ofstream out(bin, std::ios::binary | std::ios::trunc);
+    out << blob;
+  }
+};
+
+TEST_F(BundleParallel, ThreadCountsProduceIdenticalStores) {
+  const TraceStore in = make_big_store();
+  save_bundle(in, dir_, BundleFormat::kBinary);
+  const TraceStore sequential = load_bundle(dir_, LoadOptions{});
+  EXPECT_EQ(sequential.proxy, in.proxy);
+  EXPECT_EQ(sequential.mme, in.mme);
+  for (const int threads : {2, 4, 8}) {
+    LoadOptions options;
+    options.threads = threads;
+    const TraceStore parallel = load_bundle(dir_, options);
+    EXPECT_EQ(parallel.proxy, sequential.proxy) << threads << " threads";
+    EXPECT_EQ(parallel.mme, sequential.mme) << threads << " threads";
+    EXPECT_EQ(parallel.devices, sequential.devices) << threads << " threads";
+    EXPECT_EQ(parallel.sectors, sequential.sectors) << threads << " threads";
+  }
+}
+
+TEST_F(BundleParallel, V2ParallelLoadMatchesV1SequentialLoad) {
+  const TraceStore in = make_big_store();
+  const std::filesystem::path v1_dir = dir_ / "v1";
+  const std::filesystem::path v2_dir = dir_ / "v2";
+  save_bundle(in, v1_dir, BundleFormat::kBinary, 1);
+  save_bundle(in, v2_dir, BundleFormat::kBinary, kBinaryFormatV2);
+  const TraceStore from_v1 = load_bundle(v1_dir, LoadOptions{});
+  LoadOptions eight;
+  eight.threads = 8;
+  const TraceStore from_v2 = load_bundle(v2_dir, eight);
+  EXPECT_EQ(from_v1.proxy, from_v2.proxy);
+  EXPECT_EQ(from_v1.mme, from_v2.mme);
+  EXPECT_EQ(from_v1.devices, from_v2.devices);
+  EXPECT_EQ(from_v1.sectors, from_v2.sectors);
+  EXPECT_EQ(from_v1.proxy, in.proxy);
+}
+
+TEST_F(BundleParallel, LenientAccountingIdenticalForEveryThreadCount) {
+  save_bundle(make_big_store(), dir_, BundleFormat::kBinary);
+  corrupt_proxy_block(1);
+  QuarantineStats baseline;
+  const TraceStore sequential = load_bundle(dir_, baseline, LoadOptions{});
+  EXPECT_EQ(baseline.corrupt_blocks, 1u);
+  EXPECT_EQ(baseline.total_dropped(), 1u);
+  for (const int threads : {2, 4, 8}) {
+    LoadOptions options;
+    options.threads = threads;
+    QuarantineStats q;
+    const TraceStore parallel = load_bundle(dir_, q, options);
+    EXPECT_TRUE(q == baseline) << threads << " threads";
+    EXPECT_EQ(parallel.proxy, sequential.proxy) << threads << " threads";
+    EXPECT_EQ(parallel.mme, sequential.mme) << threads << " threads";
+  }
+}
+
+TEST_F(BundleParallel, MmapOffProducesSameStore) {
+  save_bundle(make_big_store(), dir_, BundleFormat::kBinary);
+  LoadOptions mapped;
+  mapped.threads = 4;
+  LoadOptions copied;
+  copied.threads = 4;
+  copied.use_mmap = false;
+  const TraceStore a = load_bundle(dir_, mapped);
+  const TraceStore b = load_bundle(dir_, copied);
+  EXPECT_EQ(a.proxy, b.proxy);
+  EXPECT_EQ(a.mme, b.mme);
+  EXPECT_EQ(a.devices, b.devices);
+  EXPECT_EQ(a.sectors, b.sectors);
+}
+
+TEST_F(BundleTest, V1BundleRoundTrips) {
+  const TraceStore in = make_store();
+  save_bundle(in, dir_, BundleFormat::kBinary, 1);
+  const TraceStore out = load_bundle(dir_);
+  EXPECT_EQ(out.proxy, in.proxy);
+  EXPECT_EQ(out.mme, in.mme);
+  const std::vector<BundleLogAudit> audits = audit_bundle(dir_);
+  ASSERT_EQ(audits.size(), 4u);
+  for (const BundleLogAudit& a : audits) {
+    EXPECT_EQ(a.version, 1);
+    EXPECT_EQ(a.blocks, 0u);
+    EXPECT_EQ(a.records, 1u);
+  }
+}
+
+TEST_F(BundleTest, AuditReportsV2Layout) {
+  save_bundle(make_store(), dir_, BundleFormat::kBinary);
+  const std::vector<BundleLogAudit> audits = audit_bundle(dir_);
+  ASSERT_EQ(audits.size(), 4u);
+  EXPECT_EQ(audits[0].stem, "proxy");
+  EXPECT_EQ(audits[0].file, "proxy.bin");
+  for (const BundleLogAudit& a : audits) {
+    EXPECT_EQ(a.version, kBinaryFormatV2);
+    EXPECT_EQ(a.blocks, 1u);
+    EXPECT_EQ(a.records, 1u);
+  }
+}
+
+TEST_F(BundleTest, DualFormatWarnsAndPrefersBinary) {
+  TraceStore binary_store = make_store();
+  save_bundle(binary_store, dir_, BundleFormat::kBinary);
+  // A stale CSV with DIFFERENT content sits next to the binary log.
+  TraceStore csv_store = make_store();
+  csv_store.proxy[0].host = "stale.example";
+  save_bundle(csv_store, dir_ / "csv", BundleFormat::kCsv);
+  std::filesystem::copy_file(dir_ / "csv" / "proxy.csv", dir_ / "proxy.csv");
+  ::testing::internal::CaptureStderr();
+  const TraceStore out = load_bundle(dir_);
+  const std::string warning = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(warning.find("proxy.bin"), std::string::npos) << warning;
+  EXPECT_NE(warning.find("proxy.csv"), std::string::npos) << warning;
+  EXPECT_EQ(out.proxy, binary_store.proxy);  // binary wins
+}
+
+TEST_F(BundleTest, SaveErrorMentionsPathAndReason) {
+  std::filesystem::create_directories(dir_ / "proxy.bin");
+  try {
+    save_bundle(make_store(), dir_, BundleFormat::kBinary);
+    FAIL() << "expected IoError";
+  } catch (const util::IoError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("proxy.bin"), std::string::npos) << what;
+    EXPECT_NE(what.find("cannot open for writing"), std::string::npos) << what;
+    // errno context: the OS reason rides along in parentheses
+    EXPECT_NE(what.find('('), std::string::npos) << what;
+  }
 }
 
 }  // namespace

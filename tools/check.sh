@@ -9,8 +9,8 @@
 # thread-sweep equivalence gate runs as part of the regular tests).
 # With --full it additionally runs the sanitizer gates CONTRIBUTING.md
 # requires — the chaos label under ASan+UBSan and the concurrency tests
-# (live engine + batch task pool) under TSan — and refreshes the
-# BENCH_analysis.json thread-sweep numbers.
+# (live engine, batch task pool, parallel v2 trace decode) under TSan —
+# and refreshes the BENCH_analysis.json / BENCH_trace_io.json sweeps.
 set -eu
 
 root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -45,10 +45,14 @@ if [ "$full" -eq 1 ]; then
     >/dev/null
   cmake --build "$root/build-tsan" -j "$jobs"
   ctest --test-dir "$root/build-tsan" \
-    -R "LiveRing|LiveEngine|TaskPool|ParPipeline" --output-on-failure
+    -R "LiveRing|LiveEngine|TaskPool|ParPipeline|TraceV2|BundleParallel" \
+    --output-on-failure
 
   echo "== analysis thread sweep (BENCH_analysis.json)"
   "$build/bench/perf_analysis" --emit-json="$root/BENCH_analysis.json"
+
+  echo "== trace-IO v1/v2 sweep (BENCH_trace_io.json)"
+  "$build/bench/perf_trace_io" --emit-json="$root/BENCH_trace_io.json"
 fi
 
 echo "== OK"

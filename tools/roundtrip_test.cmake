@@ -68,6 +68,36 @@ foreach(t 2 4 8)
   endif()
 endforeach()
 
+# 3c. v1 -> v2 rewrite gate: the same capture written as a legacy v1
+#     record stream, then rewritten into the blocked v2 format, must
+#     analyze to a byte-identical report — at every thread count.  This
+#     pins the two on-disk encodings to one logical content model.
+run_step(${GEN} --preset small --seed 5 --out ${WORK}/trace_v1
+         --format binary --trace-format v1)
+run_step(${INSPECT} --trace ${WORK}/trace_v1
+         --convert ${WORK}/trace_v2 --format binary --trace-format v2)
+# --convert rewrites the four logs only; the analyzer also wants the
+# generator config, so carry it across by hand.
+file(COPY ${WORK}/trace_v1/generator.cfg DESTINATION ${WORK}/trace_v2)
+run_step(${ANALYZE} --trace ${WORK}/trace_v1 --report ${WORK}/report_v1.txt)
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${WORK}/report.txt ${WORK}/report_v1.txt
+                RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+  message(FATAL_ERROR "v1-format bundle analyzes differently from v2")
+endif()
+foreach(t 1 2 4 8)
+  run_step(${ANALYZE} --trace ${WORK}/trace_v2 --threads ${t}
+           --report ${WORK}/report_v2_t${t}.txt)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                  ${WORK}/report_v1.txt ${WORK}/report_v2_t${t}.txt
+                  RESULT_VARIABLE diff_rc)
+  if(NOT diff_rc EQUAL 0)
+    message(FATAL_ERROR
+            "v1->v2 rewrite diverges at --threads ${t}")
+  endif()
+endforeach()
+
 # 4. Compare a bundle against itself: must succeed (all deltas zero).
 if(DEFINED COMPARE)
   run_step(${COMPARE} --a ${WORK}/trace --b ${WORK}/trace)

@@ -89,7 +89,9 @@ int main(int argc, char** argv) {
     opt.signature_coverage = signature_coverage;
     opt.threads = static_cast<int>(threads);
 
-    trace::TraceStore store = trace::load_bundle(trace_dir);
+    trace::LoadOptions load_options;
+    load_options.threads = static_cast<int>(threads);
+    trace::TraceStore store = trace::load_bundle(trace_dir, load_options);
     store.sort_by_time();
     const trace::TraceSummary sum = store.summarize();
     std::printf("loaded %zu proxy + %zu MME records (%zu users)\n",

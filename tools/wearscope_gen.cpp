@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
     std::string config_path;
     std::string out_dir = "wearscope-trace";
     std::string format = "binary";
+    std::string trace_format = "v2";
     std::string write_config_path;
     std::int64_t seed = 42;
 
@@ -37,6 +38,9 @@ int main(int argc, char** argv) {
     flags.add_int("seed", &seed, "generator seed (overrides config file)");
     flags.add_string("out", &out_dir, "output bundle directory");
     flags.add_string("format", &format, "bundle format: binary|csv");
+    flags.add_string("trace-format", &trace_format,
+                     "binary layout: v2 (blocked, parallel decode) or v1 "
+                     "(legacy stream); ignored with --format csv");
     flags.add_string("write-config", &write_config_path,
                      "also write the effective config to this path and exit "
                      "without generating when --out is empty");
@@ -71,6 +75,13 @@ int main(int argc, char** argv) {
       throw util::ConfigError("unknown format '" + format +
                               "' (expected binary|csv)");
     }
+    std::uint16_t binary_version = trace::kBinaryFormatV2;
+    if (trace_format == "v1") {
+      binary_version = 1;
+    } else if (trace_format != "v2") {
+      throw util::ConfigError("unknown trace-format '" + trace_format +
+                              "' (expected v1|v2)");
+    }
 
     const auto t0 = std::chrono::steady_clock::now();
     const simnet::SimResult sim = simnet::Simulator(cfg).run();
@@ -78,7 +89,7 @@ int main(int argc, char** argv) {
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
 
-    trace::save_bundle(sim.store, out_dir, bundle_format);
+    trace::save_bundle(sim.store, out_dir, bundle_format, binary_version);
     simnet::save_config_file(cfg, std::filesystem::path(out_dir) /
                                       "generator.cfg");
 
@@ -94,8 +105,13 @@ int main(int argc, char** argv) {
     std::printf("  window             : day 0 .. day %d (detailed from day "
                 "%d)\n",
                 sim.observation_days - 1, sim.detailed_start_day);
-    std::printf("bundle + generator.cfg written to %s (%s)\n",
-                out_dir.c_str(), format.c_str());
+    if (format == "binary") {
+      std::printf("bundle + generator.cfg written to %s (binary %s)\n",
+                  out_dir.c_str(), trace_format.c_str());
+    } else {
+      std::printf("bundle + generator.cfg written to %s (%s)\n",
+                  out_dir.c_str(), format.c_str());
+    }
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

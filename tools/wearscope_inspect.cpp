@@ -22,6 +22,20 @@ namespace {
 
 using namespace wearscope;
 
+void print_files(const std::vector<trace::BundleLogAudit>& audits) {
+  std::printf("== on-disk files ==\n");
+  std::vector<std::vector<std::string>> rows;
+  for (const trace::BundleLogAudit& a : audits) {
+    const std::string format =
+        a.version == 0 ? "csv" : "binary v" + std::to_string(a.version);
+    rows.push_back({a.file, format,
+                    a.version == 2 ? std::to_string(a.blocks) : "-",
+                    std::to_string(a.records)});
+  }
+  std::fputs(util::table({"file", "format", "blocks", "records"}, rows).c_str(),
+             stdout);
+}
+
 void print_summary(const trace::TraceStore& store) {
   const trace::TraceSummary sum = store.summarize();
   std::printf("== bundle summary ==\n");
@@ -107,9 +121,11 @@ int main(int argc, char** argv) {
     std::int64_t anon_key = 1;
     std::int64_t anon_quantum = 1;
     std::string format = "csv";
+    std::string trace_format = "v2";
     bool daily = false;
     bool devices = false;
     std::int64_t top_hosts = 0;
+    std::int64_t threads = 1;
 
     util::FlagParser flags(
         "wearscope_inspect: summarize, slice or transcode a trace bundle");
@@ -129,12 +145,24 @@ int main(int argc, char** argv) {
                   "timestamp quantization in seconds");
     flags.add_string("format", &format,
                      "target format for --convert: binary|csv");
+    flags.add_string("trace-format", &trace_format,
+                     "binary layout for --convert/--anonymize: v1|v2");
+    flags.add_int("threads", &threads,
+                  "decoder threads for loading v2 bundles");
     if (!flags.parse(argc, argv)) return 0;
     util::require(!trace_dir.empty(), "--trace is required");
+    util::require(threads >= 1, "--threads must be >= 1");
+    util::require(trace_format == "v1" || trace_format == "v2",
+                  "unknown --trace-format (expected v1|v2)");
+    const std::uint16_t binary_version =
+        trace_format == "v1" ? std::uint16_t{1} : trace::kBinaryFormatV2;
 
-    trace::TraceStore store = trace::load_bundle(trace_dir);
+    trace::LoadOptions load_options;
+    load_options.threads = static_cast<int>(threads);
+    trace::TraceStore store = trace::load_bundle(trace_dir, load_options);
     store.sort_by_time();
 
+    print_files(trace::audit_bundle(trace_dir));
     print_summary(store);
     if (daily) print_daily(store);
     if (top_hosts > 0) print_top_hosts(store, top_hosts);
@@ -145,7 +173,8 @@ int main(int argc, char** argv) {
       policy.key = static_cast<std::uint64_t>(anon_key);
       policy.time_quantum_s = anon_quantum;
       trace::anonymize(anon, policy);
-      trace::save_bundle(anon, anonymize_dir, trace::BundleFormat::kBinary);
+      trace::save_bundle(anon, anonymize_dir, trace::BundleFormat::kBinary,
+                         binary_version);
       std::printf("anonymized bundle written to %s\n",
                   anonymize_dir.c_str());
     }
@@ -155,7 +184,7 @@ int main(int argc, char** argv) {
                                         : trace::BundleFormat::kCsv;
       util::require(format == "binary" || format == "csv",
                     "unknown --format (expected binary|csv)");
-      trace::save_bundle(store, convert_dir, f);
+      trace::save_bundle(store, convert_dir, f, binary_version);
       std::printf("bundle transcoded to %s (%s)\n", convert_dir.c_str(),
                   format.c_str());
     }
