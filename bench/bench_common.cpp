@@ -2,12 +2,26 @@
 
 #include <chrono>
 #include <cstdio>
+#include <thread>
 
 #include "util/ascii_chart.h"
 #include "util/error.h"
 #include "util/flags.h"
 
 namespace wearscope::bench {
+
+unsigned emit_hardware_concurrency(std::FILE* out) {
+  const unsigned hc = std::thread::hardware_concurrency();
+  std::fprintf(out, "  \"hardware_concurrency\": %u,\n", hc);
+  if (hc <= 1) {
+    std::fprintf(stderr,
+                 "warning: hardware_concurrency=%u — parallel sweeps are "
+                 "flat on a single-core machine; do not read this point "
+                 "as a scaling regression\n",
+                 hc);
+  }
+  return hc;
+}
 
 namespace {
 

@@ -5,6 +5,7 @@
 // regenerated series of its figure, and report paper-vs-measured checks.
 #pragma once
 
+#include <cstdio>
 #include <functional>
 #include <string>
 
@@ -12,6 +13,13 @@
 #include "simnet/simulator.h"
 
 namespace wearscope::bench {
+
+/// Writes the `"hardware_concurrency": N,` line every BENCH_*.json carries
+/// (sweep shapes are meaningless without it) and returns N.  Warns on
+/// stderr when the machine exposes a single core: parallel sweeps will be
+/// flat there no matter how good the code is, so the trajectory point must
+/// not be read as a scaling regression.
+unsigned emit_hardware_concurrency(std::FILE* out);
 
 /// Parsed command line shared by every figure harness.
 struct BenchOptions {

@@ -13,6 +13,7 @@
 #include <string>
 #include <thread>
 
+#include "bench_common.h"
 #include "core/pipeline.h"
 #include "core/streaming.h"
 #include "simnet/simulator.h"
@@ -184,8 +185,7 @@ int emit_json(const std::string& path) {
   const simnet::SimResult& sim = shared_capture();
   const std::uint64_t records = sim.store.proxy.size() + sim.store.mme.size();
   std::fprintf(out, "{\n  \"bench\": \"perf_analysis\",\n");
-  std::fprintf(out, "  \"hardware_concurrency\": %u,\n",
-               std::thread::hardware_concurrency());
+  bench::emit_hardware_concurrency(out);
   std::fprintf(out, "  \"records\": %llu,\n",
                static_cast<unsigned long long>(records));
   std::fprintf(out, "  \"threads\": [\n");

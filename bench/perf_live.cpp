@@ -20,6 +20,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.h"
 #include "live/engine.h"
 #include "live/replayer.h"
 #include "live/ring_buffer.h"
@@ -124,8 +125,7 @@ int emit_json(const std::string& path) {
   const std::uint64_t records = shared_capture().store.proxy.size() +
                                 shared_capture().store.mme.size();
   std::fprintf(out, "{\n  \"bench\": \"perf_live\",\n");
-  std::fprintf(out, "  \"hardware_concurrency\": %u,\n",
-               std::thread::hardware_concurrency());
+  bench::emit_hardware_concurrency(out);
   std::fprintf(out, "  \"records\": %llu,\n",
                static_cast<unsigned long long>(records));
   std::fprintf(out, "  \"shards\": [\n");

@@ -1,0 +1,257 @@
+// Google-benchmark performance suite for the always-on query layer:
+// answer latency per query kind and closed-loop throughput as a function
+// of reader-thread count.
+//
+// Two modes:
+//   perf_serve                      # normal google-benchmark run
+//   perf_serve --emit-json[=PATH]   # mix x reader sweep -> BENCH_serve.json
+//
+// The JSON mode replays a fixed synthetic capture through the live engine
+// once, publishing periodic snapshots into a serve::SnapshotStore, then
+// measures queries/sec for each query mix at readers ∈ {1, 2, 4, 8}.
+// Each reader runs closed-loop (issue, wait for the answer, issue the
+// next), cycling through its mix — the aggregate rate is what a dashboard
+// fleet would see.  A background writer republishes snapshots throughout
+// the sweep so the numbers include the RCU publication traffic readers
+// ride through; hardware_concurrency is recorded because a reader sweep
+// is flat on a single core no matter how good the store is.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "live/engine.h"
+#include "live/replayer.h"
+#include "serve/query_engine.h"
+#include "serve/snapshot_store.h"
+#include "simnet/simulator.h"
+#include "util/sim_time.h"
+
+namespace {
+
+using namespace wearscope;
+
+const simnet::SimResult& shared_capture() {
+  static const simnet::SimResult sim = [] {
+    simnet::SimConfig cfg;
+    cfg.seed = 7;
+    cfg.wearable_users = 400;
+    cfg.control_users = 800;
+    cfg.through_device_users = 100;
+    cfg.detailed_days = 14;
+    cfg.cities = 6;
+    cfg.sectors_per_city = 12;
+    cfg.long_tail_apps = 60;
+    return simnet::Simulator(cfg).run();
+  }();
+  return sim;
+}
+
+/// The master store every benchmark reads: one replay of the shared
+/// capture, snapshots every 14 simulated days plus the final drain epoch.
+serve::SnapshotStore& shared_store() {
+  static serve::SnapshotStore store(64);
+  static const bool populated = [] {
+    const simnet::SimResult& sim = shared_capture();
+    live::LiveOptions opt;
+    opt.shards = 2;
+    opt.observation_days = sim.observation_days;
+    opt.detailed_start_day = sim.detailed_start_day;
+    opt.long_tail_apps = sim.config.long_tail_apps;
+    live::LiveEngine engine(sim.store.devices, opt);
+    live::ReplayOptions ropt;
+    ropt.snapshot_every_s = 14 * util::kSecondsPerDay;
+    ropt.on_snapshot = [](live::LiveSnapshot snap) {
+      store.publish(std::move(snap));
+    };
+    live::FeedReplayer(sim.store, ropt).replay(engine);
+    store.publish(engine.stop(), /*final_epoch=*/true);
+    return true;
+  }();
+  (void)populated;
+  return store;
+}
+
+struct QueryMix {
+  const char* name;
+  std::vector<std::string> queries;
+};
+
+/// The sweep's workload shapes: cheap point lookups, row-heavy top-K
+/// scans, and the dashboard blend (current + historical epochs).
+std::vector<QueryMix> query_mixes() {
+  return {
+      {"adoption", {"adoption"}},
+      {"topk", {"top-apps 10", "sectors 10"}},
+      {"mixed",
+       {"adoption", "activity", "top-apps 10", "sectors 10", "quarantine",
+        "epochs", "adoption @0", "top-apps 5 @3"}},
+  };
+}
+
+/// Closed loop: `readers` threads each answer `per_reader` queries,
+/// cycling through `mix`, while a writer keeps publishing fresh epochs at
+/// a steady cadence (so the numbers include the RCU publication traffic
+/// readers ride through).  Returns aggregate queries/sec.
+///
+/// Each run gets its own window, seeded from the master store, sized so
+/// the writer never evicts the historical epochs the mixed workload
+/// queries — eviction mid-run would silently swap @EPOCH answers for
+/// cheap ERR lines and inflate the rate.
+double closed_loop_qps(const QueryMix& mix, std::size_t readers,
+                       std::uint64_t per_reader) {
+  using Clock = std::chrono::steady_clock;
+  serve::SnapshotStore& master = shared_store();
+  serve::SnapshotStore store(4096);
+  const std::vector<std::uint64_t> epochs = master.retained_epochs();
+  for (std::size_t i = 0; i < epochs.size(); ++i) {
+    const serve::SnapshotRef ref = master.at_epoch(epochs[i]);
+    store.publish(live::LiveSnapshot(ref->snap),
+                  /*final_epoch=*/i + 1 == epochs.size());
+  }
+  serve::QueryEngine engine(store);
+
+  std::atomic<bool> stop_writer{false};
+  std::thread writer([&] {
+    live::LiveSnapshot snap = store.latest()->snap;
+    constexpr int kMaxPublishes = 3'500;  // stay under the window size
+    for (int i = 0;
+         i < kMaxPublishes && !stop_writer.load(std::memory_order_acquire);
+         ++i) {
+      snap.epoch += 1;
+      store.publish(live::LiveSnapshot(snap), /*final_epoch=*/true);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  const Clock::time_point t0 = Clock::now();
+  std::vector<std::thread> pool;
+  pool.reserve(readers);
+  for (std::size_t r = 0; r < readers; ++r) {
+    pool.emplace_back([&, r] {
+      std::size_t qi = r % mix.queries.size();
+      for (std::uint64_t i = 0; i < per_reader; ++i) {
+        const std::string answer = engine.answer(mix.queries[qi]);
+        benchmark::DoNotOptimize(answer.size());
+        qi = (qi + 1) % mix.queries.size();
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  const double secs = std::chrono::duration<double>(Clock::now() - t0).count();
+  stop_writer.store(true, std::memory_order_release);
+  writer.join();
+  return secs > 0.0
+             ? static_cast<double>(per_reader * readers) / secs
+             : 0.0;
+}
+
+void BM_AnswerAdoption(benchmark::State& state) {
+  serve::QueryEngine engine(shared_store());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.answer("adoption").size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AnswerAdoption);
+
+void BM_AnswerTopApps(benchmark::State& state) {
+  serve::QueryEngine engine(shared_store());
+  const std::string query = "top-apps " + std::to_string(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.answer(query).size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AnswerTopApps)->Arg(10)->Arg(50);
+
+void BM_AnswerHistorical(benchmark::State& state) {
+  // @epoch answers walk the retention window under the mutex — the slow
+  // path the RCU latest() pointer exists to avoid.
+  serve::QueryEngine engine(shared_store());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.answer("adoption @3").size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AnswerHistorical);
+
+void BM_ClosedLoopMixed(benchmark::State& state) {
+  const QueryMix mix = query_mixes().back();  // "mixed"
+  const auto readers = static_cast<std::size_t>(state.range(0));
+  constexpr std::uint64_t kPerReader = 2'000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(closed_loop_qps(mix, readers, kPerReader));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(kPerReader * readers) *
+                          state.iterations());
+}
+BENCHMARK(BM_ClosedLoopMixed)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+/// --emit-json mode: mix x reader sweep, best of `kReps` runs per point.
+int emit_json(const std::string& path) {
+  constexpr int kReps = 3;
+  constexpr std::uint64_t kPerReader = 10'000;
+  const std::vector<std::size_t> reader_counts = {1, 2, 4, 8};
+  const std::vector<QueryMix> mixes = query_mixes();
+
+  shared_store();  // build outside the timed region
+
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"perf_serve\",\n");
+  bench::emit_hardware_concurrency(out);
+  std::fprintf(out, "  \"epochs_retained\": %zu,\n",
+               shared_store().retained_epochs().size());
+  std::fprintf(out, "  \"queries_per_reader\": %llu,\n",
+               static_cast<unsigned long long>(kPerReader));
+  std::fprintf(out, "  \"sweep\": [\n");
+  for (std::size_t m = 0; m < mixes.size(); ++m) {
+    for (std::size_t r = 0; r < reader_counts.size(); ++r) {
+      const std::size_t readers = reader_counts[r];
+      double best_qps = 0.0;
+      for (int rep = 0; rep < kReps; ++rep) {
+        best_qps = std::max(best_qps,
+                            closed_loop_qps(mixes[m], readers, kPerReader));
+      }
+      const bool last =
+          m + 1 == mixes.size() && r + 1 == reader_counts.size();
+      std::fprintf(out,
+                   "    {\"mix\": \"%s\", \"readers\": %zu, "
+                   "\"queries_per_sec\": %.0f}%s\n",
+                   mixes[m].name, readers, best_qps, last ? "" : ",");
+      std::printf("mix=%s readers=%zu: %.0f queries/s\n", mixes[m].name,
+                  readers, best_qps);
+    }
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--emit-json", 11) == 0) {
+      const char* eq = std::strchr(argv[i], '=');
+      return emit_json(eq != nullptr ? eq + 1 : "BENCH_serve.json");
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

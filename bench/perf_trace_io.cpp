@@ -18,6 +18,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.h"
 #include "par/task_pool.h"
 #include "simnet/simulator.h"
 #include "trace/binary_io.h"
@@ -276,8 +277,7 @@ int emit_json(const std::string& path) {
       best_of([&] { benchmark::DoNotOptimize(drain_v1_file()); });
 
   std::fprintf(out, "{\n  \"bench\": \"perf_trace_io\",\n");
-  std::fprintf(out, "  \"hardware_concurrency\": %u,\n",
-               std::thread::hardware_concurrency());
+  bench::emit_hardware_concurrency(out);
   std::fprintf(out, "  \"records\": %llu,\n",
                static_cast<unsigned long long>(records.size()));
   std::fprintf(out, "  \"v1_bytes\": %llu,\n",

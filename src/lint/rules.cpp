@@ -712,7 +712,10 @@ constexpr std::array<std::string_view, 9> kMemberSkipKeywords = {
 
 void check_pod_init(const FileCtx& f, std::vector<Finding>& out) {
   const std::string& path = f.source->path;
-  if (!contains(path, "trace/") && !contains(path, "live/")) return;
+  if (!contains(path, "trace/") && !contains(path, "live/") &&
+      !contains(path, "serve/")) {
+    return;
+  }
   const Code& c = f.code;
   for (std::size_t i = 0; i + 1 < c.size(); ++i) {
     if (!is_ident(c[i], "struct") && !is_ident(c[i], "class")) continue;

@@ -66,7 +66,11 @@ ReplayReport FeedReplayer::replay(LiveEngine& engine) const {
         take_mme ? mme[mi].timestamp : proxy[pi].timestamp;
 
     if (opt_.snapshot_every_s > 0 && ts >= next_snapshot) {
-      report.snapshots.push_back(engine.snapshot());
+      if (opt_.on_snapshot) {
+        opt_.on_snapshot(engine.snapshot());
+      } else {
+        report.snapshots.push_back(engine.snapshot());
+      }
       // Skip empty intervals so one quiet week costs one snapshot, not 168.
       while (next_snapshot <= ts) next_snapshot += opt_.snapshot_every_s;
     }

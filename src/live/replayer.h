@@ -54,13 +54,20 @@ struct ReplayOptions {
   /// Unset = no faults.  Must be deterministic in `seq` (chaos::FaultPlan
   /// provides seeded schedules).
   std::function<std::uint32_t(std::uint64_t seq)> read_faults;
+  /// Snapshot publication hook: when set, each periodic snapshot is handed
+  /// here (from the feed thread, in epoch order) instead of being
+  /// accumulated into ReplayReport::snapshots — the always-on serving
+  /// layer (wearscope::serve::SnapshotStore::publish) hangs off this, so a
+  /// long replay retains a bounded window instead of every epoch.
+  std::function<void(LiveSnapshot snapshot)> on_snapshot;
 };
 
 /// What one replay() call did.
 struct ReplayReport {
   std::uint64_t records_pushed = 0;
   double wall_seconds = 0.0;  ///< Push-loop wall time (excludes stop()).
-  /// The periodic snapshots, in epoch order (empty when disabled).
+  /// The periodic snapshots, in epoch order (empty when disabled or when
+  /// ReplayOptions::on_snapshot consumed them).
   std::vector<LiveSnapshot> snapshots;
   /// Runtime quarantine: recovered retries and records dropped after the
   /// retry budget (also accumulated into the engine's snapshots).

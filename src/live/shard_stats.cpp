@@ -2,6 +2,18 @@
 
 namespace wearscope::live {
 
+void SectorTally::merge(const SectorTally& other) {
+  for (const auto& [sector, counter] : other.sectors) {
+    Counter& mine = sectors[sector];
+    mine.events += counter.events;
+    mine.attaches += counter.attaches;
+    mine.handovers += counter.handovers;
+    mine.wearable_events += counter.wearable_events;
+    mine.distinct_users += counter.distinct_users;
+    mine.wearable_users += counter.wearable_users;
+  }
+}
+
 void AppTally::merge(const AppTally& other) {
   for (const auto& [app, counter] : other.apps) {
     Counter& mine = apps[app];
@@ -55,6 +67,16 @@ void ShardStats::on_proxy(const trace::ProxyRecord& record,
 void ShardStats::on_mme(const trace::MmeRecord& record) {
   ++consumed_;
   adoption_.on_mme(record);
+
+  SectorTally::Counter& sector = sector_tally_.sectors[record.sector_id];
+  sector.events += 1;
+  if (record.event == trace::MmeEvent::kAttach) sector.attaches += 1;
+  if (record.event == trace::MmeEvent::kHandover) sector.handovers += 1;
+  sector_users_[record.sector_id].insert(record.user_id);
+  if (devices_->is_wearable(record.tac)) {
+    sector.wearable_events += 1;
+    sector_wearable_users_[record.sector_id].insert(record.user_id);
+  }
 }
 
 ShardSnapshot ShardStats::snapshot(std::size_t shard) const {
@@ -66,6 +88,13 @@ ShardSnapshot ShardStats::snapshot(std::size_t shard) const {
   snap.apps = app_tally_;
   for (const auto& [app, users] : app_users_) {
     snap.apps.apps[app].distinct_users = users.size();
+  }
+  snap.sectors = sector_tally_;
+  for (const auto& [sector, users] : sector_users_) {
+    snap.sectors.sectors[sector].distinct_users = users.size();
+  }
+  for (const auto& [sector, users] : sector_wearable_users_) {
+    snap.sectors.sectors[sector].wearable_users = users.size();
   }
   return snap;
 }

@@ -27,6 +27,24 @@
 
 namespace wearscope::live {
 
+/// Mergeable per-sector activity counters.  Shards partition users, not
+/// sectors, so one sector accumulates contributions from many shards —
+/// but the per-shard user sets behind the distinct counts are disjoint,
+/// which is why merge() can simply add them.
+struct SectorTally {
+  struct Counter {
+    std::uint64_t events = 0;          ///< All MME events at the sector.
+    std::uint64_t attaches = 0;
+    std::uint64_t handovers = 0;
+    std::uint64_t wearable_events = 0; ///< Events from wearable TACs.
+    std::uint64_t distinct_users = 0;  ///< Filled at snapshot time.
+    std::uint64_t wearable_users = 0;  ///< Filled at snapshot time.
+  };
+  std::unordered_map<trace::SectorId, Counter> sectors;
+
+  void merge(const SectorTally& other);
+};
+
 /// Mergeable per-app counters (user-disjoint partitions: distinct-user
 /// counts simply add).
 struct AppTally {
@@ -53,6 +71,7 @@ struct ShardSnapshot {
   core::AdoptionTally adoption;
   core::ActivityTally activity;
   AppTally apps;
+  SectorTally sectors;
 };
 
 /// All streaming state of one shard.
@@ -90,9 +109,16 @@ class ShardStats {
   core::StreamingActivity activity_;
 
   AppTally app_tally_;
+  SectorTally sector_tally_;
   /// Distinct users per app (sizes exported into AppTally at snapshot).
   std::unordered_map<appdb::AppId, std::unordered_set<trace::UserId>>
       app_users_;
+  /// Distinct users per sector: all users and the wearable subset (sizes
+  /// exported into SectorTally at snapshot).
+  std::unordered_map<trace::SectorId, std::unordered_set<trace::UserId>>
+      sector_users_;
+  std::unordered_map<trace::SectorId, std::unordered_set<trace::UserId>>
+      sector_wearable_users_;
   /// Incremental sessionizer: (user, app) -> last transaction timestamp.
   std::unordered_map<trace::UserId,
                      std::unordered_map<appdb::AppId, util::SimTime>>

@@ -54,11 +54,13 @@ LiveSnapshot SnapshotCoordinator::assemble(
   core::AdoptionTally adoption;
   core::ActivityTally activity;
   AppTally apps;
+  SectorTally sectors;
   for (ShardSnapshot& part : parts) {
     snap.records += part.records;
     adoption.merge(part.adoption);
     activity.merge(std::move(part.activity));
     apps.merge(part.apps);
+    sectors.merge(part.sectors);
   }
   snap.adoption = adoption.finalize();
   snap.activity = activity.finalize();
@@ -77,6 +79,18 @@ LiveSnapshot SnapshotCoordinator::assemble(
               return a.counter.transactions != b.counter.transactions
                          ? a.counter.transactions > b.counter.transactions
                          : a.app < b.app;
+            });
+
+  snap.sectors.reserve(sectors.sectors.size());
+  for (const auto& [sector, counter] : sectors.sectors) {
+    snap.sectors.push_back(LiveSnapshot::SectorRow{sector, counter});
+  }
+  std::sort(snap.sectors.begin(), snap.sectors.end(),
+            [](const LiveSnapshot::SectorRow& a,
+               const LiveSnapshot::SectorRow& b) {
+              return a.counter.events != b.counter.events
+                         ? a.counter.events > b.counter.events
+                         : a.sector < b.sector;
             });
   return snap;
 }

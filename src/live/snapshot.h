@@ -40,6 +40,13 @@ struct LiveSnapshot {
     AppTally::Counter counter;
   };
   std::vector<AppRow> apps;
+  /// Per-sector activity sorted by (events desc, sector id) — deterministic
+  /// for every shard count.
+  struct SectorRow {
+    trace::SectorId sector = 0;
+    SectorTally::Counter counter;
+  };
+  std::vector<SectorRow> sectors;
   /// Wearable transactions per endpoint class (Application/Utilities/
   /// Advertising/Analytics).
   std::array<std::uint64_t, appdb::kTransactionClassCount> class_txns{};

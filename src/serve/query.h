@@ -1,0 +1,100 @@
+// The serve query grammar and its deterministic renderers.
+//
+// The protocol is newline-delimited: one query per input line, exactly one
+// response line per query.  Responses start with "OK <verb>" or
+// "ERR <message>".  The grammar (tokens separated by spaces/tabs):
+//
+//   adoption [@EPOCH]            adoption headline + normalized daily curve
+//   activity [@EPOCH]            Fig. 3 activity statistics
+//   top-apps [K] [@EPOCH]        top K apps by wearable transactions
+//   sectors [K] [@EPOCH]         top K antenna sectors by MME events
+//   quarantine [@EPOCH]          feed/sanitizer quarantine counters
+//   epochs                       retained epoch numbers, oldest first
+//   stats                        serving counters (answered, errors, ...)
+//   help                         one-line grammar summary
+//
+// "@EPOCH" (e.g. "@12") selects a retained historical epoch; omitted means
+// the latest published snapshot.  K defaults to 10.
+//
+// Rendering is bitwise-deterministic: doubles are printed with "%.17g"
+// (round-trip exact), every list is emitted from the snapshot's already
+// canonically-sorted rows, and the same renderer is reused by the batch
+// --verify path — so "serve output == batch output" is a plain string
+// comparison.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "live/snapshot.h"
+#include "trace/quarantine.h"
+
+namespace wearscope::serve {
+
+enum class QueryKind : std::uint8_t {
+  kAdoption,
+  kActivity,
+  kTopApps,
+  kSectors,
+  kQuarantine,
+  kEpochs,
+  kStats,
+  kHelp,
+};
+
+/// One parsed query.
+struct Query {
+  QueryKind kind = QueryKind::kHelp;
+  std::size_t top_k = 10;               ///< top-apps / sectors only.
+  std::optional<std::uint64_t> epoch;   ///< Unset = latest snapshot.
+};
+
+/// Result of parsing one line: either a query or a diagnostic.
+struct ParsedQuery {
+  std::optional<Query> query;
+  std::string error;  ///< Set when `query` is empty.
+};
+
+/// Parses one protocol line.  Blank lines and "# comment" lines parse to
+/// an empty optional with an empty error (callers skip them silently).
+[[nodiscard]] ParsedQuery parse_query(std::string_view line);
+
+/// The one-line grammar summary the "help" query answers with.
+[[nodiscard]] std::string render_help();
+
+// ---------------------------------------------------------------------------
+// Renderers.  Each takes the result structures rather than a snapshot so
+// the batch verify path can feed core::Pipeline output through the exact
+// same bytes; epoch/records label the stream cut the figures describe.
+// ---------------------------------------------------------------------------
+
+[[nodiscard]] std::string render_adoption(std::uint64_t epoch,
+                                          std::uint64_t records,
+                                          const core::AdoptionResult& a);
+
+[[nodiscard]] std::string render_activity(
+    std::uint64_t epoch, std::uint64_t records, const core::ActivityResult& a,
+    const std::array<std::uint64_t, appdb::kTransactionClassCount>&
+        class_txns);
+
+[[nodiscard]] std::string render_top_apps(
+    std::uint64_t epoch, std::size_t k,
+    std::span<const live::LiveSnapshot::AppRow> apps);
+
+[[nodiscard]] std::string render_sectors(
+    std::uint64_t epoch, std::size_t k,
+    std::span<const live::LiveSnapshot::SectorRow> sectors);
+
+[[nodiscard]] std::string render_quarantine(std::uint64_t epoch,
+                                            const trace::QuarantineStats& q);
+
+/// Dispatches a snapshot query to the renderer above (kAdoption, kActivity,
+/// kTopApps, kSectors or kQuarantine; anything else is a logic error).
+[[nodiscard]] std::string render_snapshot_query(const Query& query,
+                                                const live::LiveSnapshot& s);
+
+}  // namespace wearscope::serve

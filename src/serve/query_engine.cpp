@@ -1,0 +1,89 @@
+#include "serve/query_engine.h"
+
+#include <cstdio>
+#include <vector>
+
+#include "serve/query.h"
+
+namespace wearscope::serve {
+
+namespace {
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+}  // namespace
+
+std::string QueryEngine::error(std::string message) {
+  errors_.fetch_add(1, std::memory_order_relaxed);
+  return "ERR " + std::move(message);
+}
+
+std::string QueryEngine::answer(std::string_view line) {
+  const ParsedQuery parsed = parse_query(line);
+  if (!parsed.query.has_value()) {
+    if (parsed.error.empty()) return {};  // Blank or comment line.
+    return error(parsed.error);
+  }
+  const Query& query = *parsed.query;
+
+  switch (query.kind) {
+    case QueryKind::kHelp:
+      answered_.fetch_add(1, std::memory_order_relaxed);
+      return render_help();
+    case QueryKind::kEpochs: {
+      std::string out = "OK epochs retained=";
+      const std::vector<std::uint64_t> epochs = store_->retained_epochs();
+      for (std::size_t i = 0; i < epochs.size(); ++i) {
+        if (i > 0) out += ',';
+        append_u64(out, epochs[i]);
+      }
+      out += " capacity=";
+      append_u64(out, store_->capacity());
+      out += " published=";
+      append_u64(out, store_->published());
+      answered_.fetch_add(1, std::memory_order_relaxed);
+      return out;
+    }
+    case QueryKind::kStats: {
+      const ServingStats s = stats();
+      std::string out = "OK stats answered=";
+      append_u64(out, s.answered);
+      out += " errors=";
+      append_u64(out, s.errors);
+      out += " no_snapshot=";
+      append_u64(out, s.no_snapshot);
+      out += " published=";
+      append_u64(out, store_->published());
+      answered_.fetch_add(1, std::memory_order_relaxed);
+      return out;
+    }
+    default:
+      break;
+  }
+
+  const SnapshotRef snap = query.epoch.has_value()
+                               ? store_->at_epoch(*query.epoch)
+                               : store_->latest();
+  if (snap == nullptr) {
+    no_snapshot_.fetch_add(1, std::memory_order_relaxed);
+    if (query.epoch.has_value()) {
+      std::string msg = "epoch ";
+      append_u64(msg, *query.epoch);
+      msg += " not retained (see 'epochs')";
+      return error(std::move(msg));
+    }
+    return error("no snapshot published yet");
+  }
+  if (ServedSnapshot::fold(snap->snap, snap->publish_seq,
+                           snap->final_epoch) != snap->checksum) {
+    return error("snapshot integrity check failed (torn publication?)");
+  }
+  answered_.fetch_add(1, std::memory_order_relaxed);
+  return render_snapshot_query(query, snap->snap);
+}
+
+}  // namespace wearscope::serve

@@ -1,0 +1,59 @@
+// QueryEngine: answers protocol lines against a SnapshotStore.
+//
+// Thread-safe for any number of concurrent callers: snapshot resolution is
+// the store's lock-free latest() (or the mutex-guarded historical lookup
+// for "@epoch" queries), rendering walks only the resolved immutable
+// snapshot, and the serving counters are relaxed atomics.  Nothing here
+// ever blocks the publishing side.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "serve/snapshot_store.h"
+
+namespace wearscope::serve {
+
+/// Monotonic serving counters (one consistent-enough sample; individual
+/// counters are exact, cross-counter skew is possible under load).
+struct ServingStats {
+  std::uint64_t answered = 0;   ///< Queries that produced an OK line.
+  std::uint64_t errors = 0;     ///< Queries that produced an ERR line.
+  std::uint64_t no_snapshot = 0;  ///< Of `errors`: asked before any publish
+                                  ///< or for an evicted epoch.
+};
+
+class QueryEngine {
+ public:
+  /// `store` must outlive the engine.
+  explicit QueryEngine(const SnapshotStore& store) : store_(&store) {}
+
+  /// Answers one protocol line with exactly one response line (no
+  /// trailing newline).  Blank/comment lines return an empty string —
+  /// callers emit nothing for them.
+  [[nodiscard]] std::string answer(std::string_view line);
+
+  [[nodiscard]] ServingStats stats() const noexcept {
+    ServingStats s;
+    s.answered = answered_.load(std::memory_order_relaxed);
+    s.errors = errors_.load(std::memory_order_relaxed);
+    s.no_snapshot = no_snapshot_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  [[nodiscard]] const SnapshotStore& store() const noexcept {
+    return *store_;
+  }
+
+ private:
+  [[nodiscard]] std::string error(std::string message);
+
+  const SnapshotStore* store_ = nullptr;
+  std::atomic<std::uint64_t> answered_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> no_snapshot_{0};
+};
+
+}  // namespace wearscope::serve

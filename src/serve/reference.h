@@ -1,0 +1,68 @@
+// Batch references for the serving layer's equivalence gates.
+//
+// Two independent references pin down what a serve answer must equal:
+//
+//  * reference_snapshot() — a sequential, thread-free replay of the same
+//    ShardStats/assemble machinery the concurrent engine runs (one shard,
+//    fed in feed-merge order on the calling thread).  Any divergence from
+//    a LiveEngine snapshot isolates a concurrency bug, because every
+//    other ingredient is shared code.
+//
+//  * core::Pipeline (what wearscope_analyze runs) — the batch ground
+//    truth for the figures both sides compute (adoption, activity,
+//    quarantine).  verify_responses() renders serve answers from a served
+//    snapshot AND from these references through the same byte-exact
+//    formatters, and compares strings.
+//
+// prefix_store() cuts the capture at an epoch boundary (the first
+// `records` events in feed-merge order), which is exactly the stream
+// prefix a barrier snapshot covers — that is what makes per-epoch
+// equivalence testable against the batch pipeline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "live/engine.h"
+#include "trace/store.h"
+
+namespace wearscope::serve {
+
+/// The capture prefix a barrier at `records` covers: the first `records`
+/// events of `store` in feed-merge order (timestamp order, MME before
+/// proxy on ties — FeedReplayer's order), plus the full device/sector
+/// databases.  `store` must be time-sorted.
+[[nodiscard]] trace::TraceStore prefix_store(const trace::TraceStore& store,
+                                             std::uint64_t records);
+
+/// Sequential reference snapshot over `store`: one ShardStats instance fed
+/// on the calling thread in feed-merge order, assembled through the same
+/// SnapshotCoordinator merge the engine uses.  `epoch` labels the result;
+/// `quarantine` rides into the snapshot like LiveEngine::add_quarantine.
+[[nodiscard]] live::LiveSnapshot reference_snapshot(
+    const trace::TraceStore& store, const live::LiveOptions& options,
+    std::uint64_t epoch = 0, const trace::QuarantineStats& quarantine = {});
+
+/// One mismatch found by verify_responses().
+struct VerifyMismatch {
+  std::string query;  ///< The protocol line that diverged.
+  std::string serve;  ///< The serving layer's response.
+  std::string batch;  ///< The batch reference's response.
+};
+
+/// Renders the canonical query set (adoption, activity, quarantine,
+/// top-apps K, sectors K) against `served` and against batch references
+/// over `store`, byte-comparing each pair:
+///   adoption/activity  vs core::Pipeline (wearscope_analyze),
+///   top-apps/sectors/class-mix  vs reference_snapshot(),
+///   quarantine  vs `expected_quarantine`, the feed-side accounting the
+///   caller tracked independently of the engine's accumulation.
+/// Returns every mismatch (empty = bitwise identical).
+[[nodiscard]] std::vector<VerifyMismatch> verify_responses(
+    const live::LiveSnapshot& served, const trace::TraceStore& store,
+    const live::LiveOptions& options,
+    const trace::QuarantineStats& expected_quarantine,
+    std::size_t top_k = 10);
+
+}  // namespace wearscope::serve

@@ -1,0 +1,150 @@
+#include "serve/server.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "util/error.h"
+
+namespace wearscope::serve {
+
+LineServer::~LineServer() { stop_listener(); }
+
+std::uint64_t LineServer::serve_stream(std::FILE* in, std::FILE* out) {
+  std::uint64_t responses = 0;
+  std::string line;
+  int ch;
+  while (true) {
+    line.clear();
+    while ((ch = std::fgetc(in)) != EOF && ch != '\n') {
+      line += static_cast<char>(ch);
+    }
+    if (line.empty() && ch == EOF) break;
+    const std::string response = engine_->answer(line);
+    if (!response.empty()) {
+      std::fputs(response.c_str(), out);
+      std::fputc('\n', out);
+      std::fflush(out);
+      ++responses;
+    }
+    if (ch == EOF) break;
+  }
+  return responses;
+}
+
+void LineServer::start_listener(std::uint16_t port) {
+  {
+    util::MutexLock lock(mutex_);
+    util::require(listen_fd_.load(std::memory_order_relaxed) < 0 && !stopping_,
+                  "LineServer: listener already started");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw util::IoError("socket(): " + std::string(strerror(errno)));
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(fd, 16) < 0) {
+    const std::string why = strerror(errno);
+    ::close(fd);
+    throw util::IoError("bind/listen 127.0.0.1:" + std::to_string(port) +
+                        ": " + why);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    bound_port_.store(ntohs(bound.sin_port), std::memory_order_relaxed);
+  }
+  listen_fd_.store(fd, std::memory_order_release);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void LineServer::accept_loop() {
+  while (true) {
+    // Re-read each iteration: stop_listener() retires the descriptor to
+    // -1 before closing it, so a post-stop iteration fails fast instead
+    // of accepting on a possibly-recycled fd number.
+    const int listen_fd = listen_fd_.load(std::memory_order_acquire);
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) return;  // Listener shut down (or fatal error): stop.
+    util::MutexLock lock(mutex_);
+    if (stopping_) {
+      ::close(fd);
+      return;
+    }
+    connection_fds_.push_back(fd);
+    connection_threads_.emplace_back([this, fd] { serve_connection(fd); });
+  }
+}
+
+void LineServer::serve_connection(int fd) {
+  // A connection is a byte stream of query lines; answer line by line.
+  std::string pending;
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n <= 0) break;
+    pending.append(buf, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    std::size_t nl;
+    while ((nl = pending.find('\n', start)) != std::string::npos) {
+      std::string response =
+          engine_->answer(std::string_view(pending).substr(start, nl - start));
+      start = nl + 1;
+      if (response.empty()) continue;
+      response += '\n';
+      std::size_t written = 0;
+      while (written < response.size()) {
+        const ssize_t w =
+            ::write(fd, response.data() + written, response.size() - written);
+        if (w <= 0) break;
+        written += static_cast<std::size_t>(w);
+      }
+      if (written < response.size()) break;
+    }
+    pending.erase(0, start);
+  }
+  {
+    // Deregister before close so stop_listener() never shuts down a
+    // recycled descriptor.
+    util::MutexLock lock(mutex_);
+    std::erase(connection_fds_, fd);
+  }
+  ::close(fd);
+}
+
+void LineServer::stop_listener() {
+  {
+    util::MutexLock lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+    // Wake blocked reads so connection threads notice shutdown.
+    for (const int fd : connection_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  const int fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) {
+    // shutdown() wakes the accept thread if it is parked in accept();
+    // the exchange above already hid the fd from further iterations.
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> threads;
+  {
+    util::MutexLock lock(mutex_);
+    threads.swap(connection_threads_);
+    connection_fds_.clear();
+  }
+  for (std::thread& thread : threads) thread.join();
+  bound_port_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace wearscope::serve

@@ -1,0 +1,69 @@
+// The always-on serving front ends: a newline-delimited query loop over
+// stdio streams, and an optional localhost TCP listener speaking the same
+// protocol (one query line in, one response line out).
+//
+// Threading: serve_stream() runs on the caller's thread.  The listener
+// owns one accept thread plus one thread per connection; every connection
+// shares the same QueryEngine, which is safe because answering only takes
+// lock-free/immutable paths (see query_engine.h).  Ingest keeps running
+// underneath — that is the point of the subsystem.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "serve/query_engine.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
+
+namespace wearscope::serve {
+
+class LineServer {
+ public:
+  /// `engine` must outlive the server.
+  explicit LineServer(QueryEngine& engine) : engine_(&engine) {}
+  ~LineServer();
+
+  LineServer(const LineServer&) = delete;
+  LineServer& operator=(const LineServer&) = delete;
+
+  /// Reads query lines from `in` until EOF, writing one response line per
+  /// query to `out` (flushed per response — callers may be pipes).  Blank
+  /// and "#"-comment lines produce no output.  Returns responses written.
+  std::uint64_t serve_stream(std::FILE* in, std::FILE* out);
+
+  /// Starts the TCP listener on 127.0.0.1:`port` (0 = kernel-assigned;
+  /// read the result back with bound_port()).  Throws util::IoError when
+  /// the socket cannot be bound.
+  void start_listener(std::uint16_t port) WS_EXCLUDES(mutex_);
+
+  /// Stops accepting, shuts down open connections and joins all listener
+  /// threads.  Idempotent; also runs from the destructor.
+  void stop_listener() WS_EXCLUDES(mutex_);
+
+  /// Port the listener is bound to (0 when not listening).
+  [[nodiscard]] std::uint16_t bound_port() const noexcept {
+    return bound_port_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+
+  QueryEngine* engine_ = nullptr;
+  /// Atomic: the accept thread re-reads it each iteration while
+  /// stop_listener() retires it from the caller's thread.
+  std::atomic<int> listen_fd_{-1};
+  std::atomic<std::uint16_t> bound_port_{0};
+  std::thread accept_thread_;
+
+  util::Mutex mutex_;
+  std::vector<int> connection_fds_ WS_GUARDED_BY(mutex_);
+  std::vector<std::thread> connection_threads_ WS_GUARDED_BY(mutex_);
+  bool stopping_ WS_GUARDED_BY(mutex_) = false;
+};
+
+}  // namespace wearscope::serve

@@ -1,0 +1,121 @@
+#include "serve/snapshot_store.h"
+
+#include <bit>
+
+#include "util/error.h"
+
+namespace wearscope::serve {
+
+namespace {
+
+/// splitmix64 — cheap, well-mixed fold step.
+[[nodiscard]] std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h += 0x9e3779b97f4a7c15ULL + v;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
+[[nodiscard]] std::uint64_t mix_double(std::uint64_t h, double v) {
+  return mix(h, std::bit_cast<std::uint64_t>(v));
+}
+
+}  // namespace
+
+std::uint64_t ServedSnapshot::fold(const live::LiveSnapshot& snap,
+                                   std::uint64_t publish_seq,
+                                   bool final_epoch) {
+  std::uint64_t h = mix(publish_seq, final_epoch ? 1 : 0);
+  h = mix(h, snap.epoch);
+  h = mix(h, snap.records);
+  h = mix_double(h, snap.adoption.total_growth);
+  h = mix_double(h, snap.adoption.monthly_growth);
+  h = mix_double(h, snap.adoption.ever_transacting_fraction);
+  h = mix(h, snap.adoption.ever_registered);
+  h = mix(h, snap.adoption.ever_transacted);
+  h = mix(h, snap.adoption.daily_registered_norm.size());
+  for (const double day : snap.adoption.daily_registered_norm)
+    h = mix_double(h, day);
+  h = mix_double(h, snap.activity.mean_active_days);
+  h = mix_double(h, snap.activity.mean_active_hours);
+  h = mix_double(h, snap.activity.median_txn_bytes);
+  h = mix_double(h, snap.activity.frac_txn_under_10kb);
+  for (const std::uint64_t txns : snap.class_txns) h = mix(h, txns);
+  h = mix(h, snap.apps.size());
+  // snap.apps/snap.sectors are LiveSnapshot's canonically-sorted vectors
+  // (the member names merely collide with the shard tallies' hash maps);
+  // the fold must follow exactly that published order.
+  // wearscope-lint: allow(unordered-emit)
+  for (const live::LiveSnapshot::AppRow& row : snap.apps) {
+    h = mix(h, row.app);
+    h = mix(h, row.counter.transactions);
+    h = mix(h, row.counter.bytes);
+    h = mix(h, row.counter.usages);
+    h = mix(h, row.counter.distinct_users);
+  }
+  h = mix(h, snap.sectors.size());
+  // wearscope-lint: allow(unordered-emit)
+  for (const live::LiveSnapshot::SectorRow& row : snap.sectors) {
+    h = mix(h, row.sector);
+    h = mix(h, row.counter.events);
+    h = mix(h, row.counter.attaches);
+    h = mix(h, row.counter.handovers);
+    h = mix(h, row.counter.wearable_events);
+    h = mix(h, row.counter.distinct_users);
+    h = mix(h, row.counter.wearable_users);
+  }
+  h = mix(h, snap.quarantine.total_dropped());
+  h = mix(h, snap.quarantine.reordered);
+  h = mix(h, snap.quarantine.transient_retries);
+  return h;
+}
+
+SnapshotStore::SnapshotStore(std::size_t retain) : retain_(retain) {
+  util::require(retain >= 1, "SnapshotStore: need a retention window >= 1");
+}
+
+SnapshotRef SnapshotStore::publish(live::LiveSnapshot snap,
+                                   bool final_epoch) {
+  auto served = std::make_shared<ServedSnapshot>();
+  served->publish_seq = published_.load(std::memory_order_relaxed) + 1;
+  served->final_epoch = final_epoch;
+  served->snap = std::move(snap);
+  served->checksum =
+      ServedSnapshot::fold(served->snap, served->publish_seq,
+                           served->final_epoch);
+  {
+    util::MutexLock lock(mutex_);
+    window_.push_back(served);
+    while (window_.size() > retain_) window_.pop_front();
+  }
+  // The slot swap makes the fully-built snapshot visible to latest()
+  // readers; the previous ref is dropped outside the lock so a last-ref
+  // destructor never runs inside the readers' critical section.
+  SnapshotRef retired;
+  {
+    util::SpinLockGuard lock(latest_lock_);
+    retired = std::move(latest_);
+    latest_ = served;
+  }
+  published_.fetch_add(1, std::memory_order_relaxed);
+  return served;
+}
+
+SnapshotRef SnapshotStore::at_epoch(std::uint64_t epoch) const {
+  util::MutexLock lock(mutex_);
+  // Newest-first: dashboards overwhelmingly ask about recent epochs.
+  for (auto it = window_.rbegin(); it != window_.rend(); ++it) {
+    if ((*it)->snap.epoch == epoch) return *it;
+  }
+  return nullptr;
+}
+
+std::vector<std::uint64_t> SnapshotStore::retained_epochs() const {
+  util::MutexLock lock(mutex_);
+  std::vector<std::uint64_t> epochs;
+  epochs.reserve(window_.size());
+  for (const SnapshotRef& snap : window_) epochs.push_back(snap->snap.epoch);
+  return epochs;
+}
+
+}  // namespace wearscope::serve

@@ -1,0 +1,119 @@
+// wearscope::serve — always-on query serving over live snapshots.
+//
+// SnapshotStore is the publication point between the live-ingest engine
+// and the query side: the feed thread publishes immutable epoch snapshots,
+// reader threads answer dashboard queries against them.  Publication is
+// RCU-style double-buffered: each published snapshot is an immutable
+// heap object behind a reference-counted pointer, and the "current"
+// snapshot is swapped in through a spin-locked slot held for a pointer
+// swap.  Readers acquire the current snapshot with one refcount bump
+// under that slot lock — they never take the writer's window mutex,
+// never observe a half-built snapshot, and keep whatever epoch they
+// grabbed alive for as long as they hold the reference, even if the
+// writer retires it from the retention window mid-query.  (See latest_
+// below for why the slot is hand-rolled rather than
+// std::atomic<std::shared_ptr>.)
+//
+// Retention: the store keeps the last `retain` snapshots (a bounded
+// time-window of epochs) so queries can ask about recent history
+// ("@epoch" queries).  The window is writer-maintained and guarded by a
+// mutex that only the writer and the *historical*-lookup path touch; the
+// latest-snapshot hot path stays mutex-free.
+//
+// Integrity: every ServedSnapshot carries a checksum folded over its
+// scalar fields at publish time.  QueryEngine re-derives it on every
+// answer; a mismatch would mean a torn or corrupted publication and turns
+// into a query error instead of silently wrong figures (and the stress
+// test asserts it never happens).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "live/snapshot.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
+
+namespace wearscope::serve {
+
+/// One published epoch: an immutable LiveSnapshot plus serving metadata.
+/// Never mutated after publish(); safe to read from any thread.
+struct ServedSnapshot {
+  live::LiveSnapshot snap;
+  std::uint64_t publish_seq = 0;  ///< 1-based publication order.
+  bool final_epoch = false;       ///< Published by the end-of-feed drain.
+  std::uint64_t checksum = 0;     ///< fold() over the fields above.
+
+  /// Order-independent integrity word over the snapshot's scalars and the
+  /// row tallies (not a cryptographic hash; torn-read tripwire only).
+  [[nodiscard]] static std::uint64_t fold(const live::LiveSnapshot& snap,
+                                          std::uint64_t publish_seq,
+                                          bool final_epoch);
+};
+
+/// Shared handle to one published snapshot.
+using SnapshotRef = std::shared_ptr<const ServedSnapshot>;
+
+/// The publication point. One writer thread calls publish(); any number
+/// of reader threads call latest()/at_epoch()/retained_epochs().
+class SnapshotStore {
+ public:
+  /// Retains the most recent `retain` snapshots for historical queries.
+  explicit SnapshotStore(std::size_t retain = 64);
+
+  /// Publishes one snapshot: wraps it, appends it to the retention window
+  /// (evicting the oldest beyond capacity) and atomically swaps it in as
+  /// the current epoch.  Writer thread only.  Returns the published ref.
+  SnapshotRef publish(live::LiveSnapshot snap, bool final_epoch = false)
+      WS_EXCLUDES(mutex_);
+
+  /// The most recently published snapshot (nullptr before the first
+  /// publish).  One refcount bump under the slot spinlock — held for a
+  /// few instructions, never across the writer's window maintenance.
+  [[nodiscard]] SnapshotRef latest() const WS_EXCLUDES(latest_lock_) {
+    util::SpinLockGuard lock(latest_lock_);
+    return latest_;
+  }
+
+  /// Historical lookup by engine epoch number; nullptr when the epoch was
+  /// never published or has been evicted from the retention window.
+  [[nodiscard]] SnapshotRef at_epoch(std::uint64_t epoch) const
+      WS_EXCLUDES(mutex_);
+
+  /// Epochs currently retained, oldest first.
+  [[nodiscard]] std::vector<std::uint64_t> retained_epochs() const
+      WS_EXCLUDES(mutex_);
+
+  /// Snapshots published over the store's lifetime.
+  [[nodiscard]] std::uint64_t published() const noexcept {
+    return published_.load(std::memory_order_relaxed);
+  }
+
+  /// Retention capacity (the `retain` construction parameter).
+  [[nodiscard]] std::size_t capacity() const noexcept { return retain_; }
+
+ private:
+  std::size_t retain_;
+  std::atomic<std::uint64_t> published_{0};
+  /// The RCU hot path: current snapshot, swapped by publish().
+  ///
+  /// Hand-rolled slot instead of std::atomic<std::shared_ptr>: libstdc++'s
+  /// _Sp_atomic is itself a spinlock over a plain pointer pair, but its
+  /// reader path unlocks with a *relaxed* fetch_sub, so there is no
+  /// release edge from a reader's critical section to the next writer's
+  /// plain pointer write — formally a data race on the pointer field, and
+  /// ThreadSanitizer reports it as one.  util::SpinLock uses acquire/
+  /// release on both ends, giving the same nanosecond-scale critical
+  /// sections with a happens-before chain TSan can follow.
+  mutable util::SpinLock latest_lock_;
+  SnapshotRef latest_ WS_GUARDED_BY(latest_lock_);
+
+  mutable util::Mutex mutex_;
+  /// Retention window in publication order (back = newest).
+  std::deque<SnapshotRef> window_ WS_GUARDED_BY(mutex_);
+};
+
+}  // namespace wearscope::serve

@@ -3,6 +3,8 @@
 #include <array>
 #include <cstdio>
 
+#include "util/error.h"
+
 namespace wearscope::util {
 
 std::string weekday_name(Weekday w) {
@@ -21,6 +23,29 @@ std::string format_sim_time(SimTime t) {
   std::snprintf(buf, sizeof(buf), "day%03d %02d:%02d:%02d (%s)", day, h, m, s,
                 weekday_name(weekday_of(t)).c_str());
   return buf;
+}
+
+SimTime parse_duration_s(const std::string& text, const std::string& flag) {
+  require(!text.empty(), flag + ": empty value");
+  SimTime scale = 1;
+  std::string digits = text;
+  switch (text.back()) {
+    case 'd': scale = kSecondsPerDay; break;
+    case 'h': scale = kSecondsPerHour; break;
+    case 'm': scale = kSecondsPerMinute; break;
+    case 's': scale = 1; break;
+    default:
+      if (text.back() < '0' || text.back() > '9') {
+        throw ConfigError(flag + ": unknown suffix in '" + text +
+                          "' (use s, m, h or d)");
+      }
+  }
+  if (scale != 1 || text.back() == 's') digits.pop_back();
+  try {
+    return static_cast<SimTime>(std::stoll(digits)) * scale;
+  } catch (const std::exception&) {
+    throw ConfigError(flag + ": cannot parse '" + text + "'");
+  }
 }
 
 }  // namespace wearscope::util

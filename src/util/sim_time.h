@@ -87,4 +87,9 @@ std::string weekday_name(Weekday w);
 /// Human-readable "dayNNN hh:mm:ss" rendering of a timestamp.
 std::string format_sim_time(SimTime t);
 
+/// Parses a stream-time duration: "90", "90s", "15m", "6h" or "1d" into
+/// seconds.  Throws ConfigError naming `flag` on bad input (CLI flags like
+/// --snapshot-every share this).
+SimTime parse_duration_s(const std::string& text, const std::string& flag);
+
 }  // namespace wearscope::util

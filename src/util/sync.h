@@ -9,6 +9,7 @@
 // single inlined forward to the std counterpart.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <mutex>
 
@@ -44,6 +45,47 @@ class WS_SCOPED_CAPABILITY MutexLock {
 
  private:
   Mutex& mutex_;
+};
+
+/// Test-and-set spinlock for critical sections of a few instructions (a
+/// pointer swap, a refcount bump) where parking would cost more than the
+/// work it guards.  Carries the same capability annotation as Mutex so
+/// WS_GUARDED_BY applies.  Both ends of every critical section use
+/// acquire/release, so the handoff between threads is a happens-before
+/// edge ThreadSanitizer can follow — unlike libstdc++'s
+/// atomic<shared_ptr>, whose reader path unlocks with a relaxed RMW.
+class WS_CAPABILITY("mutex") SpinLock {
+ public:
+  SpinLock() = default;
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  void lock() WS_ACQUIRE() {
+    while (locked_.exchange(true, std::memory_order_acquire)) {
+      // Busy-wait: holders leave within a handful of instructions.
+    }
+  }
+  void unlock() WS_RELEASE() {
+    locked_.store(false, std::memory_order_release);
+  }
+
+ private:
+  std::atomic<bool> locked_{false};
+};
+
+/// Scoped SpinLock holder, mirroring MutexLock.
+class WS_SCOPED_CAPABILITY SpinLockGuard {
+ public:
+  explicit SpinLockGuard(SpinLock& lock) WS_ACQUIRE(lock) : lock_(lock) {
+    lock_.lock();
+  }
+  ~SpinLockGuard() WS_RELEASE() { lock_.unlock(); }
+
+  SpinLockGuard(const SpinLockGuard&) = delete;
+  SpinLockGuard& operator=(const SpinLockGuard&) = delete;
+
+ private:
+  SpinLock& lock_;
 };
 
 /// Condition variable that waits on util::Mutex.  wait() requires the

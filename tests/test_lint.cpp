@@ -356,7 +356,17 @@ TEST(LintPodInit, TemplateArgumentsDoNotTypeTheMember) {
       "pod-init"));
 }
 
-TEST(LintPodInit, OutsideTraceAndLiveQuiet) {
+TEST(LintPodInit, CoversServeTypes) {
+  const auto f = lint_one(
+      "#pragma once\n"
+      "struct Served {\n  std::uint64_t checksum;\n};\n",
+      "src/serve/served_extra.h");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "pod-init");
+  EXPECT_NE(f[0].message.find("checksum"), std::string::npos);
+}
+
+TEST(LintPodInit, OutsideScopedDirsQuiet) {
   EXPECT_FALSE(has_rule(
       lint_one("struct Row {\n  int x;\n};\n", "src/core/row.h"),
       "pod-init"));

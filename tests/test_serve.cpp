@@ -1,0 +1,358 @@
+// Unit and equivalence tests for the always-on serving layer: query
+// parsing/rendering, SnapshotStore publication + retention semantics,
+// QueryEngine protocol behavior, the stdio/TCP front ends, and the
+// epoch-equivalence gate — at EVERY published epoch, the served answers
+// must equal the batch machinery run over the same stream prefix.
+#include "serve/query_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "live/engine.h"
+#include "live/replayer.h"
+#include "serve/query.h"
+#include "serve/reference.h"
+#include "serve/server.h"
+#include "serve/snapshot_store.h"
+#include "simnet/simulator.h"
+
+namespace wearscope::serve {
+namespace {
+
+const simnet::SimResult& capture() {
+  static const simnet::SimResult sim = [] {
+    simnet::SimConfig cfg = simnet::SimConfig::small();
+    cfg.seed = 33;
+    return simnet::Simulator(cfg).run();
+  }();
+  return sim;
+}
+
+live::LiveOptions options_for(const simnet::SimResult& sim,
+                              std::size_t shards) {
+  live::LiveOptions opt;
+  opt.shards = shards;
+  opt.observation_days = sim.observation_days;
+  opt.detailed_start_day = sim.detailed_start_day;
+  opt.long_tail_apps = sim.config.long_tail_apps;
+  return opt;
+}
+
+/// Replays the shared capture, publishing every periodic snapshot plus the
+/// final drain snapshot into `store`.
+live::ReplayReport replay_into(SnapshotStore& store, std::size_t shards,
+                               util::SimTime snapshot_every) {
+  const simnet::SimResult& sim = capture();
+  live::LiveEngine engine(sim.store.devices, options_for(sim, shards));
+  live::ReplayOptions ropt;
+  ropt.snapshot_every_s = snapshot_every;
+  ropt.on_snapshot = [&store](live::LiveSnapshot snap) {
+    store.publish(std::move(snap));
+  };
+  const live::ReplayReport report =
+      live::FeedReplayer(sim.store, ropt).replay(engine);
+  store.publish(engine.stop(), /*final_epoch=*/true);
+  return report;
+}
+
+// --------------------------------------------------------------- parsing
+
+TEST(ServeQueryParse, AcceptsEveryVerb) {
+  EXPECT_EQ(parse_query("adoption").query->kind, QueryKind::kAdoption);
+  EXPECT_EQ(parse_query("activity").query->kind, QueryKind::kActivity);
+  EXPECT_EQ(parse_query("top-apps").query->kind, QueryKind::kTopApps);
+  EXPECT_EQ(parse_query("sectors").query->kind, QueryKind::kSectors);
+  EXPECT_EQ(parse_query("quarantine").query->kind, QueryKind::kQuarantine);
+  EXPECT_EQ(parse_query("epochs").query->kind, QueryKind::kEpochs);
+  EXPECT_EQ(parse_query("stats").query->kind, QueryKind::kStats);
+  EXPECT_EQ(parse_query("help").query->kind, QueryKind::kHelp);
+}
+
+TEST(ServeQueryParse, TopKAndEpochSelectors) {
+  const ParsedQuery k = parse_query("top-apps 25");
+  ASSERT_TRUE(k.query.has_value());
+  EXPECT_EQ(k.query->top_k, 25u);
+  EXPECT_FALSE(k.query->epoch.has_value());
+
+  const ParsedQuery e = parse_query("sectors 3 @17");
+  ASSERT_TRUE(e.query.has_value());
+  EXPECT_EQ(e.query->top_k, 3u);
+  ASSERT_TRUE(e.query->epoch.has_value());
+  EXPECT_EQ(*e.query->epoch, 17u);
+
+  const ParsedQuery latest_default = parse_query("adoption @0");
+  ASSERT_TRUE(latest_default.query.has_value());
+  EXPECT_EQ(*latest_default.query->epoch, 0u);
+}
+
+TEST(ServeQueryParse, WhitespaceAndCommentsAreSilent) {
+  EXPECT_FALSE(parse_query("").query.has_value());
+  EXPECT_TRUE(parse_query("").error.empty());
+  EXPECT_FALSE(parse_query("   \t ").query.has_value());
+  EXPECT_TRUE(parse_query("   \t ").error.empty());
+  EXPECT_FALSE(parse_query("# a comment").query.has_value());
+  EXPECT_TRUE(parse_query("# a comment").error.empty());
+}
+
+TEST(ServeQueryParse, RejectsMalformedLines) {
+  EXPECT_FALSE(parse_query("bogus").query.has_value());
+  EXPECT_FALSE(parse_query("bogus").error.empty());
+  EXPECT_FALSE(parse_query("adoption extra").query.has_value());
+  EXPECT_FALSE(parse_query("top-apps 0").query.has_value());
+  EXPECT_FALSE(parse_query("top-apps -3").query.has_value());
+  EXPECT_FALSE(parse_query("adoption @").query.has_value());
+  EXPECT_FALSE(parse_query("adoption @x").query.has_value());
+  EXPECT_FALSE(parse_query("epochs @1").query.has_value());
+}
+
+// --------------------------------------------------------- snapshot store
+
+TEST(SnapshotStore, PublishSwapsLatestAndRetainsWindow) {
+  SnapshotStore store(3);
+  EXPECT_EQ(store.latest(), nullptr);
+  EXPECT_EQ(store.published(), 0u);
+  EXPECT_EQ(store.capacity(), 3u);
+
+  for (std::uint64_t e = 0; e < 5; ++e) {
+    live::LiveSnapshot snap;
+    snap.epoch = e;
+    snap.records = 100 * (e + 1);
+    store.publish(std::move(snap), /*final_epoch=*/e == 4);
+  }
+  EXPECT_EQ(store.published(), 5u);
+  const SnapshotRef latest = store.latest();
+  ASSERT_NE(latest, nullptr);
+  EXPECT_EQ(latest->snap.epoch, 4u);
+  EXPECT_TRUE(latest->final_epoch);
+  EXPECT_EQ(latest->publish_seq, 5u);
+
+  // Capacity 3: epochs 0 and 1 were evicted, 2..4 remain reachable.
+  EXPECT_EQ(store.retained_epochs(), (std::vector<std::uint64_t>{2, 3, 4}));
+  EXPECT_EQ(store.at_epoch(0), nullptr);
+  EXPECT_EQ(store.at_epoch(1), nullptr);
+  ASSERT_NE(store.at_epoch(2), nullptr);
+  EXPECT_EQ(store.at_epoch(2)->snap.records, 300u);
+  EXPECT_EQ(store.at_epoch(99), nullptr);
+}
+
+TEST(SnapshotStore, EvictedEpochSurvivesWhileReferenced) {
+  SnapshotStore store(1);
+  live::LiveSnapshot first;
+  first.epoch = 0;
+  first.records = 1;
+  store.publish(std::move(first));
+  const SnapshotRef held = store.latest();
+
+  live::LiveSnapshot second;
+  second.epoch = 1;
+  second.records = 2;
+  store.publish(std::move(second));
+
+  // The reader's reference keeps the retired epoch alive and intact.
+  EXPECT_EQ(store.at_epoch(0), nullptr);
+  EXPECT_EQ(held->snap.records, 1u);
+  EXPECT_EQ(held->checksum,
+            ServedSnapshot::fold(held->snap, held->publish_seq,
+                                 held->final_epoch));
+}
+
+TEST(SnapshotStore, ChecksumCoversRowsAndScalars) {
+  live::LiveSnapshot snap;
+  snap.epoch = 7;
+  snap.records = 1234;
+  live::LiveSnapshot::SectorRow row;
+  row.sector = 42;
+  row.counter.events = 9;
+  snap.sectors.push_back(row);
+  const std::uint64_t base = ServedSnapshot::fold(snap, 1, false);
+  EXPECT_NE(base, ServedSnapshot::fold(snap, 2, false));
+  EXPECT_NE(base, ServedSnapshot::fold(snap, 1, true));
+  snap.sectors[0].counter.events = 10;
+  EXPECT_NE(base, ServedSnapshot::fold(snap, 1, false));
+}
+
+// ----------------------------------------------------------- query engine
+
+TEST(QueryEngine, ErrorsBeforeFirstPublish) {
+  SnapshotStore store;
+  QueryEngine engine(store);
+  EXPECT_EQ(engine.answer("adoption"), "ERR no snapshot published yet");
+  EXPECT_EQ(engine.answer("top-apps 5 @3"),
+            "ERR epoch 3 not retained (see 'epochs')");
+  const ServingStats stats = engine.stats();
+  EXPECT_EQ(stats.answered, 0u);
+  EXPECT_EQ(stats.errors, 2u);
+  EXPECT_EQ(stats.no_snapshot, 2u);
+}
+
+TEST(QueryEngine, MetaQueriesAndCounters) {
+  SnapshotStore store(8);
+  QueryEngine engine(store);
+  live::LiveSnapshot snap;
+  snap.epoch = 5;
+  store.publish(std::move(snap));
+
+  EXPECT_EQ(engine.answer("epochs"),
+            "OK epochs retained=5 capacity=8 published=1");
+  EXPECT_EQ(engine.answer("help"), render_help());
+  EXPECT_EQ(render_help().rfind("OK help ", 0), 0u);
+  EXPECT_TRUE(engine.answer("# comment").empty());
+  EXPECT_TRUE(engine.answer("").empty());
+  const std::string err = engine.answer("wat");
+  EXPECT_EQ(err.rfind("ERR ", 0), 0u) << err;
+
+  // stats reflects everything answered so far, then counts itself.
+  EXPECT_EQ(engine.answer("stats"),
+            "OK stats answered=2 errors=1 no_snapshot=0 published=1");
+  EXPECT_EQ(engine.stats().answered, 3u);
+}
+
+TEST(QueryEngine, HistoricalAnswersMatchDirectRendering) {
+  SnapshotStore store(8);
+  QueryEngine engine(store);
+  replay_into(store, /*shards=*/2, /*snapshot_every=*/30 * util::kSecondsPerDay);
+
+  const std::vector<std::uint64_t> epochs = store.retained_epochs();
+  ASSERT_GE(epochs.size(), 2u);
+  const SnapshotRef past = store.at_epoch(epochs.front());
+  ASSERT_NE(past, nullptr);
+
+  Query q;
+  q.kind = QueryKind::kTopApps;
+  q.top_k = 7;
+  const std::string direct = render_snapshot_query(q, past->snap);
+  const std::string via_engine =
+      engine.answer("top-apps 7 @" + std::to_string(epochs.front()));
+  EXPECT_EQ(via_engine, direct);
+}
+
+// ------------------------------------------------------------ front ends
+
+TEST(LineServer, ServesStreamOneResponsePerQuery) {
+  SnapshotStore store;
+  QueryEngine engine(store);
+  live::LiveSnapshot snap;
+  snap.epoch = 0;
+  snap.records = 50;
+  store.publish(std::move(snap), /*final_epoch=*/true);
+
+  std::FILE* in = std::tmpfile();
+  std::FILE* out = std::tmpfile();
+  ASSERT_NE(in, nullptr);
+  ASSERT_NE(out, nullptr);
+  std::fputs("epochs\n# ignored\n\nquarantine\nbogus\n", in);
+  std::rewind(in);
+
+  LineServer server(engine);
+  EXPECT_EQ(server.serve_stream(in, out), 3u);
+
+  std::rewind(out);
+  char buf[256];
+  std::vector<std::string> lines;
+  while (std::fgets(buf, sizeof(buf), out) != nullptr) lines.emplace_back(buf);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "OK epochs retained=0 capacity=64 published=1\n");
+  EXPECT_EQ(lines[1].rfind("OK quarantine epoch=0 ", 0), 0u) << lines[1];
+  EXPECT_EQ(lines[2].rfind("ERR ", 0), 0u) << lines[2];
+  std::fclose(in);
+  std::fclose(out);
+}
+
+TEST(LineServer, TcpListenerAnswersAndStops) {
+  SnapshotStore store;
+  QueryEngine engine(store);
+  live::LiveSnapshot snap;
+  snap.epoch = 2;
+  store.publish(std::move(snap));
+
+  LineServer server(engine);
+  server.start_listener(0);  // kernel-assigned port
+  ASSERT_NE(server.bound_port(), 0u);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.bound_port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const char request[] = "epochs\n";
+  ASSERT_EQ(::send(fd, request, sizeof(request) - 1, 0),
+            static_cast<ssize_t>(sizeof(request) - 1));
+  std::string response;
+  char buf[128];
+  while (response.find('\n') == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    ASSERT_GT(n, 0);
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  EXPECT_EQ(response, "OK epochs retained=2 capacity=64 published=1\n");
+  ::close(fd);
+  server.stop_listener();
+  EXPECT_EQ(server.bound_port(), 0u);
+  server.stop_listener();  // idempotent
+}
+
+// ------------------------------------------------------ epoch equivalence
+
+// The tentpole gate: at EVERY published epoch, the served answers must be
+// byte-identical to the batch machinery run over the same stream prefix —
+// figures against core::Pipeline, tallies against the sequential
+// reference replay.  Quarantine is all-zero here (clean capture), checked
+// against a default QuarantineStats to keep the comparison honest.
+TEST(ServeEquivalence, EveryEpochMatchesBatchOverSamePrefix) {
+  const simnet::SimResult& sim = capture();
+  SnapshotStore store(64);
+  replay_into(store, /*shards=*/3,
+              /*snapshot_every=*/30 * util::kSecondsPerDay);
+  ASSERT_GE(store.published(), 3u);
+
+  const live::LiveOptions opt = options_for(sim, 3);
+  for (const std::uint64_t epoch : store.retained_epochs()) {
+    const SnapshotRef served = store.at_epoch(epoch);
+    ASSERT_NE(served, nullptr);
+    const trace::TraceStore prefix =
+        prefix_store(sim.store, served->snap.records);
+    const std::vector<VerifyMismatch> mismatches = verify_responses(
+        served->snap, prefix, opt, trace::QuarantineStats{}, /*top_k=*/10);
+    for (const VerifyMismatch& m : mismatches) {
+      ADD_FAILURE() << "epoch " << epoch << " query '" << m.query
+                    << "'\n  serve: " << m.serve << "\n  batch: " << m.batch;
+    }
+  }
+}
+
+// Shard-count independence seen through the protocol: the rendered answer
+// strings must be identical for any worker layout.
+TEST(ServeEquivalence, AnswersIndependentOfShardCount) {
+  const std::vector<std::string> queries = {
+      "adoption", "activity", "top-apps 10", "sectors 10", "quarantine"};
+  std::vector<std::string> baseline;
+  for (const std::size_t shards : {1u, 4u}) {
+    SnapshotStore store;
+    QueryEngine engine(store);
+    replay_into(store, shards, /*snapshot_every=*/0);
+    std::vector<std::string> answers;
+    answers.reserve(queries.size());
+    for (const std::string& q : queries) answers.push_back(engine.answer(q));
+    if (baseline.empty()) {
+      baseline = answers;
+    } else {
+      EXPECT_EQ(answers, baseline) << "shards=" << shards;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wearscope::serve

@@ -9,8 +9,9 @@
 # thread-sweep equivalence gate runs as part of the regular tests).
 # With --full it additionally runs the sanitizer gates CONTRIBUTING.md
 # requires — the chaos label under ASan+UBSan and the concurrency tests
-# (live engine, batch task pool, parallel v2 trace decode) under TSan —
-# and refreshes the BENCH_analysis.json / BENCH_trace_io.json sweeps.
+# (live engine, batch task pool, parallel v2 trace decode, snapshot
+# serving) under TSan — and refreshes the BENCH_analysis.json /
+# BENCH_trace_io.json / BENCH_serve.json sweeps.
 set -eu
 
 root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -45,7 +46,7 @@ if [ "$full" -eq 1 ]; then
     >/dev/null
   cmake --build "$root/build-tsan" -j "$jobs"
   ctest --test-dir "$root/build-tsan" \
-    -R "LiveRing|LiveEngine|TaskPool|ParPipeline|TraceV2|BundleParallel" \
+    -R "LiveRing|LiveEngine|TaskPool|ParPipeline|TraceV2|BundleParallel|ServeStress|ServeEquivalence|QueryEngine|SnapshotStore|LineServer" \
     --output-on-failure
 
   echo "== analysis thread sweep (BENCH_analysis.json)"
@@ -53,6 +54,9 @@ if [ "$full" -eq 1 ]; then
 
   echo "== trace-IO v1/v2 sweep (BENCH_trace_io.json)"
   "$build/bench/perf_trace_io" --emit-json="$root/BENCH_trace_io.json"
+
+  echo "== query-serving reader sweep (BENCH_serve.json)"
+  "$build/bench/perf_serve" --emit-json="$root/BENCH_serve.json"
 fi
 
 echo "== OK"

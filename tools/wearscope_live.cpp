@@ -33,30 +33,6 @@ namespace {
 
 using namespace wearscope;
 
-/// Parses "90", "90s", "15m", "6h" or "1d" into seconds.
-util::SimTime parse_stream_seconds(const std::string& text) {
-  util::require(!text.empty(), "--snapshot-every: empty value");
-  util::SimTime scale = 1;
-  std::string digits = text;
-  switch (text.back()) {
-    case 'd': scale = util::kSecondsPerDay; break;
-    case 'h': scale = util::kSecondsPerHour; break;
-    case 'm': scale = util::kSecondsPerMinute; break;
-    case 's': scale = 1; break;
-    default:
-      if (text.back() < '0' || text.back() > '9') {
-        throw util::ConfigError("--snapshot-every: unknown suffix in '" +
-                                text + "' (use s, m, h or d)");
-      }
-  }
-  if (scale != 1 || text.back() == 's') digits.pop_back();
-  try {
-    return static_cast<util::SimTime>(std::stoll(digits)) * scale;
-  } catch (const std::exception&) {
-    throw util::ConfigError("--snapshot-every: cannot parse '" + text + "'");
-  }
-}
-
 void print_snapshot(const live::LiveSnapshot& snap, const char* label) {
   std::printf("%s (epoch %llu, %llu records):\n", label,
               static_cast<unsigned long long>(snap.epoch),
@@ -202,7 +178,8 @@ int main(int argc, char** argv) {
 
     live::ReplayOptions replay_opt;
     replay_opt.speedup = speedup;
-    replay_opt.snapshot_every_s = parse_stream_seconds(snapshot_every);
+    replay_opt.snapshot_every_s =
+        util::parse_duration_s(snapshot_every, "--snapshot-every");
 
     trace::TraceStore store = trace::load_bundle(bundle_dir);
     store.sort_by_time();

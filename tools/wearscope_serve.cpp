@@ -1,0 +1,196 @@
+// wearscope_serve — replay a capture through the live-ingest engine while
+// serving dashboard queries over the published snapshots.
+//
+//   wearscope_serve --bundle traces/run1                 # serve stdin queries
+//   wearscope_serve --bundle d --snapshot-every 6h --retain 128
+//   wearscope_serve --bundle d --port 0                  # + TCP listener
+//   wearscope_serve --bundle d --verify                  # equivalence gate
+//
+// The feed thread drives live::FeedReplayer; every periodic snapshot is
+// published into a serve::SnapshotStore (RCU-style: readers never block
+// ingest), and the final drain snapshot is published with the final-epoch
+// marker.  The main thread answers the newline-delimited query protocol on
+// stdin/stdout (one response line per query line; see 'help'); --port adds
+// a localhost TCP listener speaking the same protocol (0 picks a free
+// port, printed on stderr).  Status output goes to stderr so stdout stays
+// pure protocol.
+//
+// --verify proves the serving path: after ingest finishes, the canonical
+// query set answered at the final epoch must be byte-identical to the
+// batch references — adoption/activity against core::Pipeline (what
+// wearscope_analyze runs), top-apps/sectors/class-mix against a
+// sequential replay of the same tally machinery, quarantine against the
+// feed-side accounting.  Exit status 1 on any divergence.
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <thread>
+
+#include "live/engine.h"
+#include "live/replayer.h"
+#include "serve/query_engine.h"
+#include "serve/reference.h"
+#include "serve/server.h"
+#include "serve/snapshot_store.h"
+#include "simnet/config_io.h"
+#include "trace/bundle.h"
+#include "util/error.h"
+#include "util/flags.h"
+
+namespace {
+
+using namespace wearscope;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    std::string bundle_dir;
+    std::int64_t shards = 4;
+    std::int64_t ring_capacity = 4096;
+    std::string snapshot_every = "1d";
+    double speedup = 0.0;
+    std::int64_t retain = 64;
+    std::int64_t port = -1;
+    std::int64_t top_k = 10;
+    bool verify = false;
+    std::int64_t observation_days = -1;
+    std::int64_t detailed_start_day = -1;
+
+    util::FlagParser flags(
+        "wearscope_serve: replay a trace bundle through the live-ingest "
+        "engine while serving adoption/app/sector/quarantine queries over "
+        "the published snapshots (newline-delimited protocol on "
+        "stdin/stdout; 'help' prints the grammar)");
+    flags.add_string("bundle", &bundle_dir, "bundle directory (required)");
+    flags.add_int("shards", &shards, "worker shards (user partitions)");
+    flags.add_int("ring-capacity", &ring_capacity,
+                  "events buffered per shard ring");
+    flags.add_string("snapshot-every", &snapshot_every,
+                     "snapshot publication interval in stream time "
+                     "(e.g. 90, 15m, 6h, 1d)");
+    flags.add_double("speedup", &speedup,
+                     "stream-time/wall-time ratio (0 = as fast as possible)");
+    flags.add_int("retain", &retain,
+                  "published snapshots kept for @epoch queries");
+    flags.add_int("port", &port,
+                  "TCP listener on 127.0.0.1 (-1 = stdio only, 0 = pick a "
+                  "free port)");
+    flags.add_int("top-k", &top_k, "rows returned by --verify's top-K set");
+    flags.add_bool("verify", &verify,
+                   "after ingest, require the final-epoch query answers to "
+                   "match the batch pipeline byte-for-byte");
+    flags.add_int("observation-days", &observation_days,
+                  "window length (-1: from generator.cfg or default)");
+    flags.add_int("detailed-start-day", &detailed_start_day,
+                  "first detailed day (-1: from generator.cfg or default)");
+    if (!flags.parse(argc, argv)) return 0;
+    util::require(!bundle_dir.empty(), "--bundle is required");
+    util::require(shards >= 1, "--shards must be >= 1");
+    util::require(ring_capacity >= 1, "--ring-capacity must be >= 1");
+    util::require(retain >= 1, "--retain must be >= 1");
+    util::require(top_k >= 1, "--top-k must be >= 1");
+    util::require(port >= -1 && port <= 65535,
+                  "--port must be in [-1, 65535]");
+
+    live::LiveOptions opt;
+    opt.shards = static_cast<std::size_t>(shards);
+    opt.ring_capacity = static_cast<std::size_t>(ring_capacity);
+    const std::filesystem::path cfg_path =
+        std::filesystem::path(bundle_dir) / "generator.cfg";
+    if (std::filesystem::exists(cfg_path)) {
+      const simnet::SimConfig cfg = simnet::load_config_file(cfg_path);
+      opt.observation_days = cfg.observation_days;
+      opt.detailed_start_day = cfg.observation_days - cfg.detailed_days;
+      opt.long_tail_apps = cfg.long_tail_apps;
+    }
+    if (observation_days > 0)
+      opt.observation_days = static_cast<int>(observation_days);
+    if (detailed_start_day >= 0)
+      opt.detailed_start_day = static_cast<int>(detailed_start_day);
+
+    trace::TraceStore store = trace::load_bundle(bundle_dir);
+    store.sort_by_time();
+    const trace::TraceSummary sum = store.summarize();
+
+    serve::SnapshotStore snapshots(static_cast<std::size_t>(retain));
+    serve::QueryEngine queries(snapshots);
+    serve::LineServer server(queries);
+    if (port >= 0) {
+      server.start_listener(static_cast<std::uint16_t>(port));
+      std::fprintf(stderr, "listening on 127.0.0.1:%u\n",
+                   static_cast<unsigned>(server.bound_port()));
+    }
+
+    live::ReplayOptions replay_opt;
+    replay_opt.speedup = speedup;
+    replay_opt.snapshot_every_s =
+        util::parse_duration_s(snapshot_every, "--snapshot-every");
+    replay_opt.on_snapshot = [&snapshots](live::LiveSnapshot snap) {
+      snapshots.publish(std::move(snap));
+    };
+
+    std::fprintf(stderr,
+                 "serving %zu proxy + %zu MME records through %lld shard(s), "
+                 "snapshot every %s, retaining %lld epochs\n",
+                 sum.proxy_records, sum.mme_records,
+                 static_cast<long long>(shards), snapshot_every.c_str(),
+                 static_cast<long long>(retain));
+
+    live::LiveEngine engine(store.devices, opt);
+    const live::FeedReplayer replayer(store, replay_opt);
+    live::ReplayReport report;
+    std::thread ingest([&] {
+      report = replayer.replay(engine);
+      snapshots.publish(engine.stop(), /*final_epoch=*/true);
+    });
+
+    // The always-on part: stdin queries are answered while ingest runs.
+    const std::uint64_t responses = server.serve_stream(stdin, stdout);
+    ingest.join();
+    server.stop_listener();
+
+    const double rate =
+        report.wall_seconds > 0.0
+            ? static_cast<double>(report.records_pushed) / report.wall_seconds
+            : 0.0;
+    const serve::ServingStats qstats = queries.stats();
+    std::fprintf(stderr,
+                 "ingested %llu records in %.2fs (%.0f records/s), "
+                 "published %llu epochs, answered %llu stdin responses "
+                 "(%llu queries, %llu errors)\n",
+                 static_cast<unsigned long long>(report.records_pushed),
+                 report.wall_seconds, rate,
+                 static_cast<unsigned long long>(snapshots.published()),
+                 static_cast<unsigned long long>(responses),
+                 static_cast<unsigned long long>(qstats.answered),
+                 static_cast<unsigned long long>(qstats.errors));
+
+    if (verify) {
+      const serve::SnapshotRef final_snap = snapshots.latest();
+      util::ensure(final_snap != nullptr && final_snap->final_epoch,
+                   "ingest finished without a final snapshot");
+      trace::QuarantineStats expected = report.quarantine;
+      const std::vector<serve::VerifyMismatch> mismatches =
+          serve::verify_responses(final_snap->snap, store, opt, expected,
+                                  static_cast<std::size_t>(top_k));
+      for (const serve::VerifyMismatch& m : mismatches) {
+        std::fprintf(stderr,
+                     "MISMATCH %s\n  serve: %s\n  batch: %s\n",
+                     m.query.c_str(), m.serve.c_str(), m.batch.c_str());
+      }
+      if (!mismatches.empty()) {
+        std::fprintf(stderr,
+                     "error: serve answers diverge from the batch pipeline\n");
+        return 1;
+      }
+      std::fprintf(stderr,
+                   "verify: final-epoch query answers == batch pipeline "
+                   "(bitwise)\n");
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
