@@ -25,6 +25,7 @@
 #include "live/replayer.h"
 #include "live/ring_buffer.h"
 #include "simnet/simulator.h"
+#include "util/sched_hook.h"
 
 namespace {
 
@@ -80,6 +81,20 @@ void BM_RingPushPop(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_RingPushPop)->Arg(1)->Arg(1024);
+
+void BM_SchedHookPassthrough(benchmark::State& state) {
+  // The entire production cost of the deterministic-scheduler hook layer
+  // (util/sched_hook.h) is one atomic null load per choice point; this
+  // guards the "zero cost when no scheduler is attached" claim.  Compare
+  // against BM_RingPushPop, whose loop crosses several such points.
+  int probe = 0;
+  for (auto _ : state) {
+    util::sched::point(util::sched::Op::kUserPoint, &probe);
+    benchmark::DoNotOptimize(probe);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SchedHookPassthrough);
 
 void BM_RingSpscStream(benchmark::State& state) {
   // Real producer/consumer pair streaming a fixed batch per iteration.

@@ -20,8 +20,8 @@
 //                       classic include guard)
 //   include-hygiene     project includes whose declared names are never
 //                       referenced are flagged as unused
-//   pod-init            scalar struct fields in trace/live/serve event
-//                       types must have default initializers
+//   pod-init            scalar struct fields in trace/live/serve/sched
+//                       event types must have default initializers
 //
 // A finding on line N is suppressed by `// wearscope-lint: allow(<rule>)`
 // on line N or alone on line N-1; `// wearscope-lint: allow-file(<rule>)`

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "util/error.h"
+#include "util/sched_hook.h"
 #include "util/sync.h"
 #include "util/thread_annotations.h"
 
@@ -71,6 +72,7 @@ class RingBuffer {
   bool push(T value) WS_EXCLUDES(wait_mutex_) {
     const std::size_t head = head_.load(std::memory_order_relaxed);
     for (;;) {
+      util::sched::point(util::sched::Op::kRingPush, this);
       if (closed_.load(std::memory_order_acquire)) {
         rejected_.fetch_add(1, std::memory_order_relaxed);
         return false;
@@ -85,6 +87,9 @@ class RingBuffer {
       });
       producer_waiting_.store(false, std::memory_order_seq_cst);
     }
+    // Choice point between the full/closed checks and the commit: lets the
+    // explorer interleave close() into the publication window.
+    util::sched::point(util::sched::Op::kRingCommit, this);
     slots_[head % slots_.size()] = std::move(value);
     head_.store(head + 1, std::memory_order_seq_cst);
     pushed_.fetch_add(1, std::memory_order_relaxed);
@@ -97,6 +102,7 @@ class RingBuffer {
   bool pop(T& out) WS_EXCLUDES(wait_mutex_) {
     const std::size_t tail = tail_.load(std::memory_order_relaxed);
     for (;;) {
+      util::sched::point(util::sched::Op::kRingPop, this);
       if (head_.load(std::memory_order_acquire) != tail) break;
       if (closed_.load(std::memory_order_acquire)) {
         // Re-check after the closed flag: a final element may have been
@@ -113,6 +119,7 @@ class RingBuffer {
       });
       consumer_waiting_.store(false, std::memory_order_seq_cst);
     }
+    util::sched::point(util::sched::Op::kRingCommit, this);
     out = std::move(slots_[tail % slots_.size()]);
     tail_.store(tail + 1, std::memory_order_seq_cst);
     popped_.fetch_add(1, std::memory_order_relaxed);
@@ -124,6 +131,7 @@ class RingBuffer {
   /// on either side wake up, pop() drains the remaining elements.
   /// Idempotent; callable from any thread.
   void close() WS_EXCLUDES(wait_mutex_) {
+    util::sched::point(util::sched::Op::kRingClose, this);
     {
       util::MutexLock lock(wait_mutex_);
       closed_.store(true, std::memory_order_seq_cst);

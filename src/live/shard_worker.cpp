@@ -1,7 +1,10 @@
 #include "live/shard_worker.h"
 
+#include <string>
 #include <utility>
 #include <variant>
+
+#include "util/sched_hook.h"
 
 namespace wearscope::live {
 
@@ -15,11 +18,25 @@ ShardWorker::ShardWorker(std::size_t index, RingBuffer<LiveEvent>& ring,
 ShardWorker::~ShardWorker() { join(); }
 
 void ShardWorker::start() {
-  thread_ = std::thread([this] { run(); });
+  thread_ = std::thread([this] {
+    // Under a deterministic scheduler this registers the worker and parks
+    // it until first selected; without one both calls are no-ops.
+    const std::string name = "shard-" + std::to_string(index_);
+    util::sched::thread_started(name.c_str());
+    run();
+    util::sched::thread_finished();
+  });
+  // Spawn handshake: pins the instant the worker enters the scheduler's
+  // candidate set to this program point (replay determinism).
+  util::sched::await_thread_start(thread_.get_id());
 }
 
 void ShardWorker::join() {
-  if (thread_.joinable()) thread_.join();
+  if (!thread_.joinable()) return;
+  // Gate on the managed thread's exit first so the OS join below never
+  // stalls the scheduler (the worker needs the token to finish draining).
+  util::sched::join_gate(thread_.get_id());
+  thread_.join();
 }
 
 void ShardWorker::run() {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/error.h"
+#include "util/sched_hook.h"
 
 namespace wearscope::live {
 
@@ -13,6 +14,7 @@ SnapshotCoordinator::SnapshotCoordinator(
 }
 
 void SnapshotCoordinator::deposit(std::uint64_t epoch, ShardSnapshot snap) {
+  util::sched::point(util::sched::Op::kBarrierDeposit, this);
   util::MutexLock lock(mutex_);
   std::vector<ShardSnapshot>& parts = pending_[epoch];
   parts.push_back(std::move(snap));
@@ -28,6 +30,7 @@ void SnapshotCoordinator::deposit(std::uint64_t epoch, ShardSnapshot snap) {
 }
 
 LiveSnapshot SnapshotCoordinator::wait_for(std::uint64_t epoch) {
+  util::sched::point(util::sched::Op::kBarrierWait, this);
   util::MutexLock lock(mutex_);
   assembled_.wait(mutex_, [&] { return completed_.contains(epoch); });
   const auto it = completed_.find(epoch);

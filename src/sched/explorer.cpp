@@ -1,0 +1,128 @@
+#include "sched/explorer.h"
+
+#include <utility>
+
+#include "util/rng.h"
+
+namespace wearscope::sched {
+
+namespace {
+
+/// True when choosing `alt` instead of `chosen` at a step would have
+/// forced a switch away from a still-runnable current thread.
+[[nodiscard]] bool is_preemption(const TraceStep& step,
+                                 std::size_t alt) {
+  bool current_present = false;
+  for (const StepCandidate& c : step.candidates) {
+    if (c.is_current) current_present = true;
+  }
+  return current_present && !step.candidates[alt].is_current;
+}
+
+/// Preemptions already spent along the first `upto` steps of a trace.
+[[nodiscard]] int preemptions_before(const ScheduleTrace& trace,
+                                     std::size_t upto) {
+  int count = 0;
+  for (std::size_t i = 0; i < upto; ++i) {
+    if (trace.steps[i].preemption) ++count;
+  }
+  return count;
+}
+
+/// Independence heuristic: two transitions commute when they act on
+/// different concrete objects (different ring, different mutex, ...).
+/// Object id 0 means "no object / unknown" and is never independent.
+[[nodiscard]] bool independent(const StepCandidate& a,
+                               const StepCandidate& b) {
+  return a.obj != 0 && b.obj != 0 && a.obj != b.obj;
+}
+
+}  // namespace
+
+ScheduleTrace run_once(const Model& model, DecisionSource& source,
+                       std::uint64_t seed, std::size_t max_steps) {
+  Scheduler::Options opt;
+  opt.max_steps = max_steps;
+  Scheduler scheduler(source, opt);
+  scheduler.set_seed(seed);
+  return scheduler.run([&] { model(scheduler); });
+}
+
+ExploreStats exhaust(const Model& model, const ExhaustOptions& options) {
+  ExploreStats stats;
+  // Each pending branch is a decision prefix; the run follows it and
+  // then the zero-preemption default policy.  Children are generated
+  // only at steps >= the prefix length, so every schedule is executed
+  // exactly once (the standard stateless-DFS tree discipline).
+  std::vector<std::vector<int>> pending;
+  pending.push_back({});
+
+  while (!pending.empty()) {
+    if (stats.schedules >= options.max_schedules) {
+      stats.budget_exhausted = true;
+      return stats;
+    }
+    std::vector<int> prefix = std::move(pending.back());
+    pending.pop_back();
+
+    PrefixSource source(std::move(prefix));
+    ScheduleTrace trace = run_once(model, source, 0, options.max_steps);
+    ++stats.schedules;
+    if (!trace.passed()) {
+      stats.failure = std::move(trace);
+      return stats;
+    }
+
+    const std::size_t frontier = source.consumed();
+    // Push children deepest-divergence first so the vector pops them in
+    // near-DFS order (keeps the pending stack shallow).
+    for (std::size_t i = trace.steps.size(); i-- > frontier;) {
+      const TraceStep& step = trace.steps[i];
+      const auto chosen = static_cast<std::size_t>(step.chosen_pos);
+      for (std::size_t alt = 0; alt < step.candidates.size(); ++alt) {
+        if (alt == chosen) continue;
+        if (options.independence_reduction &&
+            independent(step.candidates[chosen], step.candidates[alt])) {
+          ++stats.pruned_independent;
+          continue;
+        }
+        const int cost = preemptions_before(trace, i) +
+                         (is_preemption(step, alt) ? 1 : 0);
+        if (cost > options.preemption_bound) {
+          ++stats.pruned_bound;
+          continue;
+        }
+        std::vector<int> child(trace.decisions.begin(),
+                               trace.decisions.begin() +
+                                   static_cast<std::ptrdiff_t>(i));
+        child.push_back(static_cast<int>(alt));
+        pending.push_back(std::move(child));
+      }
+    }
+  }
+  return stats;
+}
+
+ExploreStats random_walks(const Model& model, std::uint64_t base_seed,
+                          std::size_t walks, std::size_t max_steps) {
+  ExploreStats stats;
+  for (std::size_t w = 0; w < walks; ++w) {
+    const std::uint64_t seed = util::splitmix64(base_seed + w);
+    RandomWalkSource source(seed);
+    ScheduleTrace trace = run_once(model, source, seed, max_steps);
+    ++stats.schedules;
+    if (!trace.passed()) {
+      stats.failure = std::move(trace);
+      return stats;
+    }
+  }
+  return stats;
+}
+
+ScheduleTrace replay(const Model& model, const std::vector<int>& decisions,
+                     std::size_t max_steps) {
+  PrefixSource source(decisions);
+  return run_once(model, source, 0, max_steps);
+}
+
+}  // namespace wearscope::sched

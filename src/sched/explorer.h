@@ -1,0 +1,90 @@
+// wearscope::sched — systematic and randomized schedule exploration.
+//
+// Stateless model checking over the deterministic scheduler: a *model* is
+// a callable that builds fresh objects, runs threads through the hooked
+// primitives and asserts invariants via Scheduler::fail().  The explorer
+// re-executes the model under different decision sequences:
+//
+//  * exhaust() — depth-first enumeration of the decision tree with
+//    iterative context bounding (Musuvathi & Qadeer, CHESS): branches
+//    that would exceed `preemption_bound` forced switches away from a
+//    runnable thread are pruned, which keeps small 2-shard scenarios
+//    tractable while still covering every schedule reachable with few
+//    preemptions — the bucket where almost all real concurrency bugs
+//    live.  A partial-order heuristic additionally skips alternatives
+//    that commute with the chosen transition (operations on different
+//    nonzero objects are independent — different ring, different mutex —
+//    so exploring both orders cannot distinguish states; SimGrid's
+//    UnfoldingChecker is the exemplar for this reduction style).
+//
+//  * random_walks() — seeded uniform walks for the schedules beyond the
+//    exhaustive budget; any failing seed reproduces the identical run.
+//
+//  * replay() — re-executes one decision string, the `--replay` path.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "sched/scheduler.h"
+#include "sched/trace.h"
+
+namespace wearscope::sched {
+
+/// One self-contained concurrency scenario.  Must build all state fresh
+/// on every call (runs are re-executed many times) and report invariant
+/// violations through Scheduler::fail(), never by throwing.
+using Model = std::function<void(Scheduler&)>;
+
+struct ExhaustOptions {
+  /// Maximum forced switches away from a still-runnable thread per
+  /// schedule (iterative context bounding).
+  int preemption_bound = 2;
+  /// Stop after this many executed schedules (budget guard).
+  std::size_t max_schedules = 20000;
+  /// Per-schedule step budget handed to the Scheduler.
+  std::size_t max_steps = 100000;
+  /// Skip alternatives independent of the chosen transition.
+  bool independence_reduction = true;
+};
+
+struct ExploreStats {
+  std::size_t schedules = 0;           ///< Schedules actually executed.
+  std::size_t pruned_independent = 0;  ///< Branches skipped as commuting.
+  std::size_t pruned_bound = 0;        ///< Branches over the bound.
+  bool budget_exhausted = false;  ///< Hit max_schedules before completing.
+  /// First failing schedule, if any (exploration stops on it).
+  std::optional<ScheduleTrace> failure;
+
+  [[nodiscard]] bool passed() const noexcept { return !failure; }
+};
+
+/// Runs `model` once under `source` and returns the trace.  `seed` is
+/// stamped into the trace for reporting (0 for non-walk runs).
+[[nodiscard]] ScheduleTrace run_once(const Model& model,
+                                     DecisionSource& source,
+                                     std::uint64_t seed = 0,
+                                     std::size_t max_steps = 100000);
+
+/// Exhaustively enumerates the decision tree of `model` under the
+/// preemption bound.  Stops at the first failing schedule.
+[[nodiscard]] ExploreStats exhaust(const Model& model,
+                                   const ExhaustOptions& options = {});
+
+/// Runs `walks` seeded random schedules (seeds derived from `base_seed`
+/// via splitmix64, so walk w reproduces independently).  Stops at the
+/// first failing schedule.
+[[nodiscard]] ExploreStats random_walks(const Model& model,
+                                        std::uint64_t base_seed,
+                                        std::size_t walks,
+                                        std::size_t max_steps = 100000);
+
+/// Replays one decision sequence (from ScheduleTrace::decision_string via
+/// parse_decisions) and returns the resulting trace.
+[[nodiscard]] ScheduleTrace replay(const Model& model,
+                                   const std::vector<int>& decisions,
+                                   std::size_t max_steps = 100000);
+
+}  // namespace wearscope::sched

@@ -59,9 +59,14 @@ trace::TraceStore prefix_store(const trace::TraceStore& store,
 live::LiveSnapshot reference_snapshot(const trace::TraceStore& store,
                                       const live::LiveOptions& options,
                                       std::uint64_t epoch,
-                                      const trace::QuarantineStats& quarantine) {
+                                      const trace::QuarantineStats& quarantine,
+                                      std::uint64_t records) {
   util::require(store.is_sorted(),
                 "reference_snapshot: store must be time-sorted");
+  const std::uint64_t total = store.proxy.size() + store.mme.size();
+  const std::uint64_t cut = records == kAllRecords ? total : records;
+  util::require(cut <= total,
+                "reference_snapshot: prefix cut exceeds the capture");
   // The exact construction path LiveEngine takes, minus the threads.
   const appdb::AppCatalog catalog(options.long_tail_apps);
   const core::DeviceClassifier devices(store.devices);
@@ -70,7 +75,7 @@ live::LiveSnapshot reference_snapshot(const trace::TraceStore& store,
   live::ShardStats stats(devices, signatures, options.observation_days,
                          options.detailed_start_day, options.usage_gap_s);
   walk_merge_order(
-      store, store.proxy.size() + store.mme.size(),
+      store, cut,
       [&](const trace::MmeRecord& record) { stats.on_mme(record); },
       [&](const trace::ProxyRecord& record, std::uint64_t seq) {
         stats.on_proxy(record, seq);

@@ -18,9 +18,18 @@
 // `records` events in feed-merge order), which is exactly the stream
 // prefix a barrier snapshot covers — that is what makes per-epoch
 // equivalence testable against the batch pipeline.
+//
+// reference_snapshot() is THE sequential-reference entry point: both
+// `wearscope_serve --verify` (via verify_responses) and the deterministic
+// interleaving harness (src/sched) compare concurrent snapshots against
+// it, so there is exactly one definition of "what a barrier cut at N
+// records must contain".  Its `records` parameter applies the same
+// feed-merge-order prefix cut prefix_store() materializes, without
+// copying the capture.
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -29,6 +38,10 @@
 
 namespace wearscope::serve {
 
+/// "No prefix cut": reference_snapshot covers the whole capture.
+inline constexpr std::uint64_t kAllRecords =
+    std::numeric_limits<std::uint64_t>::max();
+
 /// The capture prefix a barrier at `records` covers: the first `records`
 /// events of `store` in feed-merge order (timestamp order, MME before
 /// proxy on ties — FeedReplayer's order), plus the full device/sector
@@ -36,13 +49,17 @@ namespace wearscope::serve {
 [[nodiscard]] trace::TraceStore prefix_store(const trace::TraceStore& store,
                                              std::uint64_t records);
 
-/// Sequential reference snapshot over `store`: one ShardStats instance fed
-/// on the calling thread in feed-merge order, assembled through the same
-/// SnapshotCoordinator merge the engine uses.  `epoch` labels the result;
-/// `quarantine` rides into the snapshot like LiveEngine::add_quarantine.
+/// Sequential reference snapshot over the first `records` events of
+/// `store` in feed-merge order (kAllRecords = the whole capture): one
+/// ShardStats instance fed on the calling thread, assembled through the
+/// same SnapshotCoordinator merge the engine uses.  `epoch` labels the
+/// result; `quarantine` rides into the snapshot like
+/// LiveEngine::add_quarantine.  This is the single sequential reference
+/// the serving verify gate and the sched harness both compare against.
 [[nodiscard]] live::LiveSnapshot reference_snapshot(
     const trace::TraceStore& store, const live::LiveOptions& options,
-    std::uint64_t epoch = 0, const trace::QuarantineStats& quarantine = {});
+    std::uint64_t epoch = 0, const trace::QuarantineStats& quarantine = {},
+    std::uint64_t records = kAllRecords);
 
 /// One mismatch found by verify_responses().
 struct VerifyMismatch {

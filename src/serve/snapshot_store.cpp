@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "util/error.h"
+#include "util/sched_hook.h"
 
 namespace wearscope::serve {
 
@@ -76,6 +77,7 @@ SnapshotStore::SnapshotStore(std::size_t retain) : retain_(retain) {
 
 SnapshotRef SnapshotStore::publish(live::LiveSnapshot snap,
                                    bool final_epoch) {
+  util::sched::point(util::sched::Op::kStorePublish, this);
   auto served = std::make_shared<ServedSnapshot>();
   served->publish_seq = published_.load(std::memory_order_relaxed) + 1;
   served->final_epoch = final_epoch;
@@ -88,6 +90,9 @@ SnapshotRef SnapshotStore::publish(live::LiveSnapshot snap,
     window_.push_back(served);
     while (window_.size() > retain_) window_.pop_front();
   }
+  // Choice point in the window-updated-but-not-yet-current gap: lets the
+  // explorer schedule readers between retention maintenance and the swap.
+  util::sched::point(util::sched::Op::kStorePublish, this);
   // The slot swap makes the fully-built snapshot visible to latest()
   // readers; the previous ref is dropped outside the lock so a last-ref
   // destructor never runs inside the readers' critical section.
@@ -102,6 +107,7 @@ SnapshotRef SnapshotStore::publish(live::LiveSnapshot snap,
 }
 
 SnapshotRef SnapshotStore::at_epoch(std::uint64_t epoch) const {
+  util::sched::point(util::sched::Op::kStoreRead, this);
   util::MutexLock lock(mutex_);
   // Newest-first: dashboards overwhelmingly ask about recent epochs.
   for (auto it = window_.rbegin(); it != window_.rend(); ++it) {
@@ -111,6 +117,7 @@ SnapshotRef SnapshotStore::at_epoch(std::uint64_t epoch) const {
 }
 
 std::vector<std::uint64_t> SnapshotStore::retained_epochs() const {
+  util::sched::point(util::sched::Op::kStoreRead, this);
   util::MutexLock lock(mutex_);
   std::vector<std::uint64_t> epochs;
   epochs.reserve(window_.size());

@@ -1,0 +1,33 @@
+#include "util/sched_hook.h"
+
+namespace wearscope::util::sched {
+
+namespace detail {
+std::atomic<Hook*> g_hook{nullptr};
+}  // namespace detail
+
+const char* op_name(Op op) noexcept {
+  switch (op) {
+    case Op::kRingPush: return "ring-push";
+    case Op::kRingCommit: return "ring-commit";
+    case Op::kRingPop: return "ring-pop";
+    case Op::kRingClose: return "ring-close";
+    case Op::kMutexLock: return "mutex-lock";
+    case Op::kSpinLock: return "spin-lock";
+    case Op::kCvWait: return "cv-wait";
+    case Op::kCvNotify: return "cv-notify";
+    case Op::kBarrierDeposit: return "barrier-deposit";
+    case Op::kBarrierWait: return "barrier-wait";
+    case Op::kStorePublish: return "store-publish";
+    case Op::kStoreRead: return "store-read";
+    case Op::kJoin: return "join";
+    case Op::kUserPoint: return "user-point";
+  }
+  return "?";
+}
+
+Hook* install(Hook* hook) noexcept {
+  return detail::g_hook.exchange(hook, std::memory_order_acq_rel);
+}
+
+}  // namespace wearscope::util::sched

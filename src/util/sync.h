@@ -5,14 +5,22 @@
 // std::mutex that the analysis can track, util::MutexLock is the annotated
 // lock_guard, and util::CondVar is a condition variable that waits on a
 // util::Mutex directly (std::condition_variable_any treats it as a
-// BasicLockable).  All wrappers are zero-overhead: every method is a
-// single inlined forward to the std counterpart.
+// BasicLockable).  All wrappers are zero-overhead in production: every
+// method is an inlined forward to the std counterpart behind one
+// null-pointer check of the scheduling hook (util/sched_hook.h).
+//
+// Under a deterministic scheduler (src/sched) the blocking operations are
+// virtualized instead: acquisition spins through try_lock with the
+// scheduler parking the thread between attempts, and CondVar::wait parks
+// on the scheduler rather than the OS, so which thread proceeds at every
+// contention point is a replayable decision instead of an OS accident.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <mutex>
 
+#include "util/sched_hook.h"
 #include "util/thread_annotations.h"
 
 namespace wearscope::util {
@@ -24,8 +32,25 @@ class WS_CAPABILITY("mutex") Mutex {
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() WS_ACQUIRE() { m_.lock(); }
-  void unlock() WS_RELEASE() { m_.unlock(); }
+  void lock() WS_ACQUIRE() {
+    if (sched::Hook* h = sched::current()) {
+      h->point(sched::Op::kMutexLock,
+               reinterpret_cast<std::uintptr_t>(this));
+      // Virtualized acquisition: never park in the OS while managed —
+      // the holder needs the scheduler token to ever reach unlock().
+      while (!m_.try_lock())
+        h->block(sched::Op::kMutexLock,
+                 reinterpret_cast<std::uintptr_t>(this));
+      return;
+    }
+    m_.lock();
+  }
+  void unlock() WS_RELEASE() {
+    m_.unlock();
+    if (sched::Hook* h = sched::current())
+      h->unblock(sched::Op::kMutexLock,
+                 reinterpret_cast<std::uintptr_t>(this), /*all=*/true);
+  }
   bool try_lock() WS_TRY_ACQUIRE(true) { return m_.try_lock(); }
 
  private:
@@ -61,12 +86,25 @@ class WS_CAPABILITY("mutex") SpinLock {
   SpinLock& operator=(const SpinLock&) = delete;
 
   void lock() WS_ACQUIRE() {
+    if (sched::Hook* h = sched::current()) {
+      h->point(sched::Op::kSpinLock,
+               reinterpret_cast<std::uintptr_t>(this));
+      // Spinning would livelock under the scheduler (the holder cannot
+      // run while we hold the token), so park between attempts instead.
+      while (locked_.exchange(true, std::memory_order_acquire))
+        h->block(sched::Op::kSpinLock,
+                 reinterpret_cast<std::uintptr_t>(this));
+      return;
+    }
     while (locked_.exchange(true, std::memory_order_acquire)) {
       // Busy-wait: holders leave within a handful of instructions.
     }
   }
   void unlock() WS_RELEASE() {
     locked_.store(false, std::memory_order_release);
+    if (sched::Hook* h = sched::current())
+      h->unblock(sched::Op::kSpinLock,
+                 reinterpret_cast<std::uintptr_t>(this), /*all=*/true);
   }
 
  private:
@@ -97,15 +135,45 @@ class CondVar {
   CondVar(const CondVar&) = delete;
   CondVar& operator=(const CondVar&) = delete;
 
-  void wait(Mutex& mutex) WS_REQUIRES(mutex) { cv_.wait(mutex); }
+  void wait(Mutex& mutex) WS_REQUIRES(mutex) {
+    if (sched::Hook* h = sched::current()) {
+      // Virtualized park: the unlock-then-park pair is atomic with respect
+      // to other managed threads (the caller holds the scheduler token
+      // until block() releases it), exactly matching condvar semantics.
+      mutex.unlock();
+      h->block(sched::Op::kCvWait, reinterpret_cast<std::uintptr_t>(this));
+      mutex.lock();
+      return;
+    }
+    cv_.wait(mutex);
+  }
 
   template <typename Predicate>
   void wait(Mutex& mutex, Predicate pred) WS_REQUIRES(mutex) {
+    if (sched::Hook* h = sched::current()) {
+      while (!pred()) {
+        mutex.unlock();
+        h->block(sched::Op::kCvWait,
+                 reinterpret_cast<std::uintptr_t>(this));
+        mutex.lock();
+      }
+      return;
+    }
     cv_.wait(mutex, std::move(pred));
   }
 
-  void notify_one() noexcept { cv_.notify_one(); }
-  void notify_all() noexcept { cv_.notify_all(); }
+  void notify_one() noexcept {
+    cv_.notify_one();
+    if (sched::Hook* h = sched::current())
+      h->unblock(sched::Op::kCvNotify,
+                 reinterpret_cast<std::uintptr_t>(this), /*all=*/false);
+  }
+  void notify_all() noexcept {
+    cv_.notify_all();
+    if (sched::Hook* h = sched::current())
+      h->unblock(sched::Op::kCvNotify,
+                 reinterpret_cast<std::uintptr_t>(this), /*all=*/true);
+  }
 
  private:
   std::condition_variable_any cv_;

@@ -366,6 +366,16 @@ TEST(LintPodInit, CoversServeTypes) {
   EXPECT_NE(f[0].message.find("checksum"), std::string::npos);
 }
 
+TEST(LintPodInit, CoversSchedTypes) {
+  const auto f = lint_one(
+      "#pragma once\n"
+      "struct TraceStep {\n  std::uint64_t clock;\n};\n",
+      "src/sched/step_extra.h");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "pod-init");
+  EXPECT_NE(f[0].message.find("clock"), std::string::npos);
+}
+
 TEST(LintPodInit, OutsideScopedDirsQuiet) {
   EXPECT_FALSE(has_rule(
       lint_one("struct Row {\n  int x;\n};\n", "src/core/row.h"),

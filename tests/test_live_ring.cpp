@@ -13,6 +13,7 @@
 
 #include "chaos/fault_plan.h"
 #include "live/ring_buffer.h"
+#include "test_support.h"
 
 namespace {
 
@@ -196,9 +197,11 @@ TEST(LiveRing, ChaosStallScheduleStressExactTotals) {
   // may be lost (the test would hang), and the totals must balance to the
   // last element.  This is the chaos case the TSan gate leans on.
   constexpr std::uint64_t kCount = 40'000;
+  const std::uint64_t seed = wearscope::testing::seed_or(0xC4A05);
+  WEARSCOPE_SCOPED_SEED(seed);
   const wearscope::chaos::StallSchedule sched =
       wearscope::chaos::FaultPlan(
-          0xC4A05, wearscope::chaos::FaultProfile::named("io"))
+          seed, wearscope::chaos::FaultProfile::named("io"))
           .stall_schedule();
   RingBuffer<std::uint64_t> ring(4);
   std::atomic<bool> ok{true};

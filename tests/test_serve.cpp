@@ -166,6 +166,44 @@ TEST(SnapshotStore, EvictedEpochSurvivesWhileReferenced) {
                                  held->final_epoch));
 }
 
+TEST(SnapshotStore, RetainOneKeepsExactlyTheNewestEpoch) {
+  // The degenerate retention window: every publish evicts its
+  // predecessor, so the historical surface is always exactly one epoch
+  // deep and @epoch lookups age out immediately.
+  SnapshotStore store(1);
+  EXPECT_EQ(store.capacity(), 1u);
+  for (std::uint64_t e = 0; e < 4; ++e) {
+    live::LiveSnapshot snap;
+    snap.epoch = e;
+    snap.records = e + 1;
+    store.publish(std::move(snap));
+    EXPECT_EQ(store.retained_epochs(), (std::vector<std::uint64_t>{e}));
+    ASSERT_NE(store.at_epoch(e), nullptr);
+    EXPECT_EQ(store.at_epoch(e)->snap.records, e + 1);
+    if (e > 0) EXPECT_EQ(store.at_epoch(e - 1), nullptr);
+  }
+  EXPECT_EQ(store.published(), 4u);
+  ASSERT_NE(store.latest(), nullptr);
+  EXPECT_EQ(store.latest()->snap.epoch, 3u);
+}
+
+TEST(QueryEngine, EvictedEpochLookupReportsNotRetained) {
+  // An @epoch query for an epoch the retention window has already
+  // dropped must fail loudly — not serve the wrong snapshot.
+  SnapshotStore store(1);
+  QueryEngine engine(store);
+  for (std::uint64_t e = 0; e < 2; ++e) {
+    live::LiveSnapshot snap;
+    snap.epoch = e;
+    store.publish(std::move(snap));
+  }
+  EXPECT_EQ(engine.answer("adoption @0"),
+            "ERR epoch 0 not retained (see 'epochs')");
+  EXPECT_EQ(engine.answer("adoption @1").rfind("OK adoption ", 0), 0u);
+  EXPECT_EQ(engine.answer("epochs"),
+            "OK epochs retained=1 capacity=1 published=2");
+}
+
 TEST(SnapshotStore, ChecksumCoversRowsAndScalars) {
   live::LiveSnapshot snap;
   snap.epoch = 7;

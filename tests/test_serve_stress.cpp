@@ -20,6 +20,7 @@
 #include "live/replayer.h"
 #include "serve/query_engine.h"
 #include "simnet/simulator.h"
+#include "test_support.h"
 
 namespace wearscope::serve {
 namespace {
@@ -109,9 +110,11 @@ TEST(ServeStress, QueryEngineUnderLiveIngest) {
   // snapshots while reader threads run the query protocol.  No answer may
   // ever report a torn publication, and the readers must observe the feed
   // progressing (monotonic epochs).
-  const simnet::SimResult sim = [] {
+  const std::uint64_t seed = wearscope::testing::seed_or(55);
+  WEARSCOPE_SCOPED_SEED(seed);
+  const simnet::SimResult sim = [seed] {
     simnet::SimConfig cfg = simnet::SimConfig::small();
-    cfg.seed = 55;
+    cfg.seed = seed;
     return simnet::Simulator(cfg).run();
   }();
 

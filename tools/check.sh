@@ -5,12 +5,14 @@
 #
 # Default: a full build, the wearscope_lint determinism & concurrency
 # checks (hard failure on any finding), then the whole ctest suite —
-# which already includes the `lint`, `chaos` and `perf` labels (the
-# thread-sweep equivalence gate runs as part of the regular tests).
+# which already includes the `lint`, `chaos`, `perf` and `sched` labels
+# (the thread-sweep equivalence gate and the fast bounded interleaving
+# enumeration run as part of the regular tests).
 # With --full it additionally runs the sanitizer gates CONTRIBUTING.md
 # requires — the chaos label under ASan+UBSan and the concurrency tests
 # (live engine, batch task pool, parallel v2 trace decode, snapshot
-# serving) under TSan — and refreshes the BENCH_analysis.json /
+# serving) under TSan — plus a deep random-walk interleaving budget
+# through the sched harness, and refreshes the BENCH_analysis.json /
 # BENCH_trace_io.json / BENCH_serve.json sweeps.
 set -eu
 
@@ -32,8 +34,12 @@ cmake --build "$build" -j "$jobs"
 echo "== lint"
 "$build/tools/wearscope_lint" --root "$root" --error-on-findings
 
-echo "== test (incl. lint + chaos labels)"
+echo "== test (incl. lint + chaos + sched labels)"
 ctest --test-dir "$build" --output-on-failure -j "$jobs"
+
+echo "== interleaving mutation gate (seeded bug must be found + replay)"
+"$build/tools/wearscope_sched" --scenario mutation --expect-failure \
+  2>/dev/null
 
 if [ "$full" -eq 1 ]; then
   echo "== chaos label under ASan+UBSan"
@@ -48,6 +54,10 @@ if [ "$full" -eq 1 ]; then
   ctest --test-dir "$root/build-tsan" \
     -R "LiveRing|LiveEngine|TaskPool|ParPipeline|TraceV2|BundleParallel|ServeStress|ServeEquivalence|QueryEngine|SnapshotStore|LineServer" \
     --output-on-failure
+
+  echo "== deep interleaving walks (WEARSCOPE_SCHED_WALKS=${WEARSCOPE_SCHED_WALKS:-2000})"
+  WEARSCOPE_SCHED_WALKS="${WEARSCOPE_SCHED_WALKS:-2000}" \
+    ctest --test-dir "$build" -L sched --output-on-failure -j "$jobs"
 
   echo "== analysis thread sweep (BENCH_analysis.json)"
   "$build/bench/perf_analysis" --emit-json="$root/BENCH_analysis.json"
