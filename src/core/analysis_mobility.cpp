@@ -62,6 +62,9 @@ UserMobility mobility_of(const AnalysisContext& ctx, const UserView& u) {
   // normalizes "by the time a user stays in a single location").
   std::vector<double> dwells;
   dwells.reserve(dwell_s.size());
+  // Entropy is a commutative sum over the dwell weights, so hash-map
+  // iteration order cannot reach the emitted value.
+  // wearscope-lint: allow(unordered-flow)
   for (const auto& [sector, t] : dwell_s) dwells.push_back(t);
   out.entropy_bits = util::shannon_entropy(dwells);
   return out;

@@ -18,10 +18,10 @@ namespace {
 using DomainPool =
     std::unordered_set<std::string, util::StringHash, std::equal_to<>>;
 
-DomainPool make_pool(std::span<const std::string_view> pool) {
+DomainPool make_pool(std::span<const std::string_view> domains) {
   DomainPool out;
-  out.reserve(pool.size());
-  for (const std::string_view d : pool) out.insert(util::to_lower(d));
+  out.reserve(domains.size());
+  for (const std::string_view d : domains) out.insert(util::to_lower(d));
   return out;
 }
 

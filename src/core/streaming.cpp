@@ -58,6 +58,9 @@ AdoptionTally StreamingAdoption::tally() const {
   t.ever_transacted = ever_transacted_.size();
   t.first_week = first_week_.size();
   t.last_week = last_week_.size();
+  // Set-intersection count is commutative: iteration order cannot reach
+  // the emitted value.
+  // wearscope-lint: allow(unordered-flow)
   for (const trace::UserId u : first_week_) {
     if (last_week_.contains(u)) ++t.both_weeks;
   }

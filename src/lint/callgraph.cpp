@@ -1,0 +1,66 @@
+#include "lint/callgraph.h"
+
+#include <algorithm>
+#include <array>
+#include <string_view>
+
+namespace wearscope::lint {
+
+namespace {
+
+/// Identifiers that look like calls in the token stream but never are.
+constexpr std::array<std::string_view, 14> kNotCalls = {
+    "if",     "for",      "while",  "switch",        "catch", "return",
+    "sizeof", "alignof",  "new",    "delete",        "assert",
+    "defined", "decltype", "static_assert"};
+
+[[nodiscard]] bool is_call_candidate(const Token& t) {
+  if (t.kind != TokenKind::kIdentifier) return false;
+  if (t.text.substr(0, 3) == "WS_") return false;
+  for (const std::string_view k : kNotCalls)
+    if (t.text == k) return false;
+  return true;
+}
+
+}  // namespace
+
+CallGraph CallGraph::build(const SymbolIndex& index) {
+  CallGraph graph;
+  const std::vector<FunctionSym>& fns = index.functions();
+  graph.callees_.resize(fns.size());
+  graph.callers_.resize(fns.size());
+  graph.sites_.resize(fns.size());
+  for (std::size_t fi = 0; fi < fns.size(); ++fi) {
+    const FunctionSym& fn = fns[fi];
+    const std::vector<Token>& c = index.files()[fn.file]->code;
+    for (std::size_t k = fn.body_begin + 1; k + 1 < fn.body_end; ++k) {
+      if (!is_call_candidate(c[k]) || !is_punct(c[k + 1], "(")) continue;
+      const std::vector<std::size_t>* targets =
+          index.functions_named(c[k].text);
+      if (targets == nullptr) continue;
+      CallSite site;
+      site.token = k;
+      site.line = c[k].line;
+      for (const std::size_t ti : *targets)
+        if (ti != fi) site.callees.push_back(ti);
+      if (site.callees.empty()) continue;
+      for (const std::size_t ti : site.callees)
+        graph.callees_[fi].push_back(ti);
+      graph.sites_[fi].push_back(std::move(site));
+    }
+    std::sort(graph.callees_[fi].begin(), graph.callees_[fi].end());
+    graph.callees_[fi].erase(
+        std::unique(graph.callees_[fi].begin(), graph.callees_[fi].end()),
+        graph.callees_[fi].end());
+  }
+  for (std::size_t fi = 0; fi < fns.size(); ++fi)
+    for (const std::size_t ti : graph.callees_[fi])
+      graph.callers_[ti].push_back(fi);
+  for (std::vector<std::size_t>& cs : graph.callers_) {
+    std::sort(cs.begin(), cs.end());
+    cs.erase(std::unique(cs.begin(), cs.end()), cs.end());
+  }
+  return graph;
+}
+
+}  // namespace wearscope::lint

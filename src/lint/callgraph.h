@@ -1,0 +1,50 @@
+// Static call graph over a SymbolIndex.
+//
+// Edges come from name resolution on the token stream: an identifier in a
+// function body directly applied to "(" that matches the unqualified name
+// of an indexed function definition is an edge to *every* definition of
+// that name (overloads and same-named methods of different classes are
+// not disambiguated — the graph over-approximates, which is the safe
+// direction for the flow rules built on it).  Calls to functions with no
+// indexed body (std::, util:: declarations-only, macros) produce no edge.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "lint/symbols.h"
+
+namespace wearscope::lint {
+
+/// One resolved call expression inside a caller's body.
+struct CallSite {
+  std::size_t token = 0;  ///< Code-token index of the callee name.
+  int line = 0;
+  std::vector<std::size_t> callees;  ///< Indices into SymbolIndex::functions().
+};
+
+class CallGraph {
+ public:
+  [[nodiscard]] static CallGraph build(const SymbolIndex& index);
+
+  /// Sorted, deduplicated callee function indices of function `fn`.
+  [[nodiscard]] const std::vector<std::size_t>& callees(std::size_t fn) const {
+    return callees_[fn];
+  }
+  /// Sorted, deduplicated caller function indices of function `fn`.
+  [[nodiscard]] const std::vector<std::size_t>& callers(std::size_t fn) const {
+    return callers_[fn];
+  }
+  /// Call sites inside `fn`'s body, in token order.
+  [[nodiscard]] const std::vector<CallSite>& sites(std::size_t fn) const {
+    return sites_[fn];
+  }
+
+ private:
+  std::vector<std::vector<std::size_t>> callees_;
+  std::vector<std::vector<std::size_t>> callers_;
+  std::vector<std::vector<CallSite>> sites_;
+};
+
+}  // namespace wearscope::lint

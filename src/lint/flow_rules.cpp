@@ -1,0 +1,590 @@
+#include "lint/flow_rules.h"
+
+#include <algorithm>
+#include <array>
+#include <deque>
+#include <map>
+#include <set>
+#include <string_view>
+#include <utility>
+
+namespace wearscope::lint {
+
+namespace {
+
+using Code = std::vector<Token>;
+using NameSet = std::set<std::string, std::less<>>;
+
+constexpr std::size_t kMaxHops = 3;  ///< Interprocedural search depth.
+
+// --- Lock canonicalization ---------------------------------------------
+
+/// One RAII guard statement (`MutexLock lock(expr);`) inside a body.
+struct GuardStmt {
+  std::size_t token = 0;  ///< Index of the MutexLock/SpinLockGuard ident.
+  int line = 0;
+  std::string raw;  ///< Last identifier of the guarded expression.
+};
+
+[[nodiscard]] std::vector<GuardStmt> find_guards(const Code& c,
+                                                 const FunctionSym& fn) {
+  std::vector<GuardStmt> out;
+  for (std::size_t k = fn.body_begin + 1; k + 2 < fn.body_end; ++k) {
+    if (!is_ident(c[k], "MutexLock") && !is_ident(c[k], "SpinLockGuard"))
+      continue;
+    if (c[k + 1].kind != TokenKind::kIdentifier || !is_punct(c[k + 2], "("))
+      continue;
+    const std::size_t close = skip_balanced(c, k + 2, "(", ")");
+    GuardStmt g;
+    g.token = k;
+    g.line = c[k].line;
+    for (std::size_t j = k + 3; j + 1 < close; ++j)
+      if (c[j].kind == TokenKind::kIdentifier) g.raw = std::string(c[j].text);
+    if (!g.raw.empty()) out.push_back(std::move(g));
+  }
+  return out;
+}
+
+/// Mutex/SpinLock objects declared as locals of `fn` (`util::Mutex m;`).
+[[nodiscard]] NameSet local_locks(const Code& c, const FunctionSym& fn) {
+  NameSet out;
+  for (std::size_t k = fn.body_begin + 1; k + 2 < fn.body_end; ++k) {
+    if (!is_ident(c[k], "Mutex") && !is_ident(c[k], "SpinLock")) continue;
+    if (c[k + 1].kind != TokenKind::kIdentifier) continue;
+    if (is_punct(c[k + 2], ";") || is_punct(c[k + 2], "{"))
+      out.insert(std::string(c[k + 1].text));
+  }
+  return out;
+}
+
+/// lock member name -> names of classes owning a mutex field so named.
+using MutexOwners = std::map<std::string, NameSet, std::less<>>;
+
+[[nodiscard]] MutexOwners collect_mutex_owners(const SymbolIndex& index) {
+  MutexOwners owners;
+  for (const ClassSym& cls : index.classes())
+    for (const FieldSym& f : cls.fields)
+      if (f.is_mutex) owners[f.name].insert(cls.name);
+  return owners;
+}
+
+/// Canonical name for a raw lock spelling seen inside `fn`, or "" when
+/// resolution is ambiguous (the rule then skips the acquisition).
+[[nodiscard]] std::string canon_lock(const SymbolIndex& index,
+                                     const FunctionSym& fn,
+                                     const NameSet& locals,
+                                     const MutexOwners& owners,
+                                     std::string_view raw) {
+  if (!fn.class_name.empty()) {
+    if (const std::vector<std::size_t>* cs =
+            index.classes_named(fn.class_name)) {
+      for (const std::size_t ci : *cs) {
+        const FieldSym* field = index.classes()[ci].field(raw);
+        if (field != nullptr && field->is_mutex)
+          return fn.class_name + "::" + std::string(raw);
+      }
+    }
+  }
+  if (locals.find(raw) != locals.end())
+    return fn.qualified() + "#" + std::string(raw);
+  const auto it = owners.find(raw);
+  if (it != owners.end() && it->second.size() == 1)
+    return *it->second.begin() + "::" + std::string(raw);
+  return {};
+}
+
+// --- Lock-ordering graph ------------------------------------------------
+
+struct LockGraphInput {
+  std::vector<std::vector<GuardStmt>> guards;      ///< Per function.
+  std::vector<NameSet> locals;                     ///< Per function.
+  std::vector<std::vector<std::string>> acquired;  ///< Canonical, direct.
+  std::vector<std::vector<std::string>> entry;     ///< Canonical entry locks.
+  MutexOwners owners;
+};
+
+[[nodiscard]] LockGraphInput prepare_locks(const SymbolIndex& index) {
+  LockGraphInput in;
+  in.owners = collect_mutex_owners(index);
+  const std::vector<FunctionSym>& fns = index.functions();
+  in.guards.resize(fns.size());
+  in.locals.resize(fns.size());
+  in.acquired.resize(fns.size());
+  in.entry.resize(fns.size());
+  for (std::size_t fi = 0; fi < fns.size(); ++fi) {
+    const Code& c = index.files()[fns[fi].file]->code;
+    in.guards[fi] = find_guards(c, fns[fi]);
+    in.locals[fi] = local_locks(c, fns[fi]);
+    for (const GuardStmt& g : in.guards[fi]) {
+      std::string lock =
+          canon_lock(index, fns[fi], in.locals[fi], in.owners, g.raw);
+      if (!lock.empty()) in.acquired[fi].push_back(std::move(lock));
+    }
+    for (const std::string& raw : fns[fi].entry_locks) {
+      std::string lock =
+          canon_lock(index, fns[fi], in.locals[fi], in.owners, raw);
+      if (!lock.empty()) in.entry[fi].push_back(std::move(lock));
+    }
+  }
+  return in;
+}
+
+/// Locks `fn` may acquire itself or through callees within kMaxHops.
+[[nodiscard]] NameSet transitive_acquires(const CallGraph& graph,
+                                          const LockGraphInput& in,
+                                          std::size_t fn) {
+  NameSet out;
+  std::set<std::size_t> seen{fn};
+  std::deque<std::pair<std::size_t, std::size_t>> queue{{fn, 0}};
+  while (!queue.empty()) {
+    const auto [cur, depth] = queue.front();
+    queue.pop_front();
+    for (const std::string& lock : in.acquired[cur]) out.insert(lock);
+    if (depth >= kMaxHops) continue;
+    for (const std::size_t next : graph.callees(cur))
+      if (seen.insert(next).second) queue.emplace_back(next, depth + 1);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<LockEdge> collect_lock_edges(const SymbolIndex& index,
+                                         const CallGraph& graph) {
+  const LockGraphInput in = prepare_locks(index);
+  const std::vector<FunctionSym>& fns = index.functions();
+  std::vector<NameSet> reach(fns.size());
+  for (std::size_t fi = 0; fi < fns.size(); ++fi)
+    reach[fi] = transitive_acquires(graph, in, fi);
+
+  std::vector<LockEdge> edges;
+  const auto add_edges = [&edges](const std::vector<std::string>& held,
+                                  const NameSet& acquired,
+                                  const std::string& path, int line) {
+    for (const std::string& h : held)
+      for (const std::string& a : acquired)
+        if (h != a) edges.push_back({h, a, path, line});
+  };
+  for (std::size_t fi = 0; fi < fns.size(); ++fi) {
+    const FunctionSym& fn = fns[fi];
+    const Code& c = index.files()[fn.file]->code;
+    const std::string& path = index.files()[fn.file]->source->path;
+    // Linear walk of the body: a brace-depth frame stack tracks which
+    // guards are alive, so nesting (not mere textual order) makes edges.
+    struct Frame {
+      int depth = 0;
+      std::string lock;
+    };
+    std::vector<Frame> held;
+    for (const std::string& lock : in.entry[fi])
+      held.push_back({0, lock});  // held for the whole body
+    std::size_t next_guard = 0;
+    auto site_it = graph.sites(fi).begin();
+    const auto site_end = graph.sites(fi).end();
+    int depth = 1;
+    for (std::size_t k = fn.body_begin + 1; k < fn.body_end; ++k) {
+      if (is_punct(c[k], "{")) ++depth;
+      if (is_punct(c[k], "}")) {
+        --depth;
+        while (!held.empty() && held.back().depth > depth) held.pop_back();
+      }
+      if (next_guard < in.guards[fi].size() &&
+          in.guards[fi][next_guard].token == k) {
+        const GuardStmt& g = in.guards[fi][next_guard++];
+        std::string lock =
+            canon_lock(index, fn, in.locals[fi], in.owners, g.raw);
+        if (!lock.empty()) {
+          for (const Frame& f : held)
+            if (f.lock != lock) edges.push_back({f.lock, lock, path, g.line});
+          held.push_back({depth, std::move(lock)});
+        }
+      }
+      while (site_it != site_end && site_it->token < k) ++site_it;
+      if (site_it != site_end && site_it->token == k && !held.empty()) {
+        std::vector<std::string> held_names;
+        for (const Frame& f : held) held_names.push_back(f.lock);
+        for (const std::size_t callee : site_it->callees)
+          add_edges(held_names, reach[callee], path, c[k].line);
+      }
+    }
+  }
+  // Deduplicate by (from, to), keeping the lexically first location.
+  std::sort(edges.begin(), edges.end(),
+            [](const LockEdge& a, const LockEdge& b) {
+              return std::tie(a.from, a.to, a.path, a.line) <
+                     std::tie(b.from, b.to, b.path, b.line);
+            });
+  edges.erase(std::unique(edges.begin(), edges.end(),
+                          [](const LockEdge& a, const LockEdge& b) {
+                            return a.from == b.from && a.to == b.to;
+                          }),
+              edges.end());
+  return edges;
+}
+
+void check_lock_order(const SymbolIndex& index, const CallGraph& graph,
+                      std::vector<Finding>& out) {
+  const std::vector<LockEdge> edges = collect_lock_edges(index, graph);
+  // Tarjan over the (small) lock graph; any SCC of >= 2 locks is a cycle.
+  std::vector<std::string> nodes;
+  for (const LockEdge& e : edges) {
+    nodes.push_back(e.from);
+    nodes.push_back(e.to);
+  }
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  std::map<std::string, std::size_t, std::less<>> id;
+  for (std::size_t i = 0; i < nodes.size(); ++i) id[nodes[i]] = i;
+  std::vector<std::vector<std::size_t>> adj(nodes.size());
+  for (const LockEdge& e : edges) adj[id[e.from]].push_back(id[e.to]);
+
+  const std::size_t n = nodes.size();
+  std::vector<std::size_t> idx(n, 0), low(n, 0);
+  std::vector<bool> on_stack(n, false), visited(n, false);
+  std::vector<std::size_t> stack;
+  std::vector<std::vector<std::size_t>> sccs;
+  std::size_t counter = 1;
+  // Iterative Tarjan (explicit frame stack keeps it stack-safe).
+  struct TFrame {
+    std::size_t v = 0;
+    std::size_t child = 0;
+  };
+  for (std::size_t root = 0; root < n; ++root) {
+    if (visited[root]) continue;
+    std::vector<TFrame> frames{{root, 0}};
+    while (!frames.empty()) {
+      TFrame& f = frames.back();
+      const std::size_t v = f.v;
+      if (f.child == 0) {
+        visited[v] = true;
+        idx[v] = low[v] = counter++;
+        stack.push_back(v);
+        on_stack[v] = true;
+      }
+      if (f.child < adj[v].size()) {
+        const std::size_t w = adj[v][f.child++];
+        if (!visited[w]) {
+          frames.push_back({w, 0});
+        } else if (on_stack[w]) {
+          low[v] = std::min(low[v], idx[w]);
+        }
+        continue;
+      }
+      if (low[v] == idx[v]) {
+        std::vector<std::size_t> scc;
+        for (;;) {
+          const std::size_t w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          scc.push_back(w);
+          if (w == v) break;
+        }
+        if (scc.size() >= 2) sccs.push_back(std::move(scc));
+      }
+      frames.pop_back();
+      if (!frames.empty())
+        low[frames.back().v] = std::min(low[frames.back().v], low[v]);
+    }
+  }
+
+  for (std::vector<std::size_t>& scc : sccs) {
+    std::sort(scc.begin(), scc.end());
+    const std::set<std::size_t> members(scc.begin(), scc.end());
+    std::vector<const LockEdge*> cycle_edges;
+    for (const LockEdge& e : edges)
+      if (members.count(id[e.from]) != 0 && members.count(id[e.to]) != 0)
+        cycle_edges.push_back(&e);
+    std::sort(cycle_edges.begin(), cycle_edges.end(),
+              [](const LockEdge* a, const LockEdge* b) {
+                return std::tie(a->path, a->line, a->from, a->to) <
+                       std::tie(b->path, b->line, b->from, b->to);
+              });
+    if (cycle_edges.empty()) continue;
+    std::string msg = "potential deadlock: lock acquisition order cycle:";
+    for (const LockEdge* e : cycle_edges) {
+      msg += " " + e->from + " -> " + e->to + " (" + e->path + ":" +
+             std::to_string(e->line) + ");";
+    }
+    msg.pop_back();  // trailing ';'
+    const LockEdge* anchor = cycle_edges.front();
+    out.push_back(
+        Finding{anchor->path, anchor->line, "lock-order", std::move(msg)});
+  }
+}
+
+// --- guard-coverage -----------------------------------------------------
+
+namespace {
+
+constexpr std::array<std::string_view, 14> kMutatingMethods = {
+    "push_back", "emplace_back", "pop_back", "clear",   "erase",
+    "insert",    "emplace",      "resize",   "assign",  "push",
+    "pop",       "swap",         "reserve",  "splice"};
+
+constexpr std::array<std::string_view, 11> kAssignOps = {
+    "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="};
+
+[[nodiscard]] bool in_sv_list(std::string_view s, const auto& list) {
+  for (const std::string_view e : list)
+    if (s == e) return true;
+  return false;
+}
+
+/// True when `fn`'s body writes to member `field` (assignment, increment,
+/// or a mutating container method call).
+[[nodiscard]] bool writes_field(const Code& c, const FunctionSym& fn,
+                                std::string_view field) {
+  for (std::size_t k = fn.body_begin + 1; k + 1 < fn.body_end; ++k) {
+    if (!is_ident(c[k], field)) continue;
+    // `other.field` is a different object's member; `this->field` is ours.
+    if (k > 0 && (is_punct(c[k - 1], ".") || is_punct(c[k - 1], "->")) &&
+        !(k > 1 && is_ident(c[k - 2], "this")))
+      continue;
+    // Prefix increment/decrement (`++` lexes as two '+' tokens).
+    if (k > 1 && ((is_punct(c[k - 1], "+") && is_punct(c[k - 2], "+")) ||
+                  (is_punct(c[k - 1], "-") && is_punct(c[k - 2], "-"))))
+      return true;
+    std::size_t j = k + 1;
+    while (j < fn.body_end && is_punct(c[j], "["))
+      j = skip_balanced(c, j, "[", "]");
+    if (j >= fn.body_end) continue;
+    if (c[j].kind == TokenKind::kPunct && in_sv_list(c[j].text, kAssignOps))
+      return true;
+    if (j + 1 < fn.body_end &&
+        ((is_punct(c[j], "+") && is_punct(c[j + 1], "+")) ||
+         (is_punct(c[j], "-") && is_punct(c[j + 1], "-"))))
+      return true;
+    if ((is_punct(c[j], ".") || is_punct(c[j], "->")) && j + 2 < fn.body_end &&
+        c[j + 1].kind == TokenKind::kIdentifier &&
+        in_sv_list(c[j + 1].text, kMutatingMethods) && is_punct(c[j + 2], "("))
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void check_guard_coverage(const SymbolIndex& index,
+                          std::vector<Finding>& out) {
+  for (const ClassSym& cls : index.classes()) {
+    if (!cls.owns_lock()) continue;
+    const std::string& path = index.files()[cls.file]->source->path;
+    for (const FieldSym& field : cls.fields) {
+      if (field.is_mutex || field.is_atomic || field.is_const ||
+          !field.guarded_by.empty())
+        continue;
+      int writers = 0;
+      for (const FunctionSym& fn : index.functions()) {
+        if (fn.class_name != cls.name) continue;
+        if (fn.name == cls.name || fn.name == "~" + cls.name)
+          continue;  // construction/destruction is single-threaded
+        if (writes_field(index.files()[fn.file]->code, fn, field.name))
+          ++writers;
+      }
+      if (writers >= 2)
+        out.push_back(Finding{
+            path, field.line, "guard-coverage",
+            "field '" + field.name + "' of lock-owning class '" + cls.name +
+                "' is written by " + std::to_string(writers) +
+                " member functions but has no WS_GUARDED_BY annotation"});
+    }
+  }
+}
+
+// --- unchecked-result ---------------------------------------------------
+
+void check_unchecked_result(const SymbolIndex& index,
+                            std::vector<Finding>& out) {
+  for (std::size_t fi = 0; fi < index.files().size(); ++fi) {
+    const FileCtx& file = *index.files()[fi];
+    const Code& c = file.code;
+    const TokenMatches matches = match_tokens(c);
+    const auto tok = [&c](std::ptrdiff_t i) -> const Token& {
+      return c[static_cast<std::size_t>(i)];
+    };
+    for (std::size_t k = 0; k + 1 < c.size(); ++k) {
+      if (c[k].kind != TokenKind::kIdentifier || !is_punct(c[k + 1], "("))
+        continue;
+      const std::ptrdiff_t close = matches.paren[k + 1];
+      if (close < 0 || static_cast<std::size_t>(close) + 1 >= c.size())
+        continue;
+      if (!is_punct(tok(close + 1), ";")) continue;
+      // Resolve the call.  Only unambiguous receivers count: a free call,
+      // an explicit `this->` call, or a `Qualifier::` call — a call on an
+      // arbitrary object (`obj.f()`) is skipped because the receiver's
+      // type is unknown to the token-level index.
+      const std::string_view name = c[k].text;
+      // A free function defined in this very file shadows an unrelated
+      // same-named nodiscard function from elsewhere in the project.
+      const auto free_nodiscard = [&](std::string_view n) {
+        if (!index.nodiscard_names().contains(n)) return false;
+        if (const std::vector<std::size_t>* cands = index.functions_named(n))
+          for (const std::size_t ci : *cands) {
+            const FunctionSym& cand = index.functions()[ci];
+            if (cand.class_name.empty() && cand.file == fi)
+              return index.nodiscard_free_in(fi, n);
+          }
+        return true;
+      };
+      bool is_nodiscard = false;
+      std::ptrdiff_t head = static_cast<std::ptrdiff_t>(k) - 1;
+      if (head >= 0 &&
+          (is_punct(tok(head), ".") || is_punct(tok(head), "->"))) {
+        if (head < 1 || !is_ident(tok(head - 1), "this")) continue;
+        head -= 2;
+        const FunctionSym* fn = index.enclosing_function(fi, k);
+        if (fn == nullptr || fn->class_name.empty()) continue;
+        const auto* methods = index.nodiscard_methods(fn->class_name);
+        is_nodiscard = methods != nullptr && methods->contains(name);
+      } else if (head >= 1 && is_punct(tok(head), "::") &&
+                 tok(head - 1).kind == TokenKind::kIdentifier) {
+        // Innermost qualifier decides: class method or namespaced free fn.
+        const std::string_view qual = tok(head - 1).text;
+        while (head >= 1 && is_punct(tok(head), "::") &&
+               tok(head - 1).kind == TokenKind::kIdentifier)
+          head -= 2;
+        const auto* methods = index.nodiscard_methods(qual);
+        is_nodiscard = (methods != nullptr && methods->contains(name)) ||
+                       free_nodiscard(name);
+      } else {
+        // Unqualified: a free function, or an implicit-this method call
+        // inside a member function.
+        is_nodiscard = free_nodiscard(name);
+        if (!is_nodiscard) {
+          const FunctionSym* fn = index.enclosing_function(fi, k);
+          if (fn != nullptr && !fn->class_name.empty()) {
+            const auto* methods = index.nodiscard_methods(fn->class_name);
+            is_nodiscard = methods != nullptr && methods->contains(name);
+          }
+        }
+      }
+      if (!is_nodiscard) continue;
+      const bool statement_head =
+          head < 0 || is_punct(tok(head), ";") || is_punct(tok(head), "{") ||
+          is_punct(tok(head), "}") || is_punct(tok(head), ":");
+      if (!statement_head) continue;
+      out.push_back(Finding{
+          file.source->path, c[k].line, "unchecked-result",
+          "result of [[nodiscard]] function '" + std::string(name) +
+              "' is discarded"});
+    }
+  }
+}
+
+// --- unordered-flow -----------------------------------------------------
+
+namespace {
+
+/// A range-for over an unordered-declared name in a function body that is
+/// not followed by a sort before the body ends.
+struct UnorderedLoop {
+  std::size_t token = 0;
+  int line = 0;
+  std::string container;
+};
+
+[[nodiscard]] std::vector<UnorderedLoop> find_unordered_loops(
+    const FileCtx& file, const FunctionSym& fn) {
+  std::vector<UnorderedLoop> out;
+  const Code& c = file.code;
+  for (std::size_t k = fn.body_begin + 1; k + 1 < fn.body_end; ++k) {
+    if (!is_ident(c[k], "for") || !is_punct(c[k + 1], "(")) continue;
+    const std::size_t close = skip_balanced(c, k + 1, "(", ")");
+    std::size_t colon = 0;
+    for (std::size_t j = k + 2; j + 1 < close; ++j) {
+      if (is_punct(c[j], "(")) {
+        j = skip_balanced(c, j, "(", ")") - 1;
+        continue;
+      }
+      if (is_punct(c[j], "[")) {
+        j = skip_balanced(c, j, "[", "]") - 1;
+        continue;
+      }
+      if (is_punct(c[j], ":")) {
+        colon = j;
+        break;
+      }
+    }
+    if (colon == 0) continue;  // classic for, not range-for
+    std::string name;
+    for (std::size_t j = colon + 1; j + 1 < close; ++j)
+      if (c[j].kind == TokenKind::kIdentifier) name = std::string(c[j].text);
+    if (name.empty()) continue;
+    if (file.unordered_names.find(name) == file.unordered_names.end())
+      continue;
+    if (file.ordered_names.find(name) != file.ordered_names.end())
+      continue;  // shadowed by an ordered local declaration
+    bool sorted_later = false;
+    for (std::size_t j = k; j < fn.body_end; ++j)
+      if (is_sort_ident(c[j])) {
+        sorted_later = true;
+        break;
+      }
+    if (sorted_later) continue;
+    out.push_back({k, c[k].line, std::move(name)});
+  }
+  return out;
+}
+
+[[nodiscard]] bool emits_in_span(const Code& c, std::size_t begin,
+                                 std::size_t end) {
+  for (std::size_t k = begin; k < end && k < c.size(); ++k)
+    if (is_emission_marker(c[k])) return true;
+  return false;
+}
+
+}  // namespace
+
+void check_unordered_flow(const SymbolIndex& index, const CallGraph& graph,
+                          std::vector<Finding>& out) {
+  const std::vector<FunctionSym>& fns = index.functions();
+  for (std::size_t fi = 0; fi < fns.size(); ++fi) {
+    const FunctionSym& fn = fns[fi];
+    if (fn.returns_void) continue;
+    const FileCtx& file = *index.files()[fn.file];
+    const std::vector<UnorderedLoop> loops = find_unordered_loops(file, fn);
+    if (loops.empty()) continue;
+    // The per-file unordered-emit rule owns the same-function case.
+    if (emits_in_span(file.code, fn.decl_begin, fn.body_end)) continue;
+    // BFS up the caller graph: does the returned value reach an emitter?
+    std::map<std::size_t, std::size_t> parent;  // callee-ward back-pointers
+    std::deque<std::pair<std::size_t, std::size_t>> queue{{fi, 0}};
+    std::set<std::size_t> seen{fi};
+    std::size_t emitter = fns.size();
+    std::size_t hops = 0;
+    while (!queue.empty() && emitter == fns.size()) {
+      const auto [cur, depth] = queue.front();
+      queue.pop_front();
+      if (depth >= kMaxHops) continue;
+      for (const std::size_t caller : graph.callers(cur)) {
+        if (!seen.insert(caller).second) continue;
+        parent[caller] = cur;
+        const FunctionSym& g = fns[caller];
+        if (emits_in_span(index.files()[g.file]->code, g.body_begin + 1,
+                          g.body_end)) {
+          emitter = caller;
+          hops = depth + 1;
+          break;
+        }
+        queue.emplace_back(caller, depth + 1);
+      }
+    }
+    if (emitter == fns.size()) continue;
+    std::string chain = fns[emitter].qualified();
+    for (std::size_t cur = emitter; cur != fi;) {
+      cur = parent[cur];
+      chain += " -> " + fns[cur].qualified();
+    }
+    const FunctionSym& g = fns[emitter];
+    for (const UnorderedLoop& loop : loops)
+      out.push_back(Finding{
+          file.source->path, loop.line, "unordered-flow",
+          "'" + fn.qualified() + "' iterates unordered '" + loop.container +
+              "' without sorting and its result reaches emission in '" +
+              g.qualified() + "' (" + index.files()[g.file]->source->path +
+              ":" + std::to_string(g.line) + "), " + std::to_string(hops) +
+              " call hop(s) away: " + chain});
+  }
+}
+
+}  // namespace wearscope::lint

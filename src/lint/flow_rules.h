@@ -1,0 +1,53 @@
+// Whole-program flow-aware rules, built on the symbol index and call
+// graph.  Separate from rules.h so the per-file rules stay independent of
+// the graph layer.
+//
+// All four rules follow the same philosophy as the index itself: when
+// resolution is ambiguous the rule stays silent.  A flow finding must be
+// actionable — it names the full chain (lock cycle, call path) that
+// produced it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/callgraph.h"
+#include "lint/symbols.h"
+
+namespace wearscope::lint {
+
+/// One edge of the static lock-ordering graph: while holding `from`, the
+/// program acquires `to` at `path`:`line`.  Lock names are canonical
+/// ("Class::member_" or "fn()#local" for function-scoped locks).
+struct LockEdge {
+  std::string from;
+  std::string to;
+  std::string path;
+  int line = 0;
+};
+
+/// The full lock-ordering graph (sorted, deduplicated) — exposed for
+/// --graph-dump as well as the lock-order rule.
+[[nodiscard]] std::vector<LockEdge> collect_lock_edges(
+    const SymbolIndex& index, const CallGraph& graph);
+
+/// lock-order: cycles in the lock-ordering graph are potential deadlocks.
+void check_lock_order(const SymbolIndex& index, const CallGraph& graph,
+                      std::vector<Finding>& out);
+
+/// guard-coverage: a field of a lock-owning class written by two or more
+/// member functions must be WS_GUARDED_BY-annotated (or atomic/const).
+void check_guard_coverage(const SymbolIndex& index, std::vector<Finding>& out);
+
+/// unchecked-result: a call to a project [[nodiscard]] function used as a
+/// plain expression statement discards its result.
+void check_unchecked_result(const SymbolIndex& index,
+                            std::vector<Finding>& out);
+
+/// unordered-flow: interprocedural unordered-emit — a function iterating
+/// an unordered container, itself emission-free, whose return value can
+/// reach an emitting caller within 3 call hops.
+void check_unordered_flow(const SymbolIndex& index, const CallGraph& graph,
+                          std::vector<Finding>& out);
+
+}  // namespace wearscope::lint

@@ -9,8 +9,11 @@
 #include <string>
 #include <utility>
 
+#include "lint/callgraph.h"
+#include "lint/flow_rules.h"
 #include "lint/lexer.h"
 #include "lint/rules.h"
+#include "lint/symbols.h"
 #include "util/error.h"
 
 namespace wearscope::lint {
@@ -140,9 +143,20 @@ void json_escape(std::ostream& os, std::string_view s) {
 
 const std::vector<std::string>& all_rules() {
   static const std::vector<std::string> kRules = {
-      "ambient-rand",       "header-guard", "include-hygiene", "pod-init",
-      "quarantine-pairing", "unordered-emit", "wallclock"};
+      "ambient-rand",   "guard-coverage",     "header-guard",
+      "include-hygiene", "lock-order",        "pod-init",
+      "quarantine-pairing", "unchecked-result", "unordered-emit",
+      "unordered-flow", "wallclock"};
   return kRules;
+}
+
+std::vector<std::string> unknown_rules(const std::vector<std::string>& rules) {
+  std::vector<std::string> bad;
+  const std::vector<std::string>& valid = all_rules();
+  for (const std::string& r : rules)
+    if (std::find(valid.begin(), valid.end(), r) == valid.end())
+      bad.push_back(r);
+  return bad;
 }
 
 void Project::add(Source source) { sources_.push_back(std::move(source)); }
@@ -156,39 +170,56 @@ const Source* Project::resolve(std::string_view include_path) const {
   return nullptr;
 }
 
-std::vector<Finding> run_lint(const Project& project, const Options& options) {
-  const std::vector<Source>& sources = project.sources();
+namespace {
 
+/// Every file lexed and analyzed, with the cross-file unordered-name
+/// union already applied — the common substrate of run_lint and
+/// dump_graph.
+struct PreparedProject {
   std::vector<PreparedFile> files;
-  files.reserve(sources.size());
   std::map<const Source*, std::size_t> index;
+};
+
+[[nodiscard]] PreparedProject prepare_project(const Project& project) {
+  PreparedProject prepared;
+  const std::vector<Source>& sources = project.sources();
+  prepared.files.reserve(sources.size());
   for (const Source& s : sources) {
-    index.emplace(&s, files.size());
-    files.push_back(prepare(s));
+    prepared.index.emplace(&s, prepared.files.size());
+    prepared.files.push_back(prepare(s));
   }
 
   // Union unordered names over each file's transitive project includes, so
   // a container declared in a header is recognized in the .cpp that walks
   // it.  DFS with a visited set guards against include cycles.
-  for (PreparedFile& f : files) {
+  for (PreparedFile& f : prepared.files) {
     NameSet merged = f.own_unordered;
     std::set<std::size_t> visited;
-    std::vector<std::size_t> stack = {index.at(f.ctx.source)};
+    std::vector<std::size_t> stack = {prepared.index.at(f.ctx.source)};
     while (!stack.empty()) {
       const std::size_t at = stack.back();
       stack.pop_back();
       if (!visited.insert(at).second) continue;
-      for (const IncludeLine& inc : quoted_includes(files[at].ctx)) {
+      for (const IncludeLine& inc : quoted_includes(prepared.files[at].ctx)) {
         const Source* hit = project.resolve(inc.path);
         if (hit == nullptr) continue;
-        const std::size_t next = index.at(hit);
-        merged.insert(files[next].own_unordered.begin(),
-                      files[next].own_unordered.end());
+        const std::size_t next = prepared.index.at(hit);
+        merged.insert(prepared.files[next].own_unordered.begin(),
+                      prepared.files[next].own_unordered.end());
         stack.push_back(next);
       }
     }
     f.ctx.unordered_names = std::move(merged);
   }
+  return prepared;
+}
+
+}  // namespace
+
+std::vector<Finding> run_lint(const Project& project, const Options& options) {
+  PreparedProject prepared = prepare_project(project);
+  std::vector<PreparedFile>& files = prepared.files;
+  std::map<const Source*, std::size_t>& index = prepared.index;
 
   const ProvidedLookup lookup = [&](std::string_view path) -> const NameSet* {
     const Source* hit = project.resolve(path);
@@ -201,9 +232,8 @@ std::vector<Finding> run_lint(const Project& project, const Options& options) {
                      rule) != options.only_rules.end();
   };
 
-  std::vector<Finding> findings;
+  std::vector<Finding> raw;
   for (const PreparedFile& f : files) {
-    std::vector<Finding> raw;
     if (enabled("wallclock")) check_wallclock(f.ctx, raw);
     if (enabled("ambient-rand")) check_ambient_rand(f.ctx, raw);
     if (enabled("unordered-emit")) check_unordered_emit(f.ctx, raw);
@@ -211,10 +241,35 @@ std::vector<Finding> run_lint(const Project& project, const Options& options) {
     if (enabled("header-guard")) check_header_guard(f.ctx, raw);
     if (enabled("include-hygiene")) check_include_hygiene(f.ctx, lookup, raw);
     if (enabled("pod-init")) check_pod_init(f.ctx, raw);
+  }
 
-    const Suppressions s = parse_suppressions(f.ctx);
-    for (Finding& finding : raw)
-      if (!suppressed(s, finding)) findings.push_back(std::move(finding));
+  // Whole-program rules see every file at once; their findings are
+  // anchored to (and suppressible in) individual files all the same.
+  if (enabled("lock-order") || enabled("guard-coverage") ||
+      enabled("unchecked-result") || enabled("unordered-flow")) {
+    std::vector<const FileCtx*> ctxs;
+    ctxs.reserve(files.size());
+    for (const PreparedFile& f : files) ctxs.push_back(&f.ctx);
+    const SymbolIndex symbols = SymbolIndex::build(std::move(ctxs));
+    const CallGraph graph = CallGraph::build(symbols);
+    if (enabled("lock-order")) check_lock_order(symbols, graph, raw);
+    if (enabled("guard-coverage")) check_guard_coverage(symbols, raw);
+    if (enabled("unchecked-result")) check_unchecked_result(symbols, raw);
+    if (enabled("unordered-flow")) check_unordered_flow(symbols, graph, raw);
+  }
+
+  // A finding is filtered through the suppressions of the file it is
+  // anchored in, wherever the rule that produced it ran.
+  std::map<std::string, Suppressions, std::less<>> suppressions_by_path;
+  for (const PreparedFile& f : files)
+    suppressions_by_path.emplace(f.ctx.source->path,
+                                 parse_suppressions(f.ctx));
+  std::vector<Finding> findings;
+  for (Finding& finding : raw) {
+    const auto it = suppressions_by_path.find(finding.path);
+    if (it != suppressions_by_path.end() && suppressed(it->second, finding))
+      continue;
+    findings.push_back(std::move(finding));
   }
 
   std::sort(findings.begin(), findings.end(),
@@ -252,6 +307,81 @@ std::string to_json(const std::vector<Finding>& findings) {
     os << "\"}";
   }
   os << (findings.empty() ? "]" : "\n  ]") << "\n}\n";
+  return os.str();
+}
+
+std::string to_sarif(const std::vector<Finding>& findings) {
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"$schema\": "
+        "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+     << "  \"version\": \"2.1.0\",\n"
+     << "  \"runs\": [{\n"
+     << "    \"tool\": {\"driver\": {\"name\": \"wearscope_lint\", "
+        "\"rules\": [";
+  const std::vector<std::string>& rules = all_rules();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    os << (i == 0 ? "" : ", ") << "{\"id\": \"";
+    json_escape(os, rules[i]);
+    os << "\"}";
+  }
+  os << "]}},\n    \"results\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    os << (i == 0 ? "" : ",") << "\n      {\"ruleId\": \"";
+    json_escape(os, f.rule);
+    os << "\", \"level\": \"error\", \"message\": {\"text\": \"";
+    json_escape(os, f.message);
+    os << "\"}, \"locations\": [{\"physicalLocation\": "
+          "{\"artifactLocation\": {\"uri\": \"";
+    json_escape(os, f.path);
+    os << "\"}, \"region\": {\"startLine\": " << f.line << "}}}]}";
+  }
+  os << (findings.empty() ? "]" : "\n    ]") << "\n  }]\n}\n";
+  return os.str();
+}
+
+std::string dump_graph(const Project& project) {
+  const PreparedProject prepared = prepare_project(project);
+  std::vector<const FileCtx*> ctxs;
+  ctxs.reserve(prepared.files.size());
+  for (const PreparedFile& f : prepared.files) ctxs.push_back(&f.ctx);
+  const SymbolIndex symbols = SymbolIndex::build(std::move(ctxs));
+  const CallGraph graph = CallGraph::build(symbols);
+
+  std::ostringstream os;
+  os << "# classes (" << symbols.classes().size() << ")\n";
+  for (const ClassSym& cls : symbols.classes()) {
+    os << cls.name << "  " << symbols.files()[cls.file]->source->path << ":"
+       << cls.line;
+    if (cls.owns_lock()) os << "  [owns-lock]";
+    os << "\n";
+    for (const FieldSym& field : cls.fields) {
+      os << "  ." << field.name;
+      if (field.is_mutex) os << " [mutex]";
+      if (field.is_atomic) os << " [atomic]";
+      if (field.is_const) os << " [const]";
+      if (!field.guarded_by.empty())
+        os << " guarded_by(" << field.guarded_by << ")";
+      os << "\n";
+    }
+  }
+  os << "# functions (" << symbols.functions().size() << ")\n";
+  for (std::size_t fi = 0; fi < symbols.functions().size(); ++fi) {
+    const FunctionSym& fn = symbols.functions()[fi];
+    os << fn.qualified() << "  "
+       << symbols.files()[fn.file]->source->path << ":" << fn.line;
+    for (const std::string& lock : fn.entry_locks)
+      os << "  requires(" << lock << ")";
+    os << "\n";
+    for (const std::size_t callee : graph.callees(fi))
+      os << "  -> " << symbols.functions()[callee].qualified() << "\n";
+  }
+  const std::vector<LockEdge> edges = collect_lock_edges(symbols, graph);
+  os << "# lock-order edges (" << edges.size() << ")\n";
+  for (const LockEdge& e : edges)
+    os << e.from << " -> " << e.to << "  " << e.path << ":" << e.line
+       << "\n";
   return os.str();
 }
 

@@ -4,7 +4,9 @@
 // WearScope's headline guarantee (bitwise batch/live equivalence, exact
 // quarantine accounting under injected faults) rests on invariants that
 // chaos runs and sanitizers only check *dynamically*.  This pass checks
-// them statically, at lint time, as named suppressible rules:
+// them statically, at lint time, as named suppressible rules.
+//
+// Per-file rules (token-stream, one file at a time):
 //
 //   wallclock           no ambient time in analysis code (time(), clock(),
 //                       argless std::chrono::system_clock::now(), ...)
@@ -23,9 +25,32 @@
 //   pod-init            scalar struct fields in trace/live/serve/sched
 //                       event types must have default initializers
 //
+// Whole-program rules (built on the cross-file symbol index and call
+// graph, see symbols.h / callgraph.h — these see every file in the
+// Project at once and resolve WS_* thread-safety annotations):
+//
+//   lock-order          cycles in the static lock-ordering graph (from
+//                       nested MutexLock/SpinLockGuard scopes, WS_REQUIRES
+//                       contracts, and lock acquisitions reachable through
+//                       up to 3 call hops) are potential deadlocks — the
+//                       static complement to the sched explorer's dynamic
+//                       deadlock detection
+//   guard-coverage      a field of a Mutex/SpinLock-owning class written
+//                       by >= 2 member functions must carry WS_GUARDED_BY
+//                       (or be atomic/const)
+//   unchecked-result    a call to a project [[nodiscard]] function used as
+//                       a bare expression statement discards its result
+//   unordered-flow      interprocedural unordered-emit: a function that
+//                       iterates an unordered container without sorting,
+//                       whose return value reaches report/CSV/markdown
+//                       emission through up to 3 call hops (closes the
+//                       helper-function loophole of the per-file rule)
+//
 // A finding on line N is suppressed by `// wearscope-lint: allow(<rule>)`
 // on line N or alone on line N-1; `// wearscope-lint: allow-file(<rule>)`
-// anywhere suppresses the rule for the whole file.
+// anywhere suppresses the rule for the whole file.  Both forms accept a
+// comma-separated rule list.  A whole-program finding is suppressed by
+// the suppressions of the file it is anchored in.
 //
 // The linter runs on in-memory sources (no filesystem dependency), which
 // is how tests/test_lint.cpp feeds it fixture code; load_tree() is the
@@ -65,6 +90,10 @@ struct Options {
 /// All rule ids, in reporting order.
 [[nodiscard]] const std::vector<std::string>& all_rules();
 
+/// The subset of `rules` that are not valid rule ids (empty = all valid).
+[[nodiscard]] std::vector<std::string> unknown_rules(
+    const std::vector<std::string>& rules);
+
 /// The project under analysis: every source is linted, and headers are
 /// resolvable from each other by include-path suffix.
 class Project {
@@ -94,6 +123,14 @@ class Project {
 /// Machine-readable report for CI trend tracking:
 /// {"total_findings": N, "findings": [{"path","line","rule","message"},...]}
 [[nodiscard]] std::string to_json(const std::vector<Finding>& findings);
+
+/// SARIF 2.1.0 report (one run, one result per finding) so CI can attach
+/// findings inline to changed lines.
+[[nodiscard]] std::string to_sarif(const std::vector<Finding>& findings);
+
+/// Human-readable dump of the whole-program layer (indexed functions and
+/// classes, call edges, lock-ordering edges) for debugging the flow rules.
+[[nodiscard]] std::string dump_graph(const Project& project);
 
 /// Loads every .h/.cpp under `root`/<dir> for each dir into a Project.
 /// Throws util::IoError when a directory cannot be read.

@@ -6,31 +6,15 @@
 
 namespace wearscope::lint {
 
-namespace {
-
-using Code = std::vector<Token>;
-using NameSet = std::set<std::string, std::less<>>;
-
-[[nodiscard]] bool is_ident(const Token& t, std::string_view s) {
+bool is_ident(const Token& t, std::string_view s) {
   return t.kind == TokenKind::kIdentifier && t.text == s;
 }
 
-[[nodiscard]] bool is_punct(const Token& t, std::string_view s) {
+bool is_punct(const Token& t, std::string_view s) {
   return t.kind == TokenKind::kPunct && t.text == s;
 }
 
-[[nodiscard]] bool ends_with(std::string_view s, std::string_view suffix) {
-  return s.size() >= suffix.size() &&
-         s.substr(s.size() - suffix.size()) == suffix;
-}
-
-[[nodiscard]] bool contains(std::string_view s, std::string_view needle) {
-  return s.find(needle) != std::string_view::npos;
-}
-
-/// `i` points at "<": index just past the matching ">" (">>" closes two).
-/// Bails at ";" or "{" so a stray comparison cannot eat the file.
-[[nodiscard]] std::size_t skip_angles(const Code& c, std::size_t i) {
+std::size_t skip_angles(const std::vector<Token>& c, std::size_t i) {
   int depth = 0;
   for (; i < c.size(); ++i) {
     if (is_punct(c[i], "<")) {
@@ -47,16 +31,52 @@ using NameSet = std::set<std::string, std::less<>>;
   return i;
 }
 
-/// `i` points at the opener: index just past its matching closer.
-[[nodiscard]] std::size_t skip_balanced(const Code& c, std::size_t i,
-                                        std::string_view open,
-                                        std::string_view close) {
+std::size_t skip_balanced(const std::vector<Token>& c, std::size_t i,
+                          std::string_view open, std::string_view close) {
   int depth = 0;
   for (; i < c.size(); ++i) {
     if (is_punct(c[i], open)) ++depth;
     if (is_punct(c[i], close) && --depth == 0) return i + 1;
   }
   return i;
+}
+
+TokenMatches match_tokens(const std::vector<Token>& code) {
+  TokenMatches m;
+  m.paren.assign(code.size(), -1);
+  m.bracket.assign(code.size(), -1);
+  m.brace.assign(code.size(), -1);
+  const auto pair_up = [&code](std::string_view open, std::string_view close,
+                               std::vector<std::ptrdiff_t>& match) {
+    std::vector<std::size_t> stack;
+    for (std::size_t i = 0; i < code.size(); ++i) {
+      if (is_punct(code[i], open)) {
+        stack.push_back(i);
+      } else if (is_punct(code[i], close) && !stack.empty()) {
+        match[stack.back()] = static_cast<std::ptrdiff_t>(i);
+        match[i] = static_cast<std::ptrdiff_t>(stack.back());
+        stack.pop_back();
+      }
+    }
+  };
+  pair_up("(", ")", m.paren);
+  pair_up("[", "]", m.bracket);
+  pair_up("{", "}", m.brace);
+  return m;
+}
+
+namespace {
+
+using Code = std::vector<Token>;
+using NameSet = std::set<std::string, std::less<>>;
+
+[[nodiscard]] bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+[[nodiscard]] bool contains(std::string_view s, std::string_view needle) {
+  return s.find(needle) != std::string_view::npos;
 }
 
 constexpr std::array<std::string_view, 4> kUnorderedTypes = {
@@ -375,17 +395,21 @@ constexpr std::array<std::string_view, 13> kEmissionIdents = {
     "fprintf",   "fputs",      "puts",   "FigureData", "Series",
     "StudyReport", "LiveSnapshot", "snprintf"};
 
-[[nodiscard]] bool is_emission_marker(const Token& t) {
+}  // namespace
+
+bool is_emission_marker(const Token& t) {
   if (t.kind != TokenKind::kIdentifier) return false;
   return in_list(t.text, kEmissionIdents) || ends_with(t.text, "Result") ||
          contains(t.text, "markdown") || contains(t.text, "Markdown");
 }
 
-[[nodiscard]] bool is_sort_ident(const Token& t) {
+bool is_sort_ident(const Token& t) {
   return t.kind == TokenKind::kIdentifier &&
          (t.text == "sort" || t.text == "stable_sort" ||
           t.text == "nth_element" || t.text == "partial_sort");
 }
+
+namespace {
 
 /// Innermost enclosing open-brace index for every token (-1 when at
 /// namespace/class scope), plus the match for each brace.

@@ -7,6 +7,7 @@
 // sorted order and must itself pass its own unordered-emit rule.
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <set>
 #include <string>
@@ -36,6 +37,40 @@ struct FileCtx {
 /// include path -> names that header provides, or null when unresolvable.
 using ProvidedLookup =
     std::function<const std::set<std::string, std::less<>>*(std::string_view)>;
+
+// --- Token helpers shared across the lint modules ----------------------
+// (rules.cpp, symbols.cpp, flow_rules.cpp all walk the same streams.)
+
+[[nodiscard]] bool is_ident(const Token& t, std::string_view s);
+[[nodiscard]] bool is_punct(const Token& t, std::string_view s);
+
+/// `i` points at "<": index just past the matching ">" (">>" closes two).
+/// Bails at ";" or "{" so a stray comparison cannot eat the file.
+[[nodiscard]] std::size_t skip_angles(const std::vector<Token>& c,
+                                      std::size_t i);
+
+/// `i` points at the opener: index just past its matching closer.
+[[nodiscard]] std::size_t skip_balanced(const std::vector<Token>& c,
+                                        std::size_t i, std::string_view open,
+                                        std::string_view close);
+
+/// Partner indices for the three bracket pairs: `paren[i]` is the index of
+/// the token matching the "("/")" at i (-1 when unbalanced or not that
+/// punctuator), same for bracket "[]" and brace "{}".  Lets analyses walk
+/// token streams backwards over balanced groups.
+struct TokenMatches {
+  std::vector<std::ptrdiff_t> paren;
+  std::vector<std::ptrdiff_t> bracket;
+  std::vector<std::ptrdiff_t> brace;
+};
+[[nodiscard]] TokenMatches match_tokens(const std::vector<Token>& code);
+
+/// True for identifiers that mark report/CSV/markdown emission (CsvWriter,
+/// StudyReport, *Result, markdown helpers, stdio writers, ...).
+[[nodiscard]] bool is_emission_marker(const Token& t);
+
+/// True for the std sorting algorithms that launder hash order.
+[[nodiscard]] bool is_sort_ident(const Token& t);
 
 // --- Rules (ids as reported in findings) -------------------------------
 void check_wallclock(const FileCtx& f, std::vector<Finding>& out);

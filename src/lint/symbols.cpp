@@ -1,0 +1,477 @@
+#include "lint/symbols.h"
+
+#include <algorithm>
+#include <array>
+#include <utility>
+
+namespace wearscope::lint {
+
+namespace {
+
+using Code = std::vector<Token>;
+
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+/// Keywords that can precede a "(... ) {" shape without being a function.
+constexpr std::array<std::string_view, 10> kNotFunctionNames = {
+    "if",     "for",    "while", "switch",   "catch",
+    "return", "sizeof", "new",   "delete",   "alignof"};
+
+constexpr std::array<std::string_view, 5> kTypeIntroducers = {
+    "class", "struct", "union", "enum", "namespace"};
+
+constexpr std::array<std::string_view, 9> kMemberSkipKeywords = {
+    "using",  "friend", "static", "typedef", "template",
+    "struct", "class",  "enum",   "union"};
+
+[[nodiscard]] bool in_list(std::string_view s, const auto& list) {
+  for (const std::string_view e : list)
+    if (s == e) return true;
+  return false;
+}
+
+/// All `WS_REQUIRES(a, b)`-style arguments: the last identifier of every
+/// comma-separated expression between `open` (the "(") and its match.
+void collect_lock_args(const Code& c, std::size_t open, std::ptrdiff_t close,
+                       std::vector<std::string>& out) {
+  if (close < 0) return;
+  std::string last;
+  bool negated = false;  // `WS_REQUIRES(!m)` means must NOT hold m
+  for (std::size_t i = open + 1; i < static_cast<std::size_t>(close); ++i) {
+    if (c[i].kind == TokenKind::kIdentifier) last = std::string(c[i].text);
+    if (is_punct(c[i], "!")) negated = true;
+    if (is_punct(c[i], ",")) {
+      if (!last.empty() && !negated) out.push_back(std::move(last));
+      last.clear();
+      negated = false;
+    }
+  }
+  if (!last.empty() && !negated) out.push_back(std::move(last));
+}
+
+/// Walks one class body and fills fields + method_requires.  Modeled on
+/// the pod-init member walker, but WS_* annotation macros are transparent
+/// (their parens must not make a field look like a method) and in-class
+/// method definition bodies terminate the declaration without a ';'.
+void parse_members(const Code& c, const TokenMatches& matches, ClassSym& cls) {
+  std::size_t k = cls.body_begin + 1;
+  const std::size_t body_end = cls.body_end;
+  while (k < body_end) {
+    if ((is_ident(c[k], "public") || is_ident(c[k], "private") ||
+         is_ident(c[k], "protected")) &&
+        k + 1 < body_end && is_punct(c[k + 1], ":")) {
+      k += 2;
+      continue;
+    }
+    std::vector<std::size_t> decl;
+    std::string guarded_by;
+    std::string method_name;
+    std::vector<std::string> requires_locks;
+    bool has_paren = false;
+    bool has_init = false;
+    bool skip = false;
+    std::size_t name_limit = 0;  ///< decl tokens before the initializer
+    while (k < body_end) {
+      const Token& t = c[k];
+      if (is_punct(t, ";")) {
+        ++k;
+        break;
+      }
+      if (t.kind == TokenKind::kIdentifier && starts_with(t.text, "WS_")) {
+        const bool call = k + 1 < body_end && is_punct(c[k + 1], "(");
+        if (call) {
+          if (t.text == "WS_GUARDED_BY" || t.text == "WS_PT_GUARDED_BY") {
+            std::vector<std::string> args;
+            collect_lock_args(c, k + 1, matches.paren[k + 1], args);
+            if (!args.empty()) guarded_by = args.back();
+          } else if (t.text == "WS_REQUIRES" || t.text == "WS_ACQUIRE") {
+            collect_lock_args(c, k + 1, matches.paren[k + 1], requires_locks);
+          }
+          k = skip_balanced(c, k + 1, "(", ")");
+        } else {
+          ++k;
+        }
+        continue;
+      }
+      if (is_punct(t, "{")) {
+        if (has_paren) {
+          // In-class method definition: the body ends the declaration.
+          k = skip_balanced(c, k, "{", "}");
+          if (k < body_end && is_punct(c[k], ";")) ++k;
+          break;
+        }
+        has_init = true;  // brace initializer (or a nested type's body)
+        k = skip_balanced(c, k, "{", "}");
+        continue;
+      }
+      if (is_punct(t, "(")) {
+        if (!has_paren && method_name.empty() && !decl.empty() &&
+            c[decl.back()].kind == TokenKind::kIdentifier)
+          method_name = std::string(c[decl.back()].text);
+        has_paren = true;
+        k = skip_balanced(c, k, "(", ")");
+        continue;
+      }
+      if (is_punct(t, "<")) {
+        k = skip_angles(c, k);
+        continue;
+      }
+      if (is_punct(t, "=") && !has_init) {
+        has_init = true;
+        name_limit = decl.size();  // the name precedes the initializer
+      }
+      if (t.kind == TokenKind::kIdentifier &&
+          in_list(t.text, kMemberSkipKeywords))
+        skip = true;
+      decl.push_back(k);
+      ++k;
+    }
+    if (!has_init || name_limit == 0) name_limit = decl.size();
+    if (skip) continue;
+    if (has_paren) {
+      if (!method_name.empty() && !requires_locks.empty())
+        cls.method_requires[method_name] = std::move(requires_locks);
+      continue;
+    }
+    if (has_init && decl.empty()) continue;
+    if (decl.size() < 2) continue;  // need at least a type and a name
+    FieldSym field;
+    for (std::size_t a = 0; a < name_limit; ++a) {
+      const Token& t = c[decl[a]];
+      if (t.kind != TokenKind::kIdentifier) continue;
+      if (t.text == "Mutex" || t.text == "SpinLock") field.is_mutex = true;
+      if (t.text == "atomic") field.is_atomic = true;
+      if (t.text == "const") field.is_const = true;
+    }
+    // The declared name: the last identifier before any initializer
+    // (bitfield widths and array extents lex as numbers, not identifiers).
+    const auto name_it = std::find_if(
+        decl.rend() - static_cast<std::ptrdiff_t>(name_limit), decl.rend(),
+        [&](std::size_t idx) {
+          return c[idx].kind == TokenKind::kIdentifier;
+        });
+    if (name_it == decl.rend()) continue;
+    const Token& name = c[*name_it];
+    // Reject qualified trailing names (`Foo::iterator` style artifacts).
+    if (*name_it + 1 < c.size() && is_punct(c[*name_it + 1], "::")) continue;
+    field.name = std::string(name.text);
+    field.guarded_by = std::move(guarded_by);
+    field.line = name.line;
+    cls.fields.push_back(std::move(field));
+  }
+}
+
+/// Scans one file for class/struct definitions (incl. nested ones).
+void scan_classes(const FileCtx& f, std::size_t file_index,
+                  const TokenMatches& matches,
+                  std::vector<ClassSym>& out) {
+  const Code& c = f.code;
+  for (std::size_t i = 0; i + 1 < c.size(); ++i) {
+    if (!is_ident(c[i], "struct") && !is_ident(c[i], "class")) continue;
+    if (i > 0 && is_ident(c[i - 1], "enum")) continue;
+    std::size_t j = i + 1;
+    // Skip [[attributes]] and WS_* annotation macros before the name.
+    for (;;) {
+      if (j + 1 < c.size() && is_punct(c[j], "[") && is_punct(c[j + 1], "[")) {
+        while (j < c.size() && !is_punct(c[j], "]")) ++j;
+        while (j < c.size() && is_punct(c[j], "]")) ++j;
+        continue;
+      }
+      if (j < c.size() && c[j].kind == TokenKind::kIdentifier &&
+          starts_with(c[j].text, "WS_")) {
+        if (j + 1 < c.size() && is_punct(c[j + 1], "(")) {
+          j = skip_balanced(c, j + 1, "(", ")");
+        } else {
+          ++j;
+        }
+        continue;
+      }
+      break;
+    }
+    if (j >= c.size() || c[j].kind != TokenKind::kIdentifier) continue;
+    ClassSym cls;
+    cls.name = std::string(c[j].text);
+    cls.line = c[j].line;
+    cls.file = file_index;
+    ++j;
+    if (j < c.size() && is_punct(c[j], "<")) j = skip_angles(c, j);
+    while (j < c.size() && is_ident(c[j], "final")) ++j;
+    if (j < c.size() && is_punct(c[j], ":"))  // base list
+      while (j < c.size() && !is_punct(c[j], "{") && !is_punct(c[j], ";")) ++j;
+    if (j >= c.size() || !is_punct(c[j], "{")) continue;  // fwd decl
+    if (matches.brace[j] < 0) continue;
+    cls.body_begin = j;
+    cls.body_end = static_cast<std::size_t>(matches.brace[j]);
+    parse_members(c, matches, cls);
+    out.push_back(std::move(cls));
+  }
+}
+
+/// One [[nodiscard]] function declaration: the name and where it sits
+/// (so the builder can tell class methods from free functions).
+struct NodiscardDecl {
+  std::size_t token = 0;
+  std::string name;
+};
+
+/// Scans one file for [[nodiscard]]-declared function names.
+void scan_nodiscard(const FileCtx& f, std::vector<NodiscardDecl>& out) {
+  const Code& c = f.code;
+  for (std::size_t i = 1; i < c.size(); ++i) {
+    if (!is_ident(c[i], "nodiscard") || !is_punct(c[i - 1], "[")) continue;
+    std::size_t j = i;
+    while (j < c.size() &&
+           !(is_punct(c[j], "]") && j + 1 < c.size() &&
+             is_punct(c[j + 1], "]")))
+      ++j;
+    j += 2;
+    // First identifier directly applied to "(" before the declaration
+    // ends: that is the declared function's name.
+    while (j < c.size()) {
+      const Token& t = c[j];
+      if (is_punct(t, ";") || is_punct(t, "{") || is_punct(t, "}")) break;
+      if (is_ident(t, "operator")) break;  // conversion/overload: skip
+      if (is_punct(t, "<")) {
+        j = skip_angles(c, j);
+        continue;
+      }
+      if (t.kind == TokenKind::kIdentifier && j + 1 < c.size() &&
+          is_punct(c[j + 1], "(") && !starts_with(t.text, "WS_")) {
+        out.push_back({j, std::string(t.text)});
+        break;
+      }
+      ++j;
+    }
+  }
+}
+
+/// Walks back over one "<...>" template-argument group; `i` points at the
+/// ">".  Returns the index before the matching "<" (best effort).
+[[nodiscard]] std::ptrdiff_t skip_angles_back(const Code& c,
+                                              std::ptrdiff_t i) {
+  int depth = 0;
+  for (; i >= 0; --i) {
+    if (is_punct(c[static_cast<std::size_t>(i)], ">")) ++depth;
+    if (is_punct(c[static_cast<std::size_t>(i)], ">>")) depth += 2;
+    if (is_punct(c[static_cast<std::size_t>(i)], "<") && --depth <= 0)
+      return i - 1;
+    if (is_punct(c[static_cast<std::size_t>(i)], ";") ||
+        is_punct(c[static_cast<std::size_t>(i)], "{") ||
+        is_punct(c[static_cast<std::size_t>(i)], "}"))
+      return i;  // bail: stray comparison, not template args
+  }
+  return i;
+}
+
+/// Scans one file for function definitions.
+void scan_functions(const FileCtx& f, std::size_t file_index,
+                    const TokenMatches& matches,
+                    std::vector<FunctionSym>& out) {
+  const Code& c = f.code;
+  for (std::size_t b = 0; b < c.size(); ++b) {
+    if (!is_punct(c[b], "{") || matches.brace[b] < 0) continue;
+    // Walk back from the "{" over the declarator to the statement
+    // boundary, collecting every balanced "(...)" group passed: the
+    // earliest one is the parameter list (later ones are WS_* annotation
+    // arguments or constructor-initializer calls).
+    std::vector<std::size_t> groups;
+    bool type_body = false;
+    std::ptrdiff_t i = static_cast<std::ptrdiff_t>(b) - 1;
+    while (i >= 0) {
+      const Token& t = c[static_cast<std::size_t>(i)];
+      if (is_punct(t, ")")) {
+        const std::ptrdiff_t open = matches.paren[static_cast<std::size_t>(i)];
+        if (open < 0) break;
+        groups.push_back(static_cast<std::size_t>(open));
+        i = open - 1;
+        continue;
+      }
+      if (is_punct(t, "]")) {
+        const std::ptrdiff_t open =
+            matches.bracket[static_cast<std::size_t>(i)];
+        if (open < 0) break;
+        i = open - 1;
+        continue;
+      }
+      if (is_punct(t, ">") || is_punct(t, ">>")) {
+        i = skip_angles_back(c, i);
+        continue;
+      }
+      if (is_punct(t, ";") || is_punct(t, "{") || is_punct(t, "}")) break;
+      if (t.kind == TokenKind::kIdentifier && in_list(t.text, kTypeIntroducers))
+        type_body = true;
+      --i;
+    }
+    if (groups.empty() || type_body) continue;
+    const std::size_t params = groups.back();
+    if (params == 0) continue;
+    std::size_t n = params - 1;  // candidate name token
+    if (c[n].kind != TokenKind::kIdentifier) continue;
+    if (in_list(c[n].text, kNotFunctionNames)) continue;
+    if (starts_with(c[n].text, "WS_")) continue;
+    if (n > 0 && is_ident(c[n - 1], "operator")) continue;
+
+    FunctionSym fn;
+    fn.name = std::string(c[n].text);
+    fn.line = c[n].line;
+    fn.file = file_index;
+    std::size_t qual = n;  // token index where the name chain starts
+    if (n > 0 && is_punct(c[n - 1], "~")) {
+      fn.name = "~" + fn.name;
+      qual = n - 1;
+    }
+    if (qual >= 2 && is_punct(c[qual - 1], "::") &&
+        c[qual - 2].kind == TokenKind::kIdentifier)
+      fn.class_name = std::string(c[qual - 2].text);
+    fn.decl_begin = static_cast<std::size_t>(i + 1);
+    fn.body_begin = b;
+    fn.body_end = static_cast<std::size_t>(matches.brace[b]);
+
+    // WS_REQUIRES/WS_ACQUIRE between the parameter list and the body.
+    const std::ptrdiff_t params_close = matches.paren[params];
+    for (std::size_t j = params_close < 0 ? b
+                                          : static_cast<std::size_t>(
+                                                params_close);
+         j + 1 < b; ++j) {
+      if (c[j].kind == TokenKind::kIdentifier &&
+          (c[j].text == "WS_REQUIRES" || c[j].text == "WS_ACQUIRE") &&
+          is_punct(c[j + 1], "("))
+        collect_lock_args(c, j + 1, matches.paren[j + 1], fn.entry_locks);
+    }
+
+    // Return type: a bare `void` in the declarator (not `void*`).
+    for (std::size_t j = fn.decl_begin; j < n; ++j) {
+      if (is_ident(c[j], "void") &&
+          !(j + 1 < n && is_punct(c[j + 1], "*"))) {
+        fn.returns_void = true;
+        break;
+      }
+      if (is_punct(c[j], "<")) j = skip_angles(c, j) - 1;
+    }
+    out.push_back(std::move(fn));
+  }
+}
+
+}  // namespace
+
+const FieldSym* ClassSym::field(std::string_view field_name) const {
+  for (const FieldSym& f : fields)
+    if (f.name == field_name) return &f;
+  return nullptr;
+}
+
+bool ClassSym::owns_lock() const {
+  for (const FieldSym& f : fields)
+    if (f.is_mutex) return true;
+  return false;
+}
+
+SymbolIndex SymbolIndex::build(std::vector<const FileCtx*> files) {
+  SymbolIndex index;
+  index.files_ = std::move(files);
+  std::vector<std::vector<NodiscardDecl>> nodiscard_decls(
+      index.files_.size());
+  for (std::size_t fi = 0; fi < index.files_.size(); ++fi) {
+    const FileCtx& ctx = *index.files_[fi];
+    const TokenMatches matches = match_tokens(ctx.code);
+    scan_classes(ctx, fi, matches, index.classes_);
+    scan_functions(ctx, fi, matches, index.functions_);
+    scan_nodiscard(ctx, nodiscard_decls[fi]);
+  }
+  // Classify [[nodiscard]] declarations now that class spans are known: a
+  // declaration inside a class body is that class's method, everything
+  // else is a free function.
+  for (std::size_t fi = 0; fi < index.files_.size(); ++fi) {
+    for (NodiscardDecl& decl : nodiscard_decls[fi]) {
+      if (const ClassSym* cls = index.enclosing_class(fi, decl.token)) {
+        index.nodiscard_methods_[cls->name].insert(std::move(decl.name));
+      } else {
+        index.nodiscard_free_files_[decl.name].insert(fi);
+        index.nodiscard_.insert(std::move(decl.name));
+      }
+    }
+  }
+  for (std::size_t ci = 0; ci < index.classes_.size(); ++ci)
+    index.class_by_name_[index.classes_[ci].name].push_back(ci);
+  for (std::size_t ni = 0; ni < index.functions_.size(); ++ni) {
+    FunctionSym& fn = index.functions_[ni];
+    // An unqualified definition inside a class body is that class's
+    // method (out-of-line definitions already carry the `X::` qualifier).
+    if (fn.class_name.empty()) {
+      if (const ClassSym* cls =
+              index.enclosing_class(fn.file, fn.body_begin))
+        fn.class_name = cls->name;
+    }
+    // The locking contract usually lives on the in-class declaration;
+    // fold it into the definition's entry set.
+    if (!fn.class_name.empty()) {
+      if (const std::vector<std::size_t>* owners =
+              index.classes_named(fn.class_name)) {
+        for (const std::size_t ci : *owners) {
+          const auto it =
+              index.classes_[ci].method_requires.find(fn.name);
+          if (it == index.classes_[ci].method_requires.end()) continue;
+          for (const std::string& lock : it->second)
+            if (std::find(fn.entry_locks.begin(), fn.entry_locks.end(),
+                          lock) == fn.entry_locks.end())
+              fn.entry_locks.push_back(lock);
+        }
+      }
+    }
+    index.fn_by_name_[fn.name].push_back(ni);
+  }
+  return index;
+}
+
+const std::vector<std::size_t>* SymbolIndex::functions_named(
+    std::string_view name) const {
+  const auto it = fn_by_name_.find(name);
+  return it == fn_by_name_.end() ? nullptr : &it->second;
+}
+
+const std::vector<std::size_t>* SymbolIndex::classes_named(
+    std::string_view name) const {
+  const auto it = class_by_name_.find(name);
+  return it == class_by_name_.end() ? nullptr : &it->second;
+}
+
+const FunctionSym* SymbolIndex::enclosing_function(std::size_t file,
+                                                   std::size_t k) const {
+  const FunctionSym* best = nullptr;
+  for (const FunctionSym& fn : functions_) {
+    if (fn.file != file || fn.body_begin >= k || fn.body_end <= k) continue;
+    if (best == nullptr ||
+        fn.body_end - fn.body_begin < best->body_end - best->body_begin)
+      best = &fn;
+  }
+  return best;
+}
+
+const std::set<std::string, std::less<>>* SymbolIndex::nodiscard_methods(
+    std::string_view class_name) const {
+  const auto it = nodiscard_methods_.find(class_name);
+  return it == nodiscard_methods_.end() ? nullptr : &it->second;
+}
+
+bool SymbolIndex::nodiscard_free_in(std::size_t file,
+                                    std::string_view name) const {
+  const auto it = nodiscard_free_files_.find(name);
+  return it != nodiscard_free_files_.end() && it->second.contains(file);
+}
+
+const ClassSym* SymbolIndex::enclosing_class(std::size_t file,
+                                             std::size_t k) const {
+  const ClassSym* best = nullptr;
+  for (const ClassSym& cls : classes_) {
+    if (cls.file != file || cls.body_begin >= k || cls.body_end <= k)
+      continue;
+    if (best == nullptr ||
+        cls.body_end - cls.body_begin < best->body_end - best->body_begin)
+      best = &cls;
+  }
+  return best;
+}
+
+}  // namespace wearscope::lint

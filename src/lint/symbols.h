@@ -1,0 +1,153 @@
+// Cross-file symbol index for wearscope::lint — the structural layer the
+// flow-aware rules (flow_rules.h) and the call graph (callgraph.h) stand
+// on.
+//
+// Built purely from the per-file token streams the per-file rules already
+// use: no compiler front end, no filesystem.  For every file in the
+// Project the index records
+//
+//   * class/struct definitions with their data members, including which
+//     members are synchronization primitives (util::Mutex, util::SpinLock)
+//     and which carry WS_GUARDED_BY annotations;
+//   * method declarations' WS_REQUIRES / WS_ACQUIRE lock lists, so an
+//     out-of-line `Class::method` definition inherits the contract its
+//     in-class declaration spelled out;
+//   * function definitions — free functions, in-class methods and
+//     out-of-line `Class::method` bodies — with their token spans, so a
+//     rule can walk exactly one function's body;
+//   * the set of project function names declared [[nodiscard]].
+//
+// The parser is heuristic (it is linting this project, not arbitrary
+// C++): lambdas, operator overloads and function-typed members are
+// deliberately skipped, and anything ambiguous is left out of the index
+// rather than guessed at — a missing symbol degrades a flow rule to
+// silence, never to a false finding.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/rules.h"
+
+namespace wearscope::lint {
+
+/// One data member of an indexed class.
+struct FieldSym {
+  std::string name;
+  std::string guarded_by;  ///< WS_GUARDED_BY argument; empty = unannotated.
+  int line = 0;
+  bool is_mutex = false;   ///< util::Mutex / util::SpinLock typed.
+  bool is_atomic = false;  ///< std::atomic<...> (self-synchronizing).
+  bool is_const = false;   ///< `const` (immutable after construction).
+};
+
+/// One class/struct definition (nested classes index separately).
+struct ClassSym {
+  std::string name;
+  std::size_t file = 0;  ///< Index into SymbolIndex::files().
+  int line = 0;
+  std::size_t body_begin = 0;  ///< Code-token index of '{'.
+  std::size_t body_end = 0;    ///< Code-token index of the matching '}'.
+  std::vector<FieldSym> fields;
+  /// method name -> locks its in-class declaration WS_REQUIRES/WS_ACQUIREs.
+  std::map<std::string, std::vector<std::string>, std::less<>>
+      method_requires;
+
+  [[nodiscard]] const FieldSym* field(std::string_view field_name) const;
+  [[nodiscard]] bool owns_lock() const;
+};
+
+/// One function definition (a body, not a mere declaration).
+struct FunctionSym {
+  std::string name;        ///< Unqualified ("publish").
+  std::string class_name;  ///< Enclosing or `X::`-qualifying class; may be
+                           ///< empty (free function).
+  std::size_t file = 0;    ///< Index into SymbolIndex::files().
+  int line = 0;
+  std::size_t decl_begin = 0;  ///< First declarator token (return type).
+  std::size_t body_begin = 0;  ///< Code-token index of '{'.
+  std::size_t body_end = 0;    ///< Code-token index of the matching '}'.
+  /// Locks held on entry: WS_REQUIRES/WS_ACQUIRE on the definition plus
+  /// the in-class declaration (raw argument spellings, uncanonicalized).
+  std::vector<std::string> entry_locks;
+  bool returns_void = false;
+
+  [[nodiscard]] std::string qualified() const {
+    return class_name.empty() ? name : class_name + "::" + name;
+  }
+};
+
+/// The whole-Project symbol table.  Pointers into `files()` stay valid for
+/// the index's lifetime; the FileCtx objects must outlive it.
+class SymbolIndex {
+ public:
+  /// Indexes every file.  `files[i]` keeps position i in files().
+  [[nodiscard]] static SymbolIndex build(
+      std::vector<const FileCtx*> files);
+
+  [[nodiscard]] const std::vector<const FileCtx*>& files() const noexcept {
+    return files_;
+  }
+  [[nodiscard]] const std::vector<ClassSym>& classes() const noexcept {
+    return classes_;
+  }
+  [[nodiscard]] const std::vector<FunctionSym>& functions() const noexcept {
+    return functions_;
+  }
+
+  /// Indices into functions() with this unqualified name (sorted); null
+  /// when the name resolves to nothing.
+  [[nodiscard]] const std::vector<std::size_t>* functions_named(
+      std::string_view name) const;
+
+  /// Classes with this name (sorted indices into classes()); null when
+  /// unknown.  Multiple hits are possible (same name in two namespaces).
+  [[nodiscard]] const std::vector<std::size_t>* classes_named(
+      std::string_view name) const;
+
+  /// Innermost indexed class whose body span contains code token `k` of
+  /// file `file`; null at namespace scope.
+  [[nodiscard]] const ClassSym* enclosing_class(std::size_t file,
+                                                std::size_t k) const;
+
+  /// Innermost function whose body span contains code token `k` of file
+  /// `file` (out-of-line definitions included); null outside any body.
+  [[nodiscard]] const FunctionSym* enclosing_function(std::size_t file,
+                                                      std::size_t k) const;
+
+  /// Free (namespace-scope) project function names declared [[nodiscard]].
+  [[nodiscard]] const std::set<std::string, std::less<>>& nodiscard_names()
+      const noexcept {
+    return nodiscard_;
+  }
+
+  /// [[nodiscard]] method names declared inside class `class_name`'s body;
+  /// null when that class declares none.
+  [[nodiscard]] const std::set<std::string, std::less<>>* nodiscard_methods(
+      std::string_view class_name) const;
+
+  /// True when file `file` itself declares free function `name`
+  /// [[nodiscard]] — lets a same-file definition shadow an unrelated
+  /// same-named nodiscard function from another file.
+  [[nodiscard]] bool nodiscard_free_in(std::size_t file,
+                                       std::string_view name) const;
+
+ private:
+  std::vector<const FileCtx*> files_;
+  std::vector<ClassSym> classes_;
+  std::vector<FunctionSym> functions_;
+  std::map<std::string, std::vector<std::size_t>, std::less<>> fn_by_name_;
+  std::map<std::string, std::vector<std::size_t>, std::less<>>
+      class_by_name_;
+  std::set<std::string, std::less<>> nodiscard_;
+  std::map<std::string, std::set<std::string, std::less<>>, std::less<>>
+      nodiscard_methods_;
+  std::map<std::string, std::set<std::size_t>, std::less<>>
+      nodiscard_free_files_;
+};
+
+}  // namespace wearscope::lint

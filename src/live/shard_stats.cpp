@@ -86,13 +86,18 @@ ShardSnapshot ShardStats::snapshot(std::size_t shard) const {
   snap.adoption = adoption_.tally();
   snap.activity = activity_.tally();
   snap.apps = app_tally_;
+  // Keyed writes into the (ordered) tally maps: each key is visited once,
+  // so hash-map iteration order cannot reach the emitted value.
+  // wearscope-lint: allow(unordered-flow)
   for (const auto& [app, users] : app_users_) {
     snap.apps.apps[app].distinct_users = users.size();
   }
   snap.sectors = sector_tally_;
+  // Same keyed-write shape as above.  wearscope-lint: allow(unordered-flow)
   for (const auto& [sector, users] : sector_users_) {
     snap.sectors.sectors[sector].distinct_users = users.size();
   }
+  // Same keyed-write shape as above.  wearscope-lint: allow(unordered-flow)
   for (const auto& [sector, users] : sector_wearable_users_) {
     snap.sectors.sectors[sector].wearable_users = users.size();
   }

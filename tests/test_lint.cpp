@@ -7,10 +7,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cctype>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "lint/lexer.h"
+#include "util/error.h"
 
 namespace wearscope::lint {
 namespace {
@@ -409,8 +412,553 @@ TEST(LintDriver, FindingsSortedAndJsonWellFormed) {
 
 TEST(LintDriver, AllRulesListedOnce) {
   const auto& rules = all_rules();
-  EXPECT_EQ(rules.size(), 7u);
+  EXPECT_EQ(rules.size(), 11u);
   EXPECT_TRUE(std::is_sorted(rules.begin(), rules.end()));
+}
+
+TEST(LintDriver, UnknownRulesReported) {
+  EXPECT_TRUE(unknown_rules({"wallclock", "lock-order"}).empty());
+  const auto bad = unknown_rules({"wallclock", "bogus-rule"});
+  ASSERT_EQ(bad.size(), 1u);
+  EXPECT_EQ(bad[0], "bogus-rule");
+}
+
+// --- suppression parsing -------------------------------------------------
+
+TEST(LintSuppression, AllowFileMultipleRules) {
+  EXPECT_TRUE(lint_one("// wearscope-lint: allow-file(ambient-rand, "
+                       "wallclock)\n"
+                       "void f() { std::rand(); time(nullptr); }\n")
+                  .empty());
+}
+
+TEST(LintSuppression, AllowMultipleRulesOneLine) {
+  EXPECT_TRUE(lint_one("void f() {\n"
+                       "  // wearscope-lint: allow(wallclock, ambient-rand)\n"
+                       "  long x = std::rand() + time(nullptr);\n"
+                       "}\n")
+                  .empty());
+}
+
+// --- load_tree error paths -----------------------------------------------
+
+TEST(LintLoadTree, MissingDirThrowsIoError) {
+  EXPECT_THROW(load_tree(WEARSCOPE_SOURCE_DIR, {"no_such_dir_xyz"}),
+               util::IoError);
+}
+
+TEST(LintLoadTree, FileAsDirThrowsIoError) {
+  // A path that exists but is not a directory must fail the same way.
+  EXPECT_THROW(load_tree(WEARSCOPE_SOURCE_DIR, {"CMakeLists.txt"}),
+               util::IoError);
+}
+
+// --- lock-order ----------------------------------------------------------
+
+constexpr const char* kLockClassesHeader =
+    "#pragma once\n"
+    "struct DevA { util::Mutex mu_a; };\n"
+    "struct DevB { util::Mutex mu_b; };\n";
+
+TEST(LintLockOrder, FlagsTwoMutexInversion) {
+  Project p;
+  p.add(Source{"src/live/locks.h", kLockClassesHeader});
+  p.add(Source{"src/live/x.cpp",
+               "#include \"live/locks.h\"\n"
+               "void foo(DevA& a, DevB& b) {\n"
+               "  util::MutexLock l1(a.mu_a);\n"
+               "  util::MutexLock l2(b.mu_b);\n"
+               "}\n"
+               "void bar(DevA& a, DevB& b) {\n"
+               "  util::MutexLock l1(b.mu_b);\n"
+               "  util::MutexLock l2(a.mu_a);\n"
+               "}\n"});
+  const auto f = run_lint(p);
+  ASSERT_TRUE(has_rule(f, "lock-order"));
+  EXPECT_NE(f[0].message.find("DevA::mu_a"), std::string::npos);
+  EXPECT_NE(f[0].message.find("DevB::mu_b"), std::string::npos);
+}
+
+TEST(LintLockOrder, CrossFileCycle) {
+  // The two halves of the inversion live in different files; only the
+  // whole-program graph can see the cycle.
+  Project p;
+  p.add(Source{"src/live/locks.h", kLockClassesHeader});
+  p.add(Source{"src/live/foo.cpp",
+               "#include \"live/locks.h\"\n"
+               "void foo(DevA& a, DevB& b) {\n"
+               "  util::MutexLock l1(a.mu_a);\n"
+               "  util::MutexLock l2(b.mu_b);\n"
+               "}\n"});
+  p.add(Source{"src/live/bar.cpp",
+               "#include \"live/locks.h\"\n"
+               "void bar(DevA& a, DevB& b) {\n"
+               "  util::MutexLock l1(b.mu_b);\n"
+               "  util::MutexLock l2(a.mu_a);\n"
+               "}\n"});
+  const auto f = run_lint(p);
+  ASSERT_TRUE(has_rule(f, "lock-order"));
+  EXPECT_NE(f[0].message.find("src/live/foo.cpp"), std::string::npos);
+  EXPECT_NE(f[0].message.find("src/live/bar.cpp"), std::string::npos);
+}
+
+TEST(LintLockOrder, HierarchicalOrderQuiet) {
+  Project p;
+  p.add(Source{"src/live/locks.h", kLockClassesHeader});
+  p.add(Source{"src/live/foo.cpp",
+               "#include \"live/locks.h\"\n"
+               "void foo(DevA& a, DevB& b) {\n"
+               "  util::MutexLock l1(a.mu_a);\n"
+               "  util::MutexLock l2(b.mu_b);\n"
+               "}\n"});
+  p.add(Source{"src/live/bar.cpp",
+               "#include \"live/locks.h\"\n"
+               "void bar(DevA& a, DevB& b) {\n"
+               "  util::MutexLock l1(a.mu_a);\n"
+               "  util::MutexLock l2(b.mu_b);\n"
+               "}\n"});
+  EXPECT_FALSE(has_rule(run_lint(p), "lock-order"));
+}
+
+TEST(LintLockOrder, CycleThroughCallHop) {
+  // foo never locks mu_b itself: the edge comes from calling lock_b()
+  // while holding mu_a.
+  Project p;
+  p.add(Source{"src/live/locks.h", kLockClassesHeader});
+  p.add(Source{"src/live/foo.cpp",
+               "#include \"live/locks.h\"\n"
+               "void lock_b(DevB& b) { util::MutexLock l(b.mu_b); }\n"
+               "void foo(DevA& a, DevB& b) {\n"
+               "  util::MutexLock l(a.mu_a);\n"
+               "  lock_b(b);\n"
+               "}\n"});
+  p.add(Source{"src/live/bar.cpp",
+               "#include \"live/locks.h\"\n"
+               "void bar(DevA& a, DevB& b) {\n"
+               "  util::MutexLock l1(b.mu_b);\n"
+               "  util::MutexLock l2(a.mu_a);\n"
+               "}\n"});
+  EXPECT_TRUE(has_rule(run_lint(p), "lock-order"));
+}
+
+TEST(LintLockOrder, RequiresAnnotationMakesEdge) {
+  // poke() never locks mu_a in its body; WS_REQUIRES on the in-class
+  // declaration is what puts mu_a in the held set.
+  Project p;
+  p.add(Source{"src/live/locks.h",
+               "#pragma once\n"
+               "struct DevB { util::Mutex mu_b; };\n"
+               "struct DevA {\n"
+               "  util::Mutex mu_a;\n"
+               "  void poke(DevB& b) WS_REQUIRES(mu_a);\n"
+               "};\n"});
+  p.add(Source{"src/live/foo.cpp",
+               "#include \"live/locks.h\"\n"
+               "void DevA::poke(DevB& b) { util::MutexLock l(b.mu_b); }\n"});
+  p.add(Source{"src/live/bar.cpp",
+               "#include \"live/locks.h\"\n"
+               "void bar(DevA& a, DevB& b) {\n"
+               "  util::MutexLock l1(b.mu_b);\n"
+               "  util::MutexLock l2(a.mu_a);\n"
+               "}\n"});
+  EXPECT_TRUE(has_rule(run_lint(p), "lock-order"));
+}
+
+TEST(LintLockOrder, AllowFileSuppression) {
+  Project p;
+  p.add(Source{"src/live/locks.h", kLockClassesHeader});
+  p.add(Source{"src/live/x.cpp",
+               "// Intentional for the test. wearscope-lint: "
+               "allow-file(lock-order)\n"
+               "#include \"live/locks.h\"\n"
+               "void foo(DevA& a, DevB& b) {\n"
+               "  util::MutexLock l1(a.mu_a);\n"
+               "  util::MutexLock l2(b.mu_b);\n"
+               "}\n"
+               "void bar(DevA& a, DevB& b) {\n"
+               "  util::MutexLock l1(b.mu_b);\n"
+               "  util::MutexLock l2(a.mu_a);\n"
+               "}\n"});
+  EXPECT_FALSE(has_rule(run_lint(p), "lock-order"));
+}
+
+// --- guard-coverage ------------------------------------------------------
+
+TEST(LintGuardCoverage, FlagsUnguardedSharedField) {
+  const auto f = lint_one(
+      "class Acc {\n"
+      " public:\n"
+      "  void add(long v) { util::MutexLock l(mu_); total_ += v; }\n"
+      "  void reset() { util::MutexLock l(mu_); total_ = 0; }\n"
+      " private:\n"
+      "  util::Mutex mu_;\n"
+      "  long total_ = 0;\n"
+      "};\n");
+  ASSERT_TRUE(has_rule(f, "guard-coverage"));
+  EXPECT_EQ(f[0].line, 7);
+  EXPECT_NE(f[0].message.find("total_"), std::string::npos);
+}
+
+TEST(LintGuardCoverage, AnnotatedOrAtomicOrSingleWriterQuiet) {
+  EXPECT_FALSE(has_rule(
+      lint_one("class Acc {\n"
+               " public:\n"
+               "  void add(long v) { util::MutexLock l(mu_); total_ += v; }\n"
+               "  void reset() { util::MutexLock l(mu_); total_ = 0; }\n"
+               " private:\n"
+               "  util::Mutex mu_;\n"
+               "  long total_ WS_GUARDED_BY(mu_) = 0;\n"
+               "};\n"),
+      "guard-coverage"));
+  EXPECT_FALSE(has_rule(
+      lint_one("class Acc {\n"
+               " public:\n"
+               "  void add(long v) { total_ += v; }\n"
+               "  void reset() { total_ = 0; }\n"
+               " private:\n"
+               "  util::Mutex mu_;\n"
+               "  std::atomic<long> total_{0};\n"
+               "};\n"),
+      "guard-coverage"));
+  EXPECT_FALSE(has_rule(
+      lint_one("class Acc {\n"
+               " public:\n"
+               "  void add(long v) { util::MutexLock l(mu_); total_ += v; }\n"
+               "  long value() { return total_; }\n"
+               " private:\n"
+               "  util::Mutex mu_;\n"
+               "  long total_ = 0;\n"
+               "};\n"),
+      "guard-coverage"));
+}
+
+TEST(LintGuardCoverage, SuppressionComment) {
+  EXPECT_FALSE(has_rule(
+      lint_one("class Acc {\n"
+               " public:\n"
+               "  void add(long v) { util::MutexLock l(mu_); total_ += v; }\n"
+               "  void reset() { util::MutexLock l(mu_); total_ = 0; }\n"
+               " private:\n"
+               "  util::Mutex mu_;\n"
+               "  // wearscope-lint: allow(guard-coverage)\n"
+               "  long total_ = 0;\n"
+               "};\n"),
+      "guard-coverage"));
+}
+
+// --- unchecked-result ----------------------------------------------------
+
+TEST(LintUncheckedResult, FlagsDiscardedFreeCall) {
+  const auto f = lint_one(
+      "[[nodiscard]] int reserve_slot();\n"
+      "void use() {\n"
+      "  reserve_slot();\n"
+      "}\n");
+  ASSERT_TRUE(has_rule(f, "unchecked-result"));
+  EXPECT_EQ(f[0].line, 3);
+}
+
+TEST(LintUncheckedResult, UsedResultQuiet) {
+  EXPECT_FALSE(has_rule(
+      lint_one("[[nodiscard]] int reserve_slot();\n"
+               "int use() {\n"
+               "  const int v = reserve_slot();\n"
+               "  return v + reserve_slot();\n"
+               "}\n"),
+      "unchecked-result"));
+}
+
+TEST(LintUncheckedResult, ImplicitThisMethodCallFlagged) {
+  EXPECT_TRUE(has_rule(
+      lint_one("class Q {\n"
+               " public:\n"
+               "  [[nodiscard]] bool poll();\n"
+               "  void spin() { poll(); }\n"
+               "};\n"),
+      "unchecked-result"));
+}
+
+TEST(LintUncheckedResult, UnresolvableReceiverQuiet) {
+  // `q.poll()` on an arbitrary object is skipped: the token-level index
+  // cannot type the receiver, and a flow rule must not guess.
+  EXPECT_FALSE(has_rule(
+      lint_one("class Q {\n"
+               " public:\n"
+               "  [[nodiscard]] bool poll();\n"
+               "};\n"
+               "void spin(Q& q) { q.poll(); }\n"),
+      "unchecked-result"));
+}
+
+TEST(LintUncheckedResult, SameFileDefinitionShadowsForeignName) {
+  // b.cpp's own void fail() wins over a.cpp's unrelated nodiscard fail().
+  Project p;
+  p.add(Source{"src/core/a.cpp", "[[nodiscard]] int fail();\n"});
+  p.add(Source{"src/core/b.cpp",
+               "void fail(const char* m) { (void)m; }\n"
+               "void go() { fail(\"x\"); }\n"});
+  EXPECT_FALSE(has_rule(run_lint(p), "unchecked-result"));
+}
+
+TEST(LintUncheckedResult, SuppressionComment) {
+  EXPECT_FALSE(has_rule(
+      lint_one("[[nodiscard]] int reserve_slot();\n"
+               "void use() {\n"
+               "  reserve_slot();  // wearscope-lint: allow(unchecked-result)\n"
+               "}\n"),
+      "unchecked-result"));
+}
+
+// --- unordered-flow ------------------------------------------------------
+
+constexpr const char* kTallyHeader =
+    "#pragma once\n"
+    "#include <unordered_map>\n"
+    "struct Tally { std::unordered_map<int, double> cells; };\n";
+
+TEST(LintUnorderedFlow, CrossFileIterationReachesEmission) {
+  // The unordered iteration (helper.cpp) and the emission (emit.cpp) live
+  // in different files; only the call graph connects them.
+  Project p;
+  p.add(Source{"src/core/tally.h", kTallyHeader});
+  p.add(Source{"src/core/helper.cpp",
+               "#include \"core/tally.h\"\n"
+               "std::vector<double> collect(const Tally& t) {\n"
+               "  std::vector<double> out;\n"
+               "  for (const auto& [k, v] : t.cells) out.push_back(v);\n"
+               "  return out;\n"
+               "}\n"});
+  p.add(Source{"src/core/emit.cpp",
+               "#include \"core/tally.h\"\n"
+               "std::vector<double> collect(const Tally& t);\n"
+               "StudyReport render(const Tally& t) {\n"
+               "  StudyReport rep;\n"
+               "  rep.values = collect(t);\n"
+               "  return rep;\n"
+               "}\n"});
+  const auto f = run_lint(p);
+  ASSERT_TRUE(has_rule(f, "unordered-flow"));
+  EXPECT_EQ(f[0].path, "src/core/helper.cpp");
+  EXPECT_EQ(f[0].line, 4);
+  EXPECT_NE(f[0].message.find("render -> collect"), std::string::npos);
+  EXPECT_NE(f[0].message.find("src/core/emit.cpp"), std::string::npos);
+}
+
+TEST(LintUnorderedFlow, SortBeforeReturnQuiet) {
+  Project p;
+  p.add(Source{"src/core/tally.h", kTallyHeader});
+  p.add(Source{"src/core/helper.cpp",
+               "#include \"core/tally.h\"\n"
+               "std::vector<double> collect(const Tally& t) {\n"
+               "  std::vector<double> out;\n"
+               "  for (const auto& [k, v] : t.cells) out.push_back(v);\n"
+               "  std::sort(out.begin(), out.end());\n"
+               "  return out;\n"
+               "}\n"});
+  p.add(Source{"src/core/emit.cpp",
+               "#include \"core/tally.h\"\n"
+               "std::vector<double> collect(const Tally& t);\n"
+               "StudyReport render(const Tally& t) {\n"
+               "  StudyReport rep;\n"
+               "  rep.values = collect(t);\n"
+               "  return rep;\n"
+               "}\n"});
+  EXPECT_FALSE(has_rule(run_lint(p), "unordered-flow"));
+}
+
+TEST(LintUnorderedFlow, SameFunctionEmissionLeftToPerFileRule) {
+  // When the iterating function itself emits, the per-file unordered-emit
+  // rule owns the finding; unordered-flow stays quiet.
+  Project p;
+  p.add(Source{"src/core/tally.h", kTallyHeader});
+  p.add(Source{"src/core/emit.cpp",
+               "#include \"core/tally.h\"\n"
+               "StudyReport render(const Tally& t) {\n"
+               "  StudyReport rep;\n"
+               "  for (const auto& [k, v] : t.cells) rep.add(k, v);\n"
+               "  return rep;\n"
+               "}\n"});
+  const auto f = run_lint(p);
+  EXPECT_TRUE(has_rule(f, "unordered-emit"));
+  EXPECT_FALSE(has_rule(f, "unordered-flow"));
+}
+
+TEST(LintUnorderedFlow, SuppressionComment) {
+  Project p;
+  p.add(Source{"src/core/tally.h", kTallyHeader});
+  p.add(Source{"src/core/helper.cpp",
+               "#include \"core/tally.h\"\n"
+               "std::vector<double> collect(const Tally& t) {\n"
+               "  std::vector<double> out;\n"
+               "  // wearscope-lint: allow(unordered-flow)\n"
+               "  for (const auto& [k, v] : t.cells) out.push_back(v);\n"
+               "  return out;\n"
+               "}\n"});
+  p.add(Source{"src/core/emit.cpp",
+               "#include \"core/tally.h\"\n"
+               "std::vector<double> collect(const Tally& t);\n"
+               "StudyReport render(const Tally& t) {\n"
+               "  StudyReport rep;\n"
+               "  rep.values = collect(t);\n"
+               "  return rep;\n"
+               "}\n"});
+  EXPECT_FALSE(has_rule(run_lint(p), "unordered-flow"));
+}
+
+// --- SARIF output --------------------------------------------------------
+
+/// Minimal recursive-descent JSON syntax checker (the repo has no JSON
+/// parser dependency; shape-checking the SARIF output only needs syntax).
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view s) : s_(s) {}
+
+  [[nodiscard]] bool valid() {
+    ws();
+    if (!value()) return false;
+    ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  void ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
+            s_[pos_] == '\r'))
+      ++pos_;
+  }
+  bool lit(std::string_view w) {
+    if (s_.substr(pos_, w.size()) != w) return false;
+    pos_ += w.size();
+    return true;
+  }
+  bool string() {
+    if (pos_ >= s_.size() || s_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;
+    return true;
+  }
+  bool number() {
+    const std::size_t begin = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-'))
+      ++pos_;
+    return pos_ > begin;
+  }
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    const char c = s_[pos_];
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string();
+    if (c == 't') return lit("true");
+    if (c == 'f') return lit("false");
+    if (c == 'n') return lit("null");
+    return number();
+  }
+  bool object() {
+    ++pos_;
+    ws();
+    if (pos_ < s_.size() && s_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      ws();
+      if (!string()) return false;
+      ws();
+      if (pos_ >= s_.size() || s_[pos_] != ':') return false;
+      ++pos_;
+      ws();
+      if (!value()) return false;
+      ws();
+      if (pos_ < s_.size() && s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    if (pos_ >= s_.size() || s_[pos_] != '}') return false;
+    ++pos_;
+    return true;
+  }
+  bool array() {
+    ++pos_;
+    ws();
+    if (pos_ < s_.size() && s_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      ws();
+      if (!value()) return false;
+      ws();
+      if (pos_ < s_.size() && s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    if (pos_ >= s_.size() || s_[pos_] != ']') return false;
+    ++pos_;
+    return true;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+TEST(LintSarif, ValidJsonAndCountRoundTrip) {
+  Project p;
+  p.add(Source{"src/core/b.cpp", "int g() { return std::rand(); }\n"});
+  p.add(Source{"src/core/a.cpp", "int h() { return std::rand(); }\n"});
+  const auto findings = run_lint(p);
+  ASSERT_EQ(findings.size(), 2u);
+
+  const std::string sarif = to_sarif(findings);
+  EXPECT_TRUE(JsonChecker(sarif).valid()) << sarif;
+  EXPECT_TRUE(JsonChecker(to_sarif({})).valid());
+  EXPECT_TRUE(JsonChecker(to_json(findings)).valid());
+
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"uri\": \"src/core/a.cpp\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 1"), std::string::npos);
+
+  // Result count round-trips against the json format's total.
+  std::size_t results = 0;
+  for (std::size_t at = sarif.find("\"ruleId\""); at != std::string::npos;
+       at = sarif.find("\"ruleId\"", at + 1))
+    ++results;
+  EXPECT_EQ(results, findings.size());
+  EXPECT_NE(to_json(findings).find("\"total_findings\": 2"),
+            std::string::npos);
+}
+
+// --- graph dump ----------------------------------------------------------
+
+TEST(LintGraphDump, ListsSymbolsAndLockEdges) {
+  Project p;
+  p.add(Source{"src/live/locks.h", kLockClassesHeader});
+  p.add(Source{"src/live/x.cpp",
+               "#include \"live/locks.h\"\n"
+               "void foo(DevA& a, DevB& b) {\n"
+               "  util::MutexLock l1(a.mu_a);\n"
+               "  util::MutexLock l2(b.mu_b);\n"
+               "}\n"});
+  const std::string dump = dump_graph(p);
+  EXPECT_NE(dump.find("DevA"), std::string::npos);
+  EXPECT_NE(dump.find("[owns-lock]"), std::string::npos);
+  EXPECT_NE(dump.find("# functions"), std::string::npos);
+  EXPECT_NE(dump.find("foo"), std::string::npos);
+  EXPECT_NE(dump.find("DevA::mu_a -> DevB::mu_b"), std::string::npos);
 }
 
 // --- the shipped tree ----------------------------------------------------

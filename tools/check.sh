@@ -1,13 +1,16 @@
 #!/usr/bin/env sh
 # One-shot pre-merge gate: configure, build, lint, test.
 #
-#   tools/check.sh [--full] [build-dir]
+#   tools/check.sh [--full | --lint-only] [build-dir]
 #
 # Default: a full build, the wearscope_lint determinism & concurrency
 # checks (hard failure on any finding), then the whole ctest suite —
 # which already includes the `lint`, `chaos`, `perf` and `sched` labels
 # (the thread-sweep equivalence gate and the fast bounded interleaving
 # enumeration run as part of the regular tests).
+# With --lint-only it builds just the linter, runs the whole-program
+# analysis over the tree and writes BENCH_lint.json (wall time plus
+# file/rule/finding counts) — the fast pre-commit loop, no ctest.
 # With --full it additionally runs the sanitizer gates CONTRIBUTING.md
 # requires — the chaos label under ASan+UBSan and the concurrency tests
 # (live engine, batch task pool, parallel v2 trace decode, snapshot
@@ -18,8 +21,12 @@ set -eu
 
 root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 full=0
+lint_only=0
 if [ "${1:-}" = "--full" ]; then
   full=1
+  shift
+elif [ "${1:-}" = "--lint-only" ]; then
+  lint_only=1
   shift
 fi
 build=${1:-"$root/build"}
@@ -27,6 +34,16 @@ jobs=$(nproc 2>/dev/null || echo 2)
 
 echo "== configure ($build)"
 cmake -B "$build" -S "$root" >/dev/null
+
+if [ "$lint_only" -eq 1 ]; then
+  echo "== build (linter only)"
+  cmake --build "$build" -j "$jobs" --target wearscope_lint_tool
+  echo "== lint (BENCH_lint.json)"
+  "$build/tools/wearscope_lint" --root "$root" --error-on-findings \
+    --bench-json "$root/BENCH_lint.json"
+  echo "== OK"
+  exit 0
+fi
 
 echo "== build"
 cmake --build "$build" -j "$jobs"

@@ -3,12 +3,16 @@
 //
 //   wearscope_lint --root . --error-on-findings
 //   wearscope_lint --root . --format json
+//   wearscope_lint --root . --format sarif > lint.sarif
 //   wearscope_lint --rule unordered-emit,wallclock
+//   wearscope_lint --root . --graph-dump          # debug the flow rules
 //
 // Exit status: 0 on a clean tree (or findings without --error-on-findings),
 // 1 when --error-on-findings is set and findings remain, 2 on usage or
-// I/O errors.
+// I/O errors (including unknown --rule / --format values).
+#include <chrono>
 #include <exception>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -37,8 +41,10 @@ int main(int argc, char** argv) try {
   std::string dirs = "src,tools,bench";
   std::string format = "text";
   std::string rules_csv;
+  std::string bench_json;
   bool error_on_findings = false;
   bool list_rules = false;
+  bool graph_dump = false;
 
   wearscope::util::FlagParser flags(
       "wearscope_lint: static determinism & concurrency invariant checker.\n"
@@ -46,12 +52,17 @@ int main(int argc, char** argv) try {
       "violations.");
   flags.add_string("root", &root, "repository root to lint");
   flags.add_string("dirs", &dirs, "comma-separated directories under root");
-  flags.add_string("format", &format, "report format: text or json");
+  flags.add_string("format", &format, "report format: text, json, or sarif");
   flags.add_string("rule", &rules_csv,
                    "comma-separated rule ids to run (default: all)");
+  flags.add_string("bench-json", &bench_json,
+                   "write lint timing/count metrics to this JSON file");
   flags.add_bool("error-on-findings", &error_on_findings,
                  "exit with status 1 when any finding remains");
   flags.add_bool("list-rules", &list_rules, "print rule ids and exit");
+  flags.add_bool("graph-dump", &graph_dump,
+                 "dump the symbol index, call graph and lock-order edges "
+                 "instead of linting");
   if (!flags.parse(argc, argv)) return 0;
 
   if (list_rules) {
@@ -59,21 +70,64 @@ int main(int argc, char** argv) try {
       std::cout << rule << "\n";
     return 0;
   }
-  if (format != "text" && format != "json") {
+  if (format != "text" && format != "json" && format != "sarif") {
     std::cerr << "wearscope_lint: unknown --format '" << format
-              << "' (expected text or json)\n";
+              << "' (expected text, json, or sarif)\n";
     return 2;
   }
 
   wearscope::lint::Options options;
   options.only_rules = split_commas(rules_csv);
+  const std::vector<std::string> bad =
+      wearscope::lint::unknown_rules(options.only_rules);
+  if (!bad.empty()) {
+    std::cerr << "wearscope_lint: unknown rule";
+    if (bad.size() > 1) std::cerr << "s";
+    for (const std::string& rule : bad) std::cerr << " '" << rule << "'";
+    std::cerr << "\nvalid rules:";
+    for (const std::string& rule : wearscope::lint::all_rules())
+      std::cerr << " " << rule;
+    std::cerr << "\n";
+    return 2;
+  }
+
+  // steady_clock, not wall clock: we time a duration, we don't read the
+  // time of day (and the wallclock rule holds this file to that).
+  const auto started = std::chrono::steady_clock::now();
   const wearscope::lint::Project project =
       wearscope::lint::load_tree(root, split_commas(dirs));
+
+  if (graph_dump) {
+    std::cout << wearscope::lint::dump_graph(project);
+    return 0;
+  }
+
   const std::vector<wearscope::lint::Finding> findings =
       wearscope::lint::run_lint(project, options);
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - started;
+
+  if (!bench_json.empty()) {
+    std::ofstream out(bench_json);
+    if (!out) {
+      std::cerr << "wearscope_lint: cannot write " << bench_json << "\n";
+      return 2;
+    }
+    const std::size_t rules_run = options.only_rules.empty()
+                                      ? wearscope::lint::all_rules().size()
+                                      : options.only_rules.size();
+    out << "{\n"
+        << "  \"lint_seconds\": " << elapsed.count() << ",\n"
+        << "  \"files\": " << project.sources().size() << ",\n"
+        << "  \"rules\": " << rules_run << ",\n"
+        << "  \"findings\": " << findings.size() << "\n"
+        << "}\n";
+  }
 
   if (format == "json") {
     std::cout << wearscope::lint::to_json(findings);
+  } else if (format == "sarif") {
+    std::cout << wearscope::lint::to_sarif(findings);
   } else {
     std::cout << wearscope::lint::to_text(findings);
     std::cout << findings.size() << " finding"
