@@ -4,15 +4,34 @@
 #include <cstdio>
 #include <thread>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "util/ascii_chart.h"
 #include "util/error.h"
 #include "util/flags.h"
 
 namespace wearscope::bench {
 
+std::size_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::size_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::size_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
 unsigned emit_hardware_concurrency(std::FILE* out) {
   const unsigned hc = std::thread::hardware_concurrency();
   std::fprintf(out, "  \"hardware_concurrency\": %u,\n", hc);
+  std::fprintf(out, "  \"peak_rss_bytes\": %zu,\n", peak_rss_bytes());
   if (hc <= 1) {
     std::fprintf(stderr,
                  "warning: hardware_concurrency=%u — parallel sweeps are "

@@ -14,12 +14,18 @@
 
 namespace wearscope::bench {
 
-/// Writes the `"hardware_concurrency": N,` line every BENCH_*.json carries
-/// (sweep shapes are meaningless without it) and returns N.  Warns on
-/// stderr when the machine exposes a single core: parallel sweeps will be
-/// flat there no matter how good the code is, so the trajectory point must
-/// not be read as a scaling regression.
+/// Writes the `"hardware_concurrency": N,` and `"peak_rss_bytes": B,`
+/// lines every BENCH_*.json carries (sweep shapes are meaningless without
+/// the first; memory claims — the sketch mode's whole point — without the
+/// second) and returns N.  Peak RSS is the process high-water mark up to
+/// the call (getrusage), so call this after the measured work ran.  Warns
+/// on stderr when the machine exposes a single core: parallel sweeps will
+/// be flat there no matter how good the code is, so the trajectory point
+/// must not be read as a scaling regression.
 unsigned emit_hardware_concurrency(std::FILE* out);
+
+/// Process peak resident set size in bytes (0 where unavailable).
+std::size_t peak_rss_bytes();
 
 /// Parsed command line shared by every figure harness.
 struct BenchOptions {

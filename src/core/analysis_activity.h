@@ -37,8 +37,13 @@ struct ActivityResult {
   double binned_trend_corr = 0.0;
 };
 
-/// Runs the analysis over the detailed window (wearable traffic only).
+/// Runs the analysis over the detailed window (wearable traffic only;
+/// columnar kernel: monotone-slot run accumulation, no per-user maps).
 ActivityResult analyze_activity(const AnalysisContext& ctx);
+
+/// Row-layout reference implementation, bitwise-identical to
+/// analyze_activity; kept for the differential tests and BENCH_columnar.
+ActivityResult analyze_activity_rows(const AnalysisContext& ctx);
 
 /// Renders Fig. 3(b) with its checks.
 FigureData figure3b(const ActivityResult& r);

@@ -1,6 +1,7 @@
 #include "core/analysis_diurnal.h"
 
 #include <algorithm>
+#include <cstdint>
 
 #include <unordered_set>
 
@@ -48,7 +49,7 @@ Series to_series(const char* name, const HourProfile& p) {
 
 }  // namespace
 
-DiurnalResult analyze_diurnal(const AnalysisContext& ctx) {
+DiurnalResult analyze_diurnal_rows(const AnalysisContext& ctx) {
   DiurnalResult res;
   const int weeks = ctx.detailed_weeks();
 
@@ -121,6 +122,124 @@ DiurnalResult analyze_diurnal(const AnalysisContext& ctx) {
     const double per_day =
         static_cast<double>(seen_day.size()) / (weeks * 7.0);
     const double per_week = static_cast<double>(seen_week.size()) / weeks;
+    if (per_week > 0.0) res.daily_active_fraction = per_day / per_week;
+  }
+
+  double wd_morning = 0.0;
+  double we_morning = 0.0;
+  for (std::size_t h = 6; h < 9; ++h) {
+    wd_morning += res.users_weekday[h];
+    we_morning += res.users_weekend[h];
+  }
+  if (we_morning > 0.0) res.commute_bump_ratio = wd_morning / we_morning;
+
+  double dow_total = 0.0;
+  for (const double v : dow_txns) dow_total += v;
+  if (dow_total > 0.0) {
+    for (std::size_t d = 0; d < 7; ++d)
+      res.dow_txn_share[d] = dow_txns[d] / dow_total;
+  }
+  double ud_min = 1e300;
+  double ud_max = 0.0;
+  for (const double v : dow_user_days) {
+    ud_min = std::min(ud_min, v);
+    ud_max = std::max(ud_max, v);
+  }
+  if (ud_min > 0.0) res.day_of_week_spread = ud_max / ud_min;
+
+  if (weekly_bytes_all[0] > 0 && weekly_bytes_all[1] > 0 &&
+      weekly_bytes[0] > 0) {
+    const double wd_share = static_cast<double>(weekly_bytes[0]) /
+                            static_cast<double>(weekly_bytes_all[0]);
+    const double we_share = static_cast<double>(weekly_bytes[1]) /
+                            static_cast<double>(weekly_bytes_all[1]);
+    res.weekend_relative_usage = we_share / wd_share;
+  }
+  return res;
+}
+
+DiurnalResult analyze_diurnal(const AnalysisContext& ctx) {
+  DiurnalResult res;
+  const int weeks = ctx.detailed_weeks();
+  const trace::ProxyColumns& pc = ctx.store().proxy_columns();
+
+  HourAccumulator users_acc;
+  HourAccumulator data_acc;
+  HourAccumulator txns_acc;
+  for (int d = ctx.options().detailed_start_day;
+       d < ctx.options().observation_days; ++d) {
+    (util::is_weekend_day(d) ? users_acc.weekend_days
+                             : users_acc.weekday_days)++;
+  }
+  data_acc.weekday_days = txns_acc.weekday_days = users_acc.weekday_days;
+  data_acc.weekend_days = txns_acc.weekend_days = users_acc.weekend_days;
+
+  // The row version dedups (user, day-hour) / (user, day) / (user, week)
+  // in global hash sets.  A user's wearable rows are time-sorted, so each
+  // of those keys is nondecreasing along them: "first time seen" is just
+  // "different from the previous one", per user.
+  std::size_t user_days = 0;   // == seen_day.size() of the row version
+  std::size_t user_weeks = 0;  // == seen_week.size()
+  std::array<std::size_t, 2> weekly_bytes{};  // [weekday, weekend] wearable
+  std::array<std::size_t, 2> weekly_bytes_all{};
+  std::array<double, 7> dow_txns{};       // Mon..Sun wearable transactions
+  std::array<double, 7> dow_user_days{};  // Mon..Sun distinct active users
+
+  for (const UserView* u : ctx.wearable_users()) {
+    std::int64_t prev_slot = -1;
+    int prev_day = -1;
+    int prev_week = -1;
+    for (const std::uint32_t row : u->wearable_rows) {
+      const util::SimTime t = pc.timestamp[row];
+      if (!ctx.in_detailed_window(t)) continue;
+      const int day = util::day_of(t);
+      const std::int64_t slot =
+          static_cast<std::int64_t>(day) * 24 + util::hour_of(t);
+      if (slot != prev_slot) {
+        prev_slot = slot;
+        users_acc.add(t, 1.0);
+      }
+      if (day != prev_day) {
+        prev_day = day;
+        ++user_days;
+        dow_user_days[static_cast<std::size_t>(
+            util::weekday_of_day(day))] += 1.0;
+      }
+      const int week = util::week_of(t);
+      if (week != prev_week) {
+        prev_week = week;
+        ++user_weeks;
+      }
+      const std::uint64_t bytes = pc.bytes_total[row];
+      data_acc.add(t, static_cast<double>(bytes));
+      txns_acc.add(t, 1.0);
+      weekly_bytes[util::is_weekend(t) ? 1 : 0] += bytes;
+      dow_txns[static_cast<std::size_t>(util::weekday_of(t))] += 1.0;
+    }
+  }
+  // Total traffic (wearable + everything else) for the relative-usage
+  // comparison of §4.2, straight off the timestamp and byte columns.
+  for (std::size_t i = 0; i < pc.size(); ++i) {
+    if (!ctx.in_detailed_window(pc.timestamp[i])) continue;
+    weekly_bytes_all[util::is_weekend(pc.timestamp[i]) ? 1 : 0] +=
+        pc.bytes_total[i];
+  }
+
+  users_acc.finalize(weeks);
+  data_acc.finalize(weeks);
+  txns_acc.finalize(weeks);
+  res.users_weekday = users_acc.weekday;
+  res.users_weekend = users_acc.weekend;
+  res.data_weekday = data_acc.weekday;
+  res.data_weekend = data_acc.weekend;
+  res.txns_weekday = txns_acc.weekday;
+  res.txns_weekend = txns_acc.weekend;
+
+  if (user_weeks > 0) {
+    // days in window = weeks * 7; mean distinct users per day over mean
+    // distinct users per week.
+    const double per_day = static_cast<double>(user_days) / (weeks * 7.0);
+    const double per_week = static_cast<double>(user_weeks) / weeks;
     if (per_week > 0.0) res.daily_active_fraction = per_day / per_week;
   }
 

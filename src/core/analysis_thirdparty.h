@@ -27,8 +27,13 @@ struct ThirdPartyResult {
   double app_over_thirdparty_data = 0.0;
 };
 
-/// Runs the analysis over the detailed window (wearable traffic only).
+/// Runs the analysis over the detailed window (wearable traffic only;
+/// columnar kernel: per-user class flags instead of per-class user sets).
 ThirdPartyResult analyze_thirdparty(const AnalysisContext& ctx);
+
+/// Row-layout reference implementation, bitwise-identical to
+/// analyze_thirdparty; kept for the differential tests and BENCH_columnar.
+ThirdPartyResult analyze_thirdparty_rows(const AnalysisContext& ctx);
 
 /// Renders Fig. 8 with its checks.
 FigureData figure8(const ThirdPartyResult& r);

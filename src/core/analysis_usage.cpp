@@ -2,30 +2,26 @@
 
 #include <algorithm>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 namespace wearscope::core {
 
-UsageResult analyze_usage(const AnalysisContext& ctx) {
+namespace {
+
+/// Per-app accumulator shared by both kernel variants.
+struct RawUsage {
+  double txns = 0.0;
+  double bytes = 0.0;
+  double duration_s = 0.0;
+  std::size_t usages = 0;
+};
+
+/// Means + figure ordering from the accumulated (app, RawUsage) pairs.
+template <typename Pairs>
+UsageResult finish_usage(const AnalysisContext& ctx, const Pairs& pairs) {
   UsageResult res;
-  struct Raw {
-    double txns = 0.0;
-    double bytes = 0.0;
-    double duration_s = 0.0;
-    std::size_t usages = 0;
-  };
-  std::unordered_map<appdb::AppId, Raw> raw;
-  for (const UserView* u : ctx.wearable_users()) {
-    for (const Usage& usage : u->usages) {
-      if (!ctx.in_detailed_window(usage.start)) continue;
-      if (usage.app == kUnknownApp) continue;
-      Raw& a = raw[usage.app];
-      a.txns += usage.transactions;
-      a.bytes += static_cast<double>(usage.bytes);
-      a.duration_s += static_cast<double>(usage.duration_s());
-      a.usages += 1;
-    }
-  }
-  for (const auto& [app, a] : raw) {
+  for (const auto& [app, a] : pairs) {
     if (a.usages == 0) continue;
     PerUsageStats s;
     s.app = app;
@@ -41,6 +37,50 @@ UsageResult analyze_usage(const AnalysisContext& ctx) {
               return a.mean_kb_per_usage > b.mean_kb_per_usage;
             });
   return res;
+}
+
+}  // namespace
+
+UsageResult analyze_usage_rows(const AnalysisContext& ctx) {
+  std::unordered_map<appdb::AppId, RawUsage> raw;
+  for (const UserView* u : ctx.wearable_users()) {
+    for (const Usage& usage : u->usages) {
+      if (!ctx.in_detailed_window(usage.start)) continue;
+      if (usage.app == kUnknownApp) continue;
+      RawUsage& a = raw[usage.app];
+      a.txns += usage.transactions;
+      a.bytes += static_cast<double>(usage.bytes);
+      a.duration_s += static_cast<double>(usage.duration_s());
+      a.usages += 1;
+    }
+  }
+  return finish_usage(ctx, raw);
+}
+
+UsageResult analyze_usage(const AnalysisContext& ctx) {
+  // App ids are small catalog indexes (kUnknownApp aside), so a dense
+  // grow-on-demand vector replaces the hash map: one indexed add per
+  // usage, no hashing, and the finish pass walks apps in id order.
+  std::vector<RawUsage> raw;
+  for (const UserView* u : ctx.wearable_users()) {
+    for (const Usage& usage : u->usages) {
+      if (!ctx.in_detailed_window(usage.start)) continue;
+      if (usage.app == kUnknownApp) continue;
+      if (usage.app >= raw.size()) raw.resize(usage.app + 1);
+      RawUsage& a = raw[usage.app];
+      a.txns += usage.transactions;
+      a.bytes += static_cast<double>(usage.bytes);
+      a.duration_s += static_cast<double>(usage.duration_s());
+      a.usages += 1;
+    }
+  }
+  std::vector<std::pair<appdb::AppId, RawUsage>> pairs;
+  pairs.reserve(raw.size());
+  for (std::size_t app = 0; app < raw.size(); ++app) {
+    if (raw[app].usages > 0)
+      pairs.emplace_back(static_cast<appdb::AppId>(app), raw[app]);
+  }
+  return finish_usage(ctx, pairs);
 }
 
 FigureData figure7(const UsageResult& r) {

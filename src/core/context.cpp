@@ -35,6 +35,8 @@ AnalysisContext::AnalysisContext(const trace::TraceStore& store,
   util::require(options_.threads >= 1, "analysis options: threads must be >= 1");
   util::require(store.is_sorted(),
                 "analysis context requires time-sorted logs");
+  util::require(store.proxy.size() <= 0xffffffffull,
+                "analysis context: proxy log exceeds 2^32 rows");
   // The store's lookup indexes build lazily on first find_*; force them now
   // so concurrent analyses only ever read them.
   store.rebuild_indexes();
@@ -48,15 +50,33 @@ AnalysisContext::AnalysisContext(const trace::TraceStore& store,
   par::TaskPool pool(static_cast<std::size_t>(options_.threads));
   const std::size_t shards = pool.threads();
 
+  // Column views: the grouping pass below and the rewritten analysis
+  // kernels stream these dense vectors instead of the row structs.
+  store.build_columns(&pool);
+  const trace::ProxyColumns& pcols = store.proxy_columns();
+  const trace::MmeColumns& mcols = store.mme_columns();
+
+  // Wearable classification per TAC-dictionary entry: one DeviceDB hash
+  // lookup per distinct TAC instead of one per record.
+  std::vector<std::uint8_t> proxy_wearable(pcols.tacs.size());
+  for (std::size_t k = 0; k < pcols.tacs.size(); ++k)
+    proxy_wearable[k] = devices_->is_wearable(pcols.tacs[k]) ? 1 : 0;
+  std::vector<std::uint8_t> mme_wearable(mcols.tacs.size());
+  for (std::size_t k = 0; k < mcols.tacs.size(); ++k)
+    mme_wearable[k] = devices_->is_wearable(mcols.tacs[k]) ? 1 : 0;
+
   // Phase 1 — sharded per-user grouping.  Each shard scans the full
   // time-sorted streams and keeps only its users, so per-user vectors stay
-  // time-sorted exactly as in the sequential single pass.
+  // time-sorted exactly as in the sequential single pass.  The scan reads
+  // only the user_id and tac_id columns; record pointers are recovered by
+  // row index.
   std::vector<UserShard> shard_state(shards);
   {
     std::vector<std::function<void()>> tasks;
     tasks.reserve(shards);
     for (std::size_t s = 0; s < shards; ++s) {
-      tasks.push_back([this, &store, &shard_state, s, shards] {
+      tasks.push_back([&store, &pcols, &mcols, &proxy_wearable, &mme_wearable,
+                       &shard_state, s, shards] {
         UserShard& shard = shard_state[s];
         const auto user_slot = [&shard](trace::UserId id,
                                         std::size_t pos) -> UserView& {
@@ -68,23 +88,22 @@ AnalysisContext::AnalysisContext(const trace::TraceStore& store,
           }
           return shard.users[it->second];
         };
-        for (std::size_t i = 0; i < store.proxy.size(); ++i) {
-          const trace::ProxyRecord& r = store.proxy[i];
-          if (par::shard_of(r.user_id, shards) != s) continue;
-          UserView& u = user_slot(r.user_id, i);
-          if (devices_->is_wearable(r.tac)) {
+        for (std::size_t i = 0; i < pcols.size(); ++i) {
+          if (par::shard_of(pcols.user_id[i], shards) != s) continue;
+          UserView& u = user_slot(pcols.user_id[i], i);
+          if (proxy_wearable[pcols.tac_id[i]] != 0) {
             u.has_wearable = true;
-            u.wearable_txns.push_back(&r);
+            u.wearable_txns.push_back(&store.proxy[i]);
+            u.wearable_rows.push_back(static_cast<std::uint32_t>(i));
           } else {
-            u.phone_txns.push_back(&r);
+            u.phone_txns.push_back(&store.proxy[i]);
           }
         }
-        for (std::size_t j = 0; j < store.mme.size(); ++j) {
-          const trace::MmeRecord& r = store.mme[j];
-          if (par::shard_of(r.user_id, shards) != s) continue;
-          UserView& u = user_slot(r.user_id, store.proxy.size() + j);
-          u.mme.push_back(&r);
-          if (devices_->is_wearable(r.tac)) u.has_wearable = true;
+        for (std::size_t j = 0; j < mcols.size(); ++j) {
+          if (par::shard_of(mcols.user_id[j], shards) != s) continue;
+          UserView& u = user_slot(mcols.user_id[j], store.proxy.size() + j);
+          u.mme.push_back(&store.mme[j]);
+          if (mme_wearable[mcols.tac_id[j]] != 0) u.has_wearable = true;
         }
       });
     }

@@ -7,6 +7,7 @@
 // ever sees generator ground truth.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <span>
@@ -50,6 +51,10 @@ struct UserView {
   bool has_wearable = false;  ///< Observed with a wearable TAC (MME/proxy).
   /// Time-sorted wearable-TAC transactions.
   std::vector<const trace::ProxyRecord*> wearable_txns;
+  /// Row indices into the store's proxy log/columns, index-aligned with
+  /// wearable_txns; the columnar kernels stream the column vectors through
+  /// these instead of chasing the row pointers.
+  std::vector<std::uint32_t> wearable_rows;
   /// Per-record attribution, index-aligned with wearable_txns.
   std::vector<EndpointClass> wearable_classes;
   /// Reconstructed wearable app usages (sessionized).

@@ -737,7 +737,8 @@ constexpr std::array<std::string_view, 9> kMemberSkipKeywords = {
 void check_pod_init(const FileCtx& f, std::vector<Finding>& out) {
   const std::string& path = f.source->path;
   if (!contains(path, "trace/") && !contains(path, "live/") &&
-      !contains(path, "serve/") && !contains(path, "sched/")) {
+      !contains(path, "serve/") && !contains(path, "sched/") &&
+      !contains(path, "sketch/")) {
     return;
   }
   const Code& c = f.code;

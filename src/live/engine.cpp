@@ -20,7 +20,8 @@ LiveEngine::LiveEngine(const std::vector<trace::DeviceRecord>& devices,
     workers_.push_back(std::make_unique<ShardWorker>(
         s, router_.ring(s),
         ShardStats(devices_, signatures_, opt_.observation_days,
-                   opt_.detailed_start_day, opt_.usage_gap_s),
+                   opt_.detailed_start_day, opt_.usage_gap_s,
+                   opt_.sketch_aggregates),
         coordinator_));
   }
   for (const auto& worker : workers_) worker->start();

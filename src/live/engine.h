@@ -55,6 +55,13 @@ struct LiveOptions {
   std::uint32_t long_tail_apps = 150;
   /// Fraction of signature rules retained.
   double signature_coverage = 1.0;
+  /// Bounded-memory mode: shards keep HLL/t-digest/count-min sketches
+  /// instead of per-user hash sets, so per-shard memory is O(sketch)
+  /// however many users stream through.  Snapshots then carry
+  /// LiveSnapshot::sketch (with the error bounds of docs/DESIGN.md) and
+  /// no exact adoption/activity results, usage counts or per-app/sector
+  /// distinct-user counts.
+  bool sketch_aggregates = false;
 };
 
 /// The live-ingest engine. Construction spawns the worker threads;

@@ -23,6 +23,9 @@
 #include "core/device_id.h"
 #include "core/streaming.h"
 #include "core/streaming_activity.h"
+#include "sketch/countmin.h"
+#include "sketch/hll.h"
+#include "sketch/tdigest.h"
 #include "trace/records.h"
 
 namespace wearscope::live {
@@ -62,6 +65,29 @@ struct AppTally {
   void merge(const AppTally& other);
 };
 
+/// Bounded-memory replacement for the per-user exact state (engine sketch
+/// mode, LiveOptions::sketch_aggregates).  Shards partition users, so the
+/// per-shard sketches merge loss-free into the global stream's sketch:
+/// HLL union is register-wise max, t-digest and count-min merges are
+/// additive.  Error bounds are documented in docs/DESIGN.md: distinct
+/// users within 2%, p50/p95/p99 within 1%, top-k apps a superset of the
+/// exact top-k.
+struct SketchTally {
+  bool enabled = false;
+  sketch::Hll registered_users;   ///< Distinct users with wearable MME events.
+  sketch::Hll transacting_users;  ///< Distinct users with >= 1 wearable txn.
+  /// Wearable transaction sizes (bytes), detailed window only — the same
+  /// population as ActivityResult::txn_size_bytes, so the gate compares
+  /// like with like.
+  sketch::TDigest txn_sizes;
+  sketch::HeavyHitters apps;      ///< Wearable app traffic, by transactions.
+
+  void merge(const SketchTally& other);
+
+  /// Bytes of sketch state held (the bounded footprint).
+  [[nodiscard]] std::size_t memory_bytes() const;
+};
+
 /// One shard's contribution to an epoch snapshot. Cheap value type: the
 /// worker copies its tallies at a barrier and hands them to the
 /// SnapshotCoordinator.
@@ -72,6 +98,7 @@ struct ShardSnapshot {
   core::ActivityTally activity;
   AppTally apps;
   SectorTally sectors;
+  SketchTally sketch;
 };
 
 /// All streaming state of one shard.
@@ -79,10 +106,15 @@ class ShardStats {
  public:
   /// `devices` and `signatures` must outlive the stats (the engine owns
   /// both; they are immutable after construction, hence safe to share
-  /// read-only across shards).
+  /// read-only across shards).  With `sketch_mode` set, every per-user
+  /// structure is replaced by the bounded SketchTally: the shard holds
+  /// O(sketch + apps + sectors) bytes however many users it sees, at the
+  /// price of approximate distinct counts and quantiles (and no exact
+  /// adoption/activity results or usage counts in the snapshot).
   ShardStats(const core::DeviceClassifier& devices,
              const core::AppSignatureTable& signatures, int observation_days,
-             int detailed_start_day, util::SimTime usage_gap_s);
+             int detailed_start_day, util::SimTime usage_gap_s,
+             bool sketch_mode = false);
 
   /// Feeds one proxy transaction; `seq` is the record's position in the
   /// global proxy stream (stamped by the router).
@@ -103,7 +135,10 @@ class ShardStats {
   const core::DeviceClassifier* devices_ = nullptr;
   const core::AppSignatureTable* signatures_ = nullptr;
   util::SimTime usage_gap_s_ = 0;
+  util::SimTime detailed_start_ = 0;  ///< First second of the detailed window.
+  bool sketch_mode_ = false;
   std::uint64_t consumed_ = 0;
+  SketchTally sketch_;
 
   core::StreamingAdoption adoption_;
   core::StreamingActivity activity_;

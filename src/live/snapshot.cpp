@@ -58,16 +58,28 @@ LiveSnapshot SnapshotCoordinator::assemble(
   core::ActivityTally activity;
   AppTally apps;
   SectorTally sectors;
+  SketchTally sketch;
   for (ShardSnapshot& part : parts) {
     snap.records += part.records;
     adoption.merge(part.adoption);
     activity.merge(std::move(part.activity));
     apps.merge(part.apps);
     sectors.merge(part.sectors);
+    sketch.merge(part.sketch);
   }
   snap.adoption = adoption.finalize();
   snap.activity = activity.finalize();
   snap.class_txns = apps.class_txns;
+  if (sketch.enabled) {
+    snap.sketch.enabled = true;
+    snap.sketch.registered_users = sketch.registered_users.estimate();
+    snap.sketch.transacting_users = sketch.transacting_users.estimate();
+    snap.sketch.txn_size_p50 = sketch.txn_sizes.quantile(0.50);
+    snap.sketch.txn_size_p95 = sketch.txn_sizes.quantile(0.95);
+    snap.sketch.txn_size_p99 = sketch.txn_sizes.quantile(0.99);
+    snap.sketch.top_apps = sketch.apps.top(10);
+    snap.sketch.memory_bytes = sketch.memory_bytes();
+  }
 
   snap.apps.reserve(apps.apps.size());
   for (const auto& [app, counter] : apps.apps) {

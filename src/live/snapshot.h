@@ -14,6 +14,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/analysis_activity.h"
@@ -50,6 +51,22 @@ struct LiveSnapshot {
   /// Wearable transactions per endpoint class (Application/Utilities/
   /// Advertising/Analytics).
   std::array<std::uint64_t, appdb::kTransactionClassCount> class_txns{};
+  /// Sketch-mode summary, filled from the merged per-shard sketches when
+  /// the engine runs with LiveOptions::sketch_aggregates (enabled stays
+  /// false otherwise).  Error bounds: docs/DESIGN.md.
+  struct SketchSummary {
+    bool enabled = false;
+    double registered_users = 0.0;   ///< HLL estimate (exact: adoption).
+    double transacting_users = 0.0;  ///< HLL estimate.
+    double txn_size_p50 = 0.0;       ///< t-digest quantiles (bytes).
+    double txn_size_p95 = 0.0;
+    double txn_size_p99 = 0.0;
+    /// Heaviest apps by wearable transactions (top 10, count desc).
+    std::vector<std::pair<std::string, std::uint64_t>> top_apps;
+    /// Merged sketch footprint in bytes (the bounded-memory claim).
+    std::size_t memory_bytes = 0;
+  };
+  SketchSummary sketch;
   /// Ring totals at assembly time (filled by the engine, not the merge).
   RingStats backpressure;
   /// Records the feed side quarantined before they ever reached a ring

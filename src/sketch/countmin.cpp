@@ -1,0 +1,124 @@
+#include "sketch/countmin.h"
+
+#include <algorithm>
+
+#include "sketch/hashing.h"
+#include "util/error.h"
+
+namespace wearscope::sketch {
+
+namespace {
+
+/// Independent per-row hash: remix the item hash with the row index.
+[[nodiscard]] std::uint64_t row_hash(std::uint64_t hash, std::size_t row) {
+  return mix64(hash + 0x9e3779b97f4a7c15ull * (row + 1));
+}
+
+}  // namespace
+
+CountMin::CountMin(std::size_t depth, std::size_t width)
+    : depth_(depth), width_(width), table_(depth * width, 0) {
+  util::require(depth >= 1 && width >= 16, "count-min: bad dimensions");
+}
+
+void CountMin::add_hashed(std::uint64_t hash, std::uint64_t count) {
+  for (std::size_t row = 0; row < depth_; ++row)
+    table_[row * width_ + row_hash(hash, row) % width_] += count;
+}
+
+std::uint64_t CountMin::estimate(std::uint64_t hash) const {
+  std::uint64_t best = ~std::uint64_t{0};
+  for (std::size_t row = 0; row < depth_; ++row)
+    best = std::min(best, table_[row * width_ + row_hash(hash, row) % width_]);
+  return best;
+}
+
+void CountMin::merge(const CountMin& other) {
+  util::require(depth_ == other.depth_ && width_ == other.width_,
+                "count-min: merge dimensions differ");
+  for (std::size_t i = 0; i < table_.size(); ++i) table_[i] += other.table_[i];
+}
+
+HeavyHitters::HeavyHitters(std::size_t capacity) : capacity_(capacity) {
+  util::require(capacity >= 1, "heavy-hitters: capacity must be >= 1");
+}
+
+void HeavyHitters::add(std::string_view key, std::uint64_t count) {
+  const std::uint64_t h = hash_bytes(key);
+  counts_.add_hashed(h, count);
+  std::string owned(key);
+  const auto it = candidates_.find(owned);
+  if (it != candidates_.end()) {
+    it->second += count;
+    return;
+  }
+  if (candidates_.size() < capacity_) {
+    // Room left: track the exact running count.  While the distinct-key
+    // count stays at or below capacity nothing is ever evicted, so every
+    // candidate count is exact.
+    candidates_.emplace(std::move(owned), count);
+    return;
+  }
+  // Table full: admit at the (over-)estimate and drop the smallest.
+  candidates_.emplace(std::move(owned), counts_.estimate(h));
+  evict();
+}
+
+void HeavyHitters::evict() {
+  while (candidates_.size() > capacity_) {
+    // Smallest count, largest key: the exact inverse of the top() order,
+    // so eviction never depends on hash iteration either.
+    auto victim = candidates_.begin();
+    for (auto it = candidates_.begin(); it != candidates_.end(); ++it) {
+      if (it->second < victim->second ||
+          (it->second == victim->second && it->first > victim->first)) {
+        victim = it;
+      }
+    }
+    candidates_.erase(victim);
+  }
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> HeavyHitters::top(
+    std::size_t k) const {
+  std::vector<std::pair<std::string, std::uint64_t>> all(candidates_.begin(),
+                                                         candidates_.end());
+  std::sort(all.begin(), all.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+void HeavyHitters::merge(const HeavyHitters& other) {
+  util::require(capacity_ == other.capacity_,
+                "heavy-hitters: merge capacities differ");
+  counts_.merge(other.counts_);
+  // Fold candidates in sorted order so any evictions below are the same
+  // for every merge of the same two states.
+  std::vector<std::pair<std::string, std::uint64_t>> theirs(
+      other.candidates_.begin(), other.candidates_.end());
+  std::sort(theirs.begin(), theirs.end());
+  for (auto& [key, count] : theirs) {
+    const auto it = candidates_.find(key);
+    if (it != candidates_.end()) {
+      it->second += count;
+    } else {
+      candidates_.emplace(std::move(key), count);
+    }
+  }
+  evict();
+}
+
+std::size_t HeavyHitters::memory_bytes() const {
+  std::size_t bytes = counts_.memory_bytes();
+  // Commutative sum: iteration order cannot reach the total.
+  // wearscope-lint: allow(unordered-flow)
+  for (const auto& [key, count] : candidates_)
+    bytes += key.size() + sizeof(count);
+  return bytes;
+}
+
+}  // namespace wearscope::sketch

@@ -1,0 +1,86 @@
+// Count-min sketch + bounded heavy-hitter tracking.
+//
+// CountMin (Cormode & Muthukrishnan): depth d = 4 rows of width w = 8192
+// counters; an item's estimate is the minimum of its d counters, an
+// overestimate by at most (e/w) * total_count with probability
+// 1 - e^-d.  Merging is element-wise addition, so per-shard sketches
+// combine exactly.
+//
+// HeavyHitters pairs the sketch with a bounded candidate table: keys seen
+// so far keep their exact counts while the table has room (default 4096
+// entries); when full, the smallest candidate is evicted and survives
+// only inside the count-min counters.  As long as the number of distinct
+// keys stays at or below the capacity — true for the host dictionaries
+// the live layer tracks — top(k) is exact, and therefore trivially a
+// superset of the exact top-k (the gate in docs/DESIGN.md).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace wearscope::sketch {
+
+/// Bounded-memory frequency estimator over 64-bit-hashed items.
+class CountMin {
+ public:
+  CountMin(std::size_t depth = 4, std::size_t width = 8192);
+
+  /// Adds `count` to the item with the given (well-mixed) hash.
+  void add_hashed(std::uint64_t hash, std::uint64_t count = 1);
+
+  /// Estimated count of the item (never an underestimate).
+  [[nodiscard]] std::uint64_t estimate(std::uint64_t hash) const;
+
+  /// Element-wise sum; `other` must share depth and width.
+  void merge(const CountMin& other);
+
+  /// Bytes held by the counter table.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return table_.size() * sizeof(std::uint64_t);
+  }
+
+ private:
+  std::size_t depth_ = 0;
+  std::size_t width_ = 0;
+  std::vector<std::uint64_t> table_;  ///< depth_ rows of width_ counters.
+};
+
+/// Top-k tracker over string keys, bounded by `capacity` candidates.
+class HeavyHitters {
+ public:
+  explicit HeavyHitters(std::size_t capacity = 4096);
+
+  /// Observes `count` occurrences of `key`.
+  void add(std::string_view key, std::uint64_t count = 1);
+
+  /// The k heaviest keys, by count descending then key ascending (a total
+  /// order, so output never depends on hash iteration).
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> top(
+      std::size_t k) const;
+
+  /// Number of candidates currently tracked.
+  [[nodiscard]] std::size_t size() const noexcept {
+    return candidates_.size();
+  }
+
+  /// Folds `other`'s candidates and counters into this tracker.
+  void merge(const HeavyHitters& other);
+
+  /// Bytes held (counter table + candidate strings, approximate).
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+ private:
+  /// Drops the smallest candidate (called when over capacity).
+  void evict();
+
+  std::size_t capacity_ = 0;
+  CountMin counts_;
+  std::unordered_map<std::string, std::uint64_t> candidates_;
+};
+
+}  // namespace wearscope::sketch

@@ -1,0 +1,36 @@
+// Shared hash primitives for the bounded-memory sketches.
+//
+// All sketches hash through these two functions so estimates are
+// reproducible across platforms and runs: mix64 is the splitmix64
+// finalizer (the same bit-mixer par::shard_of builds on) and hash_bytes
+// is FNV-1a folded through it.  Nothing here is seeded from the
+// environment — a sketch fed the same stream always holds the same state.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace wearscope::sketch {
+
+/// splitmix64 finalizer: a cheap, well-distributed 64 -> 64 bit mix.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// FNV-1a over the bytes, finalized with mix64 (FNV alone is too weak in
+/// the low bits for register selection).  `seed` derives independent hash
+/// functions for the count-min rows.
+[[nodiscard]] constexpr std::uint64_t hash_bytes(
+    std::string_view bytes, std::uint64_t seed = 0) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull ^ seed;
+  for (const char ch : bytes) {
+    h ^= static_cast<std::uint8_t>(ch);
+    h *= 0x100000001b3ull;
+  }
+  return mix64(h);
+}
+
+}  // namespace wearscope::sketch

@@ -1,0 +1,55 @@
+#include "sketch/hll.h"
+
+#include <bit>
+#include <cmath>
+
+namespace wearscope::sketch {
+
+namespace {
+
+constexpr std::size_t kRegisters = std::size_t{1} << kHllPrecision;
+
+/// Bias-correction constant alpha_m for m >= 128.
+constexpr double alpha() {
+  return 0.7213 / (1.0 + 1.079 / static_cast<double>(kRegisters));
+}
+
+}  // namespace
+
+Hll::Hll() : registers_(kRegisters, 0) {}
+
+void Hll::add_hashed(std::uint64_t hash) {
+  const std::size_t idx =
+      static_cast<std::size_t>(hash >> (64 - kHllPrecision));
+  // Rank = position of the first set bit in the remaining 52 bits,
+  // counting from 1; an all-zero suffix ranks one past its width.
+  const std::uint64_t rest = hash << kHllPrecision;
+  const int rank =
+      rest == 0 ? (64 - kHllPrecision + 1) : std::countl_zero(rest) + 1;
+  if (registers_[idx] < rank) registers_[idx] = static_cast<std::uint8_t>(rank);
+}
+
+double Hll::estimate() const {
+  double inverse_sum = 0.0;
+  std::size_t zeros = 0;
+  for (const std::uint8_t r : registers_) {
+    inverse_sum += std::ldexp(1.0, -static_cast<int>(r));
+    if (r == 0) ++zeros;
+  }
+  const double m = static_cast<double>(kRegisters);
+  const double raw = alpha() * m * m / inverse_sum;
+  // Small-range correction: linear counting while any register is empty
+  // and the raw estimate is below 2.5m.
+  if (raw <= 2.5 * m && zeros > 0)
+    return m * std::log(m / static_cast<double>(zeros));
+  return raw;
+}
+
+void Hll::merge(const Hll& other) {
+  for (std::size_t i = 0; i < kRegisters; ++i) {
+    if (registers_[i] < other.registers_[i])
+      registers_[i] = other.registers_[i];
+  }
+}
+
+}  // namespace wearscope::sketch

@@ -1,0 +1,134 @@
+#include "sketch/tdigest.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace wearscope::sketch {
+
+namespace {
+
+/// Buffered points merged per compression sweep.
+constexpr std::size_t kBufferLimit = 512;
+
+constexpr double kPi = 3.14159265358979323846;
+
+}  // namespace
+
+TDigest::TDigest(double compression) : compression_(compression) {
+  util::require(compression >= 20.0, "t-digest: compression must be >= 20");
+  centroids_.reserve(static_cast<std::size_t>(2.0 * compression) + 8);
+  buffer_.reserve(kBufferLimit);
+}
+
+void TDigest::add(double value, double weight) {
+  if (empty_) {
+    min_ = max_ = value;
+    empty_ = false;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  buffer_.push_back(Centroid{value, weight});
+  if (buffer_.size() >= kBufferLimit) compress();
+}
+
+void TDigest::merge(const TDigest& other) {
+  if (other.empty_) return;
+  other.compress();
+  if (empty_) {
+    min_ = other.min_;
+    max_ = other.max_;
+    empty_ = false;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  for (const Centroid& c : other.centroids_) {
+    buffer_.push_back(c);
+    if (buffer_.size() >= kBufferLimit) compress();
+  }
+}
+
+double TDigest::count() const {
+  double buffered = 0.0;
+  for (const Centroid& c : buffer_) buffered += c.weight;
+  return total_weight_ + buffered;
+}
+
+std::size_t TDigest::memory_bytes() const noexcept {
+  return (centroids_.capacity() + buffer_.capacity()) * sizeof(Centroid);
+}
+
+void TDigest::compress() const {
+  if (buffer_.empty()) return;
+  centroids_.insert(centroids_.end(), buffer_.begin(), buffer_.end());
+  buffer_.clear();
+  // Stable sort: equal means merge in arrival order, keeping the sweep
+  // deterministic for any input permutation of equal values.
+  std::stable_sort(centroids_.begin(), centroids_.end(),
+                   [](const Centroid& a, const Centroid& b) {
+                     return a.mean < b.mean;
+                   });
+  double total = 0.0;
+  for (const Centroid& c : centroids_) total += c.weight;
+
+  const auto k_of = [this](double q) {
+    return compression_ / (2.0 * kPi) * std::asin(2.0 * q - 1.0);
+  };
+
+  std::vector<Centroid> merged;
+  merged.reserve(centroids_.size());
+  Centroid cur = centroids_.front();
+  double weight_before = 0.0;  // total weight already emitted
+  double k_lo = k_of(0.0);
+  for (std::size_t i = 1; i < centroids_.size(); ++i) {
+    const Centroid& next = centroids_[i];
+    const double proposed = cur.weight + next.weight;
+    const double q_hi = (weight_before + proposed) / total;
+    if (k_of(q_hi) - k_lo <= 1.0) {
+      cur.mean = (cur.mean * cur.weight + next.mean * next.weight) / proposed;
+      cur.weight = proposed;
+    } else {
+      merged.push_back(cur);
+      weight_before += cur.weight;
+      k_lo = k_of(weight_before / total);
+      cur = next;
+    }
+  }
+  merged.push_back(cur);
+  centroids_ = std::move(merged);
+  total_weight_ = total;
+}
+
+double TDigest::quantile(double q) const {
+  compress();
+  if (centroids_.empty()) return 0.0;
+  if (centroids_.size() == 1) return centroids_.front().mean;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * total_weight_;
+
+  // Centroid i sits at the midpoint of its weight span; interpolate
+  // linearly between neighbouring midpoints, anchored at min/max.
+  double cum = 0.0;
+  double prev_center = 0.0;
+  double prev_mean = min_;
+  for (const Centroid& c : centroids_) {
+    const double center = cum + c.weight / 2.0;
+    if (target < center) {
+      const double span = center - prev_center;
+      const double frac = span > 0.0 ? (target - prev_center) / span : 0.0;
+      return prev_mean + frac * (c.mean - prev_mean);
+    }
+    prev_center = center;
+    prev_mean = c.mean;
+    cum += c.weight;
+  }
+  const double span = total_weight_ - prev_center;
+  const double frac =
+      span > 0.0 ? (target - prev_center) / span : 1.0;
+  return prev_mean + frac * (max_ - prev_mean);
+}
+
+}  // namespace wearscope::sketch

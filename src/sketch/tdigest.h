@@ -1,0 +1,63 @@
+// t-digest quantile sketch (Dunning & Ertl), merging-digest variant.
+//
+// Centroid sizes follow the arcsine scale function k(q) =
+// delta/(2*pi) * asin(2q - 1), which keeps centroids tiny near both
+// tails and coarse in the middle — quantile error is relative to
+// q(1 - q), so p50/p95/p99 all come out tight.  At the default
+// compression delta = 200 the digest holds at most ~2*delta centroids
+// (~a few KiB) no matter how many values stream in; the live sketch gate
+// (docs/DESIGN.md) budgets 1% relative error on p50/p95/p99 of
+// transaction sizes.
+//
+// Incoming values buffer until kBufferLimit and then merge in one sorted
+// sweep; merge(other) folds a second digest in the same way, so
+// per-shard digests combine deterministically (estimates depend only on
+// the value stream and the merge order, both fixed by the caller).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace wearscope::sketch {
+
+/// Bounded-memory quantile estimator over doubles.
+class TDigest {
+ public:
+  /// Larger compression = more centroids = tighter quantiles.
+  explicit TDigest(double compression = 200.0);
+
+  /// Observes `value` with the given weight (weight >= 1).
+  void add(double value, double weight = 1.0);
+
+  /// Folds `other` into this digest.
+  void merge(const TDigest& other);
+
+  /// Estimated q-quantile (q in [0, 1]); 0 for an empty digest.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Total weight observed.
+  [[nodiscard]] double count() const;
+
+  /// Bytes held by the centroid and buffer arrays.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept;
+
+ private:
+  struct Centroid {
+    double mean = 0.0;
+    double weight = 0.0;
+  };
+
+  /// Sorts buffered points into the centroid list (see the scale
+  /// function above); const because quantile() must flush lazily.
+  void compress() const;
+
+  double compression_ = 200.0;
+  mutable std::vector<Centroid> centroids_;  ///< Sorted by mean.
+  mutable std::vector<Centroid> buffer_;     ///< Unmerged recent points.
+  mutable double total_weight_ = 0.0;        ///< Weight inside centroids_.
+  double min_ = 0.0;                         ///< Smallest value observed.
+  double max_ = 0.0;                         ///< Largest value observed.
+  bool empty_ = true;
+};
+
+}  // namespace wearscope::sketch

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "par/task_pool.h"
+#include "trace/columnar_io.h"
 #include "trace/record_codec.h"
 #include "util/crc32.h"
 #include "util/span_decoder.h"
@@ -34,7 +35,8 @@ std::uint16_t parse_file_header(util::MemorySpanDecoder& dec) {
   if (magic != magic_of<Record>())
     throw util::ParseError("binary log: wrong magic (different record type?)");
   const std::uint16_t version = dec.get_u16();
-  if (version != 1 && version != kBinaryFormatV2)
+  if (version != 1 && version != kBinaryFormatV2 &&
+      version != kBinaryFormatV3)
     throw util::ParseError("binary log: unsupported format version " +
                            std::to_string(version));
   (void)dec.get_u16();  // reserved
@@ -283,6 +285,14 @@ std::vector<Record> read_binary_log(std::span<const std::byte> bytes,
     decode_v1_body(dec, out);
     return out;
   }
+  if (version == kBinaryFormatV3) {
+    ColumnarLogDecode<Record> decode(bytes.subspan(8), /*lenient=*/false);
+    std::vector<std::function<void()>> batch;
+    decode.schedule(out, batch);
+    run_batch(std::move(batch), pool);
+    (void)decode.finalize(out);
+    return out;
+  }
   BlockedLogDecode<Record> decode(bytes.subspan(8), /*lenient=*/false);
   std::vector<std::function<void()>> batch;
   decode.schedule(out, batch);
@@ -314,6 +324,18 @@ std::vector<Record> read_binary_log_lenient(std::span<const std::byte> bytes,
     }
     return out;
   }
+  if (version == kBinaryFormatV3) {
+    ColumnarLogDecode<Record> decode(bytes.subspan(8), /*lenient=*/true);
+    if (!decode.dicts_ok()) {
+      ++quarantine.corrupt_files;  // indices are meaningless without dicts
+      return out;
+    }
+    std::vector<std::function<void()>> batch;
+    decode.schedule(out, batch);
+    run_batch(std::move(batch), pool);
+    quarantine.corrupt_blocks += decode.finalize(out);
+    return out;
+  }
   BlockedLogDecode<Record> decode(bytes.subspan(8), /*lenient=*/true);
   std::vector<std::function<void()>> batch;
   decode.schedule(out, batch);
@@ -333,6 +355,13 @@ BinaryLogInfo probe_binary_log(std::span<const std::byte> bytes) {
   util::MemorySpanDecoder dec(bytes);
   BinaryLogInfo info;
   info.version = parse_file_header<Record>(dec);
+  if (info.version == kBinaryFormatV3) {
+    const ColumnarLayoutInfo layout =
+        probe_columnar_layout<Record>(bytes.subspan(8));
+    info.blocks = layout.groups;
+    info.records = layout.records;
+    return info;
+  }
   if (info.version == kBinaryFormatV2) {
     const BlockIndex index =
         scan_block_index(bytes.subspan(8), /*lenient=*/true);

@@ -166,9 +166,9 @@ struct BlockIndex {
 
 /// Summary of one binary log file for operator audits (wearscope_inspect).
 struct BinaryLogInfo {
-  std::uint16_t version = 0;   ///< 1 or 2.
-  std::uint64_t blocks = 0;    ///< 0 for v1.
-  std::uint64_t records = 0;   ///< v2: claimed by frames; v1: decoded count.
+  std::uint16_t version = 0;   ///< 1, 2 or 3.
+  std::uint64_t blocks = 0;    ///< v2 frames / v3 row groups; 0 for v1.
+  std::uint64_t records = 0;   ///< v2/v3: claimed; v1: decoded count.
 };
 
 /// Probes a whole binary log (header included) of either version.
@@ -179,24 +179,25 @@ template <typename Record>
 [[nodiscard]] BinaryLogInfo probe_binary_log(std::span<const std::byte> bytes);
 
 /// Validates the 8-byte file header of a `Record` log and returns its
-/// version (1 or 2).  Throws util::ParseError on a short buffer, wrong
+/// version (1, 2 or 3).  Throws util::ParseError on a short buffer, wrong
 /// magic or unknown version.  Cheap: touches only the first 8 bytes.
 template <typename Record>
 [[nodiscard]] std::uint16_t read_log_header(std::span<const std::byte> bytes);
 
-/// Strict whole-log read from memory, v1 or v2 by header version.  v2
-/// blocks decode concurrently on `pool` when given (nullptr == inline);
-/// the result is identical for every pool size.  Throws util::ParseError
-/// on any corruption.
+/// Strict whole-log read from memory, v1/v2/v3 by header version.  v2
+/// blocks and v3 row groups decode concurrently on `pool` when given
+/// (nullptr == inline); the result is identical for every pool size.
+/// Throws util::ParseError on any corruption.
 template <typename Record>
 [[nodiscard]] std::vector<Record> read_binary_log(
     std::span<const std::byte> bytes, par::TaskPool* pool = nullptr);
 
 /// Lenient whole-log read from memory with skip-and-count quarantine:
 /// a rejected header counts one `corrupt_files`; v1 body damage counts
-/// one `corrupt_tails` (keeping the records before it); v2 body damage
-/// counts one `corrupt_blocks` per lost block, keeping every other block.
-/// Never throws ParseError.
+/// one `corrupt_tails` (keeping the records before it); v2/v3 body damage
+/// counts one `corrupt_blocks` per lost block or row group, keeping every
+/// other one (a damaged v3 dictionary counts one `corrupt_files` — the
+/// indices are meaningless without it).  Never throws ParseError.
 template <typename Record>
 [[nodiscard]] std::vector<Record> read_binary_log_lenient(
     std::span<const std::byte> bytes, QuarantineStats& quarantine,

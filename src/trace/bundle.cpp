@@ -40,7 +40,9 @@ void save_log(const std::vector<Record>& records,
   std::ofstream out(path, std::ios::binary);
   if (!out) fail_io("cannot open for writing", path);
   if (format == BundleFormat::kBinary) {
-    if (binary_version == kBinaryFormatV2) {
+    if (binary_version == kBinaryFormatV3) {
+      (void)write_columnar_log(out, records);
+    } else if (binary_version == kBinaryFormatV2) {
       BlockLogWriter<Record> writer(out);
       for (const Record& r : records) writer.write(r);
       writer.finish();
@@ -102,8 +104,11 @@ class LogLoad {
   /// loads only) and hands over the records.
   std::vector<Record> finalize(QuarantineStats* quarantine) {
     if (decode_.has_value()) local_.corrupt_blocks += decode_->finalize(out_);
+    if (columnar_.has_value())
+      local_.corrupt_blocks += columnar_->finalize(out_);
     if (quarantine != nullptr) *quarantine += local_;
     decode_.reset();
+    columnar_.reset();
     file_.reset();
     return std::move(out_);
   }
@@ -126,6 +131,16 @@ class LogLoad {
       }
     } else {
       version = read_log_header<Record>(bytes);
+    }
+    if (version == kBinaryFormatV3) {
+      columnar_.emplace(bytes.subspan(8), lenient);
+      if (!columnar_->dicts_ok()) {
+        ++local_.corrupt_files;  // indices are meaningless without dicts
+        columnar_.reset();
+        return;
+      }
+      columnar_->schedule(out_, batch);
+      return;
     }
     if (version == kBinaryFormatV2) {
       decode_.emplace(bytes.subspan(8), lenient);
@@ -161,6 +176,7 @@ class LogLoad {
 
   std::optional<util::MappedFile> file_;
   std::optional<BlockedLogDecode<Record>> decode_;
+  std::optional<ColumnarLogDecode<Record>> columnar_;
   std::vector<Record> out_;
   QuarantineStats local_;
   std::filesystem::path csv_path_;
@@ -213,6 +229,8 @@ BundleLogAudit audit_log(const std::filesystem::path& dir,
     audit.version = info.version;
     audit.blocks = info.blocks;
     audit.records = info.records;
+    if (info.version == kBinaryFormatV3)
+      audit.columnar = probe_columnar_layout<Record>(file.bytes().subspan(8));
   } else if (std::filesystem::exists(csv)) {
     audit.file = csv.filename().string();
     errno = 0;
@@ -234,8 +252,9 @@ const char* extension(BundleFormat format) {
 
 void save_bundle(const TraceStore& store, const std::filesystem::path& dir,
                  BundleFormat format, std::uint16_t binary_version) {
-  util::require(binary_version == 1 || binary_version == kBinaryFormatV2,
-                "save_bundle: binary version must be 1 or 2");
+  util::require(binary_version == 1 || binary_version == kBinaryFormatV2 ||
+                    binary_version == kBinaryFormatV3,
+                "save_bundle: binary version must be 1, 2 or 3");
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
   if (ec)

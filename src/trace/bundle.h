@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "trace/block_io.h"
+#include "trace/columnar_io.h"
 #include "trace/quarantine.h"
 #include "trace/store.h"
 
@@ -31,9 +32,10 @@ enum class BundleFormat {
 };
 
 /// Writes all four logs of `store` into `dir` (created if absent).
-/// `binary_version` selects the on-disk binary layout (2 = blocked v2,
-/// 1 = legacy stream; ignored for CSV).  Throws util::IoError on
-/// filesystem failures, with the OS errno explanation in the message.
+/// `binary_version` selects the on-disk binary layout (3 = columnar v3,
+/// 2 = blocked v2, 1 = legacy stream; ignored for CSV).  Throws
+/// util::IoError on filesystem failures, with the OS errno explanation in
+/// the message.
 void save_bundle(const TraceStore& store, const std::filesystem::path& dir,
                  BundleFormat format = BundleFormat::kBinary,
                  std::uint16_t binary_version = kBinaryFormatV2);
@@ -50,7 +52,7 @@ struct LoadOptions {
 
 /// Loads a bundle previously written by save_bundle. The format is detected
 /// from the file extensions present in `dir` (binary version from the file
-/// header — v1 and v2 both load).
+/// header — v1, v2 and v3 all load).
 /// Throws util::IoError when files are missing, util::ParseError when they
 /// are malformed.
 TraceStore load_bundle(const std::filesystem::path& dir,
@@ -75,9 +77,12 @@ TraceStore load_bundle(const std::filesystem::path& dir,
 struct BundleLogAudit {
   std::string stem;           ///< "proxy", "mme", "devices" or "sectors".
   std::string file;           ///< File name actually loaded, e.g. "proxy.bin".
-  std::uint16_t version = 0;  ///< 2 = blocked, 1 = v1 stream, 0 = CSV.
-  std::uint64_t blocks = 0;   ///< v2 frame count (0 otherwise).
+  std::uint16_t version = 0;  ///< 3 = columnar, 2 = blocked, 1 = v1, 0 = CSV.
+  std::uint64_t blocks = 0;   ///< v2 frames / v3 row groups (0 otherwise).
   std::uint64_t records = 0;  ///< Records a lenient reader would recover.
+  /// v3 only: dictionary sizes and per-column compressed bytes (the
+  /// column_bytes vector is empty for every other version).
+  ColumnarLayoutInfo columnar;
 };
 
 /// Probes all four logs of a bundle without building a TraceStore.

@@ -1,0 +1,232 @@
+// Columnar binary log format (on-disk version 3).
+//
+// v2 (trace/block_io) framed the v1 row encoding into CRC-checked blocks;
+// the bytes inside a block are still one record after another, so a scan
+// that wants only timestamps and byte counts drags every url_path through
+// the cache with them.  v3 keeps the same 8-byte file header and the same
+// block-granular quarantine contract but stores each row group as a
+// struct-of-arrays: one contiguous, individually CRC-framed segment per
+// column, with the repetitive columns squeezed down before they ever hit
+// disk:
+//
+//   [magic u32][version=3 u16][reserved u16]            file header
+//   3 dictionary sections, fixed order hosts/tacs/sectors {
+//     [entry_count u32][byte_length u32][crc32 u32]     section header
+//     [payload]                                         byte_length bytes
+//   }
+//   repeat {                                            row groups
+//     [record_count u32][byte_length u32]               group header
+//     per column, in schema order {
+//       [byte_length u32][crc32 u32][payload]           column segment
+//     }                                                 (sums to the group
+//   }                                                    byte_length)
+//
+// Column encodings: timestamps are zigzag varint deltas (restarting from 0
+// in every group, so groups decode independently); ids, byte counts and
+// durations are plain varints; hosts, TACs and sector ids are varint
+// indices into the file-level dictionaries; protocol/event stay one raw
+// byte; free-form strings stay u16-length-prefixed; doubles stay 8 raw
+// bytes.  The hosts dictionary payload is a string sequence, the tac and
+// sector payloads are little-endian u32 arrays.
+//
+// Corruption semantics mirror v2 exactly, because the group headers chain
+// the same way frame headers do: a bad column CRC, an out-of-range
+// dictionary index, a varint overrun or a segment that does not consume
+// exactly its byte_length quarantines ONE group (corrupt_blocks) and the
+// reader resyncs at the next group header.  record_count > byte_length is
+// still impossible (every column costs at least one byte per record) and
+// skips the group without decoding.  Only the dictionaries are file-level
+// state: a damaged dictionary section makes every index in the file
+// meaningless, so a lenient reader quarantines the whole file
+// (corrupt_files) rather than fabricating hosts.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "trace/block_io.h"
+#include "trace/records.h"
+
+namespace wearscope::par {
+class TaskPool;
+}  // namespace wearscope::par
+
+namespace wearscope::trace {
+
+/// On-disk version written by write_columnar_log.
+inline constexpr std::uint16_t kBinaryFormatV3 = 3;
+
+/// Bytes of one dictionary section header: entry_count + byte_length + crc.
+inline constexpr std::size_t kDictHeaderBytes = 12;
+
+/// Bytes of one row-group header: record_count + byte_length.
+inline constexpr std::size_t kGroupHeaderBytes = 8;
+
+/// Bytes of one column-segment header: byte_length + crc.
+inline constexpr std::size_t kColumnHeaderBytes = 8;
+
+/// Columns in the v3 schema of each record type (the per-group segment
+/// count): ProxyRecord 9, MmeRecord 5, DeviceRecord 4, SectorInfo 3.
+template <typename Record>
+[[nodiscard]] constexpr std::size_t columnar_column_count();
+template <>
+constexpr std::size_t columnar_column_count<ProxyRecord>() { return 9; }
+template <>
+constexpr std::size_t columnar_column_count<MmeRecord>() { return 5; }
+template <>
+constexpr std::size_t columnar_column_count<DeviceRecord>() { return 4; }
+template <>
+constexpr std::size_t columnar_column_count<SectorInfo>() { return 3; }
+
+/// File-level dictionaries of one v3 log, in first-appearance order over
+/// the record vector the writer saw.  Record types that do not use a
+/// dictionary leave it empty (the section is still written, 12 bytes).
+struct ColumnDicts {
+  std::vector<std::string> hosts;
+  std::vector<std::uint32_t> tacs;
+  std::vector<std::uint32_t> sectors;
+};
+
+/// One row group as located by the group scan (offsets into the group
+/// chain, which starts AFTER the dictionary sections).
+struct ColumnGroup {
+  std::size_t payload_offset = 0;  ///< First column-segment header.
+  std::uint32_t record_count = 0;
+  std::uint32_t byte_length = 0;   ///< All column segments, headers included.
+  /// False when the group header is impossible (record_count exceeds
+  /// byte_length): the group is skipped, never decoded.
+  bool header_ok = true;
+};
+
+/// Group index of one v3 group chain, same contract as BlockIndex.
+struct ColumnGroupIndex {
+  std::vector<ColumnGroup> groups;
+  std::uint64_t total_records = 0;
+  std::uint64_t corrupt_blocks = 0;
+};
+
+/// Scans the group chain (`chain` starts at the first group header, after
+/// the dictionary sections) without touching payloads.  Strict: throws
+/// util::ParseError on structural damage.  Lenient: skips impossible
+/// group headers, counts a broken chain as one corrupt block and stops.
+[[nodiscard]] ColumnGroupIndex scan_column_groups(
+    std::span<const std::byte> chain, bool lenient);
+
+/// What write_columnar_log produced (mirrors BlockLogWriter's counters).
+struct ColumnarWriteInfo {
+  std::uint64_t records = 0;
+  std::uint64_t blocks = 0;  ///< Row groups written.
+};
+
+/// Writes `records` as one v3 log: two passes, the first building the
+/// dictionaries in first-appearance order, the second encoding row groups
+/// of up to `options.max_block_records` records (the byte target does not
+/// apply: columns are encoded a whole group at a time).  Throws
+/// util::IoError on write failure.
+template <typename Record>
+ColumnarWriteInfo write_columnar_log(std::ostream& out,
+                                     const std::vector<Record>& records,
+                                     BlockWriterOptions options = {});
+
+/// A v3 log body being decoded with the same schedule/finalize split as
+/// BlockedLogDecode: the constructor — sequential — parses the dictionary
+/// sections and scans the group chain; schedule() appends one decode task
+/// per group (tasks write disjoint slices of `out`); finalize() —
+/// sequential, after the batch ran — compacts failed groups in order and
+/// returns the corrupt-group count.
+template <typename Record>
+class ColumnarLogDecode {
+ public:
+  /// `body` is the log body after the 8-byte file header; it must stay
+  /// alive (and unmoved) until finalize() returns.  Strict mode throws
+  /// util::ParseError on damaged dictionaries or a damaged chain; lenient
+  /// mode records the damage instead (see dicts_ok()).
+  ColumnarLogDecode(std::span<const std::byte> body, bool lenient);
+
+  /// False only in lenient mode, when a dictionary section was damaged:
+  /// the whole file is unusable and the caller must count one
+  /// corrupt_files (schedule()/finalize() degrade to no-ops).
+  [[nodiscard]] bool dicts_ok() const noexcept { return dicts_ok_; }
+
+  /// Claimed record total (the pre-size target).
+  [[nodiscard]] std::uint64_t total_records() const noexcept {
+    return index_.total_records;
+  }
+  /// Groups found by the scan.
+  [[nodiscard]] const ColumnGroupIndex& index() const noexcept {
+    return index_;
+  }
+  /// The parsed file-level dictionaries.
+  [[nodiscard]] const ColumnDicts& dicts() const noexcept { return dicts_; }
+
+  /// Resizes `out` and appends the per-group decode tasks to `batch`.
+  void schedule(std::vector<Record>& out,
+                std::vector<std::function<void()>>& batch);
+
+  /// Compacts `out` (stable, group order) and returns corrupt groups
+  /// (scan losses + decode/CRC failures).  Strict mode always returns 0 —
+  /// failures have already thrown out of the batch.
+  std::uint64_t finalize(std::vector<Record>& out);
+
+ private:
+  std::span<const std::byte> chain_;
+  bool lenient_ = false;
+  bool dicts_ok_ = true;
+  ColumnDicts dicts_;
+  ColumnGroupIndex index_;
+  std::vector<std::uint64_t> group_base_;  ///< Slice start per group.
+  /// Written concurrently, one slot per group, by the decode tasks.
+  std::vector<std::uint8_t> group_done_;
+};
+
+/// Byte-level layout of one v3 log for operator audits (wearscope_inspect
+/// prints dictionary sizes and per-column compressed bytes next to the
+/// v2 blocks/records columns).  Produced by a lenient probe: the counts
+/// describe what a lenient reader would address.
+struct ColumnarLayoutInfo {
+  std::uint64_t groups = 0;
+  std::uint64_t records = 0;
+  std::uint64_t dict_hosts = 0;    ///< Host dictionary entries.
+  std::uint64_t dict_tacs = 0;     ///< TAC dictionary entries.
+  std::uint64_t dict_sectors = 0;  ///< Sector dictionary entries.
+  std::uint64_t dict_bytes = 0;    ///< Dictionary payload bytes (all three).
+  /// Compressed payload bytes per column, schema order, summed over all
+  /// addressable groups (segment headers excluded).
+  std::vector<std::uint64_t> column_bytes;
+};
+
+/// Probes the layout of a v3 log body (after the 8-byte file header)
+/// without decoding records.  Lenient: damage truncates the walk rather
+/// than throwing.
+template <typename Record>
+[[nodiscard]] ColumnarLayoutInfo probe_columnar_layout(
+    std::span<const std::byte> body);
+
+extern template ColumnarWriteInfo write_columnar_log<ProxyRecord>(
+    std::ostream&, const std::vector<ProxyRecord>&, BlockWriterOptions);
+extern template ColumnarWriteInfo write_columnar_log<MmeRecord>(
+    std::ostream&, const std::vector<MmeRecord>&, BlockWriterOptions);
+extern template ColumnarWriteInfo write_columnar_log<DeviceRecord>(
+    std::ostream&, const std::vector<DeviceRecord>&, BlockWriterOptions);
+extern template ColumnarWriteInfo write_columnar_log<SectorInfo>(
+    std::ostream&, const std::vector<SectorInfo>&, BlockWriterOptions);
+extern template class ColumnarLogDecode<ProxyRecord>;
+extern template class ColumnarLogDecode<MmeRecord>;
+extern template class ColumnarLogDecode<DeviceRecord>;
+extern template class ColumnarLogDecode<SectorInfo>;
+extern template ColumnarLayoutInfo probe_columnar_layout<ProxyRecord>(
+    std::span<const std::byte>);
+extern template ColumnarLayoutInfo probe_columnar_layout<MmeRecord>(
+    std::span<const std::byte>);
+extern template ColumnarLayoutInfo probe_columnar_layout<DeviceRecord>(
+    std::span<const std::byte>);
+extern template ColumnarLayoutInfo probe_columnar_layout<SectorInfo>(
+    std::span<const std::byte>);
+
+}  // namespace wearscope::trace

@@ -1,0 +1,117 @@
+#include "trace/columns.h"
+
+#include <functional>
+#include <unordered_map>
+#include <utility>
+
+#include "par/task_pool.h"
+
+namespace wearscope::trace {
+
+namespace {
+
+/// Runs `batch` on `pool` (or inline when pool is null): same helper
+/// shape as the blocked decode, same any-thread-count determinism —
+/// every task writes only columns it owns.
+void run_batch(std::vector<std::function<void()>> batch,
+               par::TaskPool* pool) {
+  if (pool == nullptr) {
+    for (std::function<void()>& task : batch) task();
+    return;
+  }
+  pool->run(std::move(batch));
+}
+
+}  // namespace
+
+ProxyColumns build_proxy_columns(const std::vector<ProxyRecord>& rows,
+                                 par::TaskPool* pool) {
+  ProxyColumns cols;
+  const std::size_t n = rows.size();
+  std::vector<std::function<void()>> batch;
+  batch.push_back([&rows, &cols, n] {
+    cols.timestamp.resize(n);
+    cols.user_id.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      cols.timestamp[i] = rows[i].timestamp;
+      cols.user_id[i] = rows[i].user_id;
+    }
+  });
+  batch.push_back([&rows, &cols, n] {
+    cols.tac_id.resize(n);
+    std::unordered_map<Tac, std::uint32_t> ids;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto next = static_cast<std::uint32_t>(cols.tacs.size());
+      const auto [it, inserted] = ids.emplace(rows[i].tac, next);
+      if (inserted) cols.tacs.push_back(rows[i].tac);
+      cols.tac_id[i] = it->second;
+    }
+  });
+  batch.push_back([&rows, &cols, n] {
+    cols.host_id.resize(n);
+    std::unordered_map<std::string, std::uint32_t> ids;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto next = static_cast<std::uint32_t>(cols.hosts.size());
+      const auto [it, inserted] = ids.emplace(rows[i].host, next);
+      if (inserted) cols.hosts.push_back(rows[i].host);
+      cols.host_id[i] = it->second;
+    }
+  });
+  batch.push_back([&rows, &cols, n] {
+    cols.protocol.resize(n);
+    cols.duration_ms.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      cols.protocol[i] = static_cast<std::uint8_t>(rows[i].protocol);
+      cols.duration_ms[i] = rows[i].duration_ms;
+    }
+  });
+  batch.push_back([&rows, &cols, n] {
+    cols.bytes_up.resize(n);
+    cols.bytes_down.resize(n);
+    cols.bytes_total.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      cols.bytes_up[i] = rows[i].bytes_up;
+      cols.bytes_down[i] = rows[i].bytes_down;
+      cols.bytes_total[i] = rows[i].bytes_total();
+    }
+  });
+  run_batch(std::move(batch), pool);
+  return cols;
+}
+
+MmeColumns build_mme_columns(const std::vector<MmeRecord>& rows,
+                             par::TaskPool* pool) {
+  MmeColumns cols;
+  const std::size_t n = rows.size();
+  std::vector<std::function<void()>> batch;
+  batch.push_back([&rows, &cols, n] {
+    cols.timestamp.resize(n);
+    cols.user_id.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      cols.timestamp[i] = rows[i].timestamp;
+      cols.user_id[i] = rows[i].user_id;
+    }
+  });
+  batch.push_back([&rows, &cols, n] {
+    cols.tac_id.resize(n);
+    std::unordered_map<Tac, std::uint32_t> ids;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto next = static_cast<std::uint32_t>(cols.tacs.size());
+      const auto [it, inserted] = ids.emplace(rows[i].tac, next);
+      if (inserted) cols.tacs.push_back(rows[i].tac);
+      cols.tac_id[i] = it->second;
+    }
+  });
+  batch.push_back([&rows, &cols, n] {
+    cols.event.resize(n);
+    cols.sector_id.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      cols.event[i] = static_cast<std::uint8_t>(rows[i].event);
+      cols.sector_id[i] = rows[i].sector_id;
+    }
+  });
+  run_batch(std::move(batch), pool);
+  return cols;
+}
+
+}  // namespace wearscope::trace

@@ -8,6 +8,10 @@ namespace wearscope::trace {
 void TraceStore::sort_by_time() {
   std::stable_sort(proxy.begin(), proxy.end(), ByTimeThenUser{});
   std::stable_sort(mme.begin(), mme.end(), ByTimeThenUser{});
+  // Row indices shifted: any column transpose is stale.
+  proxy_columns_ = ProxyColumns{};
+  mme_columns_ = MmeColumns{};
+  columns_built_ = false;
 }
 
 bool TraceStore::is_sorted() const noexcept {
@@ -75,6 +79,23 @@ std::optional<SectorInfo> TraceStore::find_sector(SectorId id) const {
   const auto it = sector_index_.find(id);
   if (it == sector_index_.end()) return std::nullopt;
   return sectors[it->second];
+}
+
+void TraceStore::build_columns(par::TaskPool* pool) const {
+  if (columns_built_) return;
+  proxy_columns_ = build_proxy_columns(proxy, pool);
+  mme_columns_ = build_mme_columns(mme, pool);
+  columns_built_ = true;
+}
+
+const ProxyColumns& TraceStore::proxy_columns() const {
+  if (!columns_built_) build_columns();
+  return proxy_columns_;
+}
+
+const MmeColumns& TraceStore::mme_columns() const {
+  if (!columns_built_) build_columns();
+  return mme_columns_;
 }
 
 }  // namespace wearscope::trace

@@ -6,7 +6,12 @@
 #include <unordered_map>
 #include <vector>
 
+#include "trace/columns.h"
 #include "trace/records.h"
+
+namespace wearscope::par {
+class TaskPool;
+}  // namespace wearscope::par
 
 namespace wearscope::trace {
 
@@ -32,7 +37,8 @@ class TraceStore {
   std::vector<DeviceRecord> devices; ///< DeviceDB snapshot.
   std::vector<SectorInfo> sectors;   ///< Antenna-sector positions.
 
-  /// Sorts both event logs into canonical (time, user) order.
+  /// Sorts both event logs into canonical (time, user) order.  Discards
+  /// previously built column views (row indices shift).
   void sort_by_time();
 
   /// True when both event logs are in canonical order.
@@ -50,10 +56,27 @@ class TraceStore {
   /// Builds (or rebuilds) the lookup indexes after mutating devices/sectors.
   void rebuild_indexes() const;
 
+  /// Builds the struct-of-arrays views over both event logs (see
+  /// trace/columns.h) unless already built.  Independent columns fill as
+  /// separate tasks on `pool` when given; any pool size produces the same
+  /// columns.  Lazy/mutable like rebuild_indexes: build after the rows
+  /// reach their final order (sort_by_time invalidates).
+  void build_columns(par::TaskPool* pool = nullptr) const;
+
+  /// True once build_columns has run against the current row order.
+  [[nodiscard]] bool columns_built() const noexcept { return columns_built_; }
+
+  /// The column views; build_columns() is called on demand when needed.
+  [[nodiscard]] const ProxyColumns& proxy_columns() const;
+  [[nodiscard]] const MmeColumns& mme_columns() const;
+
  private:
   mutable std::unordered_map<Tac, std::size_t> device_index_;
   mutable std::unordered_map<SectorId, std::size_t> sector_index_;
   mutable bool indexes_built_ = false;
+  mutable ProxyColumns proxy_columns_;
+  mutable MmeColumns mme_columns_;
+  mutable bool columns_built_ = false;
 };
 
 }  // namespace wearscope::trace

@@ -1,0 +1,349 @@
+// Tests for the in-memory columnar transpose (trace/columns.h) and the
+// row-vs-columnar kernel equivalence: every rewritten analyze_* kernel
+// must reproduce its analyze_*_rows reference implementation bitwise on
+// the same context, because the column views are built FROM the rows.
+#include "trace/columns.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/analysis_activity.h"
+#include "core/analysis_adoption.h"
+#include "core/analysis_diurnal.h"
+#include "core/analysis_thirdparty.h"
+#include "core/analysis_usage.h"
+#include "core/context.h"
+#include "par/task_pool.h"
+#include "simnet/simulator.h"
+#include "trace/store.h"
+
+namespace wearscope::trace {
+namespace {
+
+std::vector<ProxyRecord> sample_proxy_rows() {
+  std::vector<ProxyRecord> rows;
+  const char* hosts[] = {"api.weather.com", "gw.gear.samsung.com",
+                         "api.weather.com", "ads.example.net"};
+  const Tac tacs[] = {35254208u, 35332008u, 35254208u, 35254208u};
+  for (int i = 0; i < 4; ++i) {
+    ProxyRecord r;
+    r.timestamp = 1000 + i * 60;
+    r.user_id = 100 + static_cast<UserId>(i % 2);
+    r.tac = tacs[i];
+    r.protocol = i % 2 == 0 ? Protocol::kHttps : Protocol::kHttp;
+    r.host = hosts[i];
+    r.url_path = "/p" + std::to_string(i);
+    r.bytes_up = 10u * static_cast<std::uint64_t>(i + 1);
+    r.bytes_down = 100u * static_cast<std::uint64_t>(i + 1);
+    r.duration_ms = 250u + static_cast<std::uint32_t>(i);
+    rows.push_back(std::move(r));
+  }
+  return rows;
+}
+
+TEST(Columns, ProxyTransposeMatchesRows) {
+  const std::vector<ProxyRecord> rows = sample_proxy_rows();
+  const ProxyColumns cols = build_proxy_columns(rows);
+  ASSERT_EQ(cols.size(), rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(cols.timestamp[i], rows[i].timestamp) << i;
+    EXPECT_EQ(cols.user_id[i], rows[i].user_id) << i;
+    EXPECT_EQ(cols.tacs[cols.tac_id[i]], rows[i].tac) << i;
+    EXPECT_EQ(cols.protocol[i], static_cast<std::uint8_t>(rows[i].protocol))
+        << i;
+    EXPECT_EQ(cols.hosts[cols.host_id[i]], rows[i].host) << i;
+    EXPECT_EQ(cols.bytes_up[i], rows[i].bytes_up) << i;
+    EXPECT_EQ(cols.bytes_down[i], rows[i].bytes_down) << i;
+    EXPECT_EQ(cols.bytes_total[i], rows[i].bytes_total()) << i;
+    EXPECT_EQ(cols.duration_ms[i], rows[i].duration_ms) << i;
+  }
+}
+
+TEST(Columns, DictionariesAreFirstAppearanceOrder) {
+  const ProxyColumns cols = build_proxy_columns(sample_proxy_rows());
+  // Hosts: weather first, gear gateway second, ads third (repeat reuses).
+  ASSERT_EQ(cols.hosts.size(), 3u);
+  EXPECT_EQ(cols.hosts[0], "api.weather.com");
+  EXPECT_EQ(cols.hosts[1], "gw.gear.samsung.com");
+  EXPECT_EQ(cols.hosts[2], "ads.example.net");
+  EXPECT_EQ(cols.host_id[2], 0u);  // repeat of row 0's host
+  ASSERT_EQ(cols.tacs.size(), 2u);
+  EXPECT_EQ(cols.tacs[0], 35254208u);
+  EXPECT_EQ(cols.tacs[1], 35332008u);
+}
+
+TEST(Columns, MmeTransposeMatchesRows) {
+  std::vector<MmeRecord> rows;
+  for (int i = 0; i < 6; ++i) {
+    rows.push_back({static_cast<util::SimTime>(500 + i),
+                    static_cast<UserId>(7 + i % 3),
+                    i % 2 == 0 ? 35254208u : 35909306u, MmeEvent::kAttach,
+                    static_cast<SectorId>(40 + i)});
+  }
+  const MmeColumns cols = build_mme_columns(rows);
+  ASSERT_EQ(cols.size(), rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(cols.timestamp[i], rows[i].timestamp) << i;
+    EXPECT_EQ(cols.user_id[i], rows[i].user_id) << i;
+    EXPECT_EQ(cols.tacs[cols.tac_id[i]], rows[i].tac) << i;
+    EXPECT_EQ(cols.event[i], static_cast<std::uint8_t>(rows[i].event)) << i;
+    EXPECT_EQ(cols.sector_id[i], rows[i].sector_id) << i;
+  }
+  ASSERT_EQ(cols.tacs.size(), 2u);
+}
+
+TEST(Columns, EmptyInputBuildsEmptyColumns) {
+  const ProxyColumns p = build_proxy_columns({});
+  EXPECT_EQ(p.size(), 0u);
+  EXPECT_TRUE(p.hosts.empty());
+  const MmeColumns m = build_mme_columns({});
+  EXPECT_EQ(m.size(), 0u);
+}
+
+TEST(Columns, PoolSizeDoesNotChangeTheColumns) {
+  const std::vector<ProxyRecord> rows = [] {
+    std::vector<ProxyRecord> out;
+    for (int i = 0; i < 2000; ++i) {
+      ProxyRecord r;
+      r.timestamp = i;
+      r.user_id = static_cast<UserId>(i % 37);
+      r.tac = 35254208u + static_cast<Tac>(i % 5);
+      r.host = "host" + std::to_string(i % 61);
+      r.bytes_up = static_cast<std::uint64_t>(i);
+      r.bytes_down = static_cast<std::uint64_t>(2 * i);
+      out.push_back(std::move(r));
+    }
+    return out;
+  }();
+  const ProxyColumns seq = build_proxy_columns(rows, nullptr);
+  for (int threads : {2, 4, 8}) {
+    par::TaskPool pool(threads);
+    const ProxyColumns par_cols = build_proxy_columns(rows, &pool);
+    EXPECT_EQ(par_cols.timestamp, seq.timestamp) << threads;
+    EXPECT_EQ(par_cols.user_id, seq.user_id) << threads;
+    EXPECT_EQ(par_cols.tac_id, seq.tac_id) << threads;
+    EXPECT_EQ(par_cols.host_id, seq.host_id) << threads;
+    EXPECT_EQ(par_cols.bytes_total, seq.bytes_total) << threads;
+    EXPECT_EQ(par_cols.hosts, seq.hosts) << threads;
+    EXPECT_EQ(par_cols.tacs, seq.tacs) << threads;
+  }
+}
+
+TEST(Columns, StoreBuildIsLazyAndSortInvalidates) {
+  TraceStore store;
+  ProxyRecord r;
+  r.timestamp = 10;
+  r.user_id = 1;
+  r.tac = 35254208u;
+  r.host = "a.example";
+  store.proxy.push_back(r);
+  r.timestamp = 5;
+  r.host = "b.example";
+  store.proxy.push_back(r);
+
+  EXPECT_FALSE(store.columns_built());
+  store.build_columns();
+  EXPECT_TRUE(store.columns_built());
+  EXPECT_EQ(store.proxy_columns().timestamp[0], 10);
+
+  store.sort_by_time();
+  EXPECT_FALSE(store.columns_built());
+  // On-demand rebuild reflects the new row order.
+  EXPECT_EQ(store.proxy_columns().timestamp[0], 5);
+  EXPECT_TRUE(store.columns_built());
+}
+
+// ---- Row-vs-columnar kernel equivalence ------------------------------------
+
+const simnet::SimResult& capture() {
+  static const simnet::SimResult sim = [] {
+    simnet::SimConfig cfg = simnet::SimConfig::small();
+    cfg.seed = 4242;
+    return simnet::Simulator(cfg).run();
+  }();
+  return sim;
+}
+
+core::AnalysisContext make_context(int threads = 1) {
+  const simnet::SimResult& sim = capture();
+  core::AnalysisOptions opt;
+  opt.observation_days = sim.observation_days;
+  opt.detailed_start_day = sim.detailed_start_day;
+  opt.long_tail_apps = sim.config.long_tail_apps;
+  opt.threads = threads;
+  return core::AnalysisContext(sim.store, opt);
+}
+
+void expect_same_ecdf(const util::Ecdf& a, const util::Ecdf& b,
+                      const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.sorted().size(); ++i) {
+    ASSERT_DOUBLE_EQ(a.sorted()[i], b.sorted()[i]) << what << " sample " << i;
+  }
+}
+
+TEST(ColumnarKernels, AdoptionMatchesRowReference) {
+  const core::AnalysisContext ctx = make_context();
+  const core::AdoptionResult cols = core::analyze_adoption(ctx);
+  const core::AdoptionResult rows = core::analyze_adoption_rows(ctx);
+  EXPECT_EQ(cols.ever_registered, rows.ever_registered);
+  EXPECT_EQ(cols.ever_transacted, rows.ever_transacted);
+  EXPECT_DOUBLE_EQ(cols.ever_transacting_fraction,
+                   rows.ever_transacting_fraction);
+  EXPECT_DOUBLE_EQ(cols.total_growth, rows.total_growth);
+  EXPECT_DOUBLE_EQ(cols.monthly_growth, rows.monthly_growth);
+  EXPECT_DOUBLE_EQ(cols.still_active_share, rows.still_active_share);
+  EXPECT_DOUBLE_EQ(cols.gone_share, rows.gone_share);
+  EXPECT_DOUBLE_EQ(cols.new_share, rows.new_share);
+  EXPECT_DOUBLE_EQ(cols.churned_of_initial, rows.churned_of_initial);
+  ASSERT_EQ(cols.daily_registered_norm.size(),
+            rows.daily_registered_norm.size());
+  for (std::size_t d = 0; d < cols.daily_registered_norm.size(); ++d) {
+    EXPECT_DOUBLE_EQ(cols.daily_registered_norm[d],
+                     rows.daily_registered_norm[d])
+        << "day " << d;
+  }
+}
+
+// The adoption kernel's dense last-seen-stamp fast path only engages for
+// compact user-id spaces; ids spread across the 64-bit range must take
+// the sort+unique fallback and still match the row reference exactly.
+TEST(ColumnarKernels, AdoptionSparseUserIdsMatchRowReference) {
+  constexpr Tac kWearTac = 35254208u;  // Gear S3 frontier LTE
+  TraceStore store;
+  store.devices = {{kWearTac, "Gear S3 frontier LTE", "Samsung", "Tizen"}};
+  store.sectors = {{1, {40.0, -3.0}}};
+  const UserId users[] = {7u, UserId{1} << 40, (UserId{1} << 40) + 9999u,
+                          UserId{1} << 60};
+  for (int d = 0; d < 28; ++d) {
+    for (const UserId u : users) {
+      if (u == users[1] && d >= 14) continue;  // churns after two weeks
+      if (u == users[3] && d < 21) continue;   // adopts in the last week
+      store.mme.push_back({util::day_start(d) + 8 * 3600, u, kWearTac,
+                           MmeEvent::kAttach, 1});
+    }
+  }
+  store.sort_by_time();
+  core::AnalysisOptions opt;
+  opt.observation_days = 28;
+  opt.detailed_start_day = 14;
+  opt.long_tail_apps = 10;
+  const core::AnalysisContext ctx(store, opt);
+  const core::AdoptionResult cols = core::analyze_adoption(ctx);
+  const core::AdoptionResult rows = core::analyze_adoption_rows(ctx);
+  EXPECT_EQ(cols.ever_registered, rows.ever_registered);
+  EXPECT_EQ(rows.ever_registered, 4u);
+  EXPECT_DOUBLE_EQ(cols.still_active_share, rows.still_active_share);
+  EXPECT_DOUBLE_EQ(cols.gone_share, rows.gone_share);
+  EXPECT_DOUBLE_EQ(cols.new_share, rows.new_share);
+  EXPECT_DOUBLE_EQ(cols.churned_of_initial, rows.churned_of_initial);
+  ASSERT_EQ(cols.daily_registered_norm.size(),
+            rows.daily_registered_norm.size());
+  for (std::size_t d = 0; d < cols.daily_registered_norm.size(); ++d) {
+    EXPECT_DOUBLE_EQ(cols.daily_registered_norm[d],
+                     rows.daily_registered_norm[d])
+        << "day " << d;
+  }
+}
+
+TEST(ColumnarKernels, ActivityMatchesRowReference) {
+  const core::AnalysisContext ctx = make_context();
+  const core::ActivityResult cols = core::analyze_activity(ctx);
+  const core::ActivityResult rows = core::analyze_activity_rows(ctx);
+  expect_same_ecdf(cols.active_days_per_week, rows.active_days_per_week,
+                   "days/week");
+  expect_same_ecdf(cols.active_hours_per_day, rows.active_hours_per_day,
+                   "hours/day");
+  expect_same_ecdf(cols.txn_size_bytes, rows.txn_size_bytes, "txn bytes");
+  expect_same_ecdf(cols.hourly_txns_per_user, rows.hourly_txns_per_user,
+                   "hourly txns");
+  expect_same_ecdf(cols.hourly_bytes_per_user, rows.hourly_bytes_per_user,
+                   "hourly bytes");
+  EXPECT_DOUBLE_EQ(cols.mean_active_days, rows.mean_active_days);
+  EXPECT_DOUBLE_EQ(cols.mean_active_hours, rows.mean_active_hours);
+  EXPECT_DOUBLE_EQ(cols.frac_over_10h, rows.frac_over_10h);
+  EXPECT_DOUBLE_EQ(cols.frac_under_5h, rows.frac_under_5h);
+  EXPECT_DOUBLE_EQ(cols.mean_txn_bytes, rows.mean_txn_bytes);
+  EXPECT_DOUBLE_EQ(cols.median_txn_bytes, rows.median_txn_bytes);
+  EXPECT_DOUBLE_EQ(cols.frac_txn_under_10kb, rows.frac_txn_under_10kb);
+  EXPECT_DOUBLE_EQ(cols.correlation, rows.correlation);
+  EXPECT_DOUBLE_EQ(cols.binned_trend_corr, rows.binned_trend_corr);
+}
+
+TEST(ColumnarKernels, DiurnalMatchesRowReference) {
+  const core::AnalysisContext ctx = make_context();
+  const core::DiurnalResult cols = core::analyze_diurnal(ctx);
+  const core::DiurnalResult rows = core::analyze_diurnal_rows(ctx);
+  for (int h = 0; h < 24; ++h) {
+    EXPECT_DOUBLE_EQ(cols.users_weekday[h], rows.users_weekday[h]) << h;
+    EXPECT_DOUBLE_EQ(cols.users_weekend[h], rows.users_weekend[h]) << h;
+    EXPECT_DOUBLE_EQ(cols.data_weekday[h], rows.data_weekday[h]) << h;
+    EXPECT_DOUBLE_EQ(cols.data_weekend[h], rows.data_weekend[h]) << h;
+    EXPECT_DOUBLE_EQ(cols.txns_weekday[h], rows.txns_weekday[h]) << h;
+    EXPECT_DOUBLE_EQ(cols.txns_weekend[h], rows.txns_weekend[h]) << h;
+  }
+  for (int d = 0; d < 7; ++d) {
+    EXPECT_DOUBLE_EQ(cols.dow_txn_share[d], rows.dow_txn_share[d]) << d;
+  }
+  EXPECT_DOUBLE_EQ(cols.daily_active_fraction, rows.daily_active_fraction);
+  EXPECT_DOUBLE_EQ(cols.commute_bump_ratio, rows.commute_bump_ratio);
+  EXPECT_DOUBLE_EQ(cols.weekend_relative_usage, rows.weekend_relative_usage);
+  EXPECT_DOUBLE_EQ(cols.day_of_week_spread, rows.day_of_week_spread);
+}
+
+TEST(ColumnarKernels, UsageMatchesRowReference) {
+  const core::AnalysisContext ctx = make_context();
+  const core::UsageResult cols = core::analyze_usage(ctx);
+  const core::UsageResult rows = core::analyze_usage_rows(ctx);
+  ASSERT_EQ(cols.apps.size(), rows.apps.size());
+  for (std::size_t i = 0; i < cols.apps.size(); ++i) {
+    EXPECT_EQ(cols.apps[i].app, rows.apps[i].app) << i;
+    EXPECT_DOUBLE_EQ(cols.apps[i].mean_txns_per_usage,
+                     rows.apps[i].mean_txns_per_usage)
+        << i;
+    EXPECT_DOUBLE_EQ(cols.apps[i].mean_kb_per_usage,
+                     rows.apps[i].mean_kb_per_usage)
+        << i;
+    EXPECT_DOUBLE_EQ(cols.apps[i].mean_duration_s,
+                     rows.apps[i].mean_duration_s)
+        << i;
+  }
+}
+
+TEST(ColumnarKernels, ThirdPartyMatchesRowReference) {
+  const core::AnalysisContext ctx = make_context();
+  const core::ThirdPartyResult cols = core::analyze_thirdparty(ctx);
+  const core::ThirdPartyResult rows = core::analyze_thirdparty_rows(ctx);
+  for (std::size_t c = 0; c < cols.classes.size(); ++c) {
+    EXPECT_EQ(cols.classes[c].cls, rows.classes[c].cls) << c;
+    EXPECT_DOUBLE_EQ(cols.classes[c].user_share_pct,
+                     rows.classes[c].user_share_pct)
+        << c;
+    EXPECT_DOUBLE_EQ(cols.classes[c].txn_share_pct,
+                     rows.classes[c].txn_share_pct)
+        << c;
+    EXPECT_DOUBLE_EQ(cols.classes[c].data_share_pct,
+                     rows.classes[c].data_share_pct)
+        << c;
+  }
+  EXPECT_DOUBLE_EQ(cols.app_over_thirdparty_data,
+                   rows.app_over_thirdparty_data);
+}
+
+TEST(ColumnarKernels, ThreadCountDoesNotChangeTheAnswer) {
+  const core::AnalysisContext one = make_context(1);
+  const core::AnalysisContext eight = make_context(8);
+  const core::AdoptionResult a1 = core::analyze_adoption(one);
+  const core::AdoptionResult a8 = core::analyze_adoption(eight);
+  EXPECT_EQ(a1.ever_registered, a8.ever_registered);
+  EXPECT_DOUBLE_EQ(a1.monthly_growth, a8.monthly_growth);
+  expect_same_ecdf(core::analyze_activity(one).txn_size_bytes,
+                   core::analyze_activity(eight).txn_size_bytes, "txn bytes");
+}
+
+}  // namespace
+}  // namespace wearscope::trace

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <span>
 #include <sstream>
 #include <vector>
@@ -12,9 +13,12 @@
 #include <gtest/gtest.h>
 
 #include "chaos/fault_plan.h"
+#include "test_support.h"
 #include "trace/binary_io.h"
 #include "trace/block_io.h"
+#include "trace/columnar_io.h"
 #include "trace/csv_io.h"
+#include "util/crc32.h"
 #include "util/error.h"
 #include "util/rng.h"
 
@@ -66,7 +70,9 @@ TEST(FuzzBinary, TruncationAtEveryOffsetIsHandled) {
 
 TEST(FuzzBinary, SingleByteFlipsNeverCrash) {
   const std::string blob = valid_binary_log(6);
-  util::Pcg32 rng(0xF122);
+  const std::uint64_t seed = testing::seed_or(0xF122);
+  WEARSCOPE_SCOPED_SEED(seed);
+  util::Pcg32 rng(seed);
   for (int trial = 0; trial < 400; ++trial) {
     std::string mutated = blob;
     const auto pos = static_cast<std::size_t>(rng.uniform_int(
@@ -81,7 +87,9 @@ TEST(FuzzBinary, SingleByteFlipsNeverCrash) {
 }
 
 TEST(FuzzBinary, RandomGarbageIsRejectedOrEmpty) {
-  util::Pcg32 rng(0xBAD5EED);
+  const std::uint64_t seed = testing::seed_or(0xBAD5EED);
+  WEARSCOPE_SCOPED_SEED(seed);
+  util::Pcg32 rng(seed);
   for (int trial = 0; trial < 200; ++trial) {
     const auto len = static_cast<std::size_t>(rng.uniform_int(0, 256));
     std::string garbage(len, '\0');
@@ -121,7 +129,9 @@ TEST(FuzzCsv, MutatedRowsAreRejectedNotCrashing) {
     }
   }
   const std::string blob = out.str();
-  util::Pcg32 rng(0xC54F);
+  const std::uint64_t seed = testing::seed_or(0xC54F);
+  WEARSCOPE_SCOPED_SEED(seed);
+  util::Pcg32 rng(seed);
   for (int trial = 0; trial < 300; ++trial) {
     std::string mutated = blob;
     const auto pos = static_cast<std::size_t>(rng.uniform_int(
@@ -140,7 +150,9 @@ TEST(FuzzCsv, MutatedRowsAreRejectedNotCrashing) {
 }
 
 TEST(FuzzCsv, ArbitraryTextLinesAreRejected) {
-  util::Pcg32 rng(0x7E57);
+  const std::uint64_t seed = testing::seed_or(0x7E57);
+  WEARSCOPE_SCOPED_SEED(seed);
+  util::Pcg32 rng(seed);
   const std::string header = "timestamp,user_id,tac,event,sector_id\n";
   for (int trial = 0; trial < 200; ++trial) {
     std::string body;
@@ -419,7 +431,9 @@ TEST(FuzzV2, ZeroRecordBlockParsesCleanly) {
 
 TEST(FuzzV2, SingleByteFlipsNeverCrashLenient) {
   const std::string blob = valid_v2_log(48, 8);
-  util::Pcg32 rng(0xB10C);
+  const std::uint64_t seed = testing::seed_or(0xB10C);
+  WEARSCOPE_SCOPED_SEED(seed);
+  util::Pcg32 rng(seed);
   for (int trial = 0; trial < 400; ++trial) {
     std::string mutated = blob;
     const auto pos = static_cast<std::size_t>(rng.uniform_int(
@@ -436,6 +450,312 @@ TEST(FuzzV2, SingleByteFlipsNeverCrashLenient) {
       (void)read_binary_log<ProxyRecord>(blob_bytes(mutated));
     } catch (const util::ParseError&) {
       // expected for corrupted magic/frame/CRC bytes
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Columnar v3 corpus: corruption must stay row-group-granular (one counted
+// block per injected fault, resync at the next group header), except the
+// file-level dictionaries, whose damage quarantines the whole file.  Each
+// test targets one failure class the format calls out: truncation, column
+// CRC flips, out-of-range dictionary indices, varint overruns, impossible
+// group headers.
+// ---------------------------------------------------------------------------
+
+/// A v3 proxy log of `records` records in row groups of `group_records`.
+std::string valid_v3_log(std::size_t records, std::size_t group_records) {
+  std::ostringstream out;
+  BlockWriterOptions options;
+  options.max_block_records = group_records;
+  (void)write_columnar_log(out, sample_proxy(records), options);
+  return out.str();
+}
+
+/// File offset of the first group header: the 8-byte file header plus the
+/// three dictionary sections (hosts, tacs, sectors).
+std::size_t v3_chain_start(const std::string& blob) {
+  std::size_t off = 8;
+  for (int section = 0; section < 3; ++section) {
+    std::uint32_t byte_length = 0;
+    std::memcpy(&byte_length, blob.data() + off + 4, 4);
+    off += kDictHeaderBytes + byte_length;
+  }
+  return off;
+}
+
+/// Group index of a complete v3 blob (header and dictionaries skipped).
+ColumnGroupIndex v3_index_of(const std::string& blob) {
+  return scan_column_groups(blob_bytes(blob).subspan(v3_chain_start(blob)),
+                            /*lenient=*/true);
+}
+
+/// One column segment of a row group, addressed by file offset.
+struct ColumnSegment {
+  std::size_t header_offset = 0;   ///< [byte_length u32][crc32 u32].
+  std::size_t payload_offset = 0;
+  std::uint32_t byte_length = 0;
+};
+
+/// Walks the column segments of `group` (file offsets into `blob`).
+std::vector<ColumnSegment> v3_columns_of(const std::string& blob,
+                                         const ColumnGroup& group,
+                                         std::size_t columns) {
+  std::vector<ColumnSegment> segments;
+  std::size_t off = v3_chain_start(blob) + group.payload_offset;
+  for (std::size_t c = 0; c < columns; ++c) {
+    std::uint32_t byte_length = 0;
+    std::memcpy(&byte_length, blob.data() + off, 4);
+    segments.push_back({off, off + kColumnHeaderBytes, byte_length});
+    off += kColumnHeaderBytes + byte_length;
+  }
+  return segments;
+}
+
+/// Re-stamps one column segment's CRC after a payload edit, so the fault
+/// under test is the decode failure itself, not the checksum.
+void v3_restamp_crc(std::string& blob, const ColumnSegment& segment) {
+  const std::uint32_t crc = util::crc32(
+      blob_bytes(blob).subspan(segment.payload_offset, segment.byte_length));
+  std::memcpy(blob.data() + segment.header_offset + 4, &crc, 4);
+}
+
+/// `sample` minus the records of row group `skip`.
+std::vector<ProxyRecord> without_group(const std::vector<ProxyRecord>& sample,
+                                       const ColumnGroupIndex& index,
+                                       std::size_t skip) {
+  std::vector<ProxyRecord> expect;
+  std::size_t base = 0;
+  for (std::size_t i = 0; i < index.groups.size(); ++i) {
+    const std::size_t n = index.groups[i].record_count;
+    if (i != skip) {
+      expect.insert(expect.end(), sample.begin() + static_cast<long>(base),
+                    sample.begin() + static_cast<long>(base + n));
+    }
+    base += n;
+  }
+  return expect;
+}
+
+TEST(FuzzV3, TruncationAtEveryOffsetHonorsGroupAccounting) {
+  const std::string blob = valid_v3_log(64, 8);
+  const std::size_t chain_start = v3_chain_start(blob);
+  const ColumnGroupIndex index = v3_index_of(blob);
+  ASSERT_EQ(index.groups.size(), 8u);
+  // File offset where each group ends, and records recovered up to it.
+  std::vector<std::size_t> group_end;
+  std::vector<std::size_t> records_before;
+  std::size_t total = 0;
+  for (const ColumnGroup& g : index.groups) {
+    total += g.record_count;
+    group_end.push_back(chain_start + g.payload_offset + g.byte_length);
+    records_before.push_back(total);
+  }
+  for (std::size_t cut = 0; cut < blob.size(); ++cut) {
+    const std::string prefix = blob.substr(0, cut);
+    QuarantineStats q;
+    std::vector<ProxyRecord> got;
+    ASSERT_NO_THROW(
+        got = read_binary_log_lenient<ProxyRecord>(blob_bytes(prefix), q))
+        << "cut " << cut;
+    if (cut < chain_start) {
+      // A truncated header or dictionary poisons every index in the file:
+      // the whole file quarantines as one unit.
+      EXPECT_EQ(q.corrupt_files, 1u) << "cut " << cut;
+      EXPECT_TRUE(got.empty()) << "cut " << cut;
+      continue;
+    }
+    std::size_t complete = 0;
+    bool on_boundary = cut == chain_start;
+    for (std::size_t i = 0; i < group_end.size(); ++i) {
+      if (group_end[i] <= cut) complete = records_before[i];
+      if (group_end[i] == cut) on_boundary = true;
+    }
+    // A cut on a group boundary just looks like a shorter log; anywhere
+    // else exactly ONE group is lost to the broken chain.
+    EXPECT_EQ(got.size(), complete) << "cut " << cut;
+    EXPECT_EQ(q.corrupt_blocks, on_boundary ? 0u : 1u) << "cut " << cut;
+    EXPECT_EQ(q.corrupt_files, 0u) << "cut " << cut;
+    EXPECT_EQ(q.corrupt_tails, 0u) << "cut " << cut;
+  }
+}
+
+TEST(FuzzV3, CorruptColumnCrcQuarantinesExactlyThatGroup) {
+  const std::vector<ProxyRecord> sample = sample_proxy(64);
+  const std::string blob = valid_v3_log(64, 8);
+  const ColumnGroupIndex index = v3_index_of(blob);
+  const std::size_t columns = columnar_column_count<ProxyRecord>();
+  for (std::size_t k = 0; k < index.groups.size(); ++k) {
+    // One flipped payload byte per trial, rotating through the columns so
+    // every segment's CRC framing is exercised.
+    const std::vector<ColumnSegment> segments =
+        v3_columns_of(blob, index.groups[k], columns);
+    std::string mutated = blob;
+    mutated[segments[k % columns].payload_offset] ^= 0x01;
+    QuarantineStats q;
+    std::vector<ProxyRecord> got;
+    ASSERT_NO_THROW(
+        got = read_binary_log_lenient<ProxyRecord>(blob_bytes(mutated), q))
+        << "group " << k;
+    EXPECT_EQ(q.corrupt_blocks, 1u) << "group " << k;
+    EXPECT_EQ(q.total_dropped(), 1u) << "group " << k;
+    // Resync is exact: every OTHER group survives, in order.
+    EXPECT_EQ(got, without_group(sample, index, k)) << "group " << k;
+    // The strict reader must refuse what the lenient one quarantined.
+    EXPECT_THROW((void)read_binary_log<ProxyRecord>(blob_bytes(mutated)),
+                 util::ParseError)
+        << "group " << k;
+  }
+}
+
+TEST(FuzzV3, DictIndexOutOfRangeQuarantinesTheGroup) {
+  const std::vector<ProxyRecord> sample = sample_proxy(64);
+  const std::string blob = valid_v3_log(64, 8);
+  const ColumnGroupIndex index = v3_index_of(blob);
+  for (const std::size_t k : {std::size_t{0}, std::size_t{3}, std::size_t{7}}) {
+    const std::vector<ColumnSegment> segments =
+        v3_columns_of(blob, index.groups[k],
+                      columnar_column_count<ProxyRecord>());
+    std::string mutated = blob;
+    // Column 2 holds TAC dictionary indices; the sample has ONE distinct
+    // TAC, so every byte is the one-byte varint 0x00.  0x7f is still a
+    // valid one-byte varint but indexes far past the dictionary — with the
+    // CRC restamped, the failure under test is the bound check itself.
+    mutated[segments[2].payload_offset] = '\x7f';
+    v3_restamp_crc(mutated, segments[2]);
+    QuarantineStats q;
+    std::vector<ProxyRecord> got;
+    ASSERT_NO_THROW(
+        got = read_binary_log_lenient<ProxyRecord>(blob_bytes(mutated), q))
+        << "group " << k;
+    EXPECT_EQ(q.corrupt_blocks, 1u) << "group " << k;
+    EXPECT_EQ(got, without_group(sample, index, k)) << "group " << k;
+    EXPECT_THROW((void)read_binary_log<ProxyRecord>(blob_bytes(mutated)),
+                 util::ParseError)
+        << "group " << k;
+  }
+}
+
+TEST(FuzzV3, VarintOverrunQuarantinesTheGroup) {
+  const std::vector<ProxyRecord> sample = sample_proxy(64);
+  const std::string blob = valid_v3_log(64, 8);
+  const ColumnGroupIndex index = v3_index_of(blob);
+  for (const std::size_t k : {std::size_t{0}, std::size_t{4}, std::size_t{7}}) {
+    const std::vector<ColumnSegment> segments =
+        v3_columns_of(blob, index.groups[k],
+                      columnar_column_count<ProxyRecord>());
+    std::string mutated = blob;
+    // Column 1 is plain user-id varints.  Setting the continuation bit on
+    // the segment's LAST byte makes the final varint run off the end of
+    // its frame; the restamped CRC passes, the decode must not.
+    const ColumnSegment& users = segments[1];
+    ASSERT_GT(users.byte_length, 0u);
+    mutated[users.payload_offset + users.byte_length - 1] |=
+        static_cast<char>(0x80);
+    v3_restamp_crc(mutated, users);
+    QuarantineStats q;
+    std::vector<ProxyRecord> got;
+    ASSERT_NO_THROW(
+        got = read_binary_log_lenient<ProxyRecord>(blob_bytes(mutated), q))
+        << "group " << k;
+    EXPECT_EQ(q.corrupt_blocks, 1u) << "group " << k;
+    EXPECT_EQ(got, without_group(sample, index, k)) << "group " << k;
+    EXPECT_THROW((void)read_binary_log<ProxyRecord>(blob_bytes(mutated)),
+                 util::ParseError)
+        << "group " << k;
+  }
+}
+
+TEST(FuzzV3, DictionaryDamageQuarantinesTheWholeFile) {
+  const std::string blob = valid_v3_log(64, 8);
+  // Flip one byte inside the hosts dictionary payload: every host index in
+  // the file is now meaningless, so lenient reads must refuse to fabricate
+  // hosts and quarantine the file, not a group.
+  std::string mutated = blob;
+  mutated[8 + kDictHeaderBytes] ^= 0x01;
+  QuarantineStats q;
+  std::vector<ProxyRecord> got;
+  ASSERT_NO_THROW(
+      got = read_binary_log_lenient<ProxyRecord>(blob_bytes(mutated), q));
+  EXPECT_EQ(q.corrupt_files, 1u);
+  EXPECT_EQ(q.corrupt_blocks, 0u);
+  EXPECT_TRUE(got.empty());
+  EXPECT_THROW((void)read_binary_log<ProxyRecord>(blob_bytes(mutated)),
+               util::ParseError);
+}
+
+TEST(FuzzV3, ImpossibleRecordCountSkipsGroupAndResyncs) {
+  const std::vector<ProxyRecord> sample = sample_proxy(64);
+  const std::string blob = valid_v3_log(64, 8);
+  const std::size_t chain_start = v3_chain_start(blob);
+  const ColumnGroupIndex index = v3_index_of(blob);
+  for (std::size_t k = 0; k < index.groups.size(); ++k) {
+    std::string mutated = blob;
+    // record_count > byte_length is impossible (every column costs at
+    // least one byte per record); the group is skipped but byte_length
+    // still chains to the next one.
+    const std::uint32_t bogus = index.groups[k].byte_length + 1;
+    const std::size_t at =
+        chain_start + index.groups[k].payload_offset - kGroupHeaderBytes;
+    std::memcpy(mutated.data() + at, &bogus, 4);
+    QuarantineStats q;
+    std::vector<ProxyRecord> got;
+    ASSERT_NO_THROW(
+        got = read_binary_log_lenient<ProxyRecord>(blob_bytes(mutated), q))
+        << "group " << k;
+    EXPECT_EQ(q.corrupt_blocks, 1u) << "group " << k;
+    EXPECT_EQ(got, without_group(sample, index, k)) << "group " << k;
+  }
+}
+
+TEST(FuzzV3, ZeroRecordGroupParsesCleanly) {
+  const std::vector<ProxyRecord> sample = sample_proxy(64);
+  const std::string blob = valid_v3_log(64, 8);
+  const std::size_t chain_start = v3_chain_start(blob);
+  const ColumnGroupIndex index = v3_index_of(blob);
+  // Splice an empty group (0 records, one empty segment per column —
+  // crc32("") == 0, so the whole thing is zero bytes except its
+  // byte_length) between two real groups: a valid no-op, not corruption.
+  const std::size_t columns = columnar_column_count<ProxyRecord>();
+  std::string empty_group(kGroupHeaderBytes + columns * kColumnHeaderBytes,
+                          '\0');
+  const auto body_bytes =
+      static_cast<std::uint32_t>(columns * kColumnHeaderBytes);
+  std::memcpy(empty_group.data() + 4, &body_bytes, 4);
+  const std::size_t at =
+      chain_start + index.groups[4].payload_offset - kGroupHeaderBytes;
+  const std::string spliced =
+      blob.substr(0, at) + empty_group + blob.substr(at);
+  QuarantineStats q;
+  std::vector<ProxyRecord> lenient;
+  ASSERT_NO_THROW(
+      lenient = read_binary_log_lenient<ProxyRecord>(blob_bytes(spliced), q));
+  EXPECT_EQ(lenient, sample);
+  EXPECT_FALSE(q.any());
+  EXPECT_EQ(read_binary_log<ProxyRecord>(blob_bytes(spliced)), sample);
+}
+
+TEST(FuzzV3, SingleByteFlipsNeverCrashLenient) {
+  const std::string blob = valid_v3_log(48, 8);
+  const std::uint64_t seed = testing::seed_or(0xC01A);
+  WEARSCOPE_SCOPED_SEED(seed);
+  util::Pcg32 rng(seed);
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string mutated = blob;
+    const auto pos = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(mutated.size()) - 1));
+    mutated[pos] = static_cast<char>(rng.uniform_int(0, 255));
+    QuarantineStats q;
+    std::vector<ProxyRecord> got;
+    // Lenient reads never throw — corruption lands in `q`, not exceptions.
+    ASSERT_NO_THROW(
+        got = read_binary_log_lenient<ProxyRecord>(blob_bytes(mutated), q))
+        << "trial " << trial;
+    EXPECT_LE(got.size(), 48u) << "trial " << trial;
+    try {
+      (void)read_binary_log<ProxyRecord>(blob_bytes(mutated));
+    } catch (const util::ParseError&) {
+      // expected for corrupted header/dictionary/group bytes
     }
   }
 }

@@ -7,6 +7,7 @@
 
 #include "chaos/diff_runner.h"
 #include "chaos/fault_plan.h"
+#include "test_support.h"
 #include "core/analysis_activity.h"
 #include "core/analysis_adoption.h"
 #include "core/analysis_comparison.h"
@@ -118,6 +119,7 @@ TEST_P(SeedSweep, HeadlineStatisticsStable) {
 }
 
 TEST_P(SeedSweep, DeterminismPerSeed) {
+  WEARSCOPE_SCOPED_SEED(GetParam());
   const simnet::SimResult a = simnet::Simulator(sweep_config(GetParam())).run();
   const simnet::SimResult b = simnet::Simulator(sweep_config(GetParam())).run();
   ASSERT_EQ(a.store.proxy.size(), b.store.proxy.size());
@@ -134,7 +136,9 @@ INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
 class ScaleSweep : public ::testing::TestWithParam<std::uint32_t> {};
 
 TEST_P(ScaleSweep, WearableUserCountsScale) {
-  simnet::SimConfig cfg = sweep_config(7);
+  const std::uint64_t seed = testing::seed_or(7);
+  WEARSCOPE_SCOPED_SEED(seed);
+  simnet::SimConfig cfg = sweep_config(seed);
   cfg.wearable_users = GetParam();
   cfg.control_users = GetParam() * 2;
   cfg.through_device_users = GetParam() / 4 + 1;
@@ -161,7 +165,9 @@ INSTANTIATE_TEST_SUITE_P(Scales, ScaleSweep,
 class GapSweep : public ::testing::TestWithParam<int> {};
 
 TEST_P(GapSweep, UsageCountMonotoneInGap) {
-  const simnet::SimResult sim = simnet::Simulator(sweep_config(3)).run();
+  const std::uint64_t seed = testing::seed_or(3);
+  WEARSCOPE_SCOPED_SEED(seed);
+  const simnet::SimResult sim = simnet::Simulator(sweep_config(seed)).run();
   const auto usages_with_gap = [&](util::SimTime gap) {
     core::AnalysisOptions opt;
     opt.observation_days = sim.observation_days;
@@ -190,6 +196,7 @@ class ChaosSweep : public SeedSweep {};
 
 TEST_P(ChaosSweep, FaultedLiveMatchesBatchAtEveryShardCount) {
   const std::uint64_t seed = GetParam();
+  WEARSCOPE_SCOPED_SEED(seed);
   const simnet::SimResult& sim = result_for(seed);
 
   chaos::DiffOptions opt;

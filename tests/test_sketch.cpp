@@ -1,0 +1,325 @@
+// Unit tests for wearscope::sketch — accuracy bounds, loss-free merges
+// and determinism for the three bounded-memory summaries the live engine
+// swaps in for its O(users) hash sets (HLL distinct counts, t-digest
+// quantiles, count-min heavy hitters).  The error budgets asserted here
+// are the ones docs/DESIGN.md promises: 2% on distinct counts, 1% on
+// p50/p95/p99, exact top-k while distinct keys fit the candidate table.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sketch/countmin.h"
+#include "sketch/hashing.h"
+#include "sketch/hll.h"
+#include "sketch/tdigest.h"
+#include "test_support.h"
+#include "util/rng.h"
+
+namespace wearscope::sketch {
+namespace {
+
+double rel_err(double estimate, double exact) {
+  return exact == 0.0 ? std::abs(estimate) : std::abs(estimate - exact) / exact;
+}
+
+TEST(Hll, SmallCardinalitiesAreNearExact) {
+  // Linear counting kicks in well below m = 4096 registers; tiny streams
+  // come out near-exact (a handful of register collisions is the only
+  // noise source, so allow a few absolute counts of slack).
+  for (std::uint64_t n : {0ull, 1ull, 2ull, 10ull, 100ull}) {
+    Hll hll;
+    for (std::uint64_t i = 0; i < n; ++i) hll.add(i);
+    EXPECT_NEAR(hll.estimate(), static_cast<double>(n),
+                std::max(1.0, 0.05 * static_cast<double>(n)))
+        << "n=" << n;
+  }
+}
+
+TEST(Hll, DuplicatesDoNotInflateTheEstimate) {
+  Hll hll;
+  for (int pass = 0; pass < 50; ++pass) {
+    for (std::uint64_t i = 0; i < 1000; ++i) hll.add(i);
+  }
+  EXPECT_LT(rel_err(hll.estimate(), 1000.0), 0.02);
+}
+
+TEST(Hll, StaysWithinTwoPercentAcrossCardinalities) {
+  const std::uint64_t seed = testing::seed_or(0x5E7C4);
+  WEARSCOPE_SCOPED_SEED(seed);
+  util::Pcg32 rng(seed);
+  for (std::uint64_t n : {5'000ull, 50'000ull, 500'000ull}) {
+    Hll hll;
+    // Random 64-bit draws: collisions are negligible at these sizes, so
+    // the distinct count is n to within a hair.
+    for (std::uint64_t i = 0; i < n; ++i) hll.add(rng.next_u64());
+    EXPECT_LT(rel_err(hll.estimate(), static_cast<double>(n)), 0.02)
+        << "n=" << n << " estimate=" << hll.estimate();
+  }
+}
+
+TEST(Hll, MergeEqualsUnionSketch) {
+  // Register-wise max is exactly the sketch of the union, so a merged
+  // pair must match the single sketch over the concatenated stream —
+  // bitwise, not just approximately.
+  Hll a, b, whole;
+  for (std::uint64_t i = 0; i < 20'000; ++i) {
+    const std::uint64_t item = util::splitmix64(i);
+    (i % 2 == 0 ? a : b).add(item);
+    whole.add(item);
+  }
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.estimate(), whole.estimate());
+}
+
+TEST(Hll, MemoryIsFlat) {
+  Hll hll;
+  const std::size_t before = hll.memory_bytes();
+  EXPECT_EQ(before, std::size_t{1} << kHllPrecision);
+  for (std::uint64_t i = 0; i < 100'000; ++i) hll.add(i);
+  EXPECT_EQ(hll.memory_bytes(), before);
+}
+
+TEST(TDigest, EmptyAndSingleton) {
+  TDigest d;
+  EXPECT_DOUBLE_EQ(d.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(d.count(), 0.0);
+  d.add(42.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(d.quantile(1.0), 42.0);
+  EXPECT_DOUBLE_EQ(d.count(), 1.0);
+}
+
+TEST(TDigest, UniformQuantilesWithinOnePercent) {
+  const std::uint64_t seed = testing::seed_or(0x7D16);
+  WEARSCOPE_SCOPED_SEED(seed);
+  util::Pcg32 rng(seed);
+  TDigest d;
+  std::vector<double> values;
+  values.reserve(200'000);
+  for (int i = 0; i < 200'000; ++i) {
+    const double v = rng.uniform(0.0, 1'000'000.0);
+    d.add(v);
+    values.push_back(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.50, 0.95, 0.99}) {
+    const double exact =
+        values[static_cast<std::size_t>(q * (values.size() - 1))];
+    EXPECT_LT(rel_err(d.quantile(q), exact), 0.01) << "q=" << q;
+  }
+}
+
+TEST(TDigest, HeavyTailQuantilesWithinOnePercent) {
+  // Transaction sizes are the real workload: log-normal-ish with a long
+  // tail.  The arcsine scale function keeps the tail quantiles tight.
+  const std::uint64_t seed = testing::seed_or(0x7A11);
+  WEARSCOPE_SCOPED_SEED(seed);
+  util::Pcg32 rng(seed);
+  TDigest d;
+  std::vector<double> values;
+  values.reserve(100'000);
+  for (int i = 0; i < 100'000; ++i) {
+    const double v = rng.lognormal(7.0, 1.5);
+    d.add(v);
+    values.push_back(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.50, 0.95, 0.99}) {
+    const double exact =
+        values[static_cast<std::size_t>(q * (values.size() - 1))];
+    EXPECT_LT(rel_err(d.quantile(q), exact), 0.01) << "q=" << q;
+  }
+}
+
+TEST(TDigest, QuantilesAreMonotone) {
+  const std::uint64_t seed = testing::seed_or(0x7D17);
+  WEARSCOPE_SCOPED_SEED(seed);
+  util::Pcg32 rng(seed);
+  TDigest d;
+  for (int i = 0; i < 50'000; ++i) d.add(rng.normal(100.0, 25.0));
+  double last = d.quantile(0.0);
+  for (double q = 0.05; q <= 1.0001; q += 0.05) {
+    const double now = d.quantile(std::min(q, 1.0));
+    EXPECT_GE(now, last) << "q=" << q;
+    last = now;
+  }
+}
+
+TEST(TDigest, MergePreservesAccuracyAndCount) {
+  const std::uint64_t seed = testing::seed_or(0x7D18);
+  WEARSCOPE_SCOPED_SEED(seed);
+  util::Pcg32 rng(seed);
+  TDigest shard_a, shard_b, shard_c;
+  std::vector<double> values;
+  for (int i = 0; i < 90'000; ++i) {
+    const double v = rng.exponential(0.001);
+    values.push_back(v);
+    (i % 3 == 0 ? shard_a : i % 3 == 1 ? shard_b : shard_c).add(v);
+  }
+  shard_a.merge(shard_b);
+  shard_a.merge(shard_c);
+  EXPECT_DOUBLE_EQ(shard_a.count(), 90'000.0);
+  std::sort(values.begin(), values.end());
+  for (double q : {0.50, 0.95, 0.99}) {
+    const double exact =
+        values[static_cast<std::size_t>(q * (values.size() - 1))];
+    EXPECT_LT(rel_err(shard_a.quantile(q), exact), 0.01) << "q=" << q;
+  }
+}
+
+TEST(TDigest, DeterministicForAFixedStream) {
+  const auto run = [] {
+    util::Pcg32 rng(99);
+    TDigest d(100.0);
+    for (int i = 0; i < 10'000; ++i) d.add(rng.uniform(0.0, 1.0));
+    return d.quantile(0.95);
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+TEST(TDigest, MemoryStaysBounded) {
+  TDigest d;
+  for (int i = 0; i < 1'000'000; ++i) d.add(static_cast<double>(i));
+  // ~2 * compression centroids + the 512-slot buffer, at 16 bytes each:
+  // far under 64 KiB however long the stream runs.
+  EXPECT_LT(d.memory_bytes(), std::size_t{64} * 1024);
+}
+
+TEST(CountMin, NeverUnderestimates) {
+  const std::uint64_t seed = testing::seed_or(0xC0C0);
+  WEARSCOPE_SCOPED_SEED(seed);
+  util::Pcg32 rng(seed);
+  CountMin cm;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> truth;
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t hash = mix64(rng.next_u64());
+    const auto count = static_cast<std::uint64_t>(rng.uniform_int(1, 1000));
+    cm.add_hashed(hash, count);
+    truth.emplace_back(hash, count);
+  }
+  for (const auto& [hash, count] : truth) {
+    EXPECT_GE(cm.estimate(hash), count);
+  }
+}
+
+TEST(CountMin, SparseKeysAreExact) {
+  // 500 keys across 4 x 8192 counters: collisions in all four rows at
+  // once are essentially impossible, so min-of-rows returns the truth.
+  CountMin cm;
+  for (std::uint64_t k = 0; k < 500; ++k) cm.add_hashed(mix64(k), k + 1);
+  for (std::uint64_t k = 0; k < 500; ++k) {
+    EXPECT_EQ(cm.estimate(mix64(k)), k + 1) << "key " << k;
+  }
+}
+
+TEST(CountMin, MergeIsElementwiseSum) {
+  CountMin a, b;
+  a.add_hashed(mix64(1), 10);
+  a.add_hashed(mix64(2), 20);
+  b.add_hashed(mix64(1), 5);
+  b.add_hashed(mix64(3), 7);
+  a.merge(b);
+  EXPECT_EQ(a.estimate(mix64(1)), 15u);
+  EXPECT_EQ(a.estimate(mix64(2)), 20u);
+  EXPECT_EQ(a.estimate(mix64(3)), 7u);
+}
+
+TEST(HeavyHitters, ExactTopKWhileUnderCapacity) {
+  // The live layer tracks a few hundred app names against a 4096-slot
+  // table, so this is the regime that matters: counts stay exact and
+  // top(k) is the true top-k.
+  HeavyHitters hh(64);
+  for (int app = 0; app < 40; ++app) {
+    const std::string key = "app" + std::to_string(app);
+    for (int i = 0; i <= app; ++i) hh.add(key);
+  }
+  const auto top = hh.top(5);
+  ASSERT_EQ(top.size(), 5u);
+  EXPECT_EQ(top[0].first, "app39");
+  EXPECT_EQ(top[0].second, 40u);
+  EXPECT_EQ(top[4].first, "app35");
+  EXPECT_EQ(top[4].second, 36u);
+}
+
+TEST(HeavyHitters, TiesBreakByKeyAscending) {
+  HeavyHitters hh;
+  hh.add("zeta", 3);
+  hh.add("alpha", 3);
+  hh.add("mid", 5);
+  const auto top = hh.top(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].first, "mid");
+  EXPECT_EQ(top[1].first, "alpha");
+  EXPECT_EQ(top[2].first, "zeta");
+}
+
+TEST(HeavyHitters, OverCapacityStillKeepsTheHeavyKeys) {
+  const std::uint64_t seed = testing::seed_or(0x4EA7);
+  WEARSCOPE_SCOPED_SEED(seed);
+  util::Pcg32 rng(seed);
+  HeavyHitters hh(128);
+  // 16 genuinely heavy keys buried in a churn of 4000 singletons.
+  for (int round = 0; round < 1000; ++round) {
+    for (int k = 0; k < 16; ++k) hh.add("heavy" + std::to_string(k));
+  }
+  for (int i = 0; i < 4000; ++i) {
+    hh.add("noise" + std::to_string(rng.next_u32() % 100'000));
+  }
+  EXPECT_LE(hh.size(), 128u);
+  const auto top = hh.top(16);
+  std::set<std::string> names;
+  for (const auto& [name, count] : top) {
+    names.insert(name);
+    EXPECT_GE(count, 1000u);  // CM estimates never underestimate.
+  }
+  for (int k = 0; k < 16; ++k) {
+    EXPECT_TRUE(names.contains("heavy" + std::to_string(k))) << "k=" << k;
+  }
+}
+
+TEST(HeavyHitters, MergeFoldsCandidatesDeterministically) {
+  const auto build = [](bool split) {
+    HeavyHitters whole(64);
+    HeavyHitters a(64), b(64);
+    for (int k = 0; k < 30; ++k) {
+      const std::string key = "app" + std::to_string(k);
+      const auto count = static_cast<std::uint64_t>(3 * k + 1);
+      if (split) {
+        a.add(key, count / 2);
+        b.add(key, count - count / 2);
+      } else {
+        whole.add(key, count);
+      }
+    }
+    if (split) {
+      a.merge(b);
+      return a.top(30);
+    }
+    return whole.top(30);
+  };
+  const auto merged = build(true);
+  const auto direct = build(false);
+  ASSERT_EQ(merged.size(), direct.size());
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    EXPECT_EQ(merged[i].first, direct[i].first) << "row " << i;
+    EXPECT_EQ(merged[i].second, direct[i].second) << "row " << i;
+  }
+}
+
+TEST(Hashing, Mix64AvalanchesAndHashBytesSeeds) {
+  // Sanity, not statistics: nearby inputs land far apart and the seed
+  // actually participates.
+  EXPECT_NE(mix64(1), mix64(2));
+  EXPECT_NE(hash_bytes("whatsapp"), hash_bytes("whatsapq"));
+  EXPECT_NE(hash_bytes("whatsapp", 0), hash_bytes("whatsapp", 1));
+  EXPECT_EQ(hash_bytes("whatsapp"), hash_bytes("whatsapp"));
+}
+
+}  // namespace
+}  // namespace wearscope::sketch

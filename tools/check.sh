@@ -1,7 +1,7 @@
 #!/usr/bin/env sh
 # One-shot pre-merge gate: configure, build, lint, test.
 #
-#   tools/check.sh [--full | --lint-only] [build-dir]
+#   tools/check.sh [--full | --lint-only | --trace-bench] [build-dir]
 #
 # Default: a full build, the wearscope_lint determinism & concurrency
 # checks (hard failure on any finding), then the whole ctest suite —
@@ -11,6 +11,10 @@
 # With --lint-only it builds just the linter, runs the whole-program
 # analysis over the tree and writes BENCH_lint.json (wall time plus
 # file/rule/finding counts) — the fast pre-commit loop, no ctest.
+# With --trace-bench it builds the columnar perf suite and refreshes
+# BENCH_columnar.json: the rows-vs-columnar kernel comparison, the v2/v3
+# encode/decode sweep and the sketch-vs-exact deltas — the numbers behind
+# the v3 TraceStore's performance claims.
 # With --full it additionally runs the sanitizer gates CONTRIBUTING.md
 # requires — the chaos label under ASan+UBSan and the concurrency tests
 # (live engine, batch task pool, parallel v2 trace decode, snapshot
@@ -22,11 +26,15 @@ set -eu
 root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 full=0
 lint_only=0
+trace_bench=0
 if [ "${1:-}" = "--full" ]; then
   full=1
   shift
 elif [ "${1:-}" = "--lint-only" ]; then
   lint_only=1
+  shift
+elif [ "${1:-}" = "--trace-bench" ]; then
+  trace_bench=1
   shift
 fi
 build=${1:-"$root/build"}
@@ -41,6 +49,15 @@ if [ "$lint_only" -eq 1 ]; then
   echo "== lint (BENCH_lint.json)"
   "$build/tools/wearscope_lint" --root "$root" --error-on-findings \
     --bench-json "$root/BENCH_lint.json"
+  echo "== OK"
+  exit 0
+fi
+
+if [ "$trace_bench" -eq 1 ]; then
+  echo "== build (columnar perf suite)"
+  cmake --build "$build" -j "$jobs" --target perf_columnar
+  echo "== columnar kernels + v2/v3 IO + sketch deltas (BENCH_columnar.json)"
+  "$build/bench/perf_columnar" --emit-json="$root/BENCH_columnar.json"
   echo "== OK"
   exit 0
 fi

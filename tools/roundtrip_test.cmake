@@ -98,6 +98,26 @@ foreach(t 1 2 4 8)
   endif()
 endforeach()
 
+# 3d. v2 -> v3 rewrite gate: the blocked v2 capture rewritten into the
+#     columnar v3 format must analyze to a byte-identical report — at
+#     every thread count.  This pins the columnar encoding (dictionaries,
+#     delta timestamps, parallel group decode) to the same logical
+#     content model as the row formats.
+run_step(${INSPECT} --trace ${WORK}/trace_v2
+         --convert ${WORK}/trace_v3 --format binary --trace-format v3)
+file(COPY ${WORK}/trace_v1/generator.cfg DESTINATION ${WORK}/trace_v3)
+foreach(t 1 2 4 8)
+  run_step(${ANALYZE} --trace ${WORK}/trace_v3 --threads ${t}
+           --report ${WORK}/report_v3_t${t}.txt)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                  ${WORK}/report_v1.txt ${WORK}/report_v3_t${t}.txt
+                  RESULT_VARIABLE diff_rc)
+  if(NOT diff_rc EQUAL 0)
+    message(FATAL_ERROR
+            "v2->v3 rewrite diverges at --threads ${t}")
+  endif()
+endforeach()
+
 # 4. Compare a bundle against itself: must succeed (all deltas zero).
 if(DEFINED COMPARE)
   run_step(${COMPARE} --a ${WORK}/trace --b ${WORK}/trace)

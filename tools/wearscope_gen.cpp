@@ -39,8 +39,9 @@ int main(int argc, char** argv) {
     flags.add_string("out", &out_dir, "output bundle directory");
     flags.add_string("format", &format, "bundle format: binary|csv");
     flags.add_string("trace-format", &trace_format,
-                     "binary layout: v2 (blocked, parallel decode) or v1 "
-                     "(legacy stream); ignored with --format csv");
+                     "binary layout: v3 (columnar), v2 (blocked, parallel "
+                     "decode) or v1 (legacy stream); ignored with "
+                     "--format csv");
     flags.add_string("write-config", &write_config_path,
                      "also write the effective config to this path and exit "
                      "without generating when --out is empty");
@@ -78,9 +79,11 @@ int main(int argc, char** argv) {
     std::uint16_t binary_version = trace::kBinaryFormatV2;
     if (trace_format == "v1") {
       binary_version = 1;
+    } else if (trace_format == "v3") {
+      binary_version = trace::kBinaryFormatV3;
     } else if (trace_format != "v2") {
       throw util::ConfigError("unknown trace-format '" + trace_format +
-                              "' (expected v1|v2)");
+                              "' (expected v1|v2|v3)");
     }
 
     const auto t0 = std::chrono::steady_clock::now();

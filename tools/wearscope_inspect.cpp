@@ -29,11 +29,45 @@ void print_files(const std::vector<trace::BundleLogAudit>& audits) {
     const std::string format =
         a.version == 0 ? "csv" : "binary v" + std::to_string(a.version);
     rows.push_back({a.file, format,
-                    a.version == 2 ? std::to_string(a.blocks) : "-",
+                    a.version >= 2 ? std::to_string(a.blocks) : "-",
                     std::to_string(a.records)});
   }
   std::fputs(util::table({"file", "format", "blocks", "records"}, rows).c_str(),
              stdout);
+
+  // v3 logs: the columnar layout (dictionary sizes, per-column compressed
+  // bytes) is the whole story of the format, so the audit shows it.
+  for (const trace::BundleLogAudit& a : audits) {
+    if (a.version != trace::kBinaryFormatV3) continue;
+    const trace::ColumnarLayoutInfo& c = a.columnar;
+    std::printf("-- %s columnar layout: %llu groups, dicts "
+                "hosts=%llu tacs=%llu sectors=%llu (%llu bytes)\n",
+                a.file.c_str(), static_cast<unsigned long long>(c.groups),
+                static_cast<unsigned long long>(c.dict_hosts),
+                static_cast<unsigned long long>(c.dict_tacs),
+                static_cast<unsigned long long>(c.dict_sectors),
+                static_cast<unsigned long long>(c.dict_bytes));
+    std::vector<std::vector<std::string>> cols;
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < c.column_bytes.size(); ++i) {
+      total += c.column_bytes[i];
+      const double per_record =
+          c.records > 0 ? static_cast<double>(c.column_bytes[i]) /
+                              static_cast<double>(c.records)
+                        : 0.0;
+      cols.push_back({"col " + std::to_string(i),
+                      std::to_string(c.column_bytes[i]),
+                      util::format_num(per_record, 2)});
+    }
+    cols.push_back({"total", std::to_string(total),
+                    util::format_num(
+                        c.records > 0 ? static_cast<double>(total) /
+                                            static_cast<double>(c.records)
+                                      : 0.0,
+                        2)});
+    std::fputs(util::table({"column", "bytes", "B/record"}, cols).c_str(),
+               stdout);
+  }
 }
 
 void print_summary(const trace::TraceStore& store) {
@@ -146,16 +180,19 @@ int main(int argc, char** argv) {
     flags.add_string("format", &format,
                      "target format for --convert: binary|csv");
     flags.add_string("trace-format", &trace_format,
-                     "binary layout for --convert/--anonymize: v1|v2");
+                     "binary layout for --convert/--anonymize: v1|v2|v3");
     flags.add_int("threads", &threads,
-                  "decoder threads for loading v2 bundles");
+                  "decoder threads for loading v2/v3 bundles");
     if (!flags.parse(argc, argv)) return 0;
     util::require(!trace_dir.empty(), "--trace is required");
     util::require(threads >= 1, "--threads must be >= 1");
-    util::require(trace_format == "v1" || trace_format == "v2",
-                  "unknown --trace-format (expected v1|v2)");
+    util::require(trace_format == "v1" || trace_format == "v2" ||
+                      trace_format == "v3",
+                  "unknown --trace-format (expected v1|v2|v3)");
     const std::uint16_t binary_version =
-        trace_format == "v1" ? std::uint16_t{1} : trace::kBinaryFormatV2;
+        trace_format == "v1"   ? std::uint16_t{1}
+        : trace_format == "v2" ? trace::kBinaryFormatV2
+                               : trace::kBinaryFormatV3;
 
     trace::LoadOptions load_options;
     load_options.threads = static_cast<int>(threads);

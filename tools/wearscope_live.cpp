@@ -64,6 +64,24 @@ void print_snapshot(const live::LiveSnapshot& snap, const char* label) {
                 static_cast<unsigned long long>(row.counter.usages),
                 static_cast<unsigned long long>(row.counter.distinct_users));
   }
+  if (snap.sketch.enabled) {
+    std::printf("  sketch memory      : %zu bytes (merged across shards)\n",
+                snap.sketch.memory_bytes);
+    std::printf("  ~registered users  : %.0f (HLL)\n",
+                snap.sketch.registered_users);
+    std::printf("  ~transacting users : %.0f (HLL)\n",
+                snap.sketch.transacting_users);
+    std::printf("  ~txn size p50/95/99: %.0f / %.0f / %.0f bytes (t-digest)\n",
+                snap.sketch.txn_size_p50, snap.sketch.txn_size_p95,
+                snap.sketch.txn_size_p99);
+    const std::size_t hh = std::min<std::size_t>(5, snap.sketch.top_apps.size());
+    for (std::size_t i = 0; i < hh; ++i) {
+      std::printf("  heavy hitter #%zu    : %-18s %8llu txns\n", i + 1,
+                  snap.sketch.top_apps[i].first.c_str(),
+                  static_cast<unsigned long long>(
+                      snap.sketch.top_apps[i].second));
+    }
+  }
   std::printf("  backpressure       : %llu feed stalls, %llu idle waits\n",
               static_cast<unsigned long long>(
                   snap.backpressure.producer_waits),
@@ -126,6 +144,7 @@ int main(int argc, char** argv) {
     std::string snapshot_every = "0";
     double speedup = 0.0;
     bool verify = false;
+    bool sketch = false;
     std::int64_t observation_days = -1;
     std::int64_t detailed_start_day = -1;
     std::int64_t chaos_seed = -1;
@@ -146,6 +165,11 @@ int main(int argc, char** argv) {
     flags.add_bool("verify", &verify,
                    "also run the batch pipeline and require an exact "
                    "adoption match");
+    flags.add_bool("sketch", &sketch,
+                   "bounded-memory mode: approximate distinct users, "
+                   "transaction-size quantiles and heavy-hitter apps via "
+                   "HLL/t-digest/count-min sketches (incompatible with "
+                   "--verify)");
     flags.add_int("observation-days", &observation_days,
                   "window length (-1: from generator.cfg or default)");
     flags.add_int("detailed-start-day", &detailed_start_day,
@@ -159,10 +183,13 @@ int main(int argc, char** argv) {
     util::require(!bundle_dir.empty(), "--bundle is required");
     util::require(shards >= 1, "--shards must be >= 1");
     util::require(ring_capacity >= 1, "--ring-capacity must be >= 1");
+    util::require(!(sketch && verify),
+                  "--verify needs exact aggregates; drop --sketch");
 
     live::LiveOptions opt;
     opt.shards = static_cast<std::size_t>(shards);
     opt.ring_capacity = static_cast<std::size_t>(ring_capacity);
+    opt.sketch_aggregates = sketch;
     const std::filesystem::path cfg_path =
         std::filesystem::path(bundle_dir) / "generator.cfg";
     if (std::filesystem::exists(cfg_path)) {
