@@ -14,18 +14,27 @@
 
 namespace wearscope::bench {
 
-/// Writes the `"hardware_concurrency": N,` and `"peak_rss_bytes": B,`
-/// lines every BENCH_*.json carries (sweep shapes are meaningless without
-/// the first; memory claims — the sketch mode's whole point — without the
-/// second) and returns N.  Peak RSS is the process high-water mark up to
-/// the call (getrusage), so call this after the measured work ran.  Warns
-/// on stderr when the machine exposes a single core: parallel sweeps will
-/// be flat there no matter how good the code is, so the trajectory point
-/// must not be read as a scaling regression.
+/// Writes the `"hardware_concurrency": N,`, `"thread_sweep_valid": B,`
+/// and `"peak_rss_bytes": B,` lines every BENCH_*.json carries (sweep
+/// shapes are meaningless without the first two; memory claims — the
+/// sketch mode's whole point — without the third) and returns N.
+/// thread_sweep_valid is false on a single-core machine, where every
+/// parallel sweep is flat no matter how good the code is — consumers
+/// must not read such a point as a scaling regression (also warned on
+/// stderr).  Peak RSS is the process high-water mark up to the call
+/// (getrusage), so call this after the measured work ran.
 unsigned emit_hardware_concurrency(std::FILE* out);
 
 /// Process peak resident set size in bytes (0 where unavailable).
 std::size_t peak_rss_bytes();
+
+/// Peak RSS of THIS address space in bytes.  getrusage's ru_maxrss is a
+/// per-task high-water mark that survives execve, so a worker forked from
+/// a parent that held a large capture inherits the parent's peak — on
+/// Linux this reads VmHWM from /proc/self/status instead, which exec
+/// resets with the address space.  Falls back to peak_rss_bytes()
+/// elsewhere.  Use for re-exec'ed measurement workers (perf_fed).
+std::size_t own_peak_rss_bytes();
 
 /// Parsed command line shared by every figure harness.
 struct BenchOptions {

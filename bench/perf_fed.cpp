@@ -1,0 +1,382 @@
+// Google-benchmark performance suite for federated partitioned ingest:
+// partial-snapshot encode/decode cost and N-way federated merge.
+//
+// Three modes:
+//   perf_fed                       # normal google-benchmark run
+//   perf_fed --emit-json[=PATH]    # partition sweep -> BENCH_fed.json
+//   perf_fed --partition-worker …  # internal: one partition as a process
+//
+// The JSON mode is the memory story of federation: it re-executes itself
+// (fork + exec /proc/self/exe) once per partition so every partition is a
+// real OS process whose getrusage peak RSS is its own — RUSAGE_SELF in a
+// shared parent would only ever report the running maximum across
+// partitions.  Workers run sequentially; the sweep reports the as-if-
+// parallel ingest wall (max across workers), the timed parallel load +
+// merge, and the per-partition RSS peaks whose drop with N is the point
+// of partitioning (each process holds ~1/N of the exact per-user state).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#if defined(__unix__)
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+#include "bench_common.h"
+#include "fed/feed_filter.h"
+#include "fed/merge.h"
+#include "fed/partial_io.h"
+#include "live/engine.h"
+#include "live/replayer.h"
+#include "simnet/config_io.h"
+#include "simnet/simulator.h"
+#include "trace/bundle.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace wearscope;
+
+/// Worker shards inside each partition process (fixed across the sweep so
+/// the only variable is the partition count).
+constexpr std::size_t kWorkerShards = 2;
+
+const simnet::SimResult& shared_capture() {
+  static const simnet::SimResult sim = [] {
+    simnet::SimConfig cfg;
+    cfg.seed = 11;
+    cfg.wearable_users = 400;
+    cfg.control_users = 800;
+    cfg.through_device_users = 100;
+    cfg.detailed_days = 14;
+    cfg.cities = 6;
+    cfg.sectors_per_city = 12;
+    cfg.long_tail_apps = 60;
+    return simnet::Simulator(cfg).run();
+  }();
+  return sim;
+}
+
+live::LiveOptions partition_options(const simnet::SimConfig& cfg,
+                                    int observation_days,
+                                    int detailed_start_day,
+                                    std::size_t partition_id,
+                                    std::size_t partition_count) {
+  live::LiveOptions opt;
+  opt.shards = kWorkerShards;
+  opt.observation_days = observation_days;
+  opt.detailed_start_day = detailed_start_day;
+  opt.long_tail_apps = cfg.long_tail_apps;
+  opt.partition_id = partition_id;
+  opt.partition_count = partition_count;
+  opt.capture_tallies = true;
+  return opt;
+}
+
+/// Runs one partition over `store` and returns its partial.
+fed::PartialSnapshot run_partition(const trace::TraceStore& store,
+                                   const live::LiveOptions& opt,
+                                   std::uint64_t* records_pushed = nullptr) {
+  live::LiveEngine engine(store.devices, opt);
+  const live::FeedReplayer replayer(store, live::ReplayOptions{});
+  const live::ReplayReport report = replayer.replay(engine);
+  const live::LiveSnapshot snap = engine.stop();
+  if (records_pushed != nullptr) *records_pushed = report.records_pushed;
+  return fed::make_partial(snap, opt);
+}
+
+/// In-process partials of one N-way cover (for the benchmark suites; the
+/// JSON sweep uses real processes instead).
+std::vector<fed::PartialSnapshot> cover_partials(std::size_t partitions) {
+  const simnet::SimResult& sim = shared_capture();
+  std::vector<fed::PartialSnapshot> out;
+  out.reserve(partitions);
+  for (std::size_t i = 0; i < partitions; ++i) {
+    out.push_back(run_partition(
+        sim.store,
+        partition_options(sim.config, sim.observation_days,
+                          sim.detailed_start_day, i, partitions)));
+  }
+  return out;
+}
+
+void BM_PartialEncode(benchmark::State& state) {
+  const fed::PartialSnapshot partial = cover_partials(1).front();
+  for (auto _ : state) {
+    std::string bytes = fed::encode_partial(partial);
+    benchmark::DoNotOptimize(bytes.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PartialEncode)->Unit(benchmark::kMillisecond);
+
+void BM_PartialDecode(benchmark::State& state) {
+  const std::string bytes = fed::encode_partial(cover_partials(1).front());
+  const std::span<const std::byte> span =
+      std::as_bytes(std::span(bytes.data(), bytes.size()));
+  for (auto _ : state) {
+    fed::PartialSnapshot partial = fed::decode_partial(span);
+    benchmark::DoNotOptimize(partial.header.records);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_PartialDecode)->Unit(benchmark::kMillisecond);
+
+void BM_FedMerge(benchmark::State& state) {
+  const std::size_t partitions = static_cast<std::size_t>(state.range(0));
+  const std::vector<fed::PartialSnapshot> partials =
+      cover_partials(partitions);
+  for (auto _ : state) {
+    std::vector<fed::LoadedPartial> parts;
+    parts.reserve(partials.size());
+    for (const fed::PartialSnapshot& p : partials) {
+      parts.push_back(fed::LoadedPartial{p, "mem"});
+    }
+    fed::MergeResult merged = fed::merge_partials(std::move(parts));
+    benchmark::DoNotOptimize(merged.snapshot.adoption.ever_registered);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(shared_capture().store.proxy.size() +
+                                shared_capture().store.mme.size()) *
+      state.iterations());
+}
+BENCHMARK(BM_FedMerge)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+#if defined(__unix__)
+
+/// Internal entry of a re-executed partition process:
+///   --partition-worker <id> <count> <bundle_dir> <partial_dir> <stats>
+/// Replays the bundle as partition id/count, persists the partial, and
+/// writes "<peak_rss_bytes> <wall_s> <records>" to the stats file.
+int partition_worker(int argc, char** argv) {
+  try {
+    util::require(argc == 7, "--partition-worker needs 5 operands");
+    const std::size_t id = static_cast<std::size_t>(std::stoull(argv[2]));
+    const std::size_t count = static_cast<std::size_t>(std::stoull(argv[3]));
+    const std::filesystem::path bundle = argv[4];
+    const std::filesystem::path partial_dir = argv[5];
+    const std::filesystem::path stats_path = argv[6];
+
+    const simnet::SimConfig cfg =
+        simnet::load_config_file(bundle / "generator.cfg");
+    const live::LiveOptions opt = partition_options(
+        cfg, cfg.observation_days, cfg.observation_days - cfg.detailed_days,
+        id, count);
+
+    // Streaming filtered load: this process only ever materializes the
+    // records its partition owns (fed/feed_filter.h), which is exactly
+    // the per-process memory win the sweep measures.
+    const auto t0 = std::chrono::steady_clock::now();
+    const fed::PartitionFeed feed =
+        fed::load_partition_feed(bundle, id, count);
+    live::LiveEngine engine(feed.devices, opt);
+    fed::replay_partition_feed(feed, engine);
+    const live::LiveSnapshot snap = engine.stop();
+    const fed::PartialSnapshot partial = fed::make_partial(snap, opt);
+    const std::uint64_t pushed = feed.feed_records;
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    fed::write_partial_file(
+        partial_dir / fed::partial_file_name(partial.header.partition_id,
+                                             partial.header.partition_count,
+                                             partial.header.epoch),
+        partial);
+
+    std::FILE* stats = std::fopen(stats_path.c_str(), "w");
+    util::require(stats != nullptr, "cannot write worker stats file");
+    std::fprintf(stats, "%zu %.9f %llu\n", bench::own_peak_rss_bytes(), wall,
+                 static_cast<unsigned long long>(pushed));
+    std::fclose(stats);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "partition worker error: %s\n", e.what());
+    return 1;
+  }
+}
+
+/// One worker process: fork + exec self, wait, parse its stats file.
+struct WorkerStats {
+  std::size_t peak_rss_bytes = 0;
+  double wall_s = 0.0;
+  std::uint64_t records = 0;
+};
+
+WorkerStats run_worker_process(const char* self, std::size_t id,
+                               std::size_t count,
+                               const std::filesystem::path& bundle,
+                               const std::filesystem::path& partial_dir,
+                               const std::filesystem::path& stats_path) {
+  const std::string id_s = std::to_string(id);
+  const std::string count_s = std::to_string(count);
+  const std::string bundle_s = bundle.string();
+  const std::string dir_s = partial_dir.string();
+  const std::string stats_s = stats_path.string();
+  const pid_t pid = fork();
+  util::require(pid >= 0, "fork failed");
+  if (pid == 0) {
+    const char* args[] = {self,           "--partition-worker",
+                          id_s.c_str(),   count_s.c_str(),
+                          bundle_s.c_str(), dir_s.c_str(),
+                          stats_s.c_str(), nullptr};
+    execv(self, const_cast<char* const*>(args));
+    std::perror("execv");
+    _exit(127);
+  }
+  int status = 0;
+  util::require(waitpid(pid, &status, 0) == pid, "waitpid failed");
+  util::require(WIFEXITED(status) && WEXITSTATUS(status) == 0,
+                "partition worker " + id_s + "/" + count_s + " failed");
+  WorkerStats stats;
+  std::FILE* in = std::fopen(stats_s.c_str(), "r");
+  util::require(in != nullptr, "missing worker stats file");
+  unsigned long long rss = 0;
+  unsigned long long records = 0;
+  const int fields =
+      std::fscanf(in, "%llu %lf %llu", &rss, &stats.wall_s, &records);
+  std::fclose(in);
+  util::require(fields == 3, "malformed worker stats file");
+  stats.peak_rss_bytes = static_cast<std::size_t>(rss);
+  stats.records = records;
+  return stats;
+}
+
+/// --emit-json mode: real-process partition sweep -> BENCH_fed.json.
+int emit_json(const std::string& path, const char* self) {
+  using Clock = std::chrono::steady_clock;
+  const std::vector<std::size_t> partition_counts = {1, 2, 4, 8};
+
+  const simnet::SimResult& sim = shared_capture();
+  const std::filesystem::path work =
+      std::filesystem::temp_directory_path() /
+      ("wearscope_perf_fed_" + std::to_string(getpid()));
+  const std::filesystem::path bundle = work / "bundle";
+  std::filesystem::create_directories(bundle);
+  trace::save_bundle(sim.store, bundle);
+  simnet::save_config_file(sim.config, bundle / "generator.cfg");
+  const std::uint64_t records =
+      sim.store.proxy.size() + sim.store.mme.size();
+
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"perf_fed\",\n");
+  bench::emit_hardware_concurrency(out);
+  std::fprintf(out, "  \"records\": %llu,\n",
+               static_cast<unsigned long long>(records));
+  std::fprintf(out, "  \"worker_shards\": %zu,\n", kWorkerShards);
+  std::fprintf(out, "  \"partitions\": [\n");
+  int rc = 0;
+  for (std::size_t i = 0; i < partition_counts.size(); ++i) {
+    const std::size_t count = partition_counts[i];
+    const std::filesystem::path partial_dir =
+        work / ("partials_" + std::to_string(count));
+    std::filesystem::create_directories(partial_dir);
+
+    std::vector<std::size_t> rss;
+    double max_wall = 0.0;
+    for (std::size_t id = 0; id < count; ++id) {
+      const WorkerStats stats = run_worker_process(
+          self, id, count, bundle, partial_dir,
+          work / ("stats_" + std::to_string(count) + "_" +
+                  std::to_string(id)));
+      rss.push_back(stats.peak_rss_bytes);
+      max_wall = std::max(max_wall, stats.wall_s);
+    }
+
+    std::vector<std::filesystem::path> paths;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(partial_dir)) {
+      paths.push_back(entry.path());
+    }
+    std::sort(paths.begin(), paths.end());
+    const Clock::time_point t0 = Clock::now();
+    const fed::MergeResult merged =
+        fed::merge_partials(fed::load_partials(paths, count));
+    const double merge_wall =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    util::require(merged.snapshot.records == records,
+                  "federated merge lost records");
+
+    const double ingest_rate =
+        max_wall > 0.0 ? static_cast<double>(records) / max_wall : 0.0;
+    const double merge_rate =
+        merge_wall > 0.0 ? static_cast<double>(records) / merge_wall : 0.0;
+    const std::size_t max_rss = *std::max_element(rss.begin(), rss.end());
+    std::fprintf(out,
+                 "    {\"partitions\": %zu, "
+                 "\"ingest_records_per_sec\": %.0f, "
+                 "\"merge_wall_s\": %.6f, "
+                 "\"merge_records_per_sec\": %.0f, "
+                 "\"max_partition_peak_rss_bytes\": %zu, "
+                 "\"partition_peak_rss_bytes\": [",
+                 count, ingest_rate, merge_wall, merge_rate, max_rss);
+    for (std::size_t r = 0; r < rss.size(); ++r) {
+      std::fprintf(out, "%zu%s", rss[r], r + 1 < rss.size() ? ", " : "");
+    }
+    std::fprintf(out, "]}%s\n",
+                 i + 1 < partition_counts.size() ? "," : "");
+    std::printf("partitions=%zu: ingest %.0f rec/s (as-if-parallel), merge "
+                "%.0f rec/s, max partition RSS %.1f MB\n",
+                count, ingest_rate, merge_rate,
+                static_cast<double>(max_rss) / 1e6);
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::filesystem::remove_all(work);
+  std::printf("wrote %s\n", path.c_str());
+  return rc;
+}
+
+#endif  // defined(__unix__)
+
+}  // namespace
+
+int main(int argc, char** argv) {
+#if defined(__unix__)
+  if (argc > 1 && std::strcmp(argv[1], "--partition-worker") == 0) {
+    return partition_worker(argc, argv);
+  }
+  // Re-exec through /proc/self/exe when available: argv[0] may be a bare
+  // name resolved via PATH, which execv cannot use.
+  static std::string self =
+      std::filesystem::exists("/proc/self/exe") ? "/proc/self/exe" : argv[0];
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--emit-json", 11) == 0) {
+      const char* eq = std::strchr(argv[i], '=');
+      try {
+        return emit_json(eq != nullptr ? eq + 1 : "BENCH_fed.json",
+                         self.c_str());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+      }
+    }
+  }
+#else
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--emit-json", 11) == 0 ||
+        std::strcmp(argv[i], "--partition-worker") == 0) {
+      std::fprintf(stderr,
+                   "error: the partition-process sweep needs fork/exec "
+                   "(unix only)\n");
+      return 1;
+    }
+  }
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

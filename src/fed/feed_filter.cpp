@@ -1,0 +1,216 @@
+#include "fed/feed_filter.h"
+
+#include <fstream>
+#include <span>
+#include <string>
+
+#include "par/shard.h"
+#include "trace/block_io.h"
+#include "trace/record_codec.h"
+#include "util/crc32.h"
+#include "util/error.h"
+#include "util/mapped_file.h"
+#include "util/span_decoder.h"
+
+namespace wearscope::fed {
+
+namespace {
+
+/// Streams one blocked v2 log frame by frame: a 12-byte frame header, one
+/// CRC check, one span decode per block, all through a reusable scratch
+/// buffer — the file is never mapped or read whole.
+template <typename Record>
+class BlockStreamCursor {
+ public:
+  explicit BlockStreamCursor(const std::filesystem::path& path)
+      : path_(path.string()), in_(path, std::ios::binary) {
+    if (!in_.is_open()) {
+      throw util::IoError("cannot open " + path_);
+    }
+    char header[kHeaderBytes] = {};
+    in_.read(header, static_cast<std::streamsize>(kHeaderBytes));
+    if (in_.gcount() != static_cast<std::streamsize>(kHeaderBytes)) {
+      throw util::ParseError(path_ + ": truncated log header");
+    }
+    const std::uint16_t version = trace::read_log_header<Record>(
+        std::as_bytes(std::span(header, kHeaderBytes)));
+    if (version != trace::kBinaryFormatV2) {
+      throw util::ParseError(
+          path_ + ": partition feeds stream the blocked v2 format (log is "
+                  "version " +
+          std::to_string(version) + ")");
+    }
+  }
+
+  /// The record at the cursor, or nullptr at a clean end of log.
+  [[nodiscard]] const Record* peek() {
+    while (idx_ >= block_.size()) {
+      if (!refill()) return nullptr;
+    }
+    return &block_[idx_];
+  }
+
+  void advance() noexcept { ++idx_; }
+
+ private:
+  static constexpr std::size_t kHeaderBytes = 8;  ///< File header.
+
+  /// Reads and decodes the next frame.  False on clean EOF; throws on a
+  /// torn frame, CRC mismatch, malformed payload or an order violation.
+  bool refill() {
+    char fh[trace::kFrameHeaderBytes];
+    in_.read(fh, sizeof fh);
+    const std::streamsize got = in_.gcount();
+    if (got == 0) return false;
+    if (got != static_cast<std::streamsize>(sizeof fh)) {
+      throw util::ParseError(path_ + ": truncated frame header");
+    }
+    util::MemorySpanDecoder header(std::as_bytes(std::span(fh, sizeof fh)));
+    const std::uint32_t record_count = header.get_u32();
+    const std::uint32_t byte_length = header.get_u32();
+    const std::uint32_t crc = header.get_u32();
+    if (record_count > byte_length) {
+      throw util::ParseError(path_ + ": impossible frame header (" +
+                             std::to_string(record_count) + " records in " +
+                             std::to_string(byte_length) + " bytes)");
+    }
+    scratch_.resize(byte_length);
+    in_.read(scratch_.data(), static_cast<std::streamsize>(byte_length));
+    if (in_.gcount() != static_cast<std::streamsize>(byte_length)) {
+      throw util::ParseError(path_ + ": truncated frame payload");
+    }
+    const std::span<const std::byte> payload =
+        std::as_bytes(std::span(scratch_.data(), scratch_.size()));
+    if (util::crc32(payload) != crc) {
+      throw util::ParseError(path_ + ": frame CRC mismatch");
+    }
+    util::MemorySpanDecoder dec(payload);
+    block_.resize(record_count);
+    idx_ = 0;
+    for (Record& r : block_) {
+      trace::decode_record(dec, r);
+      if (have_prev_ && trace::ByTimeThenUser{}(r, prev_)) {
+        throw util::ParseError(
+            path_ + ": log is not (time, user)-sorted — sort the bundle "
+                    "before streaming a partition feed");
+      }
+      prev_.timestamp = r.timestamp;
+      prev_.user_id = r.user_id;
+      have_prev_ = true;
+    }
+    if (!dec.at_eof()) {
+      throw util::ParseError(path_ + ": frame payload has trailing bytes");
+    }
+    return true;
+  }
+
+  std::string path_;
+  std::ifstream in_;
+  std::string scratch_;
+  std::vector<Record> block_;
+  std::size_t idx_ = 0;
+  Record prev_{};
+  bool have_prev_ = false;
+};
+
+/// Appends one unit of `kind` to the run-length op stream.
+void append_op(std::vector<std::uint32_t>& ops, FeedOp kind) {
+  const std::uint32_t tag = static_cast<std::uint32_t>(kind)
+                            << kFeedOpCountBits;
+  if (!ops.empty() && (ops.back() & ~kFeedOpMaxRun) == tag &&
+      feed_op_count(ops.back()) < kFeedOpMaxRun) {
+    ++ops.back();
+    return;
+  }
+  ops.push_back(tag | 1u);
+}
+
+}  // namespace
+
+PartitionFeed load_partition_feed(const std::filesystem::path& dir,
+                                  std::size_t partition_id,
+                                  std::size_t partition_count) {
+  util::require(partition_count >= 1 && partition_id < partition_count,
+                "load_partition_feed: partition id out of range");
+  PartitionFeed feed;
+  feed.partition_id = static_cast<std::uint32_t>(partition_id);
+  feed.partition_count = static_cast<std::uint32_t>(partition_count);
+  {
+    const util::MappedFile devices(dir / "devices.bin",
+                                   util::MapMode::kReadWholeFile);
+    feed.devices = trace::read_binary_log<trace::DeviceRecord>(
+        devices.bytes());
+  }
+
+  BlockStreamCursor<trace::ProxyRecord> proxy(dir / "proxy.bin");
+  BlockStreamCursor<trace::MmeRecord> mme(dir / "mme.bin");
+  const trace::ProxyRecord* p = proxy.peek();
+  const trace::MmeRecord* m = mme.peek();
+  while (p != nullptr || m != nullptr) {
+    // FeedReplayer's merge rule exactly: MME before proxy on equal stamps.
+    const bool take_mme =
+        m != nullptr && (p == nullptr || m->timestamp <= p->timestamp);
+    if (take_mme) {
+      if (par::shard_of(m->user_id, partition_count) == partition_id) {
+        feed.mme.push_back(*m);
+        append_op(feed.ops, FeedOp::kPushMme);
+      } else {
+        append_op(feed.ops, FeedOp::kSkipMme);
+      }
+      mme.advance();
+      m = mme.peek();
+    } else {
+      if (par::shard_of(p->user_id, partition_count) == partition_id) {
+        feed.proxy.push_back(*p);
+        append_op(feed.ops, FeedOp::kPushProxy);
+      } else {
+        append_op(feed.ops, FeedOp::kSkipProxy);
+      }
+      proxy.advance();
+      p = proxy.peek();
+    }
+    ++feed.feed_records;
+  }
+  return feed;
+}
+
+void replay_partition_feed(const PartitionFeed& feed,
+                           live::LiveEngine& engine) {
+  util::require(
+      engine.options().partition_id == feed.partition_id &&
+          engine.options().partition_count == feed.partition_count,
+      "replay_partition_feed: engine partition does not match the feed");
+  std::size_t pi = 0;
+  std::size_t mi = 0;
+  for (const std::uint32_t op : feed.ops) {
+    const std::uint32_t n = feed_op_count(op);
+    switch (feed_op_kind(op)) {
+      case FeedOp::kPushProxy:
+        util::ensure(pi + n <= feed.proxy.size(),
+                     "partition feed ops overrun the owned proxy records");
+        for (std::uint32_t k = 0; k < n; ++k) {
+          util::ensure(engine.push(feed.proxy[pi++]),
+                       "live engine closed mid-replay");
+        }
+        break;
+      case FeedOp::kPushMme:
+        util::ensure(mi + n <= feed.mme.size(),
+                     "partition feed ops overrun the owned MME records");
+        for (std::uint32_t k = 0; k < n; ++k) {
+          util::ensure(engine.push(feed.mme[mi++]),
+                       "live engine closed mid-replay");
+        }
+        break;
+      case FeedOp::kSkipProxy:
+        engine.skip_unowned(n, 0);
+        break;
+      case FeedOp::kSkipMme:
+        engine.skip_unowned(0, n);
+        break;
+    }
+  }
+  util::ensure(pi == feed.proxy.size() && mi == feed.mme.size(),
+               "partition feed ops do not cover the owned records");
+}
+
+}  // namespace wearscope::fed

@@ -1,0 +1,846 @@
+#include "fed/partial_io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <utility>
+
+#include "live/engine.h"
+#include "trace/block_io.h"
+#include "util/crc32.h"
+#include "util/error.h"
+#include "util/mapped_file.h"
+#include "util/rng.h"
+#include "util/span_decoder.h"
+
+namespace wearscope::fed {
+
+namespace {
+
+/// Section ids every partial must carry (kSketch joins when enabled).
+constexpr std::uint32_t kRequiredSections[] = {
+    static_cast<std::uint32_t>(SectionId::kAdoption),
+    static_cast<std::uint32_t>(SectionId::kActivity),
+    static_cast<std::uint32_t>(SectionId::kApps),
+    static_cast<std::uint32_t>(SectionId::kSectors),
+    static_cast<std::uint32_t>(SectionId::kQuarantine),
+};
+
+[[nodiscard]] std::uint64_t fold_checksum(std::uint64_t fold, std::uint32_t id,
+                                          std::uint32_t crc) {
+  return util::splitmix64(fold ^ ((std::uint64_t{id} << 32) | crc));
+}
+
+[[nodiscard]] std::uint32_t payload_crc(std::string_view payload) {
+  return util::crc32(std::as_bytes(std::span(payload.data(), payload.size())));
+}
+
+// --- Section encoders ----------------------------------------------------
+// Every map is emitted in sorted key order: the bytes are a function of
+// the logical state alone, never of hash iteration.
+
+void encode_header(trace::BufferEncoder& enc, const PartitionHeader& h) {
+  enc.put_u32(h.partition_id);
+  enc.put_u32(h.partition_count);
+  enc.put_u64(h.epoch);
+  enc.put_u64(h.records);
+  enc.put_u64(h.feed_records);
+  enc.put_i64(h.observation_days);
+  enc.put_i64(h.detailed_start_day);
+  enc.put_i64(h.usage_gap_s);
+  enc.put_u32(h.long_tail_apps);
+  enc.put_f64(h.signature_coverage);
+  enc.put_u8(h.sketch_enabled);
+  enc.put_u64(h.payload_checksum);
+}
+
+void encode_adoption(trace::BufferEncoder& enc,
+                     const core::AdoptionTally& tally) {
+  enc.put_i64(tally.observation_days);
+  enc.put_u64(tally.consumed);
+  enc.put_u64(tally.daily_counts.size());
+  for (const std::size_t count : tally.daily_counts) enc.put_u64(count);
+  enc.put_u64(tally.ever_registered);
+  enc.put_u64(tally.ever_transacted);
+  enc.put_u64(tally.first_week);
+  enc.put_u64(tally.last_week);
+  enc.put_u64(tally.both_weeks);
+}
+
+template <typename Map>
+[[nodiscard]] std::vector<typename Map::key_type> sorted_keys(const Map& map) {
+  std::vector<typename Map::key_type> keys;
+  keys.reserve(map.size());
+  // Key collection is order-free; the sort below canonicalizes.
+  // wearscope-lint: allow(unordered-flow)
+  for (const auto& [key, value] : map) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+void encode_activity(trace::BufferEncoder& enc,
+                     const core::ActivityTally& tally) {
+  enc.put_i64(tally.observation_days);
+  enc.put_i64(tally.detailed_start_day);
+  enc.put_u64(tally.users.size());
+  for (const trace::UserId user : sorted_keys(tally.users)) {
+    const core::ActivityTally::UserActivity& act = tally.users.at(user);
+    enc.put_u64(user);
+    enc.put_u64(act.day_hours.size());
+    for (const auto& [day, hours] : act.day_hours) {
+      enc.put_i64(day);
+      enc.put_u64(hours.size());
+      for (const int hour : hours) enc.put_i64(hour);
+    }
+    enc.put_u64(act.hour_txns.size());
+    for (const int slot : sorted_keys(act.hour_txns)) {
+      enc.put_i64(slot);
+      enc.put_f64(act.hour_txns.at(slot));
+    }
+    enc.put_u64(act.hour_bytes.size());
+    for (const int slot : sorted_keys(act.hour_bytes)) {
+      enc.put_i64(slot);
+      enc.put_f64(act.hour_bytes.at(slot));
+    }
+  }
+  enc.put_u64(tally.first_seen.size());
+  for (const trace::UserId user : sorted_keys(tally.first_seen)) {
+    enc.put_u64(user);
+    enc.put_u64(tally.first_seen.at(user));
+  }
+  enc.put_u64(tally.txn_sizes.size());
+  for (const double size : tally.txn_sizes) enc.put_f64(size);
+}
+
+void encode_apps(trace::BufferEncoder& enc, const live::AppTally& tally) {
+  for (const std::uint64_t txns : tally.class_txns) enc.put_u64(txns);
+  enc.put_u64(tally.apps.size());
+  for (const appdb::AppId app : sorted_keys(tally.apps)) {
+    const live::AppTally::Counter& c = tally.apps.at(app);
+    enc.put_u32(app);
+    enc.put_u64(c.transactions);
+    enc.put_u64(c.bytes);
+    enc.put_u64(c.usages);
+    enc.put_u64(c.distinct_users);
+  }
+}
+
+void encode_sectors(trace::BufferEncoder& enc, const live::SectorTally& tally) {
+  enc.put_u64(tally.sectors.size());
+  for (const trace::SectorId sector : sorted_keys(tally.sectors)) {
+    const live::SectorTally::Counter& c = tally.sectors.at(sector);
+    enc.put_u32(sector);
+    enc.put_u64(c.events);
+    enc.put_u64(c.attaches);
+    enc.put_u64(c.handovers);
+    enc.put_u64(c.wearable_events);
+    enc.put_u64(c.distinct_users);
+    enc.put_u64(c.wearable_users);
+  }
+}
+
+void encode_hll(trace::BufferEncoder& enc, const sketch::Hll& hll) {
+  const std::vector<std::uint8_t>& regs = hll.registers();
+  enc.put_u64(regs.size());
+  for (const std::uint8_t r : regs) enc.put_u8(r);
+}
+
+void encode_sketch(trace::BufferEncoder& enc, const live::SketchTally& tally) {
+  encode_hll(enc, tally.registered_users);
+  encode_hll(enc, tally.transacting_users);
+  const sketch::TDigestState digest = tally.txn_sizes.state();
+  enc.put_f64(digest.compression);
+  enc.put_u8(digest.empty ? 1 : 0);
+  enc.put_f64(digest.min);
+  enc.put_f64(digest.max);
+  enc.put_u64(digest.means.size());
+  for (std::size_t i = 0; i < digest.means.size(); ++i) {
+    enc.put_f64(digest.means[i]);
+    enc.put_f64(digest.weights[i]);
+  }
+  enc.put_u64(tally.apps.capacity());
+  const sketch::CountMin& counts = tally.apps.counters();
+  enc.put_u64(counts.depth());
+  enc.put_u64(counts.width());
+  for (const std::uint64_t counter : counts.table()) enc.put_u64(counter);
+  const auto candidates = tally.apps.sorted_candidates();
+  enc.put_u64(candidates.size());
+  for (const auto& [key, count] : candidates) {
+    enc.put_string(key);
+    enc.put_u64(count);
+  }
+}
+
+void encode_quarantine(trace::BufferEncoder& enc,
+                       const trace::QuarantineStats& q) {
+  enc.put_u64(q.corrupt_files);
+  enc.put_u64(q.corrupt_tails);
+  enc.put_u64(q.corrupt_blocks);
+  enc.put_u64(q.corrupt_rows);
+  enc.put_u64(q.duplicates);
+  enc.put_u64(q.regressions);
+  enc.put_u64(q.unknown_tac);
+  enc.put_u64(q.bad_host);
+  enc.put_u64(q.reordered);
+  enc.put_u64(q.transient_retries);
+  enc.put_u64(q.dropped_after_retry);
+}
+
+// --- Section decoders ----------------------------------------------------
+// All throw util::ParseError (via MemorySpanDecoder) on damage; each must
+// consume its payload exactly.
+
+void finish_section(util::MemorySpanDecoder& dec, const char* what) {
+  if (!dec.at_eof()) {
+    throw util::ParseError(std::string("partial snapshot: trailing bytes in ") +
+                           what + " section");
+  }
+}
+
+[[nodiscard]] PartitionHeader decode_header(std::span<const std::byte> bytes) {
+  util::MemorySpanDecoder dec(bytes);
+  PartitionHeader h;
+  h.partition_id = dec.get_u32();
+  h.partition_count = dec.get_u32();
+  h.epoch = dec.get_u64();
+  h.records = dec.get_u64();
+  h.feed_records = dec.get_u64();
+  h.observation_days = static_cast<std::int32_t>(dec.get_i64());
+  h.detailed_start_day = static_cast<std::int32_t>(dec.get_i64());
+  h.usage_gap_s = dec.get_i64();
+  h.long_tail_apps = dec.get_u32();
+  h.signature_coverage = dec.get_f64();
+  h.sketch_enabled = dec.get_u8();
+  h.payload_checksum = dec.get_u64();
+  finish_section(dec, "partition");
+  if (h.partition_count == 0 || h.partition_id >= h.partition_count) {
+    throw util::ParseError("partial snapshot: partition id out of range");
+  }
+  return h;
+}
+
+[[nodiscard]] core::AdoptionTally decode_adoption(
+    std::span<const std::byte> bytes) {
+  util::MemorySpanDecoder dec(bytes);
+  core::AdoptionTally tally;
+  tally.observation_days = static_cast<int>(dec.get_i64());
+  tally.consumed = dec.get_u64();
+  const std::uint64_t days = dec.get_u64();
+  if (days > dec.remaining() / 8) {
+    throw util::ParseError("partial snapshot: impossible daily-count length");
+  }
+  tally.daily_counts.reserve(days);
+  for (std::uint64_t d = 0; d < days; ++d) {
+    tally.daily_counts.push_back(static_cast<std::size_t>(dec.get_u64()));
+  }
+  tally.ever_registered = static_cast<std::size_t>(dec.get_u64());
+  tally.ever_transacted = static_cast<std::size_t>(dec.get_u64());
+  tally.first_week = static_cast<std::size_t>(dec.get_u64());
+  tally.last_week = static_cast<std::size_t>(dec.get_u64());
+  tally.both_weeks = static_cast<std::size_t>(dec.get_u64());
+  finish_section(dec, "adoption");
+  return tally;
+}
+
+[[nodiscard]] core::ActivityTally decode_activity(
+    std::span<const std::byte> bytes) {
+  util::MemorySpanDecoder dec(bytes);
+  core::ActivityTally tally;
+  tally.observation_days = static_cast<int>(dec.get_i64());
+  tally.detailed_start_day = static_cast<int>(dec.get_i64());
+  const std::uint64_t users = dec.get_u64();
+  for (std::uint64_t u = 0; u < users; ++u) {
+    const trace::UserId user = dec.get_u64();
+    core::ActivityTally::UserActivity& act = tally.users[user];
+    const std::uint64_t days = dec.get_u64();
+    for (std::uint64_t d = 0; d < days; ++d) {
+      const int day = static_cast<int>(dec.get_i64());
+      const std::uint64_t hours = dec.get_u64();
+      std::set<int>& slot = act.day_hours[day];
+      for (std::uint64_t i = 0; i < hours; ++i) {
+        slot.insert(static_cast<int>(dec.get_i64()));
+      }
+    }
+    const std::uint64_t txn_slots = dec.get_u64();
+    for (std::uint64_t i = 0; i < txn_slots; ++i) {
+      const int slot = static_cast<int>(dec.get_i64());
+      act.hour_txns[slot] = dec.get_f64();
+    }
+    const std::uint64_t byte_slots = dec.get_u64();
+    for (std::uint64_t i = 0; i < byte_slots; ++i) {
+      const int slot = static_cast<int>(dec.get_i64());
+      act.hour_bytes[slot] = dec.get_f64();
+    }
+  }
+  const std::uint64_t seen = dec.get_u64();
+  for (std::uint64_t i = 0; i < seen; ++i) {
+    const trace::UserId user = dec.get_u64();
+    tally.first_seen[user] = dec.get_u64();
+  }
+  const std::uint64_t sizes = dec.get_u64();
+  if (sizes > dec.remaining() / 8) {
+    throw util::ParseError("partial snapshot: impossible txn-size length");
+  }
+  tally.txn_sizes.reserve(sizes);
+  for (std::uint64_t i = 0; i < sizes; ++i) {
+    tally.txn_sizes.push_back(dec.get_f64());
+  }
+  finish_section(dec, "activity");
+  return tally;
+}
+
+[[nodiscard]] live::AppTally decode_apps(std::span<const std::byte> bytes) {
+  util::MemorySpanDecoder dec(bytes);
+  live::AppTally tally;
+  for (std::uint64_t& txns : tally.class_txns) txns = dec.get_u64();
+  const std::uint64_t apps = dec.get_u64();
+  for (std::uint64_t a = 0; a < apps; ++a) {
+    const appdb::AppId app = dec.get_u32();
+    live::AppTally::Counter& c = tally.apps[app];
+    c.transactions = dec.get_u64();
+    c.bytes = dec.get_u64();
+    c.usages = dec.get_u64();
+    c.distinct_users = dec.get_u64();
+  }
+  finish_section(dec, "apps");
+  return tally;
+}
+
+[[nodiscard]] live::SectorTally decode_sectors(
+    std::span<const std::byte> bytes) {
+  util::MemorySpanDecoder dec(bytes);
+  live::SectorTally tally;
+  const std::uint64_t sectors = dec.get_u64();
+  for (std::uint64_t s = 0; s < sectors; ++s) {
+    const trace::SectorId sector = dec.get_u32();
+    live::SectorTally::Counter& c = tally.sectors[sector];
+    c.events = dec.get_u64();
+    c.attaches = dec.get_u64();
+    c.handovers = dec.get_u64();
+    c.wearable_events = dec.get_u64();
+    c.distinct_users = dec.get_u64();
+    c.wearable_users = dec.get_u64();
+  }
+  finish_section(dec, "sectors");
+  return tally;
+}
+
+[[nodiscard]] sketch::Hll decode_hll(util::MemorySpanDecoder& dec) {
+  const std::uint64_t size = dec.get_u64();
+  if (size > dec.remaining()) {
+    throw util::ParseError("partial snapshot: impossible HLL register count");
+  }
+  std::vector<std::uint8_t> registers;
+  registers.reserve(size);
+  for (std::uint64_t i = 0; i < size; ++i) registers.push_back(dec.get_u8());
+  try {
+    return sketch::Hll::from_registers(std::move(registers));
+  } catch (const util::ConfigError& e) {
+    throw util::ParseError(e.what());
+  }
+}
+
+[[nodiscard]] live::SketchTally decode_sketch(
+    std::span<const std::byte> bytes) {
+  util::MemorySpanDecoder dec(bytes);
+  live::SketchTally tally;
+  tally.enabled = true;
+  tally.registered_users = decode_hll(dec);
+  tally.transacting_users = decode_hll(dec);
+  sketch::TDigestState digest;
+  digest.compression = dec.get_f64();
+  digest.empty = dec.get_u8() != 0;
+  digest.min = dec.get_f64();
+  digest.max = dec.get_f64();
+  const std::uint64_t centroids = dec.get_u64();
+  if (centroids > dec.remaining() / 16) {
+    throw util::ParseError("partial snapshot: impossible centroid count");
+  }
+  digest.means.reserve(centroids);
+  digest.weights.reserve(centroids);
+  for (std::uint64_t i = 0; i < centroids; ++i) {
+    digest.means.push_back(dec.get_f64());
+    digest.weights.push_back(dec.get_f64());
+  }
+  const std::uint64_t capacity = dec.get_u64();
+  const std::uint64_t depth = dec.get_u64();
+  const std::uint64_t width = dec.get_u64();
+  if (depth > 64 || width > (std::uint64_t{1} << 24) ||
+      depth * width > dec.remaining() / 8) {
+    throw util::ParseError("partial snapshot: impossible count-min shape");
+  }
+  std::vector<std::uint64_t> table;
+  table.reserve(depth * width);
+  for (std::uint64_t i = 0; i < depth * width; ++i) {
+    table.push_back(dec.get_u64());
+  }
+  const std::uint64_t candidates = dec.get_u64();
+  std::vector<std::pair<std::string, std::uint64_t>> entries;
+  entries.reserve(std::min<std::uint64_t>(candidates, 1 << 16));
+  for (std::uint64_t i = 0; i < candidates; ++i) {
+    std::string key = dec.get_string();
+    const std::uint64_t count = dec.get_u64();
+    entries.emplace_back(std::move(key), count);
+  }
+  finish_section(dec, "sketch");
+  try {
+    tally.txn_sizes = sketch::TDigest::from_state(digest);
+    tally.apps = sketch::HeavyHitters::from_state(
+        static_cast<std::size_t>(capacity),
+        sketch::CountMin::from_table(static_cast<std::size_t>(depth),
+                                     static_cast<std::size_t>(width),
+                                     std::move(table)),
+        std::move(entries));
+  } catch (const util::ConfigError& e) {
+    throw util::ParseError(e.what());
+  }
+  return tally;
+}
+
+[[nodiscard]] trace::QuarantineStats decode_quarantine(
+    std::span<const std::byte> bytes) {
+  util::MemorySpanDecoder dec(bytes);
+  trace::QuarantineStats q;
+  q.corrupt_files = dec.get_u64();
+  q.corrupt_tails = dec.get_u64();
+  q.corrupt_blocks = dec.get_u64();
+  q.corrupt_rows = dec.get_u64();
+  q.duplicates = dec.get_u64();
+  q.regressions = dec.get_u64();
+  q.unknown_tac = dec.get_u64();
+  q.bad_host = dec.get_u64();
+  q.reordered = dec.get_u64();
+  q.transient_retries = dec.get_u64();
+  q.dropped_after_retry = dec.get_u64();
+  finish_section(dec, "quarantine");
+  return q;
+}
+
+/// Applies one decoded non-header section to `out`.  Throws ParseError on
+/// a malformed payload.
+void apply_section(std::uint32_t id, std::span<const std::byte> payload,
+                   PartialSnapshot& out) {
+  switch (static_cast<SectionId>(id)) {
+    case SectionId::kAdoption:
+      out.tallies.adoption = decode_adoption(payload);
+      break;
+    case SectionId::kActivity:
+      out.tallies.activity = decode_activity(payload);
+      break;
+    case SectionId::kApps:
+      out.tallies.apps = decode_apps(payload);
+      break;
+    case SectionId::kSectors:
+      out.tallies.sectors = decode_sectors(payload);
+      break;
+    case SectionId::kSketch:
+      out.tallies.sketch = decode_sketch(payload);
+      break;
+    case SectionId::kQuarantine:
+      out.feed_quarantine = decode_quarantine(payload);
+      break;
+    default:
+      break;  // Unknown ids skip silently (forward compatibility).
+  }
+}
+
+/// One chain entry as located by the section scan.
+struct SectionEntry {
+  std::uint32_t id = 0;
+  std::uint64_t offset = 0;  ///< File offset of the section header.
+  std::uint32_t crc = 0;
+  std::span<const std::byte> payload;
+  bool crc_ok = false;
+};
+
+/// Scans the section chain after the file header.  `broken_tail` is set
+/// when the chain ends mid-header or mid-payload (the remaining bytes are
+/// unreadable); entries before the break are still returned.
+struct SectionScan {
+  std::vector<SectionEntry> entries;
+  bool broken_tail = false;
+};
+
+[[nodiscard]] SectionScan scan_sections(std::span<const std::byte> bytes) {
+  SectionScan scan;
+  std::size_t offset = kPartialFileHeaderBytes;
+  while (offset < bytes.size()) {
+    if (bytes.size() - offset < kSectionHeaderBytes) {
+      scan.broken_tail = true;
+      break;
+    }
+    util::MemorySpanDecoder dec(bytes.subspan(offset, kSectionHeaderBytes));
+    SectionEntry entry;
+    entry.id = dec.get_u32();
+    const std::uint32_t byte_length = dec.get_u32();
+    entry.crc = dec.get_u32();
+    entry.offset = offset;
+    offset += kSectionHeaderBytes;
+    if (bytes.size() - offset < byte_length) {
+      scan.broken_tail = true;
+      break;
+    }
+    entry.payload = bytes.subspan(offset, byte_length);
+    offset += byte_length;
+    entry.crc_ok = util::crc32(entry.payload) == entry.crc;
+    scan.entries.push_back(entry);
+  }
+  return scan;
+}
+
+/// Validates the 8-byte file header.  Returns false on a short buffer,
+/// wrong magic or unknown version.
+[[nodiscard]] bool check_file_header(std::span<const std::byte> bytes) {
+  if (bytes.size() < kPartialFileHeaderBytes) return false;
+  util::MemorySpanDecoder dec(bytes.first(kPartialFileHeaderBytes));
+  if (dec.get_u32() != kPartialMagic) return false;
+  if (dec.get_u16() != kPartialVersion) return false;
+  (void)dec.get_u16();  // reserved
+  return true;
+}
+
+[[nodiscard]] std::uint64_t checksum_of(
+    const std::vector<SectionEntry>& entries) {
+  std::uint64_t fold = kPartialMagic;
+  for (const SectionEntry& entry : entries) {
+    if (entry.id == static_cast<std::uint32_t>(SectionId::kPartition)) {
+      continue;
+    }
+    fold = fold_checksum(fold, entry.id, entry.crc);
+  }
+  return fold;
+}
+
+/// The ids a complete partial must carry besides the partition header.
+[[nodiscard]] std::vector<std::uint32_t> expected_sections(
+    const PartitionHeader& header) {
+  std::vector<std::uint32_t> expected(std::begin(kRequiredSections),
+                                      std::end(kRequiredSections));
+  if (header.sketch_enabled != 0) {
+    expected.push_back(static_cast<std::uint32_t>(SectionId::kSketch));
+  }
+  std::sort(expected.begin(), expected.end());
+  return expected;
+}
+
+}  // namespace
+
+const char* section_name(std::uint32_t id) noexcept {
+  switch (static_cast<SectionId>(id)) {
+    case SectionId::kPartition: return "partition";
+    case SectionId::kAdoption: return "adoption";
+    case SectionId::kActivity: return "activity";
+    case SectionId::kApps: return "apps";
+    case SectionId::kSectors: return "sectors";
+    case SectionId::kSketch: return "sketch";
+    case SectionId::kQuarantine: return "quarantine";
+  }
+  return "?";
+}
+
+std::string encode_partial(const PartialSnapshot& partial) {
+  // Encode the non-header sections first: the partition header carries
+  // their checksum fold, so it is sealed last.
+  struct Pending {
+    std::uint32_t id = 0;
+    std::string payload;
+  };
+  std::vector<Pending> sections;
+  const auto add = [&sections](SectionId id, auto&& encode) {
+    Pending pending{static_cast<std::uint32_t>(id), {}};
+    trace::BufferEncoder enc(pending.payload);
+    encode(enc);
+    sections.push_back(std::move(pending));
+  };
+  add(SectionId::kAdoption, [&](trace::BufferEncoder& enc) {
+    encode_adoption(enc, partial.tallies.adoption);
+  });
+  add(SectionId::kActivity, [&](trace::BufferEncoder& enc) {
+    encode_activity(enc, partial.tallies.activity);
+  });
+  add(SectionId::kApps, [&](trace::BufferEncoder& enc) {
+    encode_apps(enc, partial.tallies.apps);
+  });
+  add(SectionId::kSectors, [&](trace::BufferEncoder& enc) {
+    encode_sectors(enc, partial.tallies.sectors);
+  });
+  if (partial.header.sketch_enabled != 0) {
+    add(SectionId::kSketch, [&](trace::BufferEncoder& enc) {
+      encode_sketch(enc, partial.tallies.sketch);
+    });
+  }
+  add(SectionId::kQuarantine, [&](trace::BufferEncoder& enc) {
+    encode_quarantine(enc, partial.feed_quarantine);
+  });
+
+  std::uint64_t fold = kPartialMagic;
+  std::vector<std::uint32_t> crcs;
+  crcs.reserve(sections.size());
+  for (const Pending& section : sections) {
+    const std::uint32_t crc = payload_crc(section.payload);
+    crcs.push_back(crc);
+    fold = fold_checksum(fold, section.id, crc);
+  }
+
+  PartitionHeader header = partial.header;
+  header.payload_checksum = fold;
+  std::string header_payload;
+  {
+    trace::BufferEncoder enc(header_payload);
+    encode_header(enc, header);
+  }
+
+  std::string out;
+  trace::BufferEncoder enc(out);
+  enc.put_u32(kPartialMagic);
+  enc.put_u16(kPartialVersion);
+  enc.put_u16(0);  // reserved
+  const auto frame = [&enc, &out](std::uint32_t id, const std::string& payload,
+                                  std::uint32_t crc) {
+    enc.put_u32(id);
+    enc.put_u32(static_cast<std::uint32_t>(payload.size()));
+    enc.put_u32(crc);
+    out.append(payload);
+  };
+  frame(static_cast<std::uint32_t>(SectionId::kPartition), header_payload,
+        payload_crc(header_payload));
+  for (std::size_t i = 0; i < sections.size(); ++i) {
+    frame(sections[i].id, sections[i].payload, crcs[i]);
+  }
+  return out;
+}
+
+void write_partial_file(const std::filesystem::path& path,
+                        const PartialSnapshot& partial) {
+  const std::string bytes = encode_partial(partial);
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw util::IoError("cannot open partial snapshot file " + tmp.string());
+    }
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!out) {
+      throw util::IoError("short write to partial snapshot file " +
+                          tmp.string());
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    throw util::IoError("cannot publish partial snapshot file " +
+                        path.string() + ": " + ec.message());
+  }
+}
+
+PartialSnapshot decode_partial(std::span<const std::byte> bytes) {
+  if (!check_file_header(bytes)) {
+    throw util::ParseError("partial snapshot: bad file header");
+  }
+  const SectionScan scan = scan_sections(bytes);
+  if (scan.broken_tail) {
+    throw util::ParseError("partial snapshot: truncated section chain");
+  }
+  if (scan.entries.empty()) {
+    throw util::ParseError("partial snapshot: no sections");
+  }
+  const SectionEntry& first = scan.entries.front();
+  if (first.id != static_cast<std::uint32_t>(SectionId::kPartition)) {
+    throw util::ParseError(
+        "partial snapshot: partition header is not the first section");
+  }
+  std::uint32_t prev_id = 0;
+  for (const SectionEntry& entry : scan.entries) {
+    if (!entry.crc_ok) {
+      throw util::ParseError(std::string("partial snapshot: CRC mismatch in ") +
+                             section_name(entry.id) + " section");
+    }
+    if (entry.id <= prev_id) {
+      throw util::ParseError(
+          "partial snapshot: duplicate or out-of-order section");
+    }
+    prev_id = entry.id;
+  }
+
+  PartialSnapshot out;
+  out.header = decode_header(first.payload);
+  if (checksum_of(scan.entries) != out.header.payload_checksum) {
+    throw util::ParseError("partial snapshot: payload checksum mismatch");
+  }
+  std::vector<std::uint32_t> present;
+  for (std::size_t i = 1; i < scan.entries.size(); ++i) {
+    apply_section(scan.entries[i].id, scan.entries[i].payload, out);
+    present.push_back(scan.entries[i].id);
+  }
+  for (const std::uint32_t id : expected_sections(out.header)) {
+    if (std::find(present.begin(), present.end(), id) == present.end()) {
+      throw util::ParseError(std::string("partial snapshot: missing ") +
+                             section_name(id) + " section");
+    }
+  }
+  return out;
+}
+
+std::optional<PartialSnapshot> read_partial_lenient(
+    std::span<const std::byte> bytes, trace::QuarantineStats& quarantine) {
+  if (!check_file_header(bytes)) {
+    quarantine.corrupt_files += 1;
+    return std::nullopt;
+  }
+  const SectionScan scan = scan_sections(bytes);
+
+  // The partition header is the file's meaning: without an intact,
+  // decodable copy the cover metadata cannot be trusted and the whole
+  // file is rejected.
+  PartialSnapshot out;
+  bool have_header = false;
+  for (const SectionEntry& entry : scan.entries) {
+    if (entry.id != static_cast<std::uint32_t>(SectionId::kPartition)) {
+      continue;
+    }
+    if (!entry.crc_ok) break;
+    try {
+      out.header = decode_header(entry.payload);
+      have_header = true;
+      // Accounted below: !have_header counts one corrupt_files.
+      // wearscope-lint: allow(quarantine-pairing)
+    } catch (const util::ParseError&) {
+    }
+    break;
+  }
+  if (!have_header) {
+    quarantine.corrupt_files += 1;
+    return std::nullopt;
+  }
+
+  // Recover every other section independently: damage is section-granular
+  // and the byte_length chain resyncs past a bad payload.
+  std::vector<std::uint32_t> recovered;
+  std::uint64_t damaged = 0;
+  for (const SectionEntry& entry : scan.entries) {
+    if (entry.id == static_cast<std::uint32_t>(SectionId::kPartition)) {
+      continue;
+    }
+    const bool duplicate =
+        std::find(recovered.begin(), recovered.end(), entry.id) !=
+        recovered.end();
+    if (duplicate) continue;  // First instance wins.
+    if (!entry.crc_ok) {
+      damaged += 1;
+      continue;
+    }
+    try {
+      apply_section(entry.id, entry.payload, out);
+      recovered.push_back(entry.id);
+      // `damaged` folds into quarantine.corrupt_blocks below.
+      // wearscope-lint: allow(quarantine-pairing)
+    } catch (const util::ParseError&) {
+      damaged += 1;
+    }
+  }
+  // Expected sections that never decoded count one block each (the
+  // damaged instances above are those same losses, so take the max to
+  // avoid double counting a section that is both present and broken).
+  std::uint64_t missing = 0;
+  for (const std::uint32_t id : expected_sections(out.header)) {
+    if (std::find(recovered.begin(), recovered.end(), id) == recovered.end()) {
+      missing += 1;
+    }
+  }
+  const std::uint64_t lost = std::max(missing, damaged);
+  quarantine.corrupt_blocks += lost;
+
+  if (lost == 0 && !scan.broken_tail &&
+      checksum_of(scan.entries) != out.header.payload_checksum) {
+    // Sections all verify individually but the *set* is not the one the
+    // writer sealed (e.g. a section was cleanly spliced out and the
+    // header re-written, or mixed files): reject — the cover cannot be
+    // trusted.
+    quarantine.corrupt_files += 1;
+    return std::nullopt;
+  }
+  if (scan.broken_tail && lost == 0) {
+    // Trailing garbage after every expected section was recovered.
+    quarantine.corrupt_blocks += 1;
+  }
+  return out;
+}
+
+PartialSnapshot read_partial_file(const std::filesystem::path& path) {
+  const util::MappedFile file(path);
+  return decode_partial(file.bytes());
+}
+
+PartialAudit audit_partial(std::span<const std::byte> bytes) {
+  PartialAudit audit;
+  audit.file_bytes = bytes.size();
+  trace::QuarantineStats quarantine;
+  const std::optional<PartialSnapshot> partial =
+      read_partial_lenient(bytes, quarantine);
+  audit.quarantine = quarantine;
+  if (!check_file_header(bytes)) return audit;
+
+  const SectionScan scan = scan_sections(bytes);
+  for (const SectionEntry& entry : scan.entries) {
+    SectionAudit section;
+    section.id = entry.id;
+    section.offset = entry.offset;
+    section.byte_length = static_cast<std::uint32_t>(entry.payload.size());
+    section.crc_ok = entry.crc_ok;
+    if (entry.crc_ok) {
+      try {
+        if (entry.id == static_cast<std::uint32_t>(SectionId::kPartition)) {
+          (void)decode_header(entry.payload);
+        } else {
+          PartialSnapshot scratch;
+          apply_section(entry.id, entry.payload, scratch);
+        }
+        section.decode_ok = true;
+        // Audit accounting rides in audit.quarantine (the lenient read
+        // above); this probe only fills decode_ok.
+        // wearscope-lint: allow(quarantine-pairing)
+      } catch (const util::ParseError&) {
+      }
+    }
+    audit.sections.push_back(section);
+  }
+  if (partial.has_value()) {
+    audit.header_ok = true;
+    audit.header = partial->header;
+    audit.checksum_ok =
+        checksum_of(scan.entries) == partial->header.payload_checksum;
+  }
+  return audit;
+}
+
+PartialSnapshot make_partial(const live::LiveSnapshot& snap,
+                             const live::LiveOptions& opt) {
+  util::ensure(snap.tallies != nullptr,
+               "make_partial requires capture_tallies snapshots");
+  PartialSnapshot partial;
+  partial.header.partition_id = static_cast<std::uint32_t>(opt.partition_id);
+  partial.header.partition_count =
+      static_cast<std::uint32_t>(opt.partition_count);
+  partial.header.epoch = snap.epoch;
+  partial.header.records = snap.records;
+  partial.header.feed_records = snap.feed_records;
+  partial.header.observation_days = opt.observation_days;
+  partial.header.detailed_start_day = opt.detailed_start_day;
+  partial.header.usage_gap_s = opt.usage_gap_s;
+  partial.header.long_tail_apps = opt.long_tail_apps;
+  partial.header.signature_coverage = opt.signature_coverage;
+  partial.header.sketch_enabled = opt.sketch_aggregates ? 1 : 0;
+  partial.tallies = *snap.tallies;
+  partial.feed_quarantine = snap.quarantine;
+  return partial;
+}
+
+std::string partial_file_name(std::uint32_t partition_id,
+                              std::uint32_t partition_count,
+                              std::uint64_t epoch) {
+  return "part" + std::to_string(partition_id) + "of" +
+         std::to_string(partition_count) + "_epoch" + std::to_string(epoch) +
+         ".wsfd";
+}
+
+}  // namespace wearscope::fed

@@ -22,8 +22,9 @@
 //                       classic include guard)
 //   include-hygiene     project includes whose declared names are never
 //                       referenced are flagged as unused
-//   pod-init            scalar struct fields in trace/live/serve/sched
-//                       event types must have default initializers
+//   pod-init            scalar struct fields in trace/live/serve/sched/
+//                       sketch/fed event types must have default
+//                       initializers
 //
 // Whole-program rules (built on the cross-file symbol index and call
 // graph, see symbols.h / callgraph.h — these see every file in the

@@ -738,7 +738,7 @@ void check_pod_init(const FileCtx& f, std::vector<Finding>& out) {
   const std::string& path = f.source->path;
   if (!contains(path, "trace/") && !contains(path, "live/") &&
       !contains(path, "serve/") && !contains(path, "sched/") &&
-      !contains(path, "sketch/")) {
+      !contains(path, "sketch/") && !contains(path, "fed/")) {
     return;
   }
   const Code& c = f.code;

@@ -11,10 +11,14 @@ LiveEngine::LiveEngine(const std::vector<trace::DeviceRecord>& devices,
       devices_(devices),
       signatures_(catalog_, options.signature_coverage),
       router_(options.shards, options.ring_capacity),
-      coordinator_(options.shards, signatures_) {
+      coordinator_(options.shards, signatures_, options.capture_tallies) {
   util::require(opt_.observation_days > 0 && opt_.detailed_start_day >= 0 &&
                     opt_.detailed_start_day < opt_.observation_days,
                 "LiveEngine: bad observation window");
+  util::require(opt_.partition_count >= 1 &&
+                    opt_.partition_id < opt_.partition_count,
+                "LiveEngine: partition id out of range");
+  router_.set_partition(opt_.partition_id, opt_.partition_count);
   workers_.reserve(router_.shards());
   for (std::size_t s = 0; s < router_.shards(); ++s) {
     workers_.push_back(std::make_unique<ShardWorker>(
@@ -44,6 +48,7 @@ LiveSnapshot LiveEngine::snapshot() {
   const std::uint64_t epoch = next_epoch_++;
   router_.broadcast_barrier(epoch);
   LiveSnapshot snap = coordinator_.wait_for(epoch);
+  snap.feed_records = router_.feed_records();
   snap.backpressure = router_.total_stats();
   snap.quarantine = quarantine_;
   return snap;
@@ -56,6 +61,7 @@ LiveSnapshot LiveEngine::stop() {
   router_.close();
   LiveSnapshot snap = coordinator_.wait_for(epoch);
   for (const auto& worker : workers_) worker->join();
+  snap.feed_records = router_.feed_records();
   snap.backpressure = router_.total_stats();
   snap.quarantine = quarantine_;
   stopped_ = true;

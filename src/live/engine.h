@@ -62,6 +62,17 @@ struct LiveOptions {
   /// no exact adoption/activity results, usage counts or per-app/sector
   /// distinct-user counts.
   bool sketch_aggregates = false;
+  /// Multi-process partitioned mode: this engine owns the users whose
+  /// par::shard_of(user, partition_count) == partition_id and filters
+  /// everything else at the router (the proxy sequence still advances
+  /// globally, so merged partials reproduce the single-process results
+  /// bitwise — see fed/merge.h).  partition_count == 1 is the ordinary
+  /// single-process engine.
+  std::size_t partition_id = 0;
+  std::size_t partition_count = 1;
+  /// Keep each snapshot's merged pre-finalize tallies
+  /// (LiveSnapshot::tallies) so fed/partial_io can serialize them.
+  bool capture_tallies = false;
 };
 
 /// The live-ingest engine. Construction spawns the worker threads;
@@ -81,6 +92,15 @@ class LiveEngine {
   /// Returns false after stop().
   bool push(trace::ProxyRecord record);
   bool push(trace::MmeRecord record);
+
+  /// Accounts a run of records owned by other partitions without routing
+  /// them (IngestRouter::skip_unowned): a pre-filtered feed interleaves
+  /// push() and skip_unowned() calls in feed order and ends up with the
+  /// same router state as pushing everything through the filter.  Same
+  /// threading contract as push().
+  void skip_unowned(std::uint64_t proxy_records, std::uint64_t mme_records) {
+    router_.skip_unowned(proxy_records, mme_records);
+  }
 
   /// Takes a consistent snapshot covering every record pushed so far:
   /// broadcasts a barrier, blocks until all shards deposited, merges.
@@ -115,6 +135,14 @@ class LiveEngine {
   /// Epochs issued so far (snapshots taken + final).
   [[nodiscard]] std::uint64_t epochs_issued() const noexcept {
     return next_epoch_;
+  }
+  /// Records offered to the router so far (owned + partition-filtered).
+  [[nodiscard]] std::uint64_t feed_records() const noexcept {
+    return router_.feed_records();
+  }
+  /// Records filtered because another partition owns their user.
+  [[nodiscard]] std::uint64_t filtered_records() const noexcept {
+    return router_.filtered_records();
   }
 
  private:

@@ -12,7 +12,26 @@ IngestRouter::IngestRouter(std::size_t shards, std::size_t ring_capacity) {
   }
 }
 
+void IngestRouter::set_partition(std::size_t partition_id,
+                                 std::size_t partition_count) {
+  util::require(partition_count >= 1 && partition_id < partition_count,
+                "IngestRouter: partition id out of range");
+  util::require(next_proxy_seq_ == 0 && feed_records_ == 0,
+                "IngestRouter: set_partition after records were routed");
+  partition_id_ = partition_id;
+  partition_count_ = partition_count;
+}
+
 bool IngestRouter::route(trace::ProxyRecord record) {
+  ++feed_records_;
+  if (partition_count_ > 1 &&
+      shard_of(record.user_id, partition_count_) != partition_id_) {
+    // Not ours — but the stamp space is the *global* proxy stream, so the
+    // sequence advances exactly as it would in a single process.
+    ++next_proxy_seq_;
+    ++filtered_records_;
+    return true;
+  }
   const std::size_t shard = shard_of(record.user_id, rings_.size());
   StampedProxy stamped{next_proxy_seq_, std::move(record)};
   if (!rings_[shard]->push(LiveEvent(std::move(stamped)))) return false;
@@ -21,8 +40,21 @@ bool IngestRouter::route(trace::ProxyRecord record) {
 }
 
 bool IngestRouter::route(trace::MmeRecord record) {
+  ++feed_records_;
+  if (partition_count_ > 1 &&
+      shard_of(record.user_id, partition_count_) != partition_id_) {
+    ++filtered_records_;
+    return true;
+  }
   const std::size_t shard = shard_of(record.user_id, rings_.size());
   return rings_[shard]->push(LiveEvent(record));
+}
+
+void IngestRouter::skip_unowned(std::uint64_t proxy_records,
+                                std::uint64_t mme_records) {
+  next_proxy_seq_ += proxy_records;
+  feed_records_ += proxy_records + mme_records;
+  filtered_records_ += proxy_records + mme_records;
 }
 
 bool IngestRouter::broadcast_barrier(std::uint64_t epoch) {

@@ -37,11 +37,29 @@ class IngestRouter {
   /// events.
   IngestRouter(std::size_t shards, std::size_t ring_capacity);
 
+  /// Restricts this router to one partition of a multi-process cover:
+  /// records whose shard_of(user, partition_count) differs from
+  /// partition_id are filtered (counted, never rung).  The proxy sequence
+  /// still advances for filtered records, so the stamps owned records
+  /// carry are their *global* stream positions — that is what makes the
+  /// federated ActivityTally merge replay the single-process user order
+  /// bitwise (core/streaming_activity.h).  Feed thread only, before any
+  /// route() call.
+  void set_partition(std::size_t partition_id, std::size_t partition_count);
+
   /// Routes one record to its user's shard, blocking on backpressure.
   /// Returns false when the rings are already closed.  Proxy records are
   /// stamped with their global stream position (see StampedProxy).
+  /// Records outside the owned partition are filtered and report true.
   bool route(trace::ProxyRecord record);
   bool route(trace::MmeRecord record);
+
+  /// Accounts a run of records owned by other partitions without touching
+  /// the rings: the proxy sequence and the feed/filter counters advance
+  /// exactly as `proxy_records` + `mme_records` filtered route() calls
+  /// would, so a pre-filtered feed (fed::load_partition_feed) reproduces
+  /// the stamps owned records carry bitwise.  Feed thread only.
+  void skip_unowned(std::uint64_t proxy_records, std::uint64_t mme_records);
 
   /// Pushes a barrier for `epoch` into every ring (same stream position on
   /// each shard). Returns false when the rings are already closed.
@@ -60,9 +78,23 @@ class IngestRouter {
   /// Aggregated backpressure counters over all rings.
   [[nodiscard]] RingStats total_stats() const;
 
+  /// Records offered to route() so far (owned + filtered) — the full
+  /// feed's length, identical across every partition of one cover.
+  [[nodiscard]] std::uint64_t feed_records() const noexcept {
+    return feed_records_;
+  }
+  /// Records filtered because another partition owns their user.
+  [[nodiscard]] std::uint64_t filtered_records() const noexcept {
+    return filtered_records_;
+  }
+
  private:
   std::vector<std::unique_ptr<RingBuffer<LiveEvent>>> rings_;
   std::uint64_t next_proxy_seq_ = 0;  ///< Feed-thread only, like route().
+  std::size_t partition_id_ = 0;      ///< Feed-thread only.
+  std::size_t partition_count_ = 1;   ///< 1 = single-process (no filter).
+  std::uint64_t feed_records_ = 0;    ///< Feed-thread only.
+  std::uint64_t filtered_records_ = 0;  ///< Feed-thread only.
 };
 
 }  // namespace wearscope::live

@@ -8,8 +8,11 @@
 namespace wearscope::live {
 
 SnapshotCoordinator::SnapshotCoordinator(
-    std::size_t shards, const core::AppSignatureTable& signatures)
-    : shards_(shards), signatures_(&signatures) {
+    std::size_t shards, const core::AppSignatureTable& signatures,
+    bool capture_tallies)
+    : shards_(shards),
+      signatures_(&signatures),
+      capture_tallies_(capture_tallies) {
   util::require(shards >= 1, "SnapshotCoordinator: need at least one shard");
 }
 
@@ -107,6 +110,16 @@ LiveSnapshot SnapshotCoordinator::assemble(
                          ? a.counter.events > b.counter.events
                          : a.sector < b.sector;
             });
+
+  if (capture_tallies_) {
+    auto tallies = std::make_shared<LiveSnapshot::TallySet>();
+    tallies->adoption = std::move(adoption);
+    tallies->activity = std::move(activity);
+    tallies->apps = std::move(apps);
+    tallies->sectors = std::move(sectors);
+    tallies->sketch = std::move(sketch);
+    snap.tallies = std::move(tallies);
+  }
   return snap;
 }
 

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <utility>
@@ -31,6 +32,12 @@ namespace wearscope::live {
 struct LiveSnapshot {
   std::uint64_t epoch = 0;
   std::uint64_t records = 0;  ///< Records included in the cut (all shards).
+  /// Records the feed offered to the router up to the cut — equals
+  /// `records` in a single process; in partitioned mode it is the full
+  /// feed's position while `records` counts only the owned partition
+  /// (filled by the engine, not the merge).  The federated merge requires
+  /// the owned counts of a cover to sum to exactly this.
+  std::uint64_t feed_records = 0;
   core::AdoptionResult adoption;
   core::ActivityResult activity;
   /// Per-app rows sorted by (transactions desc, app id) — deterministic
@@ -72,6 +79,20 @@ struct LiveSnapshot {
   /// Records the feed side quarantined before they ever reached a ring
   /// (filled by the engine from add_quarantine(), not the merge).
   trace::QuarantineStats quarantine;
+
+  /// The *mergeable* state behind the finalized figures above: the
+  /// shard-merged tallies, before finalize().  Federation serializes these
+  /// (fed/partial_io) so partial snapshots from user-disjoint partitions
+  /// can be combined exactly.  Only captured when the coordinator was
+  /// built with capture_tallies (null otherwise — serving pays nothing).
+  struct TallySet {
+    core::AdoptionTally adoption;
+    core::ActivityTally activity;
+    AppTally apps;
+    SectorTally sectors;
+    SketchTally sketch;
+  };
+  std::shared_ptr<const TallySet> tallies;
 };
 
 /// Collects per-shard deposits and assembles epoch snapshots.
@@ -80,9 +101,13 @@ struct LiveSnapshot {
 class SnapshotCoordinator {
  public:
   /// `shards` contributions complete an epoch. `signatures` resolves app
-  /// display names and must outlive the coordinator.
+  /// display names and must outlive the coordinator.  With
+  /// `capture_tallies` every assembled snapshot keeps its merged
+  /// pre-finalize tallies (LiveSnapshot::tallies) for partial-snapshot
+  /// serialization.
   SnapshotCoordinator(std::size_t shards,
-                      const core::AppSignatureTable& signatures);
+                      const core::AppSignatureTable& signatures,
+                      bool capture_tallies = false);
 
   /// Adds one shard's contribution to `epoch`. The last deposit assembles
   /// the snapshot and wakes waiters.
@@ -105,6 +130,7 @@ class SnapshotCoordinator {
 
   std::size_t shards_ = 0;
   const core::AppSignatureTable* signatures_ = nullptr;
+  bool capture_tallies_ = false;
 
   mutable util::Mutex mutex_;
   util::CondVar assembled_;

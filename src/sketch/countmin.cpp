@@ -33,6 +33,15 @@ std::uint64_t CountMin::estimate(std::uint64_t hash) const {
   return best;
 }
 
+CountMin CountMin::from_table(std::size_t depth, std::size_t width,
+                              std::vector<std::uint64_t> table) {
+  CountMin sketch(depth, width);
+  util::require(table.size() == depth * width,
+                "count-min: serialized table is not depth x width");
+  sketch.table_ = std::move(table);
+  return sketch;
+}
+
 void CountMin::merge(const CountMin& other) {
   util::require(depth_ == other.depth_ && width_ == other.width_,
                 "count-min: merge dimensions differ");
@@ -110,6 +119,28 @@ void HeavyHitters::merge(const HeavyHitters& other) {
     }
   }
   evict();
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+HeavyHitters::sorted_candidates() const {
+  std::vector<std::pair<std::string, std::uint64_t>> all(candidates_.begin(),
+                                                         candidates_.end());
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+HeavyHitters HeavyHitters::from_state(
+    std::size_t capacity, CountMin counters,
+    std::vector<std::pair<std::string, std::uint64_t>> candidates) {
+  HeavyHitters tracker(capacity);
+  util::require(candidates.size() <= capacity,
+                "heavy-hitters: serialized candidates exceed capacity");
+  tracker.counts_ = std::move(counters);
+  for (auto& [key, count] : candidates) {
+    util::require(tracker.candidates_.emplace(std::move(key), count).second,
+                  "heavy-hitters: serialized candidate key repeated");
+  }
+  return tracker;
 }
 
 std::size_t HeavyHitters::memory_bytes() const {

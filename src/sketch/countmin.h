@@ -44,6 +44,20 @@ class CountMin {
     return table_.size() * sizeof(std::uint64_t);
   }
 
+  [[nodiscard]] std::size_t depth() const noexcept { return depth_; }
+  [[nodiscard]] std::size_t width() const noexcept { return width_; }
+  /// Raw counter table (depth rows of width counters) — the sketch's
+  /// whole state, exposed for serialization (fed/partial_io).
+  [[nodiscard]] const std::vector<std::uint64_t>& table() const noexcept {
+    return table_;
+  }
+
+  /// Rebuilds a sketch from serialized dimensions and counters.  Throws
+  /// util::ConfigError when `table` is not depth x width.
+  [[nodiscard]] static CountMin from_table(std::size_t depth,
+                                           std::size_t width,
+                                           std::vector<std::uint64_t> table);
+
  private:
   std::size_t depth_ = 0;
   std::size_t width_ = 0;
@@ -73,6 +87,20 @@ class HeavyHitters {
 
   /// Bytes held (counter table + candidate strings, approximate).
   [[nodiscard]] std::size_t memory_bytes() const;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// The backing count-min sketch (for serialization).
+  [[nodiscard]] const CountMin& counters() const noexcept { return counts_; }
+  /// Every tracked candidate sorted by key — a deterministic byte layout
+  /// for serialization, independent of hash iteration order.
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>>
+  sorted_candidates() const;
+
+  /// Rebuilds a tracker from serialized state.  Throws util::ConfigError
+  /// when more candidates arrive than `capacity` admits.
+  [[nodiscard]] static HeavyHitters from_state(
+      std::size_t capacity, CountMin counters,
+      std::vector<std::pair<std::string, std::uint64_t>> candidates);
 
  private:
   /// Drops the smallest candidate (called when over capacity).

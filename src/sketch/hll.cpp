@@ -2,6 +2,9 @@
 
 #include <bit>
 #include <cmath>
+#include <utility>
+
+#include "util/error.h"
 
 namespace wearscope::sketch {
 
@@ -43,6 +46,14 @@ double Hll::estimate() const {
   if (raw <= 2.5 * m && zeros > 0)
     return m * std::log(m / static_cast<double>(zeros));
   return raw;
+}
+
+Hll Hll::from_registers(std::vector<std::uint8_t> registers) {
+  util::require(registers.size() == kRegisters,
+                "hll: serialized register count does not match precision");
+  Hll sketch;
+  sketch.registers_ = std::move(registers);
+  return sketch;
 }
 
 void Hll::merge(const Hll& other) {

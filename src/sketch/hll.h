@@ -46,6 +46,17 @@ class Hll {
     return registers_.size();
   }
 
+  /// Raw register array — the sketch's whole state, exposed so the
+  /// federation layer (fed/partial_io) can serialize it byte for byte.
+  [[nodiscard]] const std::vector<std::uint8_t>& registers() const noexcept {
+    return registers_;
+  }
+
+  /// Rebuilds a sketch from a serialized register array.  Throws
+  /// util::ConfigError unless `registers` holds exactly 2^kHllPrecision
+  /// entries (the only state this precision can have produced).
+  [[nodiscard]] static Hll from_registers(std::vector<std::uint8_t> registers);
+
  private:
   std::vector<std::uint8_t> registers_;  ///< 2^kHllPrecision rank maxima.
 };

@@ -61,6 +61,39 @@ std::size_t TDigest::memory_bytes() const noexcept {
   return (centroids_.capacity() + buffer_.capacity()) * sizeof(Centroid);
 }
 
+TDigestState TDigest::state() const {
+  compress();
+  TDigestState state;
+  state.compression = compression_;
+  state.min = min_;
+  state.max = max_;
+  state.empty = empty_;
+  state.means.reserve(centroids_.size());
+  state.weights.reserve(centroids_.size());
+  for (const Centroid& c : centroids_) {
+    state.means.push_back(c.mean);
+    state.weights.push_back(c.weight);
+  }
+  return state;
+}
+
+TDigest TDigest::from_state(const TDigestState& state) {
+  util::require(state.means.size() == state.weights.size(),
+                "t-digest: serialized mean/weight lengths differ");
+  util::require(!state.empty || state.means.empty(),
+                "t-digest: serialized empty digest carries centroids");
+  TDigest digest(state.compression);
+  digest.min_ = state.min;
+  digest.max_ = state.max;
+  digest.empty_ = state.empty;
+  digest.centroids_.reserve(state.means.size());
+  for (std::size_t i = 0; i < state.means.size(); ++i) {
+    digest.centroids_.push_back(Centroid{state.means[i], state.weights[i]});
+    digest.total_weight_ += state.weights[i];
+  }
+  return digest;
+}
+
 void TDigest::compress() const {
   if (buffer_.empty()) return;
   centroids_.insert(centroids_.end(), buffer_.begin(), buffer_.end());

@@ -20,6 +20,18 @@
 
 namespace wearscope::sketch {
 
+/// Serializable state of a (compressed) TDigest: what fed/partial_io
+/// writes to disk.  `means`/`weights` are the sorted centroid list after
+/// a compression sweep, so restoring and re-freezing is a fixed point.
+struct TDigestState {
+  double compression = 200.0;
+  double min = 0.0;
+  double max = 0.0;
+  bool empty = true;
+  std::vector<double> means;
+  std::vector<double> weights;  ///< Parallel to `means`.
+};
+
 /// Bounded-memory quantile estimator over doubles.
 class TDigest {
  public:
@@ -40,6 +52,14 @@ class TDigest {
 
   /// Bytes held by the centroid and buffer arrays.
   [[nodiscard]] std::size_t memory_bytes() const noexcept;
+
+  /// Flushes the buffer and snapshots the full digest state (for
+  /// serialization).  state() then from_state() round-trips exactly.
+  [[nodiscard]] TDigestState state() const;
+
+  /// Rebuilds a digest from serialized state.  Throws util::ConfigError
+  /// on mismatched mean/weight lengths or an out-of-range compression.
+  [[nodiscard]] static TDigest from_state(const TDigestState& state);
 
  private:
   struct Centroid {

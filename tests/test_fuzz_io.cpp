@@ -6,13 +6,17 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <optional>
 #include <span>
 #include <sstream>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "chaos/fault_plan.h"
+#include "fed/merge.h"
+#include "live/engine.h"
 #include "test_support.h"
 #include "trace/binary_io.h"
 #include "trace/block_io.h"
@@ -21,6 +25,7 @@
 #include "util/crc32.h"
 #include "util/error.h"
 #include "util/rng.h"
+#include "util/span_decoder.h"
 
 namespace wearscope::trace {
 namespace {
@@ -756,6 +761,234 @@ TEST(FuzzV3, SingleByteFlipsNeverCrashLenient) {
       (void)read_binary_log<ProxyRecord>(blob_bytes(mutated));
     } catch (const util::ParseError&) {
       // expected for corrupted header/dictionary/group bytes
+    }
+  }
+}
+
+// ---- Federation wire format (fed/partial_io.h, WSFD v1) -----------------
+//
+// Same hostile-input rule as the trace formats: strict readers throw
+// util::ParseError, the lenient reader never throws and accounts damage
+// with section granularity, and a tampered cover is a merge-level hard
+// error (util::ConfigError) — never a silently undercounted snapshot.
+
+/// A small but fully populated partial: one-shard engine, a handful of
+/// users across both halves of a 2-way shard split, app + sector + MME
+/// traffic so every section carries real payload.  Built once.
+fed::PartialSnapshot sample_partial() {
+  static const fed::PartialSnapshot partial = [] {
+    live::LiveOptions opt;
+    opt.shards = 1;
+    opt.ring_capacity = 512;
+    opt.long_tail_apps = 20;
+    opt.capture_tallies = true;
+    std::vector<DeviceRecord> devices;
+    devices.push_back({35254208, "Gear S3 frontier LTE", "Samsung", "Tizen"});
+    live::LiveEngine engine(devices, opt);
+    static constexpr const char* kHosts[] = {
+        "api.weather.example", "sync.fit.example", "voice.assist.example"};
+    for (std::size_t i = 0; i < 160; ++i) {
+      ProxyRecord p;
+      p.timestamp = static_cast<util::SimTime>(i * 53);
+      p.user_id = 1'000'000 + i % 9;
+      p.tac = 35254208;
+      p.protocol = i % 2 == 0 ? Protocol::kHttps : Protocol::kHttp;
+      p.host = kHosts[i % 3];
+      p.bytes_up = i * 17;
+      p.bytes_down = i * 129 + 1;
+      p.duration_ms = static_cast<std::uint32_t>(i + 1);
+      engine.push(p);
+      if (i % 4 == 0) {
+        MmeRecord m;
+        m.timestamp = static_cast<util::SimTime>(i * 53 + 1);
+        m.user_id = 1'000'000 + i % 9;
+        m.tac = 35254208;
+        m.event = MmeEvent::kAttach;
+        m.sector_id = static_cast<SectorId>(1 + i % 5);
+        engine.push(m);
+      }
+    }
+    return fed::make_partial(engine.stop(), opt);
+  }();
+  return partial;
+}
+
+/// One section's byte extent inside an encoded partial.
+struct SectionSpan {
+  std::uint32_t id = 0;
+  std::size_t payload_begin = 0;  ///< First payload byte.
+  std::size_t end = 0;            ///< One past the payload.
+};
+
+/// Walks the section chain of a well-formed encoded partial.
+std::vector<SectionSpan> scan_spans(const std::string& blob) {
+  std::vector<SectionSpan> spans;
+  std::size_t off = fed::kPartialFileHeaderBytes;
+  while (off + fed::kSectionHeaderBytes <= blob.size()) {
+    util::MemorySpanDecoder dec(
+        blob_bytes(blob).subspan(off, fed::kSectionHeaderBytes));
+    SectionSpan s;
+    s.id = dec.get_u32();
+    const std::uint32_t byte_length = dec.get_u32();
+    s.payload_begin = off + fed::kSectionHeaderBytes;
+    s.end = s.payload_begin + byte_length;
+    spans.push_back(s);
+    off = s.end;
+  }
+  return spans;
+}
+
+/// Round-trips each partial through encode + strict decode, as
+/// wearscope_merge would load it off disk.
+std::vector<fed::LoadedPartial> loaded_from(
+    const std::vector<fed::PartialSnapshot>& parts) {
+  std::vector<fed::LoadedPartial> out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    const std::string blob = fed::encode_partial(parts[i]);
+    fed::LoadedPartial lp;
+    lp.partial = fed::decode_partial(blob_bytes(blob));
+    lp.path = "mem:part" + std::to_string(i);
+    out.push_back(std::move(lp));
+  }
+  return out;
+}
+
+TEST(FuzzFed, TruncationAtEveryOffsetHonorsSectionAccounting) {
+  const std::string blob = fed::encode_partial(sample_partial());
+  const std::vector<SectionSpan> spans = scan_spans(blob);
+  ASSERT_GE(spans.size(), 2u);
+  ASSERT_EQ(spans.front().id,
+            static_cast<std::uint32_t>(fed::SectionId::kPartition));
+  ASSERT_EQ(spans.back().end, blob.size());
+  // Sketch mode is off, so the expected set is every non-partition
+  // section the writer emitted.
+  const std::uint64_t expected_total = spans.size() - 1;
+  const std::size_t header_end = spans.front().end;
+
+  for (std::size_t cut = 0; cut <= blob.size(); ++cut) {
+    const std::string prefix = blob.substr(0, cut);
+    QuarantineStats q;
+    std::optional<fed::PartialSnapshot> got;
+    ASSERT_NO_THROW(got = fed::read_partial_lenient(blob_bytes(prefix), q))
+        << "cut " << cut;
+    if (cut < header_end) {
+      // The cover metadata is the file's meaning: reject wholesale.
+      EXPECT_FALSE(got.has_value()) << "cut " << cut;
+      EXPECT_EQ(q.corrupt_files, 1u) << "cut " << cut;
+      EXPECT_EQ(q.corrupt_blocks, 0u) << "cut " << cut;
+    } else {
+      // Past the partition header every fully present section is
+      // recovered and each truncated-away one counts exactly one block.
+      std::uint64_t survived = 0;
+      for (std::size_t i = 1; i < spans.size(); ++i) {
+        if (spans[i].end <= cut) ++survived;
+      }
+      ASSERT_TRUE(got.has_value()) << "cut " << cut;
+      EXPECT_EQ(q.corrupt_files, 0u) << "cut " << cut;
+      EXPECT_EQ(q.corrupt_blocks, expected_total - survived) << "cut " << cut;
+    }
+    if (cut < blob.size()) {
+      EXPECT_THROW((void)fed::decode_partial(blob_bytes(prefix)),
+                   util::ParseError)
+          << "cut " << cut;
+    }
+  }
+}
+
+TEST(FuzzFed, PerSectionCrcFlipIsSectionGranular) {
+  const std::string blob = fed::encode_partial(sample_partial());
+  for (const SectionSpan& s : scan_spans(blob)) {
+    ASSERT_LT(s.payload_begin, s.end) << "empty section " << s.id;
+    std::string mutated = blob;
+    mutated[s.payload_begin] =
+        static_cast<char>(mutated[s.payload_begin] ^ 0x5A);
+    // Strict: any CRC mismatch is fatal.
+    EXPECT_THROW((void)fed::decode_partial(blob_bytes(mutated)),
+                 util::ParseError)
+        << "section " << s.id;
+    // Lenient: a broken partition header rejects the file; any other
+    // broken section costs exactly that one section.
+    QuarantineStats q;
+    std::optional<fed::PartialSnapshot> got;
+    ASSERT_NO_THROW(got = fed::read_partial_lenient(blob_bytes(mutated), q))
+        << "section " << s.id;
+    if (s.id == static_cast<std::uint32_t>(fed::SectionId::kPartition)) {
+      EXPECT_FALSE(got.has_value());
+      EXPECT_EQ(q.corrupt_files, 1u) << "section " << s.id;
+      EXPECT_EQ(q.corrupt_blocks, 0u) << "section " << s.id;
+    } else {
+      ASSERT_TRUE(got.has_value()) << "section " << s.id;
+      EXPECT_EQ(q.corrupt_files, 0u) << "section " << s.id;
+      EXPECT_EQ(q.corrupt_blocks, 1u) << "section " << s.id;
+    }
+  }
+}
+
+TEST(FuzzFed, TamperedCoversAreHardErrors) {
+  const fed::PartialSnapshot base = sample_partial();
+  // Control: the untampered singleton cover merges cleanly.
+  ASSERT_NO_THROW((void)fed::merge_partials(loaded_from({base})));
+
+  // A claimed partition_count with no matching cover is incomplete.
+  fed::PartialSnapshot claims_two = base;
+  claims_two.header.partition_count = 2;
+  EXPECT_THROW((void)fed::merge_partials(loaded_from({claims_two})),
+               util::ConfigError);
+
+  // partition_count must agree across the cover.
+  fed::PartialSnapshot other = base;
+  other.header.partition_id = 1;
+  other.header.partition_count = 2;
+  EXPECT_THROW((void)fed::merge_partials(loaded_from({base, other})),
+               util::ConfigError);
+
+  // Duplicate partition ids.
+  fed::PartialSnapshot dup = base;
+  dup.header.partition_count = 2;
+  EXPECT_THROW((void)fed::merge_partials(loaded_from({dup, dup})),
+               util::ConfigError);
+
+  // Overlapping user ranges: both halves claim the full population (the
+  // records fields are split so the tile check alone cannot save us —
+  // the per-user ownership invariant has to catch it).
+  fed::PartialSnapshot left = base;
+  left.header.partition_count = 2;
+  left.header.records = base.header.records / 2;
+  fed::PartialSnapshot right = base;
+  right.header.partition_id = 1;
+  right.header.partition_count = 2;
+  right.header.records = base.header.records - base.header.records / 2;
+  EXPECT_THROW((void)fed::merge_partials(loaded_from({left, right})),
+               util::ConfigError);
+}
+
+TEST(FuzzFed, SingleByteFlipsNeverCrashLenient) {
+  const std::string blob = fed::encode_partial(sample_partial());
+  const std::uint64_t seed = testing::seed_or(0xFED5);
+  WEARSCOPE_SCOPED_SEED(seed);
+  util::Pcg32 rng(seed);
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string mutated = blob;
+    const auto pos = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(mutated.size()) - 1));
+    mutated[pos] = static_cast<char>(rng.uniform_int(0, 255));
+    QuarantineStats q;
+    std::optional<fed::PartialSnapshot> got;
+    ASSERT_NO_THROW(got = fed::read_partial_lenient(blob_bytes(mutated), q))
+        << "trial " << trial;
+    if (mutated == blob) {
+      EXPECT_TRUE(got.has_value()) << "trial " << trial;
+      EXPECT_EQ(q.total_dropped(), 0u) << "trial " << trial;
+    }
+    // The operator-facing audit path must also survive anything.
+    ASSERT_NO_THROW((void)fed::audit_partial(blob_bytes(mutated)))
+        << "trial " << trial;
+    try {
+      (void)fed::decode_partial(blob_bytes(mutated));
+      // Accepted flips exist (the reserved file-header bytes); anything
+      // strict accepts must merge-load without crashing too.
+    } catch (const util::ParseError&) {
+      // expected for damaged framing/CRC/checksum bytes
     }
   }
 }

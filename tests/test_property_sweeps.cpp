@@ -12,6 +12,10 @@
 #include "core/analysis_adoption.h"
 #include "core/analysis_comparison.h"
 #include "core/context.h"
+#include "fed/merge.h"
+#include "live/engine.h"
+#include "live/replayer.h"
+#include "serve/query.h"
 #include "simnet/simulator.h"
 
 namespace wearscope {
@@ -217,6 +221,69 @@ TEST_P(ChaosSweep, FaultedLiveMatchesBatchAtEveryShardCount) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSweep, ::testing::Values(23, 1234));
+
+/// Federation sweep: the merged snapshot of an N-way partition cover must
+/// not depend on N.  Every canonical serve response (the deterministic
+/// renderers of serve/query.h) is byte-compared across covers at 1, 2, 3,
+/// 5 and 8 partitions over the same sweep population — prime, even and
+/// power-of-two counts so shard_of stripes the users differently every
+/// time.  (The federated == batch gate itself lives in test_fed.cpp; this
+/// sweep ties partition-count independence to the sweep seeds.)
+class FedSweep : public SeedSweep {};
+
+TEST_P(FedSweep, MergedCoverIsPartitionCountInvariant) {
+  const std::uint64_t seed = GetParam();
+  WEARSCOPE_SCOPED_SEED(seed);
+  const simnet::SimResult& sim = result_for(seed);
+
+  const auto render_all = [](const live::LiveSnapshot& s) {
+    return serve::render_adoption(s.epoch, s.records, s.adoption) +
+           serve::render_activity(s.epoch, s.records, s.activity,
+                                  s.class_txns) +
+           serve::render_top_apps(s.epoch, 10, s.apps) +
+           serve::render_sectors(s.epoch, 10, s.sectors) +
+           serve::render_quarantine(s.epoch, s.quarantine);
+  };
+
+  const auto cover = [&](std::size_t partitions) {
+    std::vector<fed::LoadedPartial> parts;
+    for (std::size_t id = 0; id < partitions; ++id) {
+      live::LiveOptions opt;
+      opt.shards = 2;
+      opt.observation_days = sim.observation_days;
+      opt.detailed_start_day = sim.detailed_start_day;
+      opt.long_tail_apps = sim.config.long_tail_apps;
+      opt.partition_id = id;
+      opt.partition_count = partitions;
+      opt.capture_tallies = true;
+      live::LiveEngine engine(sim.store.devices, opt);
+      (void)live::FeedReplayer(sim.store, live::ReplayOptions{})
+          .replay(engine);
+      parts.push_back(fed::LoadedPartial{
+          fed::make_partial(engine.stop(), opt),
+          "mem:" + std::to_string(id) + "of" + std::to_string(partitions)});
+    }
+    return parts;
+  };
+
+  std::string reference;
+  std::size_t reference_partitions = 0;
+  for (const std::size_t partitions : {1u, 2u, 3u, 5u, 8u}) {
+    const fed::MergeResult merged = fed::merge_partials(cover(partitions));
+    EXPECT_EQ(merged.merged_partitions, partitions);
+    const std::string rendered = render_all(merged.snapshot);
+    if (reference.empty()) {
+      reference = rendered;
+      reference_partitions = partitions;
+    } else {
+      EXPECT_EQ(rendered, reference)
+          << partitions << "-way cover diverged from "
+          << reference_partitions << "-way";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FedSweep, ::testing::Values(23, 1234));
 
 }  // namespace
 }  // namespace wearscope

@@ -15,18 +15,25 @@
 # BENCH_columnar.json: the rows-vs-columnar kernel comparison, the v2/v3
 # encode/decode sweep and the sketch-vs-exact deltas — the numbers behind
 # the v3 TraceStore's performance claims.
+# With --fed it builds the federation path only and drives the
+# partition/merge differential end to end: partitioned live runs at
+# 1/2/4/8 processes over one small bundle, each cover federated by
+# wearscope_merge --verify (byte-identical to the batch pipeline or the
+# gate fails).
 # With --full it additionally runs the sanitizer gates CONTRIBUTING.md
 # requires — the chaos label under ASan+UBSan and the concurrency tests
 # (live engine, batch task pool, parallel v2 trace decode, snapshot
-# serving) under TSan — plus a deep random-walk interleaving budget
-# through the sched harness, and refreshes the BENCH_analysis.json /
-# BENCH_trace_io.json / BENCH_serve.json sweeps.
+# serving, federation) under TSan — plus a deep random-walk interleaving
+# budget through the sched harness, and refreshes the
+# BENCH_analysis.json / BENCH_trace_io.json / BENCH_serve.json /
+# BENCH_fed.json sweeps.
 set -eu
 
 root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 full=0
 lint_only=0
 trace_bench=0
+fed_gate=0
 if [ "${1:-}" = "--full" ]; then
   full=1
   shift
@@ -35,6 +42,9 @@ elif [ "${1:-}" = "--lint-only" ]; then
   shift
 elif [ "${1:-}" = "--trace-bench" ]; then
   trace_bench=1
+  shift
+elif [ "${1:-}" = "--fed" ]; then
+  fed_gate=1
   shift
 fi
 build=${1:-"$root/build"}
@@ -49,6 +59,34 @@ if [ "$lint_only" -eq 1 ]; then
   echo "== lint (BENCH_lint.json)"
   "$build/tools/wearscope_lint" --root "$root" --error-on-findings \
     --bench-json "$root/BENCH_lint.json"
+  echo "== OK"
+  exit 0
+fi
+
+if [ "$fed_gate" -eq 1 ]; then
+  echo "== build (federation path)"
+  cmake --build "$build" -j "$jobs" \
+    --target wearscope_gen wearscope_live_tool wearscope_merge
+  work="$build/fed_gate_work"
+  rm -rf "$work"
+  mkdir -p "$work"
+  echo "== generate (small bundle)"
+  "$build/tools/wearscope_gen" --preset small --seed 5 \
+    --out "$work/trace" --format binary >/dev/null
+  for n in 1 2 4 8; do
+    echo "== partitioned ingest + federated merge --verify ($n partition(s))"
+    rm -rf "$work/partials"
+    p=0
+    while [ "$p" -lt "$n" ]; do
+      "$build/tools/wearscope_live" --bundle "$work/trace" --shards 2 \
+        --snapshot-every 1d --partition "$p/$n" \
+        --partial-dir "$work/partials" >/dev/null
+      p=$((p + 1))
+    done
+    "$build/tools/wearscope_merge" --dir "$work/partials" \
+      --verify --bundle "$work/trace"
+  done
+  rm -rf "$work"
   echo "== OK"
   exit 0
 fi
@@ -86,7 +124,7 @@ if [ "$full" -eq 1 ]; then
     >/dev/null
   cmake --build "$root/build-tsan" -j "$jobs"
   ctest --test-dir "$root/build-tsan" \
-    -R "LiveRing|LiveEngine|TaskPool|ParPipeline|TraceV2|BundleParallel|ServeStress|ServeEquivalence|QueryEngine|SnapshotStore|LineServer" \
+    -R "LiveRing|LiveEngine|TaskPool|ParPipeline|TraceV2|BundleParallel|ServeStress|ServeEquivalence|QueryEngine|SnapshotStore|LineServer|FedPartial|FedMerge|FedStream|FedSweep" \
     --output-on-failure
 
   echo "== deep interleaving walks (WEARSCOPE_SCHED_WALKS=${WEARSCOPE_SCHED_WALKS:-2000})"
@@ -101,6 +139,9 @@ if [ "$full" -eq 1 ]; then
 
   echo "== query-serving reader sweep (BENCH_serve.json)"
   "$build/bench/perf_serve" --emit-json="$root/BENCH_serve.json"
+
+  echo "== federated partition sweep (BENCH_fed.json)"
+  "$build/bench/perf_fed" --emit-json="$root/BENCH_fed.json"
 fi
 
 echo "== OK"

@@ -130,6 +130,21 @@ if(DEFINED LIVE)
            --verify)
 endif()
 
+# 5b. Federated round trip: two partitioned live runs over the same
+#     bundle persist WSFD partial snapshots, and the merge coordinator's
+#     --verify gate must prove the federated snapshot renders
+#     byte-identically to the batch pipeline over the original bundle.
+if(DEFINED LIVE AND DEFINED MERGE)
+  foreach(p 0 1)
+    run_step(${LIVE} --bundle ${WORK}/trace --shards 2 --snapshot-every 1d
+             --partition ${p}/2 --partial-dir ${WORK}/partials)
+  endforeach()
+  run_step(${MERGE} --dir ${WORK}/partials --verify --bundle ${WORK}/trace)
+  if(DEFINED INSPECT)
+    run_step(${INSPECT} --partials ${WORK}/partials)
+  endif()
+endif()
+
 # 6. Chaos fault-plan round trip: analysis under record-level injection
 #    must hold quarantine == manifest exactly (the tool exits non-zero
 #    otherwise), and a live replay with transient read faults must still

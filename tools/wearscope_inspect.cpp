@@ -5,17 +5,21 @@
 //   wearscope_inspect --trace d --top-hosts 20     # busiest endpoints
 //   wearscope_inspect --trace d --devices          # DeviceDB + TAC usage
 //   wearscope_inspect --trace d --convert e --format csv   # transcode
+//   wearscope_inspect --partials p/                # audit partial files
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <map>
 #include <unordered_map>
 
 #include "core/device_id.h"
+#include "fed/partial_io.h"
 #include "trace/anonymize.h"
 #include "trace/bundle.h"
 #include "util/ascii_chart.h"
 #include "util/error.h"
 #include "util/flags.h"
+#include "util/mapped_file.h"
 #include "util/strings.h"
 
 namespace {
@@ -144,6 +148,80 @@ void print_devices(const trace::TraceStore& store) {
              stdout);
 }
 
+/// Audits one candidate partial-snapshot file (never throws past I/O:
+/// fed::audit_partial reports whatever structure survives).
+void print_partial_audit(const std::filesystem::path& path) {
+  const util::MappedFile file(path);
+  const fed::PartialAudit audit = fed::audit_partial(file.bytes());
+  std::printf("== partial %s (%llu bytes) ==\n", path.string().c_str(),
+              static_cast<unsigned long long>(audit.file_bytes));
+  if (audit.header_ok) {
+    const fed::PartitionHeader& h = audit.header;
+    std::printf("  partition %u of %u, epoch %llu, %llu owned / %llu feed "
+                "records, sketch=%s\n",
+                h.partition_id, h.partition_count,
+                static_cast<unsigned long long>(h.epoch),
+                static_cast<unsigned long long>(h.records),
+                static_cast<unsigned long long>(h.feed_records),
+                h.sketch_enabled ? "on" : "off");
+    std::printf("  window %d days (detail from day %d), gap %llds, "
+                "%u apps @ %.2f coverage, checksum %s\n",
+                h.observation_days, h.detailed_start_day,
+                static_cast<long long>(h.usage_gap_s), h.long_tail_apps,
+                h.signature_coverage, audit.checksum_ok ? "OK" : "MISMATCH");
+  } else {
+    std::printf("  file/partition header DAMAGED — a lenient reader "
+                "rejects the whole file\n");
+  }
+  std::vector<std::vector<std::string>> rows;
+  for (const fed::SectionAudit& s : audit.sections) {
+    rows.push_back({fed::section_name(s.id), std::to_string(s.id),
+                    std::to_string(s.offset), std::to_string(s.byte_length),
+                    s.crc_ok ? "OK" : "BAD",
+                    s.decode_ok ? "OK" : (s.crc_ok ? "BAD" : "-")});
+  }
+  std::fputs(util::table({"section", "id", "offset", "bytes", "crc",
+                          "decode"},
+                         rows)
+                 .c_str(),
+             stdout);
+  if (audit.quarantine.any()) {
+    std::printf("  lenient read would quarantine: %llu corrupt files, "
+                "%llu corrupt blocks\n",
+                static_cast<unsigned long long>(
+                    audit.quarantine.corrupt_files),
+                static_cast<unsigned long long>(
+                    audit.quarantine.corrupt_blocks));
+  }
+}
+
+/// Expands --partials: a directory scans for *.wsfd, otherwise a
+/// comma-separated file list.
+std::vector<std::filesystem::path> partial_paths(const std::string& arg) {
+  std::vector<std::filesystem::path> out;
+  if (std::filesystem::is_directory(arg)) {
+    for (const auto& entry : std::filesystem::directory_iterator(arg)) {
+      if (entry.is_regular_file() &&
+          entry.path().extension() == ".wsfd") {
+        out.push_back(entry.path());
+      }
+    }
+    std::sort(out.begin(), out.end());
+    util::require(!out.empty(), "no .wsfd files in " + arg);
+  } else {
+    std::size_t start = 0;
+    while (start <= arg.size()) {
+      const std::size_t comma = arg.find(',', start);
+      const std::size_t end = comma == std::string::npos ? arg.size() : comma;
+      if (end > start) out.emplace_back(arg.substr(start, end - start));
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+    util::require(!out.empty(), "--partials names no files");
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -160,10 +238,14 @@ int main(int argc, char** argv) {
     bool devices = false;
     std::int64_t top_hosts = 0;
     std::int64_t threads = 1;
+    std::string partials;
 
     util::FlagParser flags(
         "wearscope_inspect: summarize, slice or transcode a trace bundle");
     flags.add_string("trace", &trace_dir, "bundle directory (required)");
+    flags.add_string("partials", &partials,
+                     "audit partial-snapshot files instead: a directory of "
+                     ".wsfd files or a comma-separated list");
     flags.add_bool("daily", &daily, "print per-day record counts");
     flags.add_bool("devices", &devices, "print the DeviceDB with wearable "
                                         "classification and per-TAC traffic");
@@ -184,6 +266,12 @@ int main(int argc, char** argv) {
     flags.add_int("threads", &threads,
                   "decoder threads for loading v2/v3 bundles");
     if (!flags.parse(argc, argv)) return 0;
+    if (!partials.empty()) {
+      for (const std::filesystem::path& path : partial_paths(partials)) {
+        print_partial_audit(path);
+      }
+      return 0;
+    }
     util::require(!trace_dir.empty(), "--trace is required");
     util::require(threads >= 1, "--threads must be >= 1");
     util::require(trace_format == "v1" || trace_format == "v2" ||

@@ -14,6 +14,12 @@
 // the snapshot), runtime read faults exercise the replayer's retry/backoff
 // path.  --verify stays exact under chaos as long as the profile has no
 // permanent read faults (use "transient" for that combination).
+//
+// --partition i/N runs the engine as partition i of an N-way federated
+// cover: records whose user another partition owns are filtered at the
+// router (the global stream position still advances, so `wearscope_merge`
+// reassembles the single-process snapshot bitwise).  --partial-dir DIR
+// persists a partial snapshot per epoch (fed/partial_io.h wire format).
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -21,6 +27,7 @@
 
 #include "chaos/fault_plan.h"
 #include "core/pipeline.h"
+#include "fed/partial_io.h"
 #include "live/engine.h"
 #include "live/replayer.h"
 #include "simnet/config_io.h"
@@ -149,6 +156,8 @@ int main(int argc, char** argv) {
     std::int64_t detailed_start_day = -1;
     std::int64_t chaos_seed = -1;
     std::string chaos_profile = "records";
+    std::string partition;
+    std::string partial_dir;
 
     util::FlagParser flags(
         "wearscope_live: replay a trace bundle through the concurrent "
@@ -179,6 +188,11 @@ int main(int argc, char** argv) {
     flags.add_string("chaos-profile", &chaos_profile,
                      "fault profile: records, records-heavy, io, transient, "
                      "runtime, all");
+    flags.add_string("partition", &partition,
+                     "run as partition i of an N-way federated cover "
+                     "(format i/N; needs --partial-dir)");
+    flags.add_string("partial-dir", &partial_dir,
+                     "directory for partial-snapshot files, one per epoch");
     if (!flags.parse(argc, argv)) return 0;
     util::require(!bundle_dir.empty(), "--bundle is required");
     util::require(shards >= 1, "--shards must be >= 1");
@@ -190,6 +204,23 @@ int main(int argc, char** argv) {
     opt.shards = static_cast<std::size_t>(shards);
     opt.ring_capacity = static_cast<std::size_t>(ring_capacity);
     opt.sketch_aggregates = sketch;
+    if (!partition.empty()) {
+      unsigned long long pid = 0;
+      unsigned long long pcount = 0;
+      char trailing = 0;
+      util::require(std::sscanf(partition.c_str(), "%llu/%llu%c", &pid,
+                                &pcount, &trailing) == 2 &&
+                        pcount >= 1 && pid < pcount,
+                    "--partition must be i/N with 0 <= i < N");
+      util::require(!partial_dir.empty(),
+                    "--partition needs --partial-dir to persist partials");
+      util::require(!verify,
+                    "--verify compares the full feed; a partition only owns "
+                    "a slice (use wearscope_merge --verify instead)");
+      opt.partition_id = static_cast<std::size_t>(pid);
+      opt.partition_count = static_cast<std::size_t>(pcount);
+    }
+    if (!partial_dir.empty()) opt.capture_tallies = true;
     const std::filesystem::path cfg_path =
         std::filesystem::path(bundle_dir) / "generator.cfg";
     if (std::filesystem::exists(cfg_path)) {
@@ -241,16 +272,41 @@ int main(int argc, char** argv) {
                 sum.proxy_records, sum.mme_records,
                 static_cast<long long>(shards));
 
+    if (!partial_dir.empty()) {
+      std::filesystem::create_directories(partial_dir);
+    }
+
     live::LiveEngine engine(store.devices, opt);
     engine.add_quarantine(pre_quarantine);
     const live::FeedReplayer replayer(store, replay_opt);
     const live::ReplayReport report = replayer.replay(engine);
+    const auto persist_partial = [&](const live::LiveSnapshot& snap) {
+      const std::filesystem::path path =
+          std::filesystem::path(partial_dir) /
+          fed::partial_file_name(
+              static_cast<std::uint32_t>(opt.partition_id),
+              static_cast<std::uint32_t>(opt.partition_count), snap.epoch);
+      fed::write_partial_file(path, fed::make_partial(snap, opt));
+      std::printf("   wrote partial %s (%llu owned of %llu feed records)\n",
+                  path.string().c_str(),
+                  static_cast<unsigned long long>(snap.records),
+                  static_cast<unsigned long long>(snap.feed_records));
+    };
     for (const live::LiveSnapshot& snap : report.snapshots) {
       std::printf("-- periodic snapshot at epoch %llu: %llu records\n",
                   static_cast<unsigned long long>(snap.epoch),
                   static_cast<unsigned long long>(snap.records));
+      if (!partial_dir.empty()) persist_partial(snap);
     }
     const live::LiveSnapshot final_snap = engine.stop();
+    if (!partial_dir.empty()) persist_partial(final_snap);
+    if (opt.partition_count > 1) {
+      std::printf("partition %zu/%zu: %llu records owned, %llu filtered to "
+                  "other partitions\n",
+                  opt.partition_id, opt.partition_count,
+                  static_cast<unsigned long long>(final_snap.records),
+                  static_cast<unsigned long long>(engine.filtered_records()));
+    }
 
     const double rate =
         report.wall_seconds > 0.0

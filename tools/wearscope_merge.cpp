@@ -1,0 +1,245 @@
+// wearscope_merge — federate N user-disjoint partial snapshots into the
+// single-process snapshot, bitwise.
+//
+//   wearscope_merge --dir partials/                    # latest epoch
+//   wearscope_merge --dir partials/ --epoch 3
+//   wearscope_merge --partials a.wsfd,b.wsfd
+//   wearscope_merge --dir p/ --verify --bundle traces/run1
+//
+// --dir scans for the canonical "part<i>of<N>_epoch<E>.wsfd" names and,
+// unless --epoch pins one, picks the highest epoch present.  Partials
+// load in parallel on --threads executors; the cover is validated
+// (complete, disjoint, same feed/window/epoch/quarantine — any violation
+// is a hard error) and merged in canonical partition order.
+//
+// --verify replays the differential gate: the federated snapshot must
+// render byte-identically to the batch pipeline and the sequential
+// reference over the original bundle.  When the partitions ran under
+// chaos, pass the same --chaos-seed/--chaos-profile so the expected
+// quarantine accounting is rebuilt here independently.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "chaos/fault_plan.h"
+#include "fed/merge.h"
+#include "serve/reference.h"
+#include "trace/bundle.h"
+#include "trace/sanitize.h"
+#include "util/error.h"
+#include "util/flags.h"
+
+namespace {
+
+using namespace wearscope;
+
+/// Splits a comma-separated path list.
+std::vector<std::filesystem::path> split_paths(const std::string& list) {
+  std::vector<std::filesystem::path> out;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    const std::size_t comma = list.find(',', start);
+    const std::size_t end = comma == std::string::npos ? list.size() : comma;
+    if (end > start) out.emplace_back(list.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+/// Collects the partials of one epoch from a directory of canonical
+/// "part<i>of<N>_epoch<E>.wsfd" names (epoch < 0: the highest present).
+std::vector<std::filesystem::path> scan_partial_dir(
+    const std::filesystem::path& dir, std::int64_t epoch) {
+  struct Candidate {
+    std::filesystem::path path;
+    unsigned long long epoch = 0;
+  };
+  std::vector<Candidate> found;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    unsigned long long pid = 0;
+    unsigned long long pcount = 0;
+    unsigned long long file_epoch = 0;
+    char trailing = 0;
+    if (std::sscanf(name.c_str(), "part%lluof%llu_epoch%llu.wsf%c", &pid,
+                    &pcount, &file_epoch, &trailing) != 4 ||
+        trailing != 'd') {
+      continue;
+    }
+    found.push_back({entry.path(), file_epoch});
+  }
+  util::require(!found.empty(),
+                "no partial files (part<i>of<N>_epoch<E>.wsfd) in " +
+                    dir.string());
+  unsigned long long want = 0;
+  if (epoch >= 0) {
+    want = static_cast<unsigned long long>(epoch);
+  } else {
+    for (const Candidate& c : found) want = std::max(want, c.epoch);
+  }
+  std::vector<std::filesystem::path> out;
+  for (const Candidate& c : found) {
+    if (c.epoch == want) out.push_back(c.path);
+  }
+  util::require(!out.empty(), "no partials for epoch " + std::to_string(want) +
+                                  " in " + dir.string());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void print_summary(const fed::MergeResult& merged) {
+  const live::LiveSnapshot& snap = merged.snapshot;
+  std::printf("federated snapshot (epoch %llu, %llu partitions, "
+              "%llu records):\n",
+              static_cast<unsigned long long>(snap.epoch),
+              static_cast<unsigned long long>(merged.merged_partitions),
+              static_cast<unsigned long long>(snap.records));
+  std::printf("  ever registered    : %zu (%.1f%% transacting)\n",
+              snap.adoption.ever_registered,
+              snap.adoption.ever_transacting_fraction * 100.0);
+  std::printf("  monthly growth     : %+.2f%%\n",
+              snap.adoption.monthly_growth * 100.0);
+  std::printf("  mean active        : %.2f days/week, %.2f h/day\n",
+              snap.activity.mean_active_days,
+              snap.activity.mean_active_hours);
+  std::printf("  median transaction : %.0f bytes (%.0f%% under 10 KB)\n",
+              snap.activity.median_txn_bytes,
+              snap.activity.frac_txn_under_10kb * 100.0);
+  std::printf("  class mix (txns)   : app=%llu util=%llu ads=%llu "
+              "analytics=%llu\n",
+              static_cast<unsigned long long>(snap.class_txns[0]),
+              static_cast<unsigned long long>(snap.class_txns[1]),
+              static_cast<unsigned long long>(snap.class_txns[2]),
+              static_cast<unsigned long long>(snap.class_txns[3]));
+  const std::size_t top = std::min<std::size_t>(5, snap.apps.size());
+  for (std::size_t i = 0; i < top; ++i) {
+    const live::LiveSnapshot::AppRow& row = snap.apps[i];
+    std::printf("  app #%zu            : %-18s %8llu txns %6llu usages "
+                "%5llu users\n",
+                i + 1, row.name.c_str(),
+                static_cast<unsigned long long>(row.counter.transactions),
+                static_cast<unsigned long long>(row.counter.usages),
+                static_cast<unsigned long long>(row.counter.distinct_users));
+  }
+  if (snap.sketch.enabled) {
+    std::printf("  sketch memory      : %zu bytes (merged across "
+                "partitions)\n",
+                snap.sketch.memory_bytes);
+    std::printf("  ~registered users  : %.0f (HLL)\n",
+                snap.sketch.registered_users);
+    std::printf("  ~txn size p50/95/99: %.0f / %.0f / %.0f bytes "
+                "(t-digest)\n",
+                snap.sketch.txn_size_p50, snap.sketch.txn_size_p95,
+                snap.sketch.txn_size_p99);
+  }
+  if (snap.quarantine.any()) {
+    std::printf("  quarantine         : %llu dropped, %llu repaired, "
+                "%llu retried reads\n",
+                static_cast<unsigned long long>(
+                    snap.quarantine.total_dropped()),
+                static_cast<unsigned long long>(snap.quarantine.reordered),
+                static_cast<unsigned long long>(
+                    snap.quarantine.transient_retries));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    std::string partials_list;
+    std::string dir;
+    std::int64_t epoch = -1;
+    std::int64_t threads = 0;
+    bool verify = false;
+    std::string bundle_dir;
+    std::int64_t chaos_seed = -1;
+    std::string chaos_profile = "records";
+
+    util::FlagParser flags(
+        "wearscope_merge: federate user-disjoint partial snapshots "
+        "(written by wearscope_live --partition) into the single-process "
+        "snapshot, bitwise");
+    flags.add_string("partials", &partials_list,
+                     "comma-separated partial files (alternative to --dir)");
+    flags.add_string("dir", &dir,
+                     "directory of canonical partial files to scan");
+    flags.add_int("epoch", &epoch,
+                  "epoch to merge when scanning --dir (-1 = highest)");
+    flags.add_int("threads", &threads,
+                  "parallel partial loaders (0 = hardware concurrency)");
+    flags.add_bool("verify", &verify,
+                   "differential gate: the federated snapshot must render "
+                   "byte-identically to the batch pipeline over --bundle");
+    flags.add_string("bundle", &bundle_dir,
+                     "original bundle directory (required by --verify)");
+    flags.add_int("chaos-seed", &chaos_seed,
+                  "fault seed the partitions ran under (-1 = none)");
+    flags.add_string("chaos-profile", &chaos_profile,
+                     "fault profile the partitions ran under");
+    if (!flags.parse(argc, argv)) return 0;
+    util::require(partials_list.empty() != dir.empty(),
+                  "exactly one of --partials and --dir is required");
+    util::require(!verify || !bundle_dir.empty(),
+                  "--verify needs --bundle to rebuild the batch reference");
+
+    const std::vector<std::filesystem::path> paths =
+        dir.empty() ? split_paths(partials_list)
+                    : scan_partial_dir(dir, epoch);
+    const std::size_t loaders =
+        threads > 0 ? static_cast<std::size_t>(threads)
+                    : std::max(1u, std::thread::hardware_concurrency());
+    std::printf("loading %zu partial(s) on %zu thread(s)\n", paths.size(),
+                loaders);
+    fed::MergeResult merged =
+        fed::merge_partials(fed::load_partials(paths, loaders));
+    print_summary(merged);
+
+    if (verify) {
+      trace::TraceStore store = trace::load_bundle(bundle_dir);
+      store.sort_by_time();
+      trace::QuarantineStats expected;
+      if (chaos_seed >= 0) {
+        const chaos::FaultPlan plan(
+            static_cast<std::uint64_t>(chaos_seed),
+            chaos::FaultProfile::named(chaos_profile));
+        util::require(plan.profile().permanent_reads == 0,
+                      "--verify needs a chaos profile without permanent "
+                      "read faults (the partitions could not have replayed "
+                      "the full feed)");
+        // Identical preprocessing to the partitioned live runs: clean
+        // fixed point, damage, sanitize-with-counting.
+        trace::sanitize_store(store);
+        plan.inject_records(store);
+        expected = trace::sanitize_store(store);
+      }
+      const std::vector<serve::VerifyMismatch> mismatches =
+          serve::verify_responses(merged.snapshot, store, merged.options,
+                                  expected);
+      for (const serve::VerifyMismatch& m : mismatches) {
+        std::printf("  MISMATCH %s\n    federated: %s\n    batch:     %s\n",
+                    m.query.c_str(), m.serve.c_str(), m.batch.c_str());
+      }
+      if (!mismatches.empty()) {
+        std::fprintf(stderr,
+                     "error: federated snapshot diverges from the batch "
+                     "reference (%zu mismatched responses)\n",
+                     mismatches.size());
+        return 1;
+      }
+      std::printf("verify: federated == single-process == batch "
+                  "(%llu partitions, byte-exact)\n",
+                  static_cast<unsigned long long>(merged.merged_partitions));
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

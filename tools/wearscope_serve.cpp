@@ -5,6 +5,13 @@
 //   wearscope_serve --bundle d --snapshot-every 6h --retain 128
 //   wearscope_serve --bundle d --port 0                  # + TCP listener
 //   wearscope_serve --bundle d --verify                  # equivalence gate
+//   wearscope_serve --partials p --bundle d --verify     # serve federated
+//
+// --partials serves federated snapshots instead of replaying: the WSFD
+// partial files a partitioned wearscope_live fleet persisted are merged
+// per epoch (fed/merge.h) and each federated snapshot is published into
+// the same SnapshotStore — the serving layer cannot tell them from
+// engine-published ones, and --verify holds them to the same batch gate.
 //
 // The feed thread drives live::FeedReplayer; every periodic snapshot is
 // published into a serve::SnapshotStore (RCU-style: readers never block
@@ -21,11 +28,16 @@
 // wearscope_analyze runs), top-apps/sectors/class-mix against a
 // sequential replay of the same tally machinery, quarantine against the
 // feed-side accounting.  Exit status 1 on any divergence.
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
+#include <map>
 #include <thread>
+#include <utility>
+#include <vector>
 
+#include "fed/merge.h"
 #include "live/engine.h"
 #include "live/replayer.h"
 #include "serve/query_engine.h"
@@ -46,6 +58,7 @@ using namespace wearscope;
 int main(int argc, char** argv) {
   try {
     std::string bundle_dir;
+    std::string partials_dir;
     std::int64_t shards = 4;
     std::int64_t ring_capacity = 4096;
     std::string snapshot_every = "1d";
@@ -62,7 +75,13 @@ int main(int argc, char** argv) {
         "engine while serving adoption/app/sector/quarantine queries over "
         "the published snapshots (newline-delimited protocol on "
         "stdin/stdout; 'help' prints the grammar)");
-    flags.add_string("bundle", &bundle_dir, "bundle directory (required)");
+    flags.add_string("bundle", &bundle_dir,
+                     "bundle directory (required unless --partials; "
+                     "--verify always needs it for the batch reference)");
+    flags.add_string("partials", &partials_dir,
+                     "serve federated snapshots merged per epoch from this "
+                     "directory of WSFD partials (wearscope_live "
+                     "--partition) instead of replaying --bundle");
     flags.add_int("shards", &shards, "worker shards (user partitions)");
     flags.add_int("ring-capacity", &ring_capacity,
                   "events buffered per shard ring");
@@ -85,7 +104,10 @@ int main(int argc, char** argv) {
     flags.add_int("detailed-start-day", &detailed_start_day,
                   "first detailed day (-1: from generator.cfg or default)");
     if (!flags.parse(argc, argv)) return 0;
-    util::require(!bundle_dir.empty(), "--bundle is required");
+    util::require(!bundle_dir.empty() || !partials_dir.empty(),
+                  "--bundle or --partials is required");
+    util::require(!verify || !bundle_dir.empty(),
+                  "--verify needs --bundle for the batch reference");
     util::require(shards >= 1, "--shards must be >= 1");
     util::require(ring_capacity >= 1, "--ring-capacity must be >= 1");
     util::require(retain >= 1, "--retain must be >= 1");
@@ -109,9 +131,11 @@ int main(int argc, char** argv) {
     if (detailed_start_day >= 0)
       opt.detailed_start_day = static_cast<int>(detailed_start_day);
 
-    trace::TraceStore store = trace::load_bundle(bundle_dir);
-    store.sort_by_time();
-    const trace::TraceSummary sum = store.summarize();
+    trace::TraceStore store;
+    if (!bundle_dir.empty()) {
+      store = trace::load_bundle(bundle_dir);
+      store.sort_by_time();
+    }
 
     serve::SnapshotStore snapshots(static_cast<std::size_t>(retain));
     serve::QueryEngine queries(snapshots);
@@ -121,6 +145,78 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "listening on 127.0.0.1:%u\n",
                    static_cast<unsigned>(server.bound_port()));
     }
+
+    if (!partials_dir.empty()) {
+      // Federated serving: strictly load every partial, group the covers
+      // by epoch and publish each merged snapshot in epoch order.  The
+      // merge reproduces the single-process snapshot bitwise
+      // (fed/merge.h), so every query — including @epoch history — reads
+      // exactly what an engine-attached server would have published.
+      std::vector<std::filesystem::path> paths;
+      for (const auto& entry :
+           std::filesystem::directory_iterator(partials_dir)) {
+        if (entry.path().extension() == ".wsfd") paths.push_back(entry.path());
+      }
+      std::sort(paths.begin(), paths.end());
+      util::require(!paths.empty(),
+                    "--partials directory holds no .wsfd files");
+      std::map<std::uint64_t, std::vector<fed::LoadedPartial>> covers;
+      for (fed::LoadedPartial& part : fed::load_partials(
+               paths, std::max<std::size_t>(
+                          1, std::thread::hardware_concurrency()))) {
+        covers[part.partial.header.epoch].push_back(std::move(part));
+      }
+      live::LiveOptions merged_opt;
+      for (auto it = covers.begin(); it != covers.end(); ++it) {
+        fed::MergeResult merged = fed::merge_partials(std::move(it->second));
+        merged_opt = merged.options;
+        std::fprintf(stderr,
+                     "published federated snapshot: epoch %llu, %llu "
+                     "partition(s), %llu records\n",
+                     static_cast<unsigned long long>(merged.snapshot.epoch),
+                     static_cast<unsigned long long>(merged.merged_partitions),
+                     static_cast<unsigned long long>(merged.snapshot.records));
+        snapshots.publish(std::move(merged.snapshot),
+                          /*final_epoch=*/std::next(it) == covers.end());
+      }
+
+      const std::uint64_t responses = server.serve_stream(stdin, stdout);
+      server.stop_listener();
+      const serve::ServingStats qstats = queries.stats();
+      std::fprintf(stderr,
+                   "served %llu federated epoch(s), answered %llu stdin "
+                   "responses (%llu queries, %llu errors)\n",
+                   static_cast<unsigned long long>(snapshots.published()),
+                   static_cast<unsigned long long>(responses),
+                   static_cast<unsigned long long>(qstats.answered),
+                   static_cast<unsigned long long>(qstats.errors));
+
+      if (verify) {
+        const serve::SnapshotRef final_snap = snapshots.latest();
+        util::ensure(final_snap != nullptr && final_snap->final_epoch,
+                     "no final federated snapshot was published");
+        const std::vector<serve::VerifyMismatch> mismatches =
+            serve::verify_responses(final_snap->snap, store, merged_opt,
+                                    final_snap->snap.quarantine,
+                                    static_cast<std::size_t>(top_k));
+        for (const serve::VerifyMismatch& m : mismatches) {
+          std::fprintf(stderr, "MISMATCH %s\n  serve: %s\n  batch: %s\n",
+                       m.query.c_str(), m.serve.c_str(), m.batch.c_str());
+        }
+        if (!mismatches.empty()) {
+          std::fprintf(stderr,
+                       "error: federated serve answers diverge from the "
+                       "batch pipeline\n");
+          return 1;
+        }
+        std::fprintf(stderr,
+                     "verify: federated query answers == batch pipeline "
+                     "(bitwise)\n");
+      }
+      return 0;
+    }
+
+    const trace::TraceSummary sum = store.summarize();
 
     live::ReplayOptions replay_opt;
     replay_opt.speedup = speedup;
